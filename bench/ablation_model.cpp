@@ -1,0 +1,163 @@
+// Ablation bench for the design choices called out in DESIGN.md §5:
+//
+//  A. Eq. 6 weighting: class-CPI (the paper's form) vs per-category CPI
+//     vs unweighted counts — measured as rank correlation with simulated
+//     times over a variant sample.
+//  B. Rule threshold: sweep the intensity threshold {2..6} and report
+//     whether the rule-pruned space still contains a near-optimal
+//     variant for each kernel.
+//  C. Engine agreement: Spearman correlation between the analytic model
+//     and the warp simulator over a variant sample (the fidelity split).
+
+#include <cstdio>
+
+#include "analysis/predictor.hpp"
+#include "common/error.hpp"
+#include "bench_common.hpp"
+#include "codegen/compiler.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/static_search.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+std::vector<codegen::TuningParams> variant_sample() {
+  std::vector<codegen::TuningParams> out;
+  for (int tc = 64; tc <= 1024; tc += 128)
+    for (const int uif : {1, 3, 6})
+      for (const bool fm : {false, true}) {
+        codegen::TuningParams p;
+        p.threads_per_block = tc;
+        p.unroll = uif;
+        p.fast_math = fm;
+        p.block_count = 48;
+        out.push_back(p);
+      }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations — model design choices",
+                      "DESIGN.md §5 (weighting, threshold, engine split)");
+
+  const auto& gpu = arch::gpu("K20");
+  const auto machine = sim::MachineModel::from(gpu, 48);
+  const auto variants = variant_sample();
+
+  // ---- A: Eq. 6 weighting --------------------------------------------
+  std::printf("A. Eq. 6 cost-model weighting (rank corr. with simulated "
+              "time)\n");
+  TextTable ta({"Kernel", "class-CPI (Eq.6)", "category-CPI",
+                "unweighted"});
+  for (const auto& info : kernels::all_kernels()) {
+    const auto wl = kernels::make_workload(
+        info.name, bench::warp_size_for(info.name));
+    std::vector<double> times, s_class, s_cat, s_flat;
+    for (const auto& p : variants) {
+      try {
+        const codegen::Compiler c(gpu, p);
+        const auto lw = c.compile(wl);
+        sim::RunOptions opts;
+        opts.engine = sim::Engine::Warp;
+        const auto m = sim::run_workload(lw, wl, machine, opts);
+        if (!m.valid) continue;
+        times.push_back(m.base_time_ms);
+        s_class.push_back(analysis::predicted_cost(
+            lw, gpu.family, analysis::CostModel::ClassCpi));
+        s_cat.push_back(analysis::predicted_cost(
+            lw, gpu.family, analysis::CostModel::CategoryCpi));
+        s_flat.push_back(analysis::predicted_cost(
+            lw, gpu.family, analysis::CostModel::Unweighted));
+      } catch (const gpustatic::Error&) {
+      }
+    }
+    ta.add_row({std::string(info.name),
+                str::format_double(stats::spearman(times, s_class), 3),
+                str::format_double(stats::spearman(times, s_cat), 3),
+                str::format_double(stats::spearman(times, s_flat), 3)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  // ---- B: rule threshold sweep ----------------------------------------
+  std::printf("B. Rule-based intensity threshold sweep (does the pruned\n"
+              "   space keep a variant within 5%% of the sampled optimum?)\n");
+  TextTable tb({"Kernel", "Intensity", "thr=2", "thr=3", "thr=4 (paper)",
+                "thr=5", "thr=6"});
+  const tuner::ParamSpace space = tuner::paper_space();
+  for (const auto& info : kernels::all_kernels()) {
+    const auto wl = kernels::make_workload(
+        info.name, bench::bench_sizes(info.name)[0]);
+    const auto prune = tuner::static_prune(space, gpu, wl);
+    // Sampled exhaustive optimum.
+    const auto trials =
+        tuner::sweep(space, wl, gpu, {}, bench::sweep_stride());
+    const auto ranked = tuner::rank_trials(trials);
+    const double best = ranked.best.time_ms;
+
+    std::vector<std::string> cells = {
+        std::string(info.name), str::format_double(prune.intensity, 2)};
+    for (const double thr : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+      const bool upper = prune.intensity > thr;
+      const std::size_t n = prune.static_threads.size();
+      const std::size_t half = (n + 1) / 2;
+      std::vector<std::int64_t> keep;
+      if (upper)
+        keep.assign(prune.static_threads.end() -
+                        static_cast<std::ptrdiff_t>(half),
+                    prune.static_threads.end());
+      else
+        keep.assign(prune.static_threads.begin(),
+                    prune.static_threads.begin() +
+                        static_cast<std::ptrdiff_t>(half));
+      double best_kept = tuner::kInvalid;
+      for (const auto& rec : trials) {
+        if (!rec.valid) continue;
+        for (const std::int64_t t : keep)
+          if (rec.params.threads_per_block == t)
+            best_kept = std::min(best_kept, rec.time_ms);
+      }
+      const double gap = (best_kept - best) / best * 100.0;
+      cells.push_back(str::format_double(gap, 1) + "%" +
+                      (gap <= 5.0 ? " ok" : " MISS"));
+    }
+    tb.add_row(cells);
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  // ---- C: engine agreement --------------------------------------------
+  std::printf("C. Analytic model vs warp simulator (rank agreement)\n");
+  TextTable tc({"Kernel", "Spearman", "Pearson", "Variants"});
+  for (const auto& info : kernels::all_kernels()) {
+    const auto wl = kernels::make_workload(
+        info.name, bench::warp_size_for(info.name));
+    std::vector<double> warp_t, ana_t;
+    for (const auto& p : variants) {
+      try {
+        const codegen::Compiler c(gpu, p);
+        const auto lw = c.compile(wl);
+        sim::RunOptions w, a;
+        w.engine = sim::Engine::Warp;
+        a.engine = sim::Engine::Analytic;
+        const auto mw = sim::run_workload(lw, wl, machine, w);
+        const auto ma = sim::run_workload(lw, wl, machine, a);
+        if (!mw.valid || !ma.valid) continue;
+        warp_t.push_back(mw.base_time_ms);
+        ana_t.push_back(ma.base_time_ms);
+      } catch (const gpustatic::Error&) {
+      }
+    }
+    tc.add_row({std::string(info.name),
+                str::format_double(stats::spearman(warp_t, ana_t), 3),
+                str::format_double(stats::pearson(warp_t, ana_t), 3),
+                std::to_string(warp_t.size())});
+  }
+  std::printf("%s\n", tc.render().c_str());
+  return 0;
+}

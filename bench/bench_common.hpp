@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench binary runs with no arguments and prints the reproduced
+// table to stdout. Large sweeps default to a documented, seeded
+// subsample so each binary finishes in seconds; set GPUSTATIC_FULL=1 in
+// the environment to run the paper-sized sweeps instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("GPUSTATIC_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Subsampling stride for exhaustive sweeps (1 in full mode).
+inline std::size_t sweep_stride() { return full_mode() ? 1 : 4; }
+
+/// Representative problem sizes per kernel for simulator-backed benches
+/// (mid-range paper sizes; full mode uses the two largest).
+inline std::vector<std::int64_t> bench_sizes(std::string_view kernel) {
+  const bool cubed = kernel == "ex14fj";
+  if (full_mode()) return cubed ? std::vector<std::int64_t>{32, 64}
+                                : std::vector<std::int64_t>{256, 512};
+  return cubed ? std::vector<std::int64_t>{16, 32}
+               : std::vector<std::int64_t>{128, 256};
+}
+
+/// Single size used by warp-simulator-backed benches.
+inline std::int64_t warp_size_for(std::string_view kernel) {
+  return kernel == "ex14fj" ? 16 : 64;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Mode: %s (set GPUSTATIC_FULL=1 for the paper-sized sweep)\n",
+              full_mode() ? "FULL" : "subsampled");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace gpustatic::bench

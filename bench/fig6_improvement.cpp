@@ -1,0 +1,59 @@
+// Reproduces Fig. 6: improved search time over exhaustive autotuning,
+// comparing the Static and Static+Rule-Based approaches per kernel and
+// architecture. The improvement metric is the fraction of the 5120-
+// variant space eliminated before any empirical testing; the bench also
+// verifies that the pruned spaces retain (near-)optimal variants.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/session.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  bench::print_header(
+      "Fig. 6 — search-space improvement: Static and Rule-Based",
+      "Fig. 6 (reduction vs exhaustive, per kernel x architecture)");
+
+  TextTable t({"Kernel", "Arch", "Intensity", "Rule", "Static %", "RB %",
+               "Best(exh)", "Best(static)", "Best(RB)", "Gap(RB)"});
+
+  for (const auto& info : kernels::all_kernels()) {
+    const std::int64_t n = bench::bench_sizes(info.name)[1];
+    const auto wl = kernels::make_workload(info.name, n);
+    for (const auto& gpu : arch::all_gpus()) {
+      core::TuningSession session(wl, gpu);
+      // Exhaustive baseline over a subsampled full space in quick mode:
+      // search cost scales identically, optimum gap is still meaningful.
+      const auto& prune = session.prune();
+      const auto ex = session.exhaustive();
+      const auto st = session.static_pruned();
+      const auto rb = session.rule_based();
+      const double gap =
+          ex.search.best_time > 0
+              ? (rb.search.best_time - ex.search.best_time) /
+                    ex.search.best_time * 100.0
+              : 0.0;
+      t.add_row({std::string(info.name),
+                 std::string(arch::family_name(gpu.family)),
+                 str::format_double(prune.intensity, 2),
+                 prune.prefers_upper ? "upper" : "lower",
+                 str::format_double(st.space_reduction() * 100.0, 1),
+                 str::format_double(rb.space_reduction() * 100.0, 1),
+                 str::format_double(ex.search.best_time, 4),
+                 str::format_double(st.search.best_time, 4),
+                 str::format_double(rb.search.best_time, 4),
+                 str::format_double(gap, 1) + "%"});
+    }
+    t.add_rule();
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected shape (paper): Static reduction ~84-87.5%% (4-5 of 32\n"
+      "thread candidates kept), Static+RB ~93.8%%; the pruned spaces\n"
+      "retain the optimum or a variant within a few percent.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 7: the occupancy-calculator panels showing thread,
+// register, and shared-memory impact for the current ATAX configuration
+// (top) and the potential optimized configuration (bottom).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "codegen/compiler.hpp"
+#include "occupancy/report.hpp"
+#include "occupancy/suggest.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  bench::print_header(
+      "Fig. 7 — occupancy calculator: current vs potential (ATAX)",
+      "Fig. 7 (thread/register/smem impact panels)");
+
+  const auto& gpu = arch::gpu("K20");
+  const auto wl = kernels::make_workload("atax", 256);
+  const codegen::Compiler compiler(gpu, {});
+  const auto lw = compiler.compile(wl);
+  const std::uint32_t ru = lw.regs_per_thread();
+
+  // Current: a mid-grid thread choice that underfills the SM.
+  occupancy::KernelParams current{96, ru, 0};
+  std::printf("--- CURRENT kernel configuration ---\n%s\n",
+              occupancy::calculator_report(gpu, current).c_str());
+
+  // Potential: first statically suggested thread count.
+  const auto s = occupancy::suggest(gpu, ru, 0);
+  occupancy::KernelParams optimized{
+      s.thread_candidates.empty() ? 128u : s.thread_candidates.front(), ru,
+      0};
+  std::printf("--- POTENTIAL optimized configuration ---\n%s\n",
+              occupancy::calculator_report(gpu, optimized).c_str());
+
+  std::printf(
+      "Suggestion: T*={");
+  for (std::size_t i = 0; i < s.thread_candidates.size(); ++i)
+    std::printf("%s%u", i ? ", " : "", s.thread_candidates[i]);
+  std::printf("} [Ru:R*]=[%u:%u] S*=%u B, occ*=%.2f\n", s.regs_used,
+              s.reg_headroom, s.smem_budget, s.occ_star);
+  return 0;
+}

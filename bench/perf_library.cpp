@@ -1,0 +1,256 @@
+// google-benchmark micro-performance suite for the library itself:
+// occupancy calculation, parameter suggestion, static analysis, the
+// virtual compiler, both simulation engines, and the search strategies.
+// These document the cost of "no program runs" static analysis vs the
+// empirical path — the tradeoff the paper's Sec. III framework figure
+// draws.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/mix.hpp"
+#include "analysis/predictor.hpp"
+#include "codegen/compiler.hpp"
+#include "core/static_analyzer.hpp"
+#include "kernels/kernels.hpp"
+#include "occupancy/suggest.hpp"
+#include "sim/runner.hpp"
+#include "tuner/search.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+const arch::GpuSpec& kepler() { return arch::gpu("K20"); }
+
+void BM_OccupancyCalculate(benchmark::State& state) {
+  const auto& gpu = kepler();
+  std::uint32_t t = 32;
+  for (auto _ : state) {
+    const auto r = occupancy::calculate(gpu, {t, 28, 2048});
+    benchmark::DoNotOptimize(r.occupancy);
+    t = t % 1024 + 32;
+  }
+}
+BENCHMARK(BM_OccupancyCalculate);
+
+void BM_OccupancySuggest(benchmark::State& state) {
+  const auto& gpu = kepler();
+  for (auto _ : state) {
+    const auto s = occupancy::suggest(gpu, 27, 0);
+    benchmark::DoNotOptimize(s.occ_star);
+  }
+}
+BENCHMARK(BM_OccupancySuggest);
+
+void BM_CompileKernel(benchmark::State& state) {
+  const auto wl = kernels::make_atax(256);
+  const codegen::Compiler c(kepler(), {});
+  for (auto _ : state) {
+    const auto lw = c.compile(wl);
+    benchmark::DoNotOptimize(lw.regs_per_thread());
+  }
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_StaticMix(benchmark::State& state) {
+  const auto wl = kernels::make_atax(256);
+  const codegen::Compiler c(kepler(), {});
+  const auto lw = c.compile(wl);
+  for (auto _ : state) {
+    const auto m = analysis::analyze_mix(lw.stages[0].kernel);
+    benchmark::DoNotOptimize(m.weighted.intensity());
+  }
+}
+BENCHMARK(BM_StaticMix);
+
+void BM_Eq6Predict(benchmark::State& state) {
+  const auto wl = kernels::make_atax(256);
+  const codegen::Compiler c(kepler(), {});
+  const auto lw = c.compile(wl);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::predicted_cost(mix, arch::Family::Kepler));
+  }
+}
+BENCHMARK(BM_Eq6Predict);
+
+void BM_AnalyticStage(benchmark::State& state) {
+  const auto wl = kernels::make_atax(512);
+  const codegen::Compiler c(kepler(), {});
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(kepler(), 48);
+  const sim::AnalyticModel model(machine);
+  for (auto _ : state) {
+    const auto r = model.run_stage(lw.stages[0]);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_AnalyticStage);
+
+void BM_WarpSimStage(benchmark::State& state) {
+  const auto wl = kernels::make_atax(static_cast<std::int64_t>(
+      state.range(0)));
+  const codegen::Compiler c(kepler(), {});
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(kepler(), 48);
+  for (auto _ : state) {
+    sim::DeviceMemory mem(wl);
+    sim::WarpSimulator simulator(machine);
+    const auto r = simulator.run_stage(lw.stages[0], mem);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_WarpSimStage)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SearchStrategies(benchmark::State& state) {
+  // Synthetic quadratic objective over the paper space: isolates search
+  // overhead from simulation cost.
+  const tuner::ParamSpace space = tuner::paper_space();
+  const tuner::Objective fn = [](const codegen::TuningParams& p) {
+    const double t = (p.threads_per_block - 416.0) / 1024.0;
+    const double u = (p.unroll - 3.0) / 6.0;
+    return 1.0 + t * t + u * u;
+  };
+  tuner::SearchOptions opts;
+  opts.budget = 200;
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    tuner::SearchResult r;
+    switch (which) {
+      case 0: r = tuner::random_search(space, fn, opts); break;
+      case 1: r = tuner::simulated_annealing(space, fn, opts); break;
+      case 2: r = tuner::genetic_search(space, fn, opts); break;
+      default: r = tuner::nelder_mead_search(space, fn, opts); break;
+    }
+    benchmark::DoNotOptimize(r.best_time);
+  }
+}
+BENCHMARK(BM_SearchStrategies)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_FullStaticAnalysis(benchmark::State& state) {
+  const auto wl = kernels::make_ex14fj(32);
+  const core::StaticAnalyzer analyzer(kepler());
+  for (auto _ : state) {
+    const auto rep = analyzer.analyze(wl);
+    benchmark::DoNotOptimize(rep.intensity);
+  }
+}
+BENCHMARK(BM_FullStaticAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();
+
+// ---- extension modules ----------------------------------------------------
+
+#include "dynamic/profile.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sources.hpp"
+#include "ml/classify.hpp"
+#include "replay/journal.hpp"
+#include "tuner/hybrid.hpp"
+
+namespace {
+
+void BM_FrontendParse(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto wl = frontend::parse_workload(frontend::sources::kEx14fj);
+    benchmark::DoNotOptimize(wl.stages.size());
+  }
+}
+BENCHMARK(BM_FrontendParse);
+
+void BM_ReuseDistanceAccess(benchmark::State& state) {
+  dynamic::ReuseDistanceAnalyzer analyzer({128, 8192});
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.access(line % 4096));
+    line += 7;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReuseDistanceAccess);
+
+void BM_ProfileWorkload(benchmark::State& state) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 64;
+  p.block_count = 24;
+  const codegen::Compiler c(kepler(), p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(kepler(), p.l1_pref_kb);
+  for (auto _ : state) {
+    const auto prof = dynamic::profile_workload(lw, wl, machine);
+    benchmark::DoNotOptimize(prof.total_issues());
+  }
+}
+BENCHMARK(BM_ProfileWorkload)->Unit(benchmark::kMillisecond);
+
+void BM_TreeFit(benchmark::State& state) {
+  // A realistic corpus: one strided atax sweep on Kepler.
+  ml::CorpusOptions opts;
+  opts.stride = 64;
+  std::vector<ml::CorpusEntry> corpus;
+  corpus.push_back({kernels::make_atax(64), &kepler()});
+  const auto data = ml::build_rank_dataset(corpus, opts);
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(data);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Unit(benchmark::kMillisecond);
+
+void BM_TreePredict(benchmark::State& state) {
+  ml::CorpusOptions opts;
+  opts.stride = 64;
+  std::vector<ml::CorpusEntry> corpus;
+  corpus.push_back({kernels::make_atax(64), &kepler()});
+  const auto data = ml::build_rank_dataset(corpus, opts);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(data.rows[i % data.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_JournalRoundTrip(benchmark::State& state) {
+  replay::TuningJournal journal;
+  journal.set_context("atax", "K20", 256);
+  for (int i = 0; i < 200; ++i) {
+    replay::VariantRecord v;
+    v.params.threads_per_block = 32 * (1 + i % 32);
+    v.predicted_cost = 1000.0 + i;
+    v.measured_ms = 0.01 * (1 + i % 7);
+    journal.record_variant(v);
+  }
+  for (auto _ : state) {
+    const auto text = journal.serialize();
+    const auto back = replay::TuningJournal::parse(text);
+    benchmark::DoNotOptimize(back.variants().size());
+  }
+}
+BENCHMARK(BM_JournalRoundTrip);
+
+void BM_HybridShortlist(benchmark::State& state) {
+  // Static stage only (budget 0): the cost of compiling + ranking the
+  // pruned space without any run.
+  const auto wl = kernels::make_atax(64);
+  const auto space = tuner::paper_space();
+  const tuner::Objective never = [](const codegen::TuningParams&) {
+    return 1.0;
+  };
+  tuner::HybridOptions opts;
+  opts.empirical_budget = 0;
+  for (auto _ : state) {
+    const auto r = tuner::hybrid_search(space, kepler(), wl, never, opts);
+    benchmark::DoNotOptimize(r.shortlist.size());
+  }
+}
+BENCHMARK(BM_HybridShortlist)->Unit(benchmark::kMillisecond);
+
+}  // namespace

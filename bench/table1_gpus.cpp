@@ -1,0 +1,70 @@
+// Reproduces Table I: GPUs used in this experiment.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  bench::print_header("Table I — GPUs used in this experiment",
+                      "Table I (hardware parameter database)");
+
+  TextTable t({"Sym", "Parameter", "M2050", "K20", "M40", "P100"});
+  const auto gpus = arch::all_gpus();
+  auto row = [&](const char* sym, const char* name, auto getter) {
+    std::vector<std::string> cells = {sym, name};
+    for (const auto& g : gpus) cells.push_back(getter(g));
+    t.add_row(cells);
+  };
+  auto u = [](auto v) { return std::to_string(v); };
+
+  row("cc", "CUDA capability", [&](const arch::GpuSpec& g) {
+    return str::format_trimmed(g.compute_capability, 1);
+  });
+  row("", "Global mem (MB)",
+      [&](const arch::GpuSpec& g) { return u(g.global_mem_mb); });
+  row("mp", "Multiprocessors",
+      [&](const arch::GpuSpec& g) { return u(g.multiprocessors); });
+  row("", "CUDA cores / mp",
+      [&](const arch::GpuSpec& g) { return u(g.cores_per_mp); });
+  row("", "CUDA cores",
+      [&](const arch::GpuSpec& g) { return u(g.cuda_cores); });
+  row("", "GPU clock (MHz)",
+      [&](const arch::GpuSpec& g) { return u(g.gpu_clock_mhz); });
+  row("", "Mem clock (MHz)",
+      [&](const arch::GpuSpec& g) { return u(g.mem_clock_mhz); });
+  row("", "L2 cache (MB)", [&](const arch::GpuSpec& g) {
+    return str::format_trimmed(g.l2_cache_mb, 3);
+  });
+  row("", "Constant mem (B)",
+      [&](const arch::GpuSpec& g) { return u(g.const_mem_bytes); });
+  row("SccB", "Sh mem block (B)",
+      [&](const arch::GpuSpec& g) { return u(g.smem_per_block); });
+  row("Rccfs", "Regs per block",
+      [&](const arch::GpuSpec& g) { return u(g.regs_per_block); });
+  row("WB", "Warp size",
+      [&](const arch::GpuSpec& g) { return u(g.warp_size); });
+  row("Tccmp", "Threads per mp",
+      [&](const arch::GpuSpec& g) { return u(g.threads_per_mp); });
+  row("TccB", "Threads per block",
+      [&](const arch::GpuSpec& g) { return u(g.threads_per_block); });
+  row("Bccmp", "Thread blocks / mp",
+      [&](const arch::GpuSpec& g) { return u(g.blocks_per_mp); });
+  row("TccW", "Threads per warp",
+      [&](const arch::GpuSpec& g) { return u(g.threads_per_warp); });
+  row("Wccmp", "Warps per mp",
+      [&](const arch::GpuSpec& g) { return u(g.warps_per_mp); });
+  row("RccB", "Reg alloc size",
+      [&](const arch::GpuSpec& g) { return u(g.reg_alloc_unit); });
+  row("RccT", "Regs per thread",
+      [&](const arch::GpuSpec& g) { return u(g.regs_per_thread); });
+  row("", "Family", [&](const arch::GpuSpec& g) {
+    return std::string(arch::family_name(g.family));
+  });
+
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Table II: instruction throughput per number of cycles
+// (IPC per SM by category and architecture generation), plus the derived
+// CPI weights the Eq. 6 predictor uses.
+
+#include <cstdio>
+
+#include "arch/throughput.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace gpustatic;  // NOLINT
+using arch::Family;
+
+int main() {
+  bench::print_header("Table II — instruction throughput per cycle",
+                      "Table II (IPC per SM; CPI weights for Eq. 6)");
+
+  TextTable t({"Category", "Class", "SM20", "SM35", "SM52", "SM60"});
+  for (const arch::OpCategory cat : arch::all_categories()) {
+    t.add_row({std::string(arch::category_name(cat)),
+               std::string(arch::class_name(arch::op_class(cat))),
+               str::format_trimmed(arch::ipc(cat, Family::Fermi), 0),
+               str::format_trimmed(arch::ipc(cat, Family::Kepler), 0),
+               str::format_trimmed(arch::ipc(cat, Family::Maxwell), 0),
+               str::format_trimmed(arch::ipc(cat, Family::Pascal), 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Derived Eq. 6 class weights (CPI = 1/IPC):\n");
+  TextTable w({"Class", "SM20", "SM35", "SM52", "SM60"});
+  for (const arch::OpClass cls :
+       {arch::OpClass::FLOPS, arch::OpClass::MEM, arch::OpClass::CTRL,
+        arch::OpClass::REG}) {
+    w.add_row({std::string(arch::class_name(cls)),
+               str::format_double(arch::class_cpi(cls, Family::Fermi), 4),
+               str::format_double(arch::class_cpi(cls, Family::Kepler), 4),
+               str::format_double(arch::class_cpi(cls, Family::Maxwell), 4),
+               str::format_double(arch::class_cpi(cls, Family::Pascal), 4)});
+  }
+  std::printf("%s\n", w.render().c_str());
+  return 0;
+}

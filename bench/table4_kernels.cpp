@@ -1,0 +1,48 @@
+// Reproduces Table IV: kernel specifications, plus per-kernel compile
+// facts from the virtual toolchain (registers, static instructions,
+// static intensity) that the rest of the evaluation builds on.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/static_analyzer.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  bench::print_header("Table IV — kernel specifications",
+                      "Table IV (benchmark kernels)");
+
+  TextTable t({"Kernel", "Category", "Description", "Operation", "Sizes"});
+  for (const auto& k : kernels::all_kernels()) {
+    std::string sizes;
+    for (std::size_t i = 0; i < k.input_sizes.size(); ++i) {
+      if (i != 0) sizes += ",";
+      sizes += std::to_string(k.input_sizes[i]);
+    }
+    t.add_row({std::string(k.name), std::string(k.category),
+               std::string(k.description), std::string(k.operation),
+               sizes});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Compile facts (baseline variant, Kepler K20):\n");
+  TextTable c({"Kernel", "Stages", "Regs/thread", "Static instrs",
+               "Intensity", "Divergent branches"});
+  const auto& gpu = arch::gpu("K20");
+  core::StaticAnalyzer analyzer(gpu);
+  for (const auto& k : kernels::all_kernels()) {
+    const auto wl =
+        kernels::make_workload(k.name, k.input_sizes[2]);
+    const auto rep = analyzer.analyze(wl);
+    c.add_row({std::string(k.name), std::to_string(wl.stages.size()),
+               std::to_string(rep.regs_per_thread),
+               std::to_string(rep.static_instructions),
+               str::format_double(rep.intensity, 2),
+               std::to_string(rep.divergence.divergent_count)});
+  }
+  std::printf("%s\n", c.render().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table VII: suggested parameters to achieve theoretical
+// occupancy — thread candidates T*, register usage and headroom [Ru:R*],
+// shared-memory budget S*, and the achievable occupancy occ*.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "codegen/compiler.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "occupancy/suggest.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  bench::print_header(
+      "Table VII — suggested parameters for theoretical occupancy",
+      "Table VII (T*, [Ru:R*], S*, occ* per kernel x architecture)");
+
+  TextTable t({"Kernel", "Arch", "T*", "[Ru:R*]", "S* (B)", "occ*"});
+  for (const auto& info : kernels::all_kernels()) {
+    const auto wl =
+        kernels::make_workload(info.name, info.input_sizes[2]);
+    for (const auto& gpu : arch::all_gpus()) {
+      const codegen::Compiler compiler(gpu, {});
+      const auto lw = compiler.compile(wl);
+      const auto s = occupancy::suggest(gpu, lw.regs_per_thread(),
+                                        lw.smem_per_block());
+      std::string threads;
+      for (std::size_t i = 0; i < s.thread_candidates.size(); ++i) {
+        if (i != 0) threads += ", ";
+        threads += std::to_string(s.thread_candidates[i]);
+      }
+      t.add_row({std::string(info.name),
+                 std::string(arch::family_name(gpu.family)), threads,
+                 "[" + std::to_string(s.regs_used) + " : " +
+                     std::to_string(s.reg_headroom) + "]",
+                 std::to_string(s.smem_budget),
+                 str::format_trimmed(s.occ_star, 2)});
+    }
+    t.add_rule();
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected shape (paper): per-architecture thread ladders\n"
+      "  Fermi   {192, 256, 384, 512, 768}\n"
+      "  Kepler  {128, 256, 512, 1024}\n"
+      "  Maxwell {64, 128, 256, 512, 1024}\n"
+      "  Pascal  {64, 128, 256, 512, 1024}\n"
+      "with occ* = 1 wherever the register footprint permits.\n");
+  return 0;
+}

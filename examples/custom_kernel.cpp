@@ -1,0 +1,104 @@
+// Bring your own kernel: describe a loop nest in the DSL, verify it
+// against a CPU reference through the functional warp simulator, analyze
+// it statically, and autotune it. The kernel here is a dense SAXPY-like
+// row update: out[i] = alpha * sum_j A[i*N+j] * x[j] + out[i].
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/static_analyzer.hpp"
+#include "dsl/printer.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpustatic;  // NOLINT
+using namespace gpustatic::dsl;  // NOLINT
+
+namespace {
+
+constexpr std::int64_t kN = 128;
+constexpr double kAlpha = 0.5;
+
+WorkloadDesc make_custom() {
+  WorkloadDesc wl;
+  wl.name = "rowscale";
+  wl.problem_size = kN;
+  wl.arrays = {
+      {"A", kN * kN, ArrayInit::Ramp},
+      {"x", kN, ArrayInit::Ramp},
+      {"out", kN, ArrayInit::Ones},
+  };
+  StageDesc s;
+  s.name = "rowscale";
+  s.domain = kN;
+  const auto i = ivar("t");
+  const auto j = ivar("j");
+  s.body = seq({
+      let_float("acc", fconst(0.0)),
+      serial_for("j", 0, kN,
+                 accum("acc", FloatBinOp::Add,
+                       fmul(fload("A", iadd(imul(i, iconst(kN)), j)),
+                            fload("x", j)))),
+      store("out", i,
+            fadd(fmul(fconst(kAlpha), fref("acc")), fload("out", i))),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+std::vector<float> cpu_reference() {
+  auto iv = [](std::int64_t idx) {
+    return static_cast<float>(idx % 97) / 97.0f;
+  };
+  std::vector<float> out(kN, 1.0f);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < kN; ++j)
+      acc = std::fmaf(iv(i * kN + j), iv(j), acc);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<float>(kAlpha) * acc + 1.0f;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const WorkloadDesc wl = make_custom();
+  std::printf("Custom workload in the DSL:\n%s\n",
+              dsl::to_string(wl).c_str());
+
+  const arch::GpuSpec& gpu = arch::gpu("M40");
+
+  // 1. Verify numerics through the functional warp simulator.
+  const codegen::Compiler compiler(gpu, {});
+  const auto lw = compiler.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, 48);
+  const auto run = sim::run_workload_collect(lw, wl, machine);
+  const auto ref = cpu_reference();
+  const auto& out = run.memory.host("out");
+  double max_rel = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = std::abs(out[i] - ref[i]) /
+                     (std::abs(ref[i]) + 1e-9);
+    max_rel = std::max(max_rel, d);
+  }
+  std::printf("Simulated vs CPU reference: max relative error %.3g %s\n\n",
+              max_rel, max_rel < 1e-4 ? "(OK)" : "(MISMATCH)");
+
+  // 2. Static analysis.
+  const core::StaticAnalyzer analyzer(gpu);
+  const auto report = analyzer.analyze(wl);
+  std::printf("%s\n", report.to_string().c_str());
+
+  // 3. Model-guided autotuning.
+  core::TuningSession session(wl, gpu);
+  const auto rb = session.rule_based();
+  std::printf("Rule-based search: %zu of %zu variants -> best %.4f ms at "
+              "TC=%d UIF=%d\n",
+              rb.space_size, rb.full_space_size, rb.search.best_time,
+              rb.search.best_params.threads_per_block,
+              rb.search.best_params.unroll);
+  return 0;
+}

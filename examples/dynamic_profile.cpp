@@ -1,0 +1,56 @@
+// Example: dynamic profiling of a CUDA-style kernel.
+//
+// The static analyzer (see examples/quickstart.cpp) never runs anything.
+// This example shows the other half of the paper's Fig. 2 framework: run
+// the kernel once on the simulated GPU with tracing enabled and read the
+// dynamic metrics — per-block execution counts (IC), branch divergence
+// (BF), and memory reuse distance (MD) — the way one would from a
+// profiler on real hardware.
+//
+//   $ ./examples/dynamic_profile [kernel] [N] [TC]
+//
+// defaults: ex14fj, N=16, TC=128.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dynamic/model.hpp"
+#include "dynamic/profile.hpp"
+#include "dynamic/report.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string kernel = argc > 1 ? argv[1] : "ex14fj";
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 16;
+  const int tc = argc > 3 ? std::atoi(argv[3]) : 128;
+
+  const auto wl = kernels::make_workload(kernel, n);
+  const auto& gpu = arch::gpu("K20");
+
+  codegen::TuningParams params;
+  params.threads_per_block = tc;
+  params.block_count = 48;
+
+  const codegen::Compiler compiler(gpu, params);
+  const auto lowered = compiler.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
+
+  // One traced run yields the whole profile.
+  const auto profile = dynamic::profile_workload(lowered, wl, machine);
+  std::printf("%s\n", dynamic::render_profile(profile).c_str());
+  if (!profile.measurement.valid) return 1;
+
+  // The dynamic-count cost model: what Eq. 6 would predict if it could
+  // see measured counts instead of static mixes.
+  const auto pred = dynamic::predict_workload(lowered, profile, machine);
+  std::printf(
+      "dynamic model: %.4f ms predicted vs %.4f ms simulated "
+      "(bottleneck: %s)\n",
+      pred.time_ms, profile.measurement.base_time_ms, pred.bottleneck());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example: training a STATuner-style learned block-size advisor.
+//
+// Trains a decision tree on the autotuning corpora of three kernels,
+// then asks it for a single block size for a kernel it has never seen
+// (atax), next to what the occupancy model alone would suggest. Shows
+// the learned tree so the decision logic is inspectable.
+//
+//   $ ./examples/learned_advisor
+
+#include <cstdio>
+
+#include "arch/gpu_spec.hpp"
+#include "core/static_analyzer.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/classify.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  const auto& gpu = arch::gpu("K20");
+
+  // 1. Corpus: autotune bicg / ex14fj / matvec2d (analytic engine) and
+  //    label every variant Rank-1/Rank-2. atax is deliberately held out.
+  std::vector<ml::CorpusEntry> corpus;
+  corpus.push_back({kernels::make_bicg(256), &gpu});
+  corpus.push_back({kernels::make_ex14fj(32), &gpu});
+  corpus.push_back({kernels::make_matvec2d(256), &gpu});
+  ml::CorpusOptions copts;
+  copts.stride = 16;  // 5120/16 = 320 variants per kernel
+  const ml::Dataset data = ml::build_rank_dataset(corpus, copts);
+  std::printf("corpus: %zu labeled variants, %zu static features each\n",
+              data.size(), data.width());
+
+  // 2. Cross-validated sanity check before trusting the model: compare
+  //    the three in-tree model families.
+  const auto cv = ml::cross_validate(data, ml::tree_builder(), 5, 42);
+  const auto cv_log =
+      ml::cross_validate(data, ml::logistic_builder(), 5, 42);
+  const auto cv_forest =
+      ml::cross_validate(data, ml::forest_builder(), 5, 42);
+  std::printf("5-fold CV accuracy (majority baseline %.1f%%):\n",
+              100 * cv.baseline);
+  std::printf("  decision tree : %.1f%%\n", 100 * cv.mean_accuracy);
+  std::printf("  logistic      : %.1f%%\n", 100 * cv_log.mean_accuracy);
+  std::printf("  random forest : %.1f%%\n\n",
+              100 * cv_forest.mean_accuracy);
+
+  // 3. Fit on everything and advise on the unseen kernel.
+  ml::BlockSizePredictor predictor;
+  predictor.fit(data);
+  const auto wl = kernels::make_atax(256);
+  const auto tc = predictor.predict_block_size(wl, gpu);
+
+  const core::StaticAnalyzer analyzer(gpu);
+  const auto report = analyzer.analyze(wl);
+  std::printf("advice for unseen kernel 'atax' on %s:\n", gpu.name.c_str());
+  std::printf("  learned tree     : TC = %u\n", tc);
+  std::printf("  occupancy model  : T* = {");
+  for (std::size_t i = 0; i < report.suggestion.thread_candidates.size();
+       ++i)
+    std::printf("%s%u", i ? ", " : "",
+                report.suggestion.thread_candidates[i]);
+  std::printf("}\n");
+  std::printf("  rule heuristic   : %s half (intensity %.2f)\n\n",
+              report.prefers_upper ? "upper" : "lower", report.intensity);
+
+  std::printf("learned decision logic:\n%s",
+              predictor.tree().to_string(data.feature_names).c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Occupancy advisor: the CUDA-Occupancy-Calculator-style use case. Given
+// a kernel footprint (registers/thread, shared memory/block), print the
+// occupancy landscape and the Table VII-style suggestion on every GPU.
+//
+//   $ ./occupancy_advisor [regs_per_thread] [smem_bytes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/gpu_spec.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "occupancy/report.hpp"
+#include "occupancy/suggest.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main(int argc, char** argv) {
+  const auto regs =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 27);
+  const auto smem =
+      static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 0);
+
+  std::printf("Kernel footprint: %u registers/thread, %u B smem/block\n\n",
+              regs, smem);
+
+  TextTable t({"GPU", "occ*", "T* candidates", "[Ru:R*]", "S* (B)"});
+  for (const auto& gpu : arch::all_gpus()) {
+    const auto s = occupancy::suggest(gpu, regs, smem);
+    std::string threads;
+    for (std::size_t i = 0; i < s.thread_candidates.size(); ++i) {
+      if (i != 0) threads += ",";
+      threads += std::to_string(s.thread_candidates[i]);
+    }
+    t.add_row({gpu.name, str::format_trimmed(s.occ_star, 2), threads,
+               "[" + std::to_string(s.regs_used) + ":" +
+                   std::to_string(s.reg_headroom) + "]",
+               std::to_string(s.smem_budget)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Detailed calculator panels for one GPU.
+  const auto& k20 = arch::gpu("K20");
+  std::printf("%s\n",
+              occupancy::calculator_report(
+                  k20, occupancy::KernelParams{256, regs, smem})
+                  .c_str());
+  return 0;
+}

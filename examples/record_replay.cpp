@@ -1,0 +1,67 @@
+// Example: record a tuning run, replay it, refine the model.
+//
+// The paper's Sec. VII knowledge-discovery loop in ~60 lines:
+//   1. record  — run the static+rule-guided tuning pass, journaling every
+//                decision and variant (with Eq. 6 predictions and times);
+//   2. archive — the journal round-trips through its text form, as it
+//                would through a file on disk;
+//   3. replay  — re-execute the journal empirically, validating both the
+//                measurements (drift) and the static model (rank
+//                correlation of prediction vs fresh time);
+//   4. refine  — fit Eq. 6's four class coefficients to the journaled
+//                measurements.
+//
+//   $ ./examples/record_replay
+
+#include <cstdio>
+
+#include "arch/gpu_spec.hpp"
+#include "kernels/kernels.hpp"
+#include "replay/refine.hpp"
+#include "replay/replay.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main() {
+  const auto wl = kernels::make_matvec2d(256);
+  const auto& gpu = arch::gpu("M40");
+
+  // 1. Record.
+  replay::RecordOptions opts;
+  opts.stride = 2;
+  const auto journal = replay::record_tuning(wl, gpu, opts);
+  std::printf("recorded %zu decisions, %zu variants (%zu measured)\n",
+              journal.decisions().size(), journal.variants().size(),
+              journal.measured_count());
+  for (const auto& d : journal.decisions())
+    std::printf("  decision %-10s %s\n", d.step.c_str(), d.detail.c_str());
+
+  // 2. Archive: text round trip.
+  const std::string text = journal.serialize();
+  const auto restored = replay::TuningJournal::parse(text);
+  std::printf("journal serializes to %zu bytes and parses back\n\n",
+              text.size());
+
+  // 3. Replay with empirical testing.
+  const auto result = replay::replay(restored, wl, gpu, opts.run);
+  std::printf("replayed %zu/%zu variants (%zu invalid)\n", result.replayed,
+              result.total_variants, result.invalid);
+  std::printf("measurement drift : max %.2f%%, mean %.2f%%\n",
+              100 * result.max_rel_drift, 100 * result.mean_rel_drift);
+  std::printf("static model score: Spearman(prediction, fresh time) = "
+              "%.3f\n",
+              result.prediction_spearman);
+  std::printf("best variant      : %s -> %.4f ms\n\n",
+              result.best_params.to_string().c_str(), result.best_time_ms);
+
+  // 4. Refine Eq. 6 from the recorded evidence.
+  const auto defaults = replay::default_coefficients(gpu.family);
+  const auto fit = replay::refine_from_journal(restored, wl, gpu);
+  std::printf("Eq. 6 class coefficients (cf, cm, cb, cr):\n");
+  std::printf("  Table II default : %.4f %.4f %.4f %.4f\n", defaults.c[0],
+              defaults.c[1], defaults.c[2], defaults.c[3]);
+  std::printf("  refined (R2=%.3f): %.6f %.6f %.6f %.6f\n", fit.r2,
+              fit.coeffs.c[0], fit.coeffs.c[1], fit.coeffs.c[2],
+              fit.coeffs.c[3]);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Compare Orio's search strategies head-to-head on one kernel at equal
+// evaluation budgets, with and without static pruning — the "dial in the
+// degree of empirical testing" idea from the paper's future-work section.
+//
+//   $ ./search_comparison [kernel] [N] [budget]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/session.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string kernel = argc > 1 ? argv[1] : "matvec2d";
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 256;
+  const std::size_t budget = argc > 3
+                                 ? static_cast<std::size_t>(
+                                       std::atoll(argv[3]))
+                                 : 160;
+  const auto& gpu = arch::gpu("K20");
+  const auto wl = kernels::make_workload(kernel, n);
+
+  std::printf("Search comparison on %s (N=%lld), budget %zu evals\n\n",
+              kernel.c_str(), static_cast<long long>(n), budget);
+
+  core::TuningSession session(wl, gpu);
+  const auto exhaustive = session.exhaustive();
+  const double optimum = exhaustive.search.best_time;
+
+  TextTable t({"Strategy", "Evals", "Best (ms)", "Gap vs optimum"});
+  auto add = [&](const core::TuningOutcome& o) {
+    const double gap = (o.search.best_time - optimum) / optimum * 100.0;
+    t.add_row({o.search.strategy + (o.method == "rb" ? " (RB-pruned)" : ""),
+               std::to_string(o.search.distinct_evaluations),
+               str::format_double(o.search.best_time, 4),
+               str::format_double(gap, 2) + "%"});
+  };
+
+  tuner::SearchOptions so;
+  so.budget = budget;
+  add(session.random(so));
+  add(session.annealing(so));
+  add(session.genetic(so));
+  add(session.simplex(so));
+  add(session.rule_based());
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Exhaustive optimum: %.4f ms over %zu variants.\n", optimum,
+              exhaustive.space_size);
+  return 0;
+}

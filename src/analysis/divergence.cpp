@@ -1,0 +1,86 @@
+#include "analysis/divergence.hpp"
+
+#include <map>
+
+#include "ptx/cfg.hpp"
+
+namespace gpustatic::analysis {
+
+using namespace ptx;  // NOLINT
+
+namespace {
+
+std::uint32_t key(const Reg& r) {
+  return (static_cast<std::uint32_t>(r.type) << 16) | r.idx;
+}
+
+bool operand_tainted(const Operand& o,
+                     const std::map<std::uint32_t, bool>& taint) {
+  switch (o.kind()) {
+    case Operand::Kind::Reg: {
+      const auto it = taint.find(key(o.reg()));
+      return it != taint.end() && it->second;
+    }
+    case Operand::Kind::Special:
+      // %tid.x and %laneid vary per lane; block/grid identifiers are
+      // warp-uniform.
+      return o.special() == SpecialReg::TidX ||
+             o.special() == SpecialReg::LaneId;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DivergenceReport analyze_divergence(const Kernel& kernel) {
+  const Cfg cfg(kernel);
+  DivergenceReport report;
+
+  // Fixed-point taint propagation: a register is lane-varying if any
+  // producer reads a lane-varying source. Loads from memory are treated
+  // as tainted when their address is tainted (different lanes read
+  // different cells).
+  std::map<std::uint32_t, bool> taint;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    kernel.for_each_instruction([&](const Instruction& ins) {
+      if (!ins.dst) return;
+      bool t = false;
+      for (const Operand& s : ins.srcs)
+        if (operand_tainted(s, taint)) t = true;
+      if (ins.guard) {
+        const auto it = taint.find(key(ins.guard->pred));
+        if (it != taint.end() && it->second) t = true;
+      }
+      auto& slot = taint[key(*ins.dst)];
+      if (t && !slot) {
+        slot = true;
+        changed = true;
+      }
+    });
+  }
+
+  for (std::size_t b = 0; b < kernel.blocks.size(); ++b) {
+    report.max_loop_depth =
+        std::max(report.max_loop_depth, cfg.loop_depth(b));
+    const Instruction& last = kernel.blocks[b].body.back();
+    if (last.op != Opcode::BRA || !last.guard) continue;
+    BranchInfo info;
+    info.block = static_cast<std::int32_t>(b);
+    const auto it = taint.find(key(last.guard->pred));
+    info.divergent = it != taint.end() && it->second;
+    info.loop_back_edge =
+        cfg.is_back_edge(static_cast<std::int32_t>(b), last.target_block);
+    info.reconvergence = cfg.ipdom(b);
+    report.branches.push_back(info);
+    if (info.divergent)
+      ++report.divergent_count;
+    else
+      ++report.uniform_count;
+  }
+  return report;
+}
+
+}  // namespace gpustatic::analysis

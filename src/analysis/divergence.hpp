@@ -1,0 +1,41 @@
+#pragma once
+
+// Static control-flow divergence analysis: which branches can split a
+// warp? A branch diverges only if its predicate (transitively) depends on
+// a lane-varying source — %tid.x or %laneid — so a taint propagation over
+// the register dataflow separates warp-uniform branches (loop latches on
+// uniform bounds) from potentially divergent ones (boundary tests on the
+// thread index). This is the CFG-based divergence view the paper builds
+// alongside the instruction mix (Sec. V, comparison with STATuner).
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::analysis {
+
+struct BranchInfo {
+  std::int32_t block = 0;        ///< block index of the branch
+  bool divergent = false;        ///< predicate is lane-varying
+  bool loop_back_edge = false;   ///< branch is a loop latch
+  std::int32_t reconvergence = -1;  ///< ipdom block (join point)
+};
+
+struct DivergenceReport {
+  std::vector<BranchInfo> branches;
+  std::size_t divergent_count = 0;
+  std::size_t uniform_count = 0;
+  std::int32_t max_loop_depth = 0;
+
+  [[nodiscard]] double divergent_fraction() const {
+    const std::size_t n = branches.size();
+    return n == 0 ? 0.0
+                  : static_cast<double>(divergent_count) /
+                        static_cast<double>(n);
+  }
+};
+
+[[nodiscard]] DivergenceReport analyze_divergence(const ptx::Kernel& kernel);
+
+}  // namespace gpustatic::analysis

@@ -1,0 +1,123 @@
+#include "analysis/mix.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "ptx/cfg.hpp"
+
+namespace gpustatic::analysis {
+
+namespace {
+
+/// Detect loop-body replication (unrolling) from the compiled binary the
+/// way a SASS-level analyzer does: an unrolled streaming loop carries R
+/// loads per distinct address register, because each unrolled copy reads
+/// the same running pointer at a different constant offset. The weighted
+/// mix divides the nominal per-loop trip weight by R so that unrolled
+/// variants are not over-counted (they cover R iterations per pass).
+double body_replication(const ptx::Kernel& kernel,
+                        const std::vector<std::int32_t>& loop_blocks) {
+  std::size_t loads = 0;
+  std::set<std::uint32_t> addr_regs;
+  for (const std::int32_t b : loop_blocks) {
+    for (const ptx::Instruction& ins : kernel.blocks[b].body) {
+      if (ins.op != ptx::Opcode::LD ||
+          ins.space != ptx::MemSpace::Global)
+        continue;
+      ++loads;
+      if (!ins.srcs.empty() && ins.srcs[0].is_reg()) {
+        const ptx::Reg& r = ins.srcs[0].reg();
+        addr_regs.insert((static_cast<std::uint32_t>(r.type) << 16) |
+                         r.idx);
+      }
+    }
+  }
+  double by_streams = 1.0;
+  if (loads > 0 && !addr_regs.empty())
+    by_streams = static_cast<double>(loads) /
+                 static_cast<double>(addr_regs.size());
+
+  // Second signal: accumulation-chain length. An unrolled reduction
+  // carries R fused multiply-adds into the same destination register.
+  std::map<std::uint32_t, std::size_t> acc_chain;
+  for (const std::int32_t b : loop_blocks) {
+    for (const ptx::Instruction& ins : kernel.blocks[b].body) {
+      if (ins.op != ptx::Opcode::FFMA || !ins.dst) continue;
+      bool accumulates = false;
+      for (const ptx::Operand& s : ins.srcs)
+        if (s.is_reg() && s.reg() == *ins.dst) accumulates = true;
+      if (accumulates)
+        ++acc_chain[(static_cast<std::uint32_t>(ins.dst->type) << 16) |
+                    ins.dst->idx];
+    }
+  }
+  double by_chain = 1.0;
+  for (const auto& [reg, n] : acc_chain)
+    by_chain = std::max(by_chain, static_cast<double>(n));
+
+  return std::max(1.0, std::max(by_streams, by_chain));
+}
+
+}  // namespace
+
+StaticMix analyze_mix(const ptx::Kernel& kernel) {
+  const ptx::Cfg cfg(kernel);
+  StaticMix mix;
+
+  // Per-block trip weight: W^depth divided by the innermost containing
+  // loop's detected replication factor.
+  std::vector<double> replication(kernel.blocks.size(), 1.0);
+  for (const ptx::Cfg::Loop& loop : cfg.loops()) {
+    const double r = body_replication(kernel, loop.blocks);
+    for (const std::int32_t b : loop.blocks)
+      if (cfg.loop_depth(b) == loop.depth)  // innermost owner wins
+        replication[b] = r;
+  }
+
+  for (std::size_t b = 0; b < kernel.blocks.size(); ++b) {
+    const double weight =
+        std::pow(kNominalTripWeight, cfg.loop_depth(b)) / replication[b];
+    for (const ptx::Instruction& ins : kernel.blocks[b].body) {
+      const arch::OpCategory cat = ins.category();
+      mix.flat.add_category(cat, 1.0);
+      mix.flat.reg_traffic += ins.reg_reads() + ins.reg_writes();
+      mix.flat.total_issues += 1;
+      mix.weighted.add_category(cat, weight);
+      mix.weighted.reg_traffic +=
+          weight * (ins.reg_reads() + ins.reg_writes());
+      mix.weighted.total_issues += weight;
+      if (ins.op == ptx::Opcode::BRA) {
+        mix.flat.branches += 1;
+        mix.weighted.branches += weight;
+      }
+    }
+  }
+  return mix;
+}
+
+PipelineUtilization pipeline_utilization(const StaticMix& mix,
+                                         arch::Family family) {
+  PipelineUtilization u;
+  double total = 0;
+  for (const arch::OpCategory cat : arch::all_categories()) {
+    const double cycles =
+        mix.weighted.category(cat) * (32.0 / arch::ipc(cat, family));
+    u.share[static_cast<std::size_t>(cat)] = cycles;
+    total += cycles;
+  }
+  if (total > 0) {
+    double best = -1;
+    for (const arch::OpCategory cat : arch::all_categories()) {
+      auto& s = u.share[static_cast<std::size_t>(cat)];
+      s /= total;
+      if (s > best) {
+        best = s;
+        u.hottest = cat;
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace gpustatic::analysis

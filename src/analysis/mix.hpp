@@ -1,0 +1,49 @@
+#pragma once
+
+// Static instruction-mix extraction (Sec. III-B): counts per Table II
+// category straight from the compiled binary, with no program runs.
+//
+// Two weightings are provided:
+//  * flat: one count per static instruction (what a plain disassembly
+//    count gives);
+//  * loop-weighted: each instruction weighted by W^depth for a nominal
+//    per-loop trip weight W. Loop trip counts are not statically known,
+//    but hot-path *shares* are scale-invariant within a nesting level, so
+//    a nominal weight recovers the dynamic mix shape — this is the
+//    estimator Table VI scores against dynamic mixes.
+
+#include <cstdint>
+
+#include "ptx/kernel.hpp"
+#include "sim/counts.hpp"
+
+namespace gpustatic::analysis {
+
+/// Nominal per-loop-level trip weight for the loop-weighted mix.
+inline constexpr double kNominalTripWeight = 64.0;
+
+struct StaticMix {
+  sim::Counts flat;      ///< unweighted static counts
+  sim::Counts weighted;  ///< loop-weighted static counts
+
+  /// O_fl / O_mem on the weighted counts: the intensity the rule-based
+  /// search heuristic thresholds at 4.0 (Sec. III-C).
+  [[nodiscard]] double intensity() const { return weighted.intensity(); }
+};
+
+/// Analyze one kernel. Loop depth comes from the CFG's natural loops;
+/// instructions in an If arm are scaled by the arm count (both arms of a
+/// divergent region execute for a mixed warp).
+[[nodiscard]] StaticMix analyze_mix(const ptx::Kernel& kernel);
+
+/// Per-category static pipeline utilization (Sec. III-B-2): share of
+/// issue cycles each category contributes on the given architecture,
+/// using the weighted mix. Sums to 1 over categories with work.
+struct PipelineUtilization {
+  std::array<double, arch::kNumOpCategories> share{};
+  arch::OpCategory hottest = arch::OpCategory::FPIns32;
+};
+[[nodiscard]] PipelineUtilization pipeline_utilization(
+    const StaticMix& mix, arch::Family family);
+
+}  // namespace gpustatic::analysis

@@ -1,0 +1,50 @@
+#include "analysis/predictor.hpp"
+
+#include "analysis/mix.hpp"
+
+namespace gpustatic::analysis {
+
+double predicted_cost(const StaticMix& mix, arch::Family family,
+                      CostModel model) {
+  const sim::Counts& c = mix.weighted;
+  switch (model) {
+    case CostModel::ClassCpi: {
+      // Eq. 6 verbatim: four classes, class-representative CPI weights,
+      // with O_reg carried by register operand traffic.
+      const double cf = arch::class_cpi(arch::OpClass::FLOPS, family);
+      const double cm = arch::class_cpi(arch::OpClass::MEM, family);
+      const double cb = arch::class_cpi(arch::OpClass::CTRL, family);
+      const double cr = arch::class_cpi(arch::OpClass::REG, family);
+      return cf * c.by_class(arch::OpClass::FLOPS) +
+             cm * c.by_class(arch::OpClass::MEM) +
+             cb * c.by_class(arch::OpClass::CTRL) +
+             cr * (c.by_class(arch::OpClass::REG) + c.reg_traffic);
+    }
+    case CostModel::CategoryCpi: {
+      double s = 0;
+      for (const arch::OpCategory cat : arch::all_categories())
+        s += arch::cpi(cat, family) * c.category(cat);
+      s += arch::cpi(arch::OpCategory::Regs, family) * c.reg_traffic;
+      return s;
+    }
+    case CostModel::Unweighted:
+      return c.total_issues;
+  }
+  return 0;
+}
+
+double predicted_cost(const codegen::LoweredWorkload& lw,
+                      arch::Family family, CostModel model) {
+  double s = 0;
+  for (const codegen::LoweredStage& st : lw.stages)
+    s += predicted_cost(analyze_mix(st.kernel), family, model);
+  return s;
+}
+
+double predicted_cost_at_size(const StaticMix& mix, arch::Family family,
+                              std::int64_t problem_size, CostModel model) {
+  return predicted_cost(mix, family, model) *
+         static_cast<double>(problem_size);
+}
+
+}  // namespace gpustatic::analysis

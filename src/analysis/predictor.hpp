@@ -1,0 +1,50 @@
+#pragma once
+
+// The Eq. 6 static execution-time model:
+//
+//   f(N) = c_f * O_fl + c_m * O_mem + c_b * O_ctrl + c_r * O_reg
+//
+// where the coefficients are cycles-per-instruction weights from Table II
+// and the O_* are static instruction-mix magnitudes. The predictor never
+// runs the program: it scores compiled variants so an autotuner can rank
+// them (Fig. 5 validates the ranking against measured times).
+//
+// Two weighting granularities are provided: the paper's four-class form
+// (exactly Eq. 6) and a per-category refinement that uses every Table II
+// row. The ablation bench compares both against an unweighted count.
+
+#include <cstdint>
+
+#include "analysis/mix.hpp"
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+
+namespace gpustatic::analysis {
+
+enum class CostModel : std::uint8_t {
+  ClassCpi,     ///< Eq. 6: four coarse classes weighted by class CPI.
+  CategoryCpi,  ///< every Table II category weighted by its CPI.
+  Unweighted,   ///< plain instruction count (ablation baseline).
+};
+
+/// Score a static mix on an architecture. Higher = predicted slower.
+/// Uses the loop-weighted mix; scores are comparable only within one
+/// (kernel, problem size) variant family, which is how Fig. 5 uses them.
+[[nodiscard]] double predicted_cost(const StaticMix& mix,
+                                    arch::Family family,
+                                    CostModel model = CostModel::ClassCpi);
+
+/// Score a whole compiled workload (sums its stages' kernels).
+[[nodiscard]] double predicted_cost(const codegen::LoweredWorkload& lw,
+                                    arch::Family family,
+                                    CostModel model = CostModel::ClassCpi);
+
+/// The paper's proportional-in-N hypothesis (Sec. III-B-3): scale a
+/// variant score by problem size to compare across sizes.
+[[nodiscard]] double predicted_cost_at_size(const StaticMix& mix,
+                                            arch::Family family,
+                                            std::int64_t problem_size,
+                                            CostModel model =
+                                                CostModel::ClassCpi);
+
+}  // namespace gpustatic::analysis

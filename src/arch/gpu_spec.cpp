@@ -1,0 +1,173 @@
+#include "arch/gpu_spec.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::arch {
+
+namespace {
+
+// Table I of the paper, verbatim. smem_per_mp is the per-SM shared memory
+// fixed by the compute capability (see GpuSpec doc comment).
+const std::array<GpuSpec, 4> kGpus = {{
+    {
+        .name = "M2050",
+        .family = Family::Fermi,
+        .compute_capability = 2.0,
+        .global_mem_mb = 3072,
+        .multiprocessors = 14,
+        .cores_per_mp = 32,
+        .cuda_cores = 448,
+        .gpu_clock_mhz = 1147,
+        .mem_clock_mhz = 1546,
+        .l2_cache_mb = 0.786,
+        .const_mem_bytes = 65536,
+        .smem_per_block = 49152,
+        .regs_per_block = 32768,
+        .warp_size = 32,
+        .threads_per_mp = 1536,
+        .threads_per_block = 1024,
+        .blocks_per_mp = 8,
+        .threads_per_warp = 32,
+        .warps_per_mp = 48,
+        .reg_alloc_unit = 64,
+        .regs_per_thread = 63,
+        .smem_per_mp = 49152,
+    },
+    {
+        .name = "K20",
+        .family = Family::Kepler,
+        .compute_capability = 3.5,
+        .global_mem_mb = 11520,
+        .multiprocessors = 13,
+        .cores_per_mp = 192,
+        .cuda_cores = 2496,
+        .gpu_clock_mhz = 824,
+        .mem_clock_mhz = 2505,
+        .l2_cache_mb = 1.572,
+        .const_mem_bytes = 65536,
+        .smem_per_block = 49152,
+        .regs_per_block = 65536,
+        .warp_size = 32,
+        .threads_per_mp = 2048,
+        .threads_per_block = 1024,
+        .blocks_per_mp = 16,
+        .threads_per_warp = 32,
+        .warps_per_mp = 64,
+        .reg_alloc_unit = 256,
+        .regs_per_thread = 255,
+        .smem_per_mp = 49152,
+    },
+    {
+        .name = "M40",
+        .family = Family::Maxwell,
+        .compute_capability = 5.2,
+        .global_mem_mb = 12288,
+        .multiprocessors = 24,
+        .cores_per_mp = 128,
+        .cuda_cores = 3072,
+        .gpu_clock_mhz = 1140,
+        .mem_clock_mhz = 5000,
+        .l2_cache_mb = 3.146,
+        .const_mem_bytes = 65536,
+        .smem_per_block = 49152,
+        .regs_per_block = 65536,
+        .warp_size = 32,
+        .threads_per_mp = 2048,
+        .threads_per_block = 1024,
+        .blocks_per_mp = 32,
+        .threads_per_warp = 32,
+        .warps_per_mp = 64,
+        .reg_alloc_unit = 256,
+        .regs_per_thread = 255,
+        .smem_per_mp = 98304,
+    },
+    {
+        .name = "P100",
+        .family = Family::Pascal,
+        .compute_capability = 6.0,
+        .global_mem_mb = 17066,
+        .multiprocessors = 56,
+        .cores_per_mp = 64,
+        .cuda_cores = 3584,
+        .gpu_clock_mhz = 405,
+        .mem_clock_mhz = 715,
+        .l2_cache_mb = 4.194,
+        .const_mem_bytes = 65536,
+        .smem_per_block = 49152,
+        .regs_per_block = 65536,
+        .warp_size = 32,
+        .threads_per_mp = 2048,
+        .threads_per_block = 1024,
+        .blocks_per_mp = 32,
+        .threads_per_warp = 32,
+        .warps_per_mp = 64,
+        .reg_alloc_unit = 256,
+        .regs_per_thread = 255,
+        .smem_per_mp = 65536,
+    },
+}};
+
+}  // namespace
+
+std::string_view family_name(Family f) {
+  switch (f) {
+    case Family::Fermi: return "Fermi";
+    case Family::Kepler: return "Kepler";
+    case Family::Maxwell: return "Maxwell";
+    case Family::Pascal: return "Pascal";
+  }
+  return "?";
+}
+
+std::string_view family_letter(Family f) {
+  switch (f) {
+    case Family::Fermi: return "F";
+    case Family::Kepler: return "K";
+    case Family::Maxwell: return "M";
+    case Family::Pascal: return "P";
+  }
+  return "?";
+}
+
+std::string_view family_sm(Family f) {
+  switch (f) {
+    case Family::Fermi: return "sm_20";
+    case Family::Kepler: return "sm_35";
+    case Family::Maxwell: return "sm_52";
+    case Family::Pascal: return "sm_60";
+  }
+  return "?";
+}
+
+Family family_from_name(std::string_view name) {
+  const std::string lower = str::to_lower(name);
+  if (lower == "fermi" || lower == "f") return Family::Fermi;
+  if (lower == "kepler" || lower == "k") return Family::Kepler;
+  if (lower == "maxwell" || lower == "m") return Family::Maxwell;
+  if (lower == "pascal" || lower == "p") return Family::Pascal;
+  throw LookupError("unknown GPU family: " + std::string(name));
+}
+
+std::span<const GpuSpec> all_gpus() { return kGpus; }
+
+const GpuSpec& gpu(std::string_view name) {
+  const std::string lower = str::to_lower(name);
+  for (const GpuSpec& g : kGpus) {
+    if (str::to_lower(g.name) == lower ||
+        str::to_lower(family_name(g.family)) == lower) {
+      return g;
+    }
+  }
+  throw LookupError("unknown GPU: " + std::string(name));
+}
+
+const GpuSpec& gpu(Family family) {
+  for (const GpuSpec& g : kGpus)
+    if (g.family == family) return g;
+  throw LookupError("unknown GPU family");
+}
+
+}  // namespace gpustatic::arch

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace gpustatic::arch {
+
+/// GPU architecture generations evaluated in the paper (Table I, last row).
+enum class Family : std::uint8_t { Fermi, Kepler, Maxwell, Pascal };
+
+[[nodiscard]] std::string_view family_name(Family f);
+/// One-letter code used in paper figures ("F", "K", "M", "P").
+[[nodiscard]] std::string_view family_letter(Family f);
+/// SM code targeted by the virtual toolchain ("sm_20", "sm_35", ...).
+[[nodiscard]] std::string_view family_sm(Family f);
+[[nodiscard]] Family family_from_name(std::string_view name);
+
+/// Hardware description of one GPU, mirroring Table I of the paper.
+///
+/// Field comments give the paper's symbol where one exists. The naming
+/// convention from Sec. III-A applies: superscript `cc` = fixed by the
+/// compute capability, subscripts identify the resource granularity
+/// (B = block, mp = multiprocessor, W = warp, T = thread).
+struct GpuSpec {
+  std::string name;          ///< Marketing name, e.g. "K20".
+  Family family;             ///< Architecture generation.
+  double compute_capability; ///< `cc` (2, 3.5, 5.2, 6.0).
+
+  std::uint64_t global_mem_mb;   ///< Global memory (MB).
+  std::uint32_t multiprocessors; ///< `mp`: number of SMs.
+  std::uint32_t cores_per_mp;    ///< CUDA cores per SM.
+  std::uint32_t cuda_cores;      ///< Total CUDA cores.
+  std::uint32_t gpu_clock_mhz;   ///< Core clock (MHz).
+  std::uint32_t mem_clock_mhz;   ///< Memory clock (MHz).
+  double l2_cache_mb;            ///< L2 cache (MB).
+  std::uint32_t const_mem_bytes; ///< Constant memory (B).
+
+  std::uint32_t smem_per_block;   ///< S^cc_B: max shared memory per block (B).
+  std::uint32_t regs_per_block;   ///< R^cc_fs: register file size per SM.
+  std::uint32_t warp_size;        ///< W_B = 32 on every GPU in Table I.
+  std::uint32_t threads_per_mp;   ///< T^cc_mp: max resident threads per SM.
+  std::uint32_t threads_per_block;///< T^cc_B: max threads per block.
+  std::uint32_t blocks_per_mp;    ///< B^cc_mp: max resident blocks per SM.
+  std::uint32_t threads_per_warp; ///< T^cc_W = 32.
+  std::uint32_t warps_per_mp;     ///< W^cc_mp: max resident warps per SM.
+  std::uint32_t reg_alloc_unit;   ///< R^cc_B: register allocation granularity.
+  std::uint32_t regs_per_thread;  ///< R^cc_T: max registers per thread.
+
+  /// S^cc_mp: shared memory available per SM (B). Used by Eq. 5. Not printed
+  /// in Table I but fixed by the compute capability (48K/48K/96K/64K).
+  std::uint32_t smem_per_mp;
+};
+
+/// All four GPUs of Table I, in paper column order (M2050, K20, M40, P100).
+[[nodiscard]] std::span<const GpuSpec> all_gpus();
+
+/// Lookup by marketing name ("M2050") or family name ("Fermi"), case
+/// insensitive. Throws LookupError for unknown names.
+[[nodiscard]] const GpuSpec& gpu(std::string_view name);
+
+/// Lookup by architecture generation.
+[[nodiscard]] const GpuSpec& gpu(Family family);
+
+}  // namespace gpustatic::arch

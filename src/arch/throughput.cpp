@@ -1,0 +1,114 @@
+#include "arch/throughput.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace gpustatic::arch {
+
+namespace {
+
+struct Row {
+  OpCategory category;
+  OpClass cls;
+  // IPC per SM for SM20 / SM35 / SM52 / SM60 (Table II).
+  std::array<double, 4> ipc;
+};
+
+// Table II of the paper, verbatim. Rows that the paper prints together
+// (Shift/Extract/Shuffle/SumAbsDiff; Tex/LdSt/Surf; Pred/Ctrl) are expanded
+// into one entry per category with the shared numbers.
+constexpr std::array<Row, kNumOpCategories> kRows = {{
+    {OpCategory::FPIns32, OpClass::FLOPS, {32, 192, 128, 64}},
+    {OpCategory::FPIns64, OpClass::FLOPS, {16, 64, 4, 32}},
+    {OpCategory::CompMinMax, OpClass::FLOPS, {32, 160, 64, 32}},
+    {OpCategory::ShiftShuffle, OpClass::FLOPS, {16, 32, 64, 32}},
+    {OpCategory::Conv64, OpClass::FLOPS, {16, 8, 4, 16}},
+    {OpCategory::Conv32, OpClass::FLOPS, {16, 128, 32, 16}},
+    {OpCategory::LogSinCos, OpClass::FLOPS, {4, 32, 32, 16}},
+    {OpCategory::IntAdd32, OpClass::FLOPS, {32, 160, 64, 32}},
+    {OpCategory::TexIns, OpClass::MEM, {16, 32, 64, 16}},
+    {OpCategory::LdStIns, OpClass::MEM, {16, 32, 64, 16}},
+    {OpCategory::SurfIns, OpClass::MEM, {16, 32, 64, 16}},
+    {OpCategory::PredIns, OpClass::CTRL, {16, 32, 64, 16}},
+    {OpCategory::CtrlIns, OpClass::CTRL, {16, 32, 64, 16}},
+    {OpCategory::MoveIns, OpClass::CTRL, {32, 32, 32, 32}},
+    {OpCategory::Regs, OpClass::REG, {16, 32, 32, 16}},
+}};
+
+constexpr std::array<OpCategory, kNumOpCategories> kOrder = {
+    OpCategory::FPIns32,      OpCategory::FPIns64, OpCategory::CompMinMax,
+    OpCategory::ShiftShuffle, OpCategory::Conv64,  OpCategory::Conv32,
+    OpCategory::LogSinCos,    OpCategory::IntAdd32, OpCategory::TexIns,
+    OpCategory::LdStIns,      OpCategory::SurfIns, OpCategory::PredIns,
+    OpCategory::CtrlIns,      OpCategory::MoveIns, OpCategory::Regs,
+};
+
+const Row& row(OpCategory c) {
+  for (const Row& r : kRows)
+    if (r.category == c) return r;
+  throw LookupError("unknown op category");
+}
+
+std::size_t family_column(Family f) {
+  switch (f) {
+    case Family::Fermi: return 0;
+    case Family::Kepler: return 1;
+    case Family::Maxwell: return 2;
+    case Family::Pascal: return 3;
+  }
+  throw LookupError("unknown family");
+}
+
+}  // namespace
+
+std::string_view category_name(OpCategory c) {
+  switch (c) {
+    case OpCategory::FPIns32: return "FPIns32";
+    case OpCategory::FPIns64: return "FPIns64";
+    case OpCategory::CompMinMax: return "CompMinMax";
+    case OpCategory::ShiftShuffle: return "Shift/Shuffle/SAD";
+    case OpCategory::Conv64: return "Conv64";
+    case OpCategory::Conv32: return "Conv32";
+    case OpCategory::LogSinCos: return "LogSinCos";
+    case OpCategory::IntAdd32: return "IntAdd32";
+    case OpCategory::TexIns: return "TexIns";
+    case OpCategory::LdStIns: return "LdStIns";
+    case OpCategory::SurfIns: return "SurfIns";
+    case OpCategory::PredIns: return "PredIns";
+    case OpCategory::CtrlIns: return "CtrlIns";
+    case OpCategory::MoveIns: return "MoveIns";
+    case OpCategory::Regs: return "Regs";
+  }
+  return "?";
+}
+
+std::string_view class_name(OpClass c) {
+  switch (c) {
+    case OpClass::FLOPS: return "FLOPS";
+    case OpClass::MEM: return "MEM";
+    case OpClass::CTRL: return "CTRL";
+    case OpClass::REG: return "REG";
+  }
+  return "?";
+}
+
+OpClass op_class(OpCategory c) { return row(c).cls; }
+
+double ipc(OpCategory c, Family f) { return row(c).ipc[family_column(f)]; }
+
+double cpi(OpCategory c, Family f) { return 1.0 / ipc(c, f); }
+
+std::span<const OpCategory> all_categories() { return kOrder; }
+
+double class_cpi(OpClass c, Family f) {
+  switch (c) {
+    case OpClass::FLOPS: return cpi(OpCategory::FPIns32, f);
+    case OpClass::MEM: return cpi(OpCategory::LdStIns, f);
+    case OpClass::CTRL: return cpi(OpCategory::CtrlIns, f);
+    case OpClass::REG: return cpi(OpCategory::Regs, f);
+  }
+  throw LookupError("unknown op class");
+}
+
+}  // namespace gpustatic::arch

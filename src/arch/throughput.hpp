@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "arch/gpu_spec.hpp"
+
+namespace gpustatic::arch {
+
+/// Instruction categories of Table II. Each category is one row of the
+/// paper's throughput table; several hardware opcodes map onto each.
+enum class OpCategory : std::uint8_t {
+  FPIns32,      ///< 32-bit floating point add/mul/fma.
+  FPIns64,      ///< 64-bit floating point add/mul/fma.
+  CompMinMax,   ///< compare, min, max.
+  ShiftShuffle, ///< shift, bitfield extract, shuffle, sum-abs-diff.
+  Conv64,       ///< conversions involving 64-bit types.
+  Conv32,       ///< 32-bit conversions.
+  LogSinCos,    ///< special function unit: log/exp/sin/cos/rcp/rsqrt.
+  IntAdd32,     ///< 32-bit integer add/sub/mad.
+  TexIns,       ///< texture fetch.
+  LdStIns,      ///< load/store (global, shared, local).
+  SurfIns,      ///< surface load/store.
+  PredIns,      ///< predicate-setting instructions (setp).
+  CtrlIns,      ///< branches, barriers, exit.
+  MoveIns,      ///< register moves.
+  Regs,         ///< register-file traffic (operand reads/writes).
+};
+
+inline constexpr std::size_t kNumOpCategories = 15;
+
+/// The coarse grouping used by the instruction-mix metrics (Sec. III-B):
+/// O_fl, O_mem, O_ctrl, O_reg of Eq. 6.
+enum class OpClass : std::uint8_t { FLOPS, MEM, CTRL, REG };
+
+inline constexpr std::size_t kNumOpClasses = 4;
+
+[[nodiscard]] std::string_view category_name(OpCategory c);
+[[nodiscard]] std::string_view class_name(OpClass c);
+
+/// Table II column "Category": which coarse class each row belongs to.
+[[nodiscard]] OpClass op_class(OpCategory c);
+
+/// Instructions-per-cycle per SM for a category on an architecture
+/// generation (Table II, columns SM20/SM35/SM52/SM60).
+[[nodiscard]] double ipc(OpCategory c, Family f);
+
+/// Cycles-per-instruction: the reciprocal of IPC. These are the weights
+/// (c_f, c_m, c_b, c_r) used by the Eq. 6 execution-time model.
+[[nodiscard]] double cpi(OpCategory c, Family f);
+
+/// All categories in Table II row order; handy for iteration in tests
+/// and table-printing benches.
+[[nodiscard]] std::span<const OpCategory> all_categories();
+
+/// Representative CPI for a coarse class on an architecture: the
+/// instruction-count-weighted CPI collapses to this when a kernel's class
+/// is dominated by one category; we use the class's primary category
+/// (FPIns32 for FLOPS, LdStIns for MEM, CtrlIns for CTRL, Regs for REG).
+[[nodiscard]] double class_cpi(OpClass c, Family f);
+
+}  // namespace gpustatic::arch

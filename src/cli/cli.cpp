@@ -1,0 +1,351 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/predictor.hpp"
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/session.hpp"
+#include "core/static_analyzer.hpp"
+#include "dynamic/profile.hpp"
+#include "dynamic/report.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "occupancy/report.hpp"
+#include "occupancy/suggest.hpp"
+#include "ptx/printer.hpp"
+#include "sim/runner.hpp"
+#include "tuner/hybrid.hpp"
+#include "tuner/spec_parser.hpp"
+
+namespace gpustatic::cli {
+
+namespace {
+
+const char* kUsage = R"(usage: gpustatic <command> [options]
+
+commands:
+  gpus                       print the Table I hardware database
+  analyze   <kernel>         static-analyzer report (no program runs)
+  occupancy                  occupancy for --tc/--regs/--smem on --gpu
+  suggest   <kernel>         Table VII thread/register/smem suggestion
+  predict   <kernel>         Eq. 6 cost score + analytic time estimate
+  disasm    <kernel>         virtual-ISA disassembly of the compiled variant
+  profile   <kernel>         dynamic profile on the warp simulator
+  tune      <kernel>         autotune (--method, --budget)
+
+<kernel>: a registry name (atax, bicg, ex14fj, matvec2d) or a path to a
+kernel source file in the frontend language.
+
+options:
+  -g, --gpu NAME     target GPU: M2050 | K20 | M40 | P100   [K20]
+  -n, --size N       problem size                 [kernel default]
+  --tc N             threads per block                       [128]
+  --bc N             thread blocks                           [56]
+  --uif N            unroll factor                           [1]
+  --pl KB            preferred L1 size (16|48)               [48]
+  --sc N             work-items per thread step              [1]
+  --fast-math        enable fast-math lowering
+  --regs N           registers/thread (occupancy command)    [32]
+  --smem B           shared memory/block bytes (occupancy)   [0]
+  --method NAME      tune: exhaustive|random|anneal|genetic|simplex|
+                     static|rule|hybrid                      [rule]
+  --budget N         tune --method hybrid: empirical budget  [16]
+  --seed N           stochastic search seed                  [1234]
+  --spec FILE        tune: Orio PerfTuning annotation (Fig. 3 syntax)
+                     defining the search space       [Table III space]
+)";
+
+std::int64_t default_size(const std::string& kernel) {
+  return kernel == "ex14fj" ? 16 : 128;
+}
+
+bool looks_like_path(const std::string& s) {
+  return s.find('/') != std::string::npos ||
+         str::ends_with(s, ".gk") || str::ends_with(s, ".src");
+}
+
+/// Load a workload from the registry or from a source file.
+dsl::WorkloadDesc load_workload(const Options& opts) {
+  const std::int64_t n =
+      opts.n > 0 ? opts.n : default_size(opts.kernel);
+  if (looks_like_path(opts.kernel)) {
+    std::ifstream in(opts.kernel);
+    if (!in) throw Error("cannot open kernel source '" + opts.kernel + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return frontend::parse_workload(text.str(), n);
+  }
+  return kernels::make_workload(opts.kernel, n);
+}
+
+codegen::TuningParams variant_of(const Options& opts) {
+  codegen::TuningParams p;
+  p.threads_per_block = opts.tc;
+  p.block_count = opts.bc;
+  p.unroll = opts.uif;
+  p.l1_pref_kb = opts.pl;
+  p.stream_chunk = opts.sc;
+  p.fast_math = opts.fast_math;
+  return p;
+}
+
+// ---- commands ------------------------------------------------------------
+
+int cmd_gpus(std::ostream& out) {
+  TextTable t({"GPU", "Family", "cc", "SMs", "cores/SM", "clock MHz",
+               "warps/SM", "blocks/SM", "regs/thread", "smem/block"});
+  for (const arch::GpuSpec& g : arch::all_gpus())
+    t.add_row({g.name, std::string(arch::family_name(g.family)),
+               str::format_trimmed(g.compute_capability, 1),
+               std::to_string(g.multiprocessors),
+               std::to_string(g.cores_per_mp),
+               std::to_string(g.gpu_clock_mhz),
+               std::to_string(g.warps_per_mp),
+               std::to_string(g.blocks_per_mp),
+               std::to_string(g.regs_per_thread),
+               std::to_string(g.smem_per_block)});
+  out << t.render();
+  return 0;
+}
+
+int cmd_analyze(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const core::StaticAnalyzer analyzer(arch::gpu(opts.gpu));
+  out << analyzer.analyze(wl, variant_of(opts)).to_string() << "\n";
+  return 0;
+}
+
+int cmd_occupancy(const Options& opts, std::ostream& out) {
+  const auto& gpu = arch::gpu(opts.gpu);
+  out << occupancy::calculator_report(
+      gpu, occupancy::KernelParams{static_cast<std::uint32_t>(opts.tc),
+                                   opts.regs, opts.smem});
+  return 0;
+}
+
+int cmd_suggest(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const auto& gpu = arch::gpu(opts.gpu);
+  const core::StaticAnalyzer analyzer(gpu);
+  const auto report = analyzer.analyze(wl, variant_of(opts));
+  const auto& s = report.suggestion;
+  out << "kernel " << wl.name << " on " << gpu.name << ":\n";
+  out << str::format("  occ* = %.2f, [Ru:R*] = [%u:%u], S* = %u B\n",
+                     s.occ_star, s.regs_used, s.reg_headroom,
+                     s.smem_budget);
+  out << "  T* = {";
+  for (std::size_t i = 0; i < s.thread_candidates.size(); ++i)
+    out << (i ? ", " : "") << s.thread_candidates[i];
+  out << "}\n";
+  out << "  rule (intensity " << str::format("%.2f", report.intensity)
+      << " -> " << (report.prefers_upper ? "upper" : "lower")
+      << " half): {";
+  for (std::size_t i = 0; i < report.rule_threads.size(); ++i)
+    out << (i ? ", " : "") << report.rule_threads[i];
+  out << "}\n";
+  return 0;
+}
+
+int cmd_predict(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const auto& gpu = arch::gpu(opts.gpu);
+  const auto params = variant_of(opts);
+  const codegen::Compiler c(gpu, params);
+  const auto lw = c.compile(wl);
+  const double score = analysis::predicted_cost(lw, gpu.family);
+  const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
+  const auto m = sim::run_workload(lw, wl, machine);
+  out << "variant " << params.to_string() << " of " << wl.name << " on "
+      << gpu.name << ":\n";
+  out << str::format("  Eq. 6 static cost score : %.2f\n", score);
+  if (m.valid)
+    out << str::format("  analytic time estimate  : %.4f ms\n",
+                       m.trial_time_ms);
+  else
+    out << "  not launchable: " << m.error << "\n";
+  return 0;
+}
+
+int cmd_disasm(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const codegen::Compiler c(arch::gpu(opts.gpu), variant_of(opts));
+  const auto lw = c.compile(wl);
+  for (const codegen::LoweredStage& st : lw.stages) {
+    out << "// " << codegen::compile_info(st) << "\n";
+    out << ptx::to_string(st.kernel) << "\n";
+  }
+  return 0;
+}
+
+int cmd_profile(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const auto& gpu = arch::gpu(opts.gpu);
+  const auto params = variant_of(opts);
+  const codegen::Compiler c(gpu, params);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
+  const auto profile = dynamic::profile_workload(lw, wl, machine);
+  out << dynamic::render_profile(profile);
+  return profile.measurement.valid ? 0 : 1;
+}
+
+tuner::ParamSpace tune_space(const Options& opts) {
+  if (opts.spec_path.empty()) return tuner::paper_space();
+  std::ifstream in(opts.spec_path);
+  if (!in) throw Error("cannot open tuning spec '" + opts.spec_path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return tuner::parse_perf_tuning(text.str());
+}
+
+int cmd_tune(const Options& opts, std::ostream& out) {
+  const auto wl = load_workload(opts);
+  const auto& gpu = arch::gpu(opts.gpu);
+  const tuner::ParamSpace space = tune_space(opts);
+
+  if (opts.method == "hybrid") {
+    const auto objective = tuner::make_objective(wl, gpu);
+    tuner::HybridOptions hopts;
+    hopts.empirical_budget = opts.budget;
+    const auto r = tuner::hybrid_search(space, gpu, wl, objective, hopts);
+    out << "hybrid search (budget " << opts.budget << ", "
+        << r.empirical_evaluations << " runs over "
+        << r.shortlist.size() << " candidates):\n";
+    out << "  best " << r.best_params.to_string();
+    if (r.best_time_ms != tuner::kInvalid)
+      out << str::format(" -> %.4f ms", r.best_time_ms);
+    else
+      out << " (zero-run recommendation)";
+    out << "\n";
+    return 0;
+  }
+
+  core::TuningSession session(wl, gpu, space);
+  tuner::SearchOptions sopts;
+  sopts.seed = opts.seed;
+  core::TuningOutcome outcome;
+  if (opts.method == "exhaustive")
+    outcome = session.exhaustive();
+  else if (opts.method == "random")
+    outcome = session.random(sopts);
+  else if (opts.method == "anneal")
+    outcome = session.annealing(sopts);
+  else if (opts.method == "genetic")
+    outcome = session.genetic(sopts);
+  else if (opts.method == "simplex")
+    outcome = session.simplex(sopts);
+  else if (opts.method == "static")
+    outcome = session.static_pruned();
+  else if (opts.method == "rule")
+    outcome = session.rule_based();
+  else
+    throw Error("unknown tune method '" + opts.method + "'");
+
+  out << outcome.method << " search over " << outcome.space_size
+      << " of " << outcome.full_space_size << " variants";
+  if (outcome.space_reduction() > 0)
+    out << str::format(" (%.1f%% pruned)", 100 * outcome.space_reduction());
+  out << ":\n  best " << outcome.search.best_params.to_string()
+      << str::format(" -> %.4f ms (%zu evaluations)\n",
+                     outcome.search.best_time,
+                     outcome.search.distinct_evaluations);
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() { return kUsage; }
+
+Options parse_args(const std::vector<std::string>& args) {
+  if (args.empty()) throw Error(std::string("no command given\n") + kUsage);
+  Options o;
+  o.command = args[0];
+  const bool wants_kernel =
+      o.command == "analyze" || o.command == "suggest" ||
+      o.command == "predict" || o.command == "disasm" ||
+      o.command == "profile" || o.command == "tune";
+
+  std::size_t i = 1;
+  if (wants_kernel) {
+    if (i >= args.size() || str::starts_with(args[i], "-"))
+      throw Error("command '" + o.command + "' needs a kernel argument");
+    o.kernel = args[i++];
+  }
+
+  auto need_value = [&](const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw Error("flag '" + flag + "' needs a value");
+    return args[++i];
+  };
+  auto to_int = [](const std::string& flag,
+                   const std::string& v) -> std::int64_t {
+    try {
+      std::size_t used = 0;
+      const std::int64_t out = std::stoll(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return out;
+    } catch (const std::exception&) {
+      throw Error("flag '" + flag + "': bad integer '" + v + "'");
+    }
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-g" || a == "--gpu") {
+      o.gpu = need_value(a);
+    } else if (a == "-n" || a == "--size") {
+      o.n = to_int(a, need_value(a));
+    } else if (a == "--tc") {
+      o.tc = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--bc") {
+      o.bc = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--uif") {
+      o.uif = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--pl") {
+      o.pl = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--sc") {
+      o.sc = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--fast-math") {
+      o.fast_math = true;
+    } else if (a == "--regs") {
+      o.regs = static_cast<std::uint32_t>(to_int(a, need_value(a)));
+    } else if (a == "--smem") {
+      o.smem = static_cast<std::uint32_t>(to_int(a, need_value(a)));
+    } else if (a == "--method") {
+      o.method = need_value(a);
+    } else if (a == "--budget") {
+      o.budget = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(to_int(a, need_value(a)));
+    } else if (a == "--spec") {
+      o.spec_path = need_value(a);
+    } else {
+      throw Error("unknown flag '" + a + "'\n" + kUsage);
+    }
+  }
+  return o;
+}
+
+int run_command(const Options& opts, std::ostream& out) {
+  if (opts.command == "gpus") return cmd_gpus(out);
+  if (opts.command == "analyze") return cmd_analyze(opts, out);
+  if (opts.command == "occupancy") return cmd_occupancy(opts, out);
+  if (opts.command == "suggest") return cmd_suggest(opts, out);
+  if (opts.command == "predict") return cmd_predict(opts, out);
+  if (opts.command == "disasm") return cmd_disasm(opts, out);
+  if (opts.command == "profile") return cmd_profile(opts, out);
+  if (opts.command == "tune") return cmd_tune(opts, out);
+  if (opts.command == "help" || opts.command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+  throw Error("unknown command '" + opts.command + "'\n" + kUsage);
+}
+
+}  // namespace gpustatic::cli

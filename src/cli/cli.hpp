@@ -1,0 +1,63 @@
+#pragma once
+
+// The `gpustatic` command-line tool, factored as a library so every
+// command is unit-testable: commands take parsed options and write to a
+// stream; tools/gpustatic.cpp is a thin main().
+//
+// Subcommands:
+//   gpus                      Table I hardware database
+//   analyze   <kernel> ...    static-analyzer report (no runs)
+//   occupancy ...             occupancy calculation for (TC, regs, smem)
+//   suggest   <kernel> ...    Table VII suggestion + rule thread range
+//   predict   <kernel> ...    Eq. 6 score + analytic time estimate
+//   disasm    <kernel> ...    virtual-ISA disassembly of the compiled
+//                             variant (the nvdisasm step of Sec. III)
+//   profile   <kernel> ...    dynamic profile via the warp simulator
+//   tune      <kernel> ...    autotune with a chosen search strategy
+//
+// <kernel> is a registry name (atax, bicg, ex14fj, matvec2d) or a path
+// to a kernel source file in the frontend language.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpustatic::cli {
+
+/// Parsed command line. Flags not meaningful for a given command are
+/// simply unused.
+struct Options {
+  std::string command;
+  std::string kernel;        ///< registry name or source path
+  std::string gpu = "K20";
+  std::int64_t n = 0;        ///< 0 = kernel-specific default
+  // Variant parameters.
+  int tc = 128;
+  int bc = 56;
+  int uif = 1;
+  int pl = 48;
+  int sc = 1;
+  bool fast_math = false;
+  // occupancy command inputs.
+  std::uint32_t regs = 32;
+  std::uint32_t smem = 0;
+  // tune command inputs.
+  std::string method = "rule";
+  std::size_t budget = 16;   ///< hybrid empirical budget
+  std::uint64_t seed = 1234;
+  std::string spec_path;     ///< optional Fig. 3 PerfTuning spec file
+};
+
+/// Parse argv (excluding the program name). Throws Error with a usage
+/// hint on unknown commands/flags or malformed values.
+[[nodiscard]] Options parse_args(const std::vector<std::string>& args);
+
+/// Execute the parsed command, writing the report to `out`. Returns the
+/// process exit code (0 on success).
+int run_command(const Options& opts, std::ostream& out);
+
+/// One-line usage summary plus per-command help.
+[[nodiscard]] std::string usage();
+
+}  // namespace gpustatic::cli

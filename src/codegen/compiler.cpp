@@ -1,0 +1,1223 @@
+#include "codegen/compiler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "codegen/schedule.hpp"
+#include "common/error.hpp"
+#include "dsl/linear.hpp"
+
+namespace gpustatic::codegen {
+
+using namespace ptx;  // NOLINT: lowering code is all about the IR
+using dsl::FloatBinOp;
+using dsl::FloatUnOp;
+using dsl::IntExprPtr;
+using dsl::IntOp;
+using dsl::LinearForm;
+
+namespace {
+
+constexpr std::int64_t kElemBytes = 4;   // all arrays are f32
+constexpr std::int64_t kSegmentBytes = 128;  // DRAM transaction size
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+int log2i(std::int64_t v) {
+  int k = 0;
+  while ((std::int64_t{1} << k) < v) ++k;
+  return k;
+}
+
+/// Serialized coefficient signature of a linear form (constant excluded),
+/// used as the address-cache / stream key.
+std::string coeff_signature(const LinearForm& f) {
+  std::string out;
+  for (const auto& [var, c] : f.coeffs)
+    out += var + "*" + std::to_string(c) + ";";
+  return out;
+}
+
+/// An induction-variable address stream for one (array, coefficient
+/// pattern) pair within a serial loop.
+struct Stream {
+  std::string array;
+  std::string signature;       ///< coeff_signature incl. the loop variable
+  std::int64_t coeff_loopvar = 0;   ///< elements per loop-var increment
+  std::int64_t const0 = 0;     ///< linear-form constant at loop entry
+  Reg addr;                    ///< running byte address (I64)
+};
+
+struct LoopCtx {
+  std::string var;
+  Reg counter;                 ///< I32 loop counter register
+  int copy = 0;                ///< current unrolled copy index
+  int unroll = 1;
+  std::vector<Stream> streams;
+};
+
+/// Per-stage lowering state.
+class Lowering {
+ public:
+  Lowering(const dsl::WorkloadDesc& wl, const dsl::StageDesc& stage,
+           const arch::GpuSpec& gpu, const TuningParams& params)
+      : wl_(wl), stage_(stage), gpu_(gpu), p_(params) {}
+
+  LoweredStage run();
+
+ private:
+  // ----- kernel construction helpers
+  Reg fresh(Type t) {
+    auto& n = next_reg_[static_cast<int>(t)];
+    if (n == 0xffff) throw Error("virtual register space exhausted");
+    return Reg{t, n++};
+  }
+  BasicBlock& cur() { return kernel_.blocks[cur_block_]; }
+  void emit(Instruction ins) { cur().body.push_back(std::move(ins)); }
+  /// Open a new block and record its static frequency.
+  void start_block(const std::string& label, double freq) {
+    kernel_.blocks.push_back(BasicBlock{label, {}});
+    freq_.push_back(freq);
+    cur_block_ = kernel_.blocks.size() - 1;
+  }
+  std::string fresh_label(const std::string& stem) {
+    return stem + "_" + std::to_string(label_counter_++);
+  }
+
+  // ----- scope save/restore
+  struct Scope {
+    std::map<std::string, Reg> int_vars;
+    std::map<std::string, Reg> float_vars;
+    std::map<std::string, std::pair<Reg, std::int64_t>> addr_cache;
+    std::map<std::string, std::optional<double>> lane_coeff;
+  };
+  Scope snapshot() const {
+    return {int_vars_, float_vars_, addr_cache_, lane_coeff_};
+  }
+  void restore(Scope s) {
+    int_vars_ = std::move(s.int_vars);
+    float_vars_ = std::move(s.float_vars);
+    addr_cache_ = std::move(s.addr_cache);
+    lane_coeff_ = std::move(s.lane_coeff);
+  }
+
+  // ----- integer expression lowering
+  Operand lower_int(const IntExprPtr& e);
+  Reg lower_int_reg(const IntExprPtr& e);
+  Reg materialize(Operand op, Type t);
+
+  // ----- float expression lowering
+  Reg lower_float(const dsl::FloatExprPtr& e);
+  Operand lower_float_operand(const dsl::FloatExprPtr& e);
+  Reg lower_special(FloatUnOp op, Reg x);
+
+  // ----- conditions
+  Reg lower_cond(const dsl::CondPtr& c);
+
+  // ----- memory
+  struct Address {
+    Reg reg;            ///< I64 byte address register
+    std::int64_t offset = 0;
+    AccessHint hint;
+  };
+  Address address_of(const std::string& array, const IntExprPtr& index);
+  Reg param_base(const std::string& array);
+  std::optional<double> lane_derivative(const IntExprPtr& e) const;
+  AccessHint hint_for(const IntExprPtr& index) const;
+
+  // ----- statements
+  void lower_stmt(const dsl::StmtPtr& s);
+  void lower_for(const dsl::Stmt& s);
+  void lower_if(const dsl::Stmt& s);
+  /// `loop_index` indexes loop_stack_ rather than passing a LoopCtx&:
+  /// lowering the body can push nested loops and reallocate the stack,
+  /// so references into it must be re-resolved after every recursion.
+  void lower_loop_body_copies(const dsl::Stmt& loop,
+                              std::size_t loop_index, int copies,
+                              std::map<std::string, std::vector<Reg>>*
+                                  split_accs);
+
+  // ----- skeleton
+  void emit_prologue();
+  void emit_grid_stride();
+  void collect_used_arrays(const dsl::StmtPtr& s);
+  void collect_used_arrays_expr(const dsl::FloatExprPtr& e);
+
+  // ----- members
+  const dsl::WorkloadDesc& wl_;
+  const dsl::StageDesc& stage_;
+  const arch::GpuSpec& gpu_;
+  const TuningParams& p_;
+
+  Kernel kernel_;
+  std::vector<double> freq_;
+  std::size_t cur_block_ = 0;
+  double cur_freq_ = 1.0;
+  std::array<std::uint16_t, 5> next_reg_{};
+  int label_counter_ = 0;
+
+  std::map<std::string, Reg> int_vars_;
+  std::map<std::string, Reg> float_vars_;
+  /// array|coeff-signature -> (addr reg, linear-form constant it encodes)
+  std::map<std::string, std::pair<Reg, std::int64_t>> addr_cache_;
+  std::map<std::string, std::optional<double>> lane_coeff_;
+  std::map<std::string, Reg> param_regs_;
+  std::map<std::string, std::uint16_t> param_index_;
+  std::vector<std::string> used_arrays_;
+
+  std::vector<LoopCtx> loop_stack_;
+  Reg n_reg_{};        ///< domain bound (I32)
+  Reg t0_reg_{};       ///< grid-stride base work item
+  int coarsen_ = 1;    ///< SC x (UIF when no unrollable serial loop)
+};
+
+// ------------------------------------------------------------------ ints
+
+Operand Lowering::lower_int(const IntExprPtr& e) {
+  if (!e) throw Error("lower_int: null expression");
+  // Constant folding: any fully constant subtree becomes an immediate.
+  if (const auto lf = dsl::linearize(e); lf && lf->is_constant())
+    return Operand::imm_i(lf->constant);
+
+  switch (e->kind) {
+    case dsl::IntExpr::Kind::Const:
+      return Operand::imm_i(e->value);
+    case dsl::IntExpr::Kind::Var: {
+      const auto it = int_vars_.find(e->var);
+      if (it == int_vars_.end())
+        throw Error("lower_int: unbound variable '" + e->var + "'");
+      return Operand(it->second);
+    }
+    case dsl::IntExpr::Kind::Binary:
+      break;
+  }
+
+  const Operand a = lower_int(e->lhs);
+  const Operand b = lower_int(e->rhs);
+  const auto is_imm = [](const Operand& o, std::int64_t v) {
+    return o.kind() == Operand::Kind::ImmI && o.imm_i() == v;
+  };
+  // Identity peepholes (the real toolchain folds these too).
+  if (e->op == IntOp::Add) {
+    if (is_imm(a, 0)) return b;
+    if (is_imm(b, 0)) return a;
+  }
+  if (e->op == IntOp::Sub && is_imm(b, 0)) return a;
+  if (e->op == IntOp::Mul) {
+    if (is_imm(a, 0) || is_imm(b, 0)) return Operand::imm_i(0);
+    if (is_imm(a, 1)) return b;
+    if (is_imm(b, 1)) return a;
+  }
+  const Reg dst = fresh(Type::I32);
+  switch (e->op) {
+    case IntOp::Add:
+      emit(make_binary(Opcode::IADD, dst, a, b));
+      return Operand(dst);
+    case IntOp::Sub:
+      emit(make_binary(Opcode::ISUB, dst, a, b));
+      return Operand(dst);
+    case IntOp::Mul: {
+      // a*b + 0 patterns collapse into IMAD at the Add level; plain mul:
+      emit(make_binary(Opcode::IMUL, dst, a, b));
+      return Operand(dst);
+    }
+    case IntOp::Min:
+      emit(make_binary(Opcode::IMIN, dst, a, b));
+      return Operand(dst);
+    case IntOp::Max:
+      emit(make_binary(Opcode::IMAX, dst, a, b));
+      return Operand(dst);
+    case IntOp::Div:
+    case IntOp::Mod: {
+      if (b.kind() != Operand::Kind::ImmI)
+        throw ConfigError("division/modulo requires a constant divisor");
+      const std::int64_t d = b.imm_i();
+      if (!is_pow2(d))
+        throw ConfigError(
+            "division/modulo divisor must be a power of two (got " +
+            std::to_string(d) + ")");
+      if (e->op == IntOp::Div) {
+        emit(make_binary(Opcode::SHR, dst, a, Operand::imm_i(log2i(d))));
+      } else {
+        emit(make_binary(Opcode::AND, dst, a, Operand::imm_i(d - 1)));
+      }
+      return Operand(dst);
+    }
+  }
+  throw Error("lower_int: unreachable");
+}
+
+Reg Lowering::materialize(Operand op, Type t) {
+  if (op.is_reg()) return op.reg();
+  const Reg r = fresh(t);
+  emit(make_mov(r, op));
+  return r;
+}
+
+Reg Lowering::lower_int_reg(const IntExprPtr& e) {
+  return materialize(lower_int(e), Type::I32);
+}
+
+// ---------------------------------------------------------------- floats
+
+Operand Lowering::lower_float_operand(const dsl::FloatExprPtr& e) {
+  if (e->kind == dsl::FloatExpr::Kind::Const) return Operand::imm_f(e->value);
+  return Operand(lower_float(e));
+}
+
+Reg Lowering::lower_special(FloatUnOp op, Reg x) {
+  const bool fast = p_.fast_math;
+  const Reg dst = fresh(Type::F32);
+  auto refine = [&](Reg v) {
+    // Precision-refinement step of the precise sequences. Modeled as
+    // identity arithmetic so numeric results stay variant-independent
+    // while the instruction count matches the longer precise sequence.
+    const Reg t1 = fresh(Type::F32);
+    emit(make_binary(Opcode::FMUL, t1, Operand(v), Operand::imm_f(1.0)));
+    const Reg t2 = fresh(Type::F32);
+    emit(make_binary(Opcode::FADD, t2, Operand(t1), Operand::imm_f(0.0)));
+    return t2;
+  };
+
+  constexpr double kLog2E = 1.4426950408889634074;
+  constexpr double kLn2 = 0.69314718055994530942;
+
+  switch (op) {
+    case FloatUnOp::Exp: {
+      const Reg t = fresh(Type::F32);
+      emit(make_binary(Opcode::FMUL, t, Operand(x), Operand::imm_f(kLog2E)));
+      emit(make_unary(Opcode::EX2, dst, Operand(t)));
+      return fast ? dst : refine(dst);
+    }
+    case FloatUnOp::Log: {
+      const Reg t = fresh(Type::F32);
+      emit(make_unary(Opcode::LG2, t, Operand(x)));
+      emit(make_binary(Opcode::FMUL, dst, Operand(t), Operand::imm_f(kLn2)));
+      return fast ? dst : refine(dst);
+    }
+    case FloatUnOp::Sqrt: {
+      if (fast) {
+        emit(make_unary(Opcode::SQRT, dst, Operand(x)));
+        return dst;
+      }
+      const Reg r = fresh(Type::F32);
+      emit(make_unary(Opcode::RSQRT, r, Operand(x)));
+      emit(make_binary(Opcode::FMUL, dst, Operand(x), Operand(r)));
+      return refine(dst);
+    }
+    case FloatUnOp::Rsqrt:
+      emit(make_unary(Opcode::RSQRT, dst, Operand(x)));
+      return fast ? dst : refine(dst);
+    case FloatUnOp::Rcp:
+      emit(make_unary(Opcode::RCP, dst, Operand(x)));
+      return fast ? dst : refine(dst);
+    case FloatUnOp::Sin:
+      emit(make_unary(Opcode::SIN, dst, Operand(x)));
+      return fast ? dst : refine(dst);
+    case FloatUnOp::Cos:
+      emit(make_unary(Opcode::COS, dst, Operand(x)));
+      return fast ? dst : refine(dst);
+    case FloatUnOp::Neg:
+      emit(make_binary(Opcode::FSUB, dst, Operand::imm_f(0.0), Operand(x)));
+      return dst;
+    case FloatUnOp::Abs: {
+      const Reg n = fresh(Type::F32);
+      emit(make_binary(Opcode::FSUB, n, Operand::imm_f(0.0), Operand(x)));
+      emit(make_binary(Opcode::FMAX, dst, Operand(x), Operand(n)));
+      return dst;
+    }
+  }
+  throw Error("lower_special: unreachable");
+}
+
+Reg Lowering::lower_float(const dsl::FloatExprPtr& e) {
+  if (!e) throw Error("lower_float: null expression");
+  switch (e->kind) {
+    case dsl::FloatExpr::Kind::Const: {
+      const Reg r = fresh(Type::F32);
+      emit(make_mov(r, Operand::imm_f(e->value)));
+      return r;
+    }
+    case dsl::FloatExpr::Kind::Ref: {
+      const auto it = float_vars_.find(e->name);
+      if (it == float_vars_.end())
+        throw Error("lower_float: unbound variable '" + e->name + "'");
+      return it->second;
+    }
+    case dsl::FloatExpr::Kind::Load: {
+      const Address a = address_of(e->name, e->index);
+      const Reg dst = fresh(Type::F32);
+      emit(make_ld(MemSpace::Global, dst, a.reg, a.offset, a.hint));
+      return dst;
+    }
+    case dsl::FloatExpr::Kind::Unary:
+      return lower_special(e->uop, lower_float(e->lhs));
+    case dsl::FloatExpr::Kind::Binary:
+      break;
+  }
+
+  // FMA fusion: a*b + c and c + a*b become one FFMA (nvcc contracts by
+  // default).
+  if (e->bop == FloatBinOp::Add) {
+    const dsl::FloatExprPtr* mul = nullptr;
+    const dsl::FloatExprPtr* other = nullptr;
+    if (e->lhs->kind == dsl::FloatExpr::Kind::Binary &&
+        e->lhs->bop == FloatBinOp::Mul) {
+      mul = &e->lhs;
+      other = &e->rhs;
+    } else if (e->rhs->kind == dsl::FloatExpr::Kind::Binary &&
+               e->rhs->bop == FloatBinOp::Mul) {
+      mul = &e->rhs;
+      other = &e->lhs;
+    }
+    if (mul) {
+      const Operand a = lower_float_operand((*mul)->lhs);
+      const Operand b = lower_float_operand((*mul)->rhs);
+      const Operand c = lower_float_operand(*other);
+      const Reg dst = fresh(Type::F32);
+      emit(make_ternary(Opcode::FFMA, dst, a, b, c));
+      return dst;
+    }
+  }
+
+  if (e->bop == FloatBinOp::Div) {
+    const Operand a = lower_float_operand(e->lhs);
+    const Reg b = lower_float(e->rhs);
+    const Reg r = lower_special(FloatUnOp::Rcp, b);
+    const Reg dst = fresh(Type::F32);
+    emit(make_binary(Opcode::FMUL, dst, a, Operand(r)));
+    return dst;
+  }
+
+  const Operand a = lower_float_operand(e->lhs);
+  const Operand b = lower_float_operand(e->rhs);
+  const Reg dst = fresh(Type::F32);
+  switch (e->bop) {
+    case FloatBinOp::Add: emit(make_binary(Opcode::FADD, dst, a, b)); break;
+    case FloatBinOp::Sub: emit(make_binary(Opcode::FSUB, dst, a, b)); break;
+    case FloatBinOp::Mul: emit(make_binary(Opcode::FMUL, dst, a, b)); break;
+    case FloatBinOp::Min: emit(make_binary(Opcode::FMIN, dst, a, b)); break;
+    case FloatBinOp::Max: emit(make_binary(Opcode::FMAX, dst, a, b)); break;
+    case FloatBinOp::Div: break;  // handled above
+  }
+  return dst;
+}
+
+// ------------------------------------------------------------ conditions
+
+Reg Lowering::lower_cond(const dsl::CondPtr& c) {
+  if (!c) throw Error("lower_cond: null condition");
+  switch (c->kind) {
+    case dsl::Cond::Kind::Cmp: {
+      const Operand a = lower_int(c->a);
+      const Operand b = lower_int(c->b);
+      const Reg p = fresh(Type::Pred);
+      CmpOp op{};
+      switch (c->cmp) {
+        case dsl::CmpKind::EQ: op = CmpOp::EQ; break;
+        case dsl::CmpKind::NE: op = CmpOp::NE; break;
+        case dsl::CmpKind::LT: op = CmpOp::LT; break;
+        case dsl::CmpKind::LE: op = CmpOp::LE; break;
+        case dsl::CmpKind::GT: op = CmpOp::GT; break;
+        case dsl::CmpKind::GE: op = CmpOp::GE; break;
+      }
+      emit(make_setp(op, p, a, b, Type::I32));
+      return p;
+    }
+    case dsl::Cond::Kind::And:
+    case dsl::Cond::Kind::Or: {
+      const Reg a = lower_cond(c->lhs);
+      const Reg b = lower_cond(c->rhs);
+      const Reg p = fresh(Type::Pred);
+      emit(make_binary(c->kind == dsl::Cond::Kind::And ? Opcode::AND
+                                                       : Opcode::OR,
+                       p, Operand(a), Operand(b)));
+      return p;
+    }
+    case dsl::Cond::Kind::Not: {
+      const Reg a = lower_cond(c->lhs);
+      const Reg p = fresh(Type::Pred);
+      emit(make_unary(Opcode::NOT, p, Operand(a)));
+      return p;
+    }
+  }
+  throw Error("lower_cond: unreachable");
+}
+
+// ---------------------------------------------------------------- memory
+
+Reg Lowering::param_base(const std::string& array) {
+  const auto it = param_regs_.find(array);
+  if (it != param_regs_.end()) return it->second;
+  throw Error("param_base: array '" + array + "' not preloaded");
+}
+
+std::optional<double> Lowering::lane_derivative(const IntExprPtr& e) const {
+  if (!e) return std::nullopt;
+  switch (e->kind) {
+    case dsl::IntExpr::Kind::Const:
+      return 0.0;
+    case dsl::IntExpr::Kind::Var: {
+      const auto it = lane_coeff_.find(e->var);
+      if (it == lane_coeff_.end()) return 0.0;  // loop vars etc.
+      return it->second;
+    }
+    case dsl::IntExpr::Kind::Binary: {
+      const auto a = lane_derivative(e->lhs);
+      const auto b = lane_derivative(e->rhs);
+      const auto lconst = dsl::linearize(e->lhs);
+      const auto rconst = dsl::linearize(e->rhs);
+      const bool lhs_const = lconst && lconst->is_constant();
+      const bool rhs_const = rconst && rconst->is_constant();
+      switch (e->op) {
+        case IntOp::Add:
+          if (a && b) return *a + *b;
+          return std::nullopt;
+        case IntOp::Sub:
+          if (a && b) return *a - *b;
+          return std::nullopt;
+        case IntOp::Mul:
+          if (rhs_const && a) return *a * static_cast<double>(rconst->constant);
+          if (lhs_const && b) return *b * static_cast<double>(lconst->constant);
+          return std::nullopt;
+        case IntOp::Div:
+          if (rhs_const && a && rconst->constant != 0)
+            return *a / static_cast<double>(rconst->constant);
+          return std::nullopt;
+        case IntOp::Mod:
+          // Within a modulus group the derivative is unchanged; wraps are
+          // rare enough for a coalescing *hint*.
+          return a;
+        case IntOp::Min:
+        case IntOp::Max:
+          // Clamp almost never active for in-range indices.
+          return a;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+AccessHint Lowering::hint_for(const IntExprPtr& index) const {
+  AccessHint h;
+  const auto d = lane_derivative(index);
+  if (d.has_value()) {
+    const double bytes = *d * kElemBytes;
+    if (std::abs(bytes) < 0.5) {
+      h.uniform = true;
+      h.lane_stride_bytes = 0;
+    } else {
+      h.lane_stride_bytes = static_cast<std::int64_t>(std::llround(bytes));
+    }
+  } else {
+    // Unknown: assume fully scattered (one transaction per lane).
+    h.lane_stride_bytes = kSegmentBytes;
+  }
+  // Serial stride with respect to the innermost active loop.
+  if (!loop_stack_.empty()) {
+    if (const auto lf = dsl::linearize(index)) {
+      h.serial_stride_bytes =
+          lf->coeff(loop_stack_.back().var) * kElemBytes;
+    } else {
+      h.serial_stride_bytes = kElemBytes;  // recomputed index, assume walk
+    }
+  }
+  return h;
+}
+
+Lowering::Address Lowering::address_of(const std::string& array,
+                                       const IntExprPtr& index) {
+  Address out;
+  out.hint = hint_for(index);
+  const auto lf = dsl::linearize(index);
+
+  if (lf && lf->is_constant()) {
+    // Constant index: address directly off the parameter base register.
+    out.reg = param_base(array);
+    out.offset = lf->constant * kElemBytes;
+    return out;
+  }
+
+  if (lf) {
+    // Stream lookup (innermost first): exact coefficient match.
+    const std::string sig = array + "|" + coeff_signature(*lf);
+    for (auto it = loop_stack_.rbegin(); it != loop_stack_.rend(); ++it) {
+      for (const Stream& s : it->streams) {
+        if (s.signature != sig) continue;
+        out.reg = s.addr;
+        out.offset = (lf->constant - s.const0 +
+                      s.coeff_loopvar * it->copy) *
+                     kElemBytes;
+        return out;
+      }
+      // Only the innermost loop's streams apply while inside it: an outer
+      // stream's running address does not account for inner-loop motion.
+      break;
+    }
+    // Scoped address cache for loop-free regions.
+    if (const auto it = addr_cache_.find(sig); it != addr_cache_.end()) {
+      out.reg = it->second.first;
+      out.offset = (lf->constant - it->second.second) * kElemBytes;
+      return out;
+    }
+    const Reg idx = lower_int_reg(index);
+    const Reg wide = fresh(Type::I64);
+    emit(make_cvt(wide, idx));
+    const Reg addr = fresh(Type::I64);
+    emit(make_ternary(Opcode::IMAD, addr, Operand(wide),
+                      Operand::imm_i(kElemBytes),
+                      Operand(param_base(array))));
+    addr_cache_[sig] = {addr, lf->constant};
+    out.reg = addr;
+    out.offset = 0;
+    return out;
+  }
+
+  // Non-affine: recompute the address from scratch (matVec2D's cyclic
+  // wrap lands here every iteration — the intensity-raising path).
+  const Reg idx = lower_int_reg(index);
+  const Reg wide = fresh(Type::I64);
+  emit(make_cvt(wide, idx));
+  const Reg addr = fresh(Type::I64);
+  emit(make_ternary(Opcode::IMAD, addr, Operand(wide),
+                    Operand::imm_i(kElemBytes),
+                    Operand(param_base(array))));
+  out.reg = addr;
+  out.offset = 0;
+  return out;
+}
+
+// ------------------------------------------------------------ statements
+
+void Lowering::lower_stmt(const dsl::StmtPtr& s) {
+  if (!s) return;
+  switch (s->kind) {
+    case dsl::Stmt::Kind::Seq:
+      for (const auto& child : s->children) lower_stmt(child);
+      return;
+    case dsl::Stmt::Kind::LetInt: {
+      const Reg r = lower_int_reg(s->int_expr);
+      int_vars_[s->name] = r;
+      lane_coeff_[s->name] = lane_derivative(s->int_expr);
+      return;
+    }
+    case dsl::Stmt::Kind::LetFloat: {
+      float_vars_[s->name] = lower_float(s->float_expr);
+      return;
+    }
+    case dsl::Stmt::Kind::Accum: {
+      const auto it = float_vars_.find(s->name);
+      if (it == float_vars_.end())
+        throw Error("accum into unbound variable '" + s->name + "'");
+      const Reg acc = it->second;
+      // acc = acc + a*b fuses to FFMA.
+      if (s->accum_op == FloatBinOp::Add &&
+          s->float_expr->kind == dsl::FloatExpr::Kind::Binary &&
+          s->float_expr->bop == FloatBinOp::Mul) {
+        const Operand a = lower_float_operand(s->float_expr->lhs);
+        const Operand b = lower_float_operand(s->float_expr->rhs);
+        emit(make_ternary(Opcode::FFMA, acc, a, b, Operand(acc)));
+        return;
+      }
+      const Operand v = lower_float_operand(s->float_expr);
+      Opcode op{};
+      switch (s->accum_op) {
+        case FloatBinOp::Add: op = Opcode::FADD; break;
+        case FloatBinOp::Sub: op = Opcode::FSUB; break;
+        case FloatBinOp::Mul: op = Opcode::FMUL; break;
+        case FloatBinOp::Min: op = Opcode::FMIN; break;
+        case FloatBinOp::Max: op = Opcode::FMAX; break;
+        case FloatBinOp::Div:
+          throw ConfigError("accumulating division is not supported");
+      }
+      emit(make_binary(op, acc, Operand(acc), v));
+      return;
+    }
+    case dsl::Stmt::Kind::Store: {
+      const Operand v = lower_float_operand(s->float_expr);
+      const Address a = address_of(s->name, s->int_expr);
+      emit(make_st(MemSpace::Global, a.reg, v, a.offset, a.hint));
+      return;
+    }
+    case dsl::Stmt::Kind::AtomicAdd: {
+      const Operand v = lower_float_operand(s->float_expr);
+      const Address a = address_of(s->name, s->int_expr);
+      Instruction ins;
+      ins.op = Opcode::ATOM_ADD;
+      ins.type = Type::F32;
+      ins.space = MemSpace::Global;
+      ins.srcs = {Operand(a.reg), v};
+      ins.offset = a.offset;
+      ins.access = a.hint;
+      emit(std::move(ins));
+      return;
+    }
+    case dsl::Stmt::Kind::For:
+      lower_for(*s);
+      return;
+    case dsl::Stmt::Kind::If:
+      lower_if(*s);
+      return;
+  }
+}
+
+void Lowering::lower_loop_body_copies(
+    const dsl::Stmt& loop, std::size_t loop_index, int copies,
+    std::map<std::string, std::vector<Reg>>* split_accs) {
+  // Copy the immutable fields once; the stack element itself is accessed
+  // by index because lower_stmt below may grow loop_stack_.
+  const std::string var = loop_stack_[loop_index].var;
+  const Reg counter = loop_stack_[loop_index].counter;
+  for (int u = 0; u < copies; ++u) {
+    loop_stack_[loop_index].copy = u;
+    const Scope saved = snapshot();
+    // The loop variable's runtime value for this copy, materialized only
+    // on demand (non-affine index arithmetic needs it; streams do not).
+    if (u == 0) {
+      int_vars_[var] = counter;
+    } else {
+      const Reg v = fresh(Type::I32);
+      emit(make_binary(Opcode::IADD, v, Operand(counter),
+                       Operand::imm_i(u)));
+      int_vars_[var] = v;
+    }
+    lane_coeff_[var] = 0.0;
+    if (split_accs) {
+      for (auto& [name, regs] : *split_accs)
+        float_vars_[name] = regs[static_cast<std::size_t>(u) % regs.size()];
+    }
+    lower_stmt(loop.body);
+    restore(saved);
+  }
+  loop_stack_[loop_index].copy = 0;
+}
+
+namespace {
+
+/// Collect names of float accumulators updated with Accum(Add) in a
+/// statement tree (candidates for accumulator splitting under fast-math).
+void collect_add_accumulators(const dsl::StmtPtr& s,
+                              std::vector<std::string>& out) {
+  if (!s) return;
+  switch (s->kind) {
+    case dsl::Stmt::Kind::Seq:
+      for (const auto& c : s->children) collect_add_accumulators(c, out);
+      return;
+    case dsl::Stmt::Kind::Accum:
+      if (s->accum_op == FloatBinOp::Add &&
+          std::find(out.begin(), out.end(), s->name) == out.end())
+        out.push_back(s->name);
+      return;
+    case dsl::Stmt::Kind::For:
+      collect_add_accumulators(s->body, out);
+      return;
+    case dsl::Stmt::Kind::If:
+      collect_add_accumulators(s->then_branch, out);
+      collect_add_accumulators(s->else_branch, out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Collect (array, index) pairs from loads/stores/atomics in a tree.
+void collect_accesses(
+    const dsl::StmtPtr& s,
+    std::vector<std::pair<std::string, IntExprPtr>>& out);
+
+void collect_accesses_expr(
+    const dsl::FloatExprPtr& e,
+    std::vector<std::pair<std::string, IntExprPtr>>& out) {
+  if (!e) return;
+  if (e->kind == dsl::FloatExpr::Kind::Load)
+    out.emplace_back(e->name, e->index);
+  collect_accesses_expr(e->lhs, out);
+  collect_accesses_expr(e->rhs, out);
+}
+
+void collect_accesses(
+    const dsl::StmtPtr& s,
+    std::vector<std::pair<std::string, IntExprPtr>>& out) {
+  if (!s) return;
+  collect_accesses_expr(s->float_expr, out);
+  if (s->kind == dsl::Stmt::Kind::Store ||
+      s->kind == dsl::Stmt::Kind::AtomicAdd)
+    out.emplace_back(s->name, s->int_expr);
+  for (const auto& c : s->children) collect_accesses(c, out);
+  collect_accesses(s->body, out);
+  collect_accesses(s->then_branch, out);
+  collect_accesses(s->else_branch, out);
+}
+
+}  // namespace
+
+void Lowering::lower_for(const dsl::Stmt& s) {
+  const std::int64_t trip = s.hi - s.lo;
+  if (trip <= 0) return;
+
+  const int uif = (s.unrollable && loop_stack_.empty()) ? p_.unroll : 1;
+  const std::int64_t main_iters = trip / uif;
+  const std::int64_t remainder = trip % uif;
+
+  LoopCtx lc;
+  lc.var = s.name;
+  lc.unroll = uif;
+  lc.counter = fresh(Type::I32);
+  emit(make_mov(lc.counter, Operand::imm_i(s.lo)));
+
+  // ---- induction-variable streams (strength reduction)
+  std::vector<std::pair<std::string, IntExprPtr>> accesses;
+  collect_accesses(s.body, accesses);
+  for (const auto& [array, index] : accesses) {
+    const auto lf = dsl::linearize(index);
+    if (!lf) continue;  // non-affine: recomputed per iteration
+    // Every referenced variable must already be bound (rules out indices
+    // that depend on deeper, not-yet-entered loops).
+    bool bound = true;
+    for (const auto& [var, coeff] : lf->coeffs) {
+      (void)coeff;
+      if (var != s.name && int_vars_.find(var) == int_vars_.end())
+        bound = false;
+    }
+    if (!bound) continue;
+    const std::string sig = array + "|" + coeff_signature(*lf);
+    bool known = false;
+    for (const Stream& st : lc.streams)
+      if (st.signature == sig) known = true;
+    if (known) continue;
+    // Materialize the address at var = lo.
+    const IntExprPtr at_lo =
+        dsl::substitute(index, s.name, dsl::iconst(s.lo));
+    const Address base = address_of(array, at_lo);
+    Stream st;
+    st.array = array;
+    st.signature = sig;
+    st.coeff_loopvar = lf->coeff(s.name);
+    // Offset accounting: an access with linear constant c' at unrolled
+    // copy u resolves to offset (c' - const0 + coeff*u) * 4 against the
+    // stream's running address, which the latch advances by coeff*uif*4
+    // per iteration. With the running address initialized at var = lo,
+    // const0 is exactly this creating access's linear constant.
+    st.const0 = lf->constant;
+    if (st.coeff_loopvar != 0) {
+      // Private running pointer so latch increments leave the scoped
+      // address cache untouched.
+      const Reg run = fresh(Type::I64);
+      emit(make_binary(Opcode::IADD, run, Operand(base.reg),
+                       Operand::imm_i(base.offset)));
+      st.addr = run;
+    } else {
+      st.addr = base.reg;
+      st.const0 = lf->constant - base.offset / kElemBytes;
+    }
+    lc.streams.push_back(st);
+  }
+
+  // ---- accumulator splitting under fast-math
+  std::map<std::string, std::vector<Reg>> split_accs;
+  if (p_.fast_math && uif > 1) {
+    std::vector<std::string> names;
+    collect_add_accumulators(s.body, names);
+    for (const std::string& name : names) {
+      const auto it = float_vars_.find(name);
+      if (it == float_vars_.end()) continue;  // body-local accumulator
+      std::vector<Reg> regs{it->second};
+      for (int u = 1; u < uif; ++u) {
+        const Reg partial = fresh(Type::F32);
+        emit(make_mov(partial, Operand::imm_f(0.0)));
+        regs.push_back(partial);
+      }
+      split_accs[name] = std::move(regs);
+    }
+  }
+
+  loop_stack_.push_back(lc);
+  const double parent_freq = cur_freq_;
+
+  // ---- main unrolled loop
+  if (main_iters > 0) {
+    const std::string l_main = fresh_label("L" + s.name);
+    cur_freq_ = parent_freq * static_cast<double>(main_iters);
+    start_block(l_main, cur_freq_);
+    lower_loop_body_copies(s, loop_stack_.size() - 1, uif,
+                           split_accs.empty() ? nullptr : &split_accs);
+    // Latch: advance streams and counter, test, branch.
+    for (Stream& st : loop_stack_.back().streams) {
+      if (st.coeff_loopvar == 0) continue;
+      emit(make_binary(Opcode::IADD, st.addr, Operand(st.addr),
+                       Operand::imm_i(st.coeff_loopvar * kElemBytes * uif)));
+    }
+    emit(make_binary(Opcode::IADD, loop_stack_.back().counter,
+                     Operand(loop_stack_.back().counter),
+                     Operand::imm_i(uif)));
+    const Reg p = fresh(Type::Pred);
+    emit(make_setp(CmpOp::LT, p, Operand(loop_stack_.back().counter),
+                   Operand::imm_i(s.lo + main_iters * uif), Type::I32));
+    emit(make_bra_if(p, false, l_main));
+  }
+
+  // ---- combine split partial sums
+  cur_freq_ = parent_freq;
+  if (main_iters > 0 && !split_accs.empty()) {
+    start_block(fresh_label("L" + s.name + "_epi"), cur_freq_);
+  }
+  for (const auto& [name, regs] : split_accs) {
+    const Reg acc = regs[0];
+    for (std::size_t u = 1; u < regs.size(); ++u)
+      emit(make_binary(Opcode::FADD, acc, Operand(acc), Operand(regs[u])));
+    float_vars_[name] = acc;
+  }
+
+  // ---- remainder loop (not unrolled)
+  if (remainder > 0) {
+    const std::string l_rem = fresh_label("L" + s.name + "_rem");
+    cur_freq_ = parent_freq * static_cast<double>(remainder);
+    start_block(l_rem, cur_freq_);
+    // Reuse the same streams with unroll factor 1. The reference is
+    // taken only AFTER lowering the body: nested loops inside it can
+    // reallocate loop_stack_.
+    loop_stack_.back().unroll = 1;
+    lower_loop_body_copies(s, loop_stack_.size() - 1, 1, nullptr);
+    LoopCtx& top = loop_stack_.back();
+    for (Stream& st : top.streams) {
+      if (st.coeff_loopvar == 0) continue;
+      emit(make_binary(Opcode::IADD, st.addr, Operand(st.addr),
+                       Operand::imm_i(st.coeff_loopvar * kElemBytes)));
+    }
+    emit(make_binary(Opcode::IADD, top.counter, Operand(top.counter),
+                     Operand::imm_i(1)));
+    const Reg p = fresh(Type::Pred);
+    emit(make_setp(CmpOp::LT, p, Operand(top.counter),
+                   Operand::imm_i(s.hi), Type::I32));
+    emit(make_bra_if(p, false, l_rem));
+  }
+
+  loop_stack_.pop_back();
+  cur_freq_ = parent_freq;
+  start_block(fresh_label("L" + s.name + "_end"), cur_freq_);
+}
+
+void Lowering::lower_if(const dsl::Stmt& s) {
+  const Reg p = lower_cond(s.cond);
+  const std::string l_else = fresh_label("Lelse");
+  const std::string l_join = fresh_label("Ljoin");
+  const bool has_else = s.else_branch != nullptr;
+  const double parent_freq = cur_freq_;
+
+  emit(make_bra_if(p, /*negated=*/true, has_else ? l_else : l_join));
+
+  cur_freq_ = parent_freq * s.then_prob;
+  start_block(fresh_label("Lthen"), cur_freq_);
+  {
+    const Scope saved = snapshot();
+    lower_stmt(s.then_branch);
+    restore(saved);
+  }
+  if (has_else) {
+    emit(make_bra(l_join));
+    cur_freq_ = parent_freq * (1.0 - s.then_prob);
+    start_block(l_else, cur_freq_);
+    const Scope saved = snapshot();
+    lower_stmt(s.else_branch);
+    restore(saved);
+  }
+  cur_freq_ = parent_freq;
+  start_block(l_join, cur_freq_);
+}
+
+// -------------------------------------------------------------- skeleton
+
+void Lowering::collect_used_arrays_expr(const dsl::FloatExprPtr& e) {
+  if (!e) return;
+  if (e->kind == dsl::FloatExpr::Kind::Load &&
+      std::find(used_arrays_.begin(), used_arrays_.end(), e->name) ==
+          used_arrays_.end())
+    used_arrays_.push_back(e->name);
+  collect_used_arrays_expr(e->lhs);
+  collect_used_arrays_expr(e->rhs);
+}
+
+void Lowering::collect_used_arrays(const dsl::StmtPtr& s) {
+  if (!s) return;
+  collect_used_arrays_expr(s->float_expr);
+  if ((s->kind == dsl::Stmt::Kind::Store ||
+       s->kind == dsl::Stmt::Kind::AtomicAdd) &&
+      std::find(used_arrays_.begin(), used_arrays_.end(), s->name) ==
+          used_arrays_.end())
+    used_arrays_.push_back(s->name);
+  for (const auto& c : s->children) collect_used_arrays(c);
+  collect_used_arrays(s->body);
+  collect_used_arrays(s->then_branch);
+  collect_used_arrays(s->else_branch);
+}
+
+void Lowering::emit_prologue() {
+  // Parameters: used arrays in workload declaration order, then the
+  // domain bound.
+  collect_used_arrays(stage_.body);
+  std::vector<std::string> ordered;
+  for (const auto& a : wl_.arrays)
+    if (std::find(used_arrays_.begin(), used_arrays_.end(), a.name) !=
+        used_arrays_.end())
+      ordered.push_back(a.name);
+  used_arrays_ = ordered;
+
+  for (const std::string& a : used_arrays_) {
+    const auto idx = static_cast<std::uint16_t>(kernel_.params.size());
+    kernel_.params.push_back(Param{a, Type::F32, /*is_pointer=*/true});
+    param_index_[a] = idx;
+  }
+  const auto n_idx = static_cast<std::uint16_t>(kernel_.params.size());
+  kernel_.params.push_back(Param{"n_items", Type::I32, false});
+
+  start_block("entry", 1.0);
+  for (const std::string& a : used_arrays_) {
+    const Reg base = fresh(Type::I64);
+    emit(make_ld_param(base, param_index_[a]));
+    param_regs_[a] = base;
+  }
+  n_reg_ = fresh(Type::I32);
+  emit(make_ld_param(n_reg_, n_idx));
+
+  const Reg tid = fresh(Type::I32);
+  emit(make_mov(tid, Operand::special(SpecialReg::TidX)));
+  const Reg ntid = fresh(Type::I32);
+  emit(make_mov(ntid, Operand::special(SpecialReg::NTidX)));
+  const Reg ctaid = fresh(Type::I32);
+  emit(make_mov(ctaid, Operand::special(SpecialReg::CTAidX)));
+  const Reg nctaid = fresh(Type::I32);
+  emit(make_mov(nctaid, Operand::special(SpecialReg::NCTAidX)));
+
+  const Reg gid = fresh(Type::I32);
+  emit(make_ternary(Opcode::IMAD, gid, Operand(ctaid), Operand(ntid),
+                    Operand(tid)));
+  const Reg total = fresh(Type::I32);
+  emit(make_binary(Opcode::IMUL, total, Operand(ntid), Operand(nctaid)));
+
+  t0_reg_ = fresh(Type::I32);
+  Reg stride = fresh(Type::I32);
+  if (coarsen_ > 1) {
+    emit(make_binary(Opcode::IMUL, t0_reg_, Operand(gid),
+                     Operand::imm_i(coarsen_)));
+    emit(make_binary(Opcode::IMUL, stride, Operand(total),
+                     Operand::imm_i(coarsen_)));
+  } else {
+    emit(make_mov(t0_reg_, Operand(gid)));
+    emit(make_mov(stride, Operand(total)));
+  }
+  // Stash the stride register in int_vars_ under a reserved name so
+  // emit_grid_stride can find it.
+  int_vars_["$stride"] = stride;
+
+  const Reg p = fresh(Type::Pred);
+  emit(make_setp(CmpOp::LT, p, Operand(t0_reg_), Operand(n_reg_),
+                 Type::I32));
+  emit(make_bra_if(p, /*negated=*/true, "done"));
+}
+
+void Lowering::emit_grid_stride() {
+  const std::int64_t domain = stage_.domain;
+  const auto total_threads = static_cast<double>(
+      static_cast<std::int64_t>(p_.threads_per_block) * p_.block_count);
+  const double bases = std::ceil(static_cast<double>(domain) /
+                                 static_cast<double>(coarsen_));
+  const double outer_freq = bases / total_threads;
+
+  cur_freq_ = outer_freq;
+  const std::string l_loop = "gs_loop";
+  start_block(l_loop, cur_freq_);
+
+  lane_coeff_[stage_.work_item_var] = static_cast<double>(coarsen_);
+
+  for (int c = 0; c < coarsen_; ++c) {
+    // Average per-thread executions of copy c: the number of grid-stride
+    // bases for which base + c < domain, spread over all threads.
+    const double count_c =
+        c < domain
+            ? std::floor(static_cast<double>(domain - c - 1) /
+                         static_cast<double>(coarsen_)) +
+                  1.0
+            : 0.0;
+    const double copy_freq = count_c / total_threads;
+
+    std::string l_skip;
+    Reg t;
+    if (c == 0) {
+      t = t0_reg_;  // copy 0 is guarded by the loop condition itself
+    } else {
+      t = fresh(Type::I32);
+      emit(make_binary(Opcode::IADD, t, Operand(t0_reg_),
+                       Operand::imm_i(c)));
+      const Reg p = fresh(Type::Pred);
+      emit(make_setp(CmpOp::LT, p, Operand(t), Operand(n_reg_),
+                     Type::I32));
+      l_skip = fresh_label("gs_skip");
+      emit(make_bra_if(p, /*negated=*/true, l_skip));
+      cur_freq_ = copy_freq;
+      start_block(fresh_label("gs_copy"), cur_freq_);
+    }
+
+    const Scope saved = snapshot();
+    int_vars_[stage_.work_item_var] = t;
+    lane_coeff_[stage_.work_item_var] = static_cast<double>(coarsen_);
+    lower_stmt(stage_.body);
+    restore(saved);
+
+    if (c != 0) {
+      cur_freq_ = outer_freq;
+      start_block(l_skip, cur_freq_);
+    }
+  }
+
+  // Latch.
+  emit(make_binary(Opcode::IADD, t0_reg_, Operand(t0_reg_),
+                   Operand(int_vars_["$stride"])));
+  const Reg p = fresh(Type::Pred);
+  emit(make_setp(CmpOp::LT, p, Operand(t0_reg_), Operand(n_reg_),
+                 Type::I32));
+  emit(make_bra_if(p, false, l_loop));
+
+  cur_freq_ = 1.0;
+  start_block("done", 1.0);
+  emit(make_exit());
+}
+
+LoweredStage Lowering::run() {
+  kernel_.name = stage_.name;
+
+  // UIF applies to the innermost unrollable serial loop when one exists;
+  // otherwise it unrolls (coarsens) the grid-stride loop itself.
+  bool has_unrollable_loop = false;
+  {
+    std::vector<const dsl::Stmt*> work{stage_.body.get()};
+    while (!work.empty()) {
+      const dsl::Stmt* s = work.back();
+      work.pop_back();
+      if (s == nullptr) continue;
+      if (s->kind == dsl::Stmt::Kind::For && s->unrollable)
+        has_unrollable_loop = true;
+      for (const auto& c : s->children) work.push_back(c.get());
+      if (s->body) work.push_back(s->body.get());
+      if (s->then_branch) work.push_back(s->then_branch.get());
+      if (s->else_branch) work.push_back(s->else_branch.get());
+    }
+  }
+  coarsen_ = p_.stream_chunk * (has_unrollable_loop ? 1 : p_.unroll);
+  coarsen_ = std::max(1, coarsen_);
+
+  emit_prologue();
+  emit_grid_stride();
+
+  // Structural lowering can leave empty join/skip blocks (labels that
+  // received no instructions before the next label opened). Redirect
+  // branches to the next non-empty block and drop the empties.
+  {
+    std::map<std::string, std::string> remap;
+    for (std::size_t i = 0; i < kernel_.blocks.size(); ++i) {
+      if (!kernel_.blocks[i].body.empty()) continue;
+      std::size_t j = i + 1;
+      while (j < kernel_.blocks.size() && kernel_.blocks[j].body.empty())
+        ++j;
+      if (j >= kernel_.blocks.size())
+        throw Error("lowering produced a trailing empty block");
+      remap[kernel_.blocks[i].label] = kernel_.blocks[j].label;
+    }
+    if (!remap.empty()) {
+      for (BasicBlock& b : kernel_.blocks)
+        for (Instruction& ins : b.body)
+          if (ins.op == Opcode::BRA)
+            if (const auto it = remap.find(ins.target); it != remap.end())
+              ins.target = it->second;
+      std::vector<BasicBlock> keep;
+      std::vector<double> keep_freq;
+      for (std::size_t i = 0; i < kernel_.blocks.size(); ++i) {
+        if (kernel_.blocks[i].body.empty()) continue;
+        keep.push_back(std::move(kernel_.blocks[i]));
+        keep_freq.push_back(freq_[i]);
+      }
+      kernel_.blocks = std::move(keep);
+      freq_ = std::move(keep_freq);
+    }
+  }
+
+  kernel_.finalize();
+  schedule_kernel(kernel_);
+  kernel_.finalize();  // re-validate after scheduling
+
+  LoweredStage out;
+  out.kernel = std::move(kernel_);
+  out.block_freq = std::move(freq_);
+  out.coarsen = coarsen_;
+  out.demand = analyze_register_demand(out.kernel);
+  out.launch.grid_blocks = static_cast<std::uint32_t>(p_.block_count);
+  out.launch.block_threads = static_cast<std::uint32_t>(p_.threads_per_block);
+  out.launch.smem_bytes = out.kernel.smem_static_bytes;
+  out.launch.domain = stage_.domain;
+  for (const Param& prm : out.kernel.params)
+    out.param_arrays.push_back(prm.is_pointer ? prm.name : "");
+  return out;
+}
+
+}  // namespace
+
+Compiler::Compiler(const arch::GpuSpec& gpu, TuningParams params)
+    : gpu_(&gpu), params_(params) {
+  if (params_.threads_per_block < 1 ||
+      params_.threads_per_block >
+          static_cast<int>(gpu.threads_per_block))
+    throw ConfigError("threads_per_block out of range for " + gpu.name);
+  if (params_.block_count < 1) throw ConfigError("block_count must be >= 1");
+  if (params_.unroll < 1) throw ConfigError("unroll must be >= 1");
+  if (params_.stream_chunk < 1)
+    throw ConfigError("stream_chunk must be >= 1");
+}
+
+LoweredWorkload Compiler::compile(const dsl::WorkloadDesc& wl) const {
+  LoweredWorkload out;
+  out.name = wl.name;
+  out.params = params_;
+  out.stages.reserve(wl.stages.size());
+  for (const dsl::StageDesc& stage : wl.stages)
+    out.stages.push_back(compile_stage(wl, stage));
+  return out;
+}
+
+LoweredStage Compiler::compile_stage(const dsl::WorkloadDesc& wl,
+                                     const dsl::StageDesc& stage) const {
+  Lowering lowering(wl, stage, *gpu_, params_);
+  return lowering.run();
+}
+
+std::uint32_t LoweredWorkload::regs_per_thread() const {
+  std::uint32_t m = 0;
+  for (const LoweredStage& s : stages)
+    m = std::max(m, s.demand.regs_per_thread);
+  return m;
+}
+
+std::uint32_t LoweredWorkload::smem_per_block() const {
+  std::uint32_t m = 0;
+  for (const LoweredStage& s : stages)
+    m = std::max(m, s.launch.smem_bytes);
+  return m;
+}
+
+std::size_t LoweredWorkload::instruction_count() const {
+  std::size_t n = 0;
+  for (const LoweredStage& s : stages) n += s.kernel.instruction_count();
+  return n;
+}
+
+std::string compile_info(const LoweredStage& stage) {
+  return "ptxas info: " + stage.kernel.name + ": Used " +
+         std::to_string(stage.demand.regs_per_thread) +
+         " registers, " + std::to_string(stage.launch.smem_bytes) +
+         " bytes smem, " + std::to_string(stage.kernel.instruction_count()) +
+         " instructions";
+}
+
+}  // namespace gpustatic::codegen

@@ -1,0 +1,94 @@
+#pragma once
+
+// The virtual CUDA toolchain: lowers DSL workloads to the PTX-like IR,
+// applying the tuning parameters the way nvcc + Orio transformations would
+// (see DESIGN.md S3 substitution table).
+//
+// What the lowering models, and why it matters for the paper's results:
+//
+//  * Grid-stride skeleton. Every stage becomes a grid-stride loop over its
+//    work-item domain, so any (TC, BC) launch geometry covers any problem
+//    size — the same mapping Orio's CUDA code generator emits.
+//  * Work coarsening (SC) and unrolling (UIF). The innermost unrollable
+//    serial loop is unrolled UIF times (kernels without one unroll the
+//    grid-stride loop instead). Unrolled copies use fresh virtual
+//    registers and the post-pass scheduler hoists their loads, so higher
+//    UIF buys memory-level parallelism at the price of register pressure —
+//    the occupancy/register tradeoff at the heart of Table V.
+//  * Strength reduction. Array indexes affine in the loop variable become
+//    running pointers (one integer add per loop iteration). Non-affine
+//    indexes (matVec2D's cyclic wrap) re-compute addresses every
+//    iteration; the extra integer work counts as FLOPS under the Table II
+//    taxonomy, which is what separates the kernels' intensities.
+//  * fast-math (CFLAGS). Special functions and divisions lower to short
+//    approximate sequences instead of precise ones, and unrolled
+//    reductions split accumulators (floating-point reassociation).
+//  * Coalescing hints. Each memory instruction is annotated with the
+//    lane stride (address distance between adjacent lanes) and serial
+//    stride (address advance per loop iteration) derived from the affine
+//    analysis; the simulator cross-checks these against actual addresses.
+
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/params.hpp"
+#include "dsl/ast.hpp"
+#include "ptx/kernel.hpp"
+#include "ptx/liveness.hpp"
+
+namespace gpustatic::codegen {
+
+/// One compiled kernel stage plus everything the analyses need.
+struct LoweredStage {
+  ptx::Kernel kernel;
+  LaunchConfig launch;
+  /// Average per-thread execution count of each basic block (parallel to
+  /// kernel.blocks). Static estimate used by the analytic performance
+  /// model; the warp simulator measures the true counts.
+  std::vector<double> block_freq;
+  ptx::RegisterDemand demand;
+  /// Param index -> workload array name; empty string for scalar params.
+  std::vector<std::string> param_arrays;
+  /// Work items consumed per thread per grid-stride step
+  /// (SC x UIF-coarsening). The analytic model needs this to reconstruct
+  /// the active-thread count.
+  int coarsen = 1;
+};
+
+/// A fully compiled workload variant: one LoweredStage per DSL stage.
+struct LoweredWorkload {
+  std::string name;
+  TuningParams params;
+  std::vector<LoweredStage> stages;
+
+  /// Max registers/thread over stages: the `Ru` fed to the occupancy model
+  /// (a multi-stage launch is constrained by its hungriest kernel).
+  [[nodiscard]] std::uint32_t regs_per_thread() const;
+  /// Max static shared memory per block over stages.
+  [[nodiscard]] std::uint32_t smem_per_block() const;
+  /// Total static instruction count over stages.
+  [[nodiscard]] std::size_t instruction_count() const;
+};
+
+/// The compiler. Stateless apart from configuration; thread-safe to use
+/// one instance from multiple threads.
+class Compiler {
+ public:
+  Compiler(const arch::GpuSpec& gpu, TuningParams params);
+
+  [[nodiscard]] LoweredWorkload compile(const dsl::WorkloadDesc& wl) const;
+  [[nodiscard]] LoweredStage compile_stage(const dsl::WorkloadDesc& wl,
+                                           const dsl::StageDesc& stage) const;
+
+  [[nodiscard]] const TuningParams& params() const { return params_; }
+  [[nodiscard]] const arch::GpuSpec& gpu() const { return *gpu_; }
+
+ private:
+  const arch::GpuSpec* gpu_;
+  TuningParams params_;
+};
+
+/// `ptxas -v`-style one-line compile report ("Used 27 registers, ...").
+[[nodiscard]] std::string compile_info(const LoweredStage& stage);
+
+}  // namespace gpustatic::codegen

@@ -1,0 +1,15 @@
+#include "codegen/params.hpp"
+
+namespace gpustatic::codegen {
+
+std::string TuningParams::to_string() const {
+  std::string out = "TC=" + std::to_string(threads_per_block) +
+                    " BC=" + std::to_string(block_count) +
+                    " UIF=" + std::to_string(unroll) +
+                    " PL=" + std::to_string(l1_pref_kb) +
+                    " SC=" + std::to_string(stream_chunk) + " CFLAGS=" +
+                    (fast_math ? "'-use_fast_math'" : "''");
+  return out;
+}
+
+}  // namespace gpustatic::codegen

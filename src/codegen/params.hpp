@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpustatic::codegen {
+
+/// The autotuning feature space of Table III / Fig. 3. One TuningParams is
+/// one point in the search space; the compiler specializes a workload for
+/// it, the simulator measures it.
+struct TuningParams {
+  /// TC: threads per block, 32..1024 step 32.
+  int threads_per_block = 128;
+  /// BC: number of thread blocks, 24..192 step 24 (hardware-specific).
+  int block_count = 56;
+  /// UIF: unroll factor 1..6, applied to the innermost unrollable serial
+  /// loop, or to the grid-stride loop when the kernel has none.
+  int unroll = 1;
+  /// PL: preferred L1 size in KB, {16, 48}. Only Fermi/Kepler have a
+  /// configurable L1/shared split; later architectures ignore it.
+  int l1_pref_kb = 48;
+  /// SC: work items processed consecutively per thread per grid-stride
+  /// step (coarsening factor), 1..5.
+  int stream_chunk = 1;
+  /// CFLAGS: '' vs '-use_fast_math'.
+  bool fast_math = false;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const TuningParams&, const TuningParams&) = default;
+};
+
+/// Resolved launch geometry for one compiled stage.
+struct LaunchConfig {
+  std::uint32_t grid_blocks = 1;
+  std::uint32_t block_threads = 32;
+  std::uint32_t smem_bytes = 0;   ///< static shared memory per block
+  std::int64_t domain = 0;        ///< work items the grid must cover
+
+  [[nodiscard]] std::uint64_t total_threads() const {
+    return static_cast<std::uint64_t>(grid_blocks) * block_threads;
+  }
+};
+
+}  // namespace gpustatic::codegen

@@ -1,0 +1,148 @@
+#include "codegen/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace gpustatic::codegen {
+
+namespace {
+
+using ptx::BasicBlock;
+using ptx::Instruction;
+using ptx::Opcode;
+using ptx::Operand;
+using ptx::Reg;
+using ptx::Type;
+
+/// Dense register key for dependence tracking.
+std::uint32_t reg_key(const Reg& r) {
+  return (static_cast<std::uint32_t>(r.type) << 16) | r.idx;
+}
+
+bool is_store_like(const Instruction& i) {
+  return i.op == Opcode::ST || i.op == Opcode::ATOM_ADD ||
+         i.op == Opcode::BAR;
+}
+
+bool is_load(const Instruction& i) { return i.op == Opcode::LD; }
+
+void schedule_block(BasicBlock& block) {
+  const std::size_t n = block.body.size();
+  if (n < 3) return;
+
+  // The terminator (if present) is pinned to the end.
+  std::size_t limit = n;
+  if (ptx::is_terminator(block.body.back().op)) --limit;
+  if (limit < 3) return;
+
+  // Build dependence edges among [0, limit).
+  std::vector<std::vector<std::size_t>> succs(limit);
+  std::vector<std::size_t> indegree(limit, 0);
+
+  std::map<std::uint32_t, std::size_t> last_def;   // reg -> instr index
+  std::map<std::uint32_t, std::vector<std::size_t>> readers_since_def;
+  std::size_t last_storelike = static_cast<std::size_t>(-1);
+  std::size_t last_mem = static_cast<std::size_t>(-1);
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;
+    succs[from].push_back(to);
+    ++indegree[to];
+  };
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Instruction& ins = block.body[i];
+
+    auto read = [&](const Reg& r) {
+      const auto key = reg_key(r);
+      if (const auto it = last_def.find(key); it != last_def.end())
+        add_edge(it->second, i);  // RAW
+      readers_since_def[key].push_back(i);
+    };
+    auto write = [&](const Reg& r) {
+      const auto key = reg_key(r);
+      if (const auto it = last_def.find(key); it != last_def.end())
+        add_edge(it->second, i);  // WAW
+      for (const std::size_t reader : readers_since_def[key])
+        add_edge(reader, i);  // WAR
+      readers_since_def[key].clear();
+      last_def[key] = i;
+    };
+
+    if (ins.guard) read(ins.guard->pred);
+    for (const Operand& s : ins.srcs)
+      if (s.is_reg()) read(s.reg());
+    if (ins.dst) {
+      if (ins.guard) read(*ins.dst);  // partial def reads old value
+      write(*ins.dst);
+    }
+
+    if (is_load(ins)) {
+      if (last_storelike != static_cast<std::size_t>(-1))
+        add_edge(last_storelike, i);
+      last_mem = i;
+    } else if (is_store_like(ins)) {
+      if (last_mem != static_cast<std::size_t>(-1)) add_edge(last_mem, i);
+      if (last_storelike != static_cast<std::size_t>(-1))
+        add_edge(last_storelike, i);
+      last_storelike = i;
+      last_mem = i;
+    }
+  }
+
+  // Backward reachability: does an instruction (transitively) feed a
+  // load's address? Such address arithmetic is pulled forward so that
+  // independent loads batch at the top of the block.
+  std::vector<bool> feeds_load(limit, false);
+  for (std::size_t i = limit; i-- > 0;) {
+    if (is_load(block.body[i])) continue;
+    for (const std::size_t s : succs[i]) {
+      if (is_load(block.body[s]) || feeds_load[s]) {
+        feeds_load[i] = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy list scheduling. Priority: loads, then address arithmetic
+  // feeding later loads, then the rest; ties break on the original order,
+  // keeping the output deterministic.
+  auto priority = [&](std::size_t i) {
+    if (is_load(block.body[i])) return 0;
+    if (feeds_load[i]) return 1;
+    return 2;
+  };
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < limit; ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+
+  std::vector<Instruction> scheduled;
+  scheduled.reserve(n);
+  while (!ready.empty()) {
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < ready.size(); ++r) {
+      const int pb = priority(ready[best]);
+      const int pr = priority(ready[r]);
+      if (pr < pb || (pr == pb && ready[r] < ready[best])) best = r;
+    }
+    const std::size_t chosen = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    scheduled.push_back(block.body[chosen]);
+    for (const std::size_t s : succs[chosen])
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+
+  for (std::size_t i = limit; i < n; ++i)
+    scheduled.push_back(block.body[i]);
+  block.body = std::move(scheduled);
+}
+
+}  // namespace
+
+void schedule_kernel(ptx::Kernel& kernel) {
+  for (BasicBlock& b : kernel.blocks) schedule_block(b);
+}
+
+}  // namespace gpustatic::codegen

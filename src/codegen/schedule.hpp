@@ -1,0 +1,22 @@
+#pragma once
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::codegen {
+
+/// Per-block list scheduler: hoists loads as early as their dependences
+/// allow, the way ptxas schedules SASS to expose memory-level parallelism.
+/// This is what makes unrolling raise both ILP (batched outstanding loads
+/// in the warp simulator) and register pressure (longer live ranges seen
+/// by the liveness analysis) — the mechanism the paper's Table V register
+/// statistics reflect.
+///
+/// Dependences respected within a block:
+///  * register RAW/WAR/WAW (guards count as reads; guarded defs also read
+///    their destination);
+///  * loads never move across stores/atomics/barriers; stores/atomics/
+///    barriers never move across any other memory operation;
+///  * the block's terminator stays last.
+void schedule_kernel(ptx::Kernel& kernel);
+
+}  // namespace gpustatic::codegen

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpustatic {
+
+/// Base class for all errors raised by the gpustatic library.
+///
+/// Every module throws a subclass of this so callers can catch library
+/// failures separately from standard-library exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when textual input (PTX-like assembly, tuning specs) fails to parse.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Raised when a request names an unknown entity (GPU, kernel, parameter...).
+class LookupError : public Error {
+ public:
+  explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a configuration is illegal for the target architecture,
+/// e.g. more registers per thread than the compute capability supports.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace gpustatic

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gpustatic {
+
+/// SplitMix64: used to seed the main generator from a single 64-bit seed.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — small, fast, high-quality PRNG. Deterministic across
+/// platforms (unlike std::mt19937 distributions), which matters because
+/// bench output must be byte-for-byte reproducible.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if ever
+/// needed, but the helpers below avoid std distributions on purpose.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution uniform enough for tuning
+    // search purposes without a rejection loop.
+    __extension__ using uint128 = unsigned __int128;
+    const uint128 m = static_cast<uint128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (deterministic, no std distribution).
+  double normal() noexcept {
+    // Guard against log(0).
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace gpustatic

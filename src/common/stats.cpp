@@ -1,0 +1,174 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gpustatic::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double mode(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::map<double, std::size_t> freq;
+  for (double x : xs) ++freq[x];
+  double best = xs[0];
+  std::size_t best_count = 0;
+  for (const auto& [value, count] : freq) {
+    if (count > best_count) {  // map iteration is ascending: ties keep min
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double percentile(std::span<const double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double pos =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::abs(a[i] - b[i]);
+  return s / static_cast<double>(n);
+}
+
+double sum_squared_error(std::span<const double> a,
+                         std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const double ma = mean(a.subspan(0, n));
+  const double mb = mean(b.subspan(0, n));
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> r(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                       + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const auto ra = ranks(a.subspan(0, n));
+  const auto rb = ranks(b.subspan(0, n));
+  return pearson(ra, rb);
+}
+
+std::vector<double> normalize01(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  if (xs.empty()) return out;
+  const auto [mn, mx] = std::minmax_element(out.begin(), out.end());
+  const double lo = *mn, hi = *mx;
+  if (hi <= lo) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& x : out) x = (x - lo) / (hi - lo);
+  return out;
+}
+
+std::size_t Histogram::max_count() const {
+  std::size_t m = 0;
+  for (std::size_t c : counts) m = std::max(m, c);
+  return m;
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins == 0 ? 1 : bins, 0);
+  if (hi <= lo) return h;
+  const double width = (hi - lo) / static_cast<double>(h.counts.size());
+  for (double x : xs) {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo) / width);
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(h.counts.size()) - 1);
+    ++h.counts[static_cast<std::size_t>(bin)];
+  }
+  return h;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace gpustatic::stats

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace gpustatic::stats {
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Population variance helper used by stddev; exposed for tests.
+[[nodiscard]] double sample_variance(std::span<const double> xs);
+
+/// Most frequent value. Ties resolve to the smallest value so output is
+/// deterministic. Values are compared exactly, which is appropriate here
+/// because the inputs are quantized (occupancy fractions, register counts).
+[[nodiscard]] double mode(std::span<const double> xs);
+
+/// Percentile in [0,100] with linear interpolation between order statistics
+/// (the same convention as numpy.percentile's default). Input need not be
+/// sorted; an internal copy is sorted.
+[[nodiscard]] double percentile(std::span<const double> xs, double pct);
+
+/// Median (50th percentile).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Mean absolute error between two equally sized series.
+[[nodiscard]] double mean_absolute_error(std::span<const double> a,
+                                         std::span<const double> b);
+
+/// Sum of squared differences between two equally sized series.
+[[nodiscard]] double sum_squared_error(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Pearson correlation coefficient; 0 if either series is constant.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Spearman rank correlation; 0 if either series is constant.
+/// Used to check that predicted orderings track measured orderings.
+[[nodiscard]] double spearman(std::span<const double> a,
+                              std::span<const double> b);
+
+/// Min-max normalization to [0,1]; a constant series maps to all zeros.
+[[nodiscard]] std::vector<double> normalize01(std::span<const double> xs);
+
+/// Ranks (1-based, average rank for ties) of each element.
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] double bin_width() const {
+    return counts.empty() ? 0.0
+                          : (hi - lo) / static_cast<double>(counts.size());
+  }
+  [[nodiscard]] double bin_center(std::size_t i) const {
+    return lo + (static_cast<double>(i) + 0.5) * bin_width();
+  }
+  [[nodiscard]] std::size_t max_count() const;
+};
+
+[[nodiscard]] Histogram histogram(std::span<const double> xs, double lo,
+                                  double hi, std::size_t bins);
+
+/// Incremental mean/variance accumulator (Welford). Useful when streaming
+/// thousands of tuning trials without storing them all.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gpustatic::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpustatic::str {
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lowercase copy (ASCII only).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string (vsnprintf underneath).
+/// The compiler checks the format string against the arguments.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// printf-style helpers used by the table/bench printers.
+[[nodiscard]] std::string format_double(double v, int precision);
+/// Fixed-precision with trailing-zero trimming ("1.50" -> "1.5", "2.00" -> "2").
+[[nodiscard]] std::string format_trimmed(double v, int max_precision);
+/// Thousands-separated integer rendering ("4141130" -> "4,141,130").
+[[nodiscard]] std::string format_grouped(long long v);
+
+/// Join a range of strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace gpustatic::str

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+namespace gpustatic {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  align_.assign(header_.size(), Align::Right);
+  if (!align_.empty()) align_[0] = Align::Left;
+}
+
+void TextTable::set_align(std::size_t col, Align a) {
+  if (col < align_.size()) align_[col] = a;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t fill = width[c] - std::min(width[c], s.size());
+    if (align_[c] == Align::Right) out.append(fill, ' ');
+    out += s;
+    if (align_[c] == Align::Left) out.append(fill, ' ');
+    return out;
+  };
+
+  auto rule = [&]() {
+    std::string out = "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out.append(width[c] + 2, '-');
+      out.push_back('+');
+    }
+    out.push_back('\n');
+    return out;
+  };
+
+  std::string out = rule();
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += " " + pad(header_[c], c) + " |";
+  }
+  out += "\n" + rule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += rule();
+    out += "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      out += " " + pad(row.cells[c], c) + " |";
+    out += "\n";
+  }
+  out += rule();
+  return out;
+}
+
+std::string ascii_bar(double value, double maximum, std::size_t width) {
+  if (maximum <= 0.0 || value <= 0.0 || width == 0) return "";
+  const double frac = std::min(1.0, value / maximum);
+  const auto n =
+      static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  return std::string(n, '#');
+}
+
+}  // namespace gpustatic

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpustatic {
+
+/// Minimal text-table builder used by every bench binary so that the
+/// reproduced paper tables share one consistent, diffable rendering.
+///
+///   TextTable t({"Kernel", "Arch", "occ"});
+///   t.add_row({"atax", "Kepler", "0.93"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Column alignment; default is Left for column 0, Right elsewhere
+  /// (numeric-table convention).
+  void set_align(std::size_t col, Align a);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+  bool pending_rule_ = false;
+};
+
+/// Renders a horizontal ASCII bar of width proportional to value/maximum,
+/// used by the figure-reproducing benches (histograms, bar charts).
+[[nodiscard]] std::string ascii_bar(double value, double maximum,
+                                    std::size_t width);
+
+}  // namespace gpustatic

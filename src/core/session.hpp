@@ -1,0 +1,78 @@
+#pragma once
+
+// TuningSession: the Orio-integration use case from the paper, end to
+// end. Owns a workload + target GPU, exposes every search strategy over
+// the Table III space, and the static-analyzer-guided variants (Static
+// and Static+Rule-Based) whose search-space reductions Fig. 6 reports.
+
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "core/static_analyzer.hpp"
+#include "dsl/ast.hpp"
+#include "sim/runner.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+#include "tuner/static_search.hpp"
+
+namespace gpustatic::core {
+
+/// Outcome of one tuning run, with enough bookkeeping to compare methods.
+struct TuningOutcome {
+  std::string method;
+  tuner::SearchResult search;
+  std::size_t space_size = 0;       ///< size of the space searched
+  std::size_t full_space_size = 0;  ///< size of the unpruned space
+  double intensity = 0;             ///< only for model-guided methods
+
+  /// Fig. 6 metric: fraction of the full space eliminated before search.
+  [[nodiscard]] double space_reduction() const {
+    return full_space_size == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(space_size) /
+                           static_cast<double>(full_space_size);
+  }
+};
+
+class TuningSession {
+ public:
+  TuningSession(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+                tuner::ParamSpace space = tuner::paper_space(),
+                sim::RunOptions run_opts = {});
+
+  /// Plain Orio strategies over the full space.
+  [[nodiscard]] TuningOutcome exhaustive();
+  [[nodiscard]] TuningOutcome random(const tuner::SearchOptions& o = {});
+  [[nodiscard]] TuningOutcome annealing(const tuner::SearchOptions& o = {});
+  [[nodiscard]] TuningOutcome genetic(const tuner::SearchOptions& o = {});
+  [[nodiscard]] TuningOutcome simplex(const tuner::SearchOptions& o = {});
+
+  /// The paper's methods: exhaustive search over the statically pruned
+  /// space ("Static") and over the rule-based refinement ("RB").
+  [[nodiscard]] TuningOutcome static_pruned();
+  [[nodiscard]] TuningOutcome rule_based();
+
+  /// The pruning decision itself (computed lazily, cached).
+  [[nodiscard]] const tuner::StaticPruneResult& prune();
+
+  [[nodiscard]] const tuner::ParamSpace& space() const { return space_; }
+  [[nodiscard]] const dsl::WorkloadDesc& workload() const {
+    return workload_;
+  }
+
+ private:
+  TuningOutcome run(const std::string& method,
+                    const tuner::ParamSpace& space,
+                    const tuner::SearchOptions* opts);
+
+  dsl::WorkloadDesc workload_;
+  const arch::GpuSpec* gpu_;
+  tuner::ParamSpace space_;
+  sim::RunOptions run_opts_;
+  tuner::Objective objective_;
+  bool prune_done_ = false;
+  tuner::StaticPruneResult prune_;
+};
+
+}  // namespace gpustatic::core

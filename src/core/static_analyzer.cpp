@@ -1,0 +1,90 @@
+#include "core/static_analyzer.hpp"
+
+#include "common/strings.hpp"
+#include "tuner/static_search.hpp"
+
+namespace gpustatic::core {
+
+AnalysisReport StaticAnalyzer::analyze(const dsl::WorkloadDesc& workload,
+                                       codegen::TuningParams baseline) const {
+  AnalysisReport r;
+  r.workload = workload.name;
+  r.gpu = gpu_->name;
+  r.baseline = baseline;
+
+  const codegen::Compiler compiler(*gpu_, baseline);
+  const codegen::LoweredWorkload lw = compiler.compile(workload);
+  r.regs_per_thread = lw.regs_per_thread();
+  r.smem_per_block = lw.smem_per_block();
+  r.static_instructions = lw.instruction_count();
+
+  for (const codegen::LoweredStage& st : lw.stages) {
+    const analysis::StaticMix m = analysis::analyze_mix(st.kernel);
+    r.mix.flat += m.flat;
+    r.mix.weighted += m.weighted;
+  }
+  r.intensity = r.mix.weighted.intensity();
+  r.pipeline = analysis::pipeline_utilization(r.mix, gpu_->family);
+  r.divergence = analysis::analyze_divergence(lw.stages.front().kernel);
+  r.occupancy_at_baseline = occupancy::calculate(
+      *gpu_, occupancy::KernelParams{
+                 static_cast<std::uint32_t>(baseline.threads_per_block),
+                 r.regs_per_thread, r.smem_per_block});
+  r.suggestion =
+      occupancy::suggest(*gpu_, r.regs_per_thread, r.smem_per_block);
+  r.predicted_cost = analysis::predicted_cost(r.mix, gpu_->family);
+
+  r.prefers_upper = r.intensity > tuner::kIntensityThreshold;
+  const auto& ts = r.suggestion.thread_candidates;
+  const std::size_t half = (ts.size() + 1) / 2;
+  if (r.prefers_upper)
+    r.rule_threads.assign(ts.end() - static_cast<std::ptrdiff_t>(half),
+                          ts.end());
+  else
+    r.rule_threads.assign(ts.begin(),
+                          ts.begin() + static_cast<std::ptrdiff_t>(half));
+  return r;
+}
+
+std::string AnalysisReport::to_string() const {
+  std::string out;
+  out += "Static analysis of '" + workload + "' on " + gpu + "\n";
+  out += "  baseline variant : " + baseline.to_string() + "\n";
+  out += "  registers/thread : " + std::to_string(regs_per_thread) + "\n";
+  out += "  smem/block       : " + std::to_string(smem_per_block) + " B\n";
+  out += "  static instrs    : " + std::to_string(static_instructions) +
+         "\n";
+  out += "  mix (weighted)   : " + mix.weighted.summary() + "\n";
+  out += "  intensity        : " + str::format_double(intensity, 2) +
+         (prefers_upper ? "  (> 4.0: prefer upper thread range)\n"
+                        : "  (<= 4.0: prefer lower thread range)\n");
+  out += "  hottest pipeline : " +
+         std::string(arch::category_name(pipeline.hottest)) + "\n";
+  out += "  branches         : " +
+         std::to_string(divergence.branches.size()) + " (" +
+         std::to_string(divergence.divergent_count) +
+         " potentially divergent)\n";
+  out += "  occupancy (base) : " +
+         str::format_double(occupancy_at_baseline.occupancy * 100.0, 1) +
+         "% (limiter: " + occupancy_at_baseline.limiter() + ")\n";
+  out += "  occ* suggestion  : occ=" +
+         str::format_double(suggestion.occ_star * 100.0, 1) + "% T*={";
+  for (std::size_t i = 0; i < suggestion.thread_candidates.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(suggestion.thread_candidates[i]);
+  }
+  out += "} [Ru:R*]=[" + std::to_string(suggestion.regs_used) + ":" +
+         std::to_string(suggestion.reg_headroom) + "] S*=" +
+         std::to_string(suggestion.smem_budget) + "B\n";
+  out += "  rule-based T     : {";
+  for (std::size_t i = 0; i < rule_threads.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(rule_threads[i]);
+  }
+  out += "}\n";
+  out += "  Eq.6 cost score  : " + str::format_double(predicted_cost, 1) +
+         "\n";
+  return out;
+}
+
+}  // namespace gpustatic::core

@@ -1,0 +1,63 @@
+#pragma once
+
+// The library's front door for the paper's primary contribution: a static
+// analyzer for GPU kernels that — without any program runs — produces
+// instruction mixes, occupancy, divergence structure, predicted cost, and
+// launch-parameter suggestions (including the rule-based thread ranges
+// the autotuner integration consumes).
+
+#include <string>
+#include <vector>
+
+#include "analysis/divergence.hpp"
+#include "analysis/mix.hpp"
+#include "analysis/predictor.hpp"
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+#include "occupancy/occupancy.hpp"
+#include "occupancy/suggest.hpp"
+
+namespace gpustatic::core {
+
+/// Everything the static analyzer derives from one compiled workload.
+struct AnalysisReport {
+  std::string workload;
+  std::string gpu;
+  codegen::TuningParams baseline;
+
+  std::uint32_t regs_per_thread = 0;   ///< Ru from the virtual ptxas
+  std::uint32_t smem_per_block = 0;    ///< Su
+  std::size_t static_instructions = 0;
+
+  analysis::StaticMix mix;             ///< summed over stages
+  double intensity = 0;                ///< O_fl / O_mem, rule input
+  analysis::PipelineUtilization pipeline;
+  analysis::DivergenceReport divergence;  ///< first stage's CFG view
+  occupancy::Result occupancy_at_baseline;
+  occupancy::Suggestion suggestion;    ///< Table VII row
+  double predicted_cost = 0;           ///< Eq. 6 score
+
+  /// Thread candidates after the rule-based heuristic (Sec. III-C).
+  std::vector<std::uint32_t> rule_threads;
+  bool prefers_upper = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class StaticAnalyzer {
+ public:
+  explicit StaticAnalyzer(const arch::GpuSpec& gpu) : gpu_(&gpu) {}
+
+  /// Compile (never run) the workload at `baseline` and analyze it.
+  [[nodiscard]] AnalysisReport analyze(
+      const dsl::WorkloadDesc& workload,
+      codegen::TuningParams baseline = {}) const;
+
+  [[nodiscard]] const arch::GpuSpec& gpu() const { return *gpu_; }
+
+ private:
+  const arch::GpuSpec* gpu_;
+};
+
+}  // namespace gpustatic::core

@@ -1,0 +1,234 @@
+#include "dsl/ast.hpp"
+
+#include "common/error.hpp"
+
+namespace gpustatic::dsl {
+
+IntExprPtr iconst(std::int64_t v) {
+  auto e = std::make_shared<IntExpr>();
+  e->kind = IntExpr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+IntExprPtr ivar(std::string name) {
+  auto e = std::make_shared<IntExpr>();
+  e->kind = IntExpr::Kind::Var;
+  e->var = std::move(name);
+  return e;
+}
+
+IntExprPtr ibin(IntOp op, IntExprPtr a, IntExprPtr b) {
+  auto e = std::make_shared<IntExpr>();
+  e->kind = IntExpr::Kind::Binary;
+  e->op = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+IntExprPtr iadd(IntExprPtr a, IntExprPtr b) {
+  return ibin(IntOp::Add, std::move(a), std::move(b));
+}
+IntExprPtr isub(IntExprPtr a, IntExprPtr b) {
+  return ibin(IntOp::Sub, std::move(a), std::move(b));
+}
+IntExprPtr imul(IntExprPtr a, IntExprPtr b) {
+  return ibin(IntOp::Mul, std::move(a), std::move(b));
+}
+IntExprPtr idiv(IntExprPtr a, std::int64_t divisor) {
+  return ibin(IntOp::Div, std::move(a), iconst(divisor));
+}
+IntExprPtr imod(IntExprPtr a, std::int64_t divisor) {
+  return ibin(IntOp::Mod, std::move(a), iconst(divisor));
+}
+
+IntExprPtr substitute(const IntExprPtr& expr, const std::string& var,
+                      const IntExprPtr& replacement) {
+  if (!expr) return expr;
+  switch (expr->kind) {
+    case IntExpr::Kind::Const:
+      return expr;
+    case IntExpr::Kind::Var:
+      return expr->var == var ? replacement : expr;
+    case IntExpr::Kind::Binary: {
+      const IntExprPtr l = substitute(expr->lhs, var, replacement);
+      const IntExprPtr r = substitute(expr->rhs, var, replacement);
+      if (l == expr->lhs && r == expr->rhs) return expr;
+      return ibin(expr->op, l, r);
+    }
+  }
+  return expr;
+}
+
+FloatExprPtr fconst(double v) {
+  auto e = std::make_shared<FloatExpr>();
+  e->kind = FloatExpr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+FloatExprPtr fref(std::string name) {
+  auto e = std::make_shared<FloatExpr>();
+  e->kind = FloatExpr::Kind::Ref;
+  e->name = std::move(name);
+  return e;
+}
+
+FloatExprPtr fload(std::string array, IntExprPtr index) {
+  auto e = std::make_shared<FloatExpr>();
+  e->kind = FloatExpr::Kind::Load;
+  e->name = std::move(array);
+  e->index = std::move(index);
+  return e;
+}
+
+FloatExprPtr fbin(FloatBinOp op, FloatExprPtr a, FloatExprPtr b) {
+  auto e = std::make_shared<FloatExpr>();
+  e->kind = FloatExpr::Kind::Binary;
+  e->bop = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+FloatExprPtr fun(FloatUnOp op, FloatExprPtr a) {
+  auto e = std::make_shared<FloatExpr>();
+  e->kind = FloatExpr::Kind::Unary;
+  e->uop = op;
+  e->lhs = std::move(a);
+  return e;
+}
+
+FloatExprPtr fadd(FloatExprPtr a, FloatExprPtr b) {
+  return fbin(FloatBinOp::Add, std::move(a), std::move(b));
+}
+FloatExprPtr fsub(FloatExprPtr a, FloatExprPtr b) {
+  return fbin(FloatBinOp::Sub, std::move(a), std::move(b));
+}
+FloatExprPtr fmul(FloatExprPtr a, FloatExprPtr b) {
+  return fbin(FloatBinOp::Mul, std::move(a), std::move(b));
+}
+FloatExprPtr fdiv(FloatExprPtr a, FloatExprPtr b) {
+  return fbin(FloatBinOp::Div, std::move(a), std::move(b));
+}
+
+CondPtr ccmp(CmpKind k, IntExprPtr a, IntExprPtr b) {
+  auto c = std::make_shared<Cond>();
+  c->kind = Cond::Kind::Cmp;
+  c->cmp = k;
+  c->a = std::move(a);
+  c->b = std::move(b);
+  return c;
+}
+
+CondPtr cand(CondPtr a, CondPtr b) {
+  auto c = std::make_shared<Cond>();
+  c->kind = Cond::Kind::And;
+  c->lhs = std::move(a);
+  c->rhs = std::move(b);
+  return c;
+}
+
+CondPtr cor(CondPtr a, CondPtr b) {
+  auto c = std::make_shared<Cond>();
+  c->kind = Cond::Kind::Or;
+  c->lhs = std::move(a);
+  c->rhs = std::move(b);
+  return c;
+}
+
+CondPtr cnot(CondPtr a) {
+  auto c = std::make_shared<Cond>();
+  c->kind = Cond::Kind::Not;
+  c->lhs = std::move(a);
+  return c;
+}
+
+StmtPtr seq(std::vector<StmtPtr> stmts) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Seq;
+  s->children = std::move(stmts);
+  return s;
+}
+
+StmtPtr let_int(std::string name, IntExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::LetInt;
+  s->name = std::move(name);
+  s->int_expr = std::move(value);
+  return s;
+}
+
+StmtPtr let_float(std::string name, FloatExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::LetFloat;
+  s->name = std::move(name);
+  s->float_expr = std::move(value);
+  return s;
+}
+
+StmtPtr accum(std::string name, FloatBinOp op, FloatExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Accum;
+  s->name = std::move(name);
+  s->accum_op = op;
+  s->float_expr = std::move(value);
+  return s;
+}
+
+StmtPtr store(std::string array, IntExprPtr index, FloatExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Store;
+  s->name = std::move(array);
+  s->int_expr = std::move(index);
+  s->float_expr = std::move(value);
+  return s;
+}
+
+StmtPtr atomic_add(std::string array, IntExprPtr index, FloatExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::AtomicAdd;
+  s->name = std::move(array);
+  s->int_expr = std::move(index);
+  s->float_expr = std::move(value);
+  return s;
+}
+
+StmtPtr serial_for(std::string var, std::int64_t lo, std::int64_t hi,
+                   StmtPtr body, bool unrollable) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::For;
+  s->name = std::move(var);
+  s->lo = lo;
+  s->hi = hi;
+  s->body = std::move(body);
+  s->unrollable = unrollable;
+  return s;
+}
+
+StmtPtr if_then(CondPtr cond, StmtPtr then_branch, StmtPtr else_branch,
+                double then_prob) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::If;
+  s->cond = std::move(cond);
+  s->then_branch = std::move(then_branch);
+  s->else_branch = std::move(else_branch);
+  s->then_prob = then_prob;
+  return s;
+}
+
+const ArrayDecl& WorkloadDesc::array(const std::string& array_name) const {
+  for (const ArrayDecl& a : arrays)
+    if (a.name == array_name) return a;
+  throw LookupError("workload '" + name + "' has no array '" + array_name +
+                    "'");
+}
+
+bool WorkloadDesc::has_array(const std::string& array_name) const {
+  for (const ArrayDecl& a : arrays)
+    if (a.name == array_name) return true;
+  return false;
+}
+
+}  // namespace gpustatic::dsl

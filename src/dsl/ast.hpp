@@ -1,0 +1,195 @@
+#pragma once
+
+// Kernel description language.
+//
+// This small AST is the stand-in for the annotated C loop nests that Orio
+// consumes (paper Sec. II-C): each paper kernel (atax, BiCG, ex14FJ,
+// matVec2D) is expressed as one or more *stages*, each a data-parallel
+// domain of work items whose body is a loop nest of float arithmetic over
+// arrays. The code generator (src/codegen) lowers a stage to the PTX-like
+// IR applying the tuning parameters (thread count, block count, unroll
+// factor, fast-math, ...), playing the role of nvcc.
+//
+// Integer expressions index arrays; float expressions compute values.
+// All loop bounds and array extents are integer constants by construction:
+// a WorkloadDesc is built for one specific problem size N, mirroring how
+// each autotuning trial compiles a fully specialized variant.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpustatic::dsl {
+
+// ---------------------------------------------------------------- IntExpr
+
+enum class IntOp : std::uint8_t { Add, Sub, Mul, Div, Mod, Min, Max };
+
+struct IntExpr;
+using IntExprPtr = std::shared_ptr<const IntExpr>;
+
+struct IntExpr {
+  enum class Kind : std::uint8_t { Const, Var, Binary };
+  Kind kind = Kind::Const;
+  std::int64_t value = 0;      ///< Const.
+  std::string var;             ///< Var: work-item or loop variable name.
+  IntOp op = IntOp::Add;       ///< Binary.
+  IntExprPtr lhs, rhs;         ///< Binary.
+};
+
+[[nodiscard]] IntExprPtr iconst(std::int64_t v);
+[[nodiscard]] IntExprPtr ivar(std::string name);
+[[nodiscard]] IntExprPtr ibin(IntOp op, IntExprPtr a, IntExprPtr b);
+[[nodiscard]] IntExprPtr iadd(IntExprPtr a, IntExprPtr b);
+[[nodiscard]] IntExprPtr isub(IntExprPtr a, IntExprPtr b);
+[[nodiscard]] IntExprPtr imul(IntExprPtr a, IntExprPtr b);
+[[nodiscard]] IntExprPtr idiv(IntExprPtr a, std::int64_t divisor);
+[[nodiscard]] IntExprPtr imod(IntExprPtr a, std::int64_t divisor);
+
+/// expr with every occurrence of `var` replaced by `replacement`.
+[[nodiscard]] IntExprPtr substitute(const IntExprPtr& expr,
+                                    const std::string& var,
+                                    const IntExprPtr& replacement);
+
+// -------------------------------------------------------------- FloatExpr
+
+enum class FloatBinOp : std::uint8_t { Add, Sub, Mul, Div, Min, Max };
+enum class FloatUnOp : std::uint8_t { Neg, Exp, Log, Sqrt, Rsqrt, Rcp, Sin,
+                                      Cos, Abs };
+
+struct FloatExpr;
+using FloatExprPtr = std::shared_ptr<const FloatExpr>;
+
+struct FloatExpr {
+  enum class Kind : std::uint8_t { Const, Ref, Load, Binary, Unary };
+  Kind kind = Kind::Const;
+  double value = 0.0;              ///< Const.
+  std::string name;                ///< Ref: let-bound scalar; Load: array.
+  IntExprPtr index;                ///< Load: element index.
+  FloatBinOp bop = FloatBinOp::Add;
+  FloatUnOp uop = FloatUnOp::Neg;
+  FloatExprPtr lhs, rhs;           ///< Binary (rhs null for Unary).
+};
+
+[[nodiscard]] FloatExprPtr fconst(double v);
+[[nodiscard]] FloatExprPtr fref(std::string name);
+[[nodiscard]] FloatExprPtr fload(std::string array, IntExprPtr index);
+[[nodiscard]] FloatExprPtr fbin(FloatBinOp op, FloatExprPtr a, FloatExprPtr b);
+[[nodiscard]] FloatExprPtr fun(FloatUnOp op, FloatExprPtr a);
+[[nodiscard]] FloatExprPtr fadd(FloatExprPtr a, FloatExprPtr b);
+[[nodiscard]] FloatExprPtr fsub(FloatExprPtr a, FloatExprPtr b);
+[[nodiscard]] FloatExprPtr fmul(FloatExprPtr a, FloatExprPtr b);
+[[nodiscard]] FloatExprPtr fdiv(FloatExprPtr a, FloatExprPtr b);
+
+// ------------------------------------------------------------------ Cond
+
+enum class CmpKind : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+
+struct Cond;
+using CondPtr = std::shared_ptr<const Cond>;
+
+struct Cond {
+  enum class Kind : std::uint8_t { Cmp, And, Or, Not };
+  Kind kind = Kind::Cmp;
+  CmpKind cmp = CmpKind::EQ;
+  IntExprPtr a, b;   ///< Cmp.
+  CondPtr lhs, rhs;  ///< And/Or (rhs null for Not).
+};
+
+[[nodiscard]] CondPtr ccmp(CmpKind k, IntExprPtr a, IntExprPtr b);
+[[nodiscard]] CondPtr cand(CondPtr a, CondPtr b);
+[[nodiscard]] CondPtr cor(CondPtr a, CondPtr b);
+[[nodiscard]] CondPtr cnot(CondPtr a);
+
+// ------------------------------------------------------------------ Stmt
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Seq,       ///< children
+    LetInt,    ///< name = int_expr (immutable binding)
+    LetFloat,  ///< name = float_expr (introduces a mutable accumulator)
+    Accum,     ///< name = name `bop` float_expr
+    Store,     ///< array[index] = float_expr
+    AtomicAdd, ///< array[index] += float_expr (atomic)
+    For,       ///< for var in [lo, hi) step 1: body  (serial loop)
+    If,        ///< if cond then_branch [else else_branch]
+  };
+  Kind kind = Kind::Seq;
+
+  std::vector<StmtPtr> children;        ///< Seq.
+  std::string name;                     ///< LetInt/LetFloat/Accum: binding;
+                                        ///< Store/AtomicAdd: array;
+                                        ///< For: loop variable.
+  IntExprPtr int_expr;                  ///< LetInt value; Store index.
+  FloatExprPtr float_expr;              ///< LetFloat/Accum/Store value.
+  FloatBinOp accum_op = FloatBinOp::Add;
+  std::int64_t lo = 0, hi = 0;          ///< For bounds (constants).
+  StmtPtr body;                         ///< For body.
+  bool unrollable = false;              ///< For: honor the UIF parameter.
+  CondPtr cond;                         ///< If.
+  StmtPtr then_branch, else_branch;     ///< If.
+  /// Expected fraction of work items taking the then-branch; used only for
+  /// static block-frequency estimates (the simulator evaluates the real
+  /// condition). Kernel authors set this from geometry when known.
+  double then_prob = 0.5;
+};
+
+[[nodiscard]] StmtPtr seq(std::vector<StmtPtr> stmts);
+[[nodiscard]] StmtPtr let_int(std::string name, IntExprPtr value);
+[[nodiscard]] StmtPtr let_float(std::string name, FloatExprPtr value);
+[[nodiscard]] StmtPtr accum(std::string name, FloatBinOp op,
+                            FloatExprPtr value);
+[[nodiscard]] StmtPtr store(std::string array, IntExprPtr index,
+                            FloatExprPtr value);
+[[nodiscard]] StmtPtr atomic_add(std::string array, IntExprPtr index,
+                                 FloatExprPtr value);
+[[nodiscard]] StmtPtr serial_for(std::string var, std::int64_t lo,
+                                 std::int64_t hi, StmtPtr body,
+                                 bool unrollable = true);
+[[nodiscard]] StmtPtr if_then(CondPtr cond, StmtPtr then_branch,
+                              StmtPtr else_branch = nullptr,
+                              double then_prob = 0.5);
+
+// ------------------------------------------------------------ Workloads
+
+/// How the simulator initializes an array before a run.
+enum class ArrayInit : std::uint8_t {
+  Zero,      ///< all zeros
+  Ramp,      ///< element i = (i % 97) / 97.0
+  Ones,      ///< all ones
+};
+
+/// A named float32 device buffer.
+struct ArrayDecl {
+  std::string name;
+  std::int64_t length = 0;  ///< elements
+  ArrayInit init = ArrayInit::Ramp;
+};
+
+/// One kernel launch: a 1-D data-parallel domain of `domain` work items.
+/// The body sees the work-item index bound to variable `work_item_var`.
+struct StageDesc {
+  std::string name;
+  std::int64_t domain = 0;
+  std::string work_item_var = "t";
+  StmtPtr body;
+};
+
+/// A full benchmark workload: buffers plus an ordered list of stages
+/// (stages synchronize through global memory, like back-to-back CUDA
+/// kernel launches).
+struct WorkloadDesc {
+  std::string name;
+  std::int64_t problem_size = 0;  ///< the paper's N
+  std::vector<ArrayDecl> arrays;
+  std::vector<StageDesc> stages;
+
+  [[nodiscard]] const ArrayDecl& array(const std::string& array_name) const;
+  [[nodiscard]] bool has_array(const std::string& array_name) const;
+};
+
+}  // namespace gpustatic::dsl

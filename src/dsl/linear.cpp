@@ -1,0 +1,143 @@
+#include "dsl/linear.hpp"
+
+#include "common/error.hpp"
+
+namespace gpustatic::dsl {
+
+namespace {
+
+std::optional<LinearForm> combine(IntOp op, const LinearForm& a,
+                                  const LinearForm& b) {
+  LinearForm out;
+  switch (op) {
+    case IntOp::Add:
+    case IntOp::Sub: {
+      const std::int64_t sign = op == IntOp::Add ? 1 : -1;
+      out = a;
+      out.constant += sign * b.constant;
+      for (const auto& [v, c] : b.coeffs) {
+        out.coeffs[v] += sign * c;
+        if (out.coeffs[v] == 0) out.coeffs.erase(v);
+      }
+      return out;
+    }
+    case IntOp::Mul: {
+      const LinearForm* scalar = a.is_constant() ? &a : nullptr;
+      const LinearForm* form = scalar ? &b : &a;
+      if (!scalar && b.is_constant()) {
+        scalar = &b;
+        form = &a;
+      }
+      if (!scalar) return std::nullopt;  // var * var: not affine
+      const std::int64_t k = scalar->constant;
+      out.constant = form->constant * k;
+      if (k != 0)
+        for (const auto& [v, c] : form->coeffs) out.coeffs[v] = c * k;
+      return out;
+    }
+    case IntOp::Div:
+    case IntOp::Mod: {
+      if (!a.is_constant() || !b.is_constant()) return std::nullopt;
+      if (b.constant == 0) return std::nullopt;
+      out.constant = op == IntOp::Div ? a.constant / b.constant
+                                      : a.constant % b.constant;
+      return out;
+    }
+    case IntOp::Min:
+    case IntOp::Max: {
+      if (!a.is_constant() || !b.is_constant()) return std::nullopt;
+      out.constant = op == IntOp::Min ? std::min(a.constant, b.constant)
+                                      : std::max(a.constant, b.constant);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LinearForm> linearize(const IntExprPtr& expr) {
+  if (!expr) return std::nullopt;
+  switch (expr->kind) {
+    case IntExpr::Kind::Const: {
+      LinearForm f;
+      f.constant = expr->value;
+      return f;
+    }
+    case IntExpr::Kind::Var: {
+      LinearForm f;
+      f.coeffs[expr->var] = 1;
+      return f;
+    }
+    case IntExpr::Kind::Binary: {
+      const auto a = linearize(expr->lhs);
+      const auto b = linearize(expr->rhs);
+      if (!a || !b) return std::nullopt;
+      return combine(expr->op, *a, *b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t evaluate(const IntExprPtr& expr,
+                      const std::map<std::string, std::int64_t>& env) {
+  if (!expr) throw Error("evaluate: null expression");
+  switch (expr->kind) {
+    case IntExpr::Kind::Const:
+      return expr->value;
+    case IntExpr::Kind::Var: {
+      const auto it = env.find(expr->var);
+      if (it == env.end())
+        throw LookupError("evaluate: unbound variable '" + expr->var + "'");
+      return it->second;
+    }
+    case IntExpr::Kind::Binary: {
+      const std::int64_t a = evaluate(expr->lhs, env);
+      const std::int64_t b = evaluate(expr->rhs, env);
+      switch (expr->op) {
+        case IntOp::Add: return a + b;
+        case IntOp::Sub: return a - b;
+        case IntOp::Mul: return a * b;
+        case IntOp::Div:
+          if (b == 0) throw Error("evaluate: division by zero");
+          return a / b;
+        case IntOp::Mod:
+          if (b == 0) throw Error("evaluate: modulo by zero");
+          return a % b;
+        case IntOp::Min: return std::min(a, b);
+        case IntOp::Max: return std::max(a, b);
+      }
+      break;
+    }
+  }
+  throw Error("evaluate: malformed expression");
+}
+
+bool evaluate(const CondPtr& cond,
+              const std::map<std::string, std::int64_t>& env) {
+  if (!cond) throw Error("evaluate: null condition");
+  switch (cond->kind) {
+    case Cond::Kind::Cmp: {
+      const std::int64_t a = evaluate(cond->a, env);
+      const std::int64_t b = evaluate(cond->b, env);
+      switch (cond->cmp) {
+        case CmpKind::EQ: return a == b;
+        case CmpKind::NE: return a != b;
+        case CmpKind::LT: return a < b;
+        case CmpKind::LE: return a <= b;
+        case CmpKind::GT: return a > b;
+        case CmpKind::GE: return a >= b;
+      }
+      break;
+    }
+    case Cond::Kind::And:
+      return evaluate(cond->lhs, env) && evaluate(cond->rhs, env);
+    case Cond::Kind::Or:
+      return evaluate(cond->lhs, env) || evaluate(cond->rhs, env);
+    case Cond::Kind::Not:
+      return !evaluate(cond->lhs, env);
+  }
+  throw Error("evaluate: malformed condition");
+}
+
+}  // namespace gpustatic::dsl

@@ -1,0 +1,49 @@
+#pragma once
+
+// Affine (linear-form) analysis over IntExpr.
+//
+// The code generator uses this twice:
+//  1. strength reduction: array indexes that are affine in the innermost
+//     serial-loop variable become pointer increments instead of
+//     re-computed addresses;
+//  2. coalescing hints: the byte distance between the addresses of
+//     consecutive lanes is 4 * (coefficient of the work-item variable),
+//     which the memory model turns into a transactions-per-warp estimate.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dsl/ast.hpp"
+
+namespace gpustatic::dsl {
+
+/// expr == sum(coeffs[v] * v) + constant, over integer variables.
+struct LinearForm {
+  std::map<std::string, std::int64_t> coeffs;
+  std::int64_t constant = 0;
+
+  [[nodiscard]] std::int64_t coeff(const std::string& var) const {
+    const auto it = coeffs.find(var);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool is_constant() const { return coeffs.empty(); }
+};
+
+/// Decompose expr into a linear form. Returns nullopt when the expression
+/// is not affine (products of variables, division/modulo of non-constant
+/// operands, min/max). Division and modulo *of a constant form by a
+/// constant* still fold.
+[[nodiscard]] std::optional<LinearForm> linearize(const IntExprPtr& expr);
+
+/// Evaluate an integer expression under a variable environment. Throws
+/// LookupError for unbound variables and Error for division by zero.
+[[nodiscard]] std::int64_t evaluate(
+    const IntExprPtr& expr, const std::map<std::string, std::int64_t>& env);
+
+/// Evaluate a condition under an environment.
+[[nodiscard]] bool evaluate(const CondPtr& cond,
+                            const std::map<std::string, std::int64_t>& env);
+
+}  // namespace gpustatic::dsl

@@ -1,0 +1,181 @@
+#include "dsl/printer.hpp"
+
+#include "common/strings.hpp"
+
+namespace gpustatic::dsl {
+
+namespace {
+
+std::string int_op_str(IntOp op) {
+  switch (op) {
+    case IntOp::Add: return "+";
+    case IntOp::Sub: return "-";
+    case IntOp::Mul: return "*";
+    case IntOp::Div: return "/";
+    case IntOp::Mod: return "%";
+    case IntOp::Min: return "min";
+    case IntOp::Max: return "max";
+  }
+  return "?";
+}
+
+std::string fbin_str(FloatBinOp op) {
+  switch (op) {
+    case FloatBinOp::Add: return "+";
+    case FloatBinOp::Sub: return "-";
+    case FloatBinOp::Mul: return "*";
+    case FloatBinOp::Div: return "/";
+    case FloatBinOp::Min: return "min";
+    case FloatBinOp::Max: return "max";
+  }
+  return "?";
+}
+
+std::string fun_str(FloatUnOp op) {
+  switch (op) {
+    case FloatUnOp::Neg: return "-";
+    case FloatUnOp::Exp: return "exp";
+    case FloatUnOp::Log: return "log";
+    case FloatUnOp::Sqrt: return "sqrt";
+    case FloatUnOp::Rsqrt: return "rsqrt";
+    case FloatUnOp::Rcp: return "rcp";
+    case FloatUnOp::Sin: return "sin";
+    case FloatUnOp::Cos: return "cos";
+    case FloatUnOp::Abs: return "fabs";
+  }
+  return "?";
+}
+
+std::string cmp_str(CmpKind k) {
+  switch (k) {
+    case CmpKind::EQ: return "==";
+    case CmpKind::NE: return "!=";
+    case CmpKind::LT: return "<";
+    case CmpKind::LE: return "<=";
+    case CmpKind::GT: return ">";
+    case CmpKind::GE: return ">=";
+  }
+  return "?";
+}
+
+std::string pad(int indent) { return std::string(2 * indent, ' '); }
+
+}  // namespace
+
+std::string to_string(const IntExprPtr& e) {
+  if (!e) return "<null>";
+  switch (e->kind) {
+    case IntExpr::Kind::Const:
+      return std::to_string(e->value);
+    case IntExpr::Kind::Var:
+      return e->var;
+    case IntExpr::Kind::Binary:
+      if (e->op == IntOp::Min || e->op == IntOp::Max)
+        return int_op_str(e->op) + "(" + to_string(e->lhs) + ", " +
+               to_string(e->rhs) + ")";
+      return "(" + to_string(e->lhs) + " " + int_op_str(e->op) + " " +
+             to_string(e->rhs) + ")";
+  }
+  return "?";
+}
+
+std::string to_string(const FloatExprPtr& e) {
+  if (!e) return "<null>";
+  switch (e->kind) {
+    case FloatExpr::Kind::Const:
+      return str::format_trimmed(e->value, 6) + "f";
+    case FloatExpr::Kind::Ref:
+      return e->name;
+    case FloatExpr::Kind::Load:
+      return e->name + "[" + to_string(e->index) + "]";
+    case FloatExpr::Kind::Binary:
+      if (e->bop == FloatBinOp::Min || e->bop == FloatBinOp::Max)
+        return fbin_str(e->bop) + "(" + to_string(e->lhs) + ", " +
+               to_string(e->rhs) + ")";
+      return "(" + to_string(e->lhs) + " " + fbin_str(e->bop) + " " +
+             to_string(e->rhs) + ")";
+    case FloatExpr::Kind::Unary:
+      if (e->uop == FloatUnOp::Neg) return "(-" + to_string(e->lhs) + ")";
+      return fun_str(e->uop) + "(" + to_string(e->lhs) + ")";
+  }
+  return "?";
+}
+
+std::string to_string(const CondPtr& c) {
+  if (!c) return "<null>";
+  switch (c->kind) {
+    case Cond::Kind::Cmp:
+      return "(" + to_string(c->a) + " " + cmp_str(c->cmp) + " " +
+             to_string(c->b) + ")";
+    case Cond::Kind::And:
+      return "(" + to_string(c->lhs) + " && " + to_string(c->rhs) + ")";
+    case Cond::Kind::Or:
+      return "(" + to_string(c->lhs) + " || " + to_string(c->rhs) + ")";
+    case Cond::Kind::Not:
+      return "!" + to_string(c->lhs);
+  }
+  return "?";
+}
+
+std::string to_string(const StmtPtr& s, int indent) {
+  if (!s) return "";
+  switch (s->kind) {
+    case Stmt::Kind::Seq: {
+      std::string out;
+      for (const auto& child : s->children) out += to_string(child, indent);
+      return out;
+    }
+    case Stmt::Kind::LetInt:
+      return pad(indent) + "int " + s->name + " = " +
+             to_string(s->int_expr) + ";\n";
+    case Stmt::Kind::LetFloat:
+      return pad(indent) + "float " + s->name + " = " +
+             to_string(s->float_expr) + ";\n";
+    case Stmt::Kind::Accum:
+      return pad(indent) + s->name + " = " + s->name + " " +
+             fbin_str(s->accum_op) + " " + to_string(s->float_expr) + ";\n";
+    case Stmt::Kind::Store:
+      return pad(indent) + s->name + "[" + to_string(s->int_expr) +
+             "] = " + to_string(s->float_expr) + ";\n";
+    case Stmt::Kind::AtomicAdd:
+      return pad(indent) + "atomicAdd(&" + s->name + "[" +
+             to_string(s->int_expr) + "], " + to_string(s->float_expr) +
+             ");\n";
+    case Stmt::Kind::For:
+      return pad(indent) + "for (int " + s->name + " = " +
+             std::to_string(s->lo) + "; " + s->name + " < " +
+             std::to_string(s->hi) + "; ++" + s->name + ")" +
+             (s->unrollable ? "  /* unrollable */" : "") + " {\n" +
+             to_string(s->body, indent + 1) + pad(indent) + "}\n";
+    case Stmt::Kind::If: {
+      std::string out = pad(indent) + "if " + to_string(s->cond) + " {\n" +
+                        to_string(s->then_branch, indent + 1);
+      if (s->else_branch)
+        out += pad(indent) + "} else {\n" +
+               to_string(s->else_branch, indent + 1);
+      out += pad(indent) + "}\n";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string to_string(const StageDesc& stage) {
+  std::string out = "stage " + stage.name + ": parallel_for " +
+                    stage.work_item_var + " in [0, " +
+                    std::to_string(stage.domain) + ") {\n";
+  out += to_string(stage.body, 1);
+  out += "}\n";
+  return out;
+}
+
+std::string to_string(const WorkloadDesc& wl) {
+  std::string out = "workload " + wl.name +
+                    " (N=" + std::to_string(wl.problem_size) + ")\n";
+  for (const auto& a : wl.arrays)
+    out += "  array " + a.name + "[" + std::to_string(a.length) + "]\n";
+  for (const auto& s : wl.stages) out += to_string(s);
+  return out;
+}
+
+}  // namespace gpustatic::dsl

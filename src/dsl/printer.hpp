@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "dsl/ast.hpp"
+
+namespace gpustatic::dsl {
+
+/// Pretty-print expressions/statements in a C-like syntax. Used by the
+/// examples, documentation, and tests; not parsed back.
+[[nodiscard]] std::string to_string(const IntExprPtr& e);
+[[nodiscard]] std::string to_string(const FloatExprPtr& e);
+[[nodiscard]] std::string to_string(const CondPtr& c);
+[[nodiscard]] std::string to_string(const StmtPtr& s, int indent = 0);
+[[nodiscard]] std::string to_string(const StageDesc& stage);
+[[nodiscard]] std::string to_string(const WorkloadDesc& wl);
+
+}  // namespace gpustatic::dsl

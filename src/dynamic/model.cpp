@@ -1,0 +1,66 @@
+#include "dynamic/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpustatic::dynamic {
+
+const char* DynamicPrediction::bottleneck() const {
+  if (dram_cycles >= issue_cycles && dram_cycles >= l2_cycles)
+    return "dram";
+  if (l2_cycles >= issue_cycles) return "l2";
+  return "issue";
+}
+
+DynamicPrediction predict_from_counts(const sim::Counts& counts,
+                                      const sim::MachineModel& machine,
+                                      std::uint32_t busy_sms) {
+  if (busy_sms == 0)
+    throw Error("predict_from_counts: busy_sms must be positive");
+
+  DynamicPrediction p;
+  double total_issue = 0;
+  for (std::size_t c = 0; c < arch::kNumOpCategories; ++c)
+    total_issue +=
+        counts.per_category[c] *
+        machine.issue_cycles(static_cast<arch::OpCategory>(c));
+  p.issue_cycles = total_issue / static_cast<double>(busy_sms);
+  p.l2_cycles = counts.mem_transactions * machine.l2_txn_cycles();
+  p.dram_cycles = counts.dram_transactions * machine.dram_txn_cycles();
+  p.cycles = std::max({p.issue_cycles, p.l2_cycles, p.dram_cycles}) +
+             machine.kernel_launch_overhead +
+             machine.block_dispatch_overhead;
+  p.time_ms = machine.cycles_to_ms(p.cycles);
+  return p;
+}
+
+DynamicPrediction predict_stage(const codegen::LoweredStage& stage,
+                                const StageProfile& profile,
+                                const sim::MachineModel& machine) {
+  const std::uint32_t busy =
+      std::min<std::uint32_t>(machine.gpu->multiprocessors,
+                              stage.launch.grid_blocks);
+  return predict_from_counts(profile.counts(), machine,
+                             std::max(1u, busy));
+}
+
+DynamicPrediction predict_workload(const codegen::LoweredWorkload& lw,
+                                   const WorkloadProfile& profile,
+                                   const sim::MachineModel& machine) {
+  DynamicPrediction sum;
+  const std::size_t n =
+      std::min(lw.stages.size(), profile.stages.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const DynamicPrediction p =
+        predict_stage(lw.stages[i], profile.stages[i], machine);
+    sum.issue_cycles += p.issue_cycles;
+    sum.l2_cycles += p.l2_cycles;
+    sum.dram_cycles += p.dram_cycles;
+    sum.cycles += p.cycles;
+    sum.time_ms += p.time_ms;
+  }
+  return sum;
+}
+
+}  // namespace gpustatic::dynamic

@@ -1,0 +1,54 @@
+#pragma once
+
+// Dynamic-based performance model (the right-hand branch of Fig. 2):
+// predicts kernel cycles from *measured* dynamic instruction counts the
+// same way Eq. 6 predicts from static mixes — category counts weighted by
+// Table II CPI — plus the measured memory-system traffic, which static
+// analysis can only approximate.
+//
+// The model intentionally shares its constants with the simulators
+// (MachineModel), so its accuracy gap versus the static Eq. 6 predictor
+// isolates exactly one variable: measured counts vs. estimated counts.
+// bench/ablation_dynamic quantifies that gap; the paper's position is
+// that static mixes are close enough to skip the runs, and the ablation
+// reproduces where that holds (and where ex14FJ-style control flow makes
+// it fray).
+
+#include <cstdint>
+
+#include "codegen/compiler.hpp"
+#include "dynamic/profile.hpp"
+#include "sim/counts.hpp"
+#include "sim/machine.hpp"
+
+namespace gpustatic::dynamic {
+
+/// One stage's predicted cost decomposition.
+struct DynamicPrediction {
+  double issue_cycles = 0;   ///< per-busy-SM issue-throughput bound
+  double l2_cycles = 0;      ///< whole-GPU L2 bandwidth bound
+  double dram_cycles = 0;    ///< whole-GPU DRAM bandwidth bound
+  double cycles = 0;         ///< max of bounds + fixed overheads
+  double time_ms = 0;
+
+  /// Which bound dominated ("issue", "l2", "dram").
+  [[nodiscard]] const char* bottleneck() const;
+};
+
+/// Predict from raw dynamic counts. `busy_sms` is the number of SMs with
+/// at least one block (min(SM count, grid blocks)).
+[[nodiscard]] DynamicPrediction predict_from_counts(
+    const sim::Counts& counts, const sim::MachineModel& machine,
+    std::uint32_t busy_sms);
+
+/// Predict one profiled stage (reads busy SMs from the launch geometry).
+[[nodiscard]] DynamicPrediction predict_stage(
+    const codegen::LoweredStage& stage, const StageProfile& profile,
+    const sim::MachineModel& machine);
+
+/// Sum of per-stage predictions for a profiled workload variant.
+[[nodiscard]] DynamicPrediction predict_workload(
+    const codegen::LoweredWorkload& lw, const WorkloadProfile& profile,
+    const sim::MachineModel& machine);
+
+}  // namespace gpustatic::dynamic

@@ -1,0 +1,171 @@
+#include "dynamic/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "sim/warp_sim.hpp"
+
+namespace gpustatic::dynamic {
+
+namespace {
+
+constexpr std::uint64_t mem_key(std::int32_t bb, std::uint32_t inst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(bb)) << 16) |
+         inst;
+}
+
+/// DeviceMemory places region r at base (r+1) << 32 (see sim/device.hpp),
+/// so the owning array of a line address is recoverable.
+std::size_t region_of_line(std::uint64_t line, std::uint32_t line_bytes) {
+  return static_cast<std::size_t>(((line * line_bytes) >> 32) - 1);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> profile_default_watch() {
+  // 16KB and 48KB L1 configurations, 1MB and 4MB L2s, in 128B lines.
+  return {128, 384, 8192, 32768};
+}
+
+StageProfiler::StageProfiler(const ptx::Kernel& kernel,
+                             std::vector<std::string> array_names,
+                             std::uint32_t line_bytes,
+                             std::vector<std::uint64_t> watch_capacities)
+    : line_bytes_(line_bytes) {
+  p_.kernel = kernel.name;
+  p_.blocks.resize(kernel.blocks.size());
+  p_.insts.resize(kernel.blocks.size());
+  for (std::size_t b = 0; b < kernel.blocks.size(); ++b)
+    p_.insts[b].resize(kernel.blocks[b].body.size());
+  p_.arrays.reserve(array_names.size());
+  for (std::string& name : array_names)
+    p_.arrays.push_back(ArrayTraffic{std::move(name), 0, 0});
+  p_.l2_stream = ReuseDistanceAnalyzer(std::move(watch_capacities));
+}
+
+void StageProfiler::on_issue(const sim::IssueEvent& ev) {
+  const auto bb = static_cast<std::size_t>(ev.bb);
+  const auto lanes =
+      static_cast<std::uint64_t>(std::popcount(ev.exec_mask));
+  BlockProfile& blk = p_.blocks[bb];
+  blk.issues += 1;
+  if (ev.inst == 0) blk.entries += 1;  // blocks are always entered at 0
+  InstProfile& ip = p_.insts[bb][ev.inst];
+  ip.issues += 1;
+  ip.lanes += lanes;
+  p_.issues += 1;
+  p_.lane_sum += lanes;
+}
+
+void StageProfiler::on_branch(const sim::BranchEvent& ev) {
+  BlockProfile& blk = p_.blocks[static_cast<std::size_t>(ev.bb)];
+  blk.branch_execs += 1;
+  if (ev.divergent) blk.branch_divergent += 1;
+  const int active = std::popcount(ev.active_mask);
+  if (active > 0)
+    blk.taken_fraction_sum +=
+        static_cast<double>(std::popcount(ev.taken_mask)) /
+        static_cast<double>(active);
+}
+
+void StageProfiler::on_memory(const sim::MemoryEvent& ev) {
+  const std::uint64_t key = mem_key(ev.bb, ev.inst);
+  auto [it, inserted] = mem_index_.try_emplace(key, p_.memory.size());
+  if (inserted) {
+    MemInstProfile mp;
+    mp.bb = ev.bb;
+    mp.inst = ev.inst;
+    mp.is_store = ev.is_store;
+    mp.is_atomic = ev.is_atomic;
+    p_.memory.push_back(mp);
+  }
+  MemInstProfile& mp = p_.memory[it->second];
+  mp.ops += 1;
+  mp.lanes += ev.lanes;
+  mp.transactions += ev.lines.size();
+  mp.l1_hits += ev.l1_hits;
+  mp.l2_hits += ev.l2_hits;
+  mp.dram += ev.dram;
+
+  const bool write = ev.is_store || ev.is_atomic;
+  for (const std::uint64_t line : ev.lines) {
+    p_.l2_stream.access(line);
+    const std::size_t r = region_of_line(line, line_bytes_);
+    if (r < p_.arrays.size()) {
+      if (write)
+        p_.arrays[r].store_lines += 1;
+      else
+        p_.arrays[r].load_lines += 1;
+    }
+  }
+}
+
+StageProfile StageProfiler::take(sim::StageTiming timing) {
+  p_.timing = std::move(timing);
+  StageProfile out = std::move(p_);
+  p_ = StageProfile{};
+  mem_index_.clear();
+  return out;
+}
+
+double WorkloadProfile::simd_efficiency() const {
+  std::uint64_t issues = 0;
+  std::uint64_t lanes = 0;
+  for (const StageProfile& s : stages) {
+    issues += s.issues;
+    lanes += s.lane_sum;
+  }
+  return issues > 0
+             ? static_cast<double>(lanes) /
+                   (32.0 * static_cast<double>(issues))
+             : 0.0;
+}
+
+std::uint64_t WorkloadProfile::total_issues() const {
+  std::uint64_t issues = 0;
+  for (const StageProfile& s : stages) issues += s.issues;
+  return issues;
+}
+
+WorkloadProfile profile_workload(const codegen::LoweredWorkload& lw,
+                                 const dsl::WorkloadDesc& desc,
+                                 const sim::MachineModel& machine,
+                                 const ProfileOptions& opts) {
+  WorkloadProfile wp;
+  wp.workload = desc.name;
+  wp.params = lw.params;
+
+  std::vector<std::string> names;
+  names.reserve(desc.arrays.size());
+  for (const dsl::ArrayDecl& a : desc.arrays) names.push_back(a.name);
+
+  sim::Measurement& m = wp.measurement;
+  m.occupancy = 1.0;
+  m.regs_per_thread = lw.regs_per_thread();
+  try {
+    sim::DeviceMemory mem(desc);
+    sim::WarpSimulator simulator(machine);
+    for (const codegen::LoweredStage& st : lw.stages) {
+      StageProfiler prof(st.kernel, names, machine.line_bytes,
+                         opts.watch_capacities);
+      sim::StageTiming t = simulator.run_stage(st, mem, &prof);
+      m.base_time_ms += t.time_ms;
+      m.counts += t.counts;
+      m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+      wp.stages.push_back(prof.take(std::move(t)));
+    }
+  } catch (const ConfigError& e) {
+    m.valid = false;
+    m.error = e.what();
+    m.base_time_ms = 0;
+    m.trial_time_ms = 0;
+    return wp;
+  }
+  sim::RunOptions run = opts.run;
+  run.engine = sim::Engine::Warp;
+  apply_measurement_protocol(m, run, lw.params);
+  return wp;
+}
+
+}  // namespace gpustatic::dynamic

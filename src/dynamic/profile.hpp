@@ -1,0 +1,171 @@
+#pragma once
+
+// Dynamic kernel profiles: the measurement side of the paper's Fig. 2
+// framework. A StageProfiler consumes the warp simulator's trace events
+// and aggregates the three dynamic metric families named in the paper:
+//
+//   IC — per-instruction / per-basic-block execution counts,
+//   BF — branch frequencies and divergence rates,
+//   MD — memory (reuse) distance, plus coalescing and cache behavior.
+//
+// profile_workload() is the one-call entry point: it runs a compiled
+// workload variant on the warp engine with a profiler attached and
+// returns the per-stage profiles alongside the usual measurement.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+#include "dynamic/reuse.hpp"
+#include "ptx/kernel.hpp"
+#include "sim/counts.hpp"
+#include "sim/machine.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+
+namespace gpustatic::dynamic {
+
+/// Execution counts of one static instruction (the IC metric).
+struct InstProfile {
+  std::uint64_t issues = 0;   ///< warp-level executions
+  std::uint64_t lanes = 0;    ///< sum of active lanes over executions
+
+  /// Mean active lanes per issue (SIMD width actually used).
+  [[nodiscard]] double mean_lanes() const {
+    return issues > 0 ? static_cast<double>(lanes) /
+                            static_cast<double>(issues)
+                      : 0.0;
+  }
+};
+
+/// Per-basic-block aggregate, including the BF (branch frequency) metrics
+/// for blocks that end in a conditional branch.
+struct BlockProfile {
+  std::uint64_t entries = 0;            ///< warp-level block entries
+  std::uint64_t issues = 0;             ///< instructions issued from it
+  std::uint64_t branch_execs = 0;       ///< terminator BRA executions
+  std::uint64_t branch_divergent = 0;   ///< ... that split the warp
+  double taken_fraction_sum = 0;        ///< sum of per-exec taken shares
+
+  [[nodiscard]] double divergence_rate() const {
+    return branch_execs > 0 ? static_cast<double>(branch_divergent) /
+                                  static_cast<double>(branch_execs)
+                            : 0.0;
+  }
+  [[nodiscard]] double taken_fraction() const {
+    return branch_execs > 0 ? taken_fraction_sum /
+                                  static_cast<double>(branch_execs)
+                            : 0.0;
+  }
+};
+
+/// Traffic of one static memory instruction (coalescing view).
+struct MemInstProfile {
+  std::int32_t bb = 0;
+  std::uint32_t inst = 0;
+  bool is_store = false;
+  bool is_atomic = false;
+  std::uint64_t ops = 0;           ///< warp-level executions
+  std::uint64_t lanes = 0;         ///< participating lanes total
+  std::uint64_t transactions = 0;  ///< 128B lines touched total
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t dram = 0;
+
+  /// Transactions per warp-level operation: 1 = perfectly coalesced,
+  /// up to 32 = fully scattered.
+  [[nodiscard]] double transactions_per_op() const {
+    return ops > 0 ? static_cast<double>(transactions) /
+                         static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
+/// Per-workload-array traffic summary (reconstructed from line addresses).
+struct ArrayTraffic {
+  std::string array;
+  std::uint64_t load_lines = 0;   ///< line touches by loads
+  std::uint64_t store_lines = 0;  ///< line touches by stores/atomics
+};
+
+/// Everything measured about one executed stage.
+struct StageProfile {
+  std::string kernel;
+  sim::StageTiming timing;              ///< cycles/time/counts/occupancy
+
+  std::vector<BlockProfile> blocks;     ///< parallel to kernel.blocks
+  std::vector<std::vector<InstProfile>> insts;  ///< [bb][inst]
+  std::vector<MemInstProfile> memory;   ///< static memory instructions
+
+  std::uint64_t issues = 0;             ///< total warp-instructions
+  std::uint64_t lane_sum = 0;           ///< total active lanes over issues
+
+  ReuseDistanceAnalyzer l2_stream;      ///< whole-run line stream
+  std::vector<ArrayTraffic> arrays;
+
+  /// Mean fraction of the 32 lanes doing useful work per issue.
+  [[nodiscard]] double simd_efficiency() const {
+    return issues > 0 ? static_cast<double>(lane_sum) /
+                            (32.0 * static_cast<double>(issues))
+                      : 0.0;
+  }
+
+  /// Dynamic instruction-mix counts (identical shape to the static
+  /// analyzer's estimate — this is what Table VI scores against).
+  [[nodiscard]] const sim::Counts& counts() const { return timing.counts; }
+};
+
+/// A profiled workload variant.
+struct WorkloadProfile {
+  std::string workload;
+  codegen::TuningParams params;
+  sim::Measurement measurement;        ///< protocol-applied timing
+  std::vector<StageProfile> stages;
+
+  [[nodiscard]] double simd_efficiency() const;
+  [[nodiscard]] std::uint64_t total_issues() const;
+};
+
+/// TraceSink that builds a StageProfile for one kernel launch.
+class StageProfiler final : public sim::TraceSink {
+ public:
+  /// `array_names` in device-region order (the workload's array order)
+  /// resolves line addresses back to arrays; `watch_capacities` lists the
+  /// LRU sizes (lines) for the reuse-distance miss curve.
+  StageProfiler(const ptx::Kernel& kernel,
+                std::vector<std::string> array_names,
+                std::uint32_t line_bytes,
+                std::vector<std::uint64_t> watch_capacities);
+
+  void on_issue(const sim::IssueEvent& ev) override;
+  void on_branch(const sim::BranchEvent& ev) override;
+  void on_memory(const sim::MemoryEvent& ev) override;
+
+  /// Finish: moves the accumulated profile out (profiler left empty).
+  [[nodiscard]] StageProfile take(sim::StageTiming timing);
+
+ private:
+  StageProfile p_;
+  std::uint32_t line_bytes_ = 128;
+  /// Dense index of static memory instructions: key bb << 16 | inst.
+  std::unordered_map<std::uint64_t, std::size_t> mem_index_;
+};
+
+/// Default watched LRU capacities: {16KB, 48KB, 1MB, 4MB} of 128B lines.
+[[nodiscard]] std::vector<std::uint64_t> profile_default_watch();
+
+struct ProfileOptions {
+  std::vector<std::uint64_t> watch_capacities = profile_default_watch();
+  sim::RunOptions run;  ///< engine forced to Warp internally
+};
+
+/// Compile-free profiling entry point: execute `lw` (all stages) on the
+/// warp engine with tracing and return profiles + measurement.
+[[nodiscard]] WorkloadProfile profile_workload(
+    const codegen::LoweredWorkload& lw, const dsl::WorkloadDesc& desc,
+    const sim::MachineModel& machine, const ProfileOptions& opts = {});
+
+}  // namespace gpustatic::dynamic

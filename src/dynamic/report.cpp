@@ -1,0 +1,138 @@
+#include "dynamic/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace gpustatic::dynamic {
+
+using str::format;
+
+namespace {
+
+std::string pct(double x) { return format("%.1f%%", 100.0 * x); }
+
+void render_blocks(std::ostringstream& os, const StageProfile& s,
+                   std::size_t top_n) {
+  std::vector<std::size_t> order(s.blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return s.blocks[a].issues > s.blocks[b].issues;
+  });
+
+  TextTable t({"block", "entries", "issues", "share", "br execs",
+               "divergent", "taken"});
+  const double total =
+      std::max<std::uint64_t>(1, s.issues) * 1.0;
+  std::size_t shown = 0;
+  for (const std::size_t b : order) {
+    const BlockProfile& blk = s.blocks[b];
+    if (blk.issues == 0 || shown == top_n) break;
+    t.add_row({format("BB%zu", b), std::to_string(blk.entries),
+               std::to_string(blk.issues),
+               pct(static_cast<double>(blk.issues) / total),
+               std::to_string(blk.branch_execs),
+               blk.branch_execs > 0 ? pct(blk.divergence_rate()) : "-",
+               blk.branch_execs > 0 ? pct(blk.taken_fraction()) : "-"});
+    ++shown;
+  }
+  os << "hot basic blocks (IC / BF):\n" << t.render();
+}
+
+void render_memory(std::ostringstream& os, const StageProfile& s) {
+  TextTable t({"mem op", "kind", "ops", "txn/op", "L1 hit", "L2 hit",
+               "DRAM"});
+  for (const MemInstProfile& m : s.memory) {
+    const double txns = std::max<std::uint64_t>(1, m.transactions) * 1.0;
+    t.add_row({format("BB%d:%u", m.bb, m.inst),
+               m.is_atomic ? "atom" : (m.is_store ? "store" : "load"),
+               std::to_string(m.ops), format("%.2f", m.transactions_per_op()),
+               pct(static_cast<double>(m.l1_hits) / txns),
+               pct(static_cast<double>(m.l2_hits) / txns),
+               pct(static_cast<double>(m.dram) / txns)});
+  }
+  os << "memory instructions (MD / coalescing):\n" << t.render();
+}
+
+void render_arrays(std::ostringstream& os, const StageProfile& s) {
+  TextTable t({"array", "load lines", "store lines"});
+  for (const ArrayTraffic& a : s.arrays) {
+    if (a.load_lines == 0 && a.store_lines == 0) continue;
+    t.add_row({a.array, std::to_string(a.load_lines),
+               std::to_string(a.store_lines)});
+  }
+  if (t.rows() > 0) os << "array traffic:\n" << t.render();
+}
+
+void render_reuse(std::ostringstream& os, const StageProfile& s) {
+  const ReuseDistanceAnalyzer& r = s.l2_stream;
+  os << format(
+      "reuse distance: %llu accesses, %llu lines, %llu cold, mean %.1f\n",
+      static_cast<unsigned long long>(r.accesses()),
+      static_cast<unsigned long long>(r.distinct_lines()),
+      static_cast<unsigned long long>(r.cold_misses()),
+      r.mean_distance());
+
+  const auto& hist = r.log2_histogram();
+  std::uint64_t max_count = 0;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    max_count = std::max(max_count, hist[i]);
+    if (hist[i] > 0) last = i;
+  }
+  for (std::size_t i = 0; i <= last && max_count > 0; ++i) {
+    const std::string label =
+        i == 0 ? "        0"
+               : format("%4llu-%4llu",
+                        static_cast<unsigned long long>(1ull << (i - 1)),
+                        static_cast<unsigned long long>((1ull << i) - 1));
+    os << "  " << label << " | "
+       << ascii_bar(static_cast<double>(hist[i]),
+                    static_cast<double>(max_count), 40)
+       << " " << hist[i] << "\n";
+  }
+  for (std::size_t i = 0; i < r.watch_capacities().size(); ++i)
+    os << format("  LRU %6llu lines -> miss %.1f%%\n",
+                 static_cast<unsigned long long>(r.watch_capacities()[i]),
+                 100.0 * r.miss_ratio(i));
+}
+
+}  // namespace
+
+std::string render_stage(const StageProfile& s, const ReportOptions& opts) {
+  std::ostringstream os;
+  os << format(
+      "stage %s: %.4f ms, occupancy %.2f, SIMD efficiency %s, "
+      "%llu warp-instructions\n",
+      s.kernel.c_str(), s.timing.time_ms, s.timing.occ.occupancy,
+      pct(s.simd_efficiency()).c_str(),
+      static_cast<unsigned long long>(s.issues));
+  render_blocks(os, s, opts.hot_blocks);
+  if (opts.show_memory && !s.memory.empty()) render_memory(os, s);
+  if (opts.show_arrays) render_arrays(os, s);
+  if (opts.show_reuse) render_reuse(os, s);
+  return os.str();
+}
+
+std::string render_profile(const WorkloadProfile& p,
+                           const ReportOptions& opts) {
+  std::ostringstream os;
+  os << format("== dynamic profile: %s (TC=%u BC=%u UIF=%d%s) ==\n",
+               p.workload.c_str(), p.params.threads_per_block,
+               p.params.block_count, p.params.unroll,
+               p.params.fast_math ? " fast-math" : "");
+  if (!p.measurement.valid) {
+    os << "  not launchable: " << p.measurement.error << "\n";
+    return os.str();
+  }
+  os << format("trial time %.4f ms, SIMD efficiency %s\n",
+               p.measurement.trial_time_ms,
+               pct(p.simd_efficiency()).c_str());
+  for (const StageProfile& s : p.stages) os << "\n" << render_stage(s, opts);
+  return os.str();
+}
+
+}  // namespace gpustatic::dynamic

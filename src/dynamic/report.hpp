@@ -1,0 +1,28 @@
+#pragma once
+
+// Human-readable rendering of dynamic profiles: the `nvprof`-style view a
+// developer reads, and what the CLI's `profile` subcommand prints. Pure
+// formatting — all numbers come from dynamic::profile_workload.
+
+#include <string>
+
+#include "dynamic/profile.hpp"
+
+namespace gpustatic::dynamic {
+
+struct ReportOptions {
+  std::size_t hot_blocks = 6;      ///< top-N basic blocks by issues
+  bool show_memory = true;         ///< per-memory-instruction table
+  bool show_arrays = true;         ///< per-array traffic table
+  bool show_reuse = true;          ///< reuse-distance histogram
+};
+
+/// Render one stage's profile.
+[[nodiscard]] std::string render_stage(const StageProfile& stage,
+                                       const ReportOptions& opts = {});
+
+/// Render a whole profiled workload (header + every stage).
+[[nodiscard]] std::string render_profile(const WorkloadProfile& profile,
+                                         const ReportOptions& opts = {});
+
+}  // namespace gpustatic::dynamic

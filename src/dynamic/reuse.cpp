@@ -1,0 +1,100 @@
+#include "dynamic/reuse.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gpustatic::dynamic {
+
+void Fenwick::add(std::size_t i, std::int64_t delta) {
+  for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1))
+    tree_[j] += static_cast<std::uint64_t>(delta);
+}
+
+std::uint64_t Fenwick::prefix(std::size_t i) const {
+  std::uint64_t s = 0;
+  for (std::size_t j = std::min(i + 1, tree_.size() - 1); j > 0;
+       j -= j & (~j + 1))
+    s += tree_[j];
+  return s;
+}
+
+std::uint64_t Fenwick::range(std::size_t a, std::size_t b) const {
+  if (a > b) return 0;
+  const std::uint64_t hi = prefix(b);
+  const std::uint64_t lo = a == 0 ? 0 : prefix(a - 1);
+  return hi - lo;
+}
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(
+    std::vector<std::uint64_t> watch_capacities)
+    : watch_(std::move(watch_capacities)),
+      watch_hits_(watch_.size(), 0),
+      hist_(64, 0) {}
+
+void ReuseDistanceAnalyzer::grow() {
+  // Rebuild a tree twice the size with one set bit per live timestamp.
+  Fenwick bigger(live_.capacity() * 2);
+  for (const auto& [line, t] : last_)
+    bigger.add(static_cast<std::size_t>(t), 1);
+  live_ = std::move(bigger);
+}
+
+std::uint64_t ReuseDistanceAnalyzer::access(std::uint64_t line) {
+  ++accesses_;
+  if (time_ >= live_.capacity()) grow();
+
+  std::uint64_t distance = kColdAccess;
+  const auto it = last_.find(line);
+  if (it == last_.end()) {
+    ++cold_;
+  } else {
+    // Distinct lines touched strictly after the previous access: exactly
+    // the live timestamps in (prev, now).
+    const auto prev = static_cast<std::size_t>(it->second);
+    distance = time_ > 0 ? live_.range(prev + 1, time_ - 1) : 0;
+    live_.add(prev, -1);
+
+    const std::size_t bucket =
+        distance == 0
+            ? 0
+            : static_cast<std::size_t>(std::bit_width(distance));
+    hist_[std::min(bucket, hist_.size() - 1)] += 1;
+    distance_sum_ += static_cast<double>(distance);
+    for (std::size_t i = 0; i < watch_.size(); ++i)
+      if (distance < watch_[i]) watch_hits_[i] += 1;
+  }
+
+  live_.add(static_cast<std::size_t>(time_), 1);
+  last_[line] = time_;
+  ++time_;
+  return distance;
+}
+
+double ReuseDistanceAnalyzer::mean_distance() const {
+  const std::uint64_t reuses = accesses_ - cold_;
+  return reuses > 0 ? distance_sum_ / static_cast<double>(reuses) : 0.0;
+}
+
+double ReuseDistanceAnalyzer::miss_ratio(std::size_t watch_index) const {
+  if (accesses_ == 0) return 0.0;
+  const std::uint64_t hits = watch_hits_.at(watch_index);
+  return static_cast<double>(accesses_ - hits) /
+         static_cast<double>(accesses_);
+}
+
+void ReuseDistanceAnalyzer::merge_distribution(
+    const ReuseDistanceAnalyzer& other) {
+  accesses_ += other.accesses_;
+  cold_ += other.cold_;
+  distance_sum_ += other.distance_sum_;
+  for (std::size_t i = 0; i < hist_.size() && i < other.hist_.size(); ++i)
+    hist_[i] += other.hist_[i];
+  for (std::size_t i = 0;
+       i < watch_hits_.size() && i < other.watch_hits_.size(); ++i) {
+    // Only meaningful when both analyzers watch the same capacities, which
+    // profile_workload guarantees.
+    watch_hits_[i] += other.watch_hits_[i];
+  }
+}
+
+}  // namespace gpustatic::dynamic

@@ -1,0 +1,93 @@
+#pragma once
+
+// LRU reuse-distance ("memory distance", the MD metric of the paper's
+// Fig. 2 dynamic-analysis box) over a cache-line reference stream.
+//
+// The distance of an access is the number of *distinct* lines referenced
+// since the previous access to the same line (exclusive). Under that
+// definition a fully associative LRU cache of capacity C lines hits
+// exactly when distance < C, so one pass over the stream yields the miss
+// ratio of every cache size at once.
+//
+// Implementation: the classic one-pass algorithm — a timestamp per line's
+// most recent access plus a Fenwick tree with one set bit per live
+// timestamp; the distance is the count of set bits after the line's last
+// timestamp. O(log n) per access, O(distinct lines) live state.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gpustatic::dynamic {
+
+/// Binary-indexed tree over timestamps; grows by power-of-two rebuilds.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t capacity = 64) : tree_(capacity + 1, 0) {}
+
+  void add(std::size_t i, std::int64_t delta);
+  /// Sum of entries [0, i].
+  [[nodiscard]] std::uint64_t prefix(std::size_t i) const;
+  /// Sum of entries [a, b]; 0 when a > b.
+  [[nodiscard]] std::uint64_t range(std::size_t a, std::size_t b) const;
+  [[nodiscard]] std::size_t capacity() const { return tree_.size() - 1; }
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based internally
+};
+
+/// Sentinel distance for a line's first-ever access.
+inline constexpr std::uint64_t kColdAccess = ~0ull;
+
+class ReuseDistanceAnalyzer {
+ public:
+  /// `watch_capacities` is a list of LRU cache sizes (in lines) whose
+  /// hit counts are tracked exactly while streaming.
+  explicit ReuseDistanceAnalyzer(
+      std::vector<std::uint64_t> watch_capacities = {});
+
+  /// Record one reference and return its reuse distance
+  /// (kColdAccess for a first touch).
+  std::uint64_t access(std::uint64_t line);
+
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t cold_misses() const { return cold_; }
+  [[nodiscard]] std::uint64_t distinct_lines() const { return last_.size(); }
+
+  /// Bucketed distance distribution: bucket 0 holds distance 0 (immediate
+  /// reuse), bucket k >= 1 holds distances in [2^(k-1), 2^k). Cold
+  /// accesses are excluded.
+  [[nodiscard]] const std::vector<std::uint64_t>& log2_histogram() const {
+    return hist_;
+  }
+
+  /// Mean reuse distance over non-cold accesses (0 if none).
+  [[nodiscard]] double mean_distance() const;
+
+  /// Miss ratio of an LRU cache with the i-th watched capacity
+  /// (cold misses count as misses).
+  [[nodiscard]] double miss_ratio(std::size_t watch_index) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& watch_capacities() const {
+    return watch_;
+  }
+
+  /// Merge another analyzer's *distribution* (histograms, watch hits,
+  /// access totals). Line identity is not merged — use this to combine
+  /// per-SM streams into a report, not to continue analysis.
+  void merge_distribution(const ReuseDistanceAnalyzer& other);
+
+ private:
+  void grow();
+
+  std::vector<std::uint64_t> watch_;
+  std::vector<std::uint64_t> watch_hits_;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_;  ///< line -> time
+  Fenwick live_;
+  std::uint64_t time_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_ = 0;
+  double distance_sum_ = 0;
+  std::vector<std::uint64_t> hist_;
+};
+
+}  // namespace gpustatic::dynamic

@@ -1,0 +1,221 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace gpustatic::frontend {
+
+std::string_view token_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::KwWorkload: return "'workload'";
+    case Tok::KwArray: return "'array'";
+    case Tok::KwInit: return "'init'";
+    case Tok::KwStage: return "'stage'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwUnroll: return "'unroll'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwProb: return "'prob'";
+    case Tok::KwAtomic: return "'atomic'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semicolon: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"workload", Tok::KwWorkload}, {"array", Tok::KwArray},
+      {"init", Tok::KwInit},         {"stage", Tok::KwStage},
+      {"float", Tok::KwFloat},       {"int", Tok::KwInt},
+      {"for", Tok::KwFor},           {"unroll", Tok::KwUnroll},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"prob", Tok::KwProb},         {"atomic", Tok::KwAtomic},
+  };
+  return kMap;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+
+  auto push = [&](Tok k, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t open_line = line;
+      i += 2;
+      while (i + 1 < src.size() &&
+             !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size())
+        throw ParseError("unterminated block comment", open_line);
+      i += 2;
+      continue;
+    }
+    // Identifiers & keywords.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      const std::string_view word = src.substr(i, j - i);
+      const auto it = keywords().find(word);
+      if (it != keywords().end())
+        push(it->second, std::string(word));
+      else
+        push(Tok::Ident, std::string(word));
+      i = j;
+      continue;
+    }
+    // Numbers: 123, 1.5, 2e-3; a '.' or exponent makes it a float.
+    if (digit(c)) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < src.size() && digit(src[j])) ++j;
+      if (j < src.size() && src[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < src.size() && digit(src[j])) ++j;
+      }
+      if (j < src.size() && (src[j] == 'e' || src[j] == 'E')) {
+        is_float = true;
+        ++j;
+        if (j < src.size() && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j >= src.size() || !digit(src[j]))
+          throw ParseError("malformed exponent in number", line);
+        while (j < src.size() && digit(src[j])) ++j;
+      }
+      if (j < src.size() && ident_start(src[j]))
+        throw ParseError("identifier cannot start with a digit", line);
+      const std::string text(src.substr(i, j - i));
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_value = std::stoll(text);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Operators & punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('+', '=')) { push(Tok::PlusAssign); i += 2; continue; }
+    if (two('-', '=')) { push(Tok::MinusAssign); i += 2; continue; }
+    if (two('*', '=')) { push(Tok::StarAssign); i += 2; continue; }
+    if (two('/', '=')) { push(Tok::SlashAssign); i += 2; continue; }
+    if (two('+', '+')) { push(Tok::PlusPlus); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::Le); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::Ge); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::EqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::NotEq); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::AndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::OrOr); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case ';': push(Tok::Semicolon); break;
+      case ',': push(Tok::Comma); break;
+      case ':': push(Tok::Colon); break;
+      case '=': push(Tok::Assign); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '%': push(Tok::Percent); break;
+      case '<': push(Tok::Lt); break;
+      case '>': push(Tok::Gt); break;
+      case '!': push(Tok::Not); break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line);
+    }
+    ++i;
+  }
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace gpustatic::frontend

@@ -1,0 +1,48 @@
+#pragma once
+
+// Tokenizer for the kernel source language (see frontend/parser.hpp for
+// the grammar). Line-accurate: every token carries its source line so
+// ParseError messages point at the offending input.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpustatic::frontend {
+
+enum class Tok : std::uint8_t {
+  // Literals & names.
+  Ident, IntLit, FloatLit,
+  // Keywords.
+  KwWorkload, KwArray, KwInit, KwStage, KwFloat, KwInt, KwFor, KwUnroll,
+  KwIf, KwElse, KwProb, KwAtomic,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Colon,
+  // Operators.
+  Assign,          // =
+  Plus, Minus, Star, Slash, Percent,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign,  // += -= *= /=
+  PlusPlus,        // ++
+  Lt, Le, Gt, Ge, EqEq, NotEq,
+  AndAnd, OrOr, Not,
+  End,             // end of input
+};
+
+[[nodiscard]] std::string_view token_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        ///< identifier spelling / literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  std::size_t line = 1;
+};
+
+/// Tokenize the whole source. `//` line comments and `/* */` block
+/// comments are skipped. Throws ParseError on unknown characters,
+/// malformed numbers, or unterminated block comments.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace gpustatic::frontend

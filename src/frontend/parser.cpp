@@ -1,0 +1,579 @@
+#include "frontend/parser.hpp"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "frontend/lexer.hpp"
+
+namespace gpustatic::frontend {
+
+namespace {
+
+using dsl::CmpKind;
+using dsl::CondPtr;
+using dsl::FloatBinOp;
+using dsl::FloatExprPtr;
+using dsl::FloatUnOp;
+using dsl::IntExprPtr;
+using dsl::IntOp;
+using dsl::StmtPtr;
+
+const std::unordered_map<std::string_view, FloatUnOp>& float_funcs() {
+  static const std::unordered_map<std::string_view, FloatUnOp> kMap = {
+      {"exp", FloatUnOp::Exp},     {"log", FloatUnOp::Log},
+      {"sqrt", FloatUnOp::Sqrt},   {"rsqrt", FloatUnOp::Rsqrt},
+      {"rcp", FloatUnOp::Rcp},     {"sin", FloatUnOp::Sin},
+      {"cos", FloatUnOp::Cos},     {"abs", FloatUnOp::Abs},
+  };
+  return kMap;
+}
+
+/// Constant folding over an integer expression in which only the workload
+/// parameter may appear; returns nullopt when a runtime variable occurs.
+std::optional<std::int64_t> fold(const IntExprPtr& e) {
+  switch (e->kind) {
+    case dsl::IntExpr::Kind::Const:
+      return e->value;
+    case dsl::IntExpr::Kind::Var:
+      return std::nullopt;
+    case dsl::IntExpr::Kind::Binary: {
+      const auto a = fold(e->lhs);
+      const auto b = fold(e->rhs);
+      if (!a || !b) return std::nullopt;
+      switch (e->op) {
+        case IntOp::Add: return *a + *b;
+        case IntOp::Sub: return *a - *b;
+        case IntOp::Mul: return *a * *b;
+        case IntOp::Div: return *b == 0 ? std::optional<std::int64_t>{}
+                                        : *a / *b;
+        case IntOp::Mod: return *b == 0 ? std::optional<std::int64_t>{}
+                                        : *a % *b;
+        case IntOp::Min: return std::min(*a, *b);
+        case IntOp::Max: return std::max(*a, *b);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : toks_(tokenize(source)) {}
+
+  dsl::WorkloadDesc run(std::optional<std::int64_t> size_override) {
+    expect(Tok::KwWorkload, "every program starts with 'workload'");
+    wl_.name = expect_ident("workload name");
+    expect(Tok::LParen, "after the workload name");
+    param_name_ = expect_ident("parameter name");
+    expect(Tok::Assign, "after the parameter name");
+    const Token size = expect(Tok::IntLit, "parameter value");
+    expect(Tok::RParen, "after the parameter value");
+    expect(Tok::Semicolon, "after the workload header");
+    param_value_ = size_override.value_or(size.int_value);
+    if (param_value_ <= 0)
+      fail("workload parameter must be positive", size.line);
+    wl_.problem_size = param_value_;
+
+    while (!at(Tok::End)) {
+      if (at(Tok::KwArray))
+        parse_array();
+      else if (at(Tok::KwStage))
+        parse_stage();
+      else
+        fail("expected 'array' or 'stage', got " +
+             std::string(token_name(cur().kind)));
+    }
+    if (wl_.stages.empty()) fail("workload defines no stages");
+    return std::move(wl_);
+  }
+
+ private:
+  // ---- token helpers -----------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+  Token advance() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok k, const std::string& why) {
+    if (!at(k))
+      fail("expected " + std::string(token_name(k)) + " " + why +
+           ", got " + std::string(token_name(cur().kind)));
+    return advance();
+  }
+  std::string expect_ident(const std::string& what) {
+    return expect(Tok::Ident, "(" + what + ")").text;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, cur().line);
+  }
+  [[noreturn]] void fail(const std::string& msg, std::size_t line) const {
+    throw ParseError(msg, line);
+  }
+
+  // ---- name environment ----------------------------------------------------
+  enum class NameKind { Array, FloatScalar, IntVar };
+
+  void declare(const std::string& name, NameKind kind, std::size_t line) {
+    if (name == param_name_)
+      fail("'" + name + "' shadows the workload parameter", line);
+    if (names_.count(name) != 0)
+      fail("duplicate declaration of '" + name + "'", line);
+    names_.emplace(name, kind);
+  }
+  void undeclare(const std::string& name) { names_.erase(name); }
+  [[nodiscard]] std::optional<NameKind> lookup(
+      const std::string& name) const {
+    const auto it = names_.find(name);
+    if (it == names_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // ---- declarations ---------------------------------------------------------
+  void parse_array() {
+    expect(Tok::KwArray, "");
+    const Token name_tok = advance();
+    if (name_tok.kind != Tok::Ident)
+      fail("expected array name", name_tok.line);
+    expect(Tok::LBracket, "before the array extent");
+    const std::int64_t extent = const_iexpr("array extent");
+    expect(Tok::RBracket, "after the array extent");
+
+    dsl::ArrayDecl decl;
+    decl.name = name_tok.text;
+    decl.length = extent;
+    decl.init = dsl::ArrayInit::Ramp;
+    if (accept(Tok::KwInit)) {
+      const std::string mode = expect_ident("init mode");
+      if (mode == "ramp")
+        decl.init = dsl::ArrayInit::Ramp;
+      else if (mode == "zero")
+        decl.init = dsl::ArrayInit::Zero;
+      else if (mode == "ones")
+        decl.init = dsl::ArrayInit::Ones;
+      else
+        fail("unknown init mode '" + mode + "' (ramp, zero, ones)");
+    }
+    expect(Tok::Semicolon, "after the array declaration");
+    declare(decl.name, NameKind::Array, name_tok.line);
+    wl_.arrays.push_back(std::move(decl));
+  }
+
+  void parse_stage() {
+    expect(Tok::KwStage, "");
+    dsl::StageDesc stage;
+    stage.name = expect_ident("stage name");
+    for (const auto& s : wl_.stages)
+      if (s.name == stage.name)
+        fail("duplicate stage name '" + stage.name + "'");
+    expect(Tok::LParen, "after the stage name");
+    const Token wi_tok = expect(Tok::Ident, "(work-item variable)");
+    stage.work_item_var = wi_tok.text;
+    expect(Tok::Colon, "between work-item variable and domain");
+    stage.domain = const_iexpr("stage domain");
+    if (stage.domain <= 0) fail("stage domain must be positive");
+    expect(Tok::RParen, "after the stage domain");
+
+    declare(stage.work_item_var, NameKind::IntVar, wi_tok.line);
+    stage.body = parse_block();
+    undeclare(stage.work_item_var);
+    wl_.stages.push_back(std::move(stage));
+  }
+
+  // ---- statements ------------------------------------------------------------
+  StmtPtr parse_block() {
+    expect(Tok::LBrace, "to open a block");
+    std::vector<StmtPtr> stmts;
+    std::vector<std::string> scope;  // names to drop at block exit
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End)) fail("unterminated block");
+      stmts.push_back(parse_stmt(scope));
+    }
+    expect(Tok::RBrace, "to close the block");
+    for (const std::string& n : scope) undeclare(n);
+    return dsl::seq(std::move(stmts));
+  }
+
+  StmtPtr parse_stmt(std::vector<std::string>& scope) {
+    if (at(Tok::KwFloat)) return parse_float_decl(scope);
+    if (at(Tok::KwInt)) return parse_int_decl(scope);
+    if (at(Tok::KwAtomic)) return parse_atomic();
+    if (at(Tok::KwFor) || at(Tok::KwUnroll)) return parse_for();
+    if (at(Tok::KwIf)) return parse_if();
+    if (at(Tok::Ident)) return parse_assign();
+    fail("expected a statement, got " +
+         std::string(token_name(cur().kind)));
+  }
+
+  StmtPtr parse_float_decl(std::vector<std::string>& scope) {
+    expect(Tok::KwFloat, "");
+    const Token name_tok = expect(Tok::Ident, "(scalar name)");
+    const std::string& name = name_tok.text;
+    expect(Tok::Assign, "after the scalar name");
+    FloatExprPtr value = parse_fexpr();
+    expect(Tok::Semicolon, "after the declaration");
+    declare(name, NameKind::FloatScalar, name_tok.line);
+    scope.push_back(name);
+    return dsl::let_float(name, std::move(value));
+  }
+
+  StmtPtr parse_int_decl(std::vector<std::string>& scope) {
+    expect(Tok::KwInt, "");
+    const Token name_tok = expect(Tok::Ident, "(index name)");
+    const std::string& name = name_tok.text;
+    expect(Tok::Assign, "after the index name");
+    IntExprPtr value = parse_iexpr();
+    expect(Tok::Semicolon, "after the declaration");
+    declare(name, NameKind::IntVar, name_tok.line);
+    scope.push_back(name);
+    return dsl::let_int(name, std::move(value));
+  }
+
+  StmtPtr parse_atomic() {
+    expect(Tok::KwAtomic, "");
+    const std::string array = expect_ident("array name");
+    if (lookup(array) != NameKind::Array)
+      fail("atomic target '" + array + "' is not a declared array");
+    expect(Tok::LBracket, "after the array name");
+    IntExprPtr index = parse_iexpr();
+    expect(Tok::RBracket, "after the index");
+    expect(Tok::PlusAssign, "(atomic updates are '+=' only)");
+    FloatExprPtr value = parse_fexpr();
+    expect(Tok::Semicolon, "after the atomic update");
+    return dsl::atomic_add(array, std::move(index), std::move(value));
+  }
+
+  StmtPtr parse_assign() {
+    const Token name_tok = advance();
+    const std::string& name = name_tok.text;
+    const auto kind = lookup(name);
+    if (!kind) fail("unknown name '" + name + "'", name_tok.line);
+
+    if (accept(Tok::LBracket)) {
+      if (*kind != NameKind::Array)
+        fail("'" + name + "' is not an array", name_tok.line);
+      IntExprPtr index = parse_iexpr();
+      expect(Tok::RBracket, "after the index");
+      expect(Tok::Assign, "(array elements take plain '=')");
+      FloatExprPtr value = parse_fexpr();
+      expect(Tok::Semicolon, "after the store");
+      return dsl::store(name, std::move(index), std::move(value));
+    }
+
+    if (*kind != NameKind::FloatScalar)
+      fail("only 'float' scalars can be updated; '" + name +
+               "' is not one",
+           name_tok.line);
+    FloatBinOp op;
+    if (accept(Tok::PlusAssign))
+      op = FloatBinOp::Add;
+    else if (accept(Tok::MinusAssign))
+      op = FloatBinOp::Sub;
+    else if (accept(Tok::StarAssign))
+      op = FloatBinOp::Mul;
+    else if (accept(Tok::SlashAssign))
+      op = FloatBinOp::Div;
+    else if (at(Tok::Assign))
+      fail("plain '=' on a scalar is not supported; use a compound "
+           "update (+=, -=, *=, /=) or declare a new scalar");
+    else
+      fail("expected a compound assignment operator");
+    FloatExprPtr value = parse_fexpr();
+    expect(Tok::Semicolon, "after the update");
+    return dsl::accum(name, op, std::move(value));
+  }
+
+  StmtPtr parse_for() {
+    const bool unrollable = accept(Tok::KwUnroll);
+    expect(Tok::KwFor, unrollable ? "after 'unroll'" : "");
+    expect(Tok::LParen, "after 'for'");
+    const Token var_tok = expect(Tok::Ident, "(loop variable)");
+    const std::string& var = var_tok.text;
+    expect(Tok::Assign, "in the loop initializer");
+    const std::int64_t lo = const_iexpr("loop lower bound");
+    expect(Tok::Semicolon, "after the initializer");
+    const std::string var2 = expect_ident("loop condition variable");
+    if (var2 != var)
+      fail("loop condition must test the loop variable '" + var + "'");
+    expect(Tok::Lt, "(loops must use '<')");
+    const std::int64_t hi = const_iexpr("loop upper bound");
+    expect(Tok::Semicolon, "after the condition");
+    const std::string var3 = expect_ident("loop increment variable");
+    if (var3 != var)
+      fail("loop increment must update the loop variable '" + var + "'");
+    expect(Tok::PlusPlus, "(loops must increment by one)");
+    expect(Tok::RParen, "after the loop header");
+    if (lo > hi) fail("loop bounds are inverted");
+
+    declare(var, NameKind::IntVar, var_tok.line);
+    StmtPtr body = parse_block();
+    undeclare(var);
+    return dsl::serial_for(var, lo, hi, std::move(body), unrollable);
+  }
+
+  StmtPtr parse_if() {
+    expect(Tok::KwIf, "");
+    expect(Tok::LParen, "after 'if'");
+    CondPtr cond = parse_cond();
+    expect(Tok::RParen, "after the condition");
+    double prob = 0.5;
+    if (accept(Tok::KwProb)) {
+      expect(Tok::LParen, "after 'prob'");
+      const Token p = advance();
+      if (p.kind == Tok::FloatLit)
+        prob = p.float_value;
+      else if (p.kind == Tok::IntLit)
+        prob = static_cast<double>(p.int_value);
+      else
+        fail("expected a probability literal", p.line);
+      if (prob < 0.0 || prob > 1.0)
+        fail("branch probability must be within [0, 1]", p.line);
+      expect(Tok::RParen, "after the probability");
+    }
+    StmtPtr then_branch = parse_block();
+    StmtPtr else_branch;
+    if (accept(Tok::KwElse)) else_branch = parse_block();
+    return dsl::if_then(std::move(cond), std::move(then_branch),
+                        std::move(else_branch), prob);
+  }
+
+  // ---- conditions -------------------------------------------------------------
+  CondPtr parse_cond() {
+    CondPtr lhs = parse_conj();
+    while (accept(Tok::OrOr)) lhs = dsl::cor(lhs, parse_conj());
+    return lhs;
+  }
+  CondPtr parse_conj() {
+    CondPtr lhs = parse_catom();
+    while (accept(Tok::AndAnd)) lhs = dsl::cand(lhs, parse_catom());
+    return lhs;
+  }
+  CondPtr parse_catom() {
+    if (accept(Tok::Not)) return dsl::cnot(parse_catom());
+    // Parenthesized condition vs parenthesized integer expression: both
+    // start with '('. Try the condition first; on failure re-parse as a
+    // comparison whose left side is parenthesized.
+    if (at(Tok::LParen)) {
+      const std::size_t mark = pos_;
+      ++pos_;
+      try {
+        CondPtr inner = parse_cond();
+        expect(Tok::RParen, "after the condition");
+        return inner;
+      } catch (const ParseError&) {
+        pos_ = mark;  // fall through: comparison with '(' iexpr ')' lhs
+      }
+    }
+    IntExprPtr a = parse_iexpr();
+    CmpKind cmp;
+    if (accept(Tok::EqEq))
+      cmp = CmpKind::EQ;
+    else if (accept(Tok::NotEq))
+      cmp = CmpKind::NE;
+    else if (accept(Tok::Lt))
+      cmp = CmpKind::LT;
+    else if (accept(Tok::Le))
+      cmp = CmpKind::LE;
+    else if (accept(Tok::Gt))
+      cmp = CmpKind::GT;
+    else if (accept(Tok::Ge))
+      cmp = CmpKind::GE;
+    else
+      fail("expected a comparison operator");
+    IntExprPtr b = parse_iexpr();
+    return dsl::ccmp(cmp, std::move(a), std::move(b));
+  }
+
+  // ---- float expressions --------------------------------------------------------
+  FloatExprPtr parse_fexpr() {
+    FloatExprPtr lhs = parse_fterm();
+    for (;;) {
+      if (accept(Tok::Plus))
+        lhs = dsl::fadd(lhs, parse_fterm());
+      else if (accept(Tok::Minus))
+        lhs = dsl::fsub(lhs, parse_fterm());
+      else
+        return lhs;
+    }
+  }
+  FloatExprPtr parse_fterm() {
+    FloatExprPtr lhs = parse_ffactor();
+    for (;;) {
+      if (accept(Tok::Star))
+        lhs = dsl::fmul(lhs, parse_ffactor());
+      else if (accept(Tok::Slash))
+        lhs = dsl::fdiv(lhs, parse_ffactor());
+      else
+        return lhs;
+    }
+  }
+  FloatExprPtr parse_ffactor() {
+    if (accept(Tok::Minus))
+      return dsl::fun(FloatUnOp::Neg, parse_ffactor());
+    if (at(Tok::FloatLit)) return dsl::fconst(advance().float_value);
+    if (at(Tok::IntLit))
+      return dsl::fconst(static_cast<double>(advance().int_value));
+    if (accept(Tok::LParen)) {
+      FloatExprPtr e = parse_fexpr();
+      expect(Tok::RParen, "after the expression");
+      return e;
+    }
+    const Token name_tok = expect(Tok::Ident, "in a float expression");
+    const std::string& name = name_tok.text;
+
+    // Intrinsics.
+    const auto fn = float_funcs().find(name);
+    if (fn != float_funcs().end()) {
+      expect(Tok::LParen, "after the intrinsic name");
+      FloatExprPtr arg = parse_fexpr();
+      expect(Tok::RParen, "after the intrinsic argument");
+      return dsl::fun(fn->second, std::move(arg));
+    }
+    if (name == "fmin" || name == "fmax") {
+      expect(Tok::LParen, "after the intrinsic name");
+      FloatExprPtr a = parse_fexpr();
+      expect(Tok::Comma, "between the intrinsic arguments");
+      FloatExprPtr b = parse_fexpr();
+      expect(Tok::RParen, "after the intrinsic arguments");
+      return dsl::fbin(name == "fmin" ? FloatBinOp::Min : FloatBinOp::Max,
+                       std::move(a), std::move(b));
+    }
+    if (name == "tofloat") {
+      // Compile-time int -> float constant (e.g. grid-spacing factors
+      // that depend on the workload parameter). The argument must fold.
+      const std::size_t line = cur().line;
+      expect(Tok::LParen, "after 'tofloat'");
+      IntExprPtr arg = parse_iexpr();
+      expect(Tok::RParen, "after the tofloat argument");
+      const auto value = fold(arg);
+      if (!value)
+        fail("tofloat requires a compile-time constant argument", line);
+      return dsl::fconst(static_cast<double>(*value));
+    }
+
+    const auto kind = lookup(name);
+    if (!kind) fail("unknown name '" + name + "'", name_tok.line);
+    if (*kind == NameKind::Array) {
+      expect(Tok::LBracket, "(arrays must be indexed)");
+      IntExprPtr index = parse_iexpr();
+      expect(Tok::RBracket, "after the index");
+      return dsl::fload(name, std::move(index));
+    }
+    if (*kind == NameKind::IntVar)
+      fail("'" + name +
+               "' is an integer; implicit int->float conversion is not "
+               "supported",
+           name_tok.line);
+    return dsl::fref(name);
+  }
+
+  // ---- integer expressions ---------------------------------------------------------
+  IntExprPtr parse_iexpr() {
+    IntExprPtr lhs = parse_iterm();
+    for (;;) {
+      if (accept(Tok::Plus))
+        lhs = dsl::iadd(lhs, parse_iterm());
+      else if (accept(Tok::Minus))
+        lhs = dsl::isub(lhs, parse_iterm());
+      else
+        return lhs;
+    }
+  }
+  IntExprPtr parse_iterm() {
+    IntExprPtr lhs = parse_iatom();
+    for (;;) {
+      const bool div = at(Tok::Slash);
+      const bool mod = at(Tok::Percent);
+      if (accept(Tok::Star)) {
+        lhs = dsl::imul(lhs, parse_iatom());
+      } else if (div || mod) {
+        const std::size_t line = cur().line;
+        advance();
+        IntExprPtr rhs = parse_iatom();
+        const auto value = fold(rhs);
+        if (!value)
+          fail("integer " + std::string(div ? "division" : "modulo") +
+                   " requires a constant divisor",
+               line);
+        if (*value == 0) fail("division by zero", line);
+        lhs = div ? dsl::idiv(lhs, *value) : dsl::imod(lhs, *value);
+      } else {
+        return lhs;
+      }
+    }
+  }
+  IntExprPtr parse_iatom() {
+    if (accept(Tok::Minus))
+      return dsl::isub(dsl::iconst(0), parse_iatom());
+    if (at(Tok::IntLit)) return dsl::iconst(advance().int_value);
+    if (at(Tok::FloatLit))
+      fail("float literal in an integer expression");
+    if (accept(Tok::LParen)) {
+      IntExprPtr e = parse_iexpr();
+      expect(Tok::RParen, "after the expression");
+      return e;
+    }
+    const Token name_tok = expect(Tok::Ident, "in an integer expression");
+    const std::string& name = name_tok.text;
+    if (name == "min" || name == "max") {
+      expect(Tok::LParen, "after the intrinsic name");
+      IntExprPtr a = parse_iexpr();
+      expect(Tok::Comma, "between the intrinsic arguments");
+      IntExprPtr b = parse_iexpr();
+      expect(Tok::RParen, "after the intrinsic arguments");
+      return dsl::ibin(name == "min" ? IntOp::Min : IntOp::Max,
+                       std::move(a), std::move(b));
+    }
+    if (name == param_name_) return dsl::iconst(param_value_);
+    const auto kind = lookup(name);
+    if (!kind) fail("unknown name '" + name + "'", name_tok.line);
+    if (*kind == NameKind::Array)
+      fail("array '" + name + "' used as an integer value",
+           name_tok.line);
+    if (*kind == NameKind::FloatScalar)
+      fail("'" + name +
+               "' is a float; implicit float->int conversion is not "
+               "supported",
+           name_tok.line);
+    return dsl::ivar(name);
+  }
+
+  /// Parse an integer expression that must fold to a constant >= 0
+  /// (extent, domain, loop bound): only literals and the parameter.
+  std::int64_t const_iexpr(const std::string& what) {
+    const std::size_t line = cur().line;
+    IntExprPtr e = parse_iexpr();
+    const auto value = fold(e);
+    if (!value)
+      fail(what + " must be a compile-time constant (literals and the "
+                  "workload parameter only)",
+           line);
+    if (*value < 0) fail(what + " must be non-negative", line);
+    return *value;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  dsl::WorkloadDesc wl_;
+  std::string param_name_;
+  std::int64_t param_value_ = 0;
+  std::unordered_map<std::string, NameKind> names_;
+};
+
+}  // namespace
+
+dsl::WorkloadDesc parse_workload(std::string_view source) {
+  return Parser(source).run(std::nullopt);
+}
+
+dsl::WorkloadDesc parse_workload(std::string_view source,
+                                 std::int64_t problem_size) {
+  return Parser(source).run(problem_size);
+}
+
+}  // namespace gpustatic::frontend

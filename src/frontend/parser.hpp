@@ -1,0 +1,78 @@
+#pragma once
+
+// Source-to-DSL translation: the paper's Sec. VII goal of using "source
+// analysis technology to translate kernel code to the input required by
+// Orio". Kernels are written in a restricted C-like language and parsed
+// into dsl::WorkloadDesc, after which the whole pipeline — static
+// analysis, occupancy suggestion, autotuning, simulation — applies
+// unchanged.
+//
+// Grammar (EBNF; `//` and `/* */` comments allowed everywhere):
+//
+//   program   = "workload" IDENT "(" IDENT "=" INT ")" ";" { decl } ;
+//   decl      = array | stage ;
+//   array     = "array" IDENT "[" iexpr "]" [ "init" IDENT ] ";" ;
+//                 // init one of: ramp (default), zero, ones
+//   stage     = "stage" IDENT "(" IDENT ":" iexpr ")" block ;
+//                 // work-item variable : domain size (parameter-const)
+//   block     = "{" { stmt } "}" ;
+//   stmt      = "float" IDENT "=" fexpr ";"          // accumulator decl
+//             | "int" IDENT "=" iexpr ";"            // index binding
+//             | IDENT ("+="|"-="|"*="|"/=") fexpr ";"  // accumulator step
+//             | IDENT "[" iexpr "]" "=" fexpr ";"    // array store
+//             | "atomic" IDENT "[" iexpr "]" "+=" fexpr ";"
+//             | [ "unroll" ] "for" "(" IDENT "=" iexpr ";"
+//               IDENT "<" iexpr ";" IDENT "++" ")" block
+//             | "if" "(" cond ")" [ "prob" "(" FLOAT ")" ] block
+//               [ "else" block ] ;
+//   cond      = conj { "||" conj } ;
+//   conj      = catom { "&&" catom } ;
+//   catom     = "!" catom | "(" cond ")"
+//             | iexpr ("=="|"!="|"<"|"<="|">"|">=") iexpr ;
+//   fexpr     = fterm { ("+"|"-") fterm } ;
+//   fterm     = ffactor { ("*"|"/") ffactor } ;
+//   ffactor   = "-" ffactor | FLOAT | INT           // literals
+//             | FUNC "(" fexpr ")"                  // exp log sqrt rsqrt
+//                                                   // rcp sin cos abs
+//             | ("fmin"|"fmax") "(" fexpr "," fexpr ")"
+//             | "tofloat" "(" iexpr ")"             // const int -> float
+//             | IDENT "[" iexpr "]"                 // array load
+//             | IDENT | "(" fexpr ")" ;
+//   iexpr     = iterm { ("+"|"-") iterm } ;
+//   iterm     = iatom { ("*"|"/"|"%") iatom } ;     // / % need const rhs
+//   iatom     = "-" iatom | INT | IDENT
+//             | ("min"|"max") "(" iexpr "," iexpr ")" | "(" iexpr ")" ;
+//
+// Semantics enforced while parsing (all violations raise ParseError with
+// the source line):
+//   * the single workload parameter (e.g. N) is a compile-time constant,
+//     folded into every expression;
+//   * array extents, stage domains, and for-loop bounds must fold to
+//     non-negative constants (they may reference only the parameter);
+//   * scalars: `float` names live in float expressions, `int` names and
+//     loop/work-item variables in integer expressions — no implicit
+//     casts;
+//   * compound assignment targets must be declared `float` scalars;
+//     plain `=` on a scalar is rejected (the DSL models accumulators);
+//   * integer `/` and `%` require a constant divisor (the code generator
+//     additionally requires a power of two);
+//   * duplicate names, unknown names, and stores to non-arrays are
+//     rejected.
+
+#include <string>
+#include <string_view>
+
+#include "dsl/ast.hpp"
+
+namespace gpustatic::frontend {
+
+/// Parse one workload definition. Throws ParseError on any lexical,
+/// syntactic, or semantic violation.
+[[nodiscard]] dsl::WorkloadDesc parse_workload(std::string_view source);
+
+/// As parse_workload, but overriding the parameter's declared value with
+/// `problem_size` (so one source file serves every input size).
+[[nodiscard]] dsl::WorkloadDesc parse_workload(std::string_view source,
+                                               std::int64_t problem_size);
+
+}  // namespace gpustatic::frontend

@@ -1,0 +1,128 @@
+#pragma once
+
+// The four Table IV kernels in the frontend source language — the same
+// computations as kernels::make_*, written the way a user would write
+// them. Tests verify simulated outputs match the hand-built DSL exactly;
+// examples and the CLI use them as ready-made inputs.
+
+#include <string_view>
+
+namespace gpustatic::frontend::sources {
+
+inline constexpr std::string_view kAtax = R"(
+// y = A^T (A x), two passes over A (Table IV: atax).
+workload atax(N = 64);
+
+array A[N*N] init ramp;
+array x[N]   init ramp;
+array tmp[N] init zero;
+array y[N]   init zero;
+
+stage atax_fwd(t : N) {            // tmp = A x, thread per row
+  float acc = 0.0;
+  unroll for (j = 0; j < N; j++) {
+    acc += A[t*N + j] * x[j];
+  }
+  tmp[t] = acc;
+}
+
+stage atax_bwd(t : N) {            // y = A^T tmp, thread per column
+  float acc = 0.0;
+  unroll for (i = 0; i < N; i++) {
+    acc += A[i*N + t] * tmp[i];
+  }
+  y[t] = acc;
+}
+)";
+
+inline constexpr std::string_view kBicg = R"(
+// q = A p and s = A^T r in one fused pass (Table IV: BiCG).
+workload bicg(N = 64);
+
+array A[N*N] init ramp;
+array p[N]   init ramp;
+array r[N]   init ramp;
+array q[N]   init zero;
+array s[N]   init zero;
+
+stage bicg_fused(t : N) {
+  float acc = 0.0;
+  unroll for (j = 0; j < N; j++) {
+    float aij = A[t*N + j];
+    acc += aij * p[j];
+    atomic s[j] += aij * r[t];     // transposed product, scattered
+  }
+  q[t] = acc;
+}
+)";
+
+inline constexpr std::string_view kEx14fj = R"(
+// Solid-fuel-ignition (Bratu) Jacobi residual on an N^3 grid
+// (Table IV: ex14FJ). Interior: 7-point flux with nonlinear
+// conductivity kappa(v) = 1 + v*v and a lambda*exp(u) source;
+// boundary rows pass through (Dirichlet).
+workload ex14fj(N = 16);
+
+array u[N*N*N] init ramp;
+array F[N*N*N] init zero;
+
+stage ex14fj_residual(t : N*N*N) {
+  int k = t / (N*N);
+  int rem = t % (N*N);
+  int j = rem / N;
+  int i = rem % N;
+  if (i == 0 || i == N-1 || j == 0 || j == N-1 ||
+      k == 0 || k == N-1) prob(0.3) {
+    F[t] = u[t];
+  } else {
+    float uc = u[t];
+    float uw = u[t - 1];
+    float ue = u[t + 1];
+    float us = u[t - N];
+    float un = u[t + N];
+    float ud = u[t - N*N];
+    float uu = u[t + N*N];
+    float flux = 0.5*((1.0 + uc*uc) + (1.0 + uw*uw)) * (uc - uw);
+    flux += 0.5*((1.0 + uc*uc) + (1.0 + ue*ue)) * (uc - ue);
+    flux += 0.5*((1.0 + uc*uc) + (1.0 + us*us)) * (uc - us);
+    flux += 0.5*((1.0 + uc*uc) + (1.0 + un*un)) * (uc - un);
+    flux += 0.5*((1.0 + uc*uc) + (1.0 + ud*ud)) * (uc - ud);
+    flux += 0.5*((1.0 + uc*uc) + (1.0 + uu*uu)) * (uc - uu);
+    float res = flux * tofloat((N+1)*(N+1)) - 6.0 * exp(uc);
+    F[t] = res;
+  }
+}
+)";
+
+inline constexpr std::string_view kMatVec2d = R"(
+// y = A x with a 2-D block-cyclic decomposition (Table IV: matVec2D).
+// Work item t covers row i and column chunk c; the cyclic column wrap
+// (index % N) defeats strength reduction, as in Orio's 2-D generator.
+workload matvec2d(N = 64);
+
+array A[N*N] init ramp;
+array x[N]   init ramp;
+array y[N]   init zero;
+
+stage matvec2d_partial(t : N * max(1, N / min(64, N))) {
+  int i = t / max(1, N / min(64, N));
+  int c = t % max(1, N / min(64, N));
+  float acc = 0.0;
+  unroll for (k = 0; k < min(64, N); k++) {
+    acc += A[i*N + (c*min(64, N) + k) % N] * x[(c*min(64, N) + k) % N];
+  }
+  atomic y[i] += acc;
+}
+)";
+
+/// Source by registry name ("atax", "bicg", "ex14fj", "matvec2d");
+/// empty view for unknown names.
+[[nodiscard]] constexpr std::string_view by_name(std::string_view name) {
+  if (name == "atax") return kAtax;
+  if (name == "bicg") return kBicg;
+  if (name == "ex14fj") return kEx14fj;
+  if (name == "matvec2d") return kMatVec2d;
+  return {};
+}
+
+}  // namespace gpustatic::frontend::sources

@@ -1,0 +1,302 @@
+#include <array>
+
+#include "kernels/kernels.hpp"
+
+// The extended (beyond-Table-IV) kernel suite. Implementation notes:
+//
+//  * gesummv streams two matrices per row: the most memory-bound kernel
+//    in the repository (intensity below BiCG's).
+//  * gemver chains four dependent stages through global memory — the
+//    longest stage pipeline here; its rank-1 update stage runs on an
+//    N^2 domain while the vector stages run on N, so no single launch
+//    geometry is right for all stages (a stress case for single-TC
+//    advice).
+//  * mvt is two independent matvecs (one transposed); the transposed
+//    stage's serial walk strides by N like atax's second stage.
+//  * jacobi2d's boundary branch diverges only in warps straddling the
+//    grid edge; interior warps are uniform.
+//  * divergent is adversarial: adjacent lanes always take different
+//    arms, so every warp serializes all four arms (Fig. 1's worst case
+//    at 4 ways).
+
+namespace gpustatic::kernels {
+
+using namespace dsl;  // NOLINT: dense AST-building code
+
+WorkloadDesc make_gesummv(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "gesummv";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp},
+      {"B", n * n, ArrayInit::Ramp},
+      {"x", n, ArrayInit::Ramp},
+      {"y", n, ArrayInit::Zero},
+  };
+
+  StageDesc s;
+  s.name = "gesummv_row";
+  s.domain = n;
+  const auto i = ivar("t");
+  const auto j = ivar("j");
+  const auto row = iadd(imul(i, iconst(n)), j);
+  s.body = seq({
+      let_float("sa", fconst(0.0)),
+      let_float("sb", fconst(0.0)),
+      serial_for("j", 0, n,
+                 seq({
+                     let_float("xj", fload("x", j)),
+                     accum("sa", FloatBinOp::Add,
+                           fmul(fload("A", row), fref("xj"))),
+                     accum("sb", FloatBinOp::Add,
+                           fmul(fload("B", row), fref("xj"))),
+                 })),
+      store("y", i,
+            fadd(fmul(fconst(1.5), fref("sa")),
+                 fmul(fconst(0.5), fref("sb")))),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+WorkloadDesc make_gemver(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "gemver";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp}, {"u1", n, ArrayInit::Ramp},
+      {"v1", n, ArrayInit::Ramp},    {"u2", n, ArrayInit::Ones},
+      {"v2", n, ArrayInit::Ramp},    {"y", n, ArrayInit::Ramp},
+      {"z", n, ArrayInit::Ramp},     {"x", n, ArrayInit::Zero},
+      {"w", n, ArrayInit::Zero},
+  };
+  const double alpha = 1.5;
+  const double beta = 1.2;
+
+  // Stage 1 (domain n*n): A[i][j] += u1[i]*v1[j] + u2[i]*v2[j].
+  {
+    StageDesc s;
+    s.name = "gemver_rank1";
+    s.domain = n * n;
+    const auto t = ivar("t");
+    s.body = seq({
+        let_int("i", idiv(t, n)),
+        let_int("j", imod(t, n)),
+        let_float("upd",
+                  fadd(fmul(fload("u1", ivar("i")), fload("v1", ivar("j"))),
+                       fmul(fload("u2", ivar("i")),
+                            fload("v2", ivar("j"))))),
+        store("A", t, fadd(fload("A", t), fref("upd"))),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  // Stage 2 (domain n, thread per column j): x[j] = beta * A^T y.
+  {
+    StageDesc s;
+    s.name = "gemver_xbeta";
+    s.domain = n;
+    const auto j = ivar("t");
+    const auto i = ivar("i");
+    s.body = seq({
+        let_float("acc", fconst(0.0)),
+        serial_for("i", 0, n,
+                   accum("acc", FloatBinOp::Add,
+                         fmul(fload("A", iadd(imul(i, iconst(n)), j)),
+                              fload("y", i)))),
+        store("x", j, fmul(fconst(beta), fref("acc"))),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  // Stage 3 (domain n): x[i] += z[i].
+  {
+    StageDesc s;
+    s.name = "gemver_xz";
+    s.domain = n;
+    const auto i = ivar("t");
+    s.body = store("x", i, fadd(fload("x", i), fload("z", i)));
+    wl.stages.push_back(std::move(s));
+  }
+  // Stage 4 (domain n, thread per row): w[i] = alpha * A x.
+  {
+    StageDesc s;
+    s.name = "gemver_w";
+    s.domain = n;
+    const auto i = ivar("t");
+    const auto j = ivar("j");
+    s.body = seq({
+        let_float("acc", fconst(0.0)),
+        serial_for("j", 0, n,
+                   accum("acc", FloatBinOp::Add,
+                         fmul(fload("A", iadd(imul(i, iconst(n)), j)),
+                              fload("x", j)))),
+        store("w", i, fmul(fconst(alpha), fref("acc"))),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  return wl;
+}
+
+WorkloadDesc make_mvt(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "mvt";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp},  {"x1", n, ArrayInit::Ramp},
+      {"x2", n, ArrayInit::Ramp},     {"y1", n, ArrayInit::Ramp},
+      {"y2", n, ArrayInit::Ones},
+  };
+  // x1[i] += sum_j A[i][j] * y1[j]
+  {
+    StageDesc s;
+    s.name = "mvt_x1";
+    s.domain = n;
+    const auto i = ivar("t");
+    const auto j = ivar("j");
+    s.body = seq({
+        let_float("acc", fload("x1", i)),
+        serial_for("j", 0, n,
+                   accum("acc", FloatBinOp::Add,
+                         fmul(fload("A", iadd(imul(i, iconst(n)), j)),
+                              fload("y1", j)))),
+        store("x1", i, fref("acc")),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  // x2[j] += sum_i A[i][j] * y2[i]
+  {
+    StageDesc s;
+    s.name = "mvt_x2";
+    s.domain = n;
+    const auto j = ivar("t");
+    const auto i = ivar("i");
+    s.body = seq({
+        let_float("acc", fload("x2", j)),
+        serial_for("i", 0, n,
+                   accum("acc", FloatBinOp::Add,
+                         fmul(fload("A", iadd(imul(i, iconst(n)), j)),
+                              fload("y2", i)))),
+        store("x2", j, fref("acc")),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  return wl;
+}
+
+WorkloadDesc make_jacobi2d(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "jacobi2d";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp},
+      {"B", n * n, ArrayInit::Zero},
+  };
+
+  StageDesc s;
+  s.name = "jacobi2d_step";
+  s.domain = n * n;
+  const auto t = ivar("t");
+  const auto nm1 = iconst(n - 1);
+  auto edge = [&](const IntExprPtr& v) {
+    return cor(ccmp(CmpKind::EQ, v, iconst(0)), ccmp(CmpKind::EQ, v, nm1));
+  };
+  const double interior =
+      n > 2 ? static_cast<double>((n - 2) * (n - 2)) : 0.0;
+  const double boundary_frac =
+      1.0 - interior / static_cast<double>(n * n);
+  s.body = seq({
+      let_int("i", idiv(t, n)),
+      let_int("j", imod(t, n)),
+      if_then(
+          cor(edge(ivar("i")), edge(ivar("j"))),
+          store("B", t, fload("A", t)),  // boundary pass-through
+          seq({
+              let_float("c", fload("A", t)),
+              let_float("wv", fload("A", isub(t, iconst(1)))),
+              let_float("ev", fload("A", iadd(t, iconst(1)))),
+              let_float("nv", fload("A", isub(t, iconst(n)))),
+              let_float("sv", fload("A", iadd(t, iconst(n)))),
+              store("B", t,
+                    fmul(fconst(0.2),
+                         fadd(fadd(fadd(fadd(fref("c"), fref("wv")),
+                                        fref("ev")),
+                                   fref("nv")),
+                              fref("sv")))),
+          }),
+          boundary_frac),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+WorkloadDesc make_divergent(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "divergent";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"x", n, ArrayInit::Ramp},
+      {"y", n, ArrayInit::Zero},
+  };
+
+  StageDesc s;
+  s.name = "divergent_arms";
+  s.domain = n;
+  const auto t = ivar("t");
+  // Arm bodies of increasing arithmetic weight.
+  auto arm = [&](int flops) {
+    std::vector<StmtPtr> body;
+    body.push_back(let_float("v", fload("x", t)));
+    for (int k = 0; k < flops; ++k)
+      body.push_back(accum(
+          "v", FloatBinOp::Add,
+          fmul(fref("v"), fconst(0.5 + 0.125 * static_cast<double>(k)))));
+    body.push_back(store("y", t, fref("v")));
+    return seq(std::move(body));
+  };
+  s.body = seq({
+      let_int("arm", imod(t, 4)),
+      if_then(ccmp(CmpKind::EQ, ivar("arm"), iconst(0)), arm(2),
+              if_then(ccmp(CmpKind::EQ, ivar("arm"), iconst(1)), arm(6),
+                      if_then(ccmp(CmpKind::EQ, ivar("arm"), iconst(2)),
+                              arm(12), arm(24), 1.0 / 2.0),
+                      1.0 / 3.0),
+              1.0 / 4.0),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+namespace {
+
+const std::array<KernelInfo, 5> kExtendedRegistry = {{
+    {"gesummv",
+     "Elementary linear algebra",
+     "Scalar, vector and matrix multiplication",
+     "y = alpha A x + beta B x",
+     {32, 64, 128, 256, 512}},
+    {"gemver",
+     "Elementary linear algebra",
+     "Vector multiplication and matrix addition",
+     "A+=u v^T; x=beta A^T y+z; w=alpha A x",
+     {32, 64, 128, 256}},
+    {"mvt",
+     "Elementary linear algebra",
+     "Matrix vector product and transpose",
+     "x1 += A y1, x2 += A^T y2",
+     {32, 64, 128, 256, 512}},
+    {"jacobi2d",
+     "2-D stencil",
+     "5-point Jacobi smoothing step",
+     "B = 0.2 (A + A_N + A_S + A_E + A_W)",
+     {32, 64, 128, 256}},
+    {"divergent",
+     "Synthetic",
+     "4-way branch-divergence stressor",
+     "y[t] = arm_{t mod 4}(x[t])",
+     {1024, 4096, 16384}},
+}};
+
+}  // namespace
+
+std::span<const KernelInfo> extended_kernels() { return kExtendedRegistry; }
+
+}  // namespace gpustatic::kernels

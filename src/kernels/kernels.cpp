@@ -1,0 +1,271 @@
+#include "kernels/kernels.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace gpustatic::kernels {
+
+using namespace dsl;  // NOLINT: dense AST-building code
+
+namespace {
+
+/// acc += A[row*n + col] * v[col] inner-product loop body.
+StmtPtr dot_step(const std::string& mat, IntExprPtr elem_index,
+                 const std::string& vec, IntExprPtr vec_index) {
+  return accum("acc", FloatBinOp::Add,
+               fmul(fload(mat, std::move(elem_index)),
+                    fload(vec, std::move(vec_index))));
+}
+
+}  // namespace
+
+WorkloadDesc make_atax(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "atax";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp},
+      {"x", n, ArrayInit::Ramp},
+      {"tmp", n, ArrayInit::Zero},
+      {"y", n, ArrayInit::Zero},
+  };
+
+  // Stage 1: tmp[i] = sum_j A[i*n+j] * x[j]   (thread per row)
+  {
+    StageDesc s;
+    s.name = "atax_fwd";
+    s.domain = n;
+    const auto i = ivar("t");
+    const auto j = ivar("j");
+    s.body = seq({
+        let_float("acc", fconst(0.0)),
+        serial_for("j", 0, n,
+                   dot_step("A", iadd(imul(i, iconst(n)), j), "x", j)),
+        store("tmp", i, fref("acc")),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+
+  // Stage 2: y[j] = sum_i A[i*n+j] * tmp[i]   (thread per column; the
+  // lane index runs along j so the A access is coalesced, the serial walk
+  // strides by n).
+  {
+    StageDesc s;
+    s.name = "atax_bwd";
+    s.domain = n;
+    const auto j = ivar("t");
+    const auto i = ivar("i");
+    s.body = seq({
+        let_float("acc", fconst(0.0)),
+        serial_for("i", 0, n,
+                   dot_step("A", iadd(imul(i, iconst(n)), j), "tmp", i)),
+        store("y", j, fref("acc")),
+    });
+    wl.stages.push_back(std::move(s));
+  }
+  return wl;
+}
+
+WorkloadDesc make_bicg(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "bicg";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp}, {"p", n, ArrayInit::Ramp},
+      {"r", n, ArrayInit::Ramp},     {"q", n, ArrayInit::Zero},
+      {"s", n, ArrayInit::Zero},
+  };
+
+  // Fused stage (thread per row i):
+  //   q[i]  = sum_j A[i*n+j] * p[j]
+  //   s[j] += A[i*n+j] * r[i]   (atomic across rows)
+  //
+  // Because s may alias r (no restrict info survives code generation),
+  // r[i] is re-loaded on every inner iteration — one extra memory op per
+  // multiply-add, which is what drags BiCG's intensity below atax's.
+  StageDesc s;
+  s.name = "bicg_fused";
+  s.domain = n;
+  const auto i = ivar("t");
+  const auto j = ivar("j");
+  const auto a_idx = iadd(imul(i, iconst(n)), j);
+  s.body = seq({
+      let_float("acc", fconst(0.0)),
+      serial_for(
+          "j", 0, n,
+          seq({
+              let_float("aij", fload("A", a_idx)),
+              accum("acc", FloatBinOp::Add,
+                    fmul(fref("aij"), fload("p", j))),
+              atomic_add("s", j, fmul(fref("aij"), fload("r", i))),
+          })),
+      store("q", i, fref("acc")),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+WorkloadDesc make_ex14fj(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "ex14fj";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"u", n * n * n, ArrayInit::Ramp},
+      {"F", n * n * n, ArrayInit::Zero},
+  };
+
+  // Solid-fuel ignition Jacobian/residual (PETSc ex14): on the interior,
+  //   F = sum_faces kappa_face * (u_c - u_nb) / h^2 - lambda * exp(u_c)
+  // with kappa_face = 0.5*(kappa(u_c) + kappa(u_nb)), kappa(v) = 1 + v^2
+  // (a simple nonlinear conductivity); Dirichlet boundary rows pass
+  // through the residual unchanged.
+  StageDesc s;
+  s.name = "ex14fj_residual";
+  s.domain = n * n * n;
+  const auto t = ivar("t");
+  const double inv_h2 = static_cast<double>((n + 1) * (n + 1));
+  const double lambda = 6.0;  // classic Bratu parameter
+
+  const auto uc = fref("uc");
+  auto kappa = [&](FloatExprPtr v) {
+    // kappa(v) = 1 + v*v
+    return fadd(fconst(1.0), fmul(v, v));
+  };
+  auto face = [&](const std::string& nb_name) {
+    // 0.5*(kappa(uc)+kappa(nb)) * (uc - nb)
+    const auto nb = fref(nb_name);
+    return fmul(fmul(fconst(0.5), fadd(kappa(uc), kappa(nb))),
+                fsub(uc, nb));
+  };
+
+  std::vector<StmtPtr> interior;
+  interior.push_back(let_float("uc", fload("u", t)));
+  interior.push_back(
+      let_float("uw", fload("u", isub(t, iconst(1)))));
+  interior.push_back(
+      let_float("ue", fload("u", iadd(t, iconst(1)))));
+  interior.push_back(
+      let_float("us", fload("u", isub(t, iconst(n)))));
+  interior.push_back(
+      let_float("un", fload("u", iadd(t, iconst(n)))));
+  interior.push_back(
+      let_float("ud", fload("u", isub(t, iconst(n * n)))));
+  interior.push_back(
+      let_float("uu", fload("u", iadd(t, iconst(n * n)))));
+  interior.push_back(let_float("flux", face("uw")));
+  for (const char* nb : {"ue", "us", "un", "ud", "uu"})
+    interior.push_back(accum("flux", FloatBinOp::Add, face(nb)));
+  interior.push_back(let_float(
+      "res", fsub(fmul(fref("flux"), fconst(inv_h2)),
+                  fmul(fconst(lambda), fun(FloatUnOp::Exp, uc)))));
+  interior.push_back(store("F", t, fref("res")));
+
+  const auto nm1 = iconst(n - 1);
+  auto at_edge = [&](const IntExprPtr& v) {
+    return cor(ccmp(CmpKind::EQ, v, iconst(0)), ccmp(CmpKind::EQ, v, nm1));
+  };
+
+  const double interior_n = n > 2 ? static_cast<double>((n - 2) * (n - 2) *
+                                                        (n - 2))
+                                  : 0.0;
+  const double boundary_frac =
+      1.0 - interior_n / static_cast<double>(n * n * n);
+  s.body = seq({
+      let_int("k", idiv(t, n * n)),
+      let_int("rem", imod(t, n * n)),
+      let_int("j", idiv(ivar("rem"), n)),
+      let_int("i", imod(ivar("rem"), n)),
+      if_then(cor(cor(at_edge(ivar("i")), at_edge(ivar("j"))),
+                  at_edge(ivar("k"))),
+              // Dirichlet boundary: residual is the boundary equation.
+              store("F", t, fload("u", t)),
+              seq(std::move(interior)), boundary_frac),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+WorkloadDesc make_matvec2d(std::int64_t n) {
+  WorkloadDesc wl;
+  wl.name = "matvec2d";
+  wl.problem_size = n;
+  wl.arrays = {
+      {"A", n * n, ArrayInit::Ramp},
+      {"x", n, ArrayInit::Ramp},
+      {"y", n, ArrayInit::Zero},
+  };
+
+  // 2-D decomposition: work item t covers row i = t / chunks and column
+  // chunk c = t % chunks; each thread reduces kMatVecChunk elements and
+  // adds its partial sum into y[i]. Column offsets wrap cyclically
+  // ((c*C + k) mod n) — the block-cyclic distribution Orio's 2-D code
+  // generator emits — which keeps every address computation inside the
+  // loop (not strength-reducible).
+  const std::int64_t chunk = std::min<std::int64_t>(kMatVecChunk, n);
+  const std::int64_t chunks = std::max<std::int64_t>(1, n / chunk);
+
+  StageDesc s;
+  s.name = "matvec2d_partial";
+  s.domain = n * chunks;
+  const auto t = ivar("t");
+  const auto k = ivar("k");
+  // col = (c*chunk + k) mod n; wraps only notionally (always < n here).
+  const auto col =
+      imod(iadd(imul(ivar("c"), iconst(chunk)), k), n);
+  s.body = seq({
+      let_int("i", idiv(t, chunks)),
+      let_int("c", imod(t, chunks)),
+      let_float("acc", fconst(0.0)),
+      serial_for("k", 0, chunk,
+                 dot_step("A", iadd(imul(ivar("i"), iconst(n)), col), "x",
+                          col)),
+      atomic_add("y", ivar("i"), fref("acc")),
+  });
+  wl.stages.push_back(std::move(s));
+  return wl;
+}
+
+namespace {
+
+const std::array<KernelInfo, 4> kRegistry = {{
+    {"atax",
+     "Elementary linear algebra",
+     "Matrix transpose, vector multiplication",
+     "y = A^T (A x)",
+     {32, 64, 128, 256, 512}},
+    {"bicg",
+     "Linear solvers",
+     "Subkernel of BiCGStab linear solver",
+     "q = A p, s = A^T r",
+     {32, 64, 128, 256, 512}},
+    {"ex14fj",
+     "3-D Jacobi computation",
+     "Stencil code kernels (solid fuel ignition)",
+     "F(x) = A(x) x - b = 0",
+     {8, 16, 32, 64, 128}},
+    {"matvec2d",
+     "Elementary linear algebra",
+     "Matrix vector multiplication",
+     "y = A x",
+     {32, 64, 128, 256, 512}},
+}};
+
+}  // namespace
+
+std::span<const KernelInfo> all_kernels() { return kRegistry; }
+
+dsl::WorkloadDesc make_workload(std::string_view name, std::int64_t n) {
+  if (name == "atax") return make_atax(n);
+  if (name == "bicg") return make_bicg(n);
+  if (name == "ex14fj") return make_ex14fj(n);
+  if (name == "matvec2d") return make_matvec2d(n);
+  if (name == "gesummv") return make_gesummv(n);
+  if (name == "gemver") return make_gemver(n);
+  if (name == "mvt") return make_mvt(n);
+  if (name == "jacobi2d") return make_jacobi2d(n);
+  if (name == "divergent") return make_divergent(n);
+  throw LookupError("unknown kernel '" + std::string(name) + "'");
+}
+
+}  // namespace gpustatic::kernels

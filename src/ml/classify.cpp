@@ -1,0 +1,141 @@
+#include "ml/classify.hpp"
+
+#include <algorithm>
+
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "occupancy/suggest.hpp"
+#include "tuner/experiment.hpp"
+
+namespace gpustatic::ml {
+
+Dataset build_rank_dataset(const std::vector<CorpusEntry>& corpus,
+                           const CorpusOptions& opts,
+                           std::vector<std::string>* row_tags) {
+  Dataset data;
+  data.feature_names = feature_names();
+  if (row_tags != nullptr) row_tags->clear();
+
+  for (const CorpusEntry& entry : corpus) {
+    if (entry.gpu == nullptr)
+      throw Error("build_rank_dataset: corpus entry without a GPU");
+    const arch::GpuSpec& gpu = *entry.gpu;
+
+    auto trials = tuner::sweep(opts.space, entry.workload, gpu, opts.run,
+                               opts.stride, opts.threads);
+    const tuner::RankedTrials ranked = tuner::rank_trials(std::move(trials));
+    const std::string tag = entry.workload.name + "@" + gpu.name;
+
+    auto add_rank = [&](const std::vector<tuner::TrialRecord>& rank,
+                        int label) {
+      for (const tuner::TrialRecord& t : rank) {
+        const codegen::Compiler c(gpu, t.params);
+        const auto lw = c.compile(entry.workload);
+        data.add(extract_features(lw, gpu), label);
+        if (row_tags != nullptr) row_tags->push_back(tag);
+      }
+    };
+    add_rank(ranked.rank1, kRank1Label);
+    add_rank(ranked.rank2, kRank2Label);
+  }
+  return data;
+}
+
+void BlockSizePredictor::fit(const Dataset& data, const TreeOptions& opts) {
+  tree_.fit(data, opts);
+}
+
+double BlockSizePredictor::rank1_probability(
+    const dsl::WorkloadDesc& workload, const arch::GpuSpec& gpu,
+    codegen::TuningParams params) const {
+  if (!fitted()) throw Error("BlockSizePredictor: predict before fit");
+  const codegen::Compiler c(gpu, params);
+  const auto lw = c.compile(workload);
+  const auto proba = tree_.predict_proba(extract_features(lw, gpu));
+  return proba.size() > static_cast<std::size_t>(kRank1Label)
+             ? proba[static_cast<std::size_t>(kRank1Label)]
+             : 0.0;
+}
+
+std::uint32_t BlockSizePredictor::predict_block_size(
+    const dsl::WorkloadDesc& workload, const arch::GpuSpec& gpu,
+    const std::vector<std::uint32_t>& candidates, int block_count) const {
+  const std::vector<std::uint32_t> tcs =
+      candidates.empty() ? occupancy::default_thread_range() : candidates;
+  if (tcs.empty())
+    throw Error("predict_block_size: empty candidate list");
+
+  std::uint32_t best_tc = 0;
+  double best_p = -1.0;
+  for (const std::uint32_t tc : tcs) {
+    if (tc > gpu.threads_per_block) continue;
+    codegen::TuningParams p;
+    p.threads_per_block = static_cast<int>(tc);
+    p.block_count = block_count;
+    const double prob = rank1_probability(workload, gpu, p);
+    if (prob > best_p) {  // strict: ties keep the smaller thread count
+      best_p = prob;
+      best_tc = tc;
+    }
+  }
+  if (best_tc == 0)
+    throw Error("predict_block_size: no feasible candidate");
+  return best_tc;
+}
+
+CvResult cross_validate(const Dataset& data, const ModelBuilder& builder,
+                        std::size_t k, std::uint64_t seed) {
+  data.validate();
+  CvResult result;
+  result.baseline = majority_baseline(data.labels);
+  const auto folds = kfold_indices(data.size(), k, seed);
+  for (const auto& fold : folds) {
+    if (fold.empty()) continue;
+    const Dataset train =
+        data.select(fold_complement(data.size(), fold));
+    const Dataset test = data.select(fold);
+    if (train.size() == 0) continue;
+    const auto model = builder(train);
+    std::vector<int> pred;
+    pred.reserve(test.size());
+    for (const auto& row : test.rows) pred.push_back(model(row));
+    result.fold_accuracy.push_back(accuracy(pred, test.labels));
+  }
+  for (const double a : result.fold_accuracy) result.mean_accuracy += a;
+  if (!result.fold_accuracy.empty())
+    result.mean_accuracy /=
+        static_cast<double>(result.fold_accuracy.size());
+  return result;
+}
+
+ModelBuilder tree_builder(const TreeOptions& opts) {
+  return [opts](const Dataset& train) {
+    auto tree = std::make_shared<DecisionTree>();
+    tree->fit(train, opts);
+    return [tree](const std::vector<double>& row) {
+      return tree->predict(row);
+    };
+  };
+}
+
+ModelBuilder logistic_builder(const LogisticOptions& opts) {
+  return [opts](const Dataset& train) {
+    auto model = std::make_shared<LogisticRegression>();
+    model->fit(train, opts);
+    return [model](const std::vector<double>& row) {
+      return model->predict(row);
+    };
+  };
+}
+
+ModelBuilder forest_builder(const ForestOptions& opts) {
+  return [opts](const Dataset& train) {
+    auto model = std::make_shared<RandomForest>();
+    model->fit(train, opts);
+    return [model](const std::vector<double>& row) {
+      return model->predict(row);
+    };
+  };
+}
+
+}  // namespace gpustatic::ml

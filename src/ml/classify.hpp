@@ -1,0 +1,110 @@
+#pragma once
+
+// STATuner-style learned block-size prediction (paper Sec. V related
+// work, Sec. VII future work).
+//
+// Pipeline:
+//  1. build_rank_dataset() autotunes a corpus of kernels over the
+//     Table III space (analytic engine), applies the paper's Rank-1 /
+//     Rank-2 split, and labels every variant's *static* feature vector
+//     with its rank — the training signal costs runs, the deployed
+//     predictor does not.
+//  2. BlockSizePredictor fits a decision tree on that corpus.
+//  3. predict_block_size() scores every candidate thread count for a new
+//     kernel by P(Rank 1) and returns the best single block size —
+//     exactly STATuner's interface, versus the occupancy calculator's
+//     range of choices.
+//
+// cross_validate() reports k-fold accuracy; the ablation bench adds the
+// leave-one-kernel-out protocol (train on three kernels, predict the
+// fourth) that matches how such a tool would really be used.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "ml/dataset.hpp"
+#include "ml/features.hpp"
+#include "ml/forest.hpp"
+#include "ml/logistic.hpp"
+#include "ml/tree.hpp"
+#include "sim/runner.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::ml {
+
+/// Label value for Rank-1 (good performer) rows.
+inline constexpr int kRank1Label = 1;
+/// Label value for Rank-2 (poor performer) rows.
+inline constexpr int kRank2Label = 0;
+
+struct CorpusOptions {
+  tuner::ParamSpace space = tuner::paper_space();
+  std::size_t stride = 8;   ///< sweep subsample (1 = full space)
+  sim::RunOptions run;      ///< analytic engine by default
+  std::size_t threads = 0;  ///< sweep parallelism (0 = hardware)
+};
+
+/// One corpus source: a workload plus the GPU it was tuned on.
+struct CorpusEntry {
+  dsl::WorkloadDesc workload;
+  const arch::GpuSpec* gpu = nullptr;
+};
+
+/// Autotune every entry and emit one labeled row per valid variant.
+/// Row features are extract_features() of the compiled variant; the
+/// label is its Rank-1/Rank-2 side. `row_tags` (parallel to rows, when
+/// non-null) records "workload@gpu" provenance for grouped splits.
+[[nodiscard]] Dataset build_rank_dataset(
+    const std::vector<CorpusEntry>& corpus, const CorpusOptions& opts = {},
+    std::vector<std::string>* row_tags = nullptr);
+
+class BlockSizePredictor {
+ public:
+  void fit(const Dataset& data, const TreeOptions& opts = {});
+
+  /// Best single thread count for a kernel on a GPU: the candidate whose
+  /// compiled variant maximizes P(Rank 1); ties resolve to the smaller
+  /// count. `block_count` fixes the BC dimension during scoring.
+  [[nodiscard]] std::uint32_t predict_block_size(
+      const dsl::WorkloadDesc& workload, const arch::GpuSpec& gpu,
+      const std::vector<std::uint32_t>& candidates = {},
+      int block_count = 96) const;
+
+  /// P(Rank 1) for one explicit configuration.
+  [[nodiscard]] double rank1_probability(
+      const dsl::WorkloadDesc& workload, const arch::GpuSpec& gpu,
+      codegen::TuningParams params) const;
+
+  [[nodiscard]] const DecisionTree& tree() const { return tree_; }
+  [[nodiscard]] bool fitted() const { return tree_.fitted(); }
+
+ private:
+  DecisionTree tree_;
+};
+
+/// K-fold cross-validated accuracy of a model builder. The builder
+/// receives the training fold and returns a row -> label functor.
+using ModelBuilder = std::function<std::function<int(
+    const std::vector<double>&)>(const Dataset& train)>;
+
+struct CvResult {
+  std::vector<double> fold_accuracy;
+  double mean_accuracy = 0;
+  double baseline = 0;  ///< majority-class share of the whole dataset
+};
+
+[[nodiscard]] CvResult cross_validate(const Dataset& data,
+                                      const ModelBuilder& builder,
+                                      std::size_t k, std::uint64_t seed);
+
+/// Builders for the in-tree model families.
+[[nodiscard]] ModelBuilder tree_builder(const TreeOptions& opts = {});
+[[nodiscard]] ModelBuilder logistic_builder(
+    const LogisticOptions& opts = {});
+[[nodiscard]] ModelBuilder forest_builder(const ForestOptions& opts = {});
+
+}  // namespace gpustatic::ml

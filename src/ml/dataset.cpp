@@ -1,0 +1,151 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gpustatic::ml {
+
+int Dataset::num_classes() const {
+  int m = 0;
+  for (const int l : labels) m = std::max(m, l + 1);
+  return m;
+}
+
+void Dataset::add(std::vector<double> features, int label) {
+  rows.push_back(std::move(features));
+  labels.push_back(label);
+}
+
+Dataset Dataset::select(const std::vector<std::size_t>& idx) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.rows.reserve(idx.size());
+  out.labels.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    out.rows.push_back(rows.at(i));
+    out.labels.push_back(labels.at(i));
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  if (rows.size() != labels.size())
+    throw Error("dataset: rows/labels size mismatch");
+  const std::size_t w = width();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != w)
+      throw Error("dataset: ragged row " + std::to_string(r));
+    for (const double v : rows[r])
+      if (!std::isfinite(v))
+        throw Error("dataset: non-finite feature in row " +
+                    std::to_string(r));
+    if (labels[r] < 0) throw Error("dataset: negative label");
+  }
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n,
+                                                    std::size_t k,
+                                                    std::uint64_t seed) {
+  if (k == 0) throw Error("kfold: k must be positive");
+  k = std::min(k, std::max<std::size_t>(1, n));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  // Fisher-Yates with the library RNG for cross-platform determinism.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(order[i]);
+  for (auto& f : folds) std::sort(f.begin(), f.end());
+  return folds;
+}
+
+std::vector<std::size_t> fold_complement(
+    std::size_t n, const std::vector<std::size_t>& fold) {
+  std::vector<bool> in_fold(n, false);
+  for (const std::size_t i : fold) in_fold.at(i) = true;
+  std::vector<std::size_t> out;
+  out.reserve(n - fold.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!in_fold[i]) out.push_back(i);
+  return out;
+}
+
+void Scaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw Error("scaler: empty fit set");
+  const std::size_t w = rows.front().size();
+  mean_.assign(w, 0.0);
+  std_.assign(w, 0.0);
+  for (const auto& r : rows)
+    for (std::size_t j = 0; j < w; ++j) mean_[j] += r[j];
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (const auto& r : rows)
+    for (std::size_t j = 0; j < w; ++j) {
+      const double d = r[j] - mean_[j];
+      std_[j] += d * d;
+    }
+  for (double& s : std_)
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+}
+
+std::vector<double> Scaler::transform(const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = std_[j] > 1e-12 ? (row[j] - mean_[j]) / std_[j] : 0.0;
+  return out;
+}
+
+std::vector<std::vector<double>> Scaler::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(transform(r));
+  return out;
+}
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& labels) {
+  if (predicted.size() != labels.size())
+    throw Error("accuracy: size mismatch");
+  if (predicted.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == labels[i]) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(predicted.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& labels,
+    int num_classes) {
+  if (predicted.size() != labels.size())
+    throw Error("confusion_matrix: size mismatch");
+  std::vector<std::vector<std::size_t>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const auto a = static_cast<std::size_t>(labels[i]);
+    const auto p = static_cast<std::size_t>(predicted[i]);
+    if (a < m.size() && p < m.size()) m[a][p] += 1;
+  }
+  return m;
+}
+
+double majority_baseline(const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  std::vector<std::size_t> count;
+  for (const int l : labels) {
+    if (static_cast<std::size_t>(l) >= count.size())
+      count.resize(static_cast<std::size_t>(l) + 1, 0);
+    count[static_cast<std::size_t>(l)] += 1;
+  }
+  const std::size_t best = *std::max_element(count.begin(), count.end());
+  return static_cast<double>(best) / static_cast<double>(labels.size());
+}
+
+}  // namespace gpustatic::ml

@@ -1,0 +1,74 @@
+#pragma once
+
+// Tabular dataset plumbing for the learned classifiers: row-major feature
+// matrix + integer labels, deterministic shuffled k-fold splits, feature
+// standardization, and the usual classification metrics. No external
+// dependencies — everything is deliberately small and testable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpustatic::ml {
+
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> rows;  ///< row-major features
+  std::vector<int> labels;                ///< class per row (0-based)
+
+  [[nodiscard]] std::size_t size() const { return rows.size(); }
+  [[nodiscard]] std::size_t width() const {
+    return rows.empty() ? feature_names.size() : rows.front().size();
+  }
+  [[nodiscard]] int num_classes() const;
+
+  void add(std::vector<double> features, int label);
+
+  /// Subset by row indices (copies).
+  [[nodiscard]] Dataset select(const std::vector<std::size_t>& idx) const;
+
+  /// Throws Error when rows are ragged, labels mismatch, or a feature is
+  /// non-finite. Called by the trainers before fitting.
+  void validate() const;
+};
+
+/// Deterministic shuffled k-fold partition of [0, n): every index lands
+/// in exactly one fold; fold sizes differ by at most one.
+[[nodiscard]] std::vector<std::vector<std::size_t>> kfold_indices(
+    std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Complement of one fold: all indices not in `fold`, in ascending order.
+[[nodiscard]] std::vector<std::size_t> fold_complement(
+    std::size_t n, const std::vector<std::size_t>& fold);
+
+/// Per-feature standardization (z-score); constant features map to 0.
+class Scaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  [[nodiscard]] std::vector<double> transform(
+      const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] const std::vector<double>& means() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddevs() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Fraction of rows where prediction == label.
+[[nodiscard]] double accuracy(const std::vector<int>& predicted,
+                              const std::vector<int>& labels);
+
+/// confusion[i][j] = rows with label i predicted as j.
+[[nodiscard]] std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& labels,
+    int num_classes);
+
+/// Majority-class share: the accuracy of always predicting the most
+/// frequent label (the baseline any classifier must beat).
+[[nodiscard]] double majority_baseline(const std::vector<int>& labels);
+
+}  // namespace gpustatic::ml

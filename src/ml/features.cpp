@@ -1,0 +1,132 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+#include "analysis/divergence.hpp"
+#include "analysis/mix.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace gpustatic::ml {
+
+namespace {
+
+double log1p_scaled(double v) { return std::log1p(std::max(0.0, v)); }
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> kNames = {
+      // Launch / code-generation parameters (what the tuner varies).
+      "tc_frac",        // threads per block / 1024
+      "bc_frac",        // block count / 192
+      "uif_frac",       // unroll factor / 6
+      "sc_frac",        // stream chunk / 5
+      "fast_math",      // 0/1
+      "l1_pref_frac",   // preferred L1 KB / 48
+      // Occupancy-model outputs (Eqs. 1-5) at this configuration.
+      "occupancy",
+      "active_blocks_frac",   // active blocks / cc limit
+      "active_warps_frac",    // active warps / cc limit
+      "warps_per_block_frac", // warps per block / 32
+      // Binary footprint (virtual ptxas).
+      "regs_frac",      // regs per thread / cc regs-per-thread limit
+      "smem_frac",      // static smem per block / cc smem limit
+      // Static instruction mix (log-compressed loop-weighted counts).
+      "log_flops",
+      "log_mem",
+      "log_ctrl",
+      "log_regops",
+      // Mix shape (shares of the weighted mix; sum <= 1).
+      "flops_share",
+      "mem_share",
+      "ctrl_share",
+      "intensity_log",  // log1p of O_fl / O_mem
+      // Control-flow structure.
+      "divergent_branch_frac",
+      "max_loop_depth",
+      "static_insts_log",
+      // Architecture identity.
+      "cc_frac",        // compute capability / 6.0
+      "cores_per_mp_frac",
+  };
+  return kNames;
+}
+
+std::size_t feature_count() { return feature_names().size(); }
+
+std::vector<double> extract_features(const codegen::LoweredWorkload& lw,
+                                     const arch::GpuSpec& gpu) {
+  // Aggregate static views over stages: mixes add, structure takes the
+  // worst case (a multi-stage workload is constrained by its hungriest
+  // stage, mirroring LoweredWorkload::regs_per_thread).
+  sim::Counts flat;
+  sim::Counts weighted;
+  std::size_t divergent = 0;
+  std::size_t branches = 0;
+  std::int32_t max_depth = 0;
+  for (const codegen::LoweredStage& st : lw.stages) {
+    const analysis::StaticMix mix = analysis::analyze_mix(st.kernel);
+    flat += mix.flat;
+    weighted += mix.weighted;
+    const analysis::DivergenceReport div =
+        analysis::analyze_divergence(st.kernel);
+    divergent += div.divergent_count;
+    branches += div.branches.size();
+    max_depth = std::max(max_depth, div.max_loop_depth);
+  }
+
+  const codegen::TuningParams& p = lw.params;
+  const std::uint32_t regs = lw.regs_per_thread();
+  const std::uint32_t smem = lw.smem_per_block();
+  const occupancy::Result occ = occupancy::calculate(
+      gpu, occupancy::KernelParams{
+               static_cast<std::uint32_t>(p.threads_per_block), regs, smem});
+
+  const double fl = weighted.by_class(arch::OpClass::FLOPS);
+  const double mem = weighted.by_class(arch::OpClass::MEM);
+  const double ctrl = weighted.by_class(arch::OpClass::CTRL);
+  const double total = std::max(1.0, fl + mem + ctrl);
+
+  std::vector<double> f;
+  f.reserve(feature_count());
+  f.push_back(p.threads_per_block / 1024.0);
+  f.push_back(p.block_count / 192.0);
+  f.push_back(p.unroll / 6.0);
+  f.push_back(p.stream_chunk / 5.0);
+  f.push_back(p.fast_math ? 1.0 : 0.0);
+  f.push_back(p.l1_pref_kb / 48.0);
+
+  f.push_back(occ.occupancy);
+  f.push_back(static_cast<double>(occ.active_blocks) /
+              static_cast<double>(gpu.blocks_per_mp));
+  f.push_back(static_cast<double>(occ.active_warps) /
+              static_cast<double>(gpu.warps_per_mp));
+  f.push_back(std::ceil(p.threads_per_block / 32.0) / 32.0);
+
+  f.push_back(static_cast<double>(regs) /
+              static_cast<double>(gpu.regs_per_thread));
+  f.push_back(static_cast<double>(smem) /
+              static_cast<double>(gpu.smem_per_block));
+
+  f.push_back(log1p_scaled(fl));
+  f.push_back(log1p_scaled(mem));
+  f.push_back(log1p_scaled(ctrl));
+  f.push_back(log1p_scaled(weighted.reg_traffic));
+
+  f.push_back(fl / total);
+  f.push_back(mem / total);
+  f.push_back(ctrl / total);
+  f.push_back(log1p_scaled(weighted.intensity()));
+
+  f.push_back(branches == 0 ? 0.0
+                            : static_cast<double>(divergent) /
+                                  static_cast<double>(branches));
+  f.push_back(static_cast<double>(max_depth));
+  f.push_back(log1p_scaled(static_cast<double>(lw.instruction_count())));
+
+  f.push_back(gpu.compute_capability / 6.0);
+  f.push_back(gpu.cores_per_mp / 192.0);
+  return f;
+}
+
+}  // namespace gpustatic::ml

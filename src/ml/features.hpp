@@ -1,0 +1,34 @@
+#pragma once
+
+// Static feature extraction for learned kernel classification.
+//
+// The paper's future work (Sec. VII) names "machine learning for code
+// classification"; its closest related work, STATuner (Sec. V), builds a
+// classifier over *static* metrics of a CUDA kernel — instruction mix,
+// loops, register usage, shared memory, synchronization — to predict the
+// best block size. This module extracts the equivalent feature vector
+// from our compiled binaries. Everything here is derivable without any
+// program run, so a model trained on these features stays inside the
+// paper's static-only budget.
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+
+namespace gpustatic::ml {
+
+/// Fixed-order feature names (the dataset schema).
+[[nodiscard]] const std::vector<std::string>& feature_names();
+
+/// Number of features in the schema.
+[[nodiscard]] std::size_t feature_count();
+
+/// Extract the static feature vector of one compiled variant on one GPU.
+/// Order matches feature_names(); all features are finite and already
+/// roughly unit-scaled (counts are log-compressed, ratios are raw).
+[[nodiscard]] std::vector<double> extract_features(
+    const codegen::LoweredWorkload& lw, const arch::GpuSpec& gpu);
+
+}  // namespace gpustatic::ml

@@ -1,0 +1,84 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gpustatic::ml {
+
+void RandomForest::fit(const Dataset& data, const ForestOptions& opts) {
+  data.validate();
+  if (data.size() == 0) throw Error("random forest: empty training set");
+  if (opts.trees == 0) throw Error("random forest: need at least 1 tree");
+  if (opts.sample_fraction <= 0.0 || opts.sample_fraction > 1.0)
+    throw Error("random forest: sample_fraction must be in (0, 1]");
+
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  const std::size_t width = data.width();
+  const std::size_t subset =
+      opts.features_per_tree > 0
+          ? std::min(opts.features_per_tree, width)
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(width))));
+  const auto sample_size = static_cast<std::size_t>(
+      std::max(1.0, opts.sample_fraction * static_cast<double>(data.size())));
+
+  Rng rng(opts.seed);
+  for (std::size_t t = 0; t < opts.trees; ++t) {
+    // Bootstrap rows (with replacement).
+    std::vector<std::size_t> rows;
+    rows.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i)
+      rows.push_back(static_cast<std::size_t>(rng.below(data.size())));
+    Dataset sample = data.select(rows);
+
+    // Feature subset: first `subset` entries of a seeded shuffle.
+    std::vector<int> features(width);
+    std::iota(features.begin(), features.end(), 0);
+    for (std::size_t i = width; i > 1; --i)
+      std::swap(features[i - 1],
+                features[static_cast<std::size_t>(rng.below(i))]);
+    features.resize(subset);
+    std::sort(features.begin(), features.end());  // deterministic order
+
+    TreeOptions topts = opts.tree;
+    topts.feature_subset = std::move(features);
+    DecisionTree tree;
+    tree.fit(sample, topts);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    const std::vector<double>& row) const {
+  if (!fitted()) throw Error("random forest: predict before fit");
+  std::vector<double> mean(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const DecisionTree& t : trees_) {
+    const auto p = t.predict_proba(row);
+    for (std::size_t c = 0; c < mean.size() && c < p.size(); ++c)
+      mean[c] += p[c];
+  }
+  for (double& v : mean) v /= static_cast<double>(trees_.size());
+  return mean;
+}
+
+int RandomForest::predict(const std::vector<double>& row) const {
+  const auto p = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> RandomForest::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(predict(r));
+  return out;
+}
+
+}  // namespace gpustatic::ml

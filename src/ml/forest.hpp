@@ -1,0 +1,48 @@
+#pragma once
+
+// Bagged random forest over the CART trees: bootstrap row samples plus
+// per-tree feature subsets, majority vote by averaged leaf
+// probabilities. Deterministic for a fixed seed. The ensemble trades
+// the single tree's interpretability for variance reduction — the
+// ablation/example code reports both so the trade is visible.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/tree.hpp"
+
+namespace gpustatic::ml {
+
+struct ForestOptions {
+  std::size_t trees = 15;
+  TreeOptions tree;               ///< per-tree growth limits
+  double sample_fraction = 1.0;   ///< bootstrap sample size / n
+  /// Features per tree; 0 = floor(sqrt(width)), clamped to >= 1.
+  std::size_t features_per_tree = 0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  void fit(const Dataset& data, const ForestOptions& opts = {});
+
+  [[nodiscard]] int predict(const std::vector<double>& row) const;
+  /// Mean of per-tree leaf probabilities.
+  [[nodiscard]] std::vector<double> predict_proba(
+      const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t size() const { return trees_.size(); }
+  [[nodiscard]] const DecisionTree& tree(std::size_t i) const {
+    return trees_.at(i);
+  }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gpustatic::ml

@@ -1,0 +1,86 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpustatic::ml {
+
+namespace {
+
+double sigmoid(double z) {
+  // Numerically stable in both tails.
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void LogisticRegression::fit(const Dataset& data,
+                             const LogisticOptions& opts) {
+  data.validate();
+  if (data.size() == 0) throw Error("logistic: empty training set");
+  for (const int l : data.labels)
+    if (l != 0 && l != 1)
+      throw Error("logistic: labels must be binary {0,1}");
+
+  scaler_.fit(data.rows);
+  const auto x = scaler_.transform_all(data.rows);
+  const std::size_t n = x.size();
+  const std::size_t w = x.front().size();
+  weights_.assign(w, 0.0);
+  bias_ = 0;
+
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    std::vector<double> grad(w, 0.0);
+    double grad_bias = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (std::size_t j = 0; j < w; ++j) z += weights_[j] * x[i][j];
+      const double err =
+          sigmoid(z) - static_cast<double>(data.labels[i]);
+      for (std::size_t j = 0; j < w; ++j) grad[j] += err * x[i][j];
+      grad_bias += err;
+    }
+    const double scale = opts.learning_rate / static_cast<double>(n);
+    for (std::size_t j = 0; j < w; ++j)
+      weights_[j] -= scale * (grad[j] + opts.l2 * weights_[j]);
+    bias_ -= scale * grad_bias;
+  }
+}
+
+double LogisticRegression::predict_proba(
+    const std::vector<double>& row) const {
+  if (!fitted()) throw Error("logistic: predict before fit");
+  const auto x = scaler_.transform(row);
+  double z = bias_;
+  for (std::size_t j = 0; j < weights_.size(); ++j)
+    z += weights_[j] * x[j];
+  return sigmoid(z);
+}
+
+std::vector<int> LogisticRegression::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(predict(r));
+  return out;
+}
+
+double LogisticRegression::log_loss(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  double sum = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p =
+        std::clamp(predict_proba(data.rows[i]), 1e-12, 1.0 - 1e-12);
+    sum += data.labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+}  // namespace gpustatic::ml

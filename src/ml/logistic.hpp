@@ -1,0 +1,51 @@
+#pragma once
+
+// L2-regularized binary logistic regression trained by batch gradient
+// descent, with internal feature standardization. Serves as the linear
+// baseline next to the decision tree (STATuner compared several model
+// families before settling on one; we keep two so the ablation bench can
+// report both).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace gpustatic::ml {
+
+struct LogisticOptions {
+  std::size_t iterations = 400;
+  double learning_rate = 0.3;
+  double l2 = 1e-3;
+};
+
+class LogisticRegression {
+ public:
+  /// Fit on a dataset whose labels are {0, 1}.
+  void fit(const Dataset& data, const LogisticOptions& opts = {});
+
+  /// P(class 1 | row).
+  [[nodiscard]] double predict_proba(const std::vector<double>& row) const;
+  [[nodiscard]] int predict(const std::vector<double>& row) const {
+    return predict_proba(row) >= 0.5 ? 1 : 0;
+  }
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] bool fitted() const { return !weights_.empty(); }
+  /// Weights in standardized feature space (no bias term included).
+  [[nodiscard]] const std::vector<double>& weights() const {
+    return weights_;
+  }
+  [[nodiscard]] double bias() const { return bias_; }
+
+  /// Mean negative log-likelihood on a dataset (for convergence tests).
+  [[nodiscard]] double log_loss(const Dataset& data) const;
+
+ private:
+  Scaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0;
+};
+
+}  // namespace gpustatic::ml

@@ -1,0 +1,237 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gpustatic::ml {
+
+double gini_impurity(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double sum_sq = 0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+namespace {
+
+struct SplitChoice {
+  bool found = false;
+  int feature = -1;
+  double threshold = 0;
+  /// Starts below zero so a zero-gain split is still acceptable: greedy
+  /// Gini has no positive first split on XOR-like data, yet the children
+  /// become separable one level down. min_gain filters afterwards.
+  double gain = -1.0;
+};
+
+std::vector<std::size_t> class_counts(const Dataset& data,
+                                      const std::vector<std::size_t>& idx,
+                                      int num_classes) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (const std::size_t i : idx)
+    counts[static_cast<std::size_t>(data.labels[i])] += 1;
+  return counts;
+}
+
+/// Best threshold over one feature via a single sorted sweep: maintain
+/// left/right class counts while moving samples across the boundary.
+void best_split_on_feature(const Dataset& data,
+                           const std::vector<std::size_t>& idx,
+                           int feature, int num_classes,
+                           double parent_impurity,
+                           std::size_t min_samples_leaf, SplitChoice& best) {
+  const auto f = static_cast<std::size_t>(feature);
+  std::vector<std::size_t> order = idx;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return data.rows[a][f] < data.rows[b][f];
+            });
+
+  std::vector<std::size_t> left(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::size_t> right =
+      class_counts(data, idx, num_classes);
+  const double n = static_cast<double>(idx.size());
+
+  for (std::size_t cut = 1; cut < order.size(); ++cut) {
+    const std::size_t moved = order[cut - 1];
+    const auto cls = static_cast<std::size_t>(data.labels[moved]);
+    left[cls] += 1;
+    right[cls] -= 1;
+
+    const double a = data.rows[order[cut - 1]][f];
+    const double b = data.rows[order[cut]][f];
+    if (a == b) continue;  // cannot separate equal values
+    if (cut < min_samples_leaf || order.size() - cut < min_samples_leaf)
+      continue;
+
+    const double wl = static_cast<double>(cut) / n;
+    const double wr = 1.0 - wl;
+    const double child =
+        wl * gini_impurity(left) + wr * gini_impurity(right);
+    const double gain = parent_impurity - child;
+    if (gain > best.gain) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = (a + b) / 2.0;
+      best.gain = gain;
+    }
+  }
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const TreeOptions& opts) {
+  data.validate();
+  if (data.size() == 0) throw Error("decision tree: empty training set");
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  importance_.assign(data.width(), 0.0);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(data, idx, opts, 0);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 const std::vector<std::size_t>& idx,
+                                 const TreeOptions& opts,
+                                 std::size_t depth) {
+  const auto counts = class_counts(data, idx, num_classes_);
+  const double impurity = gini_impurity(counts);
+
+  Node node;
+  node.samples = idx.size();
+  node.proba.resize(static_cast<std::size_t>(num_classes_));
+  for (std::size_t c = 0; c < node.proba.size(); ++c)
+    node.proba[c] =
+        static_cast<double>(counts[c]) / static_cast<double>(idx.size());
+
+  SplitChoice best;
+  if (depth < opts.max_depth && idx.size() >= opts.min_samples_split &&
+      impurity > 0.0) {
+    if (opts.feature_subset.empty()) {
+      for (int f = 0; f < static_cast<int>(data.width()); ++f)
+        best_split_on_feature(data, idx, f, num_classes_, impurity,
+                              opts.min_samples_leaf, best);
+    } else {
+      for (const int f : opts.feature_subset)
+        if (f >= 0 && f < static_cast<int>(data.width()))
+          best_split_on_feature(data, idx, f, num_classes_, impurity,
+                                opts.min_samples_leaf, best);
+    }
+    if (best.gain < opts.min_gain) best.found = false;
+  }
+
+  const auto my_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+
+  if (best.found) {
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    const auto f = static_cast<std::size_t>(best.feature);
+    for (const std::size_t i : idx) {
+      if (data.rows[i][f] <= best.threshold)
+        left_idx.push_back(i);
+      else
+        right_idx.push_back(i);
+    }
+    importance_[f] +=
+        best.gain * static_cast<double>(idx.size());
+    nodes_[static_cast<std::size_t>(my_index)].leaf = false;
+    nodes_[static_cast<std::size_t>(my_index)].feature = best.feature;
+    nodes_[static_cast<std::size_t>(my_index)].threshold = best.threshold;
+    const std::int32_t l = build(data, left_idx, opts, depth + 1);
+    nodes_[static_cast<std::size_t>(my_index)].left = l;
+    const std::int32_t r = build(data, right_idx, opts, depth + 1);
+    nodes_[static_cast<std::size_t>(my_index)].right = r;
+  }
+  return my_index;
+}
+
+const DecisionTree::Node& DecisionTree::leaf_for(
+    const std::vector<double>& row) const {
+  if (nodes_.empty()) throw Error("decision tree: predict before fit");
+  std::size_t at = 0;
+  while (!nodes_[at].leaf) {
+    const Node& n = nodes_[at];
+    const double v = row.at(static_cast<std::size_t>(n.feature));
+    at = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[at];
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+  const std::vector<double>& p = leaf_for(row).proba;
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    const std::vector<double>& row) const {
+  return leaf_for(row).proba;
+}
+
+std::vector<int> DecisionTree::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(predict(r));
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth via iterative traversal (nodes are stored pre-order).
+  std::size_t best = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  if (!nodes_.empty()) stack.emplace_back(0, 1);
+  while (!stack.empty()) {
+    const auto [at, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& n = nodes_[at];
+    if (!n.leaf) {
+      stack.emplace_back(static_cast<std::size_t>(n.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(n.right), d + 1);
+    }
+  }
+  return best;
+}
+
+std::string DecisionTree::to_string(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  if (!nodes_.empty()) stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    const auto [at, indent] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[at];
+    os << std::string(indent * 2, ' ');
+    if (n.leaf) {
+      const int cls = static_cast<int>(
+          std::max_element(n.proba.begin(), n.proba.end()) -
+          n.proba.begin());
+      os << "-> class " << cls << " (" << n.samples << " samples)\n";
+    } else {
+      const auto f = static_cast<std::size_t>(n.feature);
+      const std::string name =
+          f < feature_names.size() ? feature_names[f]
+                                   : "f" + std::to_string(f);
+      os << name << " <= " << n.threshold << "?\n";
+      // Push right first so left renders first (pre-order).
+      stack.emplace_back(static_cast<std::size_t>(n.right), indent + 1);
+      stack.emplace_back(static_cast<std::size_t>(n.left), indent + 1);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gpustatic::ml

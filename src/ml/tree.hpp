@@ -1,0 +1,82 @@
+#pragma once
+
+// CART-style decision tree classifier (Gini impurity, axis-aligned
+// threshold splits), built from scratch so the reproduction stays
+// dependency-free. Deterministic: candidate thresholds are midpoints of
+// consecutive sorted feature values, features are scanned in schema
+// order, and ties keep the first-found split, so identical datasets
+// always yield identical trees.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace gpustatic::ml {
+
+struct TreeOptions {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Minimum Gini decrease to accept a split. The default admits
+  /// zero-gain splits (needed for XOR-like interactions, where no single
+  /// split improves Gini but the children become separable); depth and
+  /// leaf-size limits bound the growth instead.
+  double min_gain = 0.0;
+  /// When non-empty, only these feature indexes are considered for
+  /// splits (the random-forest per-tree feature subset).
+  std::vector<int> feature_subset;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on the dataset (validates it first).
+  void fit(const Dataset& data, const TreeOptions& opts = {});
+
+  [[nodiscard]] int predict(const std::vector<double>& row) const;
+  /// Per-class probability at the reached leaf (training fractions).
+  [[nodiscard]] std::vector<double> predict_proba(
+      const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] bool fitted() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+  /// Total Gini decrease attributed to each feature (unnormalized).
+  [[nodiscard]] const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  /// Indented if/else rendering for reports.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& feature_names) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0;
+    std::int32_t left = -1;   ///< row[feature] <= threshold
+    std::int32_t right = -1;  ///< row[feature] >  threshold
+    std::vector<double> proba;  ///< leaf class fractions
+    std::size_t samples = 0;
+  };
+
+  std::int32_t build(const Dataset& data,
+                     const std::vector<std::size_t>& idx,
+                     const TreeOptions& opts, std::size_t depth);
+  [[nodiscard]] const Node& leaf_for(const std::vector<double>& row) const;
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int num_classes_ = 0;
+};
+
+/// Gini impurity of a label multiset described by class counts.
+[[nodiscard]] double gini_impurity(const std::vector<std::size_t>& counts);
+
+}  // namespace gpustatic::ml

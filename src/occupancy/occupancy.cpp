@@ -1,0 +1,76 @@
+#include "occupancy/occupancy.hpp"
+
+#include <algorithm>
+
+namespace gpustatic::occupancy {
+
+const char* Result::limiter() const {
+  const std::uint32_t m =
+      std::min({blocks_warp_limited, blocks_reg_limited,
+                blocks_smem_limited});
+  if (m == blocks_reg_limited && blocks_reg_limited < blocks_warp_limited)
+    return "registers";
+  if (m == blocks_smem_limited && blocks_smem_limited < blocks_warp_limited)
+    return "smem";
+  return "warps";
+}
+
+std::uint32_t blocks_limited_by_warps(const arch::GpuSpec& gpu,
+                                      std::uint32_t threads_per_block) {
+  // Eq. 3: G_psiW = min(B^cc_mp, floor(W_sm / W_B)),
+  // W_sm = W^cc_mp, W_B = ceil(Tu / T^cc_W).
+  if (threads_per_block == 0) return gpu.blocks_per_mp;
+  const std::uint32_t warps_per_block =
+      (threads_per_block + gpu.threads_per_warp - 1) / gpu.threads_per_warp;
+  return std::min(gpu.blocks_per_mp, gpu.warps_per_mp / warps_per_block);
+}
+
+std::uint32_t blocks_limited_by_registers(const arch::GpuSpec& gpu,
+                                          std::uint32_t regs_per_thread,
+                                          std::uint32_t threads_per_block) {
+  // Eq. 4. Case 1: Ru beyond the architectural per-thread maximum is an
+  // illegal launch. Case 3: unspecified Ru does not constrain. Case 2:
+  // the register file holds floor(R^cc_fs / (Ru * T^cc_W)) warps; a block
+  // needs W_B of them. (The paper's Table VII numbers correspond to this
+  // un-rounded allocation; see DESIGN.md.)
+  if (regs_per_thread > gpu.regs_per_thread) return 0;
+  if (regs_per_thread == 0) return gpu.blocks_per_mp;
+  const std::uint32_t warps_per_block =
+      (threads_per_block + gpu.threads_per_warp - 1) / gpu.threads_per_warp;
+  const std::uint32_t warps_by_regs =
+      gpu.regs_per_block / (regs_per_thread * gpu.threads_per_warp);
+  return warps_by_regs / std::max(1u, warps_per_block);
+}
+
+std::uint32_t blocks_limited_by_smem(const arch::GpuSpec& gpu,
+                                     std::uint32_t smem_per_block) {
+  // Eq. 5 with S_sm = S^cc_B (the paper fixes the per-SM shared pool to
+  // the per-block maximum on every architecture — this is what makes the
+  // Table VII S* column come out as 49152 / B*).
+  if (smem_per_block > gpu.smem_per_block) return 0;
+  if (smem_per_block == 0) return gpu.blocks_per_mp;
+  return gpu.smem_per_block / smem_per_block;
+}
+
+Result calculate(const arch::GpuSpec& gpu, const KernelParams& p) {
+  Result r;
+  r.warps_per_block =
+      (p.threads_per_block + gpu.threads_per_warp - 1) /
+      gpu.threads_per_warp;
+  r.blocks_warp_limited = blocks_limited_by_warps(gpu, p.threads_per_block);
+  r.blocks_reg_limited =
+      blocks_limited_by_registers(gpu, p.regs_per_thread,
+                                  p.threads_per_block);
+  r.blocks_smem_limited = blocks_limited_by_smem(gpu, p.smem_per_block);
+  // Eq. 1: B*mp = min over resource constraints.
+  r.active_blocks = std::min({r.blocks_warp_limited, r.blocks_reg_limited,
+                              r.blocks_smem_limited});
+  // Eq. 2: occ = W*mp / W^cc_mp with W*mp = B*mp x W_B.
+  r.active_warps = r.active_blocks * r.warps_per_block;
+  r.active_warps = std::min(r.active_warps, gpu.warps_per_mp);
+  r.occupancy = static_cast<double>(r.active_warps) /
+                static_cast<double>(gpu.warps_per_mp);
+  return r;
+}
+
+}  // namespace gpustatic::occupancy

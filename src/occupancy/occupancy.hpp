@@ -1,0 +1,57 @@
+#pragma once
+
+// The occupancy model of Sec. III-A, Eqs. 1-5.
+//
+// Notation follows the paper: user inputs (superscript u) are threads per
+// block Tu, registers per thread Ru, and shared memory per block Su;
+// hardware limits (superscript cc) come from the GpuSpec; starred values
+// are what the model derives.
+
+#include <cstdint>
+
+#include "arch/gpu_spec.hpp"
+
+namespace gpustatic::occupancy {
+
+/// User-side kernel launch parameters (the `u` superscript).
+struct KernelParams {
+  std::uint32_t threads_per_block = 128;  ///< Tu
+  std::uint32_t regs_per_thread = 0;      ///< Ru (0 = unspecified, Eq. 4 case 3)
+  std::uint32_t smem_per_block = 0;       ///< Su bytes (0 = none, Eq. 5 case 3)
+};
+
+/// Result of the occupancy calculation (Eqs. 1-2) with the per-resource
+/// limiter breakdown (Eq. 3-5).
+struct Result {
+  std::uint32_t blocks_warp_limited = 0;  ///< G_psiW (Eq. 3)
+  std::uint32_t blocks_reg_limited = 0;   ///< G_psiR (Eq. 4)
+  std::uint32_t blocks_smem_limited = 0;  ///< G_psiS (Eq. 5)
+  std::uint32_t active_blocks = 0;        ///< B*mp (Eq. 1)
+  std::uint32_t active_warps = 0;         ///< W*mp = B*mp x W_B
+  std::uint32_t warps_per_block = 0;      ///< W_B = ceil(Tu / T^cc_W)
+  double occupancy = 0.0;                 ///< occ_mp (Eq. 2)
+
+  /// Which resource is binding ("warps", "registers", "smem").
+  [[nodiscard]] const char* limiter() const;
+};
+
+/// Eq. 3: max resident blocks limited by the warp budget.
+[[nodiscard]] std::uint32_t blocks_limited_by_warps(
+    const arch::GpuSpec& gpu, std::uint32_t threads_per_block);
+
+/// Eq. 4: max resident blocks limited by the register file. Returns 0 for
+/// Ru beyond the per-thread architectural maximum (illegal configuration).
+[[nodiscard]] std::uint32_t blocks_limited_by_registers(
+    const arch::GpuSpec& gpu, std::uint32_t regs_per_thread,
+    std::uint32_t threads_per_block);
+
+/// Eq. 5: max resident blocks limited by shared memory. Returns 0 for
+/// Su beyond the per-block maximum.
+[[nodiscard]] std::uint32_t blocks_limited_by_smem(
+    const arch::GpuSpec& gpu, std::uint32_t smem_per_block);
+
+/// Eqs. 1-2 assembled.
+[[nodiscard]] Result calculate(const arch::GpuSpec& gpu,
+                               const KernelParams& params);
+
+}  // namespace gpustatic::occupancy

@@ -1,0 +1,78 @@
+#include "occupancy/report.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace gpustatic::occupancy {
+
+namespace {
+
+constexpr std::size_t kBarWidth = 32;
+
+std::string panel_header(const std::string& title) {
+  return title + "\n" + std::string(title.size(), '-') + "\n";
+}
+
+}  // namespace
+
+std::string calculator_report(const arch::GpuSpec& gpu,
+                              const KernelParams& current) {
+  std::string out;
+  const Result now = calculate(gpu, current);
+  out += "Occupancy calculator for " + gpu.name + " (" +
+         std::string(arch::family_name(gpu.family)) + ", cc " +
+         str::format_trimmed(gpu.compute_capability, 1) + ")\n";
+  out += "Current: Tu=" + std::to_string(current.threads_per_block) +
+         " Ru=" + std::to_string(current.regs_per_thread) +
+         " Su=" + std::to_string(current.smem_per_block) + "B -> " +
+         std::to_string(now.active_warps) + "/" +
+         std::to_string(gpu.warps_per_mp) + " warps (occ " +
+         str::format_double(now.occupancy * 100.0, 1) + "%, limiter: " +
+         now.limiter() + ")\n\n";
+
+  out += panel_header("Impact of varying block size (threads per block)");
+  for (std::uint32_t t = 32; t <= gpu.threads_per_block; t += 64) {
+    const Result r =
+        calculate(gpu, KernelParams{t, current.regs_per_thread,
+                                    current.smem_per_block});
+    out += (t == current.threads_per_block ? "<" : " ");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5u ", t);
+    out += buf;
+    out += ascii_bar(static_cast<double>(r.active_warps),
+                     static_cast<double>(gpu.warps_per_mp), kBarWidth);
+    out += " " + std::to_string(r.active_warps) + "\n";
+  }
+
+  out += "\n" + panel_header("Impact of varying register count per thread");
+  for (std::uint32_t ru = 8; ru <= std::min(64u, gpu.regs_per_thread);
+       ru += 8) {
+    const Result r =
+        calculate(gpu, KernelParams{current.threads_per_block, ru,
+                                    current.smem_per_block});
+    out += (ru == current.regs_per_thread ? "<" : " ");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5u ", ru);
+    out += buf;
+    out += ascii_bar(static_cast<double>(r.active_warps),
+                     static_cast<double>(gpu.warps_per_mp), kBarWidth);
+    out += " " + std::to_string(r.active_warps) + "\n";
+  }
+
+  out += "\n" + panel_header("Impact of varying shared memory per block");
+  for (std::uint32_t su = 0; su <= gpu.smem_per_block; su += 6144) {
+    const Result r =
+        calculate(gpu, KernelParams{current.threads_per_block,
+                                    current.regs_per_thread, su});
+    out += (su == current.smem_per_block ? "<" : " ");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5u ", su);
+    out += buf;
+    out += ascii_bar(static_cast<double>(r.active_warps),
+                     static_cast<double>(gpu.warps_per_mp), kBarWidth);
+    out += " " + std::to_string(r.active_warps) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gpustatic::occupancy

@@ -1,0 +1,19 @@
+#pragma once
+
+// Fig. 7-style occupancy-calculator panels: the impact of varying block
+// size / register count / shared memory on multiprocessor warp occupancy,
+// rendered as ASCII charts.
+
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace gpustatic::occupancy {
+
+/// Render the three "impact of varying X" panels for a kernel
+/// configuration, marking the current operating point with '<'.
+[[nodiscard]] std::string calculator_report(const arch::GpuSpec& gpu,
+                                            const KernelParams& current);
+
+}  // namespace gpustatic::occupancy

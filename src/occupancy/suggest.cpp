@@ -1,0 +1,77 @@
+#include "occupancy/suggest.hpp"
+
+#include <algorithm>
+
+namespace gpustatic::occupancy {
+
+std::vector<std::uint32_t> default_thread_range() {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t t = 32; t <= 1024; t += 32) out.push_back(t);
+  return out;
+}
+
+Suggestion suggest(const arch::GpuSpec& gpu, std::uint32_t regs_per_thread,
+                   std::uint32_t smem_per_block,
+                   const std::vector<std::uint32_t>& thread_range) {
+  Suggestion s;
+  s.regs_used = regs_per_thread;
+
+  auto occ_at = [&](std::uint32_t t, std::uint32_t ru) {
+    return calculate(gpu, KernelParams{t, ru, smem_per_block});
+  };
+
+  // Pass 1: best achievable occupancy over the thread grid.
+  for (const std::uint32_t t : thread_range)
+    s.occ_star = std::max(s.occ_star, occ_at(t, regs_per_thread).occupancy);
+
+  // Pass 2: all thread counts achieving it.
+  std::uint32_t blocks_needed = 1;
+  for (const std::uint32_t t : thread_range) {
+    const Result r = occ_at(t, regs_per_thread);
+    if (r.occupancy == s.occ_star) {
+      s.thread_candidates.push_back(t);
+      blocks_needed = std::max(blocks_needed, r.active_blocks);
+    }
+  }
+
+  // Register headroom R*: the largest Ru' >= Ru for which some candidate
+  // still reaches occ*.
+  std::uint32_t best_ru = regs_per_thread;
+  for (std::uint32_t ru = regs_per_thread + 1; ru <= gpu.regs_per_thread;
+       ++ru) {
+    double best = 0.0;
+    for (const std::uint32_t t : s.thread_candidates)
+      best = std::max(best, occ_at(t, ru).occupancy);
+    if (best < s.occ_star) break;
+    best_ru = ru;
+  }
+  s.reg_headroom = best_ru - regs_per_thread;
+
+  // Shared memory budget S*: with B* resident blocks per SM at occ*, each
+  // block may use up to S_sm / B* bytes (Eq. 5's pool).
+  s.smem_budget = gpu.smem_per_block / std::max(1u, blocks_needed);
+
+  return s;
+}
+
+MaxPotential max_potential_block_size(
+    const arch::GpuSpec& gpu, std::uint32_t regs_per_thread,
+    std::uint32_t smem_per_block,
+    const std::vector<std::uint32_t>& thread_range) {
+  MaxPotential best;
+  for (const std::uint32_t t : thread_range) {
+    if (t > gpu.threads_per_block) continue;
+    const Result r = calculate(
+        gpu, KernelParams{t, regs_per_thread, smem_per_block});
+    // '>=' so equal-occupancy ties resolve to the LARGER block size, as
+    // the CUDA API's downward scan does.
+    if (r.occupancy >= best.occupancy) {
+      best.block_size = t;
+      best.active_blocks = r.active_blocks;
+      best.occupancy = r.occupancy;
+    }
+  }
+  return best;
+}
+
+}  // namespace gpustatic::occupancy

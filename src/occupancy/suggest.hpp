@@ -1,0 +1,54 @@
+#pragma once
+
+// Parameter suggestion (Table VII): the thread counts T* that reach the
+// best achievable occupancy occ* for a kernel's measured register/shared
+// memory footprint, plus the register headroom [Ru : R*] and the shared
+// memory budget S* compatible with occ*.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace gpustatic::occupancy {
+
+struct Suggestion {
+  /// T*: every thread count in the candidate range achieving occ*.
+  std::vector<std::uint32_t> thread_candidates;
+  std::uint32_t regs_used = 0;      ///< Ru as compiled.
+  std::uint32_t reg_headroom = 0;   ///< R*: extra regs/thread keeping occ*.
+  /// S*: shared memory per block (bytes) spendable at occ* (Table VII
+  /// prints this column in bytes).
+  std::uint32_t smem_budget = 0;
+  double occ_star = 0.0;            ///< occ*: best achievable occupancy.
+};
+
+/// Thread-count candidate grid of Table III: 32..1024 step 32.
+[[nodiscard]] std::vector<std::uint32_t> default_thread_range();
+
+/// Compute the Table VII row for a kernel with footprint (Ru, Su) on one
+/// GPU, scanning `thread_range` (defaults to Table III's grid).
+[[nodiscard]] Suggestion suggest(
+    const arch::GpuSpec& gpu, std::uint32_t regs_per_thread,
+    std::uint32_t smem_per_block,
+    const std::vector<std::uint32_t>& thread_range = default_thread_range());
+
+/// The CUDA Occupancy API baseline (Sec. V): the runtime's
+/// cudaOccupancyMaxPotentialBlockSize returns ONE launch configuration
+/// expected to reach the maximum potential occupancy. Mirrored here:
+/// the largest thread count in `thread_range` achieving the best
+/// occupancy for footprint (Ru, Su) — "largest" because the CUDA
+/// implementation scans block sizes downward and reports the first
+/// maximum. Returns {block_size, active blocks per SM at that size}.
+struct MaxPotential {
+  std::uint32_t block_size = 0;
+  std::uint32_t active_blocks = 0;
+  double occupancy = 0;
+};
+[[nodiscard]] MaxPotential max_potential_block_size(
+    const arch::GpuSpec& gpu, std::uint32_t regs_per_thread,
+    std::uint32_t smem_per_block,
+    const std::vector<std::uint32_t>& thread_range = default_thread_range());
+
+}  // namespace gpustatic::occupancy

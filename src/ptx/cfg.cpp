@@ -1,0 +1,268 @@
+#include "ptx/cfg.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace gpustatic::ptx {
+
+Cfg::Cfg(const Kernel& kernel) {
+  if (!kernel.finalized())
+    throw Error("Cfg requires a finalized kernel");
+  build_edges(kernel);
+  compute_rpo();
+  compute_dominators();
+  compute_post_dominators();
+  find_loops();
+}
+
+void Cfg::build_edges(const Kernel& kernel) {
+  const std::size_t n = kernel.blocks.size();
+  succs_.assign(n, {});
+  preds_.assign(n, {});
+
+  auto add_edge = [&](std::size_t from, std::int32_t to) {
+    auto& s = succs_[from];
+    if (std::find(s.begin(), s.end(), to) == s.end()) {
+      s.push_back(to);
+      preds_[to].push_back(static_cast<std::int32_t>(from));
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const BasicBlock& b = kernel.blocks[i];
+    const Instruction& last = b.body.back();
+    bool fallthrough = true;
+    if (last.op == Opcode::BRA) {
+      add_edge(i, last.target_block);
+      fallthrough = last.guard.has_value();  // guarded BRA may fall through
+    } else if (last.op == Opcode::EXIT && !last.guard) {
+      fallthrough = false;
+    }
+    if (fallthrough) {
+      if (i + 1 >= n)
+        throw Error("block '" + b.label + "' falls off the end of the kernel");
+      add_edge(i, static_cast<std::int32_t>(i + 1));
+    }
+  }
+}
+
+void Cfg::compute_rpo() {
+  const std::size_t n = succs_.size();
+  std::vector<bool> visited(n, false);
+  std::vector<std::int32_t> postorder;
+  postorder.reserve(n);
+
+  // Iterative DFS to avoid deep recursion on long block chains.
+  struct Frame {
+    std::int32_t block;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  visited[0] = true;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_succ < succs_[f.block].size()) {
+      const std::int32_t s = succs_[f.block][f.next_succ++];
+      if (!visited[s]) {
+        visited[s] = true;
+        stack.push_back({s, 0});
+      }
+    } else {
+      postorder.push_back(f.block);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+}
+
+namespace {
+
+/// Cooper–Harvey–Kennedy "engineering a simple dominance algorithm"
+/// intersect step over an idom array indexed by node, with order[] giving
+/// each node's position in the traversal order.
+std::int32_t intersect(std::int32_t a, std::int32_t b,
+                       const std::vector<std::int32_t>& idom,
+                       const std::vector<std::int32_t>& order) {
+  while (a != b) {
+    while (order[a] > order[b]) a = idom[a];
+    while (order[b] > order[a]) b = idom[b];
+  }
+  return a;
+}
+
+}  // namespace
+
+void Cfg::compute_dominators() {
+  const std::size_t n = succs_.size();
+  idom_.assign(n, -1);
+  std::vector<std::int32_t> order(n, -1);
+  for (std::size_t i = 0; i < rpo_.size(); ++i)
+    order[rpo_[i]] = static_cast<std::int32_t>(i);
+
+  idom_[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::int32_t b : rpo_) {
+      if (b == 0) continue;
+      std::int32_t new_idom = -1;
+      for (const std::int32_t p : preds_[b]) {
+        if (idom_[p] == -1) continue;  // unprocessed or unreachable
+        new_idom = (new_idom == -1)
+                       ? p
+                       : intersect(p, new_idom, idom_, order);
+      }
+      if (new_idom != -1 && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+void Cfg::compute_post_dominators() {
+  // Post-dominance over the reverse CFG with a virtual exit node `n` that
+  // every EXIT-terminated (successor-free) block feeds into.
+  const std::size_t n = succs_.size();
+  const auto virtual_exit = static_cast<std::int32_t>(n);
+
+  std::vector<std::vector<std::int32_t>> rsuccs(n + 1);  // reverse edges
+  std::vector<std::vector<std::int32_t>> rpreds(n + 1);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (succs_[b].empty()) {
+      rsuccs[virtual_exit].push_back(static_cast<std::int32_t>(b));
+      rpreds[b].push_back(virtual_exit);
+    }
+    for (const std::int32_t s : succs_[b]) {
+      rsuccs[s].push_back(static_cast<std::int32_t>(b));
+      rpreds[b].push_back(s);
+    }
+  }
+
+  // RPO over the reverse graph from the virtual exit.
+  std::vector<bool> visited(n + 1, false);
+  std::vector<std::int32_t> postorder;
+  struct Frame {
+    std::int32_t block;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({virtual_exit, 0});
+  visited[virtual_exit] = true;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < rsuccs[f.block].size()) {
+      const std::int32_t s = rsuccs[f.block][f.next++];
+      if (!visited[s]) {
+        visited[s] = true;
+        stack.push_back({s, 0});
+      }
+    } else {
+      postorder.push_back(f.block);
+      stack.pop_back();
+    }
+  }
+  std::vector<std::int32_t> rrpo(postorder.rbegin(), postorder.rend());
+
+  std::vector<std::int32_t> order(n + 1, -1);
+  for (std::size_t i = 0; i < rrpo.size(); ++i)
+    order[rrpo[i]] = static_cast<std::int32_t>(i);
+
+  ipdom_.assign(n + 1, -1);
+  ipdom_[virtual_exit] = virtual_exit;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::int32_t b : rrpo) {
+      if (b == virtual_exit) continue;
+      std::int32_t new_ipdom = -1;
+      for (const std::int32_t p : rpreds[b]) {
+        if (ipdom_[p] == -1) continue;
+        new_ipdom = (new_ipdom == -1)
+                        ? p
+                        : intersect(p, new_ipdom, ipdom_, order);
+      }
+      if (new_ipdom != -1 && ipdom_[b] != new_ipdom) {
+        ipdom_[b] = new_ipdom;
+        changed = true;
+      }
+    }
+  }
+  ipdom_.resize(n);  // drop the virtual exit entry; callers use block ids
+}
+
+bool Cfg::dominates(std::int32_t a, std::int32_t b) const {
+  while (true) {
+    if (a == b) return true;
+    if (b == 0 || b == -1) return a == 0;
+    const std::int32_t next = idom_[b];
+    if (next == b) return false;
+    b = next;
+  }
+}
+
+bool Cfg::post_dominates(std::int32_t a, std::int32_t b) const {
+  const auto virtual_exit = static_cast<std::int32_t>(succs_.size());
+  while (true) {
+    if (a == b) return true;
+    if (b == -1 || b == virtual_exit) return false;
+    b = ipdom_[b];
+  }
+}
+
+bool Cfg::is_back_edge(std::int32_t from, std::int32_t to) const {
+  return dominates(to, from);
+}
+
+void Cfg::find_loops() {
+  const std::size_t n = succs_.size();
+  loop_depth_.assign(n, 0);
+
+  for (std::size_t from = 0; from < n; ++from) {
+    for (const std::int32_t to : succs_[from]) {
+      if (!is_back_edge(static_cast<std::int32_t>(from), to)) continue;
+      Loop loop;
+      loop.header = to;
+      loop.latch = static_cast<std::int32_t>(from);
+      // Natural loop body: header plus everything that reaches the latch
+      // without passing through the header.
+      std::vector<bool> in_loop(n, false);
+      in_loop[to] = true;
+      std::vector<std::int32_t> work;
+      if (!in_loop[from]) {
+        in_loop[from] = true;
+        work.push_back(static_cast<std::int32_t>(from));
+      }
+      while (!work.empty()) {
+        const std::int32_t b = work.back();
+        work.pop_back();
+        for (const std::int32_t p : preds_[b]) {
+          if (!in_loop[p]) {
+            in_loop[p] = true;
+            work.push_back(p);
+          }
+        }
+      }
+      for (std::size_t b = 0; b < n; ++b)
+        if (in_loop[b]) loop.blocks.push_back(static_cast<std::int32_t>(b));
+      loops_.push_back(std::move(loop));
+    }
+  }
+
+  // Depth = number of loops containing the block; loop.depth = min depth
+  // over its blocks' containing count computed afterwards.
+  for (const Loop& loop : loops_)
+    for (const std::int32_t b : loop.blocks) ++loop_depth_[b];
+  for (Loop& loop : loops_) loop.depth = loop_depth_[loop.header];
+
+  // Deterministic order: outer loops first, then by header index.
+  std::sort(loops_.begin(), loops_.end(), [](const Loop& a, const Loop& b) {
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.header < b.header;
+  });
+}
+
+}  // namespace gpustatic::ptx

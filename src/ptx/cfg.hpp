@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::ptx {
+
+/// Control-flow graph over a finalized kernel's basic blocks, plus the
+/// standard analyses the rest of the system needs:
+///
+///  * dominators / post-dominators (Cooper–Harvey–Kennedy iteration),
+///  * immediate post-dominators — the reconvergence points used by the
+///    SIMT-stack divergence model in the simulator,
+///  * natural loops via back-edge detection — used by the static analyzer
+///    to weight instruction mixes by nesting depth.
+class Cfg {
+ public:
+  explicit Cfg(const Kernel& kernel);
+
+  [[nodiscard]] std::size_t num_blocks() const { return succs_.size(); }
+  [[nodiscard]] const std::vector<std::int32_t>& successors(
+      std::size_t block) const {
+    return succs_[block];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& predecessors(
+      std::size_t block) const {
+    return preds_[block];
+  }
+
+  /// Reverse post-order over forward edges starting at the entry block.
+  [[nodiscard]] const std::vector<std::int32_t>& rpo() const { return rpo_; }
+
+  /// Immediate dominator of each block; entry's idom is itself; unreachable
+  /// blocks report -1.
+  [[nodiscard]] std::int32_t idom(std::size_t block) const {
+    return idom_[block];
+  }
+
+  /// Immediate post-dominator of each block with respect to a virtual exit
+  /// node; blocks that reach no EXIT report -1. The virtual exit itself is
+  /// encoded as num_blocks().
+  [[nodiscard]] std::int32_t ipdom(std::size_t block) const {
+    return ipdom_[block];
+  }
+
+  [[nodiscard]] bool dominates(std::int32_t a, std::int32_t b) const;
+  [[nodiscard]] bool post_dominates(std::int32_t a, std::int32_t b) const;
+
+  /// A natural loop discovered from a back edge latch->header.
+  struct Loop {
+    std::int32_t header = -1;
+    std::int32_t latch = -1;
+    std::vector<std::int32_t> blocks;  ///< Includes header and latch.
+    std::int32_t depth = 1;            ///< 1 = outermost.
+  };
+
+  [[nodiscard]] const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Loop nesting depth of each block (0 = not in any loop).
+  [[nodiscard]] std::int32_t loop_depth(std::size_t block) const {
+    return loop_depth_[block];
+  }
+
+  /// True if the edge from->to is a back edge (to dominates from).
+  [[nodiscard]] bool is_back_edge(std::int32_t from, std::int32_t to) const;
+
+ private:
+  void build_edges(const Kernel& kernel);
+  void compute_rpo();
+  void compute_dominators();
+  void compute_post_dominators();
+  void find_loops();
+
+  std::vector<std::vector<std::int32_t>> succs_;
+  std::vector<std::vector<std::int32_t>> preds_;
+  std::vector<std::int32_t> rpo_;
+  std::vector<std::int32_t> idom_;
+  std::vector<std::int32_t> ipdom_;
+  std::vector<Loop> loops_;
+  std::vector<std::int32_t> loop_depth_;
+};
+
+}  // namespace gpustatic::ptx

@@ -1,0 +1,205 @@
+#include "ptx/instruction.hpp"
+
+namespace gpustatic::ptx {
+
+using arch::OpCategory;
+
+OpCategory Instruction::category() const {
+  switch (op) {
+    case Opcode::MOV:
+      return OpCategory::MoveIns;
+    // Logic and select instructions execute in the register/logic datapath;
+    // we account them under the paper's "Regs" row (see DESIGN.md §5).
+    case Opcode::SELP:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::NOT:
+      return OpCategory::Regs;
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::IMULHI:
+      return OpCategory::ShiftShuffle;
+    case Opcode::IADD:
+    case Opcode::ISUB:
+    case Opcode::IMUL:
+    case Opcode::IMAD:
+      return OpCategory::IntAdd32;
+    case Opcode::IMIN:
+    case Opcode::IMAX:
+    case Opcode::FMIN:
+    case Opcode::FMAX:
+      return OpCategory::CompMinMax;
+    case Opcode::FADD:
+    case Opcode::FSUB:
+    case Opcode::FMUL:
+    case Opcode::FFMA:
+      return type == Type::F64 ? OpCategory::FPIns64 : OpCategory::FPIns32;
+    case Opcode::RCP:
+    case Opcode::RSQRT:
+    case Opcode::SQRT:
+    case Opcode::EX2:
+    case Opcode::LG2:
+    case Opcode::SIN:
+    case Opcode::COS:
+      return OpCategory::LogSinCos;
+    case Opcode::CVT:
+      return (type_reg_slots(type) == 2 || type_reg_slots(cvt_src) == 2)
+                 ? OpCategory::Conv64
+                 : OpCategory::Conv32;
+    case Opcode::SETP:
+      return OpCategory::PredIns;
+    case Opcode::LD:
+      // Parameter/constant-bank reads compile to constant-operand moves
+      // in SASS (MOV Rx, c[0x0][...]), not load/store-unit traffic.
+      if (space == MemSpace::Param || space == MemSpace::Const)
+        return OpCategory::MoveIns;
+      return OpCategory::LdStIns;
+    case Opcode::ST:
+    case Opcode::ATOM_ADD:
+      return OpCategory::LdStIns;
+    case Opcode::BRA:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+    case Opcode::NOP:
+      return OpCategory::CtrlIns;
+  }
+  return OpCategory::CtrlIns;
+}
+
+arch::OpClass Instruction::op_class() const {
+  return arch::op_class(category());
+}
+
+unsigned Instruction::reg_reads() const {
+  unsigned n = guard.has_value() ? 1u : 0u;
+  for (const Operand& s : srcs)
+    if (s.is_reg()) ++n;
+  return n;
+}
+
+unsigned Instruction::reg_writes() const { return dst.has_value() ? 1u : 0u; }
+
+Instruction make_mov(Reg dst, Operand src) {
+  Instruction i;
+  i.op = Opcode::MOV;
+  i.type = dst.type;
+  i.dst = dst;
+  i.srcs = {src};
+  return i;
+}
+
+Instruction make_binary(Opcode op, Reg dst, Operand a, Operand b) {
+  Instruction i;
+  i.op = op;
+  i.type = dst.type;
+  i.dst = dst;
+  i.srcs = {a, b};
+  return i;
+}
+
+Instruction make_ternary(Opcode op, Reg dst, Operand a, Operand b,
+                         Operand c) {
+  Instruction i;
+  i.op = op;
+  i.type = dst.type;
+  i.dst = dst;
+  i.srcs = {a, b, c};
+  return i;
+}
+
+Instruction make_unary(Opcode op, Reg dst, Operand a) {
+  Instruction i;
+  i.op = op;
+  i.type = dst.type;
+  i.dst = dst;
+  i.srcs = {a};
+  return i;
+}
+
+Instruction make_setp(CmpOp cmp, Reg dst, Operand a, Operand b,
+                      Type operand_type) {
+  Instruction i;
+  i.op = Opcode::SETP;
+  i.type = operand_type;
+  i.cmp = cmp;
+  i.dst = dst;
+  i.srcs = {a, b};
+  return i;
+}
+
+Instruction make_cvt(Reg dst, Reg src) {
+  Instruction i;
+  i.op = Opcode::CVT;
+  i.type = dst.type;
+  i.cvt_src = src.type;
+  i.dst = dst;
+  i.srcs = {Operand(src)};
+  return i;
+}
+
+Instruction make_ld(MemSpace space, Reg dst, Reg addr, std::int64_t offset,
+                    AccessHint hint) {
+  Instruction i;
+  i.op = Opcode::LD;
+  i.type = dst.type;
+  i.space = space;
+  i.dst = dst;
+  i.srcs = {Operand(addr)};
+  i.offset = offset;
+  i.access = hint;
+  return i;
+}
+
+Instruction make_st(MemSpace space, Reg addr, Operand value,
+                    std::int64_t offset, AccessHint hint) {
+  Instruction i;
+  i.op = Opcode::ST;
+  i.type = value.is_reg() ? value.reg().type : Type::F32;
+  i.space = space;
+  i.srcs = {Operand(addr), value};
+  i.offset = offset;
+  i.access = hint;
+  return i;
+}
+
+Instruction make_ld_param(Reg dst, std::uint16_t param_index) {
+  Instruction i;
+  i.op = Opcode::LD;
+  i.type = dst.type;
+  i.space = MemSpace::Param;
+  i.dst = dst;
+  i.srcs = {Operand::sym(param_index)};
+  i.access.uniform = true;
+  i.access.lane_stride_bytes = 0;
+  return i;
+}
+
+Instruction make_bra(std::string target) {
+  Instruction i;
+  i.op = Opcode::BRA;
+  i.target = std::move(target);
+  return i;
+}
+
+Instruction make_bra_if(Reg pred, bool negated, std::string target) {
+  Instruction i;
+  i.op = Opcode::BRA;
+  i.guard = Guard{pred, negated};
+  i.target = std::move(target);
+  return i;
+}
+
+Instruction make_bar() {
+  Instruction i;
+  i.op = Opcode::BAR;
+  return i;
+}
+
+Instruction make_exit() {
+  Instruction i;
+  i.op = Opcode::EXIT;
+  return i;
+}
+
+}  // namespace gpustatic::ptx

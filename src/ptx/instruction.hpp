@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptx/opcode.hpp"
+
+namespace gpustatic::ptx {
+
+/// A typed virtual register, e.g. `%f3`. Virtual indices are dense per
+/// class; physical register demand is derived later by liveness analysis
+/// (see liveness.hpp), mirroring how ptxas maps PTX virtual registers.
+struct Reg {
+  Type type = Type::I32;
+  std::uint16_t idx = 0;
+
+  friend bool operator==(const Reg&, const Reg&) = default;
+};
+
+/// Instruction operand: a register, an immediate, a kernel-parameter
+/// symbol, or a special hardware register.
+class Operand {
+ public:
+  enum class Kind : std::uint8_t { None, Reg, ImmI, ImmF, Sym, Special };
+
+  Operand() = default;
+  Operand(Reg r) : kind_(Kind::Reg), reg_(r) {}  // NOLINT(google-explicit-constructor)
+
+  static Operand imm_i(std::int64_t v) {
+    Operand o;
+    o.kind_ = Kind::ImmI;
+    o.imm_i_ = v;
+    return o;
+  }
+  static Operand imm_f(double v) {
+    Operand o;
+    o.kind_ = Kind::ImmF;
+    o.imm_f_ = v;
+    return o;
+  }
+  static Operand sym(std::uint16_t param_index) {
+    Operand o;
+    o.kind_ = Kind::Sym;
+    o.sym_ = param_index;
+    return o;
+  }
+  static Operand special(SpecialReg s) {
+    Operand o;
+    o.kind_ = Kind::Special;
+    o.special_ = s;
+    return o;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_reg() const noexcept { return kind_ == Kind::Reg; }
+  [[nodiscard]] const Reg& reg() const { return reg_; }
+  [[nodiscard]] std::int64_t imm_i() const { return imm_i_; }
+  [[nodiscard]] double imm_f() const { return imm_f_; }
+  [[nodiscard]] std::uint16_t sym() const { return sym_; }
+  [[nodiscard]] SpecialReg special() const { return special_; }
+
+ private:
+  Kind kind_ = Kind::None;
+  Reg reg_{};
+  std::int64_t imm_i_ = 0;
+  double imm_f_ = 0.0;
+  std::uint16_t sym_ = 0;
+  SpecialReg special_ = SpecialReg::TidX;
+};
+
+/// Predicate guard: `@%p1` or `@!%p1` prefix on an instruction.
+struct Guard {
+  Reg pred;             ///< Must have type Pred.
+  bool negated = false; ///< True for `@!%p`.
+};
+
+/// Static memory-coalescing annotation attached by the code generator to
+/// LD/ST/ATOM_ADD. The warp simulator derives the true transaction count
+/// from the actual lane addresses; the analytic model uses this annotation.
+/// Cross-checking the two is part of the test suite.
+struct AccessHint {
+  /// Byte distance between consecutive lanes' addresses (0 = all lanes hit
+  /// the same address, 4 = perfectly coalesced f32, 4*N = strided).
+  std::int64_t lane_stride_bytes = 4;
+  /// Byte distance the address advances per iteration of the innermost
+  /// enclosing serial loop (0 = loop-invariant or not inside a loop). The
+  /// memory model uses this to credit cache-line reuse across iterations.
+  std::int64_t serial_stride_bytes = 0;
+  /// True when the address is uniform across the warp (broadcast).
+  bool uniform = false;
+};
+
+/// One machine instruction of the virtual ISA.
+///
+/// Layout notes: `type` is the operating width for width-generic opcodes
+/// (IADD on I32 vs I64, FADD on F32 vs F64, LD/ST element type). For CVT,
+/// `type` is the destination type and `cvt_src` the source type. For SETP,
+/// `type` is the comparison operand type and `cmp` the comparison operator.
+struct Instruction {
+  Opcode op = Opcode::NOP;
+  Type type = Type::I32;
+  std::optional<Guard> guard;
+
+  std::optional<Reg> dst;
+  std::vector<Operand> srcs;
+
+  // SETP only.
+  CmpOp cmp = CmpOp::EQ;
+  // CVT only.
+  Type cvt_src = Type::I32;
+  // LD/ST/ATOM_ADD only.
+  MemSpace space = MemSpace::Global;
+  std::int64_t offset = 0;   ///< Constant byte offset added to the address.
+  AccessHint access;
+  // BRA only.
+  std::string target;        ///< Label; resolved to a block index by Kernel.
+  std::int32_t target_block = -1;
+
+  /// Table II category this instruction is accounted under.
+  [[nodiscard]] arch::OpCategory category() const;
+  /// Coarse class (FLOPS/MEM/CTRL/REG) of category().
+  [[nodiscard]] arch::OpClass op_class() const;
+
+  /// Number of register operands read, including guard and address
+  /// registers; used for the register-traffic metric O_reg.
+  [[nodiscard]] unsigned reg_reads() const;
+  /// Number of register operands written (0 or 1; predicates count).
+  [[nodiscard]] unsigned reg_writes() const;
+};
+
+/// Convenience builders keep code-generator call sites compact.
+[[nodiscard]] Instruction make_mov(Reg dst, Operand src);
+[[nodiscard]] Instruction make_binary(Opcode op, Reg dst, Operand a,
+                                      Operand b);
+[[nodiscard]] Instruction make_ternary(Opcode op, Reg dst, Operand a,
+                                       Operand b, Operand c);
+[[nodiscard]] Instruction make_unary(Opcode op, Reg dst, Operand a);
+[[nodiscard]] Instruction make_setp(CmpOp cmp, Reg dst, Operand a, Operand b,
+                                    Type operand_type);
+[[nodiscard]] Instruction make_cvt(Reg dst, Reg src);
+[[nodiscard]] Instruction make_ld(MemSpace space, Reg dst, Reg addr,
+                                  std::int64_t offset, AccessHint hint);
+[[nodiscard]] Instruction make_st(MemSpace space, Reg addr, Operand value,
+                                  std::int64_t offset, AccessHint hint);
+[[nodiscard]] Instruction make_ld_param(Reg dst, std::uint16_t param_index);
+[[nodiscard]] Instruction make_bra(std::string target);
+[[nodiscard]] Instruction make_bra_if(Reg pred, bool negated,
+                                      std::string target);
+[[nodiscard]] Instruction make_bar();
+[[nodiscard]] Instruction make_exit();
+
+}  // namespace gpustatic::ptx

@@ -1,0 +1,104 @@
+#include "ptx/kernel.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace gpustatic::ptx {
+
+bool BasicBlock::ends_with_unconditional_terminator() const {
+  if (body.empty()) return false;
+  const Instruction& last = body.back();
+  return is_terminator(last.op) && !last.guard.has_value();
+}
+
+void Kernel::finalize() {
+  if (blocks.empty()) throw Error("kernel '" + name + "' has no blocks");
+
+  std::unordered_map<std::string, std::int32_t> by_label;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto [it, inserted] =
+        by_label.emplace(blocks[i].label, static_cast<std::int32_t>(i));
+    if (!inserted)
+      throw Error("kernel '" + name + "': duplicate label '" +
+                  blocks[i].label + "'");
+  }
+
+  for (BasicBlock& b : blocks) {
+    for (Instruction& ins : b.body) {
+      if (ins.op == Opcode::BRA) {
+        const auto it = by_label.find(ins.target);
+        if (it == by_label.end())
+          throw Error("kernel '" + name + "': branch to unknown label '" +
+                      ins.target + "'");
+        ins.target_block = it->second;
+      }
+    }
+  }
+
+  finalized_ = true;
+  validate();
+}
+
+void Kernel::validate() const {
+  for (const BasicBlock& b : blocks) {
+    if (b.body.empty())
+      throw Error("kernel '" + name + "': empty block '" + b.label + "'");
+    for (std::size_t k = 0; k < b.body.size(); ++k) {
+      const Instruction& ins = b.body[k];
+      if (ins.guard && ins.guard->pred.type != Type::Pred)
+        throw Error("kernel '" + name + "': guard register is not a predicate");
+      // Terminators may only appear last within a block; a *guarded* BRA in
+      // last position still allows fall-through, which is legal.
+      if (is_terminator(ins.op) && k + 1 != b.body.size())
+        throw Error("kernel '" + name + "': terminator not at end of block '" +
+                    b.label + "'");
+      if (ins.op == Opcode::SETP && (!ins.dst || ins.dst->type != Type::Pred))
+        throw Error("kernel '" + name + "': setp destination must be a predicate");
+      if (ins.op == Opcode::LD && ins.space != MemSpace::Param &&
+          (ins.srcs.empty() || !ins.srcs[0].is_reg() ||
+           ins.srcs[0].reg().type != Type::I64))
+        throw Error("kernel '" + name + "': load address must be an s64 register");
+      if (ins.op == Opcode::ST &&
+          (ins.srcs.size() < 2 || !ins.srcs[0].is_reg() ||
+           ins.srcs[0].reg().type != Type::I64))
+        throw Error("kernel '" + name + "': store address must be an s64 register");
+    }
+  }
+  // The final block must not fall off the end of the kernel.
+  if (!blocks.back().ends_with_unconditional_terminator())
+    throw Error("kernel '" + name +
+                "': last block must end with an unconditional terminator");
+}
+
+std::int32_t Kernel::block_index(std::string_view label) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].label == label) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
+std::size_t Kernel::instruction_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks) n += b.body.size();
+  return n;
+}
+
+std::uint16_t Kernel::max_reg_index(Type t) const {
+  std::uint16_t m = 0;
+  auto consider = [&](const Reg& r) {
+    if (r.type == t) m = std::max(m, static_cast<std::uint16_t>(r.idx + 1));
+  };
+  for (const BasicBlock& b : blocks) {
+    for (const Instruction& ins : b.body) {
+      if (ins.dst) consider(*ins.dst);
+      if (ins.guard) consider(ins.guard->pred);
+      for (const Operand& s : ins.srcs)
+        if (s.is_reg()) consider(s.reg());
+    }
+  }
+  return m;
+}
+
+}  // namespace gpustatic::ptx

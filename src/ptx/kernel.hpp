@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptx/instruction.hpp"
+
+namespace gpustatic::ptx {
+
+/// Kernel formal parameter. Pointer parameters address global memory.
+struct Param {
+  std::string name;
+  Type type = Type::I64;
+  bool is_pointer = false;
+};
+
+/// A straight-line run of instructions ending (implicitly or explicitly)
+/// in a terminator. Control enters only at the top.
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> body;
+
+  /// True when the block's last instruction is an unconditional terminator
+  /// (so there is no fall-through edge).
+  [[nodiscard]] bool ends_with_unconditional_terminator() const;
+};
+
+/// A compiled kernel: the unit the static analyzer, simulator, and
+/// autotuner all operate on. Block 0 is the unique entry.
+class Kernel {
+ public:
+  std::string name;
+  std::vector<Param> params;
+  std::vector<BasicBlock> blocks;
+  std::uint32_t smem_static_bytes = 0;  ///< __shared__ usage per block.
+
+  /// Resolve BRA label targets into block indices and verify structural
+  /// invariants (unique labels, known targets, guard regs are predicates,
+  /// terminator placement). Throws Error on violation. Must be called
+  /// after construction/mutation and before analysis or execution.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Index of the block with the given label, or -1.
+  [[nodiscard]] std::int32_t block_index(std::string_view label) const;
+
+  /// Total static instruction count over all blocks.
+  [[nodiscard]] std::size_t instruction_count() const;
+
+  /// Highest virtual register index used per type (for register-file
+  /// sizing in the simulator). Returns 0 when the type is unused.
+  [[nodiscard]] std::uint16_t max_reg_index(Type t) const;
+
+  /// Visit every instruction (const); used by analyses.
+  template <typename Fn>
+  void for_each_instruction(Fn&& fn) const {
+    for (const BasicBlock& b : blocks)
+      for (const Instruction& i : b.body) fn(i);
+  }
+
+ private:
+  void validate() const;
+  bool finalized_ = false;
+};
+
+}  // namespace gpustatic::ptx

@@ -1,0 +1,163 @@
+#include "ptx/liveness.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ptx/cfg.hpp"
+
+namespace gpustatic::ptx {
+
+namespace {
+
+/// Dense id for every (type, idx) register so we can use bit vectors.
+class RegIds {
+ public:
+  explicit RegIds(const Kernel& k) {
+    base_[0] = 0;
+    counts_[0] = k.max_reg_index(Type::Pred);
+    base_[1] = base_[0] + counts_[0];
+    counts_[1] = k.max_reg_index(Type::I32);
+    base_[2] = base_[1] + counts_[1];
+    counts_[2] = k.max_reg_index(Type::I64);
+    base_[3] = base_[2] + counts_[2];
+    counts_[3] = k.max_reg_index(Type::F32);
+    base_[4] = base_[3] + counts_[3];
+    counts_[4] = k.max_reg_index(Type::F64);
+    total_ = base_[4] + counts_[4];
+  }
+
+  [[nodiscard]] std::size_t id(const Reg& r) const {
+    return base_[slot(r.type)] + r.idx;
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// 32-bit slot weight of a register (0 for predicates).
+  static unsigned weight(Type t) { return type_reg_slots(t); }
+  [[nodiscard]] Type type_of(std::size_t id) const {
+    for (int s = 4; s >= 0; --s)
+      if (id >= base_[s]) return type_from_slot(s);
+    return Type::Pred;
+  }
+
+ private:
+  static std::size_t slot(Type t) {
+    switch (t) {
+      case Type::Pred: return 0;
+      case Type::I32: return 1;
+      case Type::I64: return 2;
+      case Type::F32: return 3;
+      case Type::F64: return 4;
+    }
+    return 0;
+  }
+  static Type type_from_slot(int s) {
+    switch (s) {
+      case 0: return Type::Pred;
+      case 1: return Type::I32;
+      case 2: return Type::I64;
+      case 3: return Type::F32;
+      default: return Type::F64;
+    }
+  }
+
+  std::size_t base_[5] = {};
+  std::size_t counts_[5] = {};
+  std::size_t total_ = 0;
+};
+
+using BitSet = std::vector<bool>;
+
+void set_union_into(BitSet& dst, const BitSet& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    if (src[i]) dst[i] = true;
+}
+
+}  // namespace
+
+RegisterDemand analyze_register_demand(const Kernel& kernel) {
+  const Cfg cfg(kernel);
+  const RegIds ids(kernel);
+  const std::size_t nregs = ids.total();
+  const std::size_t nblocks = kernel.blocks.size();
+
+  // use[b] = read before written in b; def[b] = written in b.
+  std::vector<BitSet> use(nblocks, BitSet(nregs, false));
+  std::vector<BitSet> def(nblocks, BitSet(nregs, false));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (const Instruction& ins : kernel.blocks[b].body) {
+      auto mark_read = [&](const Reg& r) {
+        const std::size_t i = ids.id(r);
+        if (!def[b][i]) use[b][i] = true;
+      };
+      if (ins.guard) mark_read(ins.guard->pred);
+      for (const Operand& s : ins.srcs)
+        if (s.is_reg()) mark_read(s.reg());
+      // A guarded write only partially defines the register: it still
+      // reads the old value on inactive lanes, so treat guarded defs as
+      // uses too (conservative, matches predicated SASS semantics).
+      if (ins.dst) {
+        if (ins.guard) mark_read(*ins.dst);
+        def[b][ids.id(*ins.dst)] = true;
+      }
+    }
+  }
+
+  // Backward data-flow: live_out[b] = union of live_in over successors.
+  std::vector<BitSet> live_in(nblocks, BitSet(nregs, false));
+  std::vector<BitSet> live_out(nblocks, BitSet(nregs, false));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nblocks; bi-- > 0;) {
+      BitSet out(nregs, false);
+      for (const std::int32_t s : cfg.successors(bi))
+        set_union_into(out, live_in[s]);
+      BitSet in = use[bi];
+      for (std::size_t r = 0; r < nregs; ++r)
+        if (out[r] && !def[bi][r]) in[r] = true;
+      if (in != live_in[bi] || out != live_out[bi]) {
+        live_in[bi] = std::move(in);
+        live_out[bi] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  // Per-block backward walk tracking peak live slot count.
+  std::uint32_t peak_slots = 0;
+  std::uint32_t peak_preds = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    BitSet live = live_out[b];
+    auto measure = [&] {
+      std::uint32_t slots = 0, preds = 0;
+      for (std::size_t r = 0; r < nregs; ++r) {
+        if (!live[r]) continue;
+        const Type t = ids.type_of(r);
+        if (t == Type::Pred)
+          ++preds;
+        else
+          slots += RegIds::weight(t);
+      }
+      peak_slots = std::max(peak_slots, slots);
+      peak_preds = std::max(peak_preds, preds);
+    };
+    measure();
+    const auto& body = kernel.blocks[b].body;
+    for (std::size_t k = body.size(); k-- > 0;) {
+      const Instruction& ins = body[k];
+      if (ins.dst && !ins.guard) live[ids.id(*ins.dst)] = false;
+      if (ins.guard) live[ids.id(ins.guard->pred)] = true;
+      for (const Operand& s : ins.srcs)
+        if (s.is_reg()) live[ids.id(s.reg())] = true;
+      if (ins.dst && ins.guard) live[ids.id(*ins.dst)] = true;
+      measure();
+    }
+  }
+
+  RegisterDemand d;
+  d.regs_per_thread = peak_slots + kAbiReserved;
+  d.preds_per_thread = peak_preds;
+  return d;
+}
+
+}  // namespace gpustatic::ptx

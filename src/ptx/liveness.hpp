@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::ptx {
+
+/// Result of register-demand analysis.
+struct RegisterDemand {
+  /// Peak number of simultaneously live 32-bit register slots in any one
+  /// thread (I64/F64 values occupy two slots). This is the `Ru` the
+  /// occupancy model consumes — the stand-in for ptxas's
+  /// `--ptxas-options=-v` "registers per thread" report.
+  std::uint32_t regs_per_thread = 0;
+  /// Peak live predicate registers (tracked separately; NVIDIA hardware
+  /// has a small dedicated predicate file).
+  std::uint32_t preds_per_thread = 0;
+};
+
+/// Backward liveness over the CFG followed by a per-block walk that records
+/// the maximum number of live register slots at any program point.
+///
+/// Virtual registers are never reused by our code generator, so peak
+/// liveness is a faithful model of what a linear-scan allocator would need;
+/// we additionally add the small fixed overhead ptxas reserves for
+/// addressing/ABI registers (kAbiReserved).
+[[nodiscard]] RegisterDemand analyze_register_demand(const Kernel& kernel);
+
+/// Fixed per-thread register overhead the real toolchain reserves
+/// (parameter bank pointers, stack pointer). Exposed for tests.
+inline constexpr std::uint32_t kAbiReserved = 2;
+
+}  // namespace gpustatic::ptx

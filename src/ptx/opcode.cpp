@@ -1,0 +1,134 @@
+#include "ptx/opcode.hpp"
+
+namespace gpustatic::ptx {
+
+std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::Pred: return "pred";
+    case Type::I32: return "s32";
+    case Type::I64: return "s64";
+    case Type::F32: return "f32";
+    case Type::F64: return "f64";
+  }
+  return "?";
+}
+
+std::string_view type_reg_prefix(Type t) {
+  switch (t) {
+    case Type::Pred: return "%p";
+    case Type::I32: return "%r";
+    case Type::I64: return "%rd";
+    case Type::F32: return "%f";
+    case Type::F64: return "%d";
+  }
+  return "%?";
+}
+
+unsigned type_reg_slots(Type t) {
+  switch (t) {
+    case Type::Pred: return 0;
+    case Type::I32:
+    case Type::F32: return 1;
+    case Type::I64:
+    case Type::F64: return 2;
+  }
+  return 0;
+}
+
+unsigned type_size_bytes(Type t) {
+  switch (t) {
+    case Type::Pred: return 0;
+    case Type::I32:
+    case Type::F32: return 4;
+    case Type::I64:
+    case Type::F64: return 8;
+  }
+  return 0;
+}
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::MOV: return "mov";
+    case Opcode::SELP: return "selp";
+    case Opcode::AND: return "and";
+    case Opcode::OR: return "or";
+    case Opcode::XOR: return "xor";
+    case Opcode::NOT: return "not";
+    case Opcode::SHL: return "shl";
+    case Opcode::SHR: return "shr";
+    case Opcode::IADD: return "add";
+    case Opcode::ISUB: return "sub";
+    case Opcode::IMUL: return "mul";
+    case Opcode::IMULHI: return "mul.hi";
+    case Opcode::IMAD: return "mad";
+    case Opcode::IMIN: return "min";
+    case Opcode::IMAX: return "max";
+    case Opcode::FADD: return "fadd";
+    case Opcode::FSUB: return "fsub";
+    case Opcode::FMUL: return "fmul";
+    case Opcode::FFMA: return "fma";
+    case Opcode::FMIN: return "fmin";
+    case Opcode::FMAX: return "fmax";
+    case Opcode::RCP: return "rcp";
+    case Opcode::RSQRT: return "rsqrt";
+    case Opcode::SQRT: return "sqrt";
+    case Opcode::EX2: return "ex2";
+    case Opcode::LG2: return "lg2";
+    case Opcode::SIN: return "sin";
+    case Opcode::COS: return "cos";
+    case Opcode::CVT: return "cvt";
+    case Opcode::SETP: return "setp";
+    case Opcode::LD: return "ld";
+    case Opcode::ST: return "st";
+    case Opcode::ATOM_ADD: return "atom.add";
+    case Opcode::BRA: return "bra";
+    case Opcode::BAR: return "bar.sync";
+    case Opcode::EXIT: return "exit";
+    case Opcode::NOP: return "nop";
+  }
+  return "?";
+}
+
+std::string_view cmp_name(CmpOp c) {
+  switch (c) {
+    case CmpOp::EQ: return "eq";
+    case CmpOp::NE: return "ne";
+    case CmpOp::LT: return "lt";
+    case CmpOp::LE: return "le";
+    case CmpOp::GT: return "gt";
+    case CmpOp::GE: return "ge";
+  }
+  return "?";
+}
+
+std::string_view space_name(MemSpace s) {
+  switch (s) {
+    case MemSpace::Global: return "global";
+    case MemSpace::Shared: return "shared";
+    case MemSpace::Param: return "param";
+    case MemSpace::Const: return "const";
+    case MemSpace::Local: return "local";
+  }
+  return "?";
+}
+
+std::string_view special_name(SpecialReg s) {
+  switch (s) {
+    case SpecialReg::TidX: return "%tid.x";
+    case SpecialReg::NTidX: return "%ntid.x";
+    case SpecialReg::CTAidX: return "%ctaid.x";
+    case SpecialReg::NCTAidX: return "%nctaid.x";
+    case SpecialReg::LaneId: return "%laneid";
+  }
+  return "%?";
+}
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::BRA || op == Opcode::EXIT;
+}
+
+bool is_memory(Opcode op) {
+  return op == Opcode::LD || op == Opcode::ST || op == Opcode::ATOM_ADD;
+}
+
+}  // namespace gpustatic::ptx

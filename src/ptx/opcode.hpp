@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "arch/throughput.hpp"
+
+namespace gpustatic::ptx {
+
+/// Value/register types. B-prefixed widths do not appear: every register is
+/// typed, mirroring PTX virtual registers (%p, %r, %rd, %f, %d).
+enum class Type : std::uint8_t { Pred, I32, I64, F32, F64 };
+
+[[nodiscard]] std::string_view type_name(Type t);     // "pred","s32",...
+[[nodiscard]] std::string_view type_reg_prefix(Type t);  // "%p","%r",...
+/// Number of 32-bit register slots a value of this type occupies; predicate
+/// registers live in a separate file and report 0.
+[[nodiscard]] unsigned type_reg_slots(Type t);
+/// Size of the in-memory representation in bytes (predicates are not
+/// addressable and report 0).
+[[nodiscard]] unsigned type_size_bytes(Type t);
+
+/// Machine operations of the virtual ISA. Width-generic operations (e.g.
+/// IADD works on I32 and I64) take their width from Instruction::type.
+enum class Opcode : std::uint8_t {
+  // Data movement / logic (logic ops are category Regs; see category()).
+  MOV, SELP, AND, OR, XOR, NOT,
+  // Shifts.
+  SHL, SHR,
+  // Integer arithmetic.
+  IADD, ISUB, IMUL, IMULHI, IMAD, IMIN, IMAX,
+  // Floating point (F32 or F64 via Instruction::type).
+  FADD, FSUB, FMUL, FFMA, FMIN, FMAX,
+  // Special function unit (F32).
+  RCP, RSQRT, SQRT, EX2, LG2, SIN, COS,
+  // Conversion; source type in Instruction::cvt_src, dest in type.
+  CVT,
+  // Predicate set; comparison in Instruction::cmp, operand type in type.
+  SETP,
+  // Memory; space in Instruction::space, value type in type.
+  LD, ST, ATOM_ADD,
+  // Control.
+  BRA, BAR, EXIT,
+  NOP,
+};
+
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+/// Comparison operators for SETP.
+enum class CmpOp : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+[[nodiscard]] std::string_view cmp_name(CmpOp c);
+
+/// Memory spaces for LD/ST/ATOM_ADD.
+enum class MemSpace : std::uint8_t { Global, Shared, Param, Const, Local };
+[[nodiscard]] std::string_view space_name(MemSpace s);
+
+/// Special (read-only) hardware registers.
+enum class SpecialReg : std::uint8_t {
+  TidX,     ///< %tid.x — thread index within block.
+  NTidX,    ///< %ntid.x — block dimension.
+  CTAidX,   ///< %ctaid.x — block index within grid.
+  NCTAidX,  ///< %nctaid.x — grid dimension.
+  LaneId,   ///< %laneid — lane within warp.
+};
+[[nodiscard]] std::string_view special_name(SpecialReg s);
+
+/// True for opcodes that end or redirect control flow.
+[[nodiscard]] bool is_terminator(Opcode op);
+/// True for LD/ST/ATOM_ADD.
+[[nodiscard]] bool is_memory(Opcode op);
+
+}  // namespace gpustatic::ptx

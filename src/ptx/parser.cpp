@@ -1,0 +1,475 @@
+#include "ptx/parser.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::ptx {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text[pos]; }
+  char get() {
+    const char c = text[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+[[noreturn]] void fail(const Cursor& c, const std::string& msg) {
+  throw ParseError(msg, c.line);
+}
+
+void skip_ws_and_comments(Cursor& c) {
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+      c.get();
+    } else if (ch == '/' && c.pos + 1 < c.text.size() &&
+               c.text[c.pos + 1] == '/') {
+      while (!c.eof() && c.peek() != '\n') c.get();
+    } else {
+      break;
+    }
+  }
+}
+
+bool is_ident_char(char ch) {
+  return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+         (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' || ch == '$';
+}
+
+std::string read_ident(Cursor& c) {
+  skip_ws_and_comments(c);
+  std::string out;
+  while (!c.eof() && is_ident_char(c.peek())) out.push_back(c.get());
+  if (out.empty()) fail(c, "expected identifier");
+  return out;
+}
+
+void expect(Cursor& c, char ch) {
+  skip_ws_and_comments(c);
+  if (c.eof() || c.peek() != ch)
+    fail(c, std::string("expected '") + ch + "'");
+  c.get();
+}
+
+bool accept(Cursor& c, char ch) {
+  skip_ws_and_comments(c);
+  if (!c.eof() && c.peek() == ch) {
+    c.get();
+    return true;
+  }
+  return false;
+}
+
+std::optional<Type> type_from_name(std::string_view s) {
+  if (s == "pred") return Type::Pred;
+  if (s == "s32") return Type::I32;
+  if (s == "s64") return Type::I64;
+  if (s == "f32") return Type::F32;
+  if (s == "f64") return Type::F64;
+  return std::nullopt;
+}
+
+std::optional<CmpOp> cmp_from_name(std::string_view s) {
+  if (s == "eq") return CmpOp::EQ;
+  if (s == "ne") return CmpOp::NE;
+  if (s == "lt") return CmpOp::LT;
+  if (s == "le") return CmpOp::LE;
+  if (s == "gt") return CmpOp::GT;
+  if (s == "ge") return CmpOp::GE;
+  return std::nullopt;
+}
+
+std::optional<MemSpace> space_from_name(std::string_view s) {
+  if (s == "global") return MemSpace::Global;
+  if (s == "shared") return MemSpace::Shared;
+  if (s == "param") return MemSpace::Param;
+  if (s == "const") return MemSpace::Const;
+  if (s == "local") return MemSpace::Local;
+  return std::nullopt;
+}
+
+std::optional<SpecialReg> special_from_name(std::string_view s) {
+  if (s == "%tid.x") return SpecialReg::TidX;
+  if (s == "%ntid.x") return SpecialReg::NTidX;
+  if (s == "%ctaid.x") return SpecialReg::CTAidX;
+  if (s == "%nctaid.x") return SpecialReg::NCTAidX;
+  if (s == "%laneid") return SpecialReg::LaneId;
+  return std::nullopt;
+}
+
+Reg parse_reg(Cursor& c) {
+  skip_ws_and_comments(c);
+  if (c.peek() != '%') fail(c, "expected register");
+  c.get();
+  std::string prefix;
+  while (!c.eof() && ((c.peek() >= 'a' && c.peek() <= 'z'))) {
+    prefix.push_back(c.get());
+  }
+  Type t;
+  if (prefix == "p") t = Type::Pred;
+  else if (prefix == "r") t = Type::I32;
+  else if (prefix == "rd") t = Type::I64;
+  else if (prefix == "f") t = Type::F32;
+  else if (prefix == "d") t = Type::F64;
+  else fail(c, "unknown register class '%" + prefix + "'");
+  std::string digits;
+  while (!c.eof() && c.peek() >= '0' && c.peek() <= '9')
+    digits.push_back(c.get());
+  if (digits.empty()) fail(c, "expected register index");
+  return Reg{t, static_cast<std::uint16_t>(std::stoul(digits))};
+}
+
+Operand parse_operand(Cursor& c,
+                      const std::unordered_map<std::string, std::uint16_t>&
+                          param_index) {
+  skip_ws_and_comments(c);
+  const char ch = c.peek();
+  if (ch == '%') {
+    // Could be a special register (%tid.x) or a plain register.
+    // Specials all start with lowercase sequences that are not register
+    // class prefixes followed by digits; probe the identifier.
+    std::size_t save_pos = c.pos;
+    std::size_t save_line = c.line;
+    c.get();  // '%'
+    std::string word = "%";
+    while (!c.eof() && is_ident_char(c.peek())) word.push_back(c.get());
+    if (const auto sp = special_from_name(word)) return Operand::special(*sp);
+    c.pos = save_pos;
+    c.line = save_line;
+    return Operand(parse_reg(c));
+  }
+  if (ch == '0' && c.pos + 1 < c.text.size() && c.text[c.pos + 1] == 'D') {
+    // Hex-encoded double: 0D<16 hex digits>.
+    c.get();
+    c.get();
+    std::string hex;
+    while (!c.eof() && isxdigit(static_cast<unsigned char>(c.peek())))
+      hex.push_back(c.get());
+    if (hex.size() != 16) fail(c, "expected 16 hex digits after 0D");
+    const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return Operand::imm_f(d);
+  }
+  if (ch == '-' || (ch >= '0' && ch <= '9')) {
+    std::string num;
+    if (ch == '-') num.push_back(c.get());
+    while (!c.eof() && c.peek() >= '0' && c.peek() <= '9')
+      num.push_back(c.get());
+    return Operand::imm_i(std::stoll(num));
+  }
+  // Parameter symbol.
+  const std::string ident = read_ident(c);
+  const auto it = param_index.find(ident);
+  if (it == param_index.end()) fail(c, "unknown symbol '" + ident + "'");
+  return Operand::sym(it->second);
+}
+
+/// Split a dotted mnemonic like "setp.lt.s32" into parts.
+std::vector<std::string> dotted_parts(const std::string& mnemonic) {
+  return str::split(mnemonic, '.');
+}
+
+/// Read the optional "// stride=N [uniform]" annotation after memory ops.
+AccessHint parse_access_hint(Cursor& c) {
+  AccessHint hint;
+  // Peek: skip spaces but NOT newlines/comments (the hint is the comment).
+  std::size_t p = c.pos;
+  while (p < c.text.size() && (c.text[p] == ' ' || c.text[p] == '\t')) ++p;
+  if (p + 1 >= c.text.size() || c.text[p] != '/' || c.text[p + 1] != '/')
+    return hint;
+  p += 2;
+  std::size_t end = p;
+  while (end < c.text.size() && c.text[end] != '\n') ++end;
+  const std::string_view comment = c.text.substr(p, end - p);
+  for (const std::string& tok : str::split_ws(comment)) {
+    if (str::starts_with(tok, "stride="))
+      hint.lane_stride_bytes = std::stoll(tok.substr(7));
+    else if (str::starts_with(tok, "serial="))
+      hint.serial_stride_bytes = std::stoll(tok.substr(7));
+    else if (tok == "uniform")
+      hint.uniform = true;
+  }
+  c.pos = end;
+  return hint;
+}
+
+Instruction parse_instruction(Cursor& c, const std::string& first_token,
+                              const std::unordered_map<std::string,
+                                                       std::uint16_t>&
+                                  param_index) {
+  Instruction ins;
+  std::string mnemonic = first_token;
+
+  // Guard prefix: "@%p0" or "@!%p0" came through as first_token[0]=='@'.
+  if (!mnemonic.empty() && mnemonic[0] == '@') {
+    // The guard register was read as part of the token only up to
+    // non-ident chars; re-parse from the raw token.
+    bool negated = false;
+    std::size_t i = 1;
+    if (i < mnemonic.size() && mnemonic[i] == '!') {
+      negated = true;
+      ++i;
+    }
+    // token should be like "@%p3" — but read_ident stops at '%'; handle by
+    // parsing the register directly from the cursor if token is bare "@".
+    std::string regpart = mnemonic.substr(i);
+    Reg pred;
+    if (regpart.empty() || regpart[0] != '%') {
+      pred = parse_reg(c);
+    } else {
+      Cursor sub{regpart, 0, c.line};
+      pred = parse_reg(sub);
+    }
+    if (pred.type != Type::Pred) fail(c, "guard must be a predicate register");
+    ins.guard = Guard{pred, negated};
+    mnemonic = read_ident(c);
+  }
+
+  const std::vector<std::string> parts = dotted_parts(mnemonic);
+  const std::string& head = parts[0];
+
+  auto parts_type = [&](std::size_t idx) -> Type {
+    if (idx >= parts.size()) fail(c, "missing type suffix in '" + mnemonic + "'");
+    const auto t = type_from_name(parts[idx]);
+    if (!t) fail(c, "bad type suffix '" + parts[idx] + "'");
+    return *t;
+  };
+
+  if (head == "bra") {
+    ins.op = Opcode::BRA;
+    ins.target = read_ident(c);
+    expect(c, ';');
+    return ins;
+  }
+  if (head == "bar") {
+    ins.op = Opcode::BAR;
+    // optional barrier id operand
+    skip_ws_and_comments(c);
+    if (c.peek() != ';') (void)parse_operand(c, param_index);
+    expect(c, ';');
+    return ins;
+  }
+  if (head == "exit") {
+    ins.op = Opcode::EXIT;
+    expect(c, ';');
+    return ins;
+  }
+  if (head == "nop") {
+    ins.op = Opcode::NOP;
+    expect(c, ';');
+    return ins;
+  }
+
+  if (head == "setp") {
+    ins.op = Opcode::SETP;
+    if (parts.size() != 3) fail(c, "setp needs cmp and type suffixes");
+    const auto cmp = cmp_from_name(parts[1]);
+    if (!cmp) fail(c, "bad comparison '" + parts[1] + "'");
+    ins.cmp = *cmp;
+    ins.type = parts_type(2);
+    ins.dst = parse_reg(c);
+    expect(c, ',');
+    ins.srcs.push_back(parse_operand(c, param_index));
+    expect(c, ',');
+    ins.srcs.push_back(parse_operand(c, param_index));
+    expect(c, ';');
+    return ins;
+  }
+
+  if (head == "cvt") {
+    ins.op = Opcode::CVT;
+    if (parts.size() != 3) fail(c, "cvt needs dst and src type suffixes");
+    ins.type = parts_type(1);
+    ins.cvt_src = parts_type(2);
+    ins.dst = parse_reg(c);
+    expect(c, ',');
+    ins.srcs.push_back(parse_operand(c, param_index));
+    expect(c, ';');
+    return ins;
+  }
+
+  if (head == "ld" || head == "st" ||
+      (head == "atom" && parts.size() >= 2 && parts[1] == "add")) {
+    const bool is_atom = head == "atom";
+    const std::size_t space_idx = is_atom ? 2 : 1;
+    const auto space = space_from_name(parts[space_idx]);
+    if (!space) fail(c, "bad memory space in '" + mnemonic + "'");
+    ins.space = *space;
+    ins.type = parts_type(space_idx + 1);
+    ins.op = is_atom ? Opcode::ATOM_ADD : (head == "ld" ? Opcode::LD
+                                                        : Opcode::ST);
+
+    if (ins.op == Opcode::LD && ins.space == MemSpace::Param) {
+      ins.dst = parse_reg(c);
+      expect(c, ',');
+      expect(c, '[');
+      ins.srcs.push_back(parse_operand(c, param_index));
+      expect(c, ']');
+      expect(c, ';');
+      ins.access.uniform = true;
+      ins.access.lane_stride_bytes = 0;
+      return ins;
+    }
+
+    auto parse_addr = [&]() {
+      expect(c, '[');
+      ins.srcs.push_back(Operand(parse_reg(c)));
+      skip_ws_and_comments(c);
+      if (accept(c, '+')) {
+        skip_ws_and_comments(c);
+        std::string num;
+        if (c.peek() == '-') num.push_back(c.get());
+        while (!c.eof() && c.peek() >= '0' && c.peek() <= '9')
+          num.push_back(c.get());
+        ins.offset = num.empty() ? 0 : std::stoll(num);
+      }
+      expect(c, ']');
+    };
+
+    if (ins.op == Opcode::LD) {
+      ins.dst = parse_reg(c);
+      expect(c, ',');
+      parse_addr();
+    } else {
+      parse_addr();
+      expect(c, ',');
+      ins.srcs.push_back(parse_operand(c, param_index));
+    }
+    expect(c, ';');
+    ins.access = parse_access_hint(c);
+    return ins;
+  }
+
+  // Generic register-computing ops.
+  static const std::unordered_map<std::string, Opcode> kGeneric = {
+      {"mov", Opcode::MOV},     {"selp", Opcode::SELP},
+      {"and", Opcode::AND},     {"or", Opcode::OR},
+      {"xor", Opcode::XOR},     {"not", Opcode::NOT},
+      {"shl", Opcode::SHL},     {"shr", Opcode::SHR},
+      {"add", Opcode::IADD},    {"sub", Opcode::ISUB},
+      {"mul", Opcode::IMUL},    {"mad", Opcode::IMAD},
+      {"min", Opcode::IMIN},    {"max", Opcode::IMAX},
+      {"fadd", Opcode::FADD},   {"fsub", Opcode::FSUB},
+      {"fmul", Opcode::FMUL},   {"fma", Opcode::FFMA},
+      {"fmin", Opcode::FMIN},   {"fmax", Opcode::FMAX},
+      {"rcp", Opcode::RCP},     {"rsqrt", Opcode::RSQRT},
+      {"sqrt", Opcode::SQRT},   {"ex2", Opcode::EX2},
+      {"lg2", Opcode::LG2},     {"sin", Opcode::SIN},
+      {"cos", Opcode::COS},
+  };
+
+  Opcode op;
+  std::size_t type_idx = 1;
+  if (head == "mul" && parts.size() == 3 && parts[1] == "hi") {
+    op = Opcode::IMULHI;
+    type_idx = 2;
+  } else {
+    const auto it = kGeneric.find(head);
+    if (it == kGeneric.end()) fail(c, "unknown opcode '" + mnemonic + "'");
+    op = it->second;
+  }
+  ins.op = op;
+  ins.type = parts_type(type_idx);
+
+  ins.dst = parse_reg(c);
+  while (accept(c, ',')) ins.srcs.push_back(parse_operand(c, param_index));
+  expect(c, ';');
+  return ins;
+}
+
+}  // namespace
+
+Kernel parse_kernel(std::string_view text) {
+  Cursor c{text};
+  Kernel k;
+
+  // Header: .kernel name ( params )
+  std::string kw = read_ident(c);
+  if (kw != ".kernel") fail(c, "expected .kernel");
+  k.name = read_ident(c);
+  expect(c, '(');
+  std::unordered_map<std::string, std::uint16_t> param_index;
+  skip_ws_and_comments(c);
+  if (c.peek() != ')') {
+    do {
+      std::string p = read_ident(c);  // ".param"
+      if (p != ".param") fail(c, "expected .param");
+      std::string tyname = read_ident(c);  // ".ptr.f32" or ".s32"
+      if (tyname.empty() || tyname[0] != '.') fail(c, "expected param type");
+      tyname.erase(tyname.begin());
+      Param param;
+      if (str::starts_with(tyname, "ptr.")) {
+        param.is_pointer = true;
+        tyname = tyname.substr(4);
+      }
+      const auto t = type_from_name(tyname);
+      if (!t) fail(c, "bad param type '" + tyname + "'");
+      param.type = *t;
+      param.name = read_ident(c);
+      param_index.emplace(param.name,
+                          static_cast<std::uint16_t>(k.params.size()));
+      k.params.push_back(std::move(param));
+    } while (accept(c, ','));
+  }
+  expect(c, ')');
+
+  kw = read_ident(c);
+  if (kw != ".smem") fail(c, "expected .smem");
+  skip_ws_and_comments(c);
+  std::string num;
+  while (!c.eof() && c.peek() >= '0' && c.peek() <= '9')
+    num.push_back(c.get());
+  if (num.empty()) fail(c, "expected shared-memory byte count");
+  k.smem_static_bytes = static_cast<std::uint32_t>(std::stoul(num));
+
+  expect(c, '{');
+
+  BasicBlock* current = nullptr;
+  for (;;) {
+    skip_ws_and_comments(c);
+    if (c.eof()) fail(c, "unexpected end of input; missing '}'");
+    if (c.peek() == '}') {
+      c.get();
+      break;
+    }
+    if (c.peek() == '@') {
+      // Guarded instruction: consume '@' (+ optional '!') then parse.
+      std::string tok;
+      tok.push_back(c.get());
+      if (!c.eof() && c.peek() == '!') tok.push_back(c.get());
+      if (current == nullptr) fail(c, "instruction before first label");
+      current->body.push_back(parse_instruction(c, tok, param_index));
+      continue;
+    }
+    const std::string ident = read_ident(c);
+    skip_ws_and_comments(c);
+    if (!c.eof() && c.peek() == ':') {
+      c.get();
+      k.blocks.push_back(BasicBlock{ident, {}});
+      current = &k.blocks.back();
+      continue;
+    }
+    if (current == nullptr) fail(c, "instruction before first label");
+    current->body.push_back(parse_instruction(c, ident, param_index));
+  }
+
+  k.finalize();
+  return k;
+}
+
+}  // namespace gpustatic::ptx

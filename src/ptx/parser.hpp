@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string_view>
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::ptx {
+
+/// Parse a kernel from the textual assembly produced by to_string().
+/// The returned kernel is finalized. Throws ParseError with a line number
+/// on malformed input.
+[[nodiscard]] Kernel parse_kernel(std::string_view text);
+
+}  // namespace gpustatic::ptx

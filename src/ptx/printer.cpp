@@ -1,0 +1,145 @@
+#include "ptx/printer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gpustatic::ptx {
+
+namespace {
+
+std::string reg_str(const Reg& r) {
+  return std::string(type_reg_prefix(r.type)) + std::to_string(r.idx);
+}
+
+std::string operand_str(const Operand& o, const Kernel* k) {
+  char buf[64];
+  switch (o.kind()) {
+    case Operand::Kind::Reg:
+      return reg_str(o.reg());
+    case Operand::Kind::ImmI:
+      std::snprintf(buf, sizeof(buf), "%" PRId64,
+                    static_cast<std::int64_t>(o.imm_i()));
+      return buf;
+    case Operand::Kind::ImmF:
+      std::snprintf(buf, sizeof(buf), "0D%016" PRIX64,
+                    [&] {
+                      const double d = o.imm_f();
+                      std::uint64_t bits;
+                      __builtin_memcpy(&bits, &d, sizeof(bits));
+                      return bits;
+                    }());
+      return buf;
+    case Operand::Kind::Sym:
+      if (k != nullptr && o.sym() < k->params.size())
+        return k->params[o.sym()].name;
+      return "$param" + std::to_string(o.sym());
+    case Operand::Kind::Special:
+      return std::string(special_name(o.special()));
+    case Operand::Kind::None:
+      return "<none>";
+  }
+  return "?";
+}
+
+std::string access_suffix(const Instruction& ins) {
+  if (ins.space == MemSpace::Param) return "";
+  std::string out =
+      "  // stride=" + std::to_string(ins.access.lane_stride_bytes);
+  if (ins.access.serial_stride_bytes != 0)
+    out += " serial=" + std::to_string(ins.access.serial_stride_bytes);
+  if (ins.access.uniform) out += " uniform";
+  return out;
+}
+
+std::string instruction_str(const Instruction& ins, const Kernel* k) {
+  std::string out;
+  if (ins.guard) {
+    out += "@";
+    if (ins.guard->negated) out += "!";
+    out += reg_str(ins.guard->pred) + " ";
+  }
+
+  const std::string ty(type_name(ins.type));
+  switch (ins.op) {
+    case Opcode::SETP:
+      out += "setp." + std::string(cmp_name(ins.cmp)) + "." + ty + " " +
+             reg_str(*ins.dst) + ", " + operand_str(ins.srcs[0], k) + ", " +
+             operand_str(ins.srcs[1], k) + ";";
+      return out;
+    case Opcode::CVT:
+      out += "cvt." + ty + "." + std::string(type_name(ins.cvt_src)) + " " +
+             reg_str(*ins.dst) + ", " + operand_str(ins.srcs[0], k) + ";";
+      return out;
+    case Opcode::LD:
+      if (ins.space == MemSpace::Param) {
+        out += "ld.param." + ty + " " + reg_str(*ins.dst) + ", [" +
+               operand_str(ins.srcs[0], k) + "];";
+      } else {
+        out += "ld." + std::string(space_name(ins.space)) + "." + ty + " " +
+               reg_str(*ins.dst) + ", [" + operand_str(ins.srcs[0], k) +
+               "+" + std::to_string(ins.offset) + "];" + access_suffix(ins);
+      }
+      return out;
+    case Opcode::ST:
+      out += "st." + std::string(space_name(ins.space)) + "." + ty + " [" +
+             operand_str(ins.srcs[0], k) + "+" + std::to_string(ins.offset) +
+             "], " + operand_str(ins.srcs[1], k) + ";" + access_suffix(ins);
+      return out;
+    case Opcode::ATOM_ADD:
+      out += "atom.add." + std::string(space_name(ins.space)) + "." + ty +
+             " [" + operand_str(ins.srcs[0], k) + "+" +
+             std::to_string(ins.offset) + "], " +
+             operand_str(ins.srcs[1], k) + ";" + access_suffix(ins);
+      return out;
+    case Opcode::BRA:
+      out += "bra " + ins.target + ";";
+      return out;
+    case Opcode::BAR:
+      out += "bar.sync 0;";
+      return out;
+    case Opcode::EXIT:
+      out += "exit;";
+      return out;
+    case Opcode::NOP:
+      out += "nop;";
+      return out;
+    default:
+      break;
+  }
+
+  // Generic register-computing form: op.type dst, src...
+  out += std::string(opcode_name(ins.op)) + "." + ty;
+  if (ins.dst) out += " " + reg_str(*ins.dst);
+  for (std::size_t i = 0; i < ins.srcs.size(); ++i) {
+    out += (i == 0 && !ins.dst) ? " " : ", ";
+    out += operand_str(ins.srcs[i], k);
+  }
+  out += ";";
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& ins) {
+  return instruction_str(ins, nullptr);
+}
+
+std::string to_string(const Kernel& k) {
+  std::string out = ".kernel " + k.name + " (";
+  for (std::size_t i = 0; i < k.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += ".param .";
+    if (k.params[i].is_pointer) out += "ptr.";
+    out += std::string(type_name(k.params[i].type)) + " " + k.params[i].name;
+  }
+  out += ")\n.smem " + std::to_string(k.smem_static_bytes) + "\n{\n";
+  for (const BasicBlock& b : k.blocks) {
+    out += b.label + ":\n";
+    for (const Instruction& ins : b.body)
+      out += "  " + instruction_str(ins, &k) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gpustatic::ptx

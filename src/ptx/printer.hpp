@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::ptx {
+
+/// Render one instruction in the textual assembly syntax (no trailing
+/// newline). Exposed separately for diagnostics and tests.
+[[nodiscard]] std::string to_string(const Instruction& ins);
+
+/// Render a whole kernel as textual assembly. The output parses back via
+/// parse_kernel() to an equivalent kernel (round-trip tested).
+[[nodiscard]] std::string to_string(const Kernel& k);
+
+}  // namespace gpustatic::ptx

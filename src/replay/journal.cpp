@@ -1,0 +1,178 @@
+#include "replay/journal.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+// Serialized format, one record per line:
+//
+//   gpustatic-journal v1
+//   context <workload> <gpu> <problem_size>
+//   decision <step> <detail to end of line>
+//   variant TC=<n> BC=<n> UIF=<n> PL=<n> SC=<n> FM=<0|1>
+//           pred=<float> time=<float|-> valid=<0|1>
+//
+// (the variant line is a single line; wrapped here for readability).
+
+namespace gpustatic::replay {
+
+void TuningJournal::set_context(std::string workload, std::string gpu,
+                                std::int64_t problem_size) {
+  workload_ = std::move(workload);
+  gpu_ = std::move(gpu);
+  problem_size_ = problem_size;
+}
+
+void TuningJournal::record_decision(std::string step, std::string detail) {
+  if (step.find_first_of(" \t\n") != std::string::npos)
+    throw Error("journal decision step must be a single token");
+  decisions_.push_back({std::move(step), std::move(detail)});
+}
+
+void TuningJournal::record_variant(VariantRecord v) {
+  variants_.push_back(std::move(v));
+}
+
+std::size_t TuningJournal::measured_count() const {
+  std::size_t n = 0;
+  for (const VariantRecord& v : variants_)
+    if (v.measured()) ++n;
+  return n;
+}
+
+std::string TuningJournal::serialize() const {
+  std::ostringstream os;
+  os << "gpustatic-journal v1\n";
+  os << "context " << (workload_.empty() ? "-" : workload_) << " "
+     << (gpu_.empty() ? "-" : gpu_) << " " << problem_size_ << "\n";
+  for (const DecisionRecord& d : decisions_)
+    os << "decision " << d.step << " " << d.detail << "\n";
+  for (const VariantRecord& v : variants_) {
+    os << "variant TC=" << v.params.threads_per_block
+       << " BC=" << v.params.block_count << " UIF=" << v.params.unroll
+       << " PL=" << v.params.l1_pref_kb << " SC=" << v.params.stream_chunk
+       << " FM=" << (v.params.fast_math ? 1 : 0)
+       << " pred=" << str::format("%.17g", v.predicted_cost) << " time=";
+    if (v.measured())
+      os << str::format("%.17g", v.measured_ms);
+    else
+      os << "-";
+    os << " valid=" << (v.valid ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::pair<std::string_view, std::string_view> split_kv(
+    std::string_view field, std::size_t line) {
+  const std::size_t eq = field.find('=');
+  if (eq == std::string_view::npos)
+    throw ParseError("journal field missing '=': " + std::string(field),
+                     line);
+  return {field.substr(0, eq), field.substr(eq + 1)};
+}
+
+std::int64_t parse_int(std::string_view s, std::size_t line) {
+  try {
+    return std::stoll(std::string(s));
+  } catch (const std::exception&) {
+    throw ParseError("journal: bad integer '" + std::string(s) + "'",
+                     line);
+  }
+}
+
+double parse_float(std::string_view s, std::size_t line) {
+  try {
+    return std::stod(std::string(s));
+  } catch (const std::exception&) {
+    throw ParseError("journal: bad number '" + std::string(s) + "'",
+                     line);
+  }
+}
+
+}  // namespace
+
+TuningJournal TuningJournal::parse(std::string_view text) {
+  TuningJournal j;
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+    if (!saw_magic) {
+      if (trimmed != "gpustatic-journal v1")
+        throw ParseError("journal: bad magic line", line_no);
+      saw_magic = true;
+      continue;
+    }
+    const auto fields = str::split_ws(trimmed);
+    if (fields[0] == "context") {
+      if (fields.size() != 4)
+        throw ParseError("journal: context needs 3 fields", line_no);
+      j.workload_ = fields[1] == "-" ? "" : fields[1];
+      j.gpu_ = fields[2] == "-" ? "" : fields[2];
+      j.problem_size_ = parse_int(fields[3], line_no);
+    } else if (fields[0] == "decision") {
+      if (fields.size() < 2)
+        throw ParseError("journal: decision needs a step", line_no);
+      // Anchor the step search past the "decision" keyword so a step
+      // that happens to be a substring of "decision" parses correctly.
+      const std::size_t step_at =
+          trimmed.find(fields[1], fields[0].size());
+      const std::size_t detail_at = step_at + fields[1].size();
+      DecisionRecord d;
+      d.step = fields[1];
+      d.detail = std::string(str::trim(trimmed.substr(detail_at)));
+      j.decisions_.push_back(std::move(d));
+    } else if (fields[0] == "variant") {
+      if (fields.size() != 10)
+        throw ParseError("journal: variant needs 9 fields", line_no);
+      VariantRecord v;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto [key, value] = split_kv(fields[i], line_no);
+        if (key == "TC")
+          v.params.threads_per_block =
+              static_cast<int>(parse_int(value, line_no));
+        else if (key == "BC")
+          v.params.block_count =
+              static_cast<int>(parse_int(value, line_no));
+        else if (key == "UIF")
+          v.params.unroll = static_cast<int>(parse_int(value, line_no));
+        else if (key == "PL")
+          v.params.l1_pref_kb =
+              static_cast<int>(parse_int(value, line_no));
+        else if (key == "SC")
+          v.params.stream_chunk =
+              static_cast<int>(parse_int(value, line_no));
+        else if (key == "FM")
+          v.params.fast_math = parse_int(value, line_no) != 0;
+        else if (key == "pred")
+          v.predicted_cost = parse_float(value, line_no);
+        else if (key == "time")
+          v.measured_ms =
+              value == "-" ? -1.0 : parse_float(value, line_no);
+        else if (key == "valid")
+          v.valid = parse_int(value, line_no) != 0;
+        else
+          throw ParseError(
+              "journal: unknown variant field '" + std::string(key) + "'",
+              line_no);
+      }
+      j.variants_.push_back(std::move(v));
+    } else {
+      throw ParseError(
+          "journal: unknown record '" + std::string(fields[0]) + "'",
+          line_no);
+    }
+  }
+  if (!saw_magic) throw ParseError("journal: empty input", 1);
+  return j;
+}
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,69 @@
+#pragma once
+
+// Tuning journal: the record/replay half of the paper's Sec. VII
+// "knowledge discovery framework". Every decision the model-guided
+// search makes and every code variant it touches is appended to a
+// journal; the journal serializes to a line-oriented text format that
+// round-trips losslessly, so a tuning run can be archived, replayed with
+// empirical testing (replay.hpp), and mined to refine the static model's
+// coefficients (refine.hpp).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/params.hpp"
+
+namespace gpustatic::replay {
+
+/// One model/search decision worth auditing ("prune", "rule", ...).
+struct DecisionRecord {
+  std::string step;    ///< single token, e.g. "prune"
+  std::string detail;  ///< free text to end of line
+};
+
+/// One code variant the tuner generated (and possibly measured).
+struct VariantRecord {
+  codegen::TuningParams params;
+  double predicted_cost = 0;  ///< Eq. 6 score at record time
+  double measured_ms = -1;    ///< trial time; < 0 = never executed
+  bool valid = true;          ///< false: configuration rejected
+
+  [[nodiscard]] bool measured() const { return measured_ms >= 0; }
+};
+
+class TuningJournal {
+ public:
+  /// Identify what was tuned (stored in the header line).
+  void set_context(std::string workload, std::string gpu,
+                   std::int64_t problem_size);
+
+  void record_decision(std::string step, std::string detail);
+  void record_variant(VariantRecord v);
+
+  [[nodiscard]] const std::string& workload() const { return workload_; }
+  [[nodiscard]] const std::string& gpu() const { return gpu_; }
+  [[nodiscard]] std::int64_t problem_size() const { return problem_size_; }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<VariantRecord>& variants() const {
+    return variants_;
+  }
+  [[nodiscard]] std::size_t measured_count() const;
+
+  /// Text serialization (format documented in journal.cpp); parse() is
+  /// the exact inverse. Parse failures raise ParseError with a line.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static TuningJournal parse(std::string_view text);
+
+ private:
+  std::string workload_;
+  std::string gpu_;
+  std::int64_t problem_size_ = 0;
+  std::vector<DecisionRecord> decisions_;
+  std::vector<VariantRecord> variants_;
+};
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,159 @@
+#include "replay/refine.hpp"
+
+#include <cmath>
+
+#include "analysis/mix.hpp"
+#include "arch/throughput.hpp"
+#include "common/error.hpp"
+
+namespace gpustatic::replay {
+
+MixFeatures mix_features(const codegen::LoweredWorkload& lw) {
+  sim::Counts weighted;
+  for (const codegen::LoweredStage& st : lw.stages)
+    weighted += analysis::analyze_mix(st.kernel).weighted;
+  return {weighted.by_class(arch::OpClass::FLOPS),
+          weighted.by_class(arch::OpClass::MEM),
+          weighted.by_class(arch::OpClass::CTRL),
+          weighted.by_class(arch::OpClass::REG) + weighted.reg_traffic};
+}
+
+Coefficients default_coefficients(arch::Family family) {
+  Coefficients c;
+  c.c = {arch::class_cpi(arch::OpClass::FLOPS, family),
+         arch::class_cpi(arch::OpClass::MEM, family),
+         arch::class_cpi(arch::OpClass::CTRL, family),
+         arch::class_cpi(arch::OpClass::REG, family)};
+  return c;
+}
+
+namespace {
+
+/// Four class magnitudes plus the intercept column.
+constexpr std::size_t kDim = 5;
+
+/// Solve the 4x4 system A x = b by Gaussian elimination with partial
+/// pivoting, restricted to the columns/rows in `active`. Inactive
+/// coefficients stay 0. Returns false when the active system is
+/// singular.
+bool solve_active(const std::array<std::array<double, kDim>, kDim>& a_full,
+                  const std::array<double, kDim>& b_full,
+                  const std::array<bool, kDim>& active,
+                  std::array<double, kDim>& x) {
+  // Compact the active sub-system.
+  std::vector<std::size_t> map;
+  for (std::size_t i = 0; i < kDim; ++i)
+    if (active[i]) map.push_back(i);
+  const std::size_t n = map.size();
+  x.fill(0.0);
+  if (n == 0) return true;
+
+  std::vector<std::vector<double>> m(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m[r][c] = a_full[map[r]][map[c]];
+    m[r][n] = b_full[map[r]];
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    if (std::abs(m[pivot][col]) < 1e-30) return false;
+    std::swap(m[col], m[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = m[r][col] / m[col][col];
+      for (std::size_t c = col; c <= n; ++c)
+        m[r][c] -= factor * m[col][c];
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) x[map[r]] = m[r][n] / m[r][r];
+  return true;
+}
+
+}  // namespace
+
+FitResult fit_coefficients(const std::vector<MixFeatures>& features,
+                           const std::vector<double>& times, double ridge) {
+  if (features.size() != times.size())
+    throw Error("fit_coefficients: features/times size mismatch");
+  if (features.size() < kDim)
+    throw Error("fit_coefficients: need at least 5 samples");
+
+  // Design matrix columns: the four class magnitudes + constant 1
+  // (intercept = fixed launch overhead).
+  auto column = [&](std::size_t sample, std::size_t i) {
+    return i < 4 ? features[sample][i] : 1.0;
+  };
+
+  // Normal equations: (X^T X + ridge*I) c = X^T y.
+  std::array<std::array<double, kDim>, kDim> xtx{};
+  std::array<double, kDim> xty{};
+  for (std::size_t s = 0; s < features.size(); ++s) {
+    for (std::size_t i = 0; i < kDim; ++i) {
+      xty[i] += column(s, i) * times[s];
+      for (std::size_t j = 0; j < kDim; ++j)
+        xtx[i][j] += column(s, i) * column(s, j);
+    }
+  }
+  for (std::size_t i = 0; i < kDim; ++i) xtx[i][i] += ridge;
+
+  // Deterministic active-set NNLS: solve, clamp the most negative
+  // coefficient to zero, re-solve. At most kDim rounds.
+  std::array<bool, kDim> active;
+  active.fill(true);
+  std::array<double, kDim> c{};
+  for (std::size_t round = 0; round <= kDim; ++round) {
+    if (!solve_active(xtx, xty, active, c))
+      throw Error("fit_coefficients: singular normal equations");
+    std::size_t worst = kDim;
+    double most_negative = -1e-12;
+    for (std::size_t i = 0; i < kDim; ++i) {
+      if (active[i] && c[i] < most_negative) {
+        most_negative = c[i];
+        worst = i;
+      }
+    }
+    if (worst == kDim) break;
+    active[worst] = false;
+  }
+  for (double& v : c) v = std::max(0.0, v);
+
+  FitResult fit;
+  for (std::size_t i = 0; i < 4; ++i) fit.coeffs.c[i] = c[i];
+  fit.coeffs.intercept = c[4];
+  fit.samples = features.size();
+
+  // In-sample R^2.
+  double mean = 0;
+  for (const double t : times) mean += t;
+  mean /= static_cast<double>(times.size());
+  double ss_res = 0;
+  double ss_tot = 0;
+  for (std::size_t s = 0; s < features.size(); ++s) {
+    const double pred = fit.coeffs.score(features[s]);
+    ss_res += (times[s] - pred) * (times[s] - pred);
+    ss_tot += (times[s] - mean) * (times[s] - mean);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+FitResult refine_from_journal(const TuningJournal& journal,
+                              const dsl::WorkloadDesc& workload,
+                              const arch::GpuSpec& gpu) {
+  std::vector<MixFeatures> features;
+  std::vector<double> times;
+  for (const VariantRecord& v : journal.variants()) {
+    if (!v.valid || !v.measured()) continue;
+    try {
+      const codegen::Compiler compiler(gpu, v.params);
+      features.push_back(mix_features(compiler.compile(workload)));
+      times.push_back(v.measured_ms);
+    } catch (const ConfigError&) {
+      continue;  // variant no longer compiles on this GPU: skip
+    }
+  }
+  return fit_coefficients(features, times);
+}
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,69 @@
+#pragma once
+
+// Static-model refinement from recorded measurements (paper Sec. VII):
+// "static models can ... be informed by prior benchmarking and knowledge
+// discovery". Eq. 6 is linear in its four class coefficients,
+//
+//   f = cf*O_fl + cm*O_mem + cb*O_ctrl + cr*O_reg,
+//
+// so a journal of (static mix, measured time) pairs defines a
+// non-negative least-squares problem over (cf, cm, cb, cr). The fit
+// replaces the Table II CPI defaults with machine-calibrated weights;
+// bench/ablation_refine measures how much Fig. 5's prediction error
+// improves on held-out variants.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "replay/journal.hpp"
+
+namespace gpustatic::replay {
+
+/// The four Eq. 6 class magnitudes of one variant:
+/// {O_fl, O_mem, O_ctrl, O_reg} from the loop-weighted static mix
+/// (O_reg includes register operand traffic, as in the predictor).
+using MixFeatures = std::array<double, 4>;
+
+/// Extract Eq. 6 features from a compiled variant.
+[[nodiscard]] MixFeatures mix_features(const codegen::LoweredWorkload& lw);
+
+/// Class coefficients; defaults come from the Table II class CPIs.
+/// The refined form adds a non-negative intercept — the fixed
+/// launch/dispatch overhead Eq. 6 omits, which measurement exposes.
+struct Coefficients {
+  std::array<double, 4> c{};  ///< cf, cm, cb, cr
+  double intercept = 0;       ///< fixed per-launch cost
+
+  [[nodiscard]] double score(const MixFeatures& f) const {
+    return intercept + c[0] * f[0] + c[1] * f[1] + c[2] * f[2] +
+           c[3] * f[3];
+  }
+};
+
+[[nodiscard]] Coefficients default_coefficients(arch::Family family);
+
+struct FitResult {
+  Coefficients coeffs;
+  std::size_t samples = 0;
+  double r2 = 0;  ///< in-sample coefficient of determination
+};
+
+/// Non-negative least squares over the four class coefficients plus the
+/// intercept (normal equations + deterministic active-set clamping; a
+/// small ridge term keeps near-collinear mixes stable). Throws Error
+/// when fewer than 5 samples are given or sizes mismatch.
+[[nodiscard]] FitResult fit_coefficients(
+    const std::vector<MixFeatures>& features,
+    const std::vector<double>& times, double ridge = 1e-9);
+
+/// Fit from a journal's measured variants: compiles each recorded
+/// variant of `workload` on `gpu`, extracts mix features, and fits
+/// against the recorded times. Unmeasured/invalid variants are skipped.
+[[nodiscard]] FitResult refine_from_journal(const TuningJournal& journal,
+                                            const dsl::WorkloadDesc& workload,
+                                            const arch::GpuSpec& gpu);
+
+}  // namespace gpustatic::replay

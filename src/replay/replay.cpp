@@ -1,0 +1,131 @@
+#include "replay/replay.hpp"
+
+#include <algorithm>
+
+#include "analysis/predictor.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "tuner/static_search.hpp"
+
+namespace gpustatic::replay {
+
+namespace {
+
+std::string thread_list(const std::vector<std::int64_t>& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (const std::int64_t t : v) parts.push_back(std::to_string(t));
+  return "{" + str::join(parts, ",") + "}";
+}
+
+}  // namespace
+
+TuningJournal record_tuning(const dsl::WorkloadDesc& workload,
+                            const arch::GpuSpec& gpu,
+                            const RecordOptions& opts) {
+  TuningJournal journal;
+  journal.set_context(workload.name, gpu.name, workload.problem_size);
+
+  // Step 1+2: static analysis and occupancy-based pruning, journaled the
+  // way the paper describes recording "decisions at each step".
+  const tuner::StaticPruneResult prune =
+      tuner::static_prune(opts.space, gpu, workload);
+  journal.record_decision(
+      "occupancy",
+      str::format("occ*=%.4f T*=%s [Ru:R*]=[%u:%u]", prune.suggestion.occ_star,
+                  thread_list(prune.static_threads).c_str(),
+                  prune.suggestion.regs_used,
+                  prune.suggestion.reg_headroom));
+  journal.record_decision(
+      "rule", str::format("intensity=%.4f -> %s half, TC=%s",
+                          prune.intensity,
+                          prune.prefers_upper ? "upper" : "lower",
+                          thread_list(prune.rule_threads).c_str()));
+  journal.record_decision(
+      "space", str::format("full=%zu static=%zu rule=%zu", prune.full_size,
+                           prune.static_size, prune.rule_size));
+
+  // Step 3: enumerate the rule-pruned space; attach Eq. 6 predictions
+  // and (optionally) measurements.
+  const tuner::ParamSpace& space = prune.rule_space;
+  for (std::size_t i = 0; i < space.size();
+       i += std::max<std::size_t>(1, opts.stride)) {
+    const codegen::TuningParams params = space.to_params(space.point_at(i));
+    VariantRecord v;
+    v.params = params;
+    try {
+      const codegen::Compiler compiler(gpu, params);
+      const auto lw = compiler.compile(workload);
+      v.predicted_cost = analysis::predicted_cost(lw, gpu.family);
+      if (opts.measure_variants) {
+        const auto machine =
+            sim::MachineModel::from(gpu, params.l1_pref_kb);
+        const sim::Measurement m =
+            sim::run_workload(lw, workload, machine, opts.run);
+        v.valid = m.valid;
+        if (m.valid) v.measured_ms = m.trial_time_ms;
+      }
+    } catch (const ConfigError&) {
+      v.valid = false;
+    }
+    journal.record_variant(std::move(v));
+  }
+  return journal;
+}
+
+ReplayResult replay(const TuningJournal& journal,
+                    const dsl::WorkloadDesc& workload,
+                    const arch::GpuSpec& gpu, sim::RunOptions run) {
+  if (!journal.workload().empty() && journal.workload() != workload.name)
+    throw Error("replay: journal was recorded for workload '" +
+                journal.workload() + "', not '" + workload.name + "'");
+  if (!journal.gpu().empty() && journal.gpu() != gpu.name)
+    throw Error("replay: journal was recorded on GPU '" + journal.gpu() +
+                "', not '" + gpu.name + "'");
+
+  ReplayResult r;
+  r.total_variants = journal.variants().size();
+  std::vector<double> predictions;
+  std::vector<double> fresh_times;
+  double drift_sum = 0;
+
+  for (const VariantRecord& v : journal.variants()) {
+    sim::Measurement m;
+    try {
+      const codegen::Compiler compiler(gpu, v.params);
+      const auto lw = compiler.compile(workload);
+      const auto machine = sim::MachineModel::from(gpu, v.params.l1_pref_kb);
+      m = sim::run_workload(lw, workload, machine, run);
+    } catch (const ConfigError& e) {
+      m.valid = false;
+      m.error = e.what();
+    }
+    if (!m.valid) {
+      ++r.invalid;
+      continue;
+    }
+    ++r.replayed;
+    predictions.push_back(v.predicted_cost);
+    fresh_times.push_back(m.trial_time_ms);
+    if (r.best_time_ms < 0 || m.trial_time_ms < r.best_time_ms) {
+      r.best_time_ms = m.trial_time_ms;
+      r.best_params = v.params;
+    }
+    if (v.measured()) {
+      ++r.drift_checked;
+      const double drift =
+          std::abs(m.trial_time_ms - v.measured_ms) / v.measured_ms;
+      drift_sum += drift;
+      r.max_rel_drift = std::max(r.max_rel_drift, drift);
+    }
+  }
+  if (r.drift_checked > 0)
+    r.mean_rel_drift = drift_sum / static_cast<double>(r.drift_checked);
+  if (predictions.size() >= 2)
+    r.prediction_spearman = stats::spearman(predictions, fresh_times);
+  return r;
+}
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,65 @@
+#pragma once
+
+// Journal production and empirical replay (paper Sec. VII): "by
+// recording the decisions and code variants at each step, it is also
+// possible to replay tuning with empirical testing for purpose of
+// validation. In this way, the framework can continually evaluate the
+// static models and refine their predictive power."
+//
+// record_tuning() runs the paper's model-guided search while journaling
+// every decision and variant — including the Eq. 6 prediction attached
+// to each variant. replay() later re-executes the journaled variants
+// empirically and reports (a) measurement drift against any recorded
+// times and (b) how well the recorded static predictions rank the fresh
+// measurements — the "continually evaluate the static models" loop.
+
+#include <cstdint>
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "replay/journal.hpp"
+#include "sim/runner.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::replay {
+
+struct RecordOptions {
+  tuner::ParamSpace space = tuner::paper_space();
+  sim::RunOptions run;          ///< engine used for the recorded search
+  bool measure_variants = true; ///< false: journal predictions only
+  std::size_t stride = 1;       ///< subsample of the pruned space
+};
+
+/// Run the static + rule-based tuning pass over `workload`, journaling
+/// every decision (occupancy suggestion, intensity, rule outcome, space
+/// sizes) and every variant in the pruned space with its Eq. 6 score
+/// (and measurement, unless disabled).
+[[nodiscard]] TuningJournal record_tuning(const dsl::WorkloadDesc& workload,
+                                          const arch::GpuSpec& gpu,
+                                          const RecordOptions& opts = {});
+
+struct ReplayResult {
+  std::size_t total_variants = 0;
+  std::size_t replayed = 0;        ///< fresh measurements taken
+  std::size_t invalid = 0;         ///< configurations that failed
+  std::size_t drift_checked = 0;   ///< variants with a recorded time
+  double max_rel_drift = 0;        ///< worst |fresh - recorded| / recorded
+  double mean_rel_drift = 0;
+  /// Spearman rank correlation of recorded Eq. 6 predictions vs fresh
+  /// measurements — the static-model validation score.
+  double prediction_spearman = 0;
+  /// Best variant found during replay.
+  codegen::TuningParams best_params;
+  double best_time_ms = -1;
+};
+
+/// Re-execute every journaled variant against `workload` and score the
+/// journal's predictions. The workload and GPU must match the journal's
+/// context (checked by name; throws Error on mismatch).
+[[nodiscard]] ReplayResult replay(const TuningJournal& journal,
+                                  const dsl::WorkloadDesc& workload,
+                                  const arch::GpuSpec& gpu,
+                                  sim::RunOptions run = {});
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,165 @@
+#include "sim/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpustatic::sim {
+
+namespace {
+
+constexpr double kWarp = 32.0;
+
+/// Effective DRAM/L2 transactions one warp generates per execution of a
+/// memory instruction, combining lane spread (coalescing) with cache-line
+/// reuse across serial-loop iterations. See DESIGN.md §5.1.
+double effective_transactions(const ptx::Instruction& ins,
+                              std::uint32_t line_bytes) {
+  if (ins.space != ptx::MemSpace::Global) return 0.0;
+  const auto& h = ins.access;
+  double raw;
+  if (h.uniform || h.lane_stride_bytes == 0) {
+    raw = 1.0;
+  } else {
+    raw = std::clamp(std::ceil(kWarp *
+                               static_cast<double>(
+                                   std::abs(h.lane_stride_bytes)) /
+                               line_bytes),
+                     1.0, kWarp);
+  }
+  if (h.serial_stride_bytes != 0) {
+    const double reuse =
+        std::min(1.0, static_cast<double>(std::abs(h.serial_stride_bytes)) /
+                          line_bytes);
+    raw *= reuse;
+  }
+  return raw;
+}
+
+}  // namespace
+
+AnalyticResult AnalyticModel::run_stage(
+    const codegen::LoweredStage& stage) const {
+  const arch::GpuSpec& gpu = *m_.gpu;
+  const double tc = stage.launch.block_threads;
+  const double bc = stage.launch.grid_blocks;
+  const auto domain = static_cast<double>(stage.launch.domain);
+  const double cf = std::max(1, stage.coarsen);
+
+  AnalyticResult out;
+  out.occ = occupancy::calculate(
+      gpu, occupancy::KernelParams{stage.launch.block_threads,
+                                   stage.demand.regs_per_thread,
+                                   stage.launch.smem_bytes});
+  if (out.occ.active_blocks == 0)
+    throw ConfigError("configuration cannot be resident on " + gpu.name);
+
+  AnalyticBreakdown& b = out.breakdown;
+  const double total_threads = tc * bc;
+  const double bases = std::ceil(domain / cf);
+  b.active_threads = std::min(total_threads, std::max(1.0, bases));
+  b.busy_blocks = std::min(bc, std::ceil(b.active_threads / tc));
+  b.busy_sms =
+      std::min<double>(gpu.multiprocessors, b.busy_blocks);
+  const double blocks_per_sm = std::ceil(b.busy_blocks / b.busy_sms);
+  b.resident_blocks =
+      std::min<double>(out.occ.active_blocks, blocks_per_sm);
+  const double threads_per_busy_block =
+      std::min(tc, std::ceil(b.active_threads / b.busy_blocks));
+  const double warps_per_busy_block = std::ceil(threads_per_busy_block /
+                                                kWarp);
+  b.active_warps = std::min<double>(
+      b.resident_blocks * warps_per_busy_block, gpu.warps_per_mp);
+  b.waves = blocks_per_sm / b.resident_blocks;
+
+  // Work concentration: per-ACTIVE-warp counts are the per-average-thread
+  // counts scaled up by the idle fraction.
+  const double scale = total_threads / b.active_threads;
+
+  // ---- accumulate static-count x frequency products -------------------
+  std::array<double, arch::kNumOpCategories> per_cat_warp{};
+  double txn_per_warp = 0;
+  double latency_stalls = 0;  // cycles per warp
+  double atomic_extra = 0;    // LSU serialization cycles per warp
+  double reg_traffic_warp = 0;
+  double branches_warp = 0;
+
+  const double lat_blend = 0.7 * m_.dram_latency + 0.3 * m_.l1_latency;
+
+  for (std::size_t bi = 0; bi < stage.kernel.blocks.size(); ++bi) {
+    const double freq = stage.block_freq[bi] * scale;
+    if (freq <= 0.0) continue;
+    bool block_has_load = false;
+    for (const ptx::Instruction& ins : stage.kernel.blocks[bi].body) {
+      const arch::OpCategory cat = ins.category();
+      per_cat_warp[static_cast<std::size_t>(cat)] += freq;
+      reg_traffic_warp += freq * (ins.reg_reads() + ins.reg_writes());
+      if (ins.op == ptx::Opcode::BRA) branches_warp += freq;
+      if (ins.op == ptx::Opcode::LD &&
+          ins.space == ptx::MemSpace::Global)
+        block_has_load = true;
+      if (ptx::is_memory(ins.op) && ins.space == ptx::MemSpace::Global)
+        txn_per_warp += freq * effective_transactions(ins, m_.line_bytes);
+      if (ins.op == ptx::Opcode::ATOM_ADD)
+        atomic_extra += freq * kWarp * m_.atomic_conflict_cycles;
+    }
+    if (block_has_load) latency_stalls += freq * lat_blend;
+  }
+
+  // ---- the three bounds ------------------------------------------------
+  double bottleneck_pipe = 0;
+  double issue_total = 0;
+  for (const arch::OpCategory cat : arch::all_categories()) {
+    const double n = per_cat_warp[static_cast<std::size_t>(cat)];
+    if (n <= 0) continue;
+    const double cyc = n * m_.issue_cycles(cat);
+    issue_total += cyc;
+    bottleneck_pipe = std::max(bottleneck_pipe, cyc);
+  }
+  bottleneck_pipe += atomic_extra;  // atomics occupy the LSU pipe
+  issue_total += atomic_extra;
+
+  b.issue_cycles = issue_total;
+  b.latency_cycles = latency_stalls;
+
+  const double tp_bound = b.active_warps * bottleneck_pipe;
+  const double serial_bound = issue_total + latency_stalls;
+  const double txn_cycles_sm_share =
+      m_.dram_txn_cycles() * b.busy_sms;
+  b.bandwidth_cycles =
+      b.active_warps * txn_per_warp * txn_cycles_sm_share;
+
+  const double wave_cycles =
+      std::max({tp_bound, serial_bound, b.bandwidth_cycles});
+  b.sm_cycles = b.waves * wave_cycles +
+                blocks_per_sm * m_.block_dispatch_overhead;
+
+  // Whole-GPU DRAM bound.
+  const double total_warps = b.active_threads / kWarp;
+  b.dram_bound_cycles = txn_per_warp * total_warps * m_.dram_txn_cycles();
+
+  out.cycles = std::max(b.sm_cycles, b.dram_bound_cycles) +
+               m_.kernel_launch_overhead;
+  out.time_ms = m_.cycles_to_ms(out.cycles);
+
+  // ---- whole-grid dynamic-count estimate -------------------------------
+  const double warps_grid = total_threads / kWarp;
+  for (const arch::OpCategory cat : arch::all_categories()) {
+    // per_cat_warp already carries `scale`; undo it for the grid total
+    // (scale * active == total for the aggregate).
+    const double per_avg_warp =
+        per_cat_warp[static_cast<std::size_t>(cat)] / scale;
+    out.counts.add_category(cat, per_avg_warp * warps_grid);
+  }
+  out.counts.reg_traffic = reg_traffic_warp / scale * warps_grid;
+  out.counts.branches = branches_warp / scale * warps_grid;
+  out.counts.total_issues = 0;
+  for (const arch::OpCategory cat : arch::all_categories())
+    out.counts.total_issues += out.counts.category(cat);
+  out.counts.mem_transactions = txn_per_warp / scale * warps_grid;
+  out.counts.dram_transactions = out.counts.mem_transactions;
+  return out;
+}
+
+}  // namespace gpustatic::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Fast analytic performance model: the wave-based approximation used
+// inside large autotuning sweeps, where the warp-level simulator would be
+// too slow. Shares every machine constant with the warp simulator; the
+// two are cross-validated in tests and in bench/ablation_model.
+//
+// Model sketch (derivation in DESIGN.md §5.1):
+//   active_threads = min(TC*BC, ceil(D / CF))     (grid-stride imbalance)
+//   busy_blocks / busy SMs / resident blocks      (work placement)
+//   per-active-warp issue, latency, and bandwidth cycles from the static
+//   per-block counts x block frequencies produced by the compiler
+//   SM cycles = waves * max(issue-throughput bound,
+//                           exposed-latency bound,
+//                           per-SM bandwidth bound) + overheads
+//   GPU cycles = max(SM cycles, whole-GPU DRAM bound) + launch overhead
+//
+// Dynamic instruction counts come from the same frequencies, so the
+// analytic engine also supplies mixes for sweeps without execution.
+
+#include "codegen/compiler.hpp"
+#include "occupancy/occupancy.hpp"
+#include "sim/counts.hpp"
+#include "sim/machine.hpp"
+
+namespace gpustatic::sim {
+
+struct AnalyticBreakdown {
+  double active_threads = 0;
+  double busy_blocks = 0;
+  double busy_sms = 0;
+  double resident_blocks = 0;
+  double active_warps = 0;   ///< per busy SM
+  double waves = 1;
+  double issue_cycles = 0;   ///< per active warp
+  double latency_cycles = 0; ///< per active warp
+  double bandwidth_cycles = 0;
+  double sm_cycles = 0;
+  double dram_bound_cycles = 0;
+};
+
+struct AnalyticResult {
+  double cycles = 0;
+  double time_ms = 0;
+  Counts counts;             ///< whole-grid dynamic estimate
+  occupancy::Result occ;
+  AnalyticBreakdown breakdown;
+};
+
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(const MachineModel& machine) : m_(machine) {}
+
+  /// Estimate one stage. Throws ConfigError when occupancy is zero.
+  [[nodiscard]] AnalyticResult run_stage(
+      const codegen::LoweredStage& stage) const;
+
+ private:
+  const MachineModel& m_;
+};
+
+}  // namespace gpustatic::sim

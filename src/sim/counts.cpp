@@ -1,0 +1,44 @@
+#include "sim/counts.hpp"
+
+#include "common/strings.hpp"
+
+namespace gpustatic::sim {
+
+double Counts::by_class(arch::OpClass c) const {
+  double n = 0;
+  for (const arch::OpCategory cat : arch::all_categories())
+    if (arch::op_class(cat) == c) n += category(cat);
+  return n;
+}
+
+double Counts::intensity() const {
+  const double mem = by_class(arch::OpClass::MEM);
+  if (mem <= 0) return 0.0;
+  return by_class(arch::OpClass::FLOPS) / mem;
+}
+
+Counts& Counts::operator+=(const Counts& o) {
+  for (std::size_t i = 0; i < per_category.size(); ++i)
+    per_category[i] += o.per_category[i];
+  reg_traffic += o.reg_traffic;
+  branches += o.branches;
+  divergent_branches += o.divergent_branches;
+  partial_issues += o.partial_issues;
+  total_issues += o.total_issues;
+  mem_transactions += o.mem_transactions;
+  dram_transactions += o.dram_transactions;
+  return *this;
+}
+
+std::string Counts::summary() const {
+  std::string out;
+  out += "FLOPS=" + str::format_trimmed(by_class(arch::OpClass::FLOPS), 0);
+  out += " MEM=" + str::format_trimmed(by_class(arch::OpClass::MEM), 0);
+  out += " CTRL=" + str::format_trimmed(by_class(arch::OpClass::CTRL), 0);
+  out += " REG=" + str::format_trimmed(by_class(arch::OpClass::REG), 0);
+  out += " regtraffic=" + str::format_trimmed(reg_traffic, 0);
+  out += " intensity=" + str::format_double(intensity(), 2);
+  return out;
+}
+
+}  // namespace gpustatic::sim

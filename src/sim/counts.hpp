@@ -1,0 +1,56 @@
+#pragma once
+
+// Dynamic execution counters shared by both simulation engines and by the
+// static analyzer (which produces the same shape from static data). This
+// is the common currency of the paper's instruction-mix methodology.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/throughput.hpp"
+
+namespace gpustatic::sim {
+
+struct Counts {
+  /// Executed warp-instructions per Table II category.
+  std::array<double, arch::kNumOpCategories> per_category{};
+  /// Register-file operand traffic (reads + writes) over all executed
+  /// warp-instructions: the O_reg metric.
+  double reg_traffic = 0;
+  /// Branch statistics.
+  double branches = 0;
+  double divergent_branches = 0;
+  /// Warp-instructions issued with a partial lane mask.
+  double partial_issues = 0;
+  double total_issues = 0;
+  /// Memory-system traffic.
+  double mem_transactions = 0;   ///< L1-miss transactions entering L2.
+  double dram_transactions = 0;  ///< L2-miss transactions reaching DRAM.
+
+  [[nodiscard]] double category(arch::OpCategory c) const {
+    return per_category[static_cast<std::size_t>(c)];
+  }
+  void add_category(arch::OpCategory c, double n) {
+    per_category[static_cast<std::size_t>(c)] += n;
+  }
+
+  /// Aggregate by coarse class. FLOPS -> O_fl, MEM -> O_mem,
+  /// CTRL -> O_ctrl; REG class instructions also land in O_reg alongside
+  /// operand traffic when `include_traffic` is false.
+  [[nodiscard]] double by_class(arch::OpClass c) const;
+
+  /// O_fl / O_mem: the paper's computational intensity (Table VI).
+  [[nodiscard]] double intensity() const;
+
+  /// Fraction of issues that were divergence-serialized.
+  [[nodiscard]] double divergence_ratio() const {
+    return total_issues > 0 ? partial_issues / total_issues : 0.0;
+  }
+
+  Counts& operator+=(const Counts& o);
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace gpustatic::sim

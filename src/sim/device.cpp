@@ -1,0 +1,100 @@
+#include "sim/device.hpp"
+
+#include "common/error.hpp"
+
+namespace gpustatic::sim {
+
+namespace {
+constexpr std::uint64_t kRegionShift = 32;
+}
+
+float init_value(dsl::ArrayInit init, std::int64_t index) {
+  switch (init) {
+    case dsl::ArrayInit::Zero:
+      return 0.0f;
+    case dsl::ArrayInit::Ones:
+      return 1.0f;
+    case dsl::ArrayInit::Ramp:
+      return static_cast<float>(index % 97) / 97.0f;
+  }
+  return 0.0f;
+}
+
+DeviceMemory::DeviceMemory(const dsl::WorkloadDesc& wl) {
+  regions_.reserve(wl.arrays.size());
+  for (const dsl::ArrayDecl& a : wl.arrays) {
+    Region r;
+    r.name = a.name;
+    r.init = a.init;
+    r.data.resize(static_cast<std::size_t>(a.length));
+    regions_.push_back(std::move(r));
+  }
+  reset();
+}
+
+void DeviceMemory::reset() {
+  for (Region& r : regions_)
+    for (std::size_t i = 0; i < r.data.size(); ++i)
+      r.data[i] = init_value(r.init, static_cast<std::int64_t>(i));
+}
+
+std::uint64_t DeviceMemory::base(const std::string& array) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i)
+    if (regions_[i].name == array) return (i + 1) << kRegionShift;
+  throw LookupError("DeviceMemory: unknown array '" + array + "'");
+}
+
+const DeviceMemory::Region& DeviceMemory::region_for(
+    std::uint64_t addr, std::uint64_t* offset) const {
+  const std::uint64_t id = addr >> kRegionShift;
+  if (id == 0 || id > regions_.size())
+    throw Error("DeviceMemory: wild address " + std::to_string(addr));
+  const Region& r = regions_[id - 1];
+  const std::uint64_t byte_off = addr & 0xffffffffULL;
+  if (byte_off % 4 != 0)
+    throw Error("DeviceMemory: misaligned float access in '" + r.name + "'");
+  if (byte_off / 4 >= r.data.size())
+    throw Error("DeviceMemory: out-of-bounds access in '" + r.name +
+                "' at element " + std::to_string(byte_off / 4) + " of " +
+                std::to_string(r.data.size()));
+  *offset = byte_off / 4;
+  return r;
+}
+
+float DeviceMemory::load(std::uint64_t addr) const {
+  std::uint64_t off = 0;
+  const Region& r = region_for(addr, &off);
+  return r.data[off];
+}
+
+void DeviceMemory::store(std::uint64_t addr, float value) {
+  std::uint64_t off = 0;
+  const Region& r = region_for(addr, &off);
+  const_cast<Region&>(r).data[off] = value;
+}
+
+void DeviceMemory::atomic_add(std::uint64_t addr, float value) {
+  std::uint64_t off = 0;
+  const Region& r = region_for(addr, &off);
+  const_cast<Region&>(r).data[off] += value;
+}
+
+const std::vector<float>& DeviceMemory::host(const std::string& array) const {
+  for (const Region& r : regions_)
+    if (r.name == array) return r.data;
+  throw LookupError("DeviceMemory: unknown array '" + array + "'");
+}
+
+std::vector<float>& DeviceMemory::host(const std::string& array) {
+  for (Region& r : regions_)
+    if (r.name == array) return r.data;
+  throw LookupError("DeviceMemory: unknown array '" + array + "'");
+}
+
+std::uint64_t DeviceMemory::bytes_allocated() const {
+  std::uint64_t n = 0;
+  for (const Region& r : regions_) n += r.data.size() * 4;
+  return n;
+}
+
+}  // namespace gpustatic::sim

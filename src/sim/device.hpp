@@ -1,0 +1,56 @@
+#pragma once
+
+// Simulated device memory: one float32 region per workload array, laid
+// out in a sparse 64-bit address space (region r starts at (r+1) << 32).
+// Pointer parameters bind to region base addresses, so all the address
+// arithmetic the generated kernels perform is real 64-bit arithmetic,
+// and out-of-bounds accesses are detected instead of corrupting state.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace gpustatic::sim {
+
+class DeviceMemory {
+ public:
+  /// Allocate and initialize every array of the workload.
+  explicit DeviceMemory(const dsl::WorkloadDesc& wl);
+
+  /// Base device address of an array (what ld.param yields).
+  [[nodiscard]] std::uint64_t base(const std::string& array) const;
+
+  /// Bounds-checked float access by device address.
+  [[nodiscard]] float load(std::uint64_t addr) const;
+  void store(std::uint64_t addr, float value);
+  /// Atomic add returns nothing (our ISA's atom.add has no destination).
+  void atomic_add(std::uint64_t addr, float value);
+
+  /// Host view of an array (for result verification).
+  [[nodiscard]] const std::vector<float>& host(const std::string& array) const;
+  [[nodiscard]] std::vector<float>& host(const std::string& array);
+
+  /// Re-run the declared initialization (between measurement repetitions).
+  void reset();
+
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] std::uint64_t bytes_allocated() const;
+
+ private:
+  struct Region {
+    std::string name;
+    dsl::ArrayInit init;
+    std::vector<float> data;
+  };
+  [[nodiscard]] const Region& region_for(std::uint64_t addr,
+                                         std::uint64_t* offset) const;
+  std::vector<Region> regions_;
+};
+
+/// The deterministic init patterns (shared with the CPU reference
+/// implementations in the tests).
+[[nodiscard]] float init_value(dsl::ArrayInit init, std::int64_t index);
+
+}  // namespace gpustatic::sim

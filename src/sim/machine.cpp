@@ -1,0 +1,71 @@
+#include "sim/machine.hpp"
+
+namespace gpustatic::sim {
+
+double MachineModel::result_latency(arch::OpCategory cat) const {
+  using arch::OpCategory;
+  switch (cat) {
+    case OpCategory::LogSinCos:
+      return sfu_latency;
+    case OpCategory::TexIns:
+    case OpCategory::LdStIns:
+    case OpCategory::SurfIns:
+      // Memory latency is computed per access from the cache level hit;
+      // this value is only the fallback for non-memory uses.
+      return dram_latency;
+    default:
+      return alu_latency;
+  }
+}
+
+MachineModel MachineModel::from(const arch::GpuSpec& gpu, int l1_pref_kb) {
+  MachineModel m;
+  m.gpu = &gpu;
+  m.l2_bytes = static_cast<std::uint64_t>(gpu.l2_cache_mb * 1024.0 * 1024.0);
+
+  switch (gpu.family) {
+    case arch::Family::Fermi:
+      // M2050: 148 GB/s @ 1147 MHz core.
+      m.alu_latency = 18;
+      m.dram_latency = 600;
+      m.l2_latency = 250;
+      m.l1_latency = 40;
+      m.dram_bytes_per_cycle = 129;
+      // Fermi's 64KB split: PL selects 16 or 48 KB of L1.
+      m.l1_bytes = static_cast<std::uint64_t>(l1_pref_kb) * 1024;
+      break;
+    case arch::Family::Kepler:
+      // K20: 208 GB/s @ 824 MHz core.
+      m.alu_latency = 10;
+      m.dram_latency = 500;
+      m.l2_latency = 220;
+      m.l1_latency = 35;
+      m.dram_bytes_per_cycle = 252;
+      m.l1_bytes = static_cast<std::uint64_t>(l1_pref_kb) * 1024;
+      break;
+    case arch::Family::Maxwell:
+      // M40: 288 GB/s @ 1140 MHz core. Unified 48KB L1/tex, PL ignored.
+      m.alu_latency = 6;
+      m.dram_latency = 400;
+      m.l2_latency = 200;
+      m.l1_latency = 30;
+      m.dram_bytes_per_cycle = 253;
+      m.l1_bytes = 48 * 1024;
+      break;
+    case arch::Family::Pascal:
+      // P100: 732 GB/s; Table I lists the 405 MHz base clock, which makes
+      // Pascal comparatively memory-rich in cycle units (documented in
+      // EXPERIMENTS.md).
+      m.alu_latency = 6;
+      m.dram_latency = 450;
+      m.l2_latency = 200;
+      m.l1_latency = 30;
+      m.dram_bytes_per_cycle = 1807;
+      m.l1_bytes = 24 * 1024;
+      break;
+  }
+  m.l2_bytes_per_cycle = m.dram_bytes_per_cycle * 2.0;
+  return m;
+}
+
+}  // namespace gpustatic::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+// Timing constants of the simulated machine, derived from Table I plus
+// published micro-architectural figures. These numbers parameterize BOTH
+// simulation engines (warp-level and analytic), so the two stay
+// comparable by construction.
+
+#include <cstdint>
+
+#include "arch/gpu_spec.hpp"
+#include "arch/throughput.hpp"
+
+namespace gpustatic::sim {
+
+struct MachineModel {
+  const arch::GpuSpec* gpu = nullptr;
+
+  // Latencies in core cycles.
+  double alu_latency = 10;    ///< dependent-use latency of ALU results
+  double sfu_latency = 20;    ///< special-function unit results
+  double dram_latency = 500;  ///< global load miss, full round trip
+  double l2_latency = 220;
+  double l1_latency = 35;
+  double smem_latency = 30;
+
+  // Bandwidths in bytes per core cycle (whole GPU).
+  double dram_bytes_per_cycle = 250;
+  double l2_bytes_per_cycle = 500;
+
+  // Cache geometry (bytes). l1_bytes reflects the PL preference on
+  // Fermi/Kepler; Maxwell/Pascal have a fixed-function L1.
+  std::uint64_t l1_bytes = 16 * 1024;
+  std::uint64_t l2_bytes = 1 << 20;
+  std::uint32_t line_bytes = 128;
+
+  // Fixed overheads in cycles.
+  double kernel_launch_overhead = 3000;
+  double block_dispatch_overhead = 300;
+  /// Extra LSU occupancy per additional lane hitting the same address in
+  /// one atomic operation (serialization at the memory partition).
+  double atomic_conflict_cycles = 4;
+
+  /// Issue cost of one warp-instruction of a category in SM cycles:
+  /// 32 lanes spread over the category's per-SM lanes-per-cycle (Table II).
+  [[nodiscard]] double issue_cycles(arch::OpCategory cat) const {
+    return 32.0 / arch::ipc(cat, gpu->family);
+  }
+
+  /// Result latency by category.
+  [[nodiscard]] double result_latency(arch::OpCategory cat) const;
+
+  /// Cycles one 128-byte transaction occupies DRAM (whole GPU).
+  [[nodiscard]] double dram_txn_cycles() const {
+    return line_bytes / dram_bytes_per_cycle;
+  }
+  [[nodiscard]] double l2_txn_cycles() const {
+    return line_bytes / l2_bytes_per_cycle;
+  }
+
+  /// Convert cycles to milliseconds at the GPU core clock.
+  [[nodiscard]] double cycles_to_ms(double cycles) const {
+    return cycles / (static_cast<double>(gpu->gpu_clock_mhz) * 1e3);
+  }
+
+  /// Build the model for a GPU with an L1 preference (PL, in KB).
+  static MachineModel from(const arch::GpuSpec& gpu, int l1_pref_kb);
+};
+
+}  // namespace gpustatic::sim

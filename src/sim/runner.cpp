@@ -1,0 +1,111 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gpustatic::sim {
+
+namespace {
+
+/// Mix the variant identity into the noise seed so each variant gets an
+/// independent (but reproducible) noise sequence.
+std::uint64_t variant_salt(const codegen::TuningParams& p) {
+  SplitMix64 sm(0x5eed);
+  std::uint64_t h = sm.next();
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(p.threads_per_block));
+  mix(static_cast<std::uint64_t>(p.block_count));
+  mix(static_cast<std::uint64_t>(p.unroll));
+  mix(static_cast<std::uint64_t>(p.l1_pref_kb));
+  mix(static_cast<std::uint64_t>(p.stream_chunk));
+  mix(p.fast_math ? 7u : 3u);
+  return h;
+}
+
+void apply_protocol(Measurement& m, const RunOptions& opts,
+                    std::uint64_t salt) {
+  Rng rng(opts.seed ^ salt);
+  m.repetitions.clear();
+  for (int r = 0; r < opts.repetitions; ++r) {
+    const double noisy =
+        m.base_time_ms * (1.0 + opts.noise_stddev * rng.normal());
+    m.repetitions.push_back(std::max(noisy, m.base_time_ms * 0.5));
+  }
+  std::vector<double> sorted = m.repetitions;
+  std::sort(sorted.begin(), sorted.end());
+  const int idx =
+      std::clamp(opts.report_trial - 1, 0,
+                 static_cast<int>(sorted.size()) - 1);
+  m.trial_time_ms = sorted.empty() ? m.base_time_ms
+                                   : sorted[static_cast<std::size_t>(idx)];
+}
+
+Measurement run_impl(const codegen::LoweredWorkload& lw,
+                     const dsl::WorkloadDesc& desc,
+                     const MachineModel& machine, const RunOptions& opts,
+                     DeviceMemory* mem_out) {
+  Measurement m;
+  m.occupancy = 1.0;
+  m.regs_per_thread = lw.regs_per_thread();
+  try {
+    if (opts.engine == Engine::Warp) {
+      DeviceMemory mem(desc);
+      WarpSimulator simulator(machine);
+      for (const codegen::LoweredStage& st : lw.stages) {
+        StageTiming t = simulator.run_stage(st, mem);
+        m.base_time_ms += t.time_ms;
+        m.counts += t.counts;
+        m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+        m.stage_timings.push_back(std::move(t));
+      }
+      if (mem_out != nullptr) *mem_out = std::move(mem);
+    } else {
+      AnalyticModel model(machine);
+      for (const codegen::LoweredStage& st : lw.stages) {
+        const AnalyticResult r = model.run_stage(st);
+        m.base_time_ms += r.time_ms;
+        m.counts += r.counts;
+        m.occupancy = std::min(m.occupancy, r.occ.occupancy);
+      }
+    }
+  } catch (const ConfigError& e) {
+    m.valid = false;
+    m.error = e.what();
+    m.base_time_ms = 0;
+    m.trial_time_ms = 0;
+    return m;
+  }
+  apply_protocol(m, opts, variant_salt(lw.params));
+  return m;
+}
+
+}  // namespace
+
+void apply_measurement_protocol(Measurement& m, const RunOptions& opts,
+                                const codegen::TuningParams& params) {
+  apply_protocol(m, opts, variant_salt(params));
+}
+
+Measurement run_workload(const codegen::LoweredWorkload& lw,
+                         const dsl::WorkloadDesc& desc,
+                         const MachineModel& machine,
+                         const RunOptions& opts) {
+  return run_impl(lw, desc, machine, opts, nullptr);
+}
+
+CollectResult run_workload_collect(const codegen::LoweredWorkload& lw,
+                                   const dsl::WorkloadDesc& desc,
+                                   const MachineModel& machine,
+                                   const RunOptions& opts) {
+  RunOptions warp_opts = opts;
+  warp_opts.engine = Engine::Warp;
+  DeviceMemory mem(desc);
+  Measurement m = run_impl(lw, desc, machine, warp_opts, &mem);
+  return CollectResult{std::move(m), std::move(mem)};
+}
+
+}  // namespace gpustatic::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Experiment runner: compiles nothing itself; takes a compiled workload
+// and executes it with the chosen engine, applying the paper's
+// measurement protocol (Sec. IV-A): ten repetitions per variant, times
+// sorted, the fifth overall trial reported.
+//
+// The simulators are deterministic, so repetition noise is synthesized by
+// a seeded ~1.5% Gaussian perturbation on the base time — this exercises
+// the protocol (sorting, trial selection) honestly without re-running a
+// deterministic computation ten times.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+#include "sim/analytic.hpp"
+#include "sim/counts.hpp"
+#include "sim/device.hpp"
+#include "sim/machine.hpp"
+#include "sim/warp_sim.hpp"
+
+namespace gpustatic::sim {
+
+enum class Engine : std::uint8_t {
+  Warp,      ///< full SIMT warp simulator (functional + timing)
+  Analytic,  ///< fast analytic model (timing + count estimates only)
+};
+
+struct Measurement {
+  bool valid = true;            ///< false: configuration not launchable
+  std::string error;            ///< reason when invalid
+  double base_time_ms = 0;      ///< deterministic simulated time
+  double trial_time_ms = 0;     ///< 5th of 10 noisy repetitions
+  std::vector<double> repetitions;
+  Counts counts;                ///< summed over stages
+  double occupancy = 0;         ///< min over stages
+  std::uint32_t regs_per_thread = 0;
+  std::vector<StageTiming> stage_timings;  ///< warp engine only
+};
+
+struct RunOptions {
+  Engine engine = Engine::Analytic;
+  int repetitions = 10;
+  int report_trial = 5;        ///< 1-based index into sorted times
+  double noise_stddev = 0.015; ///< relative measurement noise
+  std::uint64_t seed = 42;     ///< noise seed (per-variant salt mixed in)
+};
+
+/// Apply the paper's measurement protocol to a Measurement whose
+/// base_time_ms is already set: synthesize `opts.repetitions` noisy
+/// repetitions (seeded by opts.seed mixed with the variant identity) and
+/// report the `opts.report_trial`-th smallest as trial_time_ms. Exposed so
+/// alternative drivers (e.g. the dynamic profiler) produce measurements
+/// identical to run_workload's.
+void apply_measurement_protocol(Measurement& m, const RunOptions& opts,
+                                const codegen::TuningParams& params);
+
+/// Run all stages of a compiled workload. The Warp engine allocates and
+/// mutates device memory (outputs retrievable via run_workload_collect);
+/// the Analytic engine touches no memory.
+[[nodiscard]] Measurement run_workload(const codegen::LoweredWorkload& lw,
+                                       const dsl::WorkloadDesc& desc,
+                                       const MachineModel& machine,
+                                       const RunOptions& opts = {});
+
+/// As run_workload with Engine::Warp, additionally returning the final
+/// device memory (for output verification).
+struct CollectResult {
+  Measurement measurement;
+  DeviceMemory memory;
+};
+[[nodiscard]] CollectResult run_workload_collect(
+    const codegen::LoweredWorkload& lw, const dsl::WorkloadDesc& desc,
+    const MachineModel& machine, const RunOptions& opts = {});
+
+}  // namespace gpustatic::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+// Execution-trace observer interface for the warp simulator.
+//
+// The paper's framework (Fig. 2) pairs the static models with
+// *dynamic-based* models fed by instruction counts (IC), branch
+// frequencies (BF), and memory distance (MD) gathered from real runs.
+// Our stand-in for "real runs" is the warp simulator, so it exposes the
+// equivalent of a binary-instrumentation hook: an optional TraceSink
+// that observes every issued warp-instruction, every resolved branch,
+// and every global-memory operation with its physical line addresses.
+//
+// Tracing is strictly opt-in (nullptr sink = zero overhead beyond a
+// branch) and purely observational: sinks cannot alter execution.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/throughput.hpp"
+#include "ptx/opcode.hpp"
+
+namespace gpustatic::sim {
+
+/// One issued warp-instruction.
+struct IssueEvent {
+  std::uint32_t sm = 0;            ///< streaming multiprocessor index
+  std::uint32_t block = 0;         ///< grid-wide block index
+  std::uint32_t warp = 0;          ///< warp index within the block
+  std::int32_t bb = 0;             ///< basic-block index in the kernel
+  std::uint32_t inst = 0;          ///< instruction index within the block
+  ptx::Opcode op = ptx::Opcode::NOP;
+  arch::OpCategory category = arch::OpCategory::FPIns32;
+  std::uint32_t active_mask = 0;   ///< lanes live at the reconvergence top
+  std::uint32_t exec_mask = 0;     ///< lanes passing the predicate guard
+  double issue_cycle = 0;          ///< SM-local issue timestamp
+};
+
+/// One resolved (possibly divergent) branch.
+struct BranchEvent {
+  std::uint32_t sm = 0;
+  std::uint32_t block = 0;
+  std::uint32_t warp = 0;
+  std::int32_t bb = 0;             ///< block whose terminator branched
+  std::uint32_t active_mask = 0;
+  std::uint32_t taken_mask = 0;
+  bool divergent = false;          ///< both taken and fall-through non-empty
+};
+
+/// One global-memory warp-operation (LD/ST/ATOM_ADD on MemSpace::Global).
+/// `lines` holds the distinct 128B-line ids the warp touched, in lane
+/// order of first touch — the reference stream reuse-distance analysis
+/// consumes.
+struct MemoryEvent {
+  std::uint32_t sm = 0;
+  std::uint32_t block = 0;
+  std::uint32_t warp = 0;
+  std::int32_t bb = 0;
+  std::uint32_t inst = 0;
+  bool is_store = false;
+  bool is_atomic = false;
+  std::uint32_t lanes = 0;         ///< participating lanes (popcount)
+  std::vector<std::uint64_t> lines;
+  std::uint32_t l1_hits = 0;       ///< lines served by the per-SM L1
+  std::uint32_t l2_hits = 0;       ///< lines served by the shared L2
+  std::uint32_t dram = 0;          ///< lines that went to DRAM
+};
+
+/// Observer; default implementations ignore everything, so sinks override
+/// only what they need.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_issue(const IssueEvent&) {}
+  virtual void on_branch(const BranchEvent&) {}
+  virtual void on_memory(const MemoryEvent&) {}
+};
+
+}  // namespace gpustatic::sim

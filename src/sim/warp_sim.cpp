@@ -1,0 +1,737 @@
+#include "sim/warp_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ptx/cfg.hpp"
+
+namespace gpustatic::sim {
+
+using namespace ptx;  // NOLINT
+
+namespace {
+
+constexpr std::uint32_t kWarpSize = 32;
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+/// Dense register ids across all classes of one kernel.
+struct RegLayout {
+  std::array<std::uint32_t, 5> base{};
+  std::uint32_t total = 0;
+
+  explicit RegLayout(const Kernel& k) {
+    std::uint32_t off = 0;
+    for (int s = 0; s < 5; ++s) {
+      base[s] = off;
+      off += k.max_reg_index(type_of_slot(s));
+    }
+    total = off;
+  }
+  static Type type_of_slot(int s) {
+    switch (s) {
+      case 0: return Type::Pred;
+      case 1: return Type::I32;
+      case 2: return Type::I64;
+      case 3: return Type::F32;
+      default: return Type::F64;
+    }
+  }
+  static int slot_of_type(Type t) {
+    switch (t) {
+      case Type::Pred: return 0;
+      case Type::I32: return 1;
+      case Type::I64: return 2;
+      case Type::F32: return 3;
+      default: return 4;
+    }
+  }
+  [[nodiscard]] std::uint32_t id(const Reg& r) const {
+    return base[slot_of_type(r.type)] + r.idx;
+  }
+};
+
+/// Direct-mapped cache tag model; addresses are device byte addresses.
+class TagCache {
+ public:
+  TagCache(std::uint64_t bytes, std::uint32_t line)
+      : line_(line), tags_(std::max<std::uint64_t>(1, bytes / line),
+                           ~0ull) {}
+
+  /// Returns true on hit; installs the line either way.
+  bool access(std::uint64_t addr) {
+    const std::uint64_t line_id = addr / line_;
+    const std::size_t slot = line_id % tags_.size();
+    const bool hit = tags_[slot] == line_id;
+    tags_[slot] = line_id;
+    return hit;
+  }
+
+ private:
+  std::uint32_t line_;
+  std::vector<std::uint64_t> tags_;
+};
+
+struct StackEntry {
+  std::int32_t pc = 0;       ///< block index
+  std::uint32_t mask = 0;    ///< active lanes
+  std::int32_t reconv = -1;  ///< block index where this entry rejoins
+};
+
+struct Warp {
+  std::uint32_t block = 0;       ///< block index within the grid
+  std::uint32_t warp_in_block = 0;
+  std::vector<StackEntry> stack;
+  std::uint32_t cur = 0;         ///< instruction index within top block
+  bool done = false;
+
+  double ready_at = 0;               ///< earliest next issue
+  double last_issue = 0;
+  std::vector<double> reg_ready;     ///< scoreboard, per dense reg id
+  std::vector<std::uint64_t> regs;   ///< lane-major: reg*32 + lane
+};
+
+}  // namespace
+
+StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
+                                     DeviceMemory& mem, TraceSink* sink) {
+  const Kernel& k = stage.kernel;
+  const arch::GpuSpec& gpu = *m_.gpu;
+  const std::uint32_t tc = stage.launch.block_threads;
+  const std::uint32_t bc = stage.launch.grid_blocks;
+  if (tc % kWarpSize != 0)
+    throw ConfigError("warp simulator requires TC to be a warp multiple");
+
+  StageTiming out;
+  out.occ = occupancy::calculate(
+      gpu, occupancy::KernelParams{tc, stage.demand.regs_per_thread,
+                                   stage.launch.smem_bytes});
+  if (out.occ.active_blocks == 0)
+    throw ConfigError("configuration cannot be resident on " + gpu.name);
+
+  const Cfg cfg(k);
+  const RegLayout layout(k);
+  const std::uint32_t warps_per_block = tc / kWarpSize;
+  const auto num_blocks = static_cast<std::uint32_t>(bc);
+  const std::uint32_t num_sms = gpu.multiprocessors;
+  const std::uint32_t busy_sms = std::min(num_sms, num_blocks);
+
+  // Parameter values shared by every thread.
+  std::vector<std::uint64_t> param_values(k.params.size(), 0);
+  for (std::size_t p = 0; p < k.params.size(); ++p) {
+    if (k.params[p].is_pointer)
+      param_values[p] = mem.base(k.params[p].name);
+    else
+      param_values[p] = static_cast<std::uint64_t>(stage.launch.domain);
+  }
+
+  // Per-SM DRAM bandwidth share.
+  const double txn_cycles_sm =
+      m_.dram_txn_cycles() * static_cast<double>(busy_sms);
+  const double l2_txn_cycles_sm =
+      m_.l2_txn_cycles() * static_cast<double>(busy_sms);
+
+  TagCache l2(m_.l2_bytes, m_.line_bytes);  // shared across SMs
+
+  Counts totals;
+  double gpu_cycles = 0;
+
+  for (std::uint32_t sm = 0; sm < busy_sms; ++sm) {
+    // Blocks of this SM.
+    std::vector<std::uint32_t> blocks;
+    for (std::uint32_t b = sm; b < num_blocks; b += num_sms)
+      blocks.push_back(b);
+    if (blocks.empty()) continue;
+
+    TagCache l1(m_.l1_bytes, m_.line_bytes);
+    std::array<double, arch::kNumOpCategories> pipe_free{};
+    double sm_dram_free = 0;
+    double sm_clock_end = 0;
+
+    std::vector<Warp> warps;
+    std::size_t next_block = 0;
+    std::vector<std::uint32_t> block_warps_left(blocks.size(), 0);
+
+    auto activate_block = [&](double at) {
+      const std::uint32_t b = blocks[next_block];
+      block_warps_left[next_block] = warps_per_block;
+      for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+        Warp warp;
+        warp.block = b;
+        warp.warp_in_block = w;
+        warp.stack.push_back(
+            StackEntry{0, kFullMask, static_cast<std::int32_t>(
+                                         k.blocks.size())});
+        warp.ready_at = at + m_.block_dispatch_overhead;
+        warp.reg_ready.assign(layout.total, 0.0);
+        warp.regs.assign(static_cast<std::size_t>(layout.total) * kWarpSize,
+                         0);
+        warps.push_back(std::move(warp));
+      }
+      ++next_block;
+    };
+
+    const std::uint32_t max_resident =
+        std::min<std::uint32_t>(out.occ.active_blocks,
+                                static_cast<std::uint32_t>(blocks.size()));
+    for (std::uint32_t i = 0; i < max_resident; ++i) activate_block(0.0);
+
+    // ---- helpers bound to this SM's state ------------------------------
+    auto reg_value = [&](const Warp& w, const Reg& r,
+                         std::uint32_t lane) -> std::uint64_t {
+      return w.regs[static_cast<std::size_t>(layout.id(r)) * kWarpSize +
+                    lane];
+    };
+    auto set_reg = [&](Warp& w, const Reg& r, std::uint32_t lane,
+                       std::uint64_t v) {
+      w.regs[static_cast<std::size_t>(layout.id(r)) * kWarpSize + lane] = v;
+    };
+
+    auto operand_i64 = [&](const Warp& w, const Operand& o,
+                           std::uint32_t lane) -> std::int64_t {
+      switch (o.kind()) {
+        case Operand::Kind::Reg: {
+          const std::uint64_t raw = reg_value(w, o.reg(), lane);
+          if (o.reg().type == Type::I32)
+            return static_cast<std::int32_t>(raw & 0xffffffffu);
+          return static_cast<std::int64_t>(raw);
+        }
+        case Operand::Kind::ImmI:
+          return o.imm_i();
+        case Operand::Kind::Special: {
+          const std::uint32_t tid =
+              w.warp_in_block * kWarpSize + lane;
+          switch (o.special()) {
+            case SpecialReg::TidX: return tid;
+            case SpecialReg::NTidX: return tc;
+            case SpecialReg::CTAidX: return w.block;
+            case SpecialReg::NCTAidX: return bc;
+            case SpecialReg::LaneId: return lane;
+          }
+          return 0;
+        }
+        case Operand::Kind::Sym:
+          return static_cast<std::int64_t>(param_values[o.sym()]);
+        default:
+          throw Error("warp sim: bad integer operand");
+      }
+    };
+
+    auto operand_f = [&](const Warp& w, const Operand& o,
+                         std::uint32_t lane) -> double {
+      switch (o.kind()) {
+        case Operand::Kind::Reg: {
+          const std::uint64_t raw = reg_value(w, o.reg(), lane);
+          if (o.reg().type == Type::F32) {
+            float f;
+            const auto bits = static_cast<std::uint32_t>(raw & 0xffffffffu);
+            std::memcpy(&f, &bits, sizeof(f));
+            return f;
+          }
+          double d;
+          std::memcpy(&d, &raw, sizeof(d));
+          return d;
+        }
+        case Operand::Kind::ImmF:
+          return o.imm_f();
+        default:
+          return static_cast<double>(operand_i64(w, o, lane));
+      }
+    };
+
+    auto write_typed = [&](Warp& w, const Reg& r, std::uint32_t lane,
+                           double fval, std::int64_t ival, bool is_float) {
+      switch (r.type) {
+        case Type::Pred:
+          set_reg(w, r, lane, ival != 0 ? 1 : 0);
+          return;
+        case Type::I32:
+          set_reg(w, r, lane,
+                  static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(is_float
+                                                    ? static_cast<std::int64_t>(fval)
+                                                    : ival)));
+          return;
+        case Type::I64:
+          set_reg(w, r, lane,
+                  static_cast<std::uint64_t>(is_float
+                                                 ? static_cast<std::int64_t>(fval)
+                                                 : ival));
+          return;
+        case Type::F32: {
+          const float f = static_cast<float>(fval);
+          std::uint32_t bits;
+          std::memcpy(&bits, &f, sizeof(bits));
+          set_reg(w, r, lane, bits);
+          return;
+        }
+        case Type::F64: {
+          std::uint64_t bits;
+          std::memcpy(&bits, &fval, sizeof(bits));
+          set_reg(w, r, lane, bits);
+          return;
+        }
+      }
+    };
+
+    auto guard_pass = [&](const Warp& w, const Instruction& ins,
+                          std::uint32_t lane) {
+      if (!ins.guard) return true;
+      const bool v = reg_value(w, ins.guard->pred, lane) != 0;
+      return ins.guard->negated ? !v : v;
+    };
+
+    // ---- main issue loop ------------------------------------------------
+    auto all_done = [&] {
+      if (next_block < blocks.size()) return false;
+      for (const Warp& w : warps)
+        if (!w.done) return false;
+      return true;
+    };
+
+    while (!all_done()) {
+      // Pick the warp that can issue earliest.
+      double best_t = std::numeric_limits<double>::infinity();
+      std::size_t best_w = static_cast<std::size_t>(-1);
+      for (std::size_t wi = 0; wi < warps.size(); ++wi) {
+        Warp& w = warps[wi];
+        if (w.done) continue;
+        const StackEntry& top = w.stack.back();
+        const Instruction& ins = k.blocks[top.pc].body[w.cur];
+        double t = w.ready_at;
+        if (ins.guard)
+          t = std::max(t, w.reg_ready[layout.id(ins.guard->pred)]);
+        for (const Operand& s : ins.srcs)
+          if (s.is_reg()) t = std::max(t, w.reg_ready[layout.id(s.reg())]);
+        const auto cat = static_cast<std::size_t>(ins.category());
+        t = std::max(t, pipe_free[cat]);
+        if (t < best_t) {
+          best_t = t;
+          best_w = wi;
+        }
+      }
+      if (best_w == static_cast<std::size_t>(-1))
+        throw Error("warp sim: deadlock (no issuable warp)");
+
+      Warp& w = warps[best_w];
+      StackEntry& top = w.stack.back();
+      const Instruction& ins = k.blocks[top.pc].body[w.cur];
+      const arch::OpCategory cat = ins.category();
+      const double t_issue = best_t;
+
+      pipe_free[static_cast<std::size_t>(cat)] =
+          t_issue + m_.issue_cycles(cat);
+      w.ready_at = t_issue + 1.0;
+      w.last_issue = t_issue;
+      sm_clock_end = std::max(sm_clock_end, t_issue);
+
+      // Active lanes under guard.
+      std::uint32_t exec_mask = 0;
+      for (std::uint32_t lane = 0; lane < kWarpSize; ++lane)
+        if ((top.mask >> lane & 1u) && guard_pass(w, ins, lane))
+          exec_mask |= 1u << lane;
+
+      // Bookkeeping.
+      totals.add_category(cat, 1);
+      totals.reg_traffic += ins.reg_reads() + ins.reg_writes();
+      totals.total_issues += 1;
+      if (top.mask != kFullMask) totals.partial_issues += 1;
+
+      if (sink != nullptr) {
+        IssueEvent ev;
+        ev.sm = sm;
+        ev.block = w.block;
+        ev.warp = w.warp_in_block;
+        ev.bb = top.pc;
+        ev.inst = w.cur;
+        ev.op = ins.op;
+        ev.category = cat;
+        ev.active_mask = top.mask;
+        ev.exec_mask = exec_mask;
+        ev.issue_cycle = t_issue;
+        sink->on_issue(ev);
+      }
+      // Filled in by the LD/ST/ATOM handlers below and emitted afterwards.
+      MemoryEvent mem_ev;
+      bool emit_mem = false;
+      if (sink != nullptr &&
+          (ins.op == Opcode::LD || ins.op == Opcode::ST ||
+           ins.op == Opcode::ATOM_ADD) &&
+          ins.space == MemSpace::Global) {
+        mem_ev.sm = sm;
+        mem_ev.block = w.block;
+        mem_ev.warp = w.warp_in_block;
+        mem_ev.bb = top.pc;
+        mem_ev.inst = w.cur;
+        mem_ev.is_store = ins.op == Opcode::ST;
+        mem_ev.is_atomic = ins.op == Opcode::ATOM_ADD;
+        mem_ev.lanes = static_cast<std::uint32_t>(
+            std::popcount(exec_mask));
+        emit_mem = true;
+      }
+
+      double dst_ready = t_issue + m_.result_latency(cat);
+
+      switch (ins.op) {
+        case Opcode::LD: {
+          if (ins.space == MemSpace::Param) {
+            for (std::uint32_t lane = 0; lane < kWarpSize; ++lane)
+              if (exec_mask >> lane & 1u) {
+                const std::uint64_t v = param_values[ins.srcs[0].sym()];
+                if (ins.dst->type == Type::I32)
+                  set_reg(w, *ins.dst, lane, v & 0xffffffffu);
+                else
+                  set_reg(w, *ins.dst, lane, v);
+              }
+            dst_ready = t_issue + m_.l1_latency;  // constant cache
+            break;
+          }
+          // Gather segments and execute functionally.
+          std::set<std::uint64_t> segments;
+          for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (!(exec_mask >> lane & 1u)) continue;
+            const std::uint64_t addr = static_cast<std::uint64_t>(
+                operand_i64(w, ins.srcs[0], lane) + ins.offset);
+            if (segments.insert(addr / m_.line_bytes).second && emit_mem)
+              mem_ev.lines.push_back(addr / m_.line_bytes);
+            const float v = mem.load(addr);
+            std::uint32_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            set_reg(w, *ins.dst, lane, bits);
+          }
+          double data_ready = t_issue + m_.l1_latency;
+          for (const std::uint64_t seg : segments) {
+            const std::uint64_t addr = seg * m_.line_bytes;
+            if (l1.access(addr)) {  // L1 hit
+              mem_ev.l1_hits += 1;
+              continue;
+            }
+            totals.mem_transactions += 1;
+            if (l2.access(addr)) {
+              mem_ev.l2_hits += 1;
+              sm_dram_free =
+                  std::max(sm_dram_free, t_issue) + l2_txn_cycles_sm;
+              data_ready =
+                  std::max(data_ready, t_issue + m_.l2_latency);
+            } else {
+              mem_ev.dram += 1;
+              totals.dram_transactions += 1;
+              sm_dram_free = std::max(sm_dram_free, t_issue) + txn_cycles_sm;
+              data_ready = std::max(data_ready,
+                                    sm_dram_free + m_.dram_latency);
+            }
+          }
+          dst_ready = data_ready;
+          break;
+        }
+        case Opcode::ST: {
+          std::set<std::uint64_t> segments;
+          for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (!(exec_mask >> lane & 1u)) continue;
+            const std::uint64_t addr = static_cast<std::uint64_t>(
+                operand_i64(w, ins.srcs[0], lane) + ins.offset);
+            if (segments.insert(addr / m_.line_bytes).second && emit_mem)
+              mem_ev.lines.push_back(addr / m_.line_bytes);
+            mem.store(addr, static_cast<float>(operand_f(w, ins.srcs[1],
+                                                         lane)));
+          }
+          // Write-through traffic; does not block the warp.
+          totals.mem_transactions += static_cast<double>(segments.size());
+          for (const std::uint64_t seg : segments) {
+            if (l2.access(seg * m_.line_bytes)) {
+              mem_ev.l2_hits += 1;
+            } else {
+              mem_ev.dram += 1;
+              totals.dram_transactions += 1;
+            }
+            sm_dram_free = std::max(sm_dram_free, t_issue) + l2_txn_cycles_sm;
+          }
+          break;
+        }
+        case Opcode::ATOM_ADD: {
+          // Serialized per lane at the memory partition.
+          std::uint32_t lanes = 0;
+          std::set<std::uint64_t> distinct;
+          for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (!(exec_mask >> lane & 1u)) continue;
+            const std::uint64_t addr = static_cast<std::uint64_t>(
+                operand_i64(w, ins.srcs[0], lane) + ins.offset);
+            mem.atomic_add(addr, static_cast<float>(
+                                     operand_f(w, ins.srcs[1], lane)));
+            if (distinct.insert(addr / m_.line_bytes).second && emit_mem)
+              mem_ev.lines.push_back(addr / m_.line_bytes);
+            ++lanes;
+          }
+          // Each participating lane's update is serialized at the
+          // memory partition.
+          pipe_free[static_cast<std::size_t>(cat)] +=
+              m_.atomic_conflict_cycles * static_cast<double>(lanes);
+          totals.mem_transactions += static_cast<double>(distinct.size());
+          for (const std::uint64_t seg : distinct) {
+            if (l2.access(seg * m_.line_bytes)) {
+              mem_ev.l2_hits += 1;
+            } else {
+              mem_ev.dram += 1;
+              totals.dram_transactions += 1;
+            }
+            sm_dram_free = std::max(sm_dram_free, t_issue) + l2_txn_cycles_sm;
+          }
+          break;
+        }
+        case Opcode::BRA:
+        case Opcode::EXIT:
+        case Opcode::BAR:
+        case Opcode::NOP:
+          break;  // handled by control transfer below
+        case Opcode::SETP: {
+          for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (!(exec_mask >> lane & 1u)) continue;
+            bool r = false;
+            if (ins.type == Type::F32 || ins.type == Type::F64) {
+              const double a = operand_f(w, ins.srcs[0], lane);
+              const double b = operand_f(w, ins.srcs[1], lane);
+              switch (ins.cmp) {
+                case CmpOp::EQ: r = a == b; break;
+                case CmpOp::NE: r = a != b; break;
+                case CmpOp::LT: r = a < b; break;
+                case CmpOp::LE: r = a <= b; break;
+                case CmpOp::GT: r = a > b; break;
+                case CmpOp::GE: r = a >= b; break;
+              }
+            } else {
+              const std::int64_t a = operand_i64(w, ins.srcs[0], lane);
+              const std::int64_t b = operand_i64(w, ins.srcs[1], lane);
+              switch (ins.cmp) {
+                case CmpOp::EQ: r = a == b; break;
+                case CmpOp::NE: r = a != b; break;
+                case CmpOp::LT: r = a < b; break;
+                case CmpOp::LE: r = a <= b; break;
+                case CmpOp::GT: r = a > b; break;
+                case CmpOp::GE: r = a >= b; break;
+              }
+            }
+            set_reg(w, *ins.dst, lane, r ? 1 : 0);
+          }
+          break;
+        }
+        default: {
+          // Register-computing instructions.
+          for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (!(exec_mask >> lane & 1u)) continue;
+            const bool is_float_op =
+                ins.type == Type::F32 || ins.type == Type::F64;
+            if (is_float_op) {
+              double v = 0;
+              auto A = [&] { return operand_f(w, ins.srcs[0], lane); };
+              auto B = [&] { return operand_f(w, ins.srcs[1], lane); };
+              auto C = [&] { return operand_f(w, ins.srcs[2], lane); };
+              switch (ins.op) {
+                case Opcode::MOV: v = A(); break;
+                case Opcode::SELP:
+                  v = operand_i64(w, ins.srcs[2], lane) != 0 ? A() : B();
+                  break;
+                case Opcode::FADD: v = A() + B(); break;
+                case Opcode::FSUB: v = A() - B(); break;
+                case Opcode::FMUL: v = A() * B(); break;
+                case Opcode::FFMA:
+                  v = ins.type == Type::F32
+                          ? static_cast<double>(
+                                std::fmaf(static_cast<float>(A()),
+                                          static_cast<float>(B()),
+                                          static_cast<float>(C())))
+                          : std::fma(A(), B(), C());
+                  break;
+                case Opcode::FMIN: v = std::min(A(), B()); break;
+                case Opcode::FMAX: v = std::max(A(), B()); break;
+                case Opcode::RCP: v = 1.0 / A(); break;
+                case Opcode::RSQRT: v = 1.0 / std::sqrt(A()); break;
+                case Opcode::SQRT: v = std::sqrt(A()); break;
+                case Opcode::EX2: v = std::exp2(A()); break;
+                case Opcode::LG2: v = std::log2(A()); break;
+                case Opcode::SIN: v = std::sin(A()); break;
+                case Opcode::COS: v = std::cos(A()); break;
+                case Opcode::CVT:
+                  v = ins.cvt_src == Type::I32 || ins.cvt_src == Type::I64
+                          ? static_cast<double>(
+                                operand_i64(w, ins.srcs[0], lane))
+                          : A();
+                  break;
+                default:
+                  throw Error("warp sim: unhandled float op");
+              }
+              write_typed(w, *ins.dst, lane, v, 0, true);
+            } else {
+              std::int64_t v = 0;
+              auto A = [&] { return operand_i64(w, ins.srcs[0], lane); };
+              auto B = [&] { return operand_i64(w, ins.srcs[1], lane); };
+              auto C = [&] { return operand_i64(w, ins.srcs[2], lane); };
+              switch (ins.op) {
+                case Opcode::MOV: v = A(); break;
+                case Opcode::SELP: v = C() != 0 ? A() : B(); break;
+                case Opcode::AND: v = A() & B(); break;
+                case Opcode::OR: v = A() | B(); break;
+                case Opcode::XOR: v = A() ^ B(); break;
+                case Opcode::NOT: v = ins.type == Type::Pred ? !A() : ~A();
+                  break;
+                case Opcode::SHL: v = A() << B(); break;
+                case Opcode::SHR: v = A() >> B(); break;
+                case Opcode::IADD: v = A() + B(); break;
+                case Opcode::ISUB: v = A() - B(); break;
+                case Opcode::IMUL: v = A() * B(); break;
+                case Opcode::IMULHI:
+                  v = static_cast<std::int64_t>(
+                      (static_cast<__int128>(A()) * B()) >> 32);
+                  break;
+                case Opcode::IMAD: v = A() * B() + C(); break;
+                case Opcode::IMIN: v = std::min(A(), B()); break;
+                case Opcode::IMAX: v = std::max(A(), B()); break;
+                case Opcode::CVT:
+                  if (ins.cvt_src == Type::F32 || ins.cvt_src == Type::F64)
+                    v = static_cast<std::int64_t>(
+                        operand_f(w, ins.srcs[0], lane));
+                  else
+                    v = A();
+                  break;
+                default:
+                  throw Error("warp sim: unhandled int op");
+              }
+              write_typed(w, *ins.dst, lane, 0, v, false);
+            }
+          }
+          break;
+        }
+      }
+
+      if (ins.dst) w.reg_ready[layout.id(*ins.dst)] = dst_ready;
+
+      if (emit_mem && !mem_ev.lines.empty())
+        sink->on_memory(mem_ev);
+
+      // ---- control transfer -------------------------------------------
+      const bool at_block_end =
+          w.cur + 1 >= k.blocks[top.pc].body.size();
+
+      if (ins.op == Opcode::EXIT) {
+        const std::uint32_t exiting = exec_mask;
+        bool popped = false;
+        for (StackEntry& e : w.stack) e.mask &= ~exiting;
+        while (!w.stack.empty() && w.stack.back().mask == 0) {
+          w.stack.pop_back();
+          popped = true;
+        }
+        if (w.stack.empty()) {
+          w.done = true;
+        } else if (popped) {
+          w.cur = 0;  // resume the revealed entry at its block start
+        } else {
+          // Guarded exit with survivors: they fall through.
+          const auto next = static_cast<std::int32_t>(
+              w.stack.back().pc + 1);
+          if (next == w.stack.back().reconv) {
+            w.stack.pop_back();
+            if (w.stack.empty())
+              w.done = true;
+          } else {
+            w.stack.back().pc = next;
+          }
+          w.cur = 0;
+        }
+      } else if (ins.op == Opcode::BRA) {
+        totals.branches += 1;
+        const std::uint32_t taken = exec_mask;
+        const std::uint32_t not_taken = top.mask & ~taken;
+        if (sink != nullptr) {
+          BranchEvent bev;
+          bev.sm = sm;
+          bev.block = w.block;
+          bev.warp = w.warp_in_block;
+          bev.bb = top.pc;
+          bev.active_mask = top.mask;
+          bev.taken_mask = taken;
+          bev.divergent = taken != 0 && not_taken != 0;
+          sink->on_branch(bev);
+        }
+        const auto fallthrough = static_cast<std::int32_t>(top.pc + 1);
+        if (taken != 0 && not_taken != 0) {
+          totals.divergent_branches += 1;
+          const std::int32_t reconv = cfg.ipdom(top.pc);
+          const std::uint32_t parent_mask = top.mask;
+          top.pc = reconv;
+          (void)parent_mask;
+          w.stack.push_back(StackEntry{fallthrough, not_taken, reconv});
+          w.stack.push_back(StackEntry{ins.target_block, taken, reconv});
+          w.cur = 0;
+        } else {
+          const std::int32_t next =
+              taken != 0 ? ins.target_block : fallthrough;
+          if (next == top.reconv) {
+            w.stack.pop_back();
+            if (w.stack.empty()) {
+              w.done = true;
+            } else {
+              w.cur = 0;
+            }
+          } else {
+            top.pc = next;
+            w.cur = 0;
+          }
+        }
+      } else if (at_block_end) {
+        const auto next = static_cast<std::int32_t>(top.pc + 1);
+        if (next == top.reconv) {
+          w.stack.pop_back();
+          if (w.stack.empty()) {
+            w.done = true;
+          } else {
+            w.cur = 0;
+          }
+        } else {
+          top.pc = next;
+          w.cur = 0;
+        }
+      } else {
+        ++w.cur;
+      }
+
+      // A reconvergence point at the virtual exit means the warp ran off
+      // the program: treat as finished (cannot occur for validated
+      // kernels, but keeps the simulator safe on hand-written IR).
+      if (!w.done && !w.stack.empty() &&
+          w.stack.back().pc >=
+              static_cast<std::int32_t>(k.blocks.size())) {
+        w.done = true;
+      }
+
+      // ---- block retirement & admission --------------------------------
+      if (w.done) {
+        // Find this warp's block bookkeeping slot.
+        for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+          if (blocks[bi] != w.block) continue;
+          if (--block_warps_left[bi] == 0 && next_block < blocks.size()) {
+            activate_block(t_issue);
+          }
+          break;
+        }
+      }
+    }
+
+    const double sm_cycles = sm_clock_end + m_.alu_latency;
+    gpu_cycles = std::max(gpu_cycles, sm_cycles);
+  }
+
+  // Global DRAM bound across SMs (each SM was given a 1/busy_sms share,
+  // but correlated bursts can exceed it; the max() keeps the bound).
+  const double dram_bound =
+      totals.dram_transactions * m_.dram_txn_cycles();
+  out.cycles = std::max(gpu_cycles, dram_bound) + m_.kernel_launch_overhead;
+  out.time_ms = m_.cycles_to_ms(out.cycles);
+  out.counts = totals;
+  return out;
+}
+
+}  // namespace gpustatic::sim

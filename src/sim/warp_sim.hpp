@@ -1,0 +1,60 @@
+#pragma once
+
+// SIMT warp-level simulator: executes the PTX-like IR functionally (real
+// register values, real addresses, bounds-checked device memory) while
+// accounting timing with the MachineModel. This is the reproduction's
+// stand-in for running on physical GPUs ("dynamic analysis").
+//
+// Execution model
+//  * Blocks are assigned to SMs round-robin; each SM keeps at most
+//    B*mp resident blocks (the occupancy model's Eq. 1 result) and admits
+//    pending blocks as residents finish.
+//  * Each SM issues one warp-instruction at a time, greedily choosing the
+//    warp that can issue earliest given (a) its own in-order stream,
+//    (b) a register scoreboard (loads do not block until first use), and
+//    (c) per-category pipeline occupancy derived from Table II IPCs.
+//  * Divergence uses an immediate-post-dominator reconvergence stack
+//    computed from the kernel CFG (Fig. 1's mechanism).
+//  * The memory system models a per-SM L1 (PL-sized on Fermi/Kepler), a
+//    shared L2, DRAM latency, and per-SM DRAM bandwidth share; atomics
+//    serialize per conflicting lane.
+//
+// SMs are simulated independently with a bandwidth share (documented
+// approximation; see DESIGN.md §5.1); a final global-bandwidth bound is
+// applied across SMs.
+
+#include <cstdint>
+
+#include "codegen/compiler.hpp"
+#include "occupancy/occupancy.hpp"
+#include "sim/counts.hpp"
+#include "sim/device.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+
+namespace gpustatic::sim {
+
+struct StageTiming {
+  double cycles = 0;
+  double time_ms = 0;
+  Counts counts;
+  occupancy::Result occ;
+};
+
+class WarpSimulator {
+ public:
+  explicit WarpSimulator(const MachineModel& machine) : m_(machine) {}
+
+  /// Execute one compiled stage against device memory, mutating it.
+  /// Throws ConfigError when the configuration cannot be resident at all
+  /// (occupancy zero: illegal register or smem footprint).
+  /// A non-null `sink` observes every issue, branch, and global-memory
+  /// operation (see sim/trace.hpp); tracing never changes execution.
+  StageTiming run_stage(const codegen::LoweredStage& stage,
+                        DeviceMemory& mem, TraceSink* sink = nullptr);
+
+ private:
+  const MachineModel& m_;
+};
+
+}  // namespace gpustatic::sim

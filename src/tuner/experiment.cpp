@@ -1,0 +1,128 @@
+#include "tuner/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/machine.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+TrialRecord evaluate_variant(const dsl::WorkloadDesc& workload,
+                             const arch::GpuSpec& gpu,
+                             const codegen::TuningParams& params,
+                             const sim::RunOptions& run_opts) {
+  TrialRecord rec;
+  rec.params = params;
+  try {
+    const codegen::Compiler compiler(gpu, params);
+    const codegen::LoweredWorkload lw = compiler.compile(workload);
+    const sim::MachineModel machine =
+        sim::MachineModel::from(gpu, params.l1_pref_kb);
+    const sim::Measurement m =
+        sim::run_workload(lw, workload, machine, run_opts);
+    rec.valid = m.valid;
+    rec.time_ms = m.trial_time_ms;
+    rec.occupancy = m.occupancy;
+    rec.regs_per_thread = m.regs_per_thread;
+    rec.reg_traffic = m.counts.reg_traffic;
+    rec.intensity = m.counts.intensity();
+  } catch (const gpustatic::Error&) {
+    rec.valid = false;
+  }
+  return rec;
+}
+
+}  // namespace
+
+Objective make_objective(const dsl::WorkloadDesc& workload,
+                         const arch::GpuSpec& gpu,
+                         sim::RunOptions run_opts) {
+  // Capture by value: the objective outlives the call site's locals.
+  auto desc = workload;
+  return [desc, &gpu, run_opts](const codegen::TuningParams& p) {
+    const TrialRecord rec = evaluate_variant(desc, gpu, p, run_opts);
+    return rec.valid ? rec.time_ms : kInvalid;
+  };
+}
+
+std::vector<TrialRecord> sweep(const ParamSpace& space,
+                               const dsl::WorkloadDesc& workload,
+                               const arch::GpuSpec& gpu,
+                               sim::RunOptions run_opts, std::size_t stride,
+                               std::size_t threads) {
+  if (stride == 0) stride = 1;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < space.size(); i += stride)
+    indices.push_back(i);
+
+  std::vector<TrialRecord> out(indices.size());
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<std::size_t>(threads, indices.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t k = next.fetch_add(1);
+      if (k >= indices.size()) return;
+      const Point p = space.point_at(indices[k]);
+      out[k] = evaluate_variant(workload, gpu, space.to_params(p),
+                                run_opts);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+RankedTrials rank_trials(std::vector<TrialRecord> trials) {
+  RankedTrials out;
+  std::vector<TrialRecord> valid;
+  for (TrialRecord& t : trials)
+    if (t.valid) valid.push_back(std::move(t));
+  std::sort(valid.begin(), valid.end(),
+            [](const TrialRecord& a, const TrialRecord& b) {
+              return a.time_ms < b.time_ms;
+            });
+  if (valid.empty()) return out;
+  out.best = valid.front();
+  const std::size_t half = valid.size() / 2;
+  out.rank1.assign(valid.begin(),
+                   valid.begin() + static_cast<std::ptrdiff_t>(half));
+  out.rank2.assign(valid.begin() + static_cast<std::ptrdiff_t>(half),
+                   valid.end());
+  return out;
+}
+
+RankStats rank_stats(const std::vector<TrialRecord>& rank) {
+  RankStats s;
+  if (rank.empty()) return s;
+  std::vector<double> occ, regs_traffic, threads, regs;
+  occ.reserve(rank.size());
+  for (const TrialRecord& t : rank) {
+    occ.push_back(t.occupancy * 100.0);
+    regs_traffic.push_back(t.reg_traffic);
+    threads.push_back(t.params.threads_per_block);
+    regs.push_back(t.regs_per_thread);
+  }
+  s.occ_mean = stats::mean(occ);
+  s.occ_std = stats::stddev(occ);
+  s.occ_mode = stats::mode(occ);
+  s.reg_traffic_mean = stats::mean(regs_traffic);
+  s.reg_traffic_std = stats::stddev(regs_traffic);
+  s.regs_allocated = static_cast<std::uint32_t>(stats::mode(regs));
+  s.threads_p25 = stats::percentile(threads, 25);
+  s.threads_p50 = stats::percentile(threads, 50);
+  s.threads_p75 = stats::percentile(threads, 75);
+  return s;
+}
+
+}  // namespace gpustatic::tuner

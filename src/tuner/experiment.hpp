@@ -1,0 +1,65 @@
+#pragma once
+
+// End-to-end autotuning experiments: compile-and-simulate objective
+// functions, parallel exhaustive sweeps, and the Rank-1/Rank-2 protocol
+// of Sec. IV-A (sort by the 5th-of-10 trial time, split at the median)
+// that Table V and Fig. 4 are built from.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "sim/runner.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::tuner {
+
+/// One evaluated variant.
+struct TrialRecord {
+  codegen::TuningParams params;
+  bool valid = true;
+  double time_ms = 0;          ///< 5th-of-10 trial time
+  double occupancy = 0;
+  std::uint32_t regs_per_thread = 0;
+  double reg_traffic = 0;      ///< dynamic register-operand traffic
+  double intensity = 0;        ///< dynamic O_fl / O_mem
+};
+
+/// Builds an Objective that compiles a variant for (workload, gpu) and
+/// measures it with the configured engine. Stateless per call and
+/// thread-safe; pair with CachingEvaluator for memoization.
+[[nodiscard]] Objective make_objective(const dsl::WorkloadDesc& workload,
+                                       const arch::GpuSpec& gpu,
+                                       sim::RunOptions run_opts = {});
+
+/// Evaluate every point of `space` (optionally subsampled by `stride` on
+/// the flat index) in parallel with `threads` workers. Deterministic:
+/// results are ordered by flat index regardless of scheduling.
+[[nodiscard]] std::vector<TrialRecord> sweep(
+    const ParamSpace& space, const dsl::WorkloadDesc& workload,
+    const arch::GpuSpec& gpu, sim::RunOptions run_opts = {},
+    std::size_t stride = 1, std::size_t threads = 0);
+
+/// Rank split per the paper: valid trials sorted ascending by time, the
+/// top half is Rank 1 (good performers), the bottom half Rank 2.
+struct RankedTrials {
+  std::vector<TrialRecord> rank1;
+  std::vector<TrialRecord> rank2;
+  TrialRecord best;
+};
+[[nodiscard]] RankedTrials rank_trials(std::vector<TrialRecord> trials);
+
+/// Table V row statistics for one rank.
+struct RankStats {
+  double occ_mean = 0, occ_std = 0, occ_mode = 0;
+  double reg_traffic_mean = 0, reg_traffic_std = 0;
+  std::uint32_t regs_allocated = 0;  ///< mode of per-thread registers
+  double threads_p25 = 0, threads_p50 = 0, threads_p75 = 0;
+};
+[[nodiscard]] RankStats rank_stats(const std::vector<TrialRecord>& rank);
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,66 @@
+#include "tuner/hybrid.hpp"
+
+#include <algorithm>
+
+#include "analysis/predictor.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+
+namespace gpustatic::tuner {
+
+HybridResult hybrid_search(const ParamSpace& space,
+                           const arch::GpuSpec& gpu,
+                           const dsl::WorkloadDesc& workload,
+                           const Objective& objective,
+                           const HybridOptions& opts) {
+  HybridResult r;
+  r.prune = static_prune(space, gpu, workload, opts.baseline);
+  const ParamSpace& pruned =
+      opts.use_rule ? r.prune.rule_space : r.prune.static_space;
+
+  // Stage 1 (static, zero runs): compile every survivor and rank by the
+  // Eq. 6 prediction.
+  r.shortlist.reserve(pruned.size());
+  for (std::size_t i = 0; i < pruned.size(); ++i) {
+    RankedVariant v;
+    v.flat_index = i;
+    v.params = pruned.to_params(pruned.point_at(i));
+    try {
+      const codegen::Compiler compiler(gpu, v.params);
+      v.predicted_cost =
+          analysis::predicted_cost(compiler.compile(workload), gpu.family);
+    } catch (const ConfigError&) {
+      continue;  // not compilable on this GPU: not a candidate
+    }
+    r.shortlist.push_back(std::move(v));
+  }
+  std::stable_sort(r.shortlist.begin(), r.shortlist.end(),
+                   [](const RankedVariant& a, const RankedVariant& b) {
+                     if (a.predicted_cost != b.predicted_cost)
+                       return a.predicted_cost < b.predicted_cost;
+                     return a.flat_index < b.flat_index;
+                   });
+  if (r.shortlist.empty())
+    throw Error("hybrid_search: no compilable variant in the pruned space");
+
+  // Stage 2 (empirical, dialed): measure the top-B predictions.
+  if (opts.empirical_budget == 0) {
+    r.best_params = r.shortlist.front().params;  // zero-run recommendation
+    return r;
+  }
+  const std::size_t budget =
+      std::min(opts.empirical_budget, r.shortlist.size());
+  for (std::size_t i = 0; i < budget; ++i) {
+    const double t = objective(r.shortlist[i].params);
+    ++r.empirical_evaluations;
+    if (t < r.best_time_ms) {
+      r.best_time_ms = t;
+      r.best_params = r.shortlist[i].params;
+    }
+  }
+  if (r.best_time_ms == kInvalid)
+    r.best_params = r.shortlist.front().params;  // all measured invalid
+  return r;
+}
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,77 @@
+#pragma once
+
+// Hybrid dial-in search (paper Sec. VII): "the degree of empirical
+// testing can be 'dialed in' during the autotuning process, depending on
+// what the user accepts."
+//
+// The dial is a single number — the empirical budget B:
+//
+//   B = 0      pure static: prune the space with the analyzer, rank the
+//              survivors by Eq. 6, recommend the top prediction without
+//              a single run (the paper's zero-run regime);
+//   B small    static shortlist, then measure only the B most promising
+//              variants (the "first stage of the regular empirical-based
+//              autotuning process" from Sec. IV-C);
+//   B = inf    exhaustive search over the pruned space (the paper's
+//              Static / RB methods).
+//
+// Monotonicity by construction: the measured candidate set at budget B
+// is a prefix of the set at budget B' > B, so the chosen variant never
+// gets worse as the dial increases.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+#include "tuner/static_search.hpp"
+
+namespace gpustatic::tuner {
+
+struct HybridOptions {
+  /// Number of empirical evaluations allowed. SIZE_MAX = whole pruned
+  /// space (the paper's Static/RB exhaustive regime).
+  std::size_t empirical_budget = 16;
+  /// true: rule-based pruning (Static+RB); false: occupancy-only
+  /// pruning (Static).
+  bool use_rule = true;
+  /// Baseline compile used by the static analyzer for the prune.
+  codegen::TuningParams baseline{};
+};
+
+/// One shortlist entry: a pruned-space variant with its Eq. 6 score.
+struct RankedVariant {
+  codegen::TuningParams params;
+  double predicted_cost = 0;
+  std::size_t flat_index = 0;  ///< index in the pruned space
+};
+
+struct HybridResult {
+  StaticPruneResult prune;             ///< the static stage's decisions
+  std::vector<RankedVariant> shortlist;  ///< prediction-sorted survivors
+  codegen::TuningParams best_params;   ///< recommendation
+  double best_time_ms = kInvalid;      ///< kInvalid when budget == 0
+  std::size_t empirical_evaluations = 0;
+
+  /// The dial position actually used (evaluations / pruned-space size).
+  [[nodiscard]] double empirical_fraction() const {
+    return shortlist.empty()
+               ? 0.0
+               : static_cast<double>(empirical_evaluations) /
+                     static_cast<double>(shortlist.size());
+  }
+};
+
+/// Run the hybrid search: static prune -> Eq. 6 ranking (compiles, never
+/// runs) -> top-B empirical evaluations through `objective`. Variants
+/// whose compilation fails are dropped from the shortlist; the ranking
+/// tie-breaks on flat index so results are deterministic.
+[[nodiscard]] HybridResult hybrid_search(const ParamSpace& space,
+                                         const arch::GpuSpec& gpu,
+                                         const dsl::WorkloadDesc& workload,
+                                         const Objective& objective,
+                                         const HybridOptions& opts = {});
+
+}  // namespace gpustatic::tuner

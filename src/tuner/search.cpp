@@ -1,0 +1,267 @@
+#include "tuner/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpustatic::tuner {
+
+double CachingEvaluator::operator()(const Point& p) {
+  ++calls_;
+  const std::size_t key = space_->flat_index(p);
+  if (const auto it = cache_.find(key); it != cache_.end())
+    return it->second;
+  const double v = fn_(space_->to_params(p));
+  cache_.emplace(key, v);
+  if (v < best_) {
+    best_ = v;
+    best_point_ = p;
+  }
+  return v;
+}
+
+namespace {
+
+SearchResult finish(const std::string& strategy, const ParamSpace& space,
+                    const CachingEvaluator& eval) {
+  SearchResult r;
+  r.strategy = strategy;
+  r.distinct_evaluations = eval.distinct_evaluations();
+  r.total_calls = eval.total_calls();
+  r.best_time = eval.best_value();
+  if (!eval.best_point().empty())
+    r.best_params = space.to_params(eval.best_point());
+  return r;
+}
+
+Point random_point(const ParamSpace& space, Rng& rng) {
+  Point p(space.rank());
+  for (std::size_t d = 0; d < space.rank(); ++d)
+    p[d] = static_cast<std::size_t>(
+        rng.below(space.dimensions()[d].values.size()));
+  return p;
+}
+
+Point neighbor(const ParamSpace& space, const Point& p, Rng& rng) {
+  Point q = p;
+  const std::size_t d = static_cast<std::size_t>(rng.below(space.rank()));
+  const std::size_t n = space.dimensions()[d].values.size();
+  if (n <= 1) return q;
+  const bool up = rng.chance(0.5);
+  if (up)
+    q[d] = (q[d] + 1) % n;
+  else
+    q[d] = (q[d] + n - 1) % n;
+  return q;
+}
+
+}  // namespace
+
+SearchResult exhaustive_search(const ParamSpace& space,
+                               const Objective& fn) {
+  CachingEvaluator eval(space, fn);
+  const std::size_t n = space.size();
+  for (std::size_t i = 0; i < n; ++i) eval(space.point_at(i));
+  return finish("exhaustive", space, eval);
+}
+
+SearchResult random_search(const ParamSpace& space, const Objective& fn,
+                           const SearchOptions& opts) {
+  CachingEvaluator eval(space, fn);
+  Rng rng(opts.seed);
+  const std::size_t budget = std::min(opts.budget, space.size());
+  std::size_t guard = 0;
+  while (eval.distinct_evaluations() < budget &&
+         guard++ < opts.budget * 50)
+    eval(random_point(space, rng));
+  return finish("random", space, eval);
+}
+
+SearchResult simulated_annealing(const ParamSpace& space,
+                                 const Objective& fn,
+                                 const SearchOptions& opts) {
+  CachingEvaluator eval(space, fn);
+  Rng rng(opts.seed);
+  Point cur = random_point(space, rng);
+  double cur_v = eval(cur);
+  double temp = opts.sa_initial_temp;
+  const std::size_t budget = std::min(opts.budget, space.size());
+
+  while (eval.distinct_evaluations() < budget) {
+    const Point cand = neighbor(space, cur, rng);
+    const double cand_v = eval(cand);
+    bool take = cand_v < cur_v;
+    if (!take && std::isfinite(cand_v) && std::isfinite(cur_v)) {
+      // Relative-difference acceptance keeps the temperature scale
+      // independent of absolute simulated times.
+      const double rel = (cand_v - cur_v) / std::max(cur_v, 1e-12);
+      take = rng.chance(std::exp(-rel / std::max(temp, 1e-6)));
+    }
+    if (take) {
+      cur = cand;
+      cur_v = cand_v;
+    }
+    temp *= opts.sa_cooling;
+    if (temp < 1e-4) {  // reheat and hop to escape local basins
+      temp = opts.sa_initial_temp;
+      cur = random_point(space, rng);
+      cur_v = eval(cur);
+    }
+  }
+  return finish("simulated-annealing", space, eval);
+}
+
+SearchResult genetic_search(const ParamSpace& space, const Objective& fn,
+                            const SearchOptions& opts) {
+  CachingEvaluator eval(space, fn);
+  Rng rng(opts.seed);
+  const std::size_t budget = std::min(opts.budget, space.size());
+
+  struct Member {
+    Point p;
+    double v;
+  };
+  std::vector<Member> pop;
+  for (std::size_t i = 0; i < opts.ga_population; ++i) {
+    Point p = random_point(space, rng);
+    pop.push_back({p, eval(p)});
+  }
+
+  auto tournament = [&]() -> const Member& {
+    const Member* best = &pop[rng.below(pop.size())];
+    for (std::size_t i = 1; i < opts.ga_tournament; ++i) {
+      const Member& m = pop[rng.below(pop.size())];
+      if (m.v < best->v) best = &m;
+    }
+    return *best;
+  };
+
+  while (eval.distinct_evaluations() < budget) {
+    const Member& a = tournament();
+    const Member& b = tournament();
+    Point child(space.rank());
+    for (std::size_t d = 0; d < space.rank(); ++d)
+      child[d] = rng.chance(0.5) ? a.p[d] : b.p[d];
+    for (std::size_t d = 0; d < space.rank(); ++d) {
+      if (!rng.chance(opts.ga_mutation_rate)) continue;
+      child[d] = static_cast<std::size_t>(
+          rng.below(space.dimensions()[d].values.size()));
+    }
+    const double v = eval(child);
+    // Replace the worst member when the child improves on it.
+    auto worst = std::max_element(
+        pop.begin(), pop.end(),
+        [](const Member& x, const Member& y) { return x.v < y.v; });
+    if (v < worst->v) *worst = {child, v};
+  }
+  return finish("genetic", space, eval);
+}
+
+SearchResult nelder_mead_search(const ParamSpace& space, const Objective& fn,
+                                const SearchOptions& opts) {
+  CachingEvaluator eval(space, fn);
+  Rng rng(opts.seed);
+  const std::size_t n = space.rank();
+  const std::size_t budget = std::min(opts.budget, space.size());
+
+  // Continuous coordinates in index space, rounded per evaluation.
+  using Vec = std::vector<double>;
+  auto clamp_round = [&](const Vec& x) {
+    Point p(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      const double hi =
+          static_cast<double>(space.dimensions()[d].values.size() - 1);
+      p[d] = static_cast<std::size_t>(
+          std::llround(std::clamp(x[d], 0.0, hi)));
+    }
+    return p;
+  };
+  auto value = [&](const Vec& x) { return eval(clamp_round(x)); };
+
+  for (std::size_t restart = 0;
+       restart <= opts.nm_restarts &&
+       eval.distinct_evaluations() < budget;
+       ++restart) {
+    // Initial simplex: a random vertex plus unit offsets per dimension.
+    std::vector<Vec> simplex;
+    Vec x0(n);
+    for (std::size_t d = 0; d < n; ++d)
+      x0[d] = static_cast<double>(
+          rng.below(space.dimensions()[d].values.size()));
+    simplex.push_back(x0);
+    for (std::size_t d = 0; d < n; ++d) {
+      Vec x = x0;
+      x[d] += 1.0;
+      simplex.push_back(x);
+    }
+    std::vector<double> vals;
+    vals.reserve(simplex.size());
+    for (const Vec& x : simplex) vals.push_back(value(x));
+
+    for (int iter = 0; iter < 200 && eval.distinct_evaluations() < budget;
+         ++iter) {
+      // Order: best first.
+      std::vector<std::size_t> order(simplex.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                                std::size_t b) {
+        return vals[a] < vals[b];
+      });
+      const std::size_t worst = order.back();
+      const std::size_t second_worst = order[order.size() - 2];
+      const std::size_t best = order.front();
+
+      Vec centroid(n, 0.0);
+      for (std::size_t i = 0; i < simplex.size(); ++i) {
+        if (i == worst) continue;
+        for (std::size_t d = 0; d < n; ++d)
+          centroid[d] += simplex[i][d];
+      }
+      for (double& c : centroid)
+        c /= static_cast<double>(simplex.size() - 1);
+
+      auto blend = [&](double alpha) {
+        Vec x(n);
+        for (std::size_t d = 0; d < n; ++d)
+          x[d] = centroid[d] + alpha * (simplex[worst][d] - centroid[d]);
+        return x;
+      };
+
+      const Vec reflect = blend(-1.0);
+      const double vr = value(reflect);
+      if (vr < vals[best]) {
+        const Vec expand = blend(-2.0);
+        const double ve = value(expand);
+        if (ve < vr) {
+          simplex[worst] = expand;
+          vals[worst] = ve;
+        } else {
+          simplex[worst] = reflect;
+          vals[worst] = vr;
+        }
+      } else if (vr < vals[second_worst]) {
+        simplex[worst] = reflect;
+        vals[worst] = vr;
+      } else {
+        const Vec contract = blend(0.5);
+        const double vc = value(contract);
+        if (vc < vals[worst]) {
+          simplex[worst] = contract;
+          vals[worst] = vc;
+        } else {
+          // Shrink toward the best vertex.
+          for (std::size_t i = 0; i < simplex.size(); ++i) {
+            if (i == best) continue;
+            for (std::size_t d = 0; d < n; ++d)
+              simplex[i][d] =
+                  simplex[best][d] +
+                  0.5 * (simplex[i][d] - simplex[best][d]);
+            vals[i] = value(simplex[i]);
+          }
+        }
+      }
+    }
+  }
+  return finish("nelder-mead", space, eval);
+}
+
+}  // namespace gpustatic::tuner

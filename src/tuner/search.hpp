@@ -1,0 +1,88 @@
+#pragma once
+
+// Search strategies over a ParamSpace, mirroring Orio's search modules
+// (Sec. III-C names exhaustive, random, simulated annealing, genetic, and
+// Nelder-Mead simplex). Strategies call a user-supplied objective
+// (smaller is better); a shared memoizing wrapper counts *distinct*
+// evaluations, which is the cost metric Fig. 6's improvement percentages
+// are computed from.
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::tuner {
+
+/// Objective: trial time (ms) of a variant; +inf = invalid configuration.
+using Objective = std::function<double(const codegen::TuningParams&)>;
+
+inline constexpr double kInvalid = std::numeric_limits<double>::infinity();
+
+/// Memoizes objective values by flat space index and tracks the best.
+class CachingEvaluator {
+ public:
+  CachingEvaluator(const ParamSpace& space, Objective fn)
+      : space_(&space), fn_(std::move(fn)) {}
+
+  double operator()(const Point& p);
+
+  [[nodiscard]] std::size_t distinct_evaluations() const {
+    return cache_.size();
+  }
+  [[nodiscard]] std::size_t total_calls() const { return calls_; }
+  [[nodiscard]] double best_value() const { return best_; }
+  [[nodiscard]] const Point& best_point() const { return best_point_; }
+
+ private:
+  const ParamSpace* space_;
+  Objective fn_;
+  std::unordered_map<std::size_t, double> cache_;
+  std::size_t calls_ = 0;
+  double best_ = kInvalid;
+  Point best_point_;
+};
+
+struct SearchResult {
+  std::string strategy;
+  codegen::TuningParams best_params;
+  double best_time = kInvalid;
+  std::size_t distinct_evaluations = 0;
+  std::size_t total_calls = 0;
+};
+
+struct SearchOptions {
+  std::size_t budget = 500;  ///< max distinct evaluations (non-exhaustive)
+  std::uint64_t seed = 1234;
+  // Simulated annealing.
+  double sa_initial_temp = 0.3;
+  double sa_cooling = 0.95;
+  // Genetic.
+  std::size_t ga_population = 24;
+  double ga_mutation_rate = 0.15;
+  std::size_t ga_tournament = 3;
+  // Nelder-Mead.
+  std::size_t nm_restarts = 4;
+};
+
+[[nodiscard]] SearchResult exhaustive_search(const ParamSpace& space,
+                                             const Objective& fn);
+[[nodiscard]] SearchResult random_search(const ParamSpace& space,
+                                         const Objective& fn,
+                                         const SearchOptions& opts = {});
+[[nodiscard]] SearchResult simulated_annealing(const ParamSpace& space,
+                                               const Objective& fn,
+                                               const SearchOptions& opts =
+                                                   {});
+[[nodiscard]] SearchResult genetic_search(const ParamSpace& space,
+                                          const Objective& fn,
+                                          const SearchOptions& opts = {});
+[[nodiscard]] SearchResult nelder_mead_search(const ParamSpace& space,
+                                              const Objective& fn,
+                                              const SearchOptions& opts =
+                                                  {});
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,118 @@
+#include "tuner/space.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpustatic::tuner {
+
+ParamSpace::ParamSpace(std::vector<Dimension> dims)
+    : dims_(std::move(dims)) {
+  for (const Dimension& d : dims_)
+    if (d.values.empty())
+      throw ConfigError("dimension '" + d.name + "' has no values");
+}
+
+std::size_t ParamSpace::size() const {
+  std::size_t n = 1;
+  for (const Dimension& d : dims_) n *= d.values.size();
+  return n;
+}
+
+Point ParamSpace::point_at(std::size_t flat_index) const {
+  Point p(dims_.size(), 0);
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    p[d] = flat_index % dims_[d].values.size();
+    flat_index /= dims_[d].values.size();
+  }
+  return p;
+}
+
+std::size_t ParamSpace::flat_index(const Point& p) const {
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    idx = idx * dims_[d].values.size() + p[d];
+  return idx;
+}
+
+codegen::TuningParams ParamSpace::to_params(const Point& p) const {
+  codegen::TuningParams out;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const auto v = dims_[d].values[p[d]];
+    const std::string& name = dims_[d].name;
+    if (name == "TC") out.threads_per_block = static_cast<int>(v);
+    else if (name == "BC") out.block_count = static_cast<int>(v);
+    else if (name == "UIF") out.unroll = static_cast<int>(v);
+    else if (name == "PL") out.l1_pref_kb = static_cast<int>(v);
+    else if (name == "SC") out.stream_chunk = static_cast<int>(v);
+    else if (name == "CFLAGS") out.fast_math = v != 0;
+    else throw ConfigError("unknown tuning dimension '" + name + "'");
+  }
+  return out;
+}
+
+ParamSpace ParamSpace::restrict(const std::string& dim,
+                                const std::vector<std::int64_t>& allowed)
+    const {
+  std::vector<Dimension> dims = dims_;
+  bool found = false;
+  for (Dimension& d : dims) {
+    if (d.name != dim) continue;
+    found = true;
+    std::vector<std::int64_t> kept;
+    for (const std::int64_t v : d.values)
+      if (std::find(allowed.begin(), allowed.end(), v) != allowed.end())
+        kept.push_back(v);
+    if (kept.empty())
+      throw ConfigError("restriction empties dimension '" + dim + "'");
+    d.values = std::move(kept);
+  }
+  if (!found) throw LookupError("no dimension named '" + dim + "'");
+  return ParamSpace(std::move(dims));
+}
+
+const Dimension& ParamSpace::dimension(const std::string& name) const {
+  for (const Dimension& d : dims_)
+    if (d.name == name) return d;
+  throw LookupError("no dimension named '" + name + "'");
+}
+
+bool ParamSpace::has_dimension(const std::string& name) const {
+  for (const Dimension& d : dims_)
+    if (d.name == name) return true;
+  return false;
+}
+
+namespace {
+
+std::vector<std::int64_t> range_values(std::int64_t lo, std::int64_t hi_excl,
+                                       std::int64_t step) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v < hi_excl; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+ParamSpace paper_space() {
+  return ParamSpace({
+      {"TC", range_values(32, 1025, 32)},
+      {"BC", range_values(24, 193, 24)},
+      {"UIF", range_values(1, 6, 1)},
+      {"PL", {16, 48}},
+      {"CFLAGS", {0, 1}},
+  });
+}
+
+ParamSpace table3_space() {
+  return ParamSpace({
+      {"TC", range_values(32, 1025, 32)},
+      {"BC", range_values(24, 193, 24)},
+      {"UIF", range_values(1, 7, 1)},
+      {"PL", {16, 48}},
+      {"SC", range_values(1, 6, 1)},
+      {"CFLAGS", {0, 1}},
+  });
+}
+
+}  // namespace gpustatic::tuner

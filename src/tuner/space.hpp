@@ -1,0 +1,63 @@
+#pragma once
+
+// The tuning search space (Table III / Fig. 3): named discrete dimensions
+// whose cartesian product is the variant set. Points are index vectors;
+// to_params() maps a point to compiler TuningParams.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/params.hpp"
+
+namespace gpustatic::tuner {
+
+struct Dimension {
+  std::string name;                 ///< "TC", "BC", "UIF", "PL", "SC", "CFLAGS"
+  std::vector<std::int64_t> values;
+};
+
+using Point = std::vector<std::size_t>;  ///< one index per dimension
+
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<Dimension> dims);
+
+  [[nodiscard]] const std::vector<Dimension>& dimensions() const {
+    return dims_;
+  }
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  /// Total number of variants (product of dimension sizes).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Lexicographic enumeration: index -> point and back.
+  [[nodiscard]] Point point_at(std::size_t flat_index) const;
+  [[nodiscard]] std::size_t flat_index(const Point& p) const;
+
+  /// Map a point to compiler parameters. Unknown dimension names throw;
+  /// missing dimensions keep TuningParams defaults.
+  [[nodiscard]] codegen::TuningParams to_params(const Point& p) const;
+
+  /// Restrict one dimension to a subset of its values (the model-based
+  /// pruning primitive). Values not present are ignored; an empty
+  /// intersection throws.
+  [[nodiscard]] ParamSpace restrict(const std::string& dim,
+                                    const std::vector<std::int64_t>&
+                                        allowed) const;
+
+  [[nodiscard]] const Dimension& dimension(const std::string& name) const;
+  [[nodiscard]] bool has_dimension(const std::string& name) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+/// The paper's effective evaluation space (Sec. IV-A): TC x BC x UIF x
+/// PL x CFLAGS = 32 * 8 * 5 * 2 * 2 = 5120 variants (SC fixed at 1).
+[[nodiscard]] ParamSpace paper_space();
+
+/// The full Table III space including SC (stream/coarsening factor).
+[[nodiscard]] ParamSpace table3_space();
+
+}  // namespace gpustatic::tuner

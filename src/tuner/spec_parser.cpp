@@ -1,0 +1,170 @@
+#include "tuner/spec_parser.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text[pos]; }
+  char get() {
+    const char c = text[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
+      get();
+  }
+};
+
+[[noreturn]] void fail(const Cursor& c, const std::string& msg) {
+  throw ParseError(msg, c.line);
+}
+
+bool accept(Cursor& c, std::string_view word) {
+  c.skip_ws();
+  if (c.text.substr(c.pos, word.size()) != word) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) c.get();
+  return true;
+}
+
+void expect(Cursor& c, std::string_view word) {
+  if (!accept(c, word)) fail(c, "expected '" + std::string(word) + "'");
+}
+
+std::string read_ident(Cursor& c) {
+  c.skip_ws();
+  std::string out;
+  while (!c.eof() &&
+         (std::isalnum(static_cast<unsigned char>(c.peek())) ||
+          c.peek() == '_'))
+    out.push_back(c.get());
+  if (out.empty()) fail(c, "expected identifier");
+  return out;
+}
+
+std::int64_t read_int(Cursor& c) {
+  c.skip_ws();
+  std::string num;
+  if (c.peek() == '-') num.push_back(c.get());
+  while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+    num.push_back(c.get());
+  if (num.empty() || num == "-") fail(c, "expected integer");
+  return std::stoll(num);
+}
+
+std::string read_string_literal(Cursor& c) {
+  c.skip_ws();
+  const char quote = c.peek();
+  if (quote != '\'' && quote != '"') fail(c, "expected string literal");
+  c.get();
+  std::string out;
+  while (!c.eof() && c.peek() != quote) out.push_back(c.get());
+  if (c.eof()) fail(c, "unterminated string literal");
+  c.get();
+  return out;
+}
+
+std::vector<std::int64_t> read_value_list(Cursor& c) {
+  std::vector<std::int64_t> values;
+  c.skip_ws();
+  if (accept(c, "range")) {
+    expect(c, "(");
+    const std::int64_t lo = read_int(c);
+    expect(c, ",");
+    const std::int64_t hi = read_int(c);
+    std::int64_t step = 1;
+    if (accept(c, ",")) step = read_int(c);
+    expect(c, ")");
+    if (step <= 0) fail(c, "range step must be positive");
+    for (std::int64_t v = lo; v < hi; v += step) values.push_back(v);
+    return values;
+  }
+  expect(c, "[");
+  c.skip_ws();
+  if (c.peek() != ']') {
+    do {
+      c.skip_ws();
+      if (c.peek() == '\'' || c.peek() == '"') {
+        const std::string s = read_string_literal(c);
+        // CFLAGS strings: '' -> 0, '-use_fast_math' -> 1.
+        if (s.empty())
+          values.push_back(0);
+        else if (s == "-use_fast_math")
+          values.push_back(1);
+        else
+          fail(c, "unknown flag string '" + s + "'");
+      } else {
+        values.push_back(read_int(c));
+      }
+    } while (accept(c, ","));
+  }
+  expect(c, "]");
+  return values;
+}
+
+}  // namespace
+
+ParamSpace parse_perf_tuning(std::string_view text) {
+  Cursor c{text};
+  // Optional outer annotation wrapper.
+  if (accept(c, "/*@")) {
+    expect(c, "begin");
+    expect(c, "PerfTuning");
+    expect(c, "(");
+  }
+  expect(c, "def");
+  expect(c, "performance_params");
+  expect(c, "{");
+
+  std::vector<Dimension> dims;
+  for (;;) {
+    c.skip_ws();
+    if (accept(c, "}")) break;
+    expect(c, "param");
+    Dimension d;
+    d.name = read_ident(c);
+    expect(c, "[");
+    expect(c, "]");
+    expect(c, "=");
+    d.values = read_value_list(c);
+    expect(c, ";");
+    if (d.values.empty()) fail(c, "empty value list for " + d.name);
+    dims.push_back(std::move(d));
+  }
+  if (dims.empty()) fail(c, "no performance parameters declared");
+  return ParamSpace(std::move(dims));
+}
+
+std::string to_perf_tuning(const ParamSpace& space) {
+  std::string out = "/*@ begin PerfTuning (\n  def performance_params {\n";
+  for (const Dimension& d : space.dimensions()) {
+    out += "    param " + d.name + "[] = ";
+    if (d.name == "CFLAGS") {
+      std::vector<std::string> parts;
+      for (const std::int64_t v : d.values)
+        parts.push_back(v == 0 ? "''" : "'-use_fast_math'");
+      out += "[" + str::join(parts, ", ") + "]";
+    } else {
+      std::vector<std::string> parts;
+      for (const std::int64_t v : d.values)
+        parts.push_back(std::to_string(v));
+      out += "[" + str::join(parts, ", ") + "]";
+    }
+    out += ";\n";
+  }
+  out += "  }\n) @*/\n";
+  return out;
+}
+
+}  // namespace gpustatic::tuner

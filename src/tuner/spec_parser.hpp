@@ -1,0 +1,32 @@
+#pragma once
+
+// Parser for the Orio PerfTuning annotation syntax of Fig. 3:
+//
+//   /*@ begin PerfTuning (
+//     def performance_params {
+//       param TC[] = range(32,1025,32);
+//       param BC[] = range(24,193,24);
+//       param UIF[] = range(1,6);
+//       param PL[] = [16,48];
+//       param CFLAGS[] = ['', '-use_fast_math'];
+//     }
+//     ...
+//   ) @*/
+//
+// range(a,b[,s]) is half-open with step s (default 1), like Python.
+// List values may be integers or quoted strings; the strings '' and
+// '-use_fast_math' map to CFLAGS 0/1.
+
+#include <string_view>
+
+#include "tuner/space.hpp"
+
+namespace gpustatic::tuner {
+
+/// Parse a PerfTuning annotation into a ParamSpace. Throws ParseError.
+[[nodiscard]] ParamSpace parse_perf_tuning(std::string_view text);
+
+/// Render a ParamSpace back into Fig. 3 syntax (round-trip tested).
+[[nodiscard]] std::string to_perf_tuning(const ParamSpace& space);
+
+}  // namespace gpustatic::tuner

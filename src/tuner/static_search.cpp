@@ -1,0 +1,59 @@
+#include "tuner/static_search.hpp"
+
+#include <algorithm>
+
+#include "analysis/mix.hpp"
+
+namespace gpustatic::tuner {
+
+StaticPruneResult static_prune(const ParamSpace& space,
+                               const arch::GpuSpec& gpu,
+                               const dsl::WorkloadDesc& workload,
+                               codegen::TuningParams baseline) {
+  StaticPruneResult out;
+  out.full_size = space.size();
+
+  // 1. Static compile of the baseline variant.
+  const codegen::Compiler compiler(gpu, baseline);
+  const codegen::LoweredWorkload lw = compiler.compile(workload);
+
+  // 2. Occupancy suggestion over the space's own TC grid.
+  const Dimension& tc = space.dimension("TC");
+  std::vector<std::uint32_t> grid;
+  for (const std::int64_t v : tc.values)
+    grid.push_back(static_cast<std::uint32_t>(v));
+  out.suggestion = occupancy::suggest(gpu, lw.regs_per_thread(),
+                                      lw.smem_per_block(), grid);
+  for (const std::uint32_t t : out.suggestion.thread_candidates)
+    out.static_threads.push_back(t);
+
+  // 3. Intensity from the static instruction mix (summed over stages).
+  sim::Counts weighted;
+  for (const codegen::LoweredStage& st : lw.stages)
+    weighted += analysis::analyze_mix(st.kernel).weighted;
+  out.intensity = weighted.intensity();
+  out.prefers_upper = out.intensity > kIntensityThreshold;
+
+  // Rule: keep the upper or lower half of the suggested thread ladder.
+  // (With an odd count the middle value stays in both halves, so the
+  // rule never empties the candidate set.)
+  const std::size_t n = out.static_threads.size();
+  const std::size_t half = (n + 1) / 2;
+  if (out.prefers_upper) {
+    out.rule_threads.assign(out.static_threads.end() -
+                                static_cast<std::ptrdiff_t>(half),
+                            out.static_threads.end());
+  } else {
+    out.rule_threads.assign(out.static_threads.begin(),
+                            out.static_threads.begin() +
+                                static_cast<std::ptrdiff_t>(half));
+  }
+
+  out.static_space = space.restrict("TC", out.static_threads);
+  out.rule_space = space.restrict("TC", out.rule_threads);
+  out.static_size = out.static_space.size();
+  out.rule_size = out.rule_space.size();
+  return out;
+}
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,63 @@
+#pragma once
+
+// The paper's contribution applied to search (Sec. III-C): prune the
+// thread-count dimension with the static analyzer before any empirical
+// testing.
+//
+//  1. Compile a baseline variant (no runs needed; this is "generating and
+//     compiling the code versions ... without executing them").
+//  2. Occupancy suggestion (Table VII): restrict TC to the T* candidates
+//     that reach the best achievable occupancy.
+//  3. Rule-based heuristic: computational intensity from the static
+//     instruction mix; intensity > 4.0 keeps the upper half of T*,
+//     intensity <= 4.0 the lower half (the empirical rule of Sec. III-C).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+#include "occupancy/suggest.hpp"
+#include "tuner/space.hpp"
+
+namespace gpustatic::tuner {
+
+/// The paper's empirically chosen intensity threshold.
+inline constexpr double kIntensityThreshold = 4.0;
+
+struct StaticPruneResult {
+  occupancy::Suggestion suggestion;      ///< Table VII row
+  double intensity = 0;                  ///< from the static mix
+  bool prefers_upper = false;            ///< rule outcome
+  std::vector<std::int64_t> static_threads;  ///< T* within the space grid
+  std::vector<std::int64_t> rule_threads;    ///< after the rule heuristic
+  ParamSpace static_space;               ///< TC restricted to T*
+  ParamSpace rule_space;                 ///< TC restricted further
+  std::size_t full_size = 0;
+  std::size_t static_size = 0;
+  std::size_t rule_size = 0;
+
+  [[nodiscard]] double static_reduction() const {
+    return full_size == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(static_size) /
+                           static_cast<double>(full_size);
+  }
+  [[nodiscard]] double rule_reduction() const {
+    return full_size == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rule_size) /
+                           static_cast<double>(full_size);
+  }
+};
+
+/// Run the static analyzer over a workload and prune `space`'s TC
+/// dimension. `baseline` controls the compile used for the register
+/// footprint and mix (defaults are the paper's baseline variant).
+[[nodiscard]] StaticPruneResult static_prune(
+    const ParamSpace& space, const arch::GpuSpec& gpu,
+    const dsl::WorkloadDesc& workload,
+    codegen::TuningParams baseline = {});
+
+}  // namespace gpustatic::tuner

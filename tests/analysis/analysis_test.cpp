@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "analysis/divergence.hpp"
+#include "analysis/mix.hpp"
+#include "analysis/predictor.hpp"
+#include "codegen/compiler.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+codegen::LoweredWorkload compile(const std::string& name, std::int64_t n,
+                                 codegen::TuningParams p = {}) {
+  const codegen::Compiler c(arch::gpu("K20"), p);
+  return c.compile(kernels::make_workload(name, n));
+}
+
+}  // namespace
+
+TEST(Mix, IntensityOrderingMatchesPaperThreshold) {
+  // bicg < atax <= 4.0 < matvec2d, ex14fj (the rule's decision inputs).
+  auto intensity = [&](const char* k, std::int64_t n) {
+    const auto lw = compile(k, n);
+    sim::Counts w;
+    for (const auto& st : lw.stages)
+      w += analysis::analyze_mix(st.kernel).weighted;
+    return w.intensity();
+  };
+  const double i_atax = intensity("atax", 256);
+  const double i_bicg = intensity("bicg", 256);
+  const double i_ex = intensity("ex14fj", 32);
+  const double i_mv = intensity("matvec2d", 256);
+  EXPECT_LT(i_bicg, i_atax);
+  EXPECT_LE(i_atax, 4.0);
+  EXPECT_GT(i_mv, 4.0);
+  EXPECT_GT(i_ex, 4.0);
+}
+
+TEST(Mix, FlatCountsMatchKernelSize) {
+  const auto lw = compile("atax", 64);
+  const auto m = analysis::analyze_mix(lw.stages[0].kernel);
+  EXPECT_EQ(m.flat.total_issues,
+            static_cast<double>(lw.stages[0].kernel.instruction_count()));
+}
+
+TEST(Mix, WeightedEmphasizesLoops) {
+  const auto lw = compile("atax", 64);
+  const auto m = analysis::analyze_mix(lw.stages[0].kernel);
+  // The weighted FLOPS share must exceed the flat share: the dot-product
+  // body lives one loop level down.
+  const auto share = [](const sim::Counts& c) {
+    return c.by_class(arch::OpClass::FLOPS) /
+           std::max(1.0, c.total_issues);
+  };
+  EXPECT_GT(share(m.weighted), share(m.flat));
+}
+
+TEST(Mix, UnrollDetectionNormalizesWeights) {
+  // Weighted totals of a x4-unrolled loop should be close to the x1
+  // variant (both cover the same iterations), not 4x larger.
+  codegen::TuningParams p4;
+  p4.unroll = 4;
+  const auto lw1 = compile("atax", 64);
+  const auto lw4 = compile("atax", 64, p4);
+  const double t1 =
+      analysis::analyze_mix(lw1.stages[0].kernel).weighted.total_issues;
+  const double t4 =
+      analysis::analyze_mix(lw4.stages[0].kernel).weighted.total_issues;
+  EXPECT_LT(t4, t1 * 1.5);
+  EXPECT_GT(t4, t1 * 0.4);
+}
+
+TEST(Pipeline, SharesSumToOne) {
+  const auto lw = compile("ex14fj", 16);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  const auto u = analysis::pipeline_utilization(mix, arch::Family::Kepler);
+  double total = 0;
+  for (const double s : u.share) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pipeline, MemoryKernelHitsLoadStoreOrFpPipes) {
+  const auto lw = compile("bicg", 128);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  const auto u = analysis::pipeline_utilization(mix, arch::Family::Kepler);
+  const double ldst =
+      u.share[static_cast<std::size_t>(arch::OpCategory::LdStIns)];
+  EXPECT_GT(ldst, 0.2);  // memory-bound kernel keeps the LSU busy
+}
+
+TEST(Divergence, Ex14fjBoundaryBranchIsDivergent) {
+  const auto lw = compile("ex14fj", 8);
+  const auto rep = analysis::analyze_divergence(lw.stages[0].kernel);
+  EXPECT_GT(rep.divergent_count, 0u);
+  // The boundary test depends on tid -> lane-varying.
+  bool found_divergent_non_loop = false;
+  for (const auto& b : rep.branches)
+    if (b.divergent && !b.loop_back_edge) found_divergent_non_loop = true;
+  EXPECT_TRUE(found_divergent_non_loop);
+}
+
+TEST(Divergence, InnerDotLoopLatchIsUniformGridStrideLatchIsNot) {
+  const auto lw = compile("atax", 64);
+  const auto& kernel = lw.stages[0].kernel;
+  const auto rep = analysis::analyze_divergence(kernel);
+  bool saw_inner = false, saw_gs = false;
+  for (const auto& b : rep.branches) {
+    if (!b.loop_back_edge) continue;
+    const auto& branch =
+        kernel.blocks[static_cast<std::size_t>(b.block)].body.back();
+    if (branch.target == "gs_loop") {
+      // Grid-stride latch: the work-item base derives from %tid.x, so
+      // lanes can disagree on the final iteration -> lane-varying.
+      EXPECT_TRUE(b.divergent) << branch.target;
+      saw_gs = true;
+    } else {
+      // Inner dot-product latch: counter runs 0..N identically on every
+      // lane -> warp-uniform.
+      EXPECT_FALSE(b.divergent) << branch.target;
+      saw_inner = true;
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_gs);
+}
+
+TEST(Divergence, ReconvergencePointsRecorded) {
+  const auto lw = compile("ex14fj", 8);
+  const auto rep = analysis::analyze_divergence(lw.stages[0].kernel);
+  for (const auto& b : rep.branches) EXPECT_GE(b.reconvergence, 0);
+}
+
+TEST(Predictor, CostPositiveAndArchSensitive) {
+  const auto lw = compile("atax", 128);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  const double k = analysis::predicted_cost(mix, arch::Family::Kepler);
+  const double f = analysis::predicted_cost(mix, arch::Family::Fermi);
+  EXPECT_GT(k, 0);
+  EXPECT_GT(f, 0);
+  // Fermi's lower IPCs mean higher CPI weights -> higher cost score.
+  EXPECT_GT(f, k);
+}
+
+TEST(Predictor, FastMathLowersPredictedCost) {
+  codegen::TuningParams fm;
+  fm.fast_math = true;
+  const double precise =
+      analysis::predicted_cost(compile("ex14fj", 16), arch::Family::Kepler);
+  const double fast = analysis::predicted_cost(compile("ex14fj", 16, fm),
+                                               arch::Family::Kepler);
+  EXPECT_LT(fast, precise);
+}
+
+TEST(Predictor, SizeScalingIsLinear) {
+  const auto lw = compile("atax", 128);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  const double c1 = analysis::predicted_cost_at_size(
+      mix, arch::Family::Kepler, 128);
+  const double c2 = analysis::predicted_cost_at_size(
+      mix, arch::Family::Kepler, 256);
+  EXPECT_NEAR(c2, 2.0 * c1, c1 * 1e-9);
+}
+
+TEST(Predictor, ModelsDifferButAgreeOnSign) {
+  const auto lw = compile("matvec2d", 128);
+  const auto mix = analysis::analyze_mix(lw.stages[0].kernel);
+  const double a = analysis::predicted_cost(
+      mix, arch::Family::Kepler, analysis::CostModel::ClassCpi);
+  const double b = analysis::predicted_cost(
+      mix, arch::Family::Kepler, analysis::CostModel::CategoryCpi);
+  const double c = analysis::predicted_cost(
+      mix, arch::Family::Kepler, analysis::CostModel::Unweighted);
+  EXPECT_GT(a, 0);
+  EXPECT_GT(b, 0);
+  EXPECT_GT(c, 0);
+}

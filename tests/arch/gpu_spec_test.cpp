@@ -1,0 +1,91 @@
+#include "arch/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace arch = gpustatic::arch;
+using arch::Family;
+
+TEST(GpuSpec, FourGpusInPaperOrder) {
+  const auto gpus = arch::all_gpus();
+  ASSERT_EQ(gpus.size(), 4u);
+  EXPECT_EQ(gpus[0].name, "M2050");
+  EXPECT_EQ(gpus[1].name, "K20");
+  EXPECT_EQ(gpus[2].name, "M40");
+  EXPECT_EQ(gpus[3].name, "P100");
+}
+
+TEST(GpuSpec, TableOneFermiColumn) {
+  const auto& g = arch::gpu("M2050");
+  EXPECT_EQ(g.family, Family::Fermi);
+  EXPECT_DOUBLE_EQ(g.compute_capability, 2.0);
+  EXPECT_EQ(g.multiprocessors, 14u);
+  EXPECT_EQ(g.cuda_cores, 448u);
+  EXPECT_EQ(g.threads_per_mp, 1536u);
+  EXPECT_EQ(g.blocks_per_mp, 8u);
+  EXPECT_EQ(g.warps_per_mp, 48u);
+  EXPECT_EQ(g.regs_per_block, 32768u);
+  EXPECT_EQ(g.reg_alloc_unit, 64u);
+  EXPECT_EQ(g.regs_per_thread, 63u);
+}
+
+TEST(GpuSpec, TableOneKeplerColumn) {
+  const auto& g = arch::gpu("K20");
+  EXPECT_DOUBLE_EQ(g.compute_capability, 3.5);
+  EXPECT_EQ(g.multiprocessors, 13u);
+  EXPECT_EQ(g.cores_per_mp, 192u);
+  EXPECT_EQ(g.threads_per_mp, 2048u);
+  EXPECT_EQ(g.blocks_per_mp, 16u);
+  EXPECT_EQ(g.warps_per_mp, 64u);
+  EXPECT_EQ(g.regs_per_block, 65536u);
+  EXPECT_EQ(g.regs_per_thread, 255u);
+}
+
+TEST(GpuSpec, TableOneMaxwellPascalColumns) {
+  const auto& m = arch::gpu("M40");
+  EXPECT_DOUBLE_EQ(m.compute_capability, 5.2);
+  EXPECT_EQ(m.multiprocessors, 24u);
+  EXPECT_EQ(m.blocks_per_mp, 32u);
+  const auto& p = arch::gpu("P100");
+  EXPECT_DOUBLE_EQ(p.compute_capability, 6.0);
+  EXPECT_EQ(p.multiprocessors, 56u);
+  EXPECT_EQ(p.cuda_cores, 3584u);
+}
+
+TEST(GpuSpec, InvariantsHoldForAllGpus) {
+  for (const auto& g : arch::all_gpus()) {
+    EXPECT_EQ(g.warp_size, 32u) << g.name;
+    EXPECT_EQ(g.threads_per_warp, 32u) << g.name;
+    EXPECT_EQ(g.threads_per_block, 1024u) << g.name;
+    EXPECT_EQ(g.smem_per_block, 49152u) << g.name;
+    EXPECT_EQ(g.cores_per_mp * g.multiprocessors, g.cuda_cores) << g.name;
+    // Max warps * warp size == max threads per SM.
+    EXPECT_EQ(g.warps_per_mp * g.warp_size, g.threads_per_mp) << g.name;
+    // Shared memory per SM at least covers one full block allocation.
+    EXPECT_GE(g.smem_per_mp, 49152u) << g.name;
+  }
+}
+
+TEST(GpuSpec, LookupByFamilyNameCaseInsensitive) {
+  EXPECT_EQ(arch::gpu("kepler").name, "K20");
+  EXPECT_EQ(arch::gpu("FERMI").name, "M2050");
+  EXPECT_EQ(arch::gpu("p100").name, "P100");
+}
+
+TEST(GpuSpec, LookupByFamilyEnum) {
+  EXPECT_EQ(arch::gpu(Family::Maxwell).name, "M40");
+}
+
+TEST(GpuSpec, UnknownNameThrows) {
+  EXPECT_THROW(arch::gpu("V100"), gpustatic::LookupError);
+}
+
+TEST(GpuSpec, FamilyNames) {
+  EXPECT_EQ(arch::family_name(Family::Fermi), "Fermi");
+  EXPECT_EQ(arch::family_letter(Family::Pascal), "P");
+  EXPECT_EQ(arch::family_sm(Family::Kepler), "sm_35");
+  EXPECT_EQ(arch::family_from_name("maxwell"), Family::Maxwell);
+  EXPECT_EQ(arch::family_from_name("K"), Family::Kepler);
+  EXPECT_THROW(arch::family_from_name("volta"), gpustatic::LookupError);
+}

@@ -1,0 +1,87 @@
+#include "arch/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+namespace arch = gpustatic::arch;
+using arch::Family;
+using arch::OpCategory;
+using arch::OpClass;
+
+TEST(Throughput, TableTwoSpotChecks) {
+  // Table II, verbatim values.
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::FPIns32, Family::Fermi), 32);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::FPIns32, Family::Kepler), 192);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::FPIns32, Family::Maxwell), 128);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::FPIns32, Family::Pascal), 64);
+
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::FPIns64, Family::Maxwell), 4);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::LogSinCos, Family::Fermi), 4);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::IntAdd32, Family::Kepler), 160);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::Conv64, Family::Kepler), 8);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::Conv32, Family::Kepler), 128);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::LdStIns, Family::Maxwell), 64);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::MoveIns, Family::Pascal), 32);
+  EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::Regs, Family::Fermi), 16);
+}
+
+TEST(Throughput, SharedRowsShareNumbers) {
+  for (const Family f : {Family::Fermi, Family::Kepler, Family::Maxwell,
+                         Family::Pascal}) {
+    EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::TexIns, f),
+                     arch::ipc(OpCategory::LdStIns, f));
+    EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::SurfIns, f),
+                     arch::ipc(OpCategory::LdStIns, f));
+    EXPECT_DOUBLE_EQ(arch::ipc(OpCategory::PredIns, f),
+                     arch::ipc(OpCategory::CtrlIns, f));
+  }
+}
+
+TEST(Throughput, CpiIsReciprocalOfIpc) {
+  for (const OpCategory c : arch::all_categories()) {
+    for (const Family f : {Family::Fermi, Family::Kepler, Family::Maxwell,
+                           Family::Pascal}) {
+      EXPECT_DOUBLE_EQ(arch::cpi(c, f) * arch::ipc(c, f), 1.0);
+    }
+  }
+}
+
+TEST(Throughput, CategoryClassMapping) {
+  EXPECT_EQ(arch::op_class(OpCategory::FPIns32), OpClass::FLOPS);
+  EXPECT_EQ(arch::op_class(OpCategory::IntAdd32), OpClass::FLOPS);
+  EXPECT_EQ(arch::op_class(OpCategory::LogSinCos), OpClass::FLOPS);
+  EXPECT_EQ(arch::op_class(OpCategory::LdStIns), OpClass::MEM);
+  EXPECT_EQ(arch::op_class(OpCategory::TexIns), OpClass::MEM);
+  EXPECT_EQ(arch::op_class(OpCategory::CtrlIns), OpClass::CTRL);
+  EXPECT_EQ(arch::op_class(OpCategory::MoveIns), OpClass::CTRL);
+  EXPECT_EQ(arch::op_class(OpCategory::PredIns), OpClass::CTRL);
+  EXPECT_EQ(arch::op_class(OpCategory::Regs), OpClass::REG);
+}
+
+TEST(Throughput, AllCategoriesEnumerated) {
+  EXPECT_EQ(arch::all_categories().size(), arch::kNumOpCategories);
+}
+
+TEST(Throughput, AllIpcsPositive) {
+  for (const OpCategory c : arch::all_categories())
+    for (const Family f : {Family::Fermi, Family::Kepler, Family::Maxwell,
+                           Family::Pascal})
+      EXPECT_GT(arch::ipc(c, f), 0.0);
+}
+
+TEST(Throughput, ClassCpiUsesPrimaryCategory) {
+  EXPECT_DOUBLE_EQ(arch::class_cpi(OpClass::FLOPS, Family::Kepler),
+                   arch::cpi(OpCategory::FPIns32, Family::Kepler));
+  EXPECT_DOUBLE_EQ(arch::class_cpi(OpClass::MEM, Family::Fermi),
+                   arch::cpi(OpCategory::LdStIns, Family::Fermi));
+  EXPECT_DOUBLE_EQ(arch::class_cpi(OpClass::CTRL, Family::Pascal),
+                   arch::cpi(OpCategory::CtrlIns, Family::Pascal));
+  EXPECT_DOUBLE_EQ(arch::class_cpi(OpClass::REG, Family::Maxwell),
+                   arch::cpi(OpCategory::Regs, Family::Maxwell));
+}
+
+TEST(Throughput, NamesRoundTrip) {
+  EXPECT_EQ(arch::category_name(OpCategory::FPIns32), "FPIns32");
+  EXPECT_EQ(arch::category_name(OpCategory::Regs), "Regs");
+  EXPECT_EQ(arch::class_name(OpClass::FLOPS), "FLOPS");
+  EXPECT_EQ(arch::class_name(OpClass::REG), "REG");
+}

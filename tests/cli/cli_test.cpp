@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "common/error.hpp"
+
+using namespace gpustatic;  // NOLINT
+using cli::Options;
+
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  return cli::parse_args(std::vector<std::string>(args.begin(), args.end()));
+}
+
+std::string run(std::initializer_list<const char*> args,
+                int expect_code = 0) {
+  std::ostringstream out;
+  const int code = cli::run_command(parse(args), out);
+  EXPECT_EQ(code, expect_code);
+  return out.str();
+}
+
+}  // namespace
+
+// ---- argument parsing -------------------------------------------------------
+
+TEST(CliParse, ParsesCommandKernelAndFlags) {
+  const Options o = parse({"analyze", "atax", "-g", "P100", "-n", "256",
+                           "--tc", "512", "--fast-math", "--uif", "3"});
+  EXPECT_EQ(o.command, "analyze");
+  EXPECT_EQ(o.kernel, "atax");
+  EXPECT_EQ(o.gpu, "P100");
+  EXPECT_EQ(o.n, 256);
+  EXPECT_EQ(o.tc, 512);
+  EXPECT_EQ(o.uif, 3);
+  EXPECT_TRUE(o.fast_math);
+}
+
+TEST(CliParse, DefaultsAreSensible) {
+  const Options o = parse({"suggest", "bicg"});
+  EXPECT_EQ(o.gpu, "K20");
+  EXPECT_EQ(o.n, 0);
+  EXPECT_EQ(o.tc, 128);
+  EXPECT_EQ(o.method, "rule");
+  EXPECT_FALSE(o.fast_math);
+}
+
+TEST(CliParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse({}), Error);
+  EXPECT_THROW((void)parse({"analyze"}), Error);           // missing kernel
+  EXPECT_THROW((void)parse({"analyze", "--tc", "64"}), Error);
+  EXPECT_THROW((void)parse({"gpus", "--bogus"}), Error);   // unknown flag
+  EXPECT_THROW((void)parse({"tune", "atax", "--tc"}), Error);  // no value
+  EXPECT_THROW((void)parse({"tune", "atax", "--tc", "abc"}), Error);
+  EXPECT_THROW((void)parse({"tune", "atax", "--tc", "12x"}), Error);
+}
+
+TEST(CliParse, UnknownCommandFailsAtRun) {
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run_command(parse({"frobnicate"}), out), Error);
+}
+
+// ---- command smoke tests ------------------------------------------------------
+
+TEST(CliRun, GpusPrintsTableOne) {
+  const std::string out = run({"gpus"});
+  for (const char* name : {"M2050", "K20", "M40", "P100"})
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  const std::string out = run({"help"});
+  EXPECT_NE(out.find("usage: gpustatic"), std::string::npos);
+  EXPECT_NE(out.find("analyze"), std::string::npos);
+}
+
+TEST(CliRun, AnalyzeReportsStaticAnalysis) {
+  const std::string out = run({"analyze", "atax", "-n", "64"});
+  EXPECT_NE(out.find("Static analysis of 'atax'"), std::string::npos);
+  EXPECT_NE(out.find("intensity"), std::string::npos);
+  EXPECT_NE(out.find("occ"), std::string::npos);
+}
+
+TEST(CliRun, OccupancyRendersCalculatorPanels) {
+  const std::string out =
+      run({"occupancy", "-g", "M40", "--tc", "256", "--regs", "32"});
+  EXPECT_NE(out.find("Occupancy calculator for M40"), std::string::npos);
+  EXPECT_NE(out.find("Impact of varying block size"), std::string::npos);
+}
+
+TEST(CliRun, SuggestPrintsTableSevenRow) {
+  const std::string out = run({"suggest", "matvec2d", "-n", "128"});
+  EXPECT_NE(out.find("T* = {"), std::string::npos);
+  EXPECT_NE(out.find("rule (intensity"), std::string::npos);
+  EXPECT_NE(out.find("upper half"), std::string::npos);  // matvec2d > 4.0
+}
+
+TEST(CliRun, PredictPrintsScoreAndEstimate) {
+  const std::string out = run({"predict", "bicg", "-n", "64"});
+  EXPECT_NE(out.find("Eq. 6 static cost score"), std::string::npos);
+  EXPECT_NE(out.find("analytic time estimate"), std::string::npos);
+}
+
+TEST(CliRun, DisasmEmitsVirtualIsa) {
+  const std::string out = run({"disasm", "atax", "-n", "32"});
+  EXPECT_NE(out.find(".kernel"), std::string::npos);
+  EXPECT_NE(out.find("Used"), std::string::npos);  // ptxas-style info line
+}
+
+TEST(CliRun, ProfileReportsDynamicMetrics) {
+  const std::string out =
+      run({"profile", "atax", "-n", "48", "--tc", "64"});
+  EXPECT_NE(out.find("dynamic profile"), std::string::npos);
+  EXPECT_NE(out.find("reuse distance"), std::string::npos);
+}
+
+TEST(CliRun, TuneRuleBasedPrunesAndFindsBest) {
+  const std::string out = run({"tune", "atax", "-n", "64"});
+  EXPECT_NE(out.find("pruned"), std::string::npos);
+  EXPECT_NE(out.find("best TC="), std::string::npos);
+}
+
+TEST(CliRun, TuneHybridHonorsBudget) {
+  const std::string out = run(
+      {"tune", "atax", "-n", "64", "--method", "hybrid", "--budget", "4"});
+  EXPECT_NE(out.find("hybrid search (budget 4, 4 runs"), std::string::npos);
+}
+
+TEST(CliRun, TuneZeroBudgetHybridIsZeroRun) {
+  const std::string out = run(
+      {"tune", "atax", "-n", "64", "--method", "hybrid", "--budget", "0"});
+  EXPECT_NE(out.find("zero-run recommendation"), std::string::npos);
+}
+
+TEST(CliRun, TuneUnknownMethodFails) {
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"tune", "atax", "--method", "magic"}), out),
+               Error);
+}
+
+// ---- source-file kernels ---------------------------------------------------------
+
+TEST(CliRun, AnalyzesKernelFromSourceFile) {
+  const std::string path = ::testing::TempDir() + "cli_kernel_test.gk";
+  {
+    std::ofstream f(path);
+    f << "workload filedemo(N = 32);\n"
+         "array y[N] init zero;\n"
+         "stage s(t : N) {\n"
+         "  float a = 1.0;\n"
+         "  unroll for (j = 0; j < N; j++) { a += 1.0; }\n"
+         "  y[t] = a;\n"
+         "}\n";
+  }
+  const std::string out = run({"analyze", path.c_str()});
+  EXPECT_NE(out.find("filedemo"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, MissingSourceFileFails) {
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"analyze", "/nonexistent/kernel.gk"}), out),
+               Error);
+}
+
+TEST(CliRun, TuneHonorsPerfTuningSpecFile) {
+  const std::string path = ::testing::TempDir() + "cli_spec_test.orio";
+  {
+    std::ofstream f(path);
+    f << "/*@ begin PerfTuning (\n"
+         "  def performance_params {\n"
+         "    param TC[] = range(64,257,64);\n"
+         "    param BC[] = [24,96];\n"
+         "    param UIF[] = range(1,3);\n"
+         "    param PL[] = [48];\n"
+         "    param CFLAGS[] = [''];\n"
+         "  }\n"
+         ") @*/\n";
+  }
+  const std::string out = run(
+      {"tune", "atax", "-n", "64", "--spec", path.c_str()});
+  // 4 TCs x 2 BCs x 2 UIFs = 16 variants before pruning.
+  EXPECT_NE(out.find("of 16 variants"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, MissingSpecFileFails) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      (void)cli::run_command(
+          parse({"tune", "atax", "--spec", "/nonexistent.orio"}), out),
+      Error);
+}
+
+TEST(CliRun, ProfileReturnsNonZeroForUnlaunchableVariant) {
+  std::ostringstream out;
+  // TC=48 compiles but is not a warp multiple: the warp engine rejects it.
+  const int code = cli::run_command(
+      parse({"profile", "atax", "-n", "32", "--tc", "48"}), out);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.str().find("not launchable"), std::string::npos);
+}

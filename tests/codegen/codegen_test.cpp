@@ -1,0 +1,312 @@
+#include "codegen/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace kernels = gpustatic::kernels;
+namespace ptx = gpustatic::ptx;
+
+namespace {
+
+codegen::LoweredWorkload lower(const std::string& kernel, std::int64_t n,
+                               codegen::TuningParams p = {},
+                               const std::string& gpu = "K20") {
+  const codegen::Compiler c(arch::gpu(gpu), p);
+  return c.compile(kernels::make_workload(kernel, n));
+}
+
+/// Count instructions in a kernel matching a predicate.
+template <typename Pred>
+std::size_t count_if_instr(const ptx::Kernel& k, Pred pred) {
+  std::size_t n = 0;
+  k.for_each_instruction([&](const ptx::Instruction& i) {
+    if (pred(i)) ++n;
+  });
+  return n;
+}
+
+}  // namespace
+
+TEST(Codegen, AtaxProducesTwoStages) {
+  const auto lw = lower("atax", 32);
+  ASSERT_EQ(lw.stages.size(), 2u);
+  EXPECT_EQ(lw.stages[0].kernel.name, "atax_fwd");
+  EXPECT_EQ(lw.stages[1].kernel.name, "atax_bwd");
+}
+
+TEST(Codegen, AllKernelsCompileOnAllGpus) {
+  for (const auto& info : kernels::all_kernels()) {
+    for (const auto& gpu : arch::all_gpus()) {
+      const codegen::Compiler c(gpu, {});
+      const auto lw =
+          c.compile(kernels::make_workload(info.name, info.input_sizes[1]));
+      for (const auto& st : lw.stages) {
+        EXPECT_TRUE(st.kernel.finalized());
+        EXPECT_GT(st.kernel.instruction_count(), 0u);
+        EXPECT_EQ(st.block_freq.size(), st.kernel.blocks.size());
+        EXPECT_GT(st.demand.regs_per_thread, 0u);
+      }
+    }
+  }
+}
+
+TEST(Codegen, LaunchConfigMatchesParams) {
+  codegen::TuningParams p;
+  p.threads_per_block = 256;
+  p.block_count = 48;
+  const auto lw = lower("atax", 64, p);
+  for (const auto& st : lw.stages) {
+    EXPECT_EQ(st.launch.block_threads, 256u);
+    EXPECT_EQ(st.launch.grid_blocks, 48u);
+    EXPECT_EQ(st.launch.total_threads(), 256u * 48u);
+  }
+}
+
+TEST(Codegen, StrengthReductionHitsAtaxInnerLoop) {
+  const auto lw = lower("atax", 32);
+  const auto& k = lw.stages[0].kernel;
+  // The inner loop block must contain no CVT (no per-iteration address
+  // recomputation): stream pointers advance by IADD instead.
+  const std::int32_t loop_idx = 2;  // entry, gs_loop, Lj...
+  ASSERT_GE(static_cast<std::int32_t>(k.blocks.size()), 4);
+  const auto& loop = k.blocks[loop_idx];
+  std::size_t cvts = 0;
+  for (const auto& i : loop.body)
+    if (i.op == ptx::Opcode::CVT) ++cvts;
+  EXPECT_EQ(cvts, 0u) << ptx::to_string(k);
+}
+
+TEST(Codegen, MatvecInnerLoopRecomputesAddresses) {
+  const auto lw = lower("matvec2d", 128);
+  const auto& k = lw.stages[0].kernel;
+  // The non-affine cyclic index forces CVT+IMAD per load in the loop body.
+  bool found_loop_with_cvt = false;
+  for (const auto& b : k.blocks) {
+    if (b.label.rfind("Lk", 0) != 0) continue;
+    for (const auto& i : b.body)
+      if (i.op == ptx::Opcode::CVT) found_loop_with_cvt = true;
+  }
+  EXPECT_TRUE(found_loop_with_cvt);
+}
+
+TEST(Codegen, UnrollReducesDynamicBranchWork) {
+  // Static loop body instructions grow with UIF, but per-element loop
+  // overhead shrinks: check the unrolled body has UIF FMAs and one SETP.
+  codegen::TuningParams p4;
+  p4.unroll = 4;
+  const auto lw = lower("atax", 64, p4);
+  const auto& k = lw.stages[0].kernel;
+  for (const auto& b : k.blocks) {
+    if (b.label.rfind("Lj", 0) != 0 ||
+        b.label.find("end") != std::string::npos)
+      continue;
+    std::size_t fmas = 0, setps = 0;
+    for (const auto& i : b.body) {
+      if (i.op == ptx::Opcode::FFMA) ++fmas;
+      if (i.op == ptx::Opcode::SETP) ++setps;
+    }
+    EXPECT_EQ(fmas, 4u);
+    EXPECT_EQ(setps, 1u);
+    return;
+  }
+  FAIL() << "unrolled loop block not found";
+}
+
+TEST(Codegen, UnrollRaisesRegisterPressure) {
+  std::uint32_t prev = 0;
+  for (const int uif : {1, 2, 4, 6}) {
+    codegen::TuningParams p;
+    p.unroll = uif;
+    const auto lw = lower("atax", 64, p);
+    const std::uint32_t regs = lw.regs_per_thread();
+    EXPECT_GE(regs, prev) << "uif=" << uif;
+    prev = regs;
+  }
+  // UIF=6 must be meaningfully hungrier than UIF=1.
+  codegen::TuningParams p1, p6;
+  p6.unroll = 6;
+  EXPECT_GE(lower("atax", 64, p6).regs_per_thread(),
+            lower("atax", 64, p1).regs_per_thread() + 4);
+}
+
+TEST(Codegen, NonDividingUnrollEmitsRemainderLoop) {
+  codegen::TuningParams p5;
+  p5.unroll = 5;  // 64 % 5 != 0
+  const auto lw = lower("atax", 64, p5);
+  const auto& k = lw.stages[0].kernel;
+  bool has_rem = false;
+  for (const auto& b : k.blocks)
+    if (b.label.find("_rem") != std::string::npos) has_rem = true;
+  EXPECT_TRUE(has_rem);
+}
+
+TEST(Codegen, DividingUnrollHasNoRemainderLoop) {
+  codegen::TuningParams p4;
+  p4.unroll = 4;  // 64 % 4 == 0
+  const auto lw = lower("atax", 64, p4);
+  for (const auto& b : lw.stages[0].kernel.blocks)
+    EXPECT_EQ(b.label.find("_rem"), std::string::npos) << b.label;
+}
+
+TEST(Codegen, FastMathShortensSpecialFunctions) {
+  codegen::TuningParams fast;
+  fast.fast_math = true;
+  const auto precise = lower("ex14fj", 8);
+  const auto quick = lower("ex14fj", 8, fast);
+  // exp() lowers to fewer instructions under fast-math.
+  EXPECT_LT(quick.instruction_count(), precise.instruction_count());
+}
+
+TEST(Codegen, FastMathSplitsAccumulators) {
+  codegen::TuningParams p;
+  p.unroll = 4;
+  p.fast_math = true;
+  const auto split = lower("atax", 64, p);
+  codegen::TuningParams q;
+  q.unroll = 4;
+  const auto chained = lower("atax", 64, q);
+  // Partial-sum registers push demand up vs. the single-accumulator chain.
+  EXPECT_GT(split.regs_per_thread(), chained.regs_per_thread());
+}
+
+TEST(Codegen, Ex14fjUsesCoarseningForUnroll) {
+  // ex14fj has no serial loop; UIF multiplies the grid-stride coarsening,
+  // visible as several boundary-check predicate groups per iteration.
+  codegen::TuningParams p;
+  p.unroll = 3;
+  const auto lw = lower("ex14fj", 8, p);
+  const auto& k = lw.stages[0].kernel;
+  // Three copies of the i==0 boundary check -> >= 3 guarded skip branches.
+  std::size_t guards = 0;
+  for (const auto& b : k.blocks)
+    if (b.label.rfind("gs_skip", 0) == 0 ||
+        b.label.rfind("gs_copy", 0) == 0)
+      ++guards;
+  EXPECT_GE(guards, 4u);  // 2 per extra copy (guard + skip), 2 extras
+}
+
+TEST(Codegen, CoalescingHintsAreDirectional) {
+  const auto lw = lower("atax", 32);
+  // Stage 1 (row walk): A-load lane stride = 4*N, x uniform.
+  const auto& fwd = lw.stages[0].kernel;
+  bool saw_strided = false, saw_uniform = false;
+  fwd.for_each_instruction([&](const ptx::Instruction& i) {
+    if (i.op != ptx::Opcode::LD || i.space != ptx::MemSpace::Global) return;
+    if (i.access.lane_stride_bytes == 32 * 4) saw_strided = true;
+    if (i.access.uniform) saw_uniform = true;
+  });
+  EXPECT_TRUE(saw_strided);
+  EXPECT_TRUE(saw_uniform);
+
+  // Stage 2 (column walk): A-load lane stride = 4 (coalesced), serial
+  // stride = 4*N.
+  const auto& bwd = lw.stages[1].kernel;
+  bool saw_coalesced = false;
+  bwd.for_each_instruction([&](const ptx::Instruction& i) {
+    if (i.op != ptx::Opcode::LD || i.space != ptx::MemSpace::Global) return;
+    if (i.access.lane_stride_bytes == 4 &&
+        i.access.serial_stride_bytes == 32 * 4)
+      saw_coalesced = true;
+  });
+  EXPECT_TRUE(saw_coalesced);
+}
+
+TEST(Codegen, StreamChunkScalesLaneStride) {
+  codegen::TuningParams p;
+  p.stream_chunk = 4;
+  const auto lw = lower("atax", 64, p);
+  bool saw = false;
+  lw.stages[0].kernel.for_each_instruction([&](const ptx::Instruction& i) {
+    if (i.op == ptx::Opcode::LD && i.space == ptx::MemSpace::Global &&
+        i.access.lane_stride_bytes == 4 * 64 * 4)
+      saw = true;  // lane stride multiplied by SC
+  });
+  EXPECT_TRUE(saw);
+}
+
+TEST(Codegen, BicgReloadsRInsideLoop) {
+  const auto lw = lower("bicg", 32);
+  const auto& k = lw.stages[0].kernel;
+  // The inner loop must contain 3 loads (A, p, r) and one atomic.
+  for (const auto& b : k.blocks) {
+    if (b.label.rfind("Lj", 0) != 0 ||
+        b.label.find("end") != std::string::npos)
+      continue;
+    const auto loads = count_if_instr(k, [](const ptx::Instruction&) {
+      return false;
+    });
+    (void)loads;
+    std::size_t ld = 0, atom = 0;
+    for (const auto& i : b.body) {
+      if (i.op == ptx::Opcode::LD && i.space == ptx::MemSpace::Global) ++ld;
+      if (i.op == ptx::Opcode::ATOM_ADD) ++atom;
+    }
+    EXPECT_EQ(ld, 3u);
+    EXPECT_EQ(atom, 1u);
+    return;
+  }
+  FAIL() << "bicg loop block not found";
+}
+
+TEST(Codegen, ParamArraysOnlyIncludeUsedBuffers) {
+  const auto lw = lower("atax", 32);
+  // Stage 1 uses A, x, tmp (not y).
+  const auto& pa = lw.stages[0].param_arrays;
+  ASSERT_EQ(pa.size(), 4u);  // 3 arrays + n_items
+  EXPECT_EQ(pa[0], "A");
+  EXPECT_EQ(pa[1], "x");
+  EXPECT_EQ(pa[2], "tmp");
+  EXPECT_EQ(pa[3], "");  // scalar
+}
+
+TEST(Codegen, BlockFrequenciesScaleWithLaunch) {
+  // Twice the threads -> half the per-thread loop frequency.
+  codegen::TuningParams small, big;
+  small.threads_per_block = 64;
+  small.block_count = 8;
+  big.threads_per_block = 128;
+  big.block_count = 8;
+  const auto lw_small = lower("atax", 512, small);
+  const auto lw_big = lower("atax", 512, big);
+  const double f_small = lw_small.stages[0].block_freq[1];
+  const double f_big = lw_big.stages[0].block_freq[1];
+  EXPECT_NEAR(f_small, 2.0 * f_big, 1e-9);
+}
+
+TEST(Codegen, InvalidParamsThrow) {
+  codegen::TuningParams p;
+  p.threads_per_block = 2048;  // above T^cc_B
+  EXPECT_THROW(codegen::Compiler(arch::gpu("K20"), p),
+               gpustatic::ConfigError);
+  codegen::TuningParams q;
+  q.unroll = 0;
+  EXPECT_THROW(codegen::Compiler(arch::gpu("K20"), q),
+               gpustatic::ConfigError);
+}
+
+TEST(Codegen, CompileInfoMentionsRegisters) {
+  const auto lw = lower("atax", 32);
+  const std::string info = codegen::compile_info(lw.stages[0]);
+  EXPECT_NE(info.find("registers"), std::string::npos);
+  EXPECT_NE(info.find("atax_fwd"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedKernelsRoundTripThroughAssembly) {
+  for (const auto& info : kernels::all_kernels()) {
+    const auto lw = lower(std::string(info.name), info.input_sizes.front());
+    for (const auto& st : lw.stages) {
+      const std::string text = ptx::to_string(st.kernel);
+      // Re-parse and re-print: identical text proves a lossless encoding
+      // of the generated program.
+      const auto parsed = gpustatic::ptx::parse_kernel(text);
+      EXPECT_EQ(ptx::to_string(parsed), text) << info.name;
+    }
+  }
+}

@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using gpustatic::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroBoundYieldsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(42);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng r(42);
+  EXPECT_EQ(r.range(5, 5), 5);
+  EXPECT_EQ(r.range(9, 3), 9);  // hi < lo clamps to lo
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsAboutHalf) {
+  Rng r(1234);
+  double s = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(2024);
+  const int n = 200000;
+  double s = 0, s2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(77);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(77);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[i] = i;
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);
+}

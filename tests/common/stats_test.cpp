@@ -1,0 +1,148 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace st = gpustatic::stats;
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(st::mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(st::mean({}), 0.0);
+}
+
+TEST(Stats, StdDevSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev with n-1 denominator.
+  EXPECT_NEAR(st::stddev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, StdDevOfSingletonIsZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(st::stddev(xs), 0.0);
+}
+
+TEST(Stats, ModePicksMostFrequent) {
+  const std::vector<double> xs = {1, 2, 2, 3, 3, 3, 4};
+  EXPECT_DOUBLE_EQ(st::mode(xs), 3.0);
+}
+
+TEST(Stats, ModeTieBreaksToSmallest) {
+  const std::vector<double> xs = {5, 5, 2, 2, 9};
+  EXPECT_DOUBLE_EQ(st::mode(xs), 2.0);
+}
+
+TEST(Stats, PercentileMatchesNumpyConvention) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 25), 1.75);
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 75), 3.25);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(st::percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> xs = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(st::median(xs), 5.0);
+}
+
+TEST(Stats, MeanAbsoluteError) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(st::mean_absolute_error(a, b), 1.0);
+}
+
+TEST(Stats, SumSquaredError) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {3, 0};
+  EXPECT_DOUBLE_EQ(st::sum_squared_error(a, b), 8.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {10, 20, 30, 40};
+  EXPECT_NEAR(st::pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {8, 6, 4, 2};
+  EXPECT_NEAR(st::pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(st::pearson(a, b), 0.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 4, 9, 16, 25};  // monotone in a
+  EXPECT_NEAR(st::spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, RanksWithTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const auto r = st::ranks(xs);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, Normalize01) {
+  const std::vector<double> xs = {10, 20, 30};
+  const auto n = st::normalize01(xs);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 1.0);
+}
+
+TEST(Stats, Normalize01ConstantMapsToZero) {
+  const std::vector<double> xs = {7, 7, 7};
+  const auto n = st::normalize01(xs);
+  for (double v : n) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Stats, HistogramBinningAndClamping) {
+  const std::vector<double> xs = {-5, 0, 1, 2, 3, 9, 100};
+  const auto h = st::histogram(xs, 0, 10, 5);
+  ASSERT_EQ(h.counts.size(), 5u);
+  // bins: [0,2) [2,4) [4,6) [6,8) [8,10]; -5 clamps to bin 0, 100 to bin 4.
+  EXPECT_EQ(h.counts[0], 3u);  // -5, 0, 1
+  EXPECT_EQ(h.counts[1], 2u);  // 2, 3
+  EXPECT_EQ(h.counts[2], 0u);
+  EXPECT_EQ(h.counts[3], 0u);
+  EXPECT_EQ(h.counts[4], 2u);  // 9, 100
+  EXPECT_EQ(h.max_count(), 3u);
+}
+
+TEST(Stats, HistogramBinCenter) {
+  const auto h = st::histogram({}, 0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  st::Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), st::mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stddev(), st::stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}

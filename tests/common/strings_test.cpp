@@ -1,0 +1,76 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace s = gpustatic::str;
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(s::trim("  hello \t\n"), "hello");
+  EXPECT_EQ(s::trim(""), "");
+  EXPECT_EQ(s::trim("   "), "");
+  EXPECT_EQ(s::trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = s::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = s::split_ws("  foo   bar\tbaz \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(s::starts_with("ld.global.f32", "ld."));
+  EXPECT_FALSE(s::starts_with("ld", "ld."));
+  EXPECT_TRUE(s::ends_with("kernel.ptx", ".ptx"));
+  EXPECT_FALSE(s::ends_with("ptx", ".ptx"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(s::to_lower("KePlEr"), "kepler");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(s::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(s::format_double(2.0, 2), "2.00");
+}
+
+TEST(Strings, FormatTrimmed) {
+  EXPECT_EQ(s::format_trimmed(1.50, 2), "1.5");
+  EXPECT_EQ(s::format_trimmed(2.00, 2), "2");
+  EXPECT_EQ(s::format_trimmed(0.25, 2), "0.25");
+}
+
+TEST(Strings, FormatGrouped) {
+  EXPECT_EQ(s::format_grouped(0), "0");
+  EXPECT_EQ(s::format_grouped(999), "999");
+  EXPECT_EQ(s::format_grouped(1000), "1,000");
+  EXPECT_EQ(s::format_grouped(4141130), "4,141,130");
+  EXPECT_EQ(s::format_grouped(-1234567), "-1,234,567");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(s::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(s::join({}, ","), "");
+  EXPECT_EQ(s::join({"one"}, ","), "one");
+}
+
+TEST(Strings, PrintfStyleFormat) {
+  EXPECT_EQ(s::format("plain"), "plain");
+  EXPECT_EQ(s::format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(s::format("%.3f", 2.0 / 3.0), "0.667");
+  EXPECT_EQ(s::format("%5u|", 7u), "    7|");
+  // Long outputs exceed any small-buffer fast path.
+  const std::string big = s::format("%0512d", 1);
+  EXPECT_EQ(big.size(), 512u);
+  EXPECT_EQ(big.back(), '1');
+}

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+using gpustatic::TextTable;
+using gpustatic::ascii_bar;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Kernel", "occ"});
+  t.add_row({"atax", "0.93"});
+  t.add_row({"bicg", "1.00"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Kernel"), std::string::npos);
+  EXPECT_NE(out.find("atax"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string out = t.render();
+  // Row renders with empty cells, no crash, 3 separators.
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "100"});
+  const std::string out = t.render();
+  // Every line has equal length (fixed-width table).
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    const std::size_t len = end - start;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"h"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + inserted = 4 dashes lines
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiBar, ProportionalWidth) {
+  EXPECT_EQ(ascii_bar(10, 10, 20).size(), 20u);
+  EXPECT_EQ(ascii_bar(5, 10, 20).size(), 10u);
+  EXPECT_EQ(ascii_bar(0, 10, 20), "");
+  EXPECT_EQ(ascii_bar(5, 0, 20), "");
+}
+
+TEST(AsciiBar, ClampsOverflow) {
+  EXPECT_EQ(ascii_bar(100, 10, 8).size(), 8u);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "core/static_analyzer.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+TEST(StaticAnalyzer, ReportIsComplete) {
+  const core::StaticAnalyzer analyzer(arch::gpu("K20"));
+  const auto rep = analyzer.analyze(kernels::make_atax(128));
+  EXPECT_EQ(rep.workload, "atax");
+  EXPECT_EQ(rep.gpu, "K20");
+  EXPECT_GT(rep.regs_per_thread, 0u);
+  EXPECT_GT(rep.static_instructions, 0u);
+  EXPECT_GT(rep.intensity, 0.0);
+  EXPECT_FALSE(rep.suggestion.thread_candidates.empty());
+  EXPECT_FALSE(rep.rule_threads.empty());
+  EXPECT_GT(rep.predicted_cost, 0.0);
+}
+
+TEST(StaticAnalyzer, RuleThreadsAreHalfOfSuggestion) {
+  const core::StaticAnalyzer analyzer(arch::gpu("K20"));
+  const auto rep = analyzer.analyze(kernels::make_ex14fj(16));
+  EXPECT_TRUE(rep.prefers_upper);
+  EXPECT_EQ(rep.rule_threads.size(),
+            (rep.suggestion.thread_candidates.size() + 1) / 2);
+  // Upper half: the last rule thread equals the last suggestion.
+  EXPECT_EQ(rep.rule_threads.back(),
+            rep.suggestion.thread_candidates.back());
+}
+
+TEST(StaticAnalyzer, TextReportMentionsKeyFields) {
+  const core::StaticAnalyzer analyzer(arch::gpu("M40"));
+  const auto rep = analyzer.analyze(kernels::make_bicg(64));
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("bicg"), std::string::npos);
+  EXPECT_NE(text.find("intensity"), std::string::npos);
+  EXPECT_NE(text.find("T*="), std::string::npos);
+  EXPECT_NE(text.find("lower thread range"), std::string::npos);
+}
+
+TEST(TuningSession, StaticReductionMatchesPaperOnKepler) {
+  core::TuningSession session(kernels::make_atax(128), arch::gpu("K20"));
+  const auto st = session.static_pruned();
+  const auto rb = session.rule_based();
+  EXPECT_NEAR(st.space_reduction(), 0.875, 1e-9);
+  EXPECT_NEAR(rb.space_reduction(), 0.9375, 1e-9);
+  EXPECT_LE(rb.search.best_time * 0.999, st.search.best_time * 1.5);
+}
+
+TEST(TuningSession, PrunedSearchNearExhaustive) {
+  core::TuningSession session(kernels::make_ex14fj(16), arch::gpu("K20"));
+  const auto ex = session.exhaustive();
+  const auto rb = session.rule_based();
+  ASSERT_GT(ex.search.best_time, 0);
+  // Compute-bound kernel: upper thread range retains the optimum basin.
+  EXPECT_LT(rb.search.best_time, ex.search.best_time * 1.10);
+  EXPECT_LT(rb.search.distinct_evaluations,
+            ex.search.distinct_evaluations / 10);
+}
+
+TEST(TuningSession, BudgetedStrategiesRun) {
+  core::TuningSession session(kernels::make_matvec2d(128),
+                              arch::gpu("M40"));
+  tuner::SearchOptions o;
+  o.budget = 60;
+  for (const auto& outcome :
+       {session.random(o), session.annealing(o), session.genetic(o),
+        session.simplex(o)}) {
+    EXPECT_LE(outcome.search.distinct_evaluations, 60u);
+    EXPECT_TRUE(std::isfinite(outcome.search.best_time));
+  }
+}
+
+TEST(TuningSession, PruneIsCached) {
+  core::TuningSession session(kernels::make_atax(64), arch::gpu("P100"));
+  const auto& a = session.prune();
+  const auto& b = session.prune();
+  EXPECT_EQ(&a, &b);
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsl/ast.hpp"
+#include "dsl/linear.hpp"
+#include "dsl/printer.hpp"
+
+using namespace gpustatic::dsl;  // NOLINT
+
+TEST(DslEval, ArithmeticAndPrecedence) {
+  // (3 + t*4) with t=5 -> 23
+  const auto e = iadd(iconst(3), imul(ivar("t"), iconst(4)));
+  EXPECT_EQ(evaluate(e, {{"t", 5}}), 23);
+}
+
+TEST(DslEval, DivModMinMax) {
+  const auto env = std::map<std::string, std::int64_t>{{"t", 37}};
+  EXPECT_EQ(evaluate(idiv(ivar("t"), 8), env), 4);
+  EXPECT_EQ(evaluate(imod(ivar("t"), 8), env), 5);
+  EXPECT_EQ(evaluate(ibin(IntOp::Min, ivar("t"), iconst(10)), env), 10);
+  EXPECT_EQ(evaluate(ibin(IntOp::Max, ivar("t"), iconst(10)), env), 37);
+}
+
+TEST(DslEval, UnboundVariableThrows) {
+  EXPECT_THROW((void)evaluate(ivar("zz"), {}), gpustatic::LookupError);
+}
+
+TEST(DslEval, DivisionByZeroThrows) {
+  EXPECT_THROW((void)evaluate(idiv(iconst(4), 0), {}), gpustatic::Error);
+}
+
+TEST(DslEval, Conditions) {
+  const auto c =
+      cor(ccmp(CmpKind::EQ, ivar("i"), iconst(0)),
+          ccmp(CmpKind::EQ, ivar("i"), iconst(7)));
+  EXPECT_TRUE(evaluate(c, {{"i", 0}}));
+  EXPECT_TRUE(evaluate(c, {{"i", 7}}));
+  EXPECT_FALSE(evaluate(c, {{"i", 3}}));
+  EXPECT_TRUE(evaluate(cnot(c), {{"i", 3}}));
+  EXPECT_FALSE(
+      evaluate(cand(c, ccmp(CmpKind::GT, ivar("i"), iconst(5))), {{"i", 0}}));
+}
+
+TEST(DslSubstitute, ReplacesAllOccurrences) {
+  const auto e = iadd(ivar("j"), imul(ivar("j"), iconst(2)));
+  const auto s = substitute(e, "j", iconst(10));
+  EXPECT_EQ(evaluate(s, {}), 30);
+}
+
+TEST(DslSubstitute, SharesUntouchedSubtrees) {
+  const auto e = iadd(ivar("i"), ivar("j"));
+  const auto s = substitute(e, "zz", iconst(0));
+  EXPECT_EQ(s, e);  // pointer-equal: nothing replaced
+}
+
+TEST(DslLinearize, AffineForms) {
+  // i*32 + j  ->  {i:32, j:1}, const 0
+  const auto e = iadd(imul(ivar("i"), iconst(32)), ivar("j"));
+  const auto lf = linearize(e);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_EQ(lf->coeff("i"), 32);
+  EXPECT_EQ(lf->coeff("j"), 1);
+  EXPECT_EQ(lf->coeff("zz"), 0);
+  EXPECT_EQ(lf->constant, 0);
+}
+
+TEST(DslLinearize, ConstantsFold) {
+  const auto e = iadd(imul(iconst(3), iconst(4)), iconst(5));
+  const auto lf = linearize(e);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_TRUE(lf->is_constant());
+  EXPECT_EQ(lf->constant, 17);
+}
+
+TEST(DslLinearize, SubtractionCancelsCoefficients) {
+  const auto e = isub(imul(ivar("i"), iconst(4)), imul(ivar("i"), iconst(4)));
+  const auto lf = linearize(e);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_TRUE(lf->is_constant());
+}
+
+TEST(DslLinearize, NonAffineReturnsNullopt) {
+  EXPECT_FALSE(linearize(imul(ivar("i"), ivar("j"))).has_value());
+  EXPECT_FALSE(linearize(imod(ivar("i"), 8)).has_value());
+  EXPECT_FALSE(linearize(idiv(ivar("i"), 4)).has_value());
+  EXPECT_FALSE(
+      linearize(ibin(IntOp::Min, ivar("i"), iconst(3))).has_value());
+}
+
+TEST(DslLinearize, ConstDivModFold) {
+  EXPECT_EQ(linearize(idiv(iconst(37), 8))->constant, 4);
+  EXPECT_EQ(linearize(imod(iconst(37), 8))->constant, 5);
+}
+
+TEST(DslPrinter, ExpressionsRenderReadably) {
+  const auto e = iadd(imul(ivar("i"), iconst(32)), ivar("j"));
+  EXPECT_EQ(to_string(e), "((i * 32) + j)");
+  const auto f = fadd(fload("A", e), fconst(1.5));
+  EXPECT_EQ(to_string(f), "(A[((i * 32) + j)] + 1.5f)");
+}
+
+TEST(DslPrinter, StatementsRenderWithStructure) {
+  const auto body = serial_for(
+      "j", 0, 32,
+      accum("acc", FloatBinOp::Add, fmul(fload("A", ivar("j")),
+                                         fload("x", ivar("j")))));
+  const std::string out = to_string(body);
+  EXPECT_NE(out.find("for (int j = 0; j < 32; ++j)"), std::string::npos);
+  EXPECT_NE(out.find("unrollable"), std::string::npos);
+  EXPECT_NE(out.find("acc = acc + "), std::string::npos);
+}
+
+TEST(DslWorkload, ArrayLookup) {
+  WorkloadDesc wl;
+  wl.name = "w";
+  wl.arrays = {{"A", 64, ArrayInit::Ramp}};
+  EXPECT_EQ(wl.array("A").length, 64);
+  EXPECT_TRUE(wl.has_array("A"));
+  EXPECT_FALSE(wl.has_array("B"));
+  EXPECT_THROW((void)wl.array("B"), gpustatic::LookupError);
+}
+
+TEST(DslIf, CarriesBranchProbability) {
+  const auto s = if_then(ccmp(CmpKind::LT, ivar("i"), iconst(1)),
+                         store("F", ivar("i"), fconst(0)), nullptr, 0.25);
+  EXPECT_DOUBLE_EQ(s->then_prob, 0.25);
+}

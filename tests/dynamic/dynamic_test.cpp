@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dynamic/model.hpp"
+#include "dynamic/profile.hpp"
+#include "dynamic/report.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+dynamic::WorkloadProfile profile(const dsl::WorkloadDesc& wl,
+                                 const codegen::TuningParams& p,
+                                 const std::string& gpu_name = "K20") {
+  const auto& gpu = arch::gpu(gpu_name);
+  const codegen::Compiler c(gpu, p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+  return dynamic::profile_workload(lw, wl, machine);
+}
+
+}  // namespace
+
+// ---- profile consistency against the simulator's own counters ----------
+
+TEST(Profile, IssueTotalsMatchSimulatorCounts) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+  ASSERT_EQ(wp.stages.size(), 2u);  // atax is two stages
+
+  for (const auto& s : wp.stages) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.issues),
+                     s.timing.counts.total_issues);
+    double cat_sum = 0;
+    for (const double c : s.timing.counts.per_category) cat_sum += c;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.issues), cat_sum);
+  }
+}
+
+TEST(Profile, PerInstructionCountsSumToBlockCounts) {
+  const auto wl = kernels::make_bicg(32);
+  codegen::TuningParams p;
+  p.threads_per_block = 64;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  for (const auto& s : wp.stages) {
+    ASSERT_EQ(s.blocks.size(), s.insts.size());
+    std::uint64_t stage_issues = 0;
+    for (std::size_t b = 0; b < s.blocks.size(); ++b) {
+      std::uint64_t block_issues = 0;
+      for (const auto& ip : s.insts[b]) block_issues += ip.issues;
+      EXPECT_EQ(block_issues, s.blocks[b].issues) << "BB" << b;
+      EXPECT_LE(s.blocks[b].entries, s.blocks[b].issues + 1);
+      stage_issues += block_issues;
+    }
+    EXPECT_EQ(stage_issues, s.issues);
+  }
+}
+
+TEST(Profile, EveryExecutedBlockBeginsWithAnEntry) {
+  const auto wl = kernels::make_matvec2d(64);
+  codegen::TuningParams p;
+  p.threads_per_block = 96;
+  p.block_count = 48;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+  for (const auto& s : wp.stages)
+    for (const auto& blk : s.blocks)
+      if (blk.issues > 0) EXPECT_GT(blk.entries, 0u);
+}
+
+TEST(Profile, MemoryHitLevelsPartitionTransactions) {
+  const auto wl = kernels::make_atax(64);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  bool saw_memory = false;
+  for (const auto& s : wp.stages) {
+    for (const auto& m : s.memory) {
+      saw_memory = true;
+      EXPECT_EQ(m.l1_hits + m.l2_hits + m.dram, m.transactions)
+          << "BB" << m.bb << ":" << m.inst;
+      EXPECT_GE(m.lanes, m.ops);           // >=1 lane per op
+      EXPECT_LE(m.lanes, 32 * m.ops);      // <=32 lanes per op
+      EXPECT_GE(m.transactions, m.ops);    // >=1 line per op
+      EXPECT_LE(m.transactions, m.lanes);  // <=1 line per lane (f32)
+      EXPECT_GE(m.transactions_per_op(), 1.0);
+      EXPECT_LE(m.transactions_per_op(), 32.0);
+    }
+  }
+  EXPECT_TRUE(saw_memory);
+}
+
+TEST(Profile, ReuseStreamSeesEveryTransaction) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 64;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  for (const auto& s : wp.stages) {
+    std::uint64_t txns = 0;
+    for (const auto& m : s.memory) txns += m.transactions;
+    EXPECT_EQ(s.l2_stream.accesses(), txns);
+
+    std::uint64_t array_lines = 0;
+    for (const auto& a : s.arrays)
+      array_lines += a.load_lines + a.store_lines;
+    EXPECT_EQ(array_lines, txns);  // every line maps to a known array
+  }
+}
+
+TEST(Profile, ArrayTrafficMatchesKernelDataflow) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 64;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  // Stage 1 (tmp = A x) must read A and write tmp; it never touches y.
+  const auto& s0 = wp.stages[0];
+  auto traffic = [&](const std::string& name) {
+    for (const auto& a : s0.arrays)
+      if (a.array == name) return a;
+    ADD_FAILURE() << "array " << name << " missing";
+    return dynamic::ArrayTraffic{};
+  };
+  EXPECT_GT(traffic("A").load_lines, 0u);
+  EXPECT_GT(traffic("tmp").store_lines, 0u);
+  EXPECT_EQ(traffic("y").load_lines + traffic("y").store_lines, 0u);
+}
+
+TEST(Profile, SimdEfficiencyWithinBounds) {
+  const auto wl = kernels::make_ex14fj(16);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+  EXPECT_GT(wp.simd_efficiency(), 0.0);
+  EXPECT_LE(wp.simd_efficiency(), 1.0);
+  EXPECT_GT(wp.total_issues(), 0u);
+}
+
+TEST(Profile, BoundaryKernelShowsDivergentBranches) {
+  // ex14FJ's boundary handling splits warps: some lanes take the interior
+  // path, others the boundary path.
+  const auto wl = kernels::make_ex14fj(8);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  std::uint64_t divergent = 0;
+  for (const auto& s : wp.stages)
+    for (const auto& blk : s.blocks) {
+      divergent += blk.branch_divergent;
+      if (blk.branch_execs > 0) {
+        EXPECT_GE(blk.divergence_rate(), 0.0);
+        EXPECT_LE(blk.divergence_rate(), 1.0);
+        EXPECT_GE(blk.taken_fraction(), 0.0);
+        EXPECT_LE(blk.taken_fraction(), 1.0);
+      }
+    }
+  EXPECT_GT(divergent, 0u);
+}
+
+TEST(Profile, MeasurementMatchesUntracedRunExactly) {
+  // Tracing must not perturb measurement: same protocol, same times.
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 96;
+  p.block_count = 48;
+  const auto& gpu = arch::gpu("M40");
+  const codegen::Compiler c(gpu, p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+
+  sim::RunOptions run;
+  run.engine = sim::Engine::Warp;
+  const auto plain = sim::run_workload(lw, wl, machine, run);
+  dynamic::ProfileOptions popts;
+  popts.run = run;
+  const auto traced = dynamic::profile_workload(lw, wl, machine, popts);
+
+  ASSERT_TRUE(plain.valid);
+  ASSERT_TRUE(traced.measurement.valid);
+  EXPECT_DOUBLE_EQ(traced.measurement.base_time_ms, plain.base_time_ms);
+  EXPECT_DOUBLE_EQ(traced.measurement.trial_time_ms, plain.trial_time_ms);
+  EXPECT_DOUBLE_EQ(traced.measurement.counts.total_issues,
+                   plain.counts.total_issues);
+}
+
+TEST(Profile, UnlaunchableConfigurationReportsInvalid) {
+  const auto wl = kernels::make_atax(32);
+  codegen::TuningParams p;
+  p.threads_per_block = 48;  // compiles, but is not a warp multiple
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  EXPECT_FALSE(wp.measurement.valid);
+  EXPECT_FALSE(wp.measurement.error.empty());
+  EXPECT_TRUE(wp.stages.empty());
+}
+
+// ---- dynamic performance model ------------------------------------------
+
+TEST(DynamicModel, CyclesIsMaxOfBoundsPlusOverheads) {
+  const auto& gpu = arch::gpu("K20");
+  const auto machine = sim::MachineModel::from(gpu, 48);
+  sim::Counts counts;
+  counts.add_category(arch::OpCategory::FPIns32, 1e6);
+  counts.mem_transactions = 2e5;
+  counts.dram_transactions = 1e5;
+
+  const auto pred = dynamic::predict_from_counts(counts, machine, 13);
+  const double expect_issue =
+      1e6 * machine.issue_cycles(arch::OpCategory::FPIns32) / 13.0;
+  EXPECT_DOUBLE_EQ(pred.issue_cycles, expect_issue);
+  EXPECT_DOUBLE_EQ(pred.l2_cycles, 2e5 * machine.l2_txn_cycles());
+  EXPECT_DOUBLE_EQ(pred.dram_cycles, 1e5 * machine.dram_txn_cycles());
+  const double bound =
+      std::max({pred.issue_cycles, pred.l2_cycles, pred.dram_cycles});
+  EXPECT_DOUBLE_EQ(pred.cycles, bound + machine.kernel_launch_overhead +
+                                    machine.block_dispatch_overhead);
+  EXPECT_GT(pred.time_ms, 0.0);
+}
+
+TEST(DynamicModel, ZeroBusySmsThrows) {
+  const auto& gpu = arch::gpu("K20");
+  const auto machine = sim::MachineModel::from(gpu, 48);
+  sim::Counts counts;
+  EXPECT_THROW(dynamic::predict_from_counts(counts, machine, 0), Error);
+}
+
+TEST(DynamicModel, BottleneckNamesTheDominantBound) {
+  const auto& gpu = arch::gpu("K20");
+  const auto machine = sim::MachineModel::from(gpu, 48);
+
+  sim::Counts compute;
+  compute.add_category(arch::OpCategory::FPIns64, 1e7);
+  EXPECT_STREQ(
+      dynamic::predict_from_counts(compute, machine, 1).bottleneck(),
+      "issue");
+
+  sim::Counts memory;
+  memory.dram_transactions = 1e7;
+  memory.mem_transactions = 1e7;
+  EXPECT_STREQ(
+      dynamic::predict_from_counts(memory, machine, 13).bottleneck(),
+      "dram");
+}
+
+TEST(DynamicModel, WorkloadPredictionSumsStages) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto& gpu = arch::gpu("K20");
+  const codegen::Compiler c(gpu, p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+  const auto wp = dynamic::profile_workload(lw, wl, machine);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  const auto total = dynamic::predict_workload(lw, wp, machine);
+  double stage_sum = 0;
+  for (std::size_t i = 0; i < lw.stages.size(); ++i)
+    stage_sum +=
+        dynamic::predict_stage(lw.stages[i], wp.stages[i], machine).cycles;
+  EXPECT_DOUBLE_EQ(total.cycles, stage_sum);
+}
+
+TEST(DynamicModel, TracksMeasuredTimeAcrossVariants) {
+  // Across a thread sweep, the dynamic prediction must rank variants in
+  // broad agreement with the simulator's measured times.
+  const auto wl = kernels::make_matvec2d(128);
+  const auto& gpu = arch::gpu("K20");
+  std::vector<double> measured;
+  std::vector<double> predicted;
+  for (const int tc : {64, 128, 256, 512, 1024}) {
+    codegen::TuningParams p;
+    p.threads_per_block = tc;
+    p.block_count = 48;
+    const codegen::Compiler c(gpu, p);
+    const auto lw = c.compile(wl);
+    const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+    const auto wp = dynamic::profile_workload(lw, wl, machine);
+    ASSERT_TRUE(wp.measurement.valid);
+    measured.push_back(wp.measurement.base_time_ms);
+    predicted.push_back(
+        dynamic::predict_workload(lw, wp, machine).time_ms);
+  }
+  EXPECT_GT(stats::spearman(measured, predicted), 0.3);
+}
+
+// ---- report rendering ----------------------------------------------------
+
+TEST(ProfileReport, RendersEverySection) {
+  const auto wl = kernels::make_atax(48);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 24;
+  const auto wp = profile(wl, p);
+  ASSERT_TRUE(wp.measurement.valid);
+
+  const std::string text = dynamic::render_profile(wp);
+  EXPECT_NE(text.find("dynamic profile: atax"), std::string::npos);
+  EXPECT_NE(text.find("hot basic blocks"), std::string::npos);
+  EXPECT_NE(text.find("memory instructions"), std::string::npos);
+  EXPECT_NE(text.find("array traffic"), std::string::npos);
+  EXPECT_NE(text.find("reuse distance"), std::string::npos);
+  EXPECT_NE(text.find("LRU"), std::string::npos);
+}
+
+TEST(ProfileReport, InvalidProfileRendersReason) {
+  const auto wl = kernels::make_atax(32);
+  codegen::TuningParams p;
+  p.threads_per_block = 48;  // not a warp multiple
+  const auto wp = profile(wl, p);
+  const std::string text = dynamic::render_profile(wp);
+  EXPECT_NE(text.find("not launchable"), std::string::npos);
+}

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dynamic/reuse.hpp"
+
+using namespace gpustatic;  // NOLINT
+using dynamic::Fenwick;
+using dynamic::kColdAccess;
+using dynamic::ReuseDistanceAnalyzer;
+
+// ---- Fenwick tree -------------------------------------------------------
+
+TEST(Fenwick, PrefixSumsOnKnownData) {
+  Fenwick f(8);
+  f.add(0, 1);
+  f.add(3, 1);
+  f.add(7, 1);
+  EXPECT_EQ(f.prefix(0), 1u);
+  EXPECT_EQ(f.prefix(2), 1u);
+  EXPECT_EQ(f.prefix(3), 2u);
+  EXPECT_EQ(f.prefix(7), 3u);
+  EXPECT_EQ(f.range(1, 3), 1u);
+  EXPECT_EQ(f.range(4, 6), 0u);
+  EXPECT_EQ(f.range(0, 7), 3u);
+}
+
+TEST(Fenwick, RangeWithInvertedBoundsIsZero) {
+  Fenwick f(8);
+  f.add(2, 1);
+  EXPECT_EQ(f.range(5, 2), 0u);
+}
+
+TEST(Fenwick, RemovalUpdatesSums) {
+  Fenwick f(16);
+  for (std::size_t i = 0; i < 16; ++i) f.add(i, 1);
+  EXPECT_EQ(f.prefix(15), 16u);
+  f.add(5, -1);
+  f.add(10, -1);
+  EXPECT_EQ(f.prefix(15), 14u);
+  EXPECT_EQ(f.range(5, 5), 0u);
+  EXPECT_EQ(f.range(6, 10), 4u);
+}
+
+TEST(Fenwick, MatchesNaivePrefixSumsOnRandomOps) {
+  Rng rng(2024);
+  constexpr std::size_t kSize = 257;  // off power-of-two on purpose
+  Fenwick f(kSize);
+  std::vector<std::int64_t> naive(kSize, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(kSize));
+    if (naive[i] == 0 || rng.uniform() < 0.7) {
+      f.add(i, 1);
+      naive[i] += 1;
+    } else {
+      f.add(i, -1);
+      naive[i] -= 1;
+    }
+    const auto q = static_cast<std::size_t>(rng.below(kSize));
+    std::uint64_t expect = 0;
+    for (std::size_t j = 0; j <= q; ++j)
+      expect += static_cast<std::uint64_t>(naive[j]);
+    ASSERT_EQ(f.prefix(q), expect) << "step " << step << " q " << q;
+  }
+}
+
+// ---- reuse distances on crafted streams ---------------------------------
+
+TEST(ReuseDistance, FirstTouchIsCold) {
+  ReuseDistanceAnalyzer a;
+  EXPECT_EQ(a.access(10), kColdAccess);
+  EXPECT_EQ(a.access(11), kColdAccess);
+  EXPECT_EQ(a.cold_misses(), 2u);
+  EXPECT_EQ(a.distinct_lines(), 2u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero) {
+  ReuseDistanceAnalyzer a;
+  a.access(42);
+  EXPECT_EQ(a.access(42), 0u);
+  EXPECT_EQ(a.access(42), 0u);
+  EXPECT_EQ(a.cold_misses(), 1u);
+}
+
+TEST(ReuseDistance, CountsDistinctInterveningLines) {
+  ReuseDistanceAnalyzer a;
+  a.access(1);                 // cold
+  a.access(2);                 // cold
+  a.access(3);                 // cold
+  EXPECT_EQ(a.access(1), 2u);  // {2,3} intervene
+  EXPECT_EQ(a.access(2), 2u);  // {3,1} intervene
+  EXPECT_EQ(a.access(3), 2u);  // {1,2} intervene
+}
+
+TEST(ReuseDistance, RepeatedInterveningLineCountsOnce) {
+  ReuseDistanceAnalyzer a;
+  a.access(1);
+  a.access(2);
+  a.access(2);
+  a.access(2);
+  EXPECT_EQ(a.access(1), 1u);  // only {2}
+}
+
+TEST(ReuseDistance, CyclicStreamHasConstantDistance) {
+  ReuseDistanceAnalyzer a;
+  const std::vector<std::uint64_t> lines = {7, 8, 9, 10};
+  for (const auto l : lines) EXPECT_EQ(a.access(l), kColdAccess);
+  for (int round = 0; round < 5; ++round)
+    for (const auto l : lines)
+      EXPECT_EQ(a.access(l), 3u);  // the other three lines intervene
+  EXPECT_EQ(a.cold_misses(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean_distance(), 3.0);
+}
+
+TEST(ReuseDistance, HistogramBucketBoundaries) {
+  // Build exact distances: 0 -> bucket 0, 1 -> bucket 1, 2 -> bucket 2,
+  // 4 -> bucket 3.
+  ReuseDistanceAnalyzer a;
+  a.access(100);
+  a.access(100);  // d = 0
+  a.access(1);
+  a.access(100);  // d = 1
+  a.access(2);
+  a.access(3);
+  a.access(100);  // d = 2
+  a.access(4);
+  a.access(5);
+  a.access(6);
+  a.access(7);
+  a.access(100);  // d = 4
+  const auto& h = a.log2_histogram();
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+// ---- exact LRU cross-validation -----------------------------------------
+
+namespace {
+
+/// Reference fully associative LRU cache.
+class NaiveLru {
+ public:
+  explicit NaiveLru(std::size_t capacity) : cap_(capacity) {}
+
+  bool access(std::uint64_t line) {
+    const auto it = std::find(order_.begin(), order_.end(), line);
+    const bool hit = it != order_.end();
+    if (hit) order_.erase(it);
+    order_.push_front(line);
+    if (order_.size() > cap_) order_.pop_back();
+    return hit;
+  }
+
+ private:
+  std::size_t cap_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace
+
+class ReuseVsLruTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReuseVsLruTest, MissRatiosMatchExactLruSimulation) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::vector<std::uint64_t> capacities = {1, 4, 16, 64};
+  ReuseDistanceAnalyzer a(capacities);
+  std::vector<NaiveLru> caches;
+  std::vector<std::uint64_t> misses(capacities.size(), 0);
+  caches.reserve(capacities.size());
+  for (const auto c : capacities)
+    caches.emplace_back(static_cast<std::size_t>(c));
+
+  constexpr int kAccesses = 3000;
+  for (int i = 0; i < kAccesses; ++i) {
+    // Mixture: hot set of 8 lines, warm set of 60, cold tail.
+    std::uint64_t line;
+    const double u = rng.uniform();
+    if (u < 0.5)
+      line = rng.below(8);
+    else if (u < 0.85)
+      line = 100 + rng.below(60);
+    else
+      line = 10000 + rng.below(2000);
+    a.access(line);
+    for (std::size_t c = 0; c < caches.size(); ++c)
+      if (!caches[c].access(line)) misses[c] += 1;
+  }
+
+  for (std::size_t c = 0; c < capacities.size(); ++c) {
+    const double expect =
+        static_cast<double>(misses[c]) / static_cast<double>(kAccesses);
+    EXPECT_NEAR(a.miss_ratio(c), expect, 1e-12)
+        << "capacity " << capacities[c];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseVsLruTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---- growth & merge ------------------------------------------------------
+
+TEST(ReuseDistance, SurvivesInternalGrowth) {
+  // Default Fenwick capacity is 64; stream far beyond it.
+  ReuseDistanceAnalyzer a;
+  constexpr std::uint64_t kLines = 500;
+  for (std::uint64_t l = 0; l < kLines; ++l) a.access(l);
+  for (std::uint64_t l = 0; l < kLines; ++l)
+    ASSERT_EQ(a.access(l), kLines - 1) << "line " << l;
+  EXPECT_EQ(a.accesses(), 2 * kLines);
+  EXPECT_EQ(a.cold_misses(), kLines);
+}
+
+TEST(ReuseDistance, MergeDistributionSumsTotals) {
+  const std::vector<std::uint64_t> watch = {8};
+  ReuseDistanceAnalyzer a(watch);
+  ReuseDistanceAnalyzer b(watch);
+  for (int r = 0; r < 3; ++r)
+    for (std::uint64_t l = 0; l < 4; ++l) a.access(l);
+  for (int r = 0; r < 2; ++r)
+    for (std::uint64_t l = 0; l < 16; ++l) b.access(l);
+
+  const std::uint64_t total = a.accesses() + b.accesses();
+  const std::uint64_t cold = a.cold_misses() + b.cold_misses();
+  a.merge_distribution(b);
+  EXPECT_EQ(a.accesses(), total);
+  EXPECT_EQ(a.cold_misses(), cold);
+  // a's reuses (d=3 < 8) all hit; b's reuses (d=15) all miss.
+  // merged hits = 8 (a's two reuse rounds of 4).
+  const double expect_miss =
+      static_cast<double>(total - 8) / static_cast<double>(total);
+  EXPECT_NEAR(a.miss_ratio(0), expect_miss, 1e-12);
+}
+
+TEST(ReuseDistance, MeanDistanceIgnoresColdAccesses) {
+  ReuseDistanceAnalyzer a;
+  a.access(1);
+  a.access(2);
+  a.access(1);  // d = 1
+  a.access(2);  // d = 1
+  EXPECT_DOUBLE_EQ(a.mean_distance(), 1.0);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "frontend/lexer.hpp"
+
+using namespace gpustatic;           // NOLINT
+using namespace gpustatic::frontend;  // NOLINT
+
+TEST(Lexer, TokenizesAllCategories) {
+  const auto toks = tokenize(
+      "workload foo(N = 8); array A[2]; stage s(t : N) { float x = 1.5; "
+      "x += 2e3; }");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks.front().kind, Tok::KwWorkload);
+  EXPECT_EQ(toks.back().kind, Tok::End);
+
+  std::size_t idents = 0;
+  std::size_t floats = 0;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ident) ++idents;
+    if (t.kind == Tok::FloatLit) ++floats;
+  }
+  EXPECT_EQ(idents, 8u);  // foo N A s t N x x
+  EXPECT_EQ(floats, 2u);  // 1.5 2e3
+}
+
+TEST(Lexer, DistinguishesCompoundOperators) {
+  const auto toks = tokenize("+= -= *= /= ++ <= >= == != && || < > ! =");
+  const std::vector<Tok> expect = {
+      Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign, Tok::SlashAssign,
+      Tok::PlusPlus,   Tok::Le,          Tok::Ge,         Tok::EqEq,
+      Tok::NotEq,      Tok::AndAnd,      Tok::OrOr,       Tok::Lt,
+      Tok::Gt,         Tok::Not,         Tok::Assign,     Tok::End};
+  ASSERT_EQ(toks.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(toks[i].kind, expect[i]) << "token " << i;
+}
+
+TEST(Lexer, SkipsLineAndBlockComments) {
+  const auto toks = tokenize(
+      "// leading comment\n"
+      "array /* inline */ A\n"
+      "/* multi\n   line */ ;");
+  ASSERT_EQ(toks.size(), 4u);  // array A ; End
+  EXPECT_EQ(toks[0].kind, Tok::KwArray);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[2].kind, Tok::Semicolon);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = tokenize("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].line, 4u);
+}
+
+TEST(Lexer, ParsesNumericLiterals) {
+  const auto toks = tokenize("42 3.25 1e3 2E-2");
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.02);
+}
+
+TEST(Lexer, RejectsMalformedInput) {
+  EXPECT_THROW((void)tokenize("a @ b"), ParseError);
+  EXPECT_THROW((void)tokenize("/* never closed"), ParseError);
+  EXPECT_THROW((void)tokenize("1e"), ParseError);
+  EXPECT_THROW((void)tokenize("12abc"), ParseError);
+}
+
+TEST(Lexer, ReportsErrorLine) {
+  try {
+    (void)tokenize("ok tokens\nhere\n$");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}

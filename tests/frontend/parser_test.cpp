@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "frontend/parser.hpp"
+
+using namespace gpustatic;           // NOLINT
+using namespace gpustatic::frontend;  // NOLINT
+
+namespace {
+
+constexpr std::string_view kMinimal = R"(
+workload demo(N = 8);
+array A[N*N];
+array y[N] init zero;
+stage scale(t : N) {
+  float acc = 0.0;
+  unroll for (j = 0; j < N; j++) {
+    acc += A[t*N + j];
+  }
+  y[t] = acc;
+}
+)";
+
+}  // namespace
+
+TEST(Parser, BuildsWorkloadSkeleton) {
+  const auto wl = parse_workload(kMinimal);
+  EXPECT_EQ(wl.name, "demo");
+  EXPECT_EQ(wl.problem_size, 8);
+  ASSERT_EQ(wl.arrays.size(), 2u);
+  EXPECT_EQ(wl.arrays[0].name, "A");
+  EXPECT_EQ(wl.arrays[0].length, 64);  // N*N folded
+  EXPECT_EQ(wl.arrays[0].init, dsl::ArrayInit::Ramp);  // default
+  EXPECT_EQ(wl.arrays[1].init, dsl::ArrayInit::Zero);
+  ASSERT_EQ(wl.stages.size(), 1u);
+  EXPECT_EQ(wl.stages[0].name, "scale");
+  EXPECT_EQ(wl.stages[0].domain, 8);
+  EXPECT_EQ(wl.stages[0].work_item_var, "t");
+}
+
+TEST(Parser, SizeOverrideRescalesEverything) {
+  const auto wl = parse_workload(kMinimal, 32);
+  EXPECT_EQ(wl.problem_size, 32);
+  EXPECT_EQ(wl.arrays[0].length, 32 * 32);
+  EXPECT_EQ(wl.stages[0].domain, 32);
+}
+
+TEST(Parser, ForLoopCarriesUnrollFlag) {
+  const auto wl = parse_workload(kMinimal);
+  // body = Seq{LetFloat, For, Store}
+  const auto& body = wl.stages[0].body;
+  ASSERT_EQ(body->kind, dsl::Stmt::Kind::Seq);
+  ASSERT_EQ(body->children.size(), 3u);
+  const auto& loop = body->children[1];
+  ASSERT_EQ(loop->kind, dsl::Stmt::Kind::For);
+  EXPECT_TRUE(loop->unrollable);
+  EXPECT_EQ(loop->lo, 0);
+  EXPECT_EQ(loop->hi, 8);
+}
+
+TEST(Parser, PlainForIsNotUnrollable) {
+  const auto wl = parse_workload(R"(
+workload w(N = 4);
+array y[N] init zero;
+stage s(t : N) {
+  float acc = 0.0;
+  for (j = 0; j < N; j++) { acc += 1.0; }
+  y[t] = acc;
+}
+)");
+  const auto& loop = wl.stages[0].body->children[1];
+  EXPECT_FALSE(loop->unrollable);
+}
+
+TEST(Parser, IfElseWithProbability) {
+  const auto wl = parse_workload(R"(
+workload w(N = 4);
+array y[N] init zero;
+stage s(t : N) {
+  if (t == 0 || t == N-1) prob(0.25) {
+    y[t] = 1.0;
+  } else {
+    y[t] = 2.0;
+  }
+}
+)");
+  const auto& stmt = wl.stages[0].body->children[0];
+  ASSERT_EQ(stmt->kind, dsl::Stmt::Kind::If);
+  EXPECT_DOUBLE_EQ(stmt->then_prob, 0.25);
+  EXPECT_NE(stmt->then_branch, nullptr);
+  EXPECT_NE(stmt->else_branch, nullptr);
+  ASSERT_NE(stmt->cond, nullptr);
+  EXPECT_EQ(stmt->cond->kind, dsl::Cond::Kind::Or);
+}
+
+TEST(Parser, AtomicUpdateAndCompoundOps) {
+  const auto wl = parse_workload(R"(
+workload w(N = 4);
+array y[N] init zero;
+stage s(t : N) {
+  float a = 1.0;
+  a += 2.0;
+  a -= 0.5;
+  a *= 3.0;
+  a /= 2.0;
+  atomic y[t] += a;
+}
+)");
+  const auto& body = wl.stages[0].body;
+  ASSERT_EQ(body->children.size(), 6u);
+  EXPECT_EQ(body->children[1]->accum_op, dsl::FloatBinOp::Add);
+  EXPECT_EQ(body->children[2]->accum_op, dsl::FloatBinOp::Sub);
+  EXPECT_EQ(body->children[3]->accum_op, dsl::FloatBinOp::Mul);
+  EXPECT_EQ(body->children[4]->accum_op, dsl::FloatBinOp::Div);
+  EXPECT_EQ(body->children[5]->kind, dsl::Stmt::Kind::AtomicAdd);
+}
+
+TEST(Parser, NamesAreReusableAfterScopeExit) {
+  // The same loop variable in two sibling loops must parse.
+  EXPECT_NO_THROW((void)parse_workload(R"(
+workload w(N = 4);
+array y[N] init zero;
+stage s(t : N) {
+  float a = 0.0;
+  for (j = 0; j < N; j++) { a += 1.0; }
+  for (j = 0; j < N; j++) { a += 2.0; }
+  y[t] = a;
+}
+)"));
+}
+
+TEST(Parser, ToFloatFoldsParameterExpressions) {
+  const auto wl = parse_workload(R"(
+workload w(N = 4);
+array y[N] init zero;
+stage s(t : N) {
+  y[t] = tofloat((N+1)*(N+1));
+}
+)");
+  const auto& st = wl.stages[0].body->children[0];
+  ASSERT_EQ(st->kind, dsl::Stmt::Kind::Store);
+  ASSERT_EQ(st->float_expr->kind, dsl::FloatExpr::Kind::Const);
+  EXPECT_DOUBLE_EQ(st->float_expr->value, 25.0);
+}
+
+// ---- failure injection -----------------------------------------------------
+
+struct BadSource {
+  const char* description;
+  const char* source;
+  const char* message_fragment;
+};
+
+class ParserRejects : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(ParserRejects, WithHelpfulMessage) {
+  const BadSource& bad = GetParam();
+  try {
+    (void)parse_workload(bad.source);
+    FAIL() << "expected ParseError for: " << bad.description;
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(bad.message_fragment),
+              std::string::npos)
+        << bad.description << "\nactual message: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SemanticErrors, ParserRejects,
+    ::testing::Values(
+        BadSource{"missing workload header", "array A[4];",
+                  "'workload'"},
+        BadSource{"non-positive parameter", "workload w(N = 0);",
+                  "must be positive"},
+        BadSource{"duplicate array",
+                  "workload w(N = 4); array A[N]; array A[N];",
+                  "duplicate declaration"},
+        BadSource{"no stages", "workload w(N = 4); array A[N];",
+                  "no stages"},
+        BadSource{"unknown name in body",
+                  "workload w(N=4); array y[N]; stage s(t : N) { y[t] = "
+                  "ghost; }",
+                  "unknown name 'ghost'"},
+        BadSource{"plain assign on scalar",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; a = 1.0; y[t] = a; }",
+                  "plain '='"},
+        BadSource{"int in float context",
+                  "workload w(N=4); array y[N]; stage s(t : N) { y[t] = "
+                  "t; }",
+                  "implicit int->float"},
+        BadSource{"float in int context",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; y[a] = 1.0; }",
+                  "float"},
+        BadSource{"runtime loop bound",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; for (j = 0; j < t; j++) { a += 1.0; } y[t] = "
+                  "a; }",
+                  "compile-time constant"},
+        BadSource{"non-const divisor",
+                  "workload w(N=4); array y[N]; stage s(t : N) { int k = "
+                  "t / t; y[k] = 1.0; }",
+                  "constant divisor"},
+        BadSource{"division by zero",
+                  "workload w(N=4); array y[N]; stage s(t : N) { int k = "
+                  "t / (N - 4); y[k] = 1.0; }",
+                  "division by zero"},
+        BadSource{"bad init mode",
+                  "workload w(N=4); array y[N] init rainbow; stage s(t : "
+                  "N) { y[t] = 1.0; }",
+                  "unknown init mode"},
+        BadSource{"zero domain",
+                  "workload w(N=4); array y[N]; stage s(t : N - 4) { "
+                  "y[t] = 1.0; }",
+                  "positive"},
+        BadSource{"loop variable mismatch",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; for (j = 0; k < N; j++) { a += 1.0; } y[t] = "
+                  "a; }",
+                  "loop condition"},
+        BadSource{"probability out of range",
+                  "workload w(N=4); array y[N]; stage s(t : N) { if (t "
+                  "== 0) prob(1.5) { y[t] = 1.0; } }",
+                  "within [0, 1]"},
+        BadSource{"atomic to scalar",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; atomic a[t] += 1.0; y[t] = a; }",
+                  "not a declared array"},
+        BadSource{"parameter shadowing",
+                  "workload w(N=4); array N[4]; stage s(t : 4) { N[t] = "
+                  "1.0; }",
+                  "shadows the workload parameter"},
+        BadSource{"array as integer",
+                  "workload w(N=4); array A[N]; array y[N]; stage s(t : "
+                  "N) { y[A] = 1.0; }",
+                  "used as an integer"},
+        BadSource{"unterminated block",
+                  "workload w(N=4); array y[N]; stage s(t : N) { y[t] = "
+                  "1.0;",
+                  "unterminated block"},
+        BadSource{"inverted loop bounds",
+                  "workload w(N=4); array y[N]; stage s(t : N) { float a "
+                  "= 0.0; for (j = N; j < 0; j++) { a += 1.0; } y[t] = "
+                  "a; }",
+                  "inverted"},
+        BadSource{"non-constant tofloat",
+                  "workload w(N=4); array y[N]; stage s(t : N) { y[t] = "
+                  "tofloat(t); }",
+                  "compile-time constant"},
+        BadSource{"unroll without for",
+                  "workload w(N=4); array y[N]; stage s(t : N) { unroll "
+                  "y[t] = 1.0; }",
+                  "'for'"}));
+
+TEST(ParserErrors, ReportLineNumbers) {
+  try {
+    (void)parse_workload("workload w(N = 4);\narray A[N];\narray A[N];\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}

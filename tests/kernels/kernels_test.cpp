@@ -1,0 +1,133 @@
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsl/linear.hpp"
+#include "dsl/printer.hpp"
+
+namespace kernels = gpustatic::kernels;
+using namespace gpustatic::dsl;  // NOLINT
+
+TEST(Kernels, RegistryHasFourEntries) {
+  const auto all = kernels::all_kernels();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "atax");
+  EXPECT_EQ(all[1].name, "bicg");
+  EXPECT_EQ(all[2].name, "ex14fj");
+  EXPECT_EQ(all[3].name, "matvec2d");
+}
+
+TEST(Kernels, PaperInputSizes) {
+  for (const auto& k : kernels::all_kernels()) {
+    ASSERT_EQ(k.input_sizes.size(), 5u) << k.name;
+    if (k.name == "ex14fj") {
+      EXPECT_EQ(k.input_sizes.front(), 8);
+      EXPECT_EQ(k.input_sizes.back(), 128);
+    } else {
+      EXPECT_EQ(k.input_sizes.front(), 32);
+      EXPECT_EQ(k.input_sizes.back(), 512);
+    }
+  }
+}
+
+TEST(Kernels, UnknownNameThrows) {
+  EXPECT_THROW((void)kernels::make_workload("gemm", 32),
+               gpustatic::LookupError);
+}
+
+TEST(Kernels, AtaxStructure) {
+  const auto wl = kernels::make_atax(64);
+  EXPECT_EQ(wl.problem_size, 64);
+  ASSERT_EQ(wl.stages.size(), 2u);
+  EXPECT_EQ(wl.stages[0].domain, 64);
+  EXPECT_EQ(wl.stages[1].domain, 64);
+  EXPECT_EQ(wl.array("A").length, 64 * 64);
+  EXPECT_EQ(wl.array("tmp").length, 64);
+  EXPECT_EQ(wl.array("y").length, 64);
+}
+
+TEST(Kernels, BicgIsFusedSingleStage) {
+  const auto wl = kernels::make_bicg(64);
+  ASSERT_EQ(wl.stages.size(), 1u);
+  EXPECT_EQ(wl.stages[0].domain, 64);
+  // The fused kernel touches all five arrays.
+  for (const char* a : {"A", "p", "r", "q", "s"})
+    EXPECT_TRUE(wl.has_array(a)) << a;
+  // Its body re-loads r inside the loop: check the printer shows an
+  // atomicAdd to s (the aliasing-sensitive store).
+  const std::string text = to_string(wl.stages[0]);
+  EXPECT_NE(text.find("atomicAdd(&s["), std::string::npos);
+  EXPECT_NE(text.find("r[t]"), std::string::npos);
+}
+
+TEST(Kernels, Ex14fjDomainIsCubed) {
+  const auto wl = kernels::make_ex14fj(16);
+  ASSERT_EQ(wl.stages.size(), 1u);
+  EXPECT_EQ(wl.stages[0].domain, 16 * 16 * 16);
+  EXPECT_EQ(wl.array("u").length, 16 * 16 * 16);
+}
+
+TEST(Kernels, Ex14fjBoundaryProbabilityMatchesGeometry) {
+  const auto wl = kernels::make_ex14fj(8);
+  // Find the If node.
+  const StmtPtr body = wl.stages[0].body;
+  const Stmt* ifnode = nullptr;
+  for (const auto& c : body->children)
+    if (c->kind == Stmt::Kind::If) ifnode = c.get();
+  ASSERT_NE(ifnode, nullptr);
+  const double expected = 1.0 - 6.0 * 6.0 * 6.0 / 512.0;
+  EXPECT_NEAR(ifnode->then_prob, expected, 1e-12);
+}
+
+TEST(Kernels, Ex14fjBoundaryConditionIsCorrect) {
+  const auto wl = kernels::make_ex14fj(8);
+  const StmtPtr body = wl.stages[0].body;
+  const Stmt* ifnode = nullptr;
+  for (const auto& c : body->children)
+    if (c->kind == Stmt::Kind::If) ifnode = c.get();
+  ASSERT_NE(ifnode, nullptr);
+  // Interior point (i=j=k=3): condition false. Corner: true.
+  EXPECT_FALSE(evaluate(ifnode->cond, {{"i", 3}, {"j", 3}, {"k", 3}}));
+  EXPECT_TRUE(evaluate(ifnode->cond, {{"i", 0}, {"j", 3}, {"k", 3}}));
+  EXPECT_TRUE(evaluate(ifnode->cond, {{"i", 3}, {"j", 7}, {"k", 3}}));
+  EXPECT_TRUE(evaluate(ifnode->cond, {{"i", 3}, {"j", 3}, {"k", 7}}));
+}
+
+TEST(Kernels, MatVecDomainCoversRowChunks) {
+  const auto wl = kernels::make_matvec2d(128);
+  const std::int64_t chunks = 128 / kernels::kMatVecChunk;
+  EXPECT_EQ(wl.stages[0].domain, 128 * chunks);
+}
+
+TEST(Kernels, MatVecIndexIsNonAffine) {
+  // The A index must defeat strength reduction (that is the intensity
+  // mechanism; see kernels.hpp).
+  const auto wl = kernels::make_matvec2d(128);
+  const StmtPtr body = wl.stages[0].body;
+  // Walk to the serial loop's accum load index.
+  const Stmt* forstmt = nullptr;
+  for (const auto& c : body->children)
+    if (c->kind == Stmt::Kind::For) forstmt = c.get();
+  ASSERT_NE(forstmt, nullptr);
+  const Stmt* acc = forstmt->body.get();
+  ASSERT_EQ(acc->kind, Stmt::Kind::Accum);
+  const auto& load = acc->float_expr->lhs;  // A[...] of the fmul
+  ASSERT_EQ(load->kind, FloatExpr::Kind::Load);
+  EXPECT_FALSE(linearize(load->index).has_value());
+}
+
+TEST(Kernels, SmallSizesStillBuild) {
+  for (const auto& k : kernels::all_kernels()) {
+    const auto wl = kernels::make_workload(k.name, k.input_sizes.front());
+    EXPECT_GT(wl.stages.size(), 0u);
+    for (const auto& st : wl.stages) EXPECT_GT(st.domain, 0);
+  }
+}
+
+TEST(Kernels, TableFourMetadata) {
+  const auto all = kernels::all_kernels();
+  EXPECT_EQ(all[0].operation, "y = A^T (A x)");
+  EXPECT_EQ(all[1].category, "Linear solvers");
+  EXPECT_EQ(all[3].operation, "y = A x");
+}

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/classify.hpp"
+#include "ml/features.hpp"
+#include "ml/logistic.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+// ---- logistic regression ---------------------------------------------------
+
+namespace {
+
+ml::Dataset separable(std::uint64_t seed, int n = 60) {
+  Rng rng(seed);
+  ml::Dataset d;
+  d.feature_names = {"x0", "x1"};
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform() * 2 - 1;
+    const double x1 = rng.uniform() * 2 - 1;
+    d.add({x0, x1}, x0 + x1 > 0 ? 1 : 0);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(Logistic, FitsLinearlySeparableData) {
+  const auto d = separable(3);
+  ml::LogisticRegression m;
+  m.fit(d);
+  EXPECT_GE(ml::accuracy(m.predict_all(d.rows), d.labels), 0.95);
+  // Both features push toward class 1: positive weights.
+  EXPECT_GT(m.weights()[0], 0.0);
+  EXPECT_GT(m.weights()[1], 0.0);
+}
+
+TEST(Logistic, MoreIterationsReduceLogLoss) {
+  const auto d = separable(9);
+  ml::LogisticRegression coarse;
+  ml::LogisticRegression fine;
+  ml::LogisticOptions few;
+  few.iterations = 5;
+  ml::LogisticOptions many;
+  many.iterations = 500;
+  coarse.fit(d, few);
+  fine.fit(d, many);
+  EXPECT_LT(fine.log_loss(d), coarse.log_loss(d));
+}
+
+TEST(Logistic, RejectsNonBinaryLabels) {
+  ml::Dataset d;
+  d.add({0.0}, 2);
+  ml::LogisticRegression m;
+  EXPECT_THROW(m.fit(d), Error);
+}
+
+TEST(Logistic, PredictBeforeFitThrows) {
+  const ml::LogisticRegression m;
+  EXPECT_THROW((void)m.predict_proba({0.0}), Error);
+}
+
+// ---- static feature extraction ----------------------------------------------
+
+TEST(Features, SchemaAndVectorAgree) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  codegen::TuningParams p;
+  p.threads_per_block = 256;
+  const codegen::Compiler c(gpu, p);
+  const auto f = ml::extract_features(c.compile(wl), gpu);
+  EXPECT_EQ(f.size(), ml::feature_count());
+  EXPECT_EQ(ml::feature_names().size(), ml::feature_count());
+  for (const double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Features, ReflectTuningParameters) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  auto features_at = [&](int tc, bool fm) {
+    codegen::TuningParams p;
+    p.threads_per_block = tc;
+    p.fast_math = fm;
+    const codegen::Compiler c(gpu, p);
+    return ml::extract_features(c.compile(wl), gpu);
+  };
+  const auto lo = features_at(64, false);
+  const auto hi = features_at(1024, true);
+  const auto& names = ml::feature_names();
+  const auto at = [&](const auto& f, const char* name) {
+    const auto it = std::find(names.begin(), names.end(), name);
+    EXPECT_NE(it, names.end()) << name;
+    return f[static_cast<std::size_t>(it - names.begin())];
+  };
+  EXPECT_DOUBLE_EQ(at(lo, "tc_frac"), 64.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(at(hi, "tc_frac"), 1.0);
+  EXPECT_DOUBLE_EQ(at(lo, "fast_math"), 0.0);
+  EXPECT_DOUBLE_EQ(at(hi, "fast_math"), 1.0);
+}
+
+TEST(Features, IntensityFeatureSeparatesRuleClasses) {
+  // The 4.0-threshold property the rule heuristic relies on (Sec. III-C):
+  // atax/bicg sit below the threshold, matVec2D/ex14FJ above. The feature
+  // is log1p(intensity), so the threshold maps to log1p(4).
+  const auto& gpu = arch::gpu("K20");
+  const auto at = [&](const dsl::WorkloadDesc& wl) {
+    const codegen::Compiler c(gpu, codegen::TuningParams{});
+    const auto f = ml::extract_features(c.compile(wl), gpu);
+    const auto& names = ml::feature_names();
+    const auto it =
+        std::find(names.begin(), names.end(), "intensity_log");
+    return f[static_cast<std::size_t>(it - names.begin())];
+  };
+  const double threshold = std::log1p(4.0);
+  EXPECT_LT(at(kernels::make_bicg(256)), threshold);
+  EXPECT_LE(at(kernels::make_atax(256)), threshold);
+  EXPECT_GT(at(kernels::make_matvec2d(256)), threshold);
+  EXPECT_GT(at(kernels::make_ex14fj(32)), threshold);
+  EXPECT_LT(at(kernels::make_bicg(256)), at(kernels::make_atax(256)));
+}
+
+// ---- corpus building & end-to-end prediction --------------------------------
+
+namespace {
+
+/// Small but real corpus: one kernel, one GPU, heavily strided sweep.
+ml::Dataset small_corpus(std::vector<std::string>* tags = nullptr) {
+  ml::CorpusOptions opts;
+  opts.stride = 64;  // 5120 / 64 = 80 variants
+  std::vector<ml::CorpusEntry> corpus;
+  corpus.push_back({kernels::make_atax(64), &arch::gpu("K20")});
+  return ml::build_rank_dataset(corpus, opts, tags);
+}
+
+}  // namespace
+
+TEST(RankDataset, HasBothLabelsAndProvenance) {
+  std::vector<std::string> tags;
+  const auto d = small_corpus(&tags);
+  ASSERT_GT(d.size(), 20u);
+  EXPECT_EQ(d.width(), ml::feature_count());
+  EXPECT_EQ(tags.size(), d.size());
+  EXPECT_EQ(tags.front(), "atax@K20");
+
+  const auto ones = static_cast<std::size_t>(
+      std::count(d.labels.begin(), d.labels.end(), ml::kRank1Label));
+  const auto zeros = d.size() - ones;
+  // The rank split is a median split: balanced to within one element.
+  EXPECT_LE(ones > zeros ? ones - zeros : zeros - ones, 1u);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(RankDataset, MissingGpuThrows) {
+  std::vector<ml::CorpusEntry> corpus;
+  corpus.push_back({kernels::make_atax(32), nullptr});
+  EXPECT_THROW(ml::build_rank_dataset(corpus), Error);
+}
+
+TEST(CrossValidate, TreeBeatsMajorityBaselineOnRankCorpus) {
+  const auto d = small_corpus();
+  const auto cv = ml::cross_validate(d, ml::tree_builder(), 4, 17);
+  ASSERT_EQ(cv.fold_accuracy.size(), 4u);
+  // Rank labels are a median split, so baseline is ~0.5; the static
+  // features must carry real signal.
+  EXPECT_GT(cv.mean_accuracy, cv.baseline + 0.1);
+}
+
+TEST(CrossValidate, LogisticRunsOnRankCorpus) {
+  const auto d = small_corpus();
+  const auto cv = ml::cross_validate(d, ml::logistic_builder(), 4, 17);
+  EXPECT_GT(cv.mean_accuracy, 0.5);
+}
+
+TEST(BlockSizePredictor, PredictsAValidThreadCount) {
+  const auto d = small_corpus();
+  ml::BlockSizePredictor pred;
+  pred.fit(d);
+  const auto tc = pred.predict_block_size(kernels::make_atax(64),
+                                          arch::gpu("K20"));
+  EXPECT_GE(tc, 32u);
+  EXPECT_LE(tc, 1024u);
+  EXPECT_EQ(tc % 32, 0u);
+}
+
+TEST(BlockSizePredictor, HonorsCandidateRestriction) {
+  const auto d = small_corpus();
+  ml::BlockSizePredictor pred;
+  pred.fit(d);
+  const std::vector<std::uint32_t> candidates = {128, 256};
+  const auto tc = pred.predict_block_size(kernels::make_atax(64),
+                                          arch::gpu("K20"), candidates);
+  EXPECT_TRUE(tc == 128 || tc == 256);
+}
+
+TEST(BlockSizePredictor, PredictBeforeFitThrows) {
+  const ml::BlockSizePredictor pred;
+  EXPECT_THROW((void)pred.predict_block_size(kernels::make_atax(32),
+                                             arch::gpu("K20")),
+               Error);
+}
+
+TEST(BlockSizePredictor, RankProbabilityIsAProbability) {
+  const auto d = small_corpus();
+  ml::BlockSizePredictor pred;
+  pred.fit(d);
+  codegen::TuningParams p;
+  p.threads_per_block = 256;
+  const double prob =
+      pred.rank1_probability(kernels::make_atax(64), arch::gpu("K20"), p);
+  EXPECT_GE(prob, 0.0);
+  EXPECT_LE(prob, 1.0);
+}

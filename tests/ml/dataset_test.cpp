@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "ml/dataset.hpp"
+
+using namespace gpustatic;  // NOLINT
+using ml::Dataset;
+using ml::Scaler;
+
+// ---- k-fold splitting ----------------------------------------------------
+
+class KFoldTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(KFoldTest, FoldsPartitionTheIndexSet) {
+  const auto [n, k] = GetParam();
+  const auto folds = ml::kfold_indices(n, k, 42);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& f : folds) {
+    for (const std::size_t i : f) {
+      EXPECT_LT(i, n);
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+    total += f.size();
+  }
+  EXPECT_EQ(total, n);
+
+  // Sizes balanced to within one element.
+  std::size_t lo = n, hi = 0;
+  for (const auto& f : folds) {
+    lo = std::min(lo, f.size());
+    hi = std::max(hi, f.size());
+  }
+  if (n >= k) EXPECT_LE(hi - lo, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KFoldTest,
+    ::testing::Values(std::tuple<std::size_t, std::size_t>{10, 5},
+                      std::tuple<std::size_t, std::size_t>{97, 4},
+                      std::tuple<std::size_t, std::size_t>{3, 10},
+                      std::tuple<std::size_t, std::size_t>{256, 8},
+                      std::tuple<std::size_t, std::size_t>{1, 2}));
+
+TEST(KFold, DeterministicPerSeedAndSensitiveToSeed) {
+  const auto a = ml::kfold_indices(64, 4, 7);
+  const auto b = ml::kfold_indices(64, 4, 7);
+  const auto c = ml::kfold_indices(64, 4, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(KFold, ZeroKThrows) {
+  EXPECT_THROW(ml::kfold_indices(10, 0, 1), Error);
+}
+
+TEST(KFold, ComplementIsExactlyTheRest) {
+  const auto folds = ml::kfold_indices(20, 4, 3);
+  const auto rest = ml::fold_complement(20, folds[0]);
+  EXPECT_EQ(rest.size(), 20 - folds[0].size());
+  for (const std::size_t i : rest)
+    EXPECT_TRUE(std::find(folds[0].begin(), folds[0].end(), i) ==
+                folds[0].end());
+  EXPECT_TRUE(std::is_sorted(rest.begin(), rest.end()));
+}
+
+// ---- scaler ---------------------------------------------------------------
+
+TEST(Scaler, StandardizesToZeroMeanUnitVariance) {
+  Scaler s;
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  s.fit(rows);
+  const auto t = s.transform_all(rows);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0, var = 0;
+    for (const auto& r : t) mean += r[j];
+    mean /= 4.0;
+    for (const auto& r : t) var += (r[j] - mean) * (r[j] - mean);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Scaler s;
+  s.fit({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  const auto t = s.transform({5.0, 2.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+TEST(Scaler, EmptyFitThrows) {
+  Scaler s;
+  EXPECT_THROW(s.fit({}), Error);
+}
+
+// ---- dataset & metrics -----------------------------------------------------
+
+TEST(DatasetValidate, DetectsRaggedRows) {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  d.add({1.0, 2.0}, 0);
+  d.add({1.0}, 1);
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(DatasetValidate, DetectsNonFiniteFeatures) {
+  Dataset d;
+  d.add({1.0, std::numeric_limits<double>::infinity()}, 0);
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(DatasetValidate, DetectsNegativeLabels) {
+  Dataset d;
+  d.add({1.0}, -1);
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(DatasetSelect, CopiesRequestedRows) {
+  Dataset d;
+  d.add({1.0}, 0);
+  d.add({2.0}, 1);
+  d.add({3.0}, 0);
+  const Dataset s = d.select({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rows[0][0], 3.0);
+  EXPECT_EQ(s.labels[1], 0);
+}
+
+TEST(Metrics, AccuracyAndMajorityBaseline) {
+  EXPECT_DOUBLE_EQ(ml::accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ml::majority_baseline({0, 0, 1, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(ml::majority_baseline({}), 0.0);
+  EXPECT_THROW(ml::accuracy({1}, {1, 0}), Error);
+}
+
+TEST(Metrics, ConfusionMatrixCountsByLabelThenPrediction) {
+  const auto m = ml::confusion_matrix({0, 1, 1, 0}, {0, 1, 0, 1}, 2);
+  EXPECT_EQ(m[0][0], 1u);  // label 0 predicted 0
+  EXPECT_EQ(m[0][1], 1u);  // label 0 predicted 1
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[1][1], 1u);
+}
+
+TEST(Dataset, NumClassesIsMaxLabelPlusOne) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({0.0}, 4);
+  EXPECT_EQ(d.num_classes(), 5);
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/classify.hpp"
+#include "ml/forest.hpp"
+
+using namespace gpustatic;  // NOLINT
+using ml::Dataset;
+using ml::ForestOptions;
+using ml::RandomForest;
+
+namespace {
+
+/// Noisy two-moon-ish problem: informative x0/x1 plus noise features —
+/// the setting where bagging pays.
+Dataset noisy(std::uint64_t seed, int n = 200) {
+  Rng rng(seed);
+  Dataset d;
+  d.feature_names = {"x0", "x1", "n0", "n1", "n2"};
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform() * 2 - 1;
+    const double x1 = rng.uniform() * 2 - 1;
+    const int label =
+        (std::sin(3 * x0) + 0.5 * x1 + 0.2 * (rng.uniform() - 0.5)) > 0
+            ? 1
+            : 0;
+    d.add({x0, x1, rng.uniform(), rng.uniform(), rng.uniform()}, label);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(RandomForest, FitsAndPredictsReasonably) {
+  const Dataset d = noisy(3);
+  RandomForest f;
+  f.fit(d);
+  EXPECT_EQ(f.size(), 15u);
+  EXPECT_GE(ml::accuracy(f.predict_all(d.rows), d.labels), 0.85);
+}
+
+TEST(RandomForest, ProbabilitiesAverageToOne) {
+  const Dataset d = noisy(5);
+  RandomForest f;
+  f.fit(d);
+  for (int i = 0; i < 10; ++i) {
+    const auto p = f.predict_proba(d.rows[static_cast<std::size_t>(i)]);
+    double sum = 0;
+    for (const double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  const Dataset d = noisy(7);
+  RandomForest a;
+  RandomForest b;
+  ForestOptions opts;
+  a.fit(d, opts);
+  b.fit(d, opts);
+  EXPECT_EQ(a.predict_all(d.rows), b.predict_all(d.rows));
+
+  ForestOptions other = opts;
+  other.seed = 99;
+  RandomForest c;
+  c.fit(d, other);
+  // Different bootstrap draws: at least the tree shapes should differ.
+  bool any_diff = false;
+  for (std::size_t t = 0; t < a.size(); ++t)
+    if (a.tree(t).node_count() != c.tree(t).node_count()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, FeatureSubsetRestrictsSplits) {
+  const Dataset d = noisy(11);
+  ml::TreeOptions topts;
+  topts.feature_subset = {2, 3, 4};  // noise only
+  ml::DecisionTree t;
+  t.fit(d, topts);
+  // The informative features are forbidden, so importance lands on the
+  // noise columns exclusively.
+  EXPECT_DOUBLE_EQ(t.feature_importance()[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.feature_importance()[1], 0.0);
+}
+
+TEST(RandomForest, CrossValidatesAtLeastAsWellAsASingleShallowTree) {
+  const Dataset d = noisy(13);
+  ml::TreeOptions shallow;
+  shallow.max_depth = 2;
+  ForestOptions fopts;
+  fopts.tree = shallow;
+  fopts.trees = 25;
+  const auto cv_tree =
+      ml::cross_validate(d, ml::tree_builder(shallow), 5, 17);
+  const auto cv_forest =
+      ml::cross_validate(d, ml::forest_builder(fopts), 5, 17);
+  EXPECT_GE(cv_forest.mean_accuracy, cv_tree.mean_accuracy - 0.02);
+  EXPECT_GT(cv_forest.mean_accuracy, cv_forest.baseline);
+}
+
+TEST(RandomForest, RejectsDegenerateOptions) {
+  const Dataset d = noisy(1, 20);
+  RandomForest f;
+  ForestOptions opts;
+  opts.trees = 0;
+  EXPECT_THROW(f.fit(d, opts), Error);
+  opts.trees = 3;
+  opts.sample_fraction = 0.0;
+  EXPECT_THROW(f.fit(d, opts), Error);
+  EXPECT_THROW((void)f.predict({0, 0, 0, 0, 0}), Error);
+  Dataset empty;
+  EXPECT_THROW(f.fit(empty), Error);
+}

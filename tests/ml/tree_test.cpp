@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/tree.hpp"
+
+using namespace gpustatic;  // NOLINT
+using ml::Dataset;
+using ml::DecisionTree;
+using ml::TreeOptions;
+
+// ---- Gini impurity ---------------------------------------------------------
+
+TEST(Gini, PureSetIsZero) {
+  EXPECT_DOUBLE_EQ(ml::gini_impurity({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ml::gini_impurity({0, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(ml::gini_impurity({}), 0.0);
+}
+
+TEST(Gini, EvenBinarySplitIsHalf) {
+  EXPECT_DOUBLE_EQ(ml::gini_impurity({5, 5}), 0.5);
+}
+
+TEST(Gini, UniformThreeClasses) {
+  EXPECT_NEAR(ml::gini_impurity({3, 3, 3}), 2.0 / 3.0, 1e-12);
+}
+
+// ---- fitting behaviour ------------------------------------------------------
+
+namespace {
+
+Dataset threshold_data() {
+  // One informative feature (x0 <= 0.5 -> class 0), one noise feature.
+  Dataset d;
+  d.feature_names = {"x0", "noise"};
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform();
+    d.add({x, rng.uniform()}, x <= 0.5 ? 0 : 1);
+  }
+  return d;
+}
+
+Dataset xor_data() {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  for (const double a : {0.0, 1.0})
+    for (const double b : {0.0, 1.0})
+      for (int rep = 0; rep < 5; ++rep)
+        d.add({a, b}, (a != b) ? 1 : 0);
+  return d;
+}
+
+}  // namespace
+
+TEST(DecisionTree, LearnsSingleThreshold) {
+  const Dataset d = threshold_data();
+  DecisionTree t;
+  t.fit(d);
+  EXPECT_EQ(ml::accuracy(t.predict_all(d.rows), d.labels), 1.0);
+  // The split must be on the informative feature, near 0.5.
+  EXPECT_GT(t.feature_importance()[0], t.feature_importance()[1]);
+}
+
+TEST(DecisionTree, SolvesXorAtDepthTwo) {
+  const Dataset d = xor_data();
+  DecisionTree t;
+  TreeOptions opts;
+  opts.max_depth = 2;
+  opts.min_samples_split = 2;
+  opts.min_samples_leaf = 1;
+  t.fit(d, opts);
+  EXPECT_EQ(ml::accuracy(t.predict_all(d.rows), d.labels), 1.0);
+  EXPECT_EQ(t.depth(), 3u);  // root + two split levels of nodes
+}
+
+TEST(DecisionTree, DepthOneCannotSolveXor) {
+  const Dataset d = xor_data();
+  DecisionTree t;
+  TreeOptions opts;
+  opts.max_depth = 1;
+  opts.min_samples_split = 2;
+  opts.min_samples_leaf = 1;
+  t.fit(d, opts);
+  EXPECT_LT(ml::accuracy(t.predict_all(d.rows), d.labels), 1.0);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  Dataset d;
+  d.feature_names = {"x"};
+  // 9 zeros and 1 one: separating the singleton needs a 1-sample leaf,
+  // which min_samples_leaf = 3 forbids. Splits that keep >= 3 samples per
+  // side are still legal, but none of them can isolate the '1'.
+  for (int i = 0; i < 9; ++i) d.add({static_cast<double>(i)}, 0);
+  d.add({100.0}, 1);
+  DecisionTree t;
+  TreeOptions opts;
+  opts.min_samples_leaf = 3;
+  t.fit(d, opts);
+  EXPECT_EQ(t.predict({100.0}), 0);
+  const std::string rendered = t.to_string(d.feature_names);
+  EXPECT_EQ(rendered.find("(1 samples)"), std::string::npos);
+  EXPECT_EQ(rendered.find("(2 samples)"), std::string::npos);
+}
+
+TEST(DecisionTree, DeterministicAcrossRefits) {
+  const Dataset d = threshold_data();
+  DecisionTree a;
+  DecisionTree b;
+  a.fit(d);
+  b.fit(d);
+  EXPECT_EQ(a.to_string(d.feature_names), b.to_string(d.feature_names));
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  const Dataset d = threshold_data();
+  DecisionTree t;
+  t.fit(d);
+  for (const auto& row : d.rows) {
+    const auto p = t.predict_proba(row);
+    double sum = 0;
+    for (const double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(DecisionTree, HandlesThreeClasses) {
+  Dataset d;
+  d.feature_names = {"x"};
+  for (int i = 0; i < 10; ++i) {
+    d.add({0.0 + i * 0.01}, 0);
+    d.add({1.0 + i * 0.01}, 1);
+    d.add({2.0 + i * 0.01}, 2);
+  }
+  DecisionTree t;
+  t.fit(d);
+  EXPECT_EQ(t.num_classes(), 3);
+  EXPECT_EQ(t.predict({0.05}), 0);
+  EXPECT_EQ(t.predict({1.05}), 1);
+  EXPECT_EQ(t.predict({2.05}), 2);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldSingleLeaf) {
+  Dataset d;
+  d.feature_names = {"x"};
+  for (int i = 0; i < 6; ++i) d.add({1.0}, i % 2);
+  DecisionTree t;
+  t.fit(d);
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  const DecisionTree t;
+  EXPECT_THROW((void)t.predict({1.0}), Error);
+}
+
+TEST(DecisionTree, EmptyTrainingSetThrows) {
+  Dataset d;
+  DecisionTree t;
+  EXPECT_THROW(t.fit(d), Error);
+}
+
+TEST(DecisionTree, MaxDepthBoundsTreeDepth) {
+  Rng rng(5);
+  Dataset d;
+  d.feature_names = {"x", "y"};
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform();
+    const double y = rng.uniform();
+    // Nonlinear boundary needs depth; cap must still hold.
+    d.add({x, y}, (std::sin(7 * x) > y) ? 1 : 0);
+  }
+  for (const std::size_t cap : {1u, 2u, 3u, 4u}) {
+    DecisionTree t;
+    TreeOptions opts;
+    opts.max_depth = cap;
+    t.fit(d, opts);
+    EXPECT_LE(t.depth(), cap + 1);  // cap split levels + leaf level
+  }
+}

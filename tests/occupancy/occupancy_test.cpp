@@ -1,0 +1,193 @@
+#include "occupancy/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/gpu_spec.hpp"
+#include "occupancy/suggest.hpp"
+
+using namespace gpustatic;  // NOLINT
+using namespace gpustatic::occupancy;  // NOLINT
+
+TEST(Occupancy, FullOccupancyKepler) {
+  // 128 threads, modest registers: 16 blocks x 4 warps = 64 warps = 100%.
+  const auto r = calculate(arch::gpu("K20"), {128, 27, 0});
+  EXPECT_EQ(r.active_blocks, 16u);
+  EXPECT_EQ(r.active_warps, 64u);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, WarpLimited) {
+  // Fermi: 1024 threads/block = 32 warps; 48/32 = 1 block, 32/48 occ.
+  const auto r = calculate(arch::gpu("M2050"), {1024, 0, 0});
+  EXPECT_EQ(r.blocks_warp_limited, 1u);
+  EXPECT_EQ(r.active_blocks, 1u);
+  EXPECT_NEAR(r.occupancy, 32.0 / 48.0, 1e-12);
+  EXPECT_STREQ(r.limiter(), "warps");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // Kepler, 128 threads, 64 regs/thread: 65536/(64*32) = 32 warps ->
+  // 8 blocks; warps would allow 16.
+  const auto r = calculate(arch::gpu("K20"), {128, 64, 0});
+  EXPECT_EQ(r.blocks_reg_limited, 8u);
+  EXPECT_LT(r.blocks_reg_limited, r.blocks_warp_limited);
+  EXPECT_EQ(r.active_blocks, 8u);
+  EXPECT_NEAR(r.occupancy, 0.5, 1e-12);
+  EXPECT_STREQ(r.limiter(), "registers");
+}
+
+TEST(Occupancy, SmemLimited) {
+  // 16KB smem per block: 49152/16384 = 3 blocks.
+  const auto r = calculate(arch::gpu("K20"), {128, 0, 16384});
+  EXPECT_EQ(r.blocks_smem_limited, 3u);
+  EXPECT_EQ(r.active_blocks, 3u);
+  EXPECT_STREQ(r.limiter(), "smem");
+}
+
+TEST(Occupancy, IllegalRegisterCountIsZero) {
+  // Eq. 4 case 1: Ru above the per-thread cap.
+  EXPECT_EQ(blocks_limited_by_registers(arch::gpu("M2050"), 64, 128), 0u);
+  EXPECT_EQ(blocks_limited_by_registers(arch::gpu("K20"), 256, 128), 0u);
+}
+
+TEST(Occupancy, IllegalSmemIsZero) {
+  EXPECT_EQ(blocks_limited_by_smem(arch::gpu("K20"), 49153), 0u);
+}
+
+TEST(Occupancy, UnspecifiedResourcesDefaultToBlockCap) {
+  // Eq. 4/5 case 3.
+  const auto& g = arch::gpu("M40");
+  EXPECT_EQ(blocks_limited_by_registers(g, 0, 128), g.blocks_per_mp);
+  EXPECT_EQ(blocks_limited_by_smem(g, 0), g.blocks_per_mp);
+}
+
+TEST(Occupancy, PaperTableSevenAtaxFermi) {
+  // ATAX Fermi row: Ru=21 -> occ*=1 with R*=0 headroom, S*=6144.
+  const auto s = suggest(arch::gpu("M2050"), 21, 0);
+  EXPECT_DOUBLE_EQ(s.occ_star, 1.0);
+  EXPECT_EQ(s.reg_headroom, 0u);
+  EXPECT_EQ(s.smem_budget, 6144u);
+  // T* ladder: {192, 256, 384, 512, 768}.
+  const std::vector<std::uint32_t> expected = {192, 256, 384, 512, 768};
+  EXPECT_EQ(s.thread_candidates, expected);
+}
+
+TEST(Occupancy, PaperTableSevenAtaxKepler) {
+  // ATAX Kepler row: Ru=27 -> occ*=1, R*=5, S*=3072, T*={128,256,512,1024}.
+  const auto s = suggest(arch::gpu("K20"), 27, 0);
+  EXPECT_DOUBLE_EQ(s.occ_star, 1.0);
+  EXPECT_EQ(s.reg_headroom, 5u);
+  EXPECT_EQ(s.smem_budget, 3072u);
+  const std::vector<std::uint32_t> expected = {128, 256, 512, 1024};
+  EXPECT_EQ(s.thread_candidates, expected);
+}
+
+TEST(Occupancy, PaperTableSevenMaxwellLadder) {
+  const auto s = suggest(arch::gpu("M40"), 30, 0);
+  const std::vector<std::uint32_t> expected = {64, 128, 256, 512, 1024};
+  EXPECT_EQ(s.thread_candidates, expected);
+  EXPECT_EQ(s.reg_headroom, 2u);
+  EXPECT_EQ(s.smem_budget, 1536u);
+}
+
+TEST(Occupancy, SuggestionRespectsCustomGrid) {
+  const auto s = suggest(arch::gpu("K20"), 27, 0, {128, 192, 256});
+  for (const auto t : s.thread_candidates)
+    EXPECT_TRUE(t == 128 || t == 192 || t == 256);
+}
+
+// ---- property sweep: invariants over the whole parameter plane --------
+
+struct OccCase {
+  const char* gpu;
+  std::uint32_t regs;
+};
+
+class OccupancyProperty : public ::testing::TestWithParam<OccCase> {};
+
+TEST_P(OccupancyProperty, MonotoneAndBounded) {
+  const auto& g = arch::gpu(GetParam().gpu);
+  const std::uint32_t ru = GetParam().regs;
+  double prev_occ_for_more_regs = 1.1;
+  for (std::uint32_t t = 32; t <= 1024; t += 32) {
+    const auto r = calculate(g, {t, ru, 0});
+    // Bounds.
+    EXPECT_GE(r.occupancy, 0.0);
+    EXPECT_LE(r.occupancy, 1.0);
+    EXPECT_LE(r.active_warps, g.warps_per_mp);
+    EXPECT_LE(r.active_blocks, g.blocks_per_mp);
+    // Consistency: active_warps = blocks x warps/block (capped).
+    EXPECT_EQ(r.active_warps,
+              std::min(r.active_blocks * r.warps_per_block,
+                       g.warps_per_mp));
+    // More registers can never raise occupancy at the same T.
+    const auto r2 = calculate(g, {t, ru + 8, 0});
+    EXPECT_LE(r2.occupancy, r.occupancy + 1e-12);
+  }
+  (void)prev_occ_for_more_regs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGpus, OccupancyProperty,
+    ::testing::Values(OccCase{"M2050", 16}, OccCase{"M2050", 32},
+                      OccCase{"K20", 16}, OccCase{"K20", 32},
+                      OccCase{"K20", 64}, OccCase{"M40", 24},
+                      OccCase{"P100", 24}, OccCase{"P100", 48}));
+
+TEST(Occupancy, SmemMonotone) {
+  const auto& g = arch::gpu("M40");
+  double prev = 2.0;
+  for (std::uint32_t su = 0; su <= 49152; su += 4096) {
+    const auto r = calculate(g, {128, 24, su});
+    EXPECT_LE(r.occupancy, prev + 1e-12);
+    prev = r.occupancy;
+  }
+}
+
+// ---- CUDA Occupancy API baseline ----------------------------------------
+
+TEST(MaxPotential, PrefersLargestBlockAmongTies) {
+  // Light footprint on Kepler: many block sizes reach occupancy 1; the
+  // API semantics pick the largest.
+  const auto mp = occupancy::max_potential_block_size(arch::gpu("K20"),
+                                                      /*regs=*/16,
+                                                      /*smem=*/0);
+  EXPECT_EQ(mp.block_size, 1024u);
+  EXPECT_DOUBLE_EQ(mp.occupancy, 1.0);
+  EXPECT_GE(mp.active_blocks, 1u);
+}
+
+TEST(MaxPotential, RespectsRegisterPressure) {
+  // Heavy register use caps resident warps; the chosen size must still
+  // be the best achievable, and occupancy below 1.
+  const auto light = occupancy::max_potential_block_size(
+      arch::gpu("M2050"), 16, 0);
+  const auto heavy = occupancy::max_potential_block_size(
+      arch::gpu("M2050"), 63, 0);
+  EXPECT_LT(heavy.occupancy, light.occupancy);
+  EXPECT_GT(heavy.occupancy, 0.0);
+}
+
+TEST(MaxPotential, HonorsCustomRange) {
+  const std::vector<std::uint32_t> range = {64, 128};
+  const auto mp = occupancy::max_potential_block_size(arch::gpu("M40"),
+                                                      24, 0, range);
+  EXPECT_TRUE(mp.block_size == 64 || mp.block_size == 128);
+}
+
+TEST(MaxPotential, AgreesWithSuggestionCandidates) {
+  // The API's single answer must be one of the Table VII T* candidates
+  // (both maximize the same occupancy function).
+  for (const char* gpu_name : {"M2050", "K20", "M40", "P100"}) {
+    const auto& gpu = arch::gpu(gpu_name);
+    const auto s = occupancy::suggest(gpu, 27, 0);
+    const auto mp = occupancy::max_potential_block_size(gpu, 27, 0);
+    EXPECT_NE(std::find(s.thread_candidates.begin(),
+                        s.thread_candidates.end(), mp.block_size),
+              s.thread_candidates.end())
+        << gpu_name;
+    EXPECT_DOUBLE_EQ(mp.occupancy, s.occ_star) << gpu_name;
+  }
+}

@@ -1,0 +1,166 @@
+#include "ptx/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <algorithm>
+
+#include "test_kernels.hpp"
+
+using namespace gpustatic::ptx;  // NOLINT
+
+namespace {
+
+bool has_edge(const Cfg& cfg, std::int32_t from, std::int32_t to) {
+  const auto& s = cfg.successors(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+}  // namespace
+
+TEST(Cfg, LoopKernelEdges) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const Cfg cfg(k);
+  // entry(0) -> loop(1) fallthrough, entry -> done(2) guarded branch.
+  EXPECT_TRUE(has_edge(cfg, 0, 1));
+  EXPECT_TRUE(has_edge(cfg, 0, 2));
+  // loop -> loop back edge, loop -> done fallthrough.
+  EXPECT_TRUE(has_edge(cfg, 1, 1));
+  EXPECT_TRUE(has_edge(cfg, 1, 2));
+  EXPECT_TRUE(cfg.successors(2).empty());
+}
+
+TEST(Cfg, LoopKernelPredecessors) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const Cfg cfg(k);
+  const auto& preds_done = cfg.predecessors(2);
+  EXPECT_EQ(preds_done.size(), 2u);
+  const auto& preds_loop = cfg.predecessors(1);
+  EXPECT_EQ(preds_loop.size(), 2u);  // entry + itself
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversAll) {
+  const Kernel k = fixtures::make_diamond_kernel();
+  const Cfg cfg(k);
+  ASSERT_EQ(cfg.rpo().size(), 4u);
+  EXPECT_EQ(cfg.rpo()[0], 0);
+}
+
+TEST(Cfg, DiamondDominators) {
+  const Kernel k = fixtures::make_diamond_kernel();
+  const Cfg cfg(k);
+  // entry=0, then=1, else=2, join=3
+  EXPECT_EQ(cfg.idom(0), 0);
+  EXPECT_EQ(cfg.idom(1), 0);
+  EXPECT_EQ(cfg.idom(2), 0);
+  EXPECT_EQ(cfg.idom(3), 0);  // join's idom is entry, not a branch arm
+  EXPECT_TRUE(cfg.dominates(0, 3));
+  EXPECT_FALSE(cfg.dominates(1, 3));
+}
+
+TEST(Cfg, DiamondPostDominators) {
+  const Kernel k = fixtures::make_diamond_kernel();
+  const Cfg cfg(k);
+  // join (3) post-dominates both arms and the entry: it is the
+  // reconvergence point for the divergent branch in entry.
+  EXPECT_EQ(cfg.ipdom(1), 3);
+  EXPECT_EQ(cfg.ipdom(2), 3);
+  EXPECT_EQ(cfg.ipdom(0), 3);
+  EXPECT_TRUE(cfg.post_dominates(3, 0));
+  EXPECT_TRUE(cfg.post_dominates(3, 1));
+  EXPECT_FALSE(cfg.post_dominates(1, 0));
+}
+
+TEST(Cfg, LoopDetection) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const Cfg cfg(k);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  const auto& loop = cfg.loops()[0];
+  EXPECT_EQ(loop.header, 1);
+  EXPECT_EQ(loop.latch, 1);
+  EXPECT_EQ(loop.depth, 1);
+  ASSERT_EQ(loop.blocks.size(), 1u);
+  EXPECT_EQ(loop.blocks[0], 1);
+}
+
+TEST(Cfg, LoopDepths) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const Cfg cfg(k);
+  EXPECT_EQ(cfg.loop_depth(0), 0);
+  EXPECT_EQ(cfg.loop_depth(1), 1);
+  EXPECT_EQ(cfg.loop_depth(2), 0);
+}
+
+TEST(Cfg, BackEdgeDetection) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const Cfg cfg(k);
+  EXPECT_TRUE(cfg.is_back_edge(1, 1));
+  EXPECT_FALSE(cfg.is_back_edge(0, 1));
+  EXPECT_FALSE(cfg.is_back_edge(1, 2));
+}
+
+TEST(Cfg, DiamondHasNoLoops) {
+  const Kernel k = fixtures::make_diamond_kernel();
+  const Cfg cfg(k);
+  EXPECT_TRUE(cfg.loops().empty());
+}
+
+TEST(Cfg, NestedLoopDepths) {
+  // Build: entry -> outer_hdr -> inner_hdr -> inner_latch(back to inner)
+  //        inner exit -> outer_latch (back to outer) -> done
+  Kernel k;
+  k.name = "nested";
+  const Reg r0{Type::I32, 0}, r1{Type::I32, 1};
+  const Reg p0{Type::Pred, 0}, p1{Type::Pred, 1};
+
+  BasicBlock entry{"entry", {}};
+  entry.body.push_back(make_mov(r0, Operand::imm_i(0)));
+
+  BasicBlock outer{"outer", {}};
+  outer.body.push_back(make_mov(r1, Operand::imm_i(0)));
+
+  BasicBlock inner{"inner", {}};
+  inner.body.push_back(
+      make_binary(Opcode::IADD, r1, Operand(r1), Operand::imm_i(1)));
+  inner.body.push_back(
+      make_setp(CmpOp::LT, p1, Operand(r1), Operand::imm_i(8), Type::I32));
+  inner.body.push_back(make_bra_if(p1, false, "inner"));
+
+  BasicBlock outer_latch{"outer_latch", {}};
+  outer_latch.body.push_back(
+      make_binary(Opcode::IADD, r0, Operand(r0), Operand::imm_i(1)));
+  outer_latch.body.push_back(
+      make_setp(CmpOp::LT, p0, Operand(r0), Operand::imm_i(4), Type::I32));
+  outer_latch.body.push_back(make_bra_if(p0, false, "outer"));
+
+  BasicBlock done{"done", {make_exit()}};
+
+  k.blocks = {entry, outer, inner, outer_latch, done};
+  k.finalize();
+
+  const Cfg cfg(k);
+  ASSERT_EQ(cfg.loops().size(), 2u);
+  EXPECT_EQ(cfg.loop_depth(k.block_index("inner")), 2);
+  EXPECT_EQ(cfg.loop_depth(k.block_index("outer")), 1);
+  EXPECT_EQ(cfg.loop_depth(k.block_index("outer_latch")), 1);
+  EXPECT_EQ(cfg.loop_depth(k.block_index("done")), 0);
+  // Outer loop body contains the inner loop's blocks.
+  const auto& outer_loop = cfg.loops()[0];
+  EXPECT_EQ(outer_loop.depth, 1);
+  EXPECT_EQ(outer_loop.blocks.size(), 3u);  // outer, inner, outer_latch
+}
+
+TEST(Cfg, RequiresFinalizedKernel) {
+  Kernel k;
+  k.name = "raw";
+  k.blocks = {BasicBlock{"a", {make_exit()}}};
+  EXPECT_THROW(Cfg cfg(k), gpustatic::Error);
+}
+
+TEST(Cfg, StraightLineIpdomChain) {
+  const Kernel k = fixtures::make_saxpyish_kernel();
+  const Cfg cfg(k);
+  // Single block: its ipdom is the virtual exit (encoded as num_blocks()).
+  EXPECT_EQ(cfg.ipdom(0), static_cast<std::int32_t>(cfg.num_blocks()));
+}

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ptx/kernel.hpp"
+#include "test_kernels.hpp"
+
+namespace ptx = gpustatic::ptx;
+using gpustatic::arch::OpCategory;
+using gpustatic::arch::OpClass;
+using namespace gpustatic::ptx;  // NOLINT
+
+TEST(Ir, FinalizeResolvesBranchTargets) {
+  const Kernel k = fixtures::make_loop_kernel();
+  EXPECT_TRUE(k.finalized());
+  const auto& entry = k.blocks[0];
+  EXPECT_EQ(entry.body.back().target_block, k.block_index("done"));
+  const auto& loop = k.blocks[1];
+  EXPECT_EQ(loop.body.back().target_block, k.block_index("loop"));
+}
+
+TEST(Ir, BlockIndexUnknownLabel) {
+  const Kernel k = fixtures::make_loop_kernel();
+  EXPECT_EQ(k.block_index("nope"), -1);
+}
+
+TEST(Ir, DuplicateLabelThrows) {
+  Kernel k;
+  k.name = "dup";
+  BasicBlock a{"a", {make_exit()}};
+  k.blocks = {a, a};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, UnknownBranchTargetThrows) {
+  Kernel k;
+  k.name = "bad";
+  BasicBlock a{"a", {make_bra("nowhere")}};
+  k.blocks = {a};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, EmptyBlockThrows) {
+  Kernel k;
+  k.name = "empty";
+  k.blocks = {BasicBlock{"a", {}}};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, TerminatorMustBeLast) {
+  Kernel k;
+  k.name = "term";
+  BasicBlock a{"a", {}};
+  a.body.push_back(make_exit());
+  a.body.push_back(make_mov(Reg{Type::I32, 0}, Operand::imm_i(1)));
+  k.blocks = {a};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, LastBlockMustNotFallThrough) {
+  Kernel k;
+  k.name = "fall";
+  BasicBlock a{"a", {make_mov(Reg{Type::I32, 0}, Operand::imm_i(1))}};
+  k.blocks = {a};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, InstructionCount) {
+  const Kernel k = fixtures::make_loop_kernel();
+  EXPECT_EQ(k.instruction_count(), 6u + 4u + 1u);
+}
+
+TEST(Ir, MaxRegIndexPerClass) {
+  const Kernel k = fixtures::make_loop_kernel();
+  EXPECT_EQ(k.max_reg_index(Type::I32), 3u);   // r0..r2
+  EXPECT_EQ(k.max_reg_index(Type::F32), 1u);   // f0
+  EXPECT_EQ(k.max_reg_index(Type::Pred), 2u);  // p0, p1
+  EXPECT_EQ(k.max_reg_index(Type::F64), 0u);
+}
+
+TEST(Ir, CategoryMappingFloat) {
+  Instruction fadd = make_binary(Opcode::FADD, Reg{Type::F32, 0},
+                                 Operand::imm_f(0), Operand::imm_f(0));
+  EXPECT_EQ(fadd.category(), OpCategory::FPIns32);
+  EXPECT_EQ(fadd.op_class(), OpClass::FLOPS);
+
+  Instruction dadd = make_binary(Opcode::FADD, Reg{Type::F64, 0},
+                                 Operand::imm_f(0), Operand::imm_f(0));
+  EXPECT_EQ(dadd.category(), OpCategory::FPIns64);
+}
+
+TEST(Ir, CategoryMappingIntAndLogic) {
+  Instruction add = make_binary(Opcode::IADD, Reg{Type::I32, 0},
+                                Operand::imm_i(0), Operand::imm_i(0));
+  EXPECT_EQ(add.category(), OpCategory::IntAdd32);
+  EXPECT_EQ(add.op_class(), OpClass::FLOPS);
+
+  Instruction andi = make_binary(Opcode::AND, Reg{Type::I32, 0},
+                                 Operand::imm_i(0), Operand::imm_i(0));
+  EXPECT_EQ(andi.category(), OpCategory::Regs);
+  EXPECT_EQ(andi.op_class(), OpClass::REG);
+
+  Instruction mov = make_mov(Reg{Type::I32, 0}, Operand::imm_i(0));
+  EXPECT_EQ(mov.category(), OpCategory::MoveIns);
+  EXPECT_EQ(mov.op_class(), OpClass::CTRL);
+}
+
+TEST(Ir, CategoryMappingMemoryAndControl) {
+  Instruction ld = make_ld(MemSpace::Global, Reg{Type::F32, 0},
+                           Reg{Type::I64, 0}, 0, {});
+  EXPECT_EQ(ld.category(), OpCategory::LdStIns);
+  EXPECT_EQ(ld.op_class(), OpClass::MEM);
+
+  Instruction bra = make_bra("x");
+  EXPECT_EQ(bra.category(), OpCategory::CtrlIns);
+  Instruction bar = make_bar();
+  EXPECT_EQ(bar.category(), OpCategory::CtrlIns);
+
+  Instruction setp = make_setp(CmpOp::LT, Reg{Type::Pred, 0},
+                               Operand::imm_i(0), Operand::imm_i(1),
+                               Type::I32);
+  EXPECT_EQ(setp.category(), OpCategory::PredIns);
+  EXPECT_EQ(setp.op_class(), OpClass::CTRL);
+}
+
+TEST(Ir, CategoryMappingConversions) {
+  Instruction narrow = make_cvt(Reg{Type::F32, 0}, Reg{Type::I32, 0});
+  EXPECT_EQ(narrow.category(), OpCategory::Conv32);
+  Instruction widen = make_cvt(Reg{Type::I64, 0}, Reg{Type::I32, 0});
+  EXPECT_EQ(widen.category(), OpCategory::Conv64);
+  Instruction f64cvt = make_cvt(Reg{Type::F32, 0}, Reg{Type::F64, 0});
+  EXPECT_EQ(f64cvt.category(), OpCategory::Conv64);
+}
+
+TEST(Ir, CategoryMappingSpecialFunctions) {
+  for (const Opcode op : {Opcode::RCP, Opcode::RSQRT, Opcode::SQRT,
+                          Opcode::EX2, Opcode::LG2, Opcode::SIN,
+                          Opcode::COS}) {
+    Instruction i = make_unary(op, Reg{Type::F32, 0}, Operand::imm_f(1.0));
+    EXPECT_EQ(i.category(), OpCategory::LogSinCos);
+  }
+}
+
+TEST(Ir, RegReadsWritesCounting) {
+  const Reg f0{Type::F32, 0}, f1{Type::F32, 1}, f2{Type::F32, 2};
+  Instruction fma =
+      make_ternary(Opcode::FFMA, f0, Operand(f1), Operand(f2), Operand(f0));
+  EXPECT_EQ(fma.reg_reads(), 3u);
+  EXPECT_EQ(fma.reg_writes(), 1u);
+
+  Instruction guarded = fma;
+  guarded.guard = Guard{Reg{Type::Pred, 0}, false};
+  EXPECT_EQ(guarded.reg_reads(), 4u);  // guard counts as a read
+
+  Instruction movimm = make_mov(f0, Operand::imm_f(3.0));
+  EXPECT_EQ(movimm.reg_reads(), 0u);
+  EXPECT_EQ(movimm.reg_writes(), 1u);
+}
+
+TEST(Ir, GuardMustBePredicate) {
+  Kernel k;
+  k.name = "badguard";
+  Instruction i = make_mov(Reg{Type::I32, 0}, Operand::imm_i(1));
+  i.guard = Guard{Reg{Type::I32, 5}, false};
+  BasicBlock a{"a", {i, make_exit()}};
+  k.blocks = {a};
+  EXPECT_THROW(k.finalize(), gpustatic::Error);
+}
+
+TEST(Ir, ForEachInstructionVisitsAll) {
+  const Kernel k = fixtures::make_diamond_kernel();
+  std::size_t n = 0;
+  k.for_each_instruction([&](const Instruction&) { ++n; });
+  EXPECT_EQ(n, k.instruction_count());
+}

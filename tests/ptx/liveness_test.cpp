@@ -1,0 +1,141 @@
+#include "ptx/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_kernels.hpp"
+
+using namespace gpustatic::ptx;  // NOLINT
+
+TEST(Liveness, StraightLineDemand) {
+  const Kernel k = fixtures::make_saxpyish_kernel();
+  const RegisterDemand d = analyze_register_demand(k);
+  // Live at peak: rd0, rd1 (2 slots each), r0, rd2... — well above ABI
+  // floor, well below anything dramatic.
+  EXPECT_GE(d.regs_per_thread, 6u + kAbiReserved);
+  EXPECT_LE(d.regs_per_thread, 16u);
+  EXPECT_EQ(d.preds_per_thread, 0u);
+}
+
+TEST(Liveness, LoopKernelKeepsLoopCarriedValuesLive) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const RegisterDemand d = analyze_register_demand(k);
+  // r1 (bound), r2 (counter), f0 (accumulator) + r0 early = 3-4 live
+  // 32-bit slots at peak.
+  EXPECT_GE(d.regs_per_thread, 3u + kAbiReserved);
+  EXPECT_LE(d.regs_per_thread, 8u);
+  EXPECT_GE(d.preds_per_thread, 1u);
+}
+
+TEST(Liveness, DeadCodeDoesNotRaiseDemand) {
+  // Write 8 registers that are never read: peak live is ~0 beyond ABI.
+  Kernel k;
+  k.name = "dead";
+  BasicBlock entry{"entry", {}};
+  for (int i = 0; i < 8; ++i)
+    entry.body.push_back(make_mov(Reg{Type::F32, static_cast<uint16_t>(i)},
+                                  Operand::imm_f(1.0)));
+  entry.body.push_back(make_exit());
+  k.blocks = {entry};
+  k.finalize();
+  const RegisterDemand d = analyze_register_demand(k);
+  EXPECT_LE(d.regs_per_thread, 1u + kAbiReserved);
+}
+
+TEST(Liveness, OverlappingLiveRangesSum) {
+  // Chain: load 8 values, then consume them all in one reduction —
+  // all 8 must be simultaneously live.
+  Kernel k;
+  k.name = "wide";
+  BasicBlock entry{"entry", {}};
+  const Reg acc{Type::F32, 100};
+  entry.body.push_back(make_mov(acc, Operand::imm_f(0.0)));
+  for (int i = 0; i < 8; ++i)
+    entry.body.push_back(make_mov(Reg{Type::F32, static_cast<uint16_t>(i)},
+                                  Operand::imm_f(double(i))));
+  for (int i = 0; i < 8; ++i)
+    entry.body.push_back(make_binary(
+        Opcode::FADD, acc, Operand(acc),
+        Operand(Reg{Type::F32, static_cast<uint16_t>(i)})));
+  entry.body.push_back(make_exit());
+  k.blocks = {entry};
+  k.finalize();
+  const RegisterDemand d = analyze_register_demand(k);
+  EXPECT_GE(d.regs_per_thread, 9u);  // acc + 8 temps
+}
+
+TEST(Liveness, WideTypesCostTwoSlots) {
+  Kernel k;
+  k.name = "wide64";
+  BasicBlock entry{"entry", {}};
+  const Reg acc{Type::F64, 50};
+  entry.body.push_back(make_mov(acc, Operand::imm_f(0.0)));
+  for (int i = 0; i < 4; ++i)
+    entry.body.push_back(make_mov(Reg{Type::F64, static_cast<uint16_t>(i)},
+                                  Operand::imm_f(double(i))));
+  for (int i = 0; i < 4; ++i)
+    entry.body.push_back(make_binary(
+        Opcode::FADD, acc, Operand(acc),
+        Operand(Reg{Type::F64, static_cast<uint16_t>(i)})));
+  entry.body.push_back(make_exit());
+  k.blocks = {entry};
+  k.finalize();
+  const RegisterDemand d = analyze_register_demand(k);
+  // 5 doubles live at once = 10 slots (+ABI).
+  EXPECT_GE(d.regs_per_thread, 10u + kAbiReserved);
+}
+
+TEST(Liveness, GuardedDefKeepsOldValueLive) {
+  // @p mov f0, 1.0 then read f0: f0's prior value must stay live across
+  // the guarded write (inactive lanes keep it).
+  Kernel k;
+  k.name = "guarded";
+  const Reg f0{Type::F32, 0}, f1{Type::F32, 1};
+  const Reg p0{Type::Pred, 0};
+  BasicBlock entry{"entry", {}};
+  entry.body.push_back(make_mov(f0, Operand::imm_f(7.0)));
+  entry.body.push_back(make_setp(CmpOp::LT, p0,
+                                 Operand::special(SpecialReg::TidX),
+                                 Operand::imm_i(16), Type::I32));
+  Instruction guarded_mov = make_mov(f0, Operand::imm_f(1.0));
+  guarded_mov.guard = Guard{p0, false};
+  entry.body.push_back(guarded_mov);
+  entry.body.push_back(make_binary(Opcode::FADD, f1, Operand(f0),
+                                   Operand::imm_f(1.0)));
+  entry.body.push_back(make_exit());
+  k.blocks = {entry};
+  k.finalize();
+  const RegisterDemand d = analyze_register_demand(k);
+  EXPECT_GE(d.preds_per_thread, 1u);
+  EXPECT_GE(d.regs_per_thread, 2u);
+}
+
+TEST(Liveness, DemandGrowsWithUnrolledBodies) {
+  // Property: replicating independent work k times grows register demand
+  // monotonically (the basis for unroll -> register pressure modeling).
+  auto make_unrolled = [](int copies) {
+    Kernel k;
+    k.name = "unrolled";
+    BasicBlock entry{"entry", {}};
+    const Reg acc{Type::F32, 200};
+    entry.body.push_back(make_mov(acc, Operand::imm_f(0.0)));
+    for (int u = 0; u < copies; ++u) {
+      const Reg t{Type::F32, static_cast<uint16_t>(u)};
+      entry.body.push_back(make_mov(t, Operand::imm_f(double(u))));
+    }
+    for (int u = 0; u < copies; ++u) {
+      const Reg t{Type::F32, static_cast<uint16_t>(u)};
+      entry.body.push_back(
+          make_binary(Opcode::FADD, acc, Operand(acc), Operand(t)));
+    }
+    entry.body.push_back(make_exit());
+    k.blocks = {entry};
+    k.finalize();
+    return analyze_register_demand(k).regs_per_thread;
+  };
+  const auto d1 = make_unrolled(1);
+  const auto d2 = make_unrolled(2);
+  const auto d4 = make_unrolled(4);
+  EXPECT_LE(d1, d2);
+  EXPECT_LE(d2, d4);
+  EXPECT_EQ(d4 - d1, 3u);
+}

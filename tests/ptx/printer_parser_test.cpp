@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+#include "test_kernels.hpp"
+
+namespace ptx = gpustatic::ptx;
+using namespace gpustatic::ptx;  // NOLINT
+
+namespace {
+
+/// Structural equality check via re-printing: two kernels are equivalent
+/// if they print identically.
+void expect_round_trip(const Kernel& k) {
+  const std::string text = to_string(k);
+  const Kernel parsed = parse_kernel(text);
+  EXPECT_EQ(to_string(parsed), text);
+  EXPECT_EQ(parsed.name, k.name);
+  EXPECT_EQ(parsed.params.size(), k.params.size());
+  EXPECT_EQ(parsed.blocks.size(), k.blocks.size());
+  EXPECT_EQ(parsed.instruction_count(), k.instruction_count());
+  EXPECT_EQ(parsed.smem_static_bytes, k.smem_static_bytes);
+}
+
+}  // namespace
+
+TEST(PrinterParser, LoopKernelRoundTrips) {
+  expect_round_trip(fixtures::make_loop_kernel());
+}
+
+TEST(PrinterParser, DiamondKernelRoundTrips) {
+  expect_round_trip(fixtures::make_diamond_kernel());
+}
+
+TEST(PrinterParser, SaxpyishKernelRoundTrips) {
+  expect_round_trip(fixtures::make_saxpyish_kernel());
+}
+
+TEST(PrinterParser, PrintsGuards) {
+  const Kernel k = fixtures::make_loop_kernel();
+  const std::string text = to_string(k);
+  EXPECT_NE(text.find("@!%p0 bra done;"), std::string::npos);
+  EXPECT_NE(text.find("@%p1 bra loop;"), std::string::npos);
+}
+
+TEST(PrinterParser, PrintsHeaderAndParams) {
+  const Kernel k = fixtures::make_saxpyish_kernel();
+  const std::string text = to_string(k);
+  EXPECT_NE(text.find(".kernel saxpyish"), std::string::npos);
+  EXPECT_NE(text.find(".param .ptr.f32 x"), std::string::npos);
+  EXPECT_NE(text.find(".smem 0"), std::string::npos);
+}
+
+TEST(PrinterParser, PrintsAccessHints) {
+  const Kernel k = fixtures::make_saxpyish_kernel();
+  const std::string text = to_string(k);
+  EXPECT_NE(text.find("// stride=4"), std::string::npos);
+}
+
+TEST(PrinterParser, ParsesAccessHintBack) {
+  const Kernel k = parse_kernel(R"(.kernel m (.param .ptr.f32 a)
+.smem 0
+{
+entry:
+  ld.param.s64 %rd0, [a];
+  ld.global.f32 %f0, [%rd0+16];  // stride=128
+  st.global.f32 [%rd0+0], %f0;  // stride=4 uniform
+  exit;
+}
+)");
+  const auto& body = k.blocks[0].body;
+  EXPECT_EQ(body[1].access.lane_stride_bytes, 128);
+  EXPECT_FALSE(body[1].access.uniform);
+  EXPECT_EQ(body[1].offset, 16);
+  EXPECT_EQ(body[2].access.lane_stride_bytes, 4);
+  EXPECT_TRUE(body[2].access.uniform);
+}
+
+TEST(PrinterParser, FloatImmediatesAreExact) {
+  Kernel k;
+  k.name = "imm";
+  const Reg f0{Type::F32, 0};
+  BasicBlock entry{"entry", {}};
+  // A value that does not round-trip through decimal text at low precision.
+  entry.body.push_back(make_mov(f0, Operand::imm_f(0.1)));
+  entry.body.push_back(make_exit());
+  k.blocks = {entry};
+  k.finalize();
+
+  const Kernel parsed = parse_kernel(to_string(k));
+  EXPECT_DOUBLE_EQ(parsed.blocks[0].body[0].srcs[0].imm_f(), 0.1);
+}
+
+TEST(PrinterParser, NegativeIntImmediates) {
+  const Kernel k = parse_kernel(R"(.kernel m ()
+.smem 0
+{
+entry:
+  mov.s32 %r0, -42;
+  exit;
+}
+)");
+  EXPECT_EQ(k.blocks[0].body[0].srcs[0].imm_i(), -42);
+}
+
+TEST(PrinterParser, SpecialRegisters) {
+  const Kernel k = parse_kernel(R"(.kernel m ()
+.smem 0
+{
+entry:
+  mov.s32 %r0, %tid.x;
+  mov.s32 %r1, %ntid.x;
+  mov.s32 %r2, %ctaid.x;
+  mov.s32 %r3, %nctaid.x;
+  exit;
+}
+)");
+  EXPECT_EQ(k.blocks[0].body[0].srcs[0].special(), SpecialReg::TidX);
+  EXPECT_EQ(k.blocks[0].body[1].srcs[0].special(), SpecialReg::NTidX);
+  EXPECT_EQ(k.blocks[0].body[2].srcs[0].special(), SpecialReg::CTAidX);
+  EXPECT_EQ(k.blocks[0].body[3].srcs[0].special(), SpecialReg::NCTAidX);
+}
+
+TEST(PrinterParser, SetpVariants) {
+  const Kernel k = parse_kernel(R"(.kernel m ()
+.smem 0
+{
+entry:
+  setp.ge.f32 %p0, %f1, %f2;
+  setp.ne.s64 %p1, %rd1, 0;
+  exit;
+}
+)");
+  EXPECT_EQ(k.blocks[0].body[0].cmp, CmpOp::GE);
+  EXPECT_EQ(k.blocks[0].body[0].type, Type::F32);
+  EXPECT_EQ(k.blocks[0].body[1].cmp, CmpOp::NE);
+  EXPECT_EQ(k.blocks[0].body[1].type, Type::I64);
+}
+
+TEST(PrinterParser, MulHiRoundTrips) {
+  const Kernel k = parse_kernel(R"(.kernel m ()
+.smem 0
+{
+entry:
+  mul.hi.s32 %r0, %r1, %r2;
+  exit;
+}
+)");
+  EXPECT_EQ(k.blocks[0].body[0].op, Opcode::IMULHI);
+  expect_round_trip(k);
+}
+
+TEST(PrinterParser, AtomAddParses) {
+  const Kernel k = parse_kernel(R"(.kernel m (.param .ptr.f32 y)
+.smem 0
+{
+entry:
+  ld.param.s64 %rd0, [y];
+  atom.add.global.f32 [%rd0+8], %f0;  // stride=0 uniform
+  exit;
+}
+)");
+  EXPECT_EQ(k.blocks[0].body[1].op, Opcode::ATOM_ADD);
+  EXPECT_EQ(k.blocks[0].body[1].offset, 8);
+}
+
+TEST(PrinterParser, CommentsAndBlankLinesIgnored) {
+  const Kernel k = parse_kernel(R"(
+// leading comment
+.kernel m ()
+.smem 0
+{
+entry:
+  // a comment line
+  mov.s32 %r0, 1;
+
+  exit;
+}
+)");
+  EXPECT_EQ(k.instruction_count(), 2u);
+}
+
+TEST(PrinterParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_kernel(".kernel m ()\n.smem 0\n{\nentry:\n  bogus.s32 %r0;\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const gpustatic::ParseError& e) {
+    EXPECT_EQ(e.line(), 5u);
+  }
+}
+
+TEST(PrinterParser, UnknownSymbolFails) {
+  EXPECT_THROW((void)parse_kernel(R"(.kernel m ()
+.smem 0
+{
+entry:
+  mov.s32 %r0, whatever;
+  exit;
+}
+)"),
+               gpustatic::ParseError);
+}
+
+TEST(PrinterParser, MissingBraceFails) {
+  EXPECT_THROW((void)parse_kernel(".kernel m ()\n.smem 0\n{\nentry:\n  exit;\n"),
+               gpustatic::ParseError);
+}
+
+TEST(PrinterParser, SmemBytesParsed) {
+  const Kernel k = parse_kernel(R"(.kernel m ()
+.smem 2048
+{
+entry:
+  exit;
+}
+)");
+  EXPECT_EQ(k.smem_static_bytes, 2048u);
+}

@@ -1,0 +1,126 @@
+#pragma once
+
+// Hand-built IR kernels shared by the ptx test suites.
+
+#include "ptx/kernel.hpp"
+
+namespace gpustatic::ptx::fixtures {
+
+/// A simple counted loop:
+///
+/// entry:   %r0 = tid; %r1 = n (param 1); %r2 = 0; setp p0 = r0 < r1;
+///          @!p0 bra done;
+/// loop:    %f0 += 1.0; %r2 += 1; setp p1 = r2 < r1; @p1 bra loop;
+/// done:    exit;
+inline Kernel make_loop_kernel() {
+  Kernel k;
+  k.name = "loop_kernel";
+  k.params = {{"out", Type::F32, true}, {"n", Type::I32, false}};
+
+  const Reg r0{Type::I32, 0}, r1{Type::I32, 1}, r2{Type::I32, 2};
+  const Reg f0{Type::F32, 0};
+  const Reg p0{Type::Pred, 0}, p1{Type::Pred, 1};
+
+  BasicBlock entry{"entry", {}};
+  entry.body.push_back(make_mov(r0, Operand::special(SpecialReg::TidX)));
+  entry.body.push_back(make_ld_param(r1, 1));
+  entry.body.push_back(make_mov(r2, Operand::imm_i(0)));
+  entry.body.push_back(make_mov(f0, Operand::imm_f(0.0)));
+  entry.body.push_back(
+      make_setp(CmpOp::LT, p0, Operand(r0), Operand(r1), Type::I32));
+  entry.body.push_back(make_bra_if(p0, /*negated=*/true, "done"));
+
+  BasicBlock loop{"loop", {}};
+  loop.body.push_back(
+      make_binary(Opcode::FADD, f0, Operand(f0), Operand::imm_f(1.0)));
+  loop.body.push_back(
+      make_binary(Opcode::IADD, r2, Operand(r2), Operand::imm_i(1)));
+  loop.body.push_back(
+      make_setp(CmpOp::LT, p1, Operand(r2), Operand(r1), Type::I32));
+  loop.body.push_back(make_bra_if(p1, /*negated=*/false, "loop"));
+
+  BasicBlock done{"done", {}};
+  done.body.push_back(make_exit());
+
+  k.blocks = {entry, loop, done};
+  k.finalize();
+  return k;
+}
+
+/// Diamond control flow (if/else):
+///
+/// entry: setp p0 = tid < 16; @!p0 bra else_bb;
+/// then_bb: %f0 = f0 + 1.0; bra join;
+/// else_bb: %f0 = f0 * 2.0;
+/// join: exit;
+inline Kernel make_diamond_kernel() {
+  Kernel k;
+  k.name = "diamond";
+  k.params = {{"out", Type::F32, true}};
+
+  const Reg r0{Type::I32, 0};
+  const Reg f0{Type::F32, 0};
+  const Reg p0{Type::Pred, 0};
+
+  BasicBlock entry{"entry", {}};
+  entry.body.push_back(make_mov(r0, Operand::special(SpecialReg::TidX)));
+  entry.body.push_back(make_mov(f0, Operand::imm_f(1.0)));
+  entry.body.push_back(
+      make_setp(CmpOp::LT, p0, Operand(r0), Operand::imm_i(16), Type::I32));
+  entry.body.push_back(make_bra_if(p0, true, "else_bb"));
+
+  BasicBlock then_bb{"then_bb", {}};
+  then_bb.body.push_back(
+      make_binary(Opcode::FADD, f0, Operand(f0), Operand::imm_f(1.0)));
+  then_bb.body.push_back(make_bra("join"));
+
+  BasicBlock else_bb{"else_bb", {}};
+  else_bb.body.push_back(
+      make_binary(Opcode::FMUL, f0, Operand(f0), Operand::imm_f(2.0)));
+
+  BasicBlock join{"join", {}};
+  join.body.push_back(make_exit());
+
+  k.blocks = {entry, then_bb, else_bb, join};
+  k.finalize();
+  return k;
+}
+
+/// Straight-line kernel exercising memory + many operand kinds; stores
+/// (x[i] * 2 + 1) to out[i].
+inline Kernel make_saxpyish_kernel() {
+  Kernel k;
+  k.name = "saxpyish";
+  k.params = {{"x", Type::F32, true}, {"out", Type::F32, true}};
+
+  const Reg r0{Type::I32, 0};
+  const Reg rd0{Type::I64, 0}, rd1{Type::I64, 1}, rd2{Type::I64, 2},
+      rd3{Type::I64, 3};
+  const Reg f0{Type::F32, 0}, f1{Type::F32, 1};
+
+  BasicBlock entry{"entry", {}};
+  entry.body.push_back(make_ld_param(rd0, 0));
+  entry.body.push_back(make_ld_param(rd1, 1));
+  entry.body.push_back(make_mov(r0, Operand::special(SpecialReg::TidX)));
+  // rd2 = rd0 + 4*r0 (widening mad)
+  entry.body.push_back(make_cvt(rd2, r0));
+  entry.body.push_back(make_ternary(Opcode::IMAD, rd2, Operand(rd2),
+                                    Operand::imm_i(4), Operand(rd0)));
+  entry.body.push_back(
+      make_ld(MemSpace::Global, f0, rd2, 0, AccessHint{4, false}));
+  entry.body.push_back(make_ternary(Opcode::FFMA, f1, Operand(f0),
+                                    Operand::imm_f(2.0),
+                                    Operand::imm_f(1.0)));
+  entry.body.push_back(make_cvt(rd3, r0));
+  entry.body.push_back(make_ternary(Opcode::IMAD, rd3, Operand(rd3),
+                                    Operand::imm_i(4), Operand(rd1)));
+  entry.body.push_back(make_st(MemSpace::Global, rd3, Operand(f1), 0,
+                               AccessHint{4, false}));
+  entry.body.push_back(make_exit());
+
+  k.blocks = {entry};
+  k.finalize();
+  return k;
+}
+
+}  // namespace gpustatic::ptx::fixtures

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "replay/journal.hpp"
+#include "replay/refine.hpp"
+#include "replay/replay.hpp"
+
+using namespace gpustatic;  // NOLINT
+using replay::TuningJournal;
+using replay::VariantRecord;
+
+// ---- journal round-trip -----------------------------------------------------
+
+namespace {
+
+TuningJournal sample_journal() {
+  TuningJournal j;
+  j.set_context("atax", "K20", 256);
+  j.record_decision("occupancy", "occ*=1.0 T*={128,256,512,1024}");
+  j.record_decision("rule", "intensity=2.04 -> lower half");
+  VariantRecord a;
+  a.params.threads_per_block = 128;
+  a.params.unroll = 3;
+  a.params.fast_math = true;
+  a.predicted_cost = 1234.5;
+  a.measured_ms = 0.0625;
+  j.record_variant(a);
+  VariantRecord b;
+  b.params.threads_per_block = 256;
+  b.predicted_cost = 999.25;  // never measured
+  j.record_variant(b);
+  VariantRecord c;
+  c.params.threads_per_block = 96;
+  c.valid = false;
+  j.record_variant(c);
+  return j;
+}
+
+}  // namespace
+
+TEST(Journal, SerializeParseRoundTripIsLossless) {
+  const TuningJournal j = sample_journal();
+  const std::string text = j.serialize();
+  const TuningJournal back = TuningJournal::parse(text);
+
+  EXPECT_EQ(back.workload(), "atax");
+  EXPECT_EQ(back.gpu(), "K20");
+  EXPECT_EQ(back.problem_size(), 256);
+  ASSERT_EQ(back.decisions().size(), 2u);
+  EXPECT_EQ(back.decisions()[0].step, "occupancy");
+  EXPECT_EQ(back.decisions()[1].detail, "intensity=2.04 -> lower half");
+  ASSERT_EQ(back.variants().size(), 3u);
+  EXPECT_EQ(back.variants()[0].params, j.variants()[0].params);
+  EXPECT_DOUBLE_EQ(back.variants()[0].predicted_cost, 1234.5);
+  EXPECT_DOUBLE_EQ(back.variants()[0].measured_ms, 0.0625);
+  EXPECT_FALSE(back.variants()[1].measured());
+  EXPECT_FALSE(back.variants()[2].valid);
+  EXPECT_EQ(back.measured_count(), 1u);
+
+  // Idempotent: serializing the parse reproduces the text.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(Journal, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)TuningJournal::parse(""), ParseError);
+  EXPECT_THROW((void)TuningJournal::parse("not-a-journal\n"), ParseError);
+  EXPECT_THROW((void)TuningJournal::parse(
+                   "gpustatic-journal v1\nmystery record\n"),
+               ParseError);
+  EXPECT_THROW(
+      (void)TuningJournal::parse("gpustatic-journal v1\ncontext a b\n"),
+      ParseError);
+  EXPECT_THROW((void)TuningJournal::parse(
+                   "gpustatic-journal v1\nvariant TC=1 BC=1 UIF=1 PL=16 "
+                   "SC=1 FM=0 pred=1 time=x valid=1\n"),
+               ParseError);
+  EXPECT_THROW((void)TuningJournal::parse(
+                   "gpustatic-journal v1\nvariant TC=1 BC=1 UIF=1 PL=16 "
+                   "SC=1 FM=0 zz=1 time=- valid=1\n"),
+               ParseError);
+}
+
+TEST(Journal, ParseReportsLineNumbers) {
+  try {
+    (void)TuningJournal::parse(
+        "gpustatic-journal v1\ncontext a b 1\nbogus\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Journal, DecisionStepMustBeOneToken) {
+  TuningJournal j;
+  EXPECT_THROW(j.record_decision("two words", "detail"), Error);
+}
+
+// ---- record + replay ---------------------------------------------------------
+
+TEST(RecordTuning, JournalsDecisionsAndRulePrunedVariants) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 8;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+
+  EXPECT_EQ(j.workload(), "atax");
+  EXPECT_EQ(j.gpu(), "K20");
+  ASSERT_GE(j.decisions().size(), 3u);
+  EXPECT_EQ(j.decisions()[0].step, "occupancy");
+  EXPECT_EQ(j.decisions()[1].step, "rule");
+  EXPECT_EQ(j.decisions()[2].step, "space");
+  EXPECT_GT(j.variants().size(), 10u);
+  EXPECT_GT(j.measured_count(), 10u);
+  for (const VariantRecord& v : j.variants())
+    if (v.valid) EXPECT_GT(v.predicted_cost, 0.0);
+}
+
+TEST(RecordTuning, StaticOnlyModeSkipsMeasurement) {
+  const auto wl = kernels::make_atax(64);
+  replay::RecordOptions opts;
+  opts.measure_variants = false;
+  opts.stride = 16;
+  const TuningJournal j = replay::record_tuning(wl, arch::gpu("K20"), opts);
+  EXPECT_GT(j.variants().size(), 0u);
+  EXPECT_EQ(j.measured_count(), 0u);
+}
+
+TEST(Replay, DeterministicEngineShowsZeroDrift) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 8;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+
+  const auto result = replay::replay(j, wl, gpu, opts.run);
+  EXPECT_EQ(result.total_variants, j.variants().size());
+  EXPECT_GT(result.replayed, 0u);
+  EXPECT_EQ(result.drift_checked, j.measured_count());
+  // Same deterministic engine + same measurement seed: bit-equal times.
+  EXPECT_DOUBLE_EQ(result.max_rel_drift, 0.0);
+  EXPECT_GT(result.best_time_ms, 0.0);
+}
+
+TEST(Replay, SurvivesJournalSerializationRoundTrip) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 16;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+  const TuningJournal restored = TuningJournal::parse(j.serialize());
+  const auto result = replay::replay(restored, wl, gpu, opts.run);
+  EXPECT_DOUBLE_EQ(result.max_rel_drift, 0.0);
+}
+
+TEST(Replay, RejectsMismatchedContext) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 64;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+  EXPECT_THROW((void)replay::replay(j, kernels::make_bicg(64), gpu), Error);
+  EXPECT_THROW((void)replay::replay(j, wl, arch::gpu("P100")), Error);
+}
+
+// ---- coefficient refinement ----------------------------------------------------
+
+TEST(Refine, RecoversKnownLinearModelExactly) {
+  // Synthetic ground truth: time = 2*O_fl + 5*O_mem + 0*O_ctrl + 1*O_reg.
+  std::vector<replay::MixFeatures> x = {
+      {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+      {1, 1, 0, 0}, {2, 1, 3, 1}, {4, 2, 1, 0}, {1, 3, 2, 2},
+  };
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const auto& f : x) y.push_back(2 * f[0] + 5 * f[1] + 0 + f[3]);
+
+  const auto fit = replay::fit_coefficients(x, y);
+  EXPECT_NEAR(fit.coeffs.c[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit.coeffs.c[1], 5.0, 1e-6);
+  EXPECT_NEAR(fit.coeffs.c[2], 0.0, 1e-6);
+  EXPECT_NEAR(fit.coeffs.c[3], 1.0, 1e-6);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Refine, ClampsNegativeCoefficientsToZero) {
+  // O_ctrl anti-correlates with time; NNLS must clamp it, not go
+  // negative.
+  std::vector<replay::MixFeatures> x;
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    const double fl = 1.0 + i;
+    const double ctrl = 12.0 - i;
+    x.push_back({fl, 0.5, ctrl, 0.1});
+    y.push_back(3.0 * fl + 0.2);  // ctrl contributes nothing positive
+  }
+  const auto fit = replay::fit_coefficients(x, y);
+  for (const double c : fit.coeffs.c) EXPECT_GE(c, 0.0);
+}
+
+TEST(Refine, RejectsDegenerateInputs) {
+  std::vector<replay::MixFeatures> x = {{1, 2, 3, 4}};
+  std::vector<double> y = {1.0};
+  EXPECT_THROW((void)replay::fit_coefficients(x, y), Error);
+  x.assign(4, {1, 2, 3, 4});
+  y.assign(3, 1.0);
+  EXPECT_THROW((void)replay::fit_coefficients(x, y), Error);
+}
+
+TEST(Refine, DefaultCoefficientsMatchTableTwoCpis) {
+  const auto c = replay::default_coefficients(arch::Family::Kepler);
+  EXPECT_DOUBLE_EQ(c.c[0],
+                   arch::class_cpi(arch::OpClass::FLOPS,
+                                   arch::Family::Kepler));
+  EXPECT_DOUBLE_EQ(c.c[1],
+                   arch::class_cpi(arch::OpClass::MEM,
+                                   arch::Family::Kepler));
+}
+
+TEST(Refine, JournalFitImprovesInSampleFit) {
+  const auto wl = kernels::make_matvec2d(128);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 4;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+  ASSERT_GE(j.measured_count(), 8u);
+
+  const auto fit = replay::refine_from_journal(j, wl, gpu);
+  EXPECT_EQ(fit.samples, j.measured_count());
+
+  // Compare residuals of refined vs default coefficients on the
+  // journaled data (default scores are relative, so allow a free global
+  // scale fitted by least squares before comparing).
+  std::vector<replay::MixFeatures> feats;
+  std::vector<double> times;
+  for (const auto& v : j.variants()) {
+    if (!v.valid || !v.measured()) continue;
+    const codegen::Compiler c(gpu, v.params);
+    feats.push_back(replay::mix_features(c.compile(wl)));
+    times.push_back(v.measured_ms);
+  }
+  const auto defaults = replay::default_coefficients(gpu.family);
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    num += defaults.score(feats[i]) * times[i];
+    den += defaults.score(feats[i]) * defaults.score(feats[i]);
+  }
+  const double scale = den > 0 ? num / den : 1.0;
+  double ss_default = 0;
+  double ss_refined = 0;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    const double d = scale * defaults.score(feats[i]) - times[i];
+    const double r = fit.coeffs.score(feats[i]) - times[i];
+    ss_default += d * d;
+    ss_refined += r * r;
+  }
+  EXPECT_LE(ss_refined, ss_default + 1e-12);
+}
+
+TEST(Journal, DecisionStepMayBeASubstringOfTheKeyword) {
+  // "is" appears inside "decision"; the parser must still anchor the
+  // detail after the step token, not at the first substring match.
+  const auto j = replay::TuningJournal::parse(
+      "gpustatic-journal v1\ndecision is the detail text\n");
+  ASSERT_EQ(j.decisions().size(), 1u);
+  EXPECT_EQ(j.decisions()[0].step, "is");
+  EXPECT_EQ(j.decisions()[0].detail, "the detail text");
+}

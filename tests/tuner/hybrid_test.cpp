@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/hybrid.hpp"
+
+using namespace gpustatic;  // NOLINT
+using tuner::HybridOptions;
+using tuner::HybridResult;
+
+namespace {
+
+struct Fixture {
+  dsl::WorkloadDesc wl = kernels::make_atax(64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  tuner::ParamSpace space = tuner::paper_space();
+  tuner::Objective objective = tuner::make_objective(wl, gpu);
+};
+
+HybridResult run(Fixture& f, std::size_t budget, bool use_rule = true) {
+  HybridOptions opts;
+  opts.empirical_budget = budget;
+  opts.use_rule = use_rule;
+  return tuner::hybrid_search(f.space, f.gpu, f.wl, f.objective, opts);
+}
+
+}  // namespace
+
+TEST(HybridSearch, ZeroBudgetRecommendsWithoutAnyRun) {
+  Fixture f;
+  std::size_t calls = 0;
+  tuner::Objective counting = [&](const codegen::TuningParams& p) {
+    ++calls;
+    return f.objective(p);
+  };
+  HybridOptions opts;
+  opts.empirical_budget = 0;
+  const auto r = tuner::hybrid_search(f.space, f.gpu, f.wl, counting, opts);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(r.empirical_evaluations, 0u);
+  EXPECT_EQ(r.best_time_ms, tuner::kInvalid);
+  // The recommendation is the top of the prediction-sorted shortlist.
+  EXPECT_EQ(r.best_params, r.shortlist.front().params);
+}
+
+TEST(HybridSearch, BudgetBoundsEmpiricalWork) {
+  Fixture f;
+  for (const std::size_t budget : {1u, 4u, 16u}) {
+    const auto r = run(f, budget);
+    EXPECT_LE(r.empirical_evaluations, budget);
+    EXPECT_GT(r.empirical_evaluations, 0u);
+    EXPECT_LT(r.best_time_ms, tuner::kInvalid);
+  }
+}
+
+TEST(HybridSearch, QualityIsMonotoneInBudget) {
+  Fixture f;
+  double prev = tuner::kInvalid;
+  for (const std::size_t budget : {1u, 2u, 4u, 8u, 32u, 128u}) {
+    const auto r = run(f, budget);
+    if (prev != tuner::kInvalid) EXPECT_LE(r.best_time_ms, prev);
+    prev = r.best_time_ms;
+  }
+}
+
+TEST(HybridSearch, FullBudgetMatchesExhaustiveOverPrunedSpace) {
+  Fixture f;
+  const auto r = run(f, static_cast<std::size_t>(-1));
+  const auto exhaustive =
+      tuner::exhaustive_search(r.prune.rule_space, f.objective);
+  EXPECT_DOUBLE_EQ(r.best_time_ms, exhaustive.best_time);
+  EXPECT_EQ(r.empirical_evaluations, r.shortlist.size());
+}
+
+TEST(HybridSearch, ShortlistIsSortedAndDeduplicated) {
+  Fixture f;
+  const auto r = run(f, 4);
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < r.shortlist.size(); ++i) {
+    EXPECT_TRUE(seen.insert(r.shortlist[i].flat_index).second);
+    if (i > 0)
+      EXPECT_GE(r.shortlist[i].predicted_cost,
+                r.shortlist[i - 1].predicted_cost);
+  }
+  EXPECT_EQ(r.shortlist.size(), r.prune.rule_size);
+}
+
+TEST(HybridSearch, StaticOnlyModeUsesWiderSpace) {
+  Fixture f;
+  const auto ruled = run(f, 2, /*use_rule=*/true);
+  const auto static_only = run(f, 2, /*use_rule=*/false);
+  EXPECT_GT(static_only.shortlist.size(), ruled.shortlist.size());
+  EXPECT_EQ(static_only.shortlist.size(), static_only.prune.static_size);
+}
+
+TEST(HybridSearch, DeterministicAcrossRuns) {
+  Fixture f;
+  const auto a = run(f, 8);
+  const auto b = run(f, 8);
+  EXPECT_EQ(a.best_params, b.best_params);
+  EXPECT_DOUBLE_EQ(a.best_time_ms, b.best_time_ms);
+  ASSERT_EQ(a.shortlist.size(), b.shortlist.size());
+  for (std::size_t i = 0; i < a.shortlist.size(); ++i)
+    EXPECT_EQ(a.shortlist[i].flat_index, b.shortlist[i].flat_index);
+}
+
+TEST(HybridSearch, EmpiricalFractionReflectsTheDial) {
+  Fixture f;
+  const auto r = run(f, 8);
+  EXPECT_GT(r.empirical_fraction(), 0.0);
+  EXPECT_LE(r.empirical_fraction(), 1.0);
+  const auto full = run(f, static_cast<std::size_t>(-1));
+  EXPECT_DOUBLE_EQ(full.empirical_fraction(), 1.0);
+}

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+#include "tuner/spec_parser.hpp"
+#include "tuner/static_search.hpp"
+
+using namespace gpustatic;  // NOLINT
+using namespace gpustatic::tuner;  // NOLINT
+
+// ---- ParamSpace ---------------------------------------------------------
+
+TEST(Space, PaperSpaceHas5120Variants) {
+  EXPECT_EQ(paper_space().size(), 5120u);
+}
+
+TEST(Space, PointIndexRoundTrip) {
+  const ParamSpace s = paper_space();
+  for (const std::size_t i : {0u, 1u, 777u, 5119u}) {
+    EXPECT_EQ(s.flat_index(s.point_at(i)), i);
+  }
+}
+
+TEST(Space, ToParamsMapsDimensions) {
+  const ParamSpace s = paper_space();
+  Point p(s.rank(), 0);
+  const auto params = s.to_params(p);
+  EXPECT_EQ(params.threads_per_block, 32);
+  EXPECT_EQ(params.block_count, 24);
+  EXPECT_EQ(params.unroll, 1);
+  EXPECT_EQ(params.l1_pref_kb, 16);
+  EXPECT_FALSE(params.fast_math);
+}
+
+TEST(Space, RestrictShrinksOneDimension) {
+  const ParamSpace s = paper_space();
+  const ParamSpace r = s.restrict("TC", {128, 256, 512, 1024});
+  EXPECT_EQ(r.dimension("TC").values.size(), 4u);
+  EXPECT_EQ(r.size(), s.size() / 8);  // 32 -> 4 thread values
+  EXPECT_THROW((void)s.restrict("TC", {7}), ConfigError);
+  EXPECT_THROW((void)s.restrict("ZZ", {1}), LookupError);
+}
+
+// ---- spec parser ----------------------------------------------------------
+
+TEST(SpecParser, ParsesFig3Annotation) {
+  const ParamSpace s = parse_perf_tuning(R"(/*@ begin PerfTuning (
+    def performance_params {
+      param TC[] = range(32,1025,32);
+      param BC[] = range(24,193,24);
+      param UIF[] = range(1,6);
+      param PL[] = [16,48];
+      param CFLAGS[] = ['', '-use_fast_math'];
+    }
+  ) @*/)");
+  EXPECT_EQ(s.dimension("TC").values.size(), 32u);
+  EXPECT_EQ(s.dimension("BC").values.size(), 8u);
+  EXPECT_EQ(s.dimension("UIF").values.size(), 5u);  // python range(1,6)
+  EXPECT_EQ(s.dimension("PL").values.size(), 2u);
+  EXPECT_EQ(s.dimension("CFLAGS").values.size(), 2u);
+  EXPECT_EQ(s.size(), 32u * 8 * 5 * 2 * 2);
+}
+
+TEST(SpecParser, RangeDefaultStep) {
+  const ParamSpace s = parse_perf_tuning(
+      "def performance_params { param UIF[] = range(1,4); }");
+  const auto& v = s.dimension("UIF").values;
+  EXPECT_EQ(v, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(SpecParser, RoundTrip) {
+  const ParamSpace s = paper_space();
+  const ParamSpace r = parse_perf_tuning(to_perf_tuning(s));
+  EXPECT_EQ(r.size(), s.size());
+  EXPECT_EQ(r.dimension("TC").values, s.dimension("TC").values);
+  EXPECT_EQ(r.dimension("CFLAGS").values, s.dimension("CFLAGS").values);
+}
+
+TEST(SpecParser, ErrorsOnGarbage) {
+  EXPECT_THROW((void)parse_perf_tuning("nonsense"), ParseError);
+  EXPECT_THROW((void)parse_perf_tuning(
+                   "def performance_params { param X[] = range(1); }"),
+               ParseError);
+  EXPECT_THROW(
+      (void)parse_perf_tuning(
+          "def performance_params { param X[] = ['bogus-flag']; }"),
+      ParseError);
+}
+
+// ---- search strategies -----------------------------------------------------
+
+namespace {
+
+/// Smooth synthetic objective with a unique known optimum inside the
+/// paper space: minimized at TC=512, UIF=3, fast-math on.
+double synthetic(const codegen::TuningParams& p) {
+  const double t = (p.threads_per_block - 512.0) / 1024.0;
+  const double u = (p.unroll - 3.0) / 6.0;
+  const double f = p.fast_math ? 0.0 : 0.05;
+  return 1.0 + t * t + u * u + f;
+}
+
+}  // namespace
+
+TEST(Search, ExhaustiveFindsGlobalOptimum) {
+  const ParamSpace s = paper_space();
+  const auto r = exhaustive_search(s, synthetic);
+  EXPECT_EQ(r.distinct_evaluations, s.size());
+  EXPECT_EQ(r.best_params.threads_per_block, 512);
+  EXPECT_EQ(r.best_params.unroll, 3);
+  EXPECT_TRUE(r.best_params.fast_math);
+}
+
+class StrategyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrategyTest, FindsNearOptimumWithinBudget) {
+  const ParamSpace s = paper_space();
+  SearchOptions opts;
+  opts.budget = 400;
+  opts.seed = 99;
+  SearchResult r;
+  const std::string which = GetParam();
+  if (which == "random") r = random_search(s, synthetic, opts);
+  else if (which == "sa") r = simulated_annealing(s, synthetic, opts);
+  else if (which == "ga") r = genetic_search(s, synthetic, opts);
+  else r = nelder_mead_search(s, synthetic, opts);
+  EXPECT_LE(r.distinct_evaluations, 400u);
+  // Global optimum value is 1.0; within 5% is "found the basin".
+  EXPECT_LT(r.best_time, 1.05) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values("random", "sa", "ga", "nm"));
+
+TEST(Search, DeterministicGivenSeed) {
+  const ParamSpace s = paper_space();
+  SearchOptions opts;
+  opts.budget = 100;
+  opts.seed = 7;
+  const auto a = genetic_search(s, synthetic, opts);
+  const auto b = genetic_search(s, synthetic, opts);
+  EXPECT_EQ(a.best_time, b.best_time);
+  EXPECT_EQ(a.distinct_evaluations, b.distinct_evaluations);
+}
+
+TEST(Search, CachingCountsDistinctOnly) {
+  const ParamSpace s = paper_space();
+  CachingEvaluator eval(s, synthetic);
+  const Point p = s.point_at(42);
+  eval(p);
+  eval(p);
+  eval(p);
+  EXPECT_EQ(eval.total_calls(), 3u);
+  EXPECT_EQ(eval.distinct_evaluations(), 1u);
+}
+
+TEST(Search, InvalidObjectiveValuesAreSkippedOver) {
+  // Objective invalid except at one point.
+  const ParamSpace s = paper_space();
+  const auto fn = [](const codegen::TuningParams& p) {
+    return p.threads_per_block == 256 && p.unroll == 2 ? 1.0 : kInvalid;
+  };
+  const auto r = exhaustive_search(s, fn);
+  EXPECT_EQ(r.best_params.threads_per_block, 256);
+  EXPECT_EQ(r.best_params.unroll, 2);
+  EXPECT_EQ(r.best_time, 1.0);
+}
+
+// ---- static pruning ---------------------------------------------------------
+
+TEST(StaticPrune, KeplerReductionsMatchPaper) {
+  const auto wl = kernels::make_atax(256);
+  const auto p = static_prune(paper_space(), arch::gpu("K20"), wl);
+  // 4 of 32 thread candidates -> 87.5%; rule halves again -> 93.75%.
+  EXPECT_NEAR(p.static_reduction(), 0.875, 1e-9);
+  EXPECT_NEAR(p.rule_reduction(), 0.9375, 1e-9);
+  EXPECT_EQ(p.static_size, 640u);
+  EXPECT_EQ(p.rule_size, 320u);
+}
+
+TEST(StaticPrune, RuleDirectionFollowsIntensity) {
+  const auto& gpu = arch::gpu("K20");
+  const auto low = static_prune(paper_space(), gpu,
+                                kernels::make_bicg(256));
+  EXPECT_FALSE(low.prefers_upper);
+  EXPECT_LE(low.intensity, kIntensityThreshold);
+  const auto high = static_prune(paper_space(), gpu,
+                                 kernels::make_ex14fj(32));
+  EXPECT_TRUE(high.prefers_upper);
+  EXPECT_GT(high.intensity, kIntensityThreshold);
+  // Lower half keeps the smallest candidate, upper half the largest.
+  EXPECT_EQ(low.rule_threads.front(), low.static_threads.front());
+  EXPECT_EQ(high.rule_threads.back(), high.static_threads.back());
+}
+
+TEST(StaticPrune, PrunedSpacesAreSubsets) {
+  const auto wl = kernels::make_matvec2d(256);
+  const auto p = static_prune(paper_space(), arch::gpu("M40"), wl);
+  for (const std::int64_t t : p.rule_threads) {
+    bool in_static = false;
+    for (const std::int64_t u : p.static_threads)
+      if (u == t) in_static = true;
+    EXPECT_TRUE(in_static) << t;
+  }
+  EXPECT_LE(p.rule_size, p.static_size);
+  EXPECT_LE(p.static_size, p.full_size);
+}
+
+// ---- experiment protocol -----------------------------------------------------
+
+TEST(Experiment, RankSplitIsMedian) {
+  std::vector<TrialRecord> trials(10);
+  for (int i = 0; i < 10; ++i) {
+    trials[static_cast<std::size_t>(i)].time_ms = 10 - i;  // descending
+    trials[static_cast<std::size_t>(i)].valid = true;
+  }
+  const auto ranked = rank_trials(trials);
+  EXPECT_EQ(ranked.rank1.size(), 5u);
+  EXPECT_EQ(ranked.rank2.size(), 5u);
+  EXPECT_DOUBLE_EQ(ranked.best.time_ms, 1.0);
+  for (const auto& t : ranked.rank1)
+    for (const auto& u : ranked.rank2) EXPECT_LE(t.time_ms, u.time_ms);
+}
+
+TEST(Experiment, InvalidTrialsExcludedFromRanks) {
+  std::vector<TrialRecord> trials(4);
+  trials[0].time_ms = 1;
+  trials[1].time_ms = 2;
+  trials[2].time_ms = 3;
+  trials[3].valid = false;
+  for (int i = 0; i < 3; ++i) trials[static_cast<std::size_t>(i)].valid = true;
+  const auto ranked = rank_trials(trials);
+  EXPECT_EQ(ranked.rank1.size() + ranked.rank2.size(), 3u);
+}
+
+TEST(Experiment, SweepIsDeterministicAndOrdered) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  const ParamSpace s = paper_space();
+  const auto a = sweep(s, wl, gpu, {}, /*stride=*/512, /*threads=*/4);
+  const auto b = sweep(s, wl, gpu, {}, /*stride=*/512, /*threads=*/2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_ms, b[i].time_ms) << i;
+    EXPECT_EQ(a[i].params.threads_per_block,
+              b[i].params.threads_per_block);
+  }
+}
+
+TEST(Experiment, StatsComputeQuartiles) {
+  std::vector<TrialRecord> rank(4);
+  for (int i = 0; i < 4; ++i) {
+    auto& t = rank[static_cast<std::size_t>(i)];
+    t.params.threads_per_block = 128 * (i + 1);
+    t.occupancy = 0.5 + 0.1 * i;
+    t.reg_traffic = 100.0 * (i + 1);
+    t.regs_per_thread = 20;
+  }
+  const auto s = rank_stats(rank);
+  EXPECT_DOUBLE_EQ(s.threads_p50, (256 + 384) / 2.0);
+  EXPECT_EQ(s.regs_allocated, 20u);
+  EXPECT_NEAR(s.occ_mean, 65.0, 1e-9);
+}

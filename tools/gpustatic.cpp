@@ -1,0 +1,25 @@
+// gpustatic: the command-line front door to the library.
+// All logic lives in src/cli (unit-tested); this is dispatch only.
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/error.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const auto opts = gpustatic::cli::parse_args(args);
+    return gpustatic::cli::run_command(opts, std::cout);
+  } catch (const gpustatic::Error& e) {
+    std::fprintf(stderr, "gpustatic: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpustatic: internal error: %s\n", e.what());
+    return 3;
+  }
+}
