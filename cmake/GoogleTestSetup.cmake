@@ -1,0 +1,37 @@
+# Resolve GoogleTest without requiring network access:
+#   1. an installed package (libgtest-dev with prebuilt archives),
+#   2. the distro source tree under /usr/src/googletest,
+#   3. FetchContent as a last resort (CI caches this download).
+# Every path ends with the imported targets GTest::gtest / GTest::gtest_main.
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(GTest_FOUND AND TARGET GTest::gtest_main)
+  message(STATUS "GoogleTest: using installed package")
+  return()
+endif()
+
+if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+  message(STATUS "GoogleTest: building distro sources from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "GoogleTest: fetching v1.14.0 via FetchContent")
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

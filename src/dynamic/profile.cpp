@@ -104,7 +104,9 @@ void StageProfiler::on_memory(const sim::MemoryEvent& ev) {
 StageProfile StageProfiler::take(sim::StageTiming timing) {
   p_.timing = std::move(timing);
   StageProfile out = std::move(p_);
-  p_ = StageProfile{};
+  // Not StageProfile{}: aggregate-init would copy-list-initialize the
+  // l2_stream member from {}, which may not use its explicit constructor.
+  p_ = StageProfile();
   mem_index_.clear();
   return out;
 }

@@ -583,10 +583,14 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
                 case Opcode::IADD: v = A() + B(); break;
                 case Opcode::ISUB: v = A() - B(); break;
                 case Opcode::IMUL: v = A() * B(); break;
-                case Opcode::IMULHI:
+                case Opcode::IMULHI: {
+                  // __int128 is a GNU extension; tagged so -Wpedantic
+                  // accepts the widened 64x64 product.
+                  __extension__ typedef __int128 wide_int;
                   v = static_cast<std::int64_t>(
-                      (static_cast<__int128>(A()) * B()) >> 32);
+                      (static_cast<wide_int>(A()) * B()) >> 32);
                   break;
+                }
                 case Opcode::IMAD: v = A() * B() + C(); break;
                 case Opcode::IMIN: v = std::min(A(), B()); break;
                 case Opcode::IMAX: v = std::max(A(), B()); break;

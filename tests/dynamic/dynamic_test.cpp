@@ -80,7 +80,9 @@ TEST(Profile, EveryExecutedBlockBeginsWithAnEntry) {
   ASSERT_TRUE(wp.measurement.valid);
   for (const auto& s : wp.stages)
     for (const auto& blk : s.blocks)
-      if (blk.issues > 0) EXPECT_GT(blk.entries, 0u);
+      if (blk.issues > 0) {
+        EXPECT_GT(blk.entries, 0u);
+      }
 }
 
 TEST(Profile, MemoryHitLevelsPartitionTransactions) {
@@ -249,7 +251,7 @@ TEST(DynamicModel, ZeroBusySmsThrows) {
   const auto& gpu = arch::gpu("K20");
   const auto machine = sim::MachineModel::from(gpu, 48);
   sim::Counts counts;
-  EXPECT_THROW(dynamic::predict_from_counts(counts, machine, 0), Error);
+  EXPECT_THROW((void)dynamic::predict_from_counts(counts, machine, 0), Error);
 }
 
 TEST(DynamicModel, BottleneckNamesTheDominantBound) {

@@ -36,7 +36,9 @@ TEST_P(KFoldTest, FoldsPartitionTheIndexSet) {
     lo = std::min(lo, f.size());
     hi = std::max(hi, f.size());
   }
-  if (n >= k) EXPECT_LE(hi - lo, 1u);
+  if (n >= k) {
+    EXPECT_LE(hi - lo, 1u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -137,7 +139,7 @@ TEST(Metrics, AccuracyAndMajorityBaseline) {
   EXPECT_DOUBLE_EQ(ml::accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
   EXPECT_DOUBLE_EQ(ml::majority_baseline({0, 0, 1, 0}), 0.75);
   EXPECT_DOUBLE_EQ(ml::majority_baseline({}), 0.0);
-  EXPECT_THROW(ml::accuracy({1}, {1, 0}), Error);
+  EXPECT_THROW((void)ml::accuracy({1}, {1, 0}), Error);
 }
 
 TEST(Metrics, ConfusionMatrixCountsByLabelThenPrediction) {

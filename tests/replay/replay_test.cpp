@@ -117,7 +117,9 @@ TEST(RecordTuning, JournalsDecisionsAndRulePrunedVariants) {
   EXPECT_GT(j.variants().size(), 10u);
   EXPECT_GT(j.measured_count(), 10u);
   for (const VariantRecord& v : j.variants())
-    if (v.valid) EXPECT_GT(v.predicted_cost, 0.0);
+    if (v.valid) {
+      EXPECT_GT(v.predicted_cost, 0.0);
+    }
 }
 
 TEST(RecordTuning, StaticOnlyModeSkipsMeasurement) {

@@ -210,7 +210,9 @@ TEST(WarpSimTiming, InvalidConfigReportsInvalid) {
   const auto machine = sim::MachineModel::from(gpu, 48);
   const auto m = sim::run_workload(lw, wl, machine);
   // Either it fits (valid) or the runner flags it; never throws.
-  if (!m.valid) EXPECT_FALSE(m.error.empty());
+  if (!m.valid) {
+    EXPECT_FALSE(m.error.empty());
+  }
 }
 
 // ---- measurement protocol ----------------------------------------------
@@ -302,10 +304,10 @@ TEST(DeviceMemory, BoundsChecking) {
   const std::uint64_t base = mem.base("a");
   mem.store(base + 15 * 4, 1.0f);
   EXPECT_EQ(mem.load(base + 15 * 4), 1.0f);
-  EXPECT_THROW(mem.load(base + 16 * 4), Error);      // past end
-  EXPECT_THROW(mem.load(base + 2), Error);           // misaligned
-  EXPECT_THROW(mem.load(12345), Error);              // wild
-  EXPECT_THROW(mem.base("zz"), LookupError);
+  EXPECT_THROW((void)mem.load(base + 16 * 4), Error);  // past end
+  EXPECT_THROW((void)mem.load(base + 2), Error);       // misaligned
+  EXPECT_THROW((void)mem.load(12345), Error);          // wild
+  EXPECT_THROW((void)mem.base("zz"), LookupError);
 }
 
 TEST(DeviceMemory, InitPatternsAndReset) {

@@ -62,7 +62,9 @@ TEST(HybridSearch, QualityIsMonotoneInBudget) {
   double prev = tuner::kInvalid;
   for (const std::size_t budget : {1u, 2u, 4u, 8u, 32u, 128u}) {
     const auto r = run(f, budget);
-    if (prev != tuner::kInvalid) EXPECT_LE(r.best_time_ms, prev);
+    if (prev != tuner::kInvalid) {
+      EXPECT_LE(r.best_time_ms, prev);
+    }
     prev = r.best_time_ms;
   }
 }
@@ -82,9 +84,10 @@ TEST(HybridSearch, ShortlistIsSortedAndDeduplicated) {
   std::set<std::size_t> seen;
   for (std::size_t i = 0; i < r.shortlist.size(); ++i) {
     EXPECT_TRUE(seen.insert(r.shortlist[i].flat_index).second);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GE(r.shortlist[i].predicted_cost,
                 r.shortlist[i - 1].predicted_cost);
+    }
   }
   EXPECT_EQ(r.shortlist.size(), r.prune.rule_size);
 }
