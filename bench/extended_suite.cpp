@@ -27,6 +27,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/session.hpp"
+#include "tuner/experiment.hpp"
 
 using namespace gpustatic;  // NOLINT
 
@@ -79,7 +80,7 @@ int main() {
                     static_cast<std::int64_t>(best_tc)) !=
           prune.rule_threads.end();
 
-      const auto pruned = session.rule_based();
+      const auto pruned = session.tune("rule");
       const double loss =
           (pruned.search.best_time - ranked.best.time_ms) /
           ranked.best.time_ms;

@@ -29,9 +29,9 @@ int main() {
       // Exhaustive baseline over a subsampled full space in quick mode:
       // search cost scales identically, optimum gap is still meaningful.
       const auto& prune = session.prune();
-      const auto ex = session.exhaustive();
-      const auto st = session.static_pruned();
-      const auto rb = session.rule_based();
+      const auto ex = session.tune("exhaustive");
+      const auto st = session.tune("static");
+      const auto rb = session.tune("rule");
       const double gap =
           ex.search.best_time > 0
               ? (rb.search.best_time - ex.search.best_time) /

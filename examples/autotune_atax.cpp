@@ -45,15 +45,13 @@ int main(int argc, char** argv) {
                std::to_string(o.search.best_params.threads_per_block),
                std::to_string(o.search.best_params.unroll)});
   };
-  add(session.exhaustive());
-  add(session.static_pruned());
-  add(session.rule_based());
+  add(session.tune("exhaustive"));
+  add(session.tune("static"));
+  add(session.tune("rule"));
   tuner::SearchOptions so;
   so.budget = 320;  // match the RB space size for a fair comparison
-  add(session.random(so));
-  add(session.annealing(so));
-  add(session.genetic(so));
-  add(session.simplex(so));
+  for (const char* method : {"random", "anneal", "genetic", "simplex"})
+    add(session.tune({method, so}));
   std::printf("%s\n", t.render().c_str());
 
   std::printf(

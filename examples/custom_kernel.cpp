@@ -94,7 +94,7 @@ int main() {
 
   // 3. Model-guided autotuning.
   core::TuningSession session(wl, gpu);
-  const auto rb = session.rule_based();
+  const auto rb = session.tune("rule");
   std::printf("Rule-based search: %zu of %zu variants -> best %.4f ms at "
               "TC=%d UIF=%d\n",
               rb.space_size, rb.full_space_size, rb.search.best_time,

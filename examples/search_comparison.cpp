@@ -28,13 +28,14 @@ int main(int argc, char** argv) {
               kernel.c_str(), static_cast<long long>(n), budget);
 
   core::TuningSession session(wl, gpu);
-  const auto exhaustive = session.exhaustive();
+  const auto exhaustive = session.tune("exhaustive");
   const double optimum = exhaustive.search.best_time;
 
   TextTable t({"Strategy", "Evals", "Best (ms)", "Gap vs optimum"});
   auto add = [&](const core::TuningOutcome& o) {
     const double gap = (o.search.best_time - optimum) / optimum * 100.0;
-    t.add_row({o.search.strategy + (o.method == "rb" ? " (RB-pruned)" : ""),
+    t.add_row({o.search.strategy +
+                   (o.method == "rule" ? " (RB-pruned)" : ""),
                std::to_string(o.search.distinct_evaluations),
                str::format_double(o.search.best_time, 4),
                str::format_double(gap, 2) + "%"});
@@ -42,11 +43,10 @@ int main(int argc, char** argv) {
 
   tuner::SearchOptions so;
   so.budget = budget;
-  add(session.random(so));
-  add(session.annealing(so));
-  add(session.genetic(so));
-  add(session.simplex(so));
-  add(session.rule_based());
+  // Every budgeted strategy in the registry, then the rule-based prune.
+  for (const char* method : {"random", "anneal", "genetic", "simplex"})
+    add(session.tune({method, so}));
+  add(session.tune("rule"));
   std::printf("%s\n", t.render().c_str());
   std::printf("Exhaustive optimum: %.4f ms over %zu variants.\n", optimum,
               exhaustive.space_size);

@@ -57,8 +57,8 @@ int main() {
 
   // Then the autotuning session: rule-based pruned search vs exhaustive.
   core::TuningSession session(workload, gpu);
-  const auto ruled = session.rule_based();
-  const auto full = session.exhaustive();
+  const auto ruled = session.tune("rule");
+  const auto full = session.tune("exhaustive");
 
   std::printf("rule-based search : best %s -> %.4f ms (%zu variants, "
               "%.1f%% of the space pruned)\n",

@@ -20,14 +20,14 @@
 #include "occupancy/suggest.hpp"
 #include "ptx/printer.hpp"
 #include "sim/runner.hpp"
-#include "tuner/hybrid.hpp"
 #include "tuner/spec_parser.hpp"
+#include "tuner/strategy.hpp"
 
 namespace gpustatic::cli {
 
 namespace {
 
-const char* kUsage = R"(usage: gpustatic <command> [options]
+const char* kUsageTemplate = R"(usage: gpustatic <command> [options]
 
 commands:
   gpus                       print the Table I hardware database
@@ -53,13 +53,26 @@ options:
   --fast-math        enable fast-math lowering
   --regs N           registers/thread (occupancy command)    [32]
   --smem B           shared memory/block bytes (occupancy)   [0]
-  --method NAME      tune: exhaustive|random|anneal|genetic|simplex|
-                     static|rule|hybrid                      [rule]
+  --method NAME      tune strategy, or 'list' to print them  [rule]
+                     registered: %METHODS%
   --budget N         tune --method hybrid: empirical budget  [16]
   --seed N           stochastic search seed                  [1234]
   --spec FILE        tune: Orio PerfTuning annotation (Fig. 3 syntax)
                      defining the search space       [Table III space]
 )";
+
+/// Usage text with the strategy list taken live from the registry, so a
+/// newly registered strategy shows up in help without editing this file.
+std::string render_usage() {
+  std::string text = kUsageTemplate;
+  const std::string placeholder = "%METHODS%";
+  const std::size_t at = text.find(placeholder);
+  if (at != std::string::npos)
+    text.replace(at, placeholder.size(),
+                 str::join(tuner::StrategyRegistry::instance().names(),
+                           "|"));
+  return text;
+}
 
 std::int64_t default_size(const std::string& kernel) {
   return kernel == "ex14fj" ? 16 : 128;
@@ -205,47 +218,39 @@ tuner::ParamSpace tune_space(const Options& opts) {
 }
 
 int cmd_tune(const Options& opts, std::ostream& out) {
+  if (opts.method == "list") {
+    for (const auto& name : tuner::StrategyRegistry::instance().names())
+      out << name << "\n";
+    return 0;
+  }
+  // Validate the method against the registry before loading anything;
+  // the Error enumerates every registered strategy.
+  (void)tuner::StrategyRegistry::instance().create(opts.method);
+  if (opts.kernel.empty())
+    throw Error("command 'tune' needs a kernel argument");
+
   const auto wl = load_workload(opts);
   const auto& gpu = arch::gpu(opts.gpu);
-  const tuner::ParamSpace space = tune_space(opts);
+  core::TuningSession session(wl, gpu, tune_space(opts));
 
-  if (opts.method == "hybrid") {
-    const auto objective = tuner::make_objective(wl, gpu);
-    tuner::HybridOptions hopts;
-    hopts.empirical_budget = opts.budget;
-    const auto r = tuner::hybrid_search(space, gpu, wl, objective, hopts);
+  core::TuningRequest request;
+  request.method = opts.method;
+  request.options = to_search_options(opts);
+  request.hybrid.empirical_budget = opts.budget;
+  const core::TuningOutcome outcome = session.tune(request);
+
+  if (outcome.method == "hybrid") {
     out << "hybrid search (budget " << opts.budget << ", "
-        << r.empirical_evaluations << " runs over "
-        << r.shortlist.size() << " candidates):\n";
-    out << "  best " << r.best_params.to_string();
-    if (r.best_time_ms != tuner::kInvalid)
-      out << str::format(" -> %.4f ms", r.best_time_ms);
+        << outcome.search.distinct_evaluations << " runs over "
+        << outcome.hybrid_candidates << " candidates):\n";
+    out << "  best " << outcome.search.best_params.to_string();
+    if (outcome.search.best_time != tuner::kInvalid)
+      out << str::format(" -> %.4f ms", outcome.search.best_time);
     else
       out << " (zero-run recommendation)";
     out << "\n";
     return 0;
   }
-
-  core::TuningSession session(wl, gpu, space);
-  tuner::SearchOptions sopts;
-  sopts.seed = opts.seed;
-  core::TuningOutcome outcome;
-  if (opts.method == "exhaustive")
-    outcome = session.exhaustive();
-  else if (opts.method == "random")
-    outcome = session.random(sopts);
-  else if (opts.method == "anneal")
-    outcome = session.annealing(sopts);
-  else if (opts.method == "genetic")
-    outcome = session.genetic(sopts);
-  else if (opts.method == "simplex")
-    outcome = session.simplex(sopts);
-  else if (opts.method == "static")
-    outcome = session.static_pruned();
-  else if (opts.method == "rule")
-    outcome = session.rule_based();
-  else
-    throw Error("unknown tune method '" + opts.method + "'");
 
   out << outcome.method << " search over " << outcome.space_size
       << " of " << outcome.full_space_size << " variants";
@@ -260,10 +265,17 @@ int cmd_tune(const Options& opts, std::ostream& out) {
 
 }  // namespace
 
-std::string usage() { return kUsage; }
+std::string usage() { return render_usage(); }
+
+tuner::SearchOptions to_search_options(const Options& opts) {
+  tuner::SearchOptions sopts;
+  sopts.seed = opts.seed;
+  return sopts;
+}
 
 Options parse_args(const std::vector<std::string>& args) {
-  if (args.empty()) throw Error(std::string("no command given\n") + kUsage);
+  if (args.empty())
+    throw Error(std::string("no command given\n") + render_usage());
   Options o;
   o.command = args[0];
   const bool wants_kernel =
@@ -273,9 +285,12 @@ Options parse_args(const std::vector<std::string>& args) {
 
   std::size_t i = 1;
   if (wants_kernel) {
-    if (i >= args.size() || str::starts_with(args[i], "-"))
+    // `tune` defers the missing-kernel error to run time so that
+    // kernel-less forms like `tune --method list` work.
+    if (i < args.size() && !str::starts_with(args[i], "-"))
+      o.kernel = args[i++];
+    else if (o.command != "tune")
       throw Error("command '" + o.command + "' needs a kernel argument");
-    o.kernel = args[i++];
   }
 
   auto need_value = [&](const std::string& flag) -> const std::string& {
@@ -326,7 +341,7 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (a == "--spec") {
       o.spec_path = need_value(a);
     } else {
-      throw Error("unknown flag '" + a + "'\n" + kUsage);
+      throw Error("unknown flag '" + a + "'\n" + render_usage());
     }
   }
   return o;
@@ -342,10 +357,10 @@ int run_command(const Options& opts, std::ostream& out) {
   if (opts.command == "profile") return cmd_profile(opts, out);
   if (opts.command == "tune") return cmd_tune(opts, out);
   if (opts.command == "help" || opts.command == "--help") {
-    out << kUsage;
+    out << render_usage();
     return 0;
   }
-  throw Error("unknown command '" + opts.command + "'\n" + kUsage);
+  throw Error("unknown command '" + opts.command + "'\n" + render_usage());
 }
 
 }  // namespace gpustatic::cli

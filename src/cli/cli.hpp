@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "tuner/search.hpp"
+
 namespace gpustatic::cli {
 
 /// Parsed command line. Flags not meaningful for a given command are
@@ -52,6 +54,10 @@ struct Options {
 /// Parse argv (excluding the program name). Throws Error with a usage
 /// hint on unknown commands/flags or malformed values.
 [[nodiscard]] Options parse_args(const std::vector<std::string>& args);
+
+/// The single place CLI flags become search options: --seed reaches
+/// every stochastic strategy through here (unit-tested plumbing).
+[[nodiscard]] tuner::SearchOptions to_search_options(const Options& opts);
 
 /// Execute the parsed command, writing the report to `out`. Returns the
 /// process exit code (0 on success).

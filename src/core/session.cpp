@@ -9,8 +9,7 @@ TuningSession::TuningSession(dsl::WorkloadDesc workload,
     : workload_(std::move(workload)),
       gpu_(&gpu),
       space_(std::move(space)),
-      run_opts_(run_opts),
-      objective_(tuner::make_objective(workload_, gpu, run_opts)) {}
+      evaluator_(workload_, gpu, run_opts) {}
 
 const tuner::StaticPruneResult& TuningSession::prune() {
   if (!prune_done_) {
@@ -20,59 +19,21 @@ const tuner::StaticPruneResult& TuningSession::prune() {
   return prune_;
 }
 
-TuningOutcome TuningSession::run(const std::string& method,
-                                 const tuner::ParamSpace& space,
-                                 const tuner::SearchOptions* opts) {
-  TuningOutcome out;
-  out.method = method;
-  out.space_size = space.size();
-  out.full_space_size = space_.size();
-  if (method == "exhaustive" || method == "static" || method == "rb") {
-    out.search = tuner::exhaustive_search(space, objective_);
-  } else if (method == "random") {
-    out.search = tuner::random_search(space, objective_, *opts);
-  } else if (method == "annealing") {
-    out.search = tuner::simulated_annealing(space, objective_, *opts);
-  } else if (method == "genetic") {
-    out.search = tuner::genetic_search(space, objective_, *opts);
-  } else {
-    out.search = tuner::nelder_mead_search(space, objective_, *opts);
-  }
-  return out;
-}
-
-TuningOutcome TuningSession::exhaustive() {
-  return run("exhaustive", space_, nullptr);
-}
-
-TuningOutcome TuningSession::random(const tuner::SearchOptions& o) {
-  return run("random", space_, &o);
-}
-
-TuningOutcome TuningSession::annealing(const tuner::SearchOptions& o) {
-  return run("annealing", space_, &o);
-}
-
-TuningOutcome TuningSession::genetic(const tuner::SearchOptions& o) {
-  return run("genetic", space_, &o);
-}
-
-TuningOutcome TuningSession::simplex(const tuner::SearchOptions& o) {
-  return run("simplex", space_, &o);
-}
-
-TuningOutcome TuningSession::static_pruned() {
-  const tuner::StaticPruneResult& p = prune();
-  TuningOutcome out = run("static", p.static_space, nullptr);
-  out.intensity = p.intensity;
-  return out;
-}
-
-TuningOutcome TuningSession::rule_based() {
-  const tuner::StaticPruneResult& p = prune();
-  TuningOutcome out = run("rb", p.rule_space, nullptr);
-  out.intensity = p.intensity;
-  return out;
+TuningOutcome TuningSession::tune(const TuningRequest& request) {
+  const auto strategy =
+      tuner::StrategyRegistry::instance().create(request.method);
+  tuner::StrategyContext ctx;
+  ctx.space = &space_;
+  ctx.evaluator =
+      request.evaluator != nullptr ? request.evaluator : &evaluator_;
+  ctx.options = request.options;
+  ctx.hybrid = request.hybrid;
+  ctx.gpu = gpu_;
+  ctx.workload = &workload_;
+  ctx.prune = [this]() -> const tuner::StaticPruneResult& {
+    return prune();
+  };
+  return strategy->run(ctx);
 }
 
 }  // namespace gpustatic::core

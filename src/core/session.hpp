@@ -1,9 +1,11 @@
 #pragma once
 
-// TuningSession: the Orio-integration use case from the paper, end to
-// end. Owns a workload + target GPU, exposes every search strategy over
-// the Table III space, and the static-analyzer-guided variants (Static
-// and Static+Rule-Based) whose search-space reductions Fig. 6 reports.
+// TuningSession: the Orio-integration use case from the paper, as a thin
+// facade over the tuner's StrategyRegistry. A session owns a workload, a
+// target GPU, the Table III space, and a default simulator-backed
+// Evaluator; tune(TuningRequest) resolves any registered strategy by
+// name — the eight built-ins or user-registered ones — and runs it with
+// a session-cached static prune shared across model-guided methods.
 
 #include <string>
 
@@ -11,28 +13,32 @@
 #include "core/static_analyzer.hpp"
 #include "dsl/ast.hpp"
 #include "sim/runner.hpp"
-#include "tuner/experiment.hpp"
-#include "tuner/search.hpp"
-#include "tuner/space.hpp"
-#include "tuner/static_search.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/strategy.hpp"
 
 namespace gpustatic::core {
 
-/// Outcome of one tuning run, with enough bookkeeping to compare methods.
-struct TuningOutcome {
-  std::string method;
-  tuner::SearchResult search;
-  std::size_t space_size = 0;       ///< size of the space searched
-  std::size_t full_space_size = 0;  ///< size of the unpruned space
-  double intensity = 0;             ///< only for model-guided methods
+/// Outcome of one tuning run, with enough bookkeeping to compare
+/// methods (the registry's uniform result type).
+using TuningOutcome = tuner::StrategyResult;
 
-  /// Fig. 6 metric: fraction of the full space eliminated before search.
-  [[nodiscard]] double space_reduction() const {
-    return full_space_size == 0
-               ? 0.0
-               : 1.0 - static_cast<double>(space_size) /
-                           static_cast<double>(full_space_size);
-  }
+/// One tuning request: which strategy, how to search, and what backend
+/// evaluates variants (null = the session's simulator evaluator).
+/// Implicitly constructible from a method name, so
+/// `session.tune("rule")` is the short form.
+struct TuningRequest {
+  TuningRequest() = default;
+  TuningRequest(std::string method_name)  // NOLINT(google-explicit-constructor)
+      : method(std::move(method_name)) {}
+  TuningRequest(const char* method_name)  // NOLINT(google-explicit-constructor)
+      : method(method_name) {}
+  TuningRequest(std::string method_name, tuner::SearchOptions search)
+      : method(std::move(method_name)), options(search) {}
+
+  std::string method = "rule";
+  tuner::SearchOptions options;
+  tuner::HybridOptions hybrid;  ///< hybrid dial (empirical budget, ...)
+  tuner::Evaluator* evaluator = nullptr;
 };
 
 class TuningSession {
@@ -41,36 +47,26 @@ class TuningSession {
                 tuner::ParamSpace space = tuner::paper_space(),
                 sim::RunOptions run_opts = {});
 
-  /// Plain Orio strategies over the full space.
-  [[nodiscard]] TuningOutcome exhaustive();
-  [[nodiscard]] TuningOutcome random(const tuner::SearchOptions& o = {});
-  [[nodiscard]] TuningOutcome annealing(const tuner::SearchOptions& o = {});
-  [[nodiscard]] TuningOutcome genetic(const tuner::SearchOptions& o = {});
-  [[nodiscard]] TuningOutcome simplex(const tuner::SearchOptions& o = {});
+  /// Resolve `request.method` through the StrategyRegistry and run it.
+  /// Throws Error (naming the registered strategies) on unknown methods.
+  [[nodiscard]] TuningOutcome tune(const TuningRequest& request = {});
 
-  /// The paper's methods: exhaustive search over the statically pruned
-  /// space ("Static") and over the rule-based refinement ("RB").
-  [[nodiscard]] TuningOutcome static_pruned();
-  [[nodiscard]] TuningOutcome rule_based();
-
-  /// The pruning decision itself (computed lazily, cached).
+  /// The pruning decision itself (computed lazily, cached; shared with
+  /// every model-guided tune() call).
   [[nodiscard]] const tuner::StaticPruneResult& prune();
 
   [[nodiscard]] const tuner::ParamSpace& space() const { return space_; }
   [[nodiscard]] const dsl::WorkloadDesc& workload() const {
     return workload_;
   }
+  /// The session's default backend (simulator with the ctor's RunOptions).
+  [[nodiscard]] tuner::Evaluator& evaluator() { return evaluator_; }
 
  private:
-  TuningOutcome run(const std::string& method,
-                    const tuner::ParamSpace& space,
-                    const tuner::SearchOptions* opts);
-
   dsl::WorkloadDesc workload_;
   const arch::GpuSpec* gpu_;
   tuner::ParamSpace space_;
-  sim::RunOptions run_opts_;
-  tuner::Objective objective_;
+  tuner::SimEvaluator evaluator_;
   bool prune_done_ = false;
   tuner::StaticPruneResult prune_;
 };

@@ -1,0 +1,18 @@
+#include "replay/replay_evaluator.hpp"
+
+namespace gpustatic::replay {
+
+ReplayEvaluator::ReplayEvaluator(const TuningJournal& journal) {
+  for (const VariantRecord& v : journal.variants()) {
+    if (!v.valid || !v.measured()) continue;
+    // Last record wins when a journal holds duplicates of one variant.
+    times_[v.params.to_string()] = v.measured_ms;
+  }
+}
+
+double ReplayEvaluator::evaluate(const codegen::TuningParams& params) {
+  const auto it = times_.find(params.to_string());
+  return it == times_.end() ? tuner::kInvalid : it->second;
+}
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,40 @@
+#pragma once
+
+// ReplayEvaluator: a journal-backed tuner::Evaluator. Variants the
+// journal measured answer instantly with the recorded trial time; every
+// other variant reports kInvalid, exactly like an unlaunchable
+// configuration. This turns any archived tuning run into a zero-cost
+// evaluation backend: search strategies can be re-run, compared, or
+// regression-tested against historical measurements without touching a
+// simulator — the offline half of the paper's Sec. VII "continually
+// evaluate the static models" loop.
+
+#include <string>
+#include <unordered_map>
+
+#include "replay/journal.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace gpustatic::replay {
+
+class ReplayEvaluator final : public tuner::Evaluator {
+ public:
+  explicit ReplayEvaluator(const TuningJournal& journal);
+
+  [[nodiscard]] std::string name() const override { return "replay"; }
+  /// Recorded trial time for a journaled-and-measured variant, else
+  /// tuner::kInvalid.
+  double evaluate(const codegen::TuningParams& params) override;
+
+  /// Number of variants that can answer (valid + measured records).
+  [[nodiscard]] std::size_t known_variants() const {
+    return times_.size();
+  }
+
+ private:
+  // Keyed by the params' canonical text form (TuningParams::to_string
+  // round-trips every tuned field).
+  std::unordered_map<std::string, double> times_;
+};
+
+}  // namespace gpustatic::replay

@@ -1,0 +1,106 @@
+#pragma once
+
+// Evaluation backends for the tuning pipeline. An Evaluator maps one
+// variant (TuningParams) to a cost in ms-like units (smaller is better;
+// kInvalid marks an unlaunchable configuration). Search strategies see
+// only this interface, so the same search code runs against the warp
+// simulator, the zero-run Eq. 6 predictor, or a recorded journal
+// (replay/replay_evaluator.hpp) — the paper's "dial in the degree of
+// empirical testing" idea expressed as interchangeable backends.
+//
+// evaluate_batch() is the scaling hook: backends that can parallelize or
+// shard work override it; the default is a sequential loop, so a backend
+// only has to implement evaluate().
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/params.hpp"
+#include "dsl/ast.hpp"
+#include "sim/runner.hpp"
+
+namespace gpustatic::tuner {
+
+/// Objective: trial time (ms) of a variant; +inf = invalid configuration.
+/// The function form predates Evaluator and remains the lightweight way
+/// to phrase ad-hoc objectives (tests, benches); FunctionEvaluator
+/// adapts it to the interface.
+using Objective = std::function<double(const codegen::TuningParams&)>;
+
+inline constexpr double kInvalid = std::numeric_limits<double>::infinity();
+
+/// Interface every evaluation backend implements.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Backend identifier ("sim", "analytic", "replay", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cost of one variant; kInvalid when not launchable/compilable.
+  virtual double evaluate(const codegen::TuningParams& params) = 0;
+
+  /// Evaluate many variants at once; results align with `batch` by
+  /// index. Default: sequential evaluate() loop. Backends with cheap
+  /// parallelism (SimEvaluator) override this.
+  virtual std::vector<double> evaluate_batch(
+      const std::vector<codegen::TuningParams>& batch);
+};
+
+/// Adapts a bare Objective to the Evaluator interface.
+class FunctionEvaluator final : public Evaluator {
+ public:
+  explicit FunctionEvaluator(Objective fn) : fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::string name() const override { return "function"; }
+  double evaluate(const codegen::TuningParams& params) override {
+    return fn_(params);
+  }
+
+ private:
+  Objective fn_;
+};
+
+/// Simulator backend: compiles each variant and measures it with the
+/// configured engine (warp simulator or analytic timing model) under the
+/// paper's Sec. IV-A trial protocol. This is the behavior of the old
+/// make_objective(), now with a parallel batch path.
+class SimEvaluator final : public Evaluator {
+ public:
+  SimEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+               sim::RunOptions run_opts = {})
+      : workload_(std::move(workload)), gpu_(&gpu), run_opts_(run_opts) {}
+
+  [[nodiscard]] std::string name() const override { return "sim"; }
+  double evaluate(const codegen::TuningParams& params) override;
+  /// Fans the batch out over hardware threads; per-variant results are
+  /// deterministic and ordered by index regardless of scheduling.
+  std::vector<double> evaluate_batch(
+      const std::vector<codegen::TuningParams>& batch) override;
+
+ private:
+  dsl::WorkloadDesc workload_;
+  const arch::GpuSpec* gpu_;
+  sim::RunOptions run_opts_;
+};
+
+/// Zero-run backend: compiles each variant and scores it with the Eq. 6
+/// static cost model. Scores are relative (not ms), which is exactly
+/// what a search needs — the paper's "without executing them" regime.
+class AnalyticEvaluator final : public Evaluator {
+ public:
+  AnalyticEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu)
+      : workload_(std::move(workload)), gpu_(&gpu) {}
+
+  [[nodiscard]] std::string name() const override { return "analytic"; }
+  double evaluate(const codegen::TuningParams& params) override;
+
+ private:
+  dsl::WorkloadDesc workload_;
+  const arch::GpuSpec* gpu_;
+};
+
+}  // namespace gpustatic::tuner

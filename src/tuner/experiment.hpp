@@ -31,7 +31,9 @@ struct TrialRecord {
 
 /// Builds an Objective that compiles a variant for (workload, gpu) and
 /// measures it with the configured engine. Stateless per call and
-/// thread-safe; pair with CachingEvaluator for memoization.
+/// thread-safe; pair with CachingEvaluator for memoization. The
+/// Evaluator-interface equivalent is SimEvaluator (evaluator.hpp),
+/// which additionally offers parallel batched evaluation.
 [[nodiscard]] Objective make_objective(const dsl::WorkloadDesc& workload,
                                        const arch::GpuSpec& gpu,
                                        sim::RunOptions run_opts = {});

@@ -2,21 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
 
 namespace gpustatic::tuner {
 
-double CachingEvaluator::operator()(const Point& p) {
-  ++calls_;
-  const std::size_t key = space_->flat_index(p);
-  if (const auto it = cache_.find(key); it != cache_.end())
-    return it->second;
-  const double v = fn_(space_->to_params(p));
+double CachingEvaluator::admit(std::size_t key, const Point& p, double v) {
   cache_.emplace(key, v);
   if (v < best_) {
     best_ = v;
     best_point_ = p;
   }
   return v;
+}
+
+double CachingEvaluator::operator()(const Point& p) {
+  ++calls_;
+  const std::size_t key = space_->flat_index(p);
+  if (const auto it = cache_.find(key); it != cache_.end())
+    return it->second;
+  return admit(key, p, backend_->evaluate(space_->to_params(p)));
+}
+
+std::vector<double> CachingEvaluator::evaluate_batch(
+    const std::vector<Point>& pts) {
+  calls_ += pts.size();
+  // Collect cache misses in first-encounter order (deduplicated), so
+  // the best-point tie-break matches a sequential evaluation pass.
+  std::vector<std::size_t> keys(pts.size());
+  std::vector<std::size_t> miss;
+  std::vector<codegen::TuningParams> miss_params;
+  std::unordered_set<std::size_t> pending;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    keys[i] = space_->flat_index(pts[i]);
+    if (cache_.contains(keys[i]) || pending.contains(keys[i])) continue;
+    pending.insert(keys[i]);
+    miss.push_back(i);
+    miss_params.push_back(space_->to_params(pts[i]));
+  }
+  const std::vector<double> fresh = backend_->evaluate_batch(miss_params);
+  if (fresh.size() != miss_params.size())
+    throw Error("evaluate_batch: backend '" + backend_->name() +
+                "' returned " + std::to_string(fresh.size()) +
+                " values for " + std::to_string(miss_params.size()) +
+                " variants");
+  for (std::size_t m = 0; m < miss.size(); ++m)
+    admit(keys[miss[m]], pts[miss[m]], fresh[m]);
+  std::vector<double> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) out[i] = cache_.at(keys[i]);
+  return out;
 }
 
 namespace {
@@ -57,16 +92,20 @@ Point neighbor(const ParamSpace& space, const Point& p, Rng& rng) {
 }  // namespace
 
 SearchResult exhaustive_search(const ParamSpace& space,
-                               const Objective& fn) {
-  CachingEvaluator eval(space, fn);
-  const std::size_t n = space.size();
-  for (std::size_t i = 0; i < n; ++i) eval(space.point_at(i));
+                               Evaluator& evaluator) {
+  CachingEvaluator eval(space, evaluator);
+  // One batch over the whole space: a parallel backend fans out here.
+  std::vector<Point> pts;
+  pts.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i)
+    pts.push_back(space.point_at(i));
+  eval.evaluate_batch(pts);
   return finish("exhaustive", space, eval);
 }
 
-SearchResult random_search(const ParamSpace& space, const Objective& fn,
+SearchResult random_search(const ParamSpace& space, Evaluator& evaluator,
                            const SearchOptions& opts) {
-  CachingEvaluator eval(space, fn);
+  CachingEvaluator eval(space, evaluator);
   Rng rng(opts.seed);
   const std::size_t budget = std::min(opts.budget, space.size());
   std::size_t guard = 0;
@@ -77,9 +116,9 @@ SearchResult random_search(const ParamSpace& space, const Objective& fn,
 }
 
 SearchResult simulated_annealing(const ParamSpace& space,
-                                 const Objective& fn,
+                                 Evaluator& evaluator,
                                  const SearchOptions& opts) {
-  CachingEvaluator eval(space, fn);
+  CachingEvaluator eval(space, evaluator);
   Rng rng(opts.seed);
   Point cur = random_point(space, rng);
   double cur_v = eval(cur);
@@ -110,9 +149,9 @@ SearchResult simulated_annealing(const ParamSpace& space,
   return finish("simulated-annealing", space, eval);
 }
 
-SearchResult genetic_search(const ParamSpace& space, const Objective& fn,
+SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
                             const SearchOptions& opts) {
-  CachingEvaluator eval(space, fn);
+  CachingEvaluator eval(space, evaluator);
   Rng rng(opts.seed);
   const std::size_t budget = std::min(opts.budget, space.size());
 
@@ -156,9 +195,10 @@ SearchResult genetic_search(const ParamSpace& space, const Objective& fn,
   return finish("genetic", space, eval);
 }
 
-SearchResult nelder_mead_search(const ParamSpace& space, const Objective& fn,
+SearchResult nelder_mead_search(const ParamSpace& space,
+                                Evaluator& evaluator,
                                 const SearchOptions& opts) {
-  CachingEvaluator eval(space, fn);
+  CachingEvaluator eval(space, evaluator);
   Rng rng(opts.seed);
   const std::size_t n = space.rank();
   const std::size_t budget = std::min(opts.budget, space.size());

@@ -2,33 +2,44 @@
 
 // Search strategies over a ParamSpace, mirroring Orio's search modules
 // (Sec. III-C names exhaustive, random, simulated annealing, genetic, and
-// Nelder-Mead simplex). Strategies call a user-supplied objective
-// (smaller is better); a shared memoizing wrapper counts *distinct*
-// evaluations, which is the cost metric Fig. 6's improvement percentages
-// are computed from.
+// Nelder-Mead simplex). Strategies evaluate variants through an
+// Evaluator backend (evaluator.hpp); a shared memoizing decorator counts
+// *distinct* evaluations, which is the cost metric Fig. 6's improvement
+// percentages are computed from.
+//
+// Each strategy exists in two forms: the Evaluator& overload (the real
+// implementation) and an Objective convenience overload for ad-hoc
+// lambdas. New call sites should prefer registry dispatch via
+// strategy.hpp; these free functions remain the algorithm layer.
 
-#include <functional>
-#include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "tuner/evaluator.hpp"
 #include "tuner/space.hpp"
 
 namespace gpustatic::tuner {
 
-/// Objective: trial time (ms) of a variant; +inf = invalid configuration.
-using Objective = std::function<double(const codegen::TuningParams&)>;
-
-inline constexpr double kInvalid = std::numeric_limits<double>::infinity();
-
-/// Memoizes objective values by flat space index and tracks the best.
+/// Memoizing decorator over an evaluation backend: caches values by flat
+/// space index, tracks the best point seen, and counts total vs distinct
+/// evaluations. Batched lookups forward cache misses to the backend's
+/// evaluate_batch hook in one call (deduplicated, order preserved), so a
+/// parallel backend parallelizes transparently.
 class CachingEvaluator {
  public:
+  CachingEvaluator(const ParamSpace& space, Evaluator& backend)
+      : space_(&space), backend_(&backend) {}
+  /// Convenience: wrap a bare Objective in an owned FunctionEvaluator.
   CachingEvaluator(const ParamSpace& space, Objective fn)
-      : space_(&space), fn_(std::move(fn)) {}
+      : space_(&space),
+        owned_(std::make_unique<FunctionEvaluator>(std::move(fn))),
+        backend_(owned_.get()) {}
 
   double operator()(const Point& p);
+  /// Evaluate many points; results align with `pts` by index.
+  std::vector<double> evaluate_batch(const std::vector<Point>& pts);
 
   [[nodiscard]] std::size_t distinct_evaluations() const {
     return cache_.size();
@@ -38,8 +49,11 @@ class CachingEvaluator {
   [[nodiscard]] const Point& best_point() const { return best_point_; }
 
  private:
+  double admit(std::size_t key, const Point& p, double v);
+
   const ParamSpace* space_;
-  Objective fn_;
+  std::unique_ptr<Evaluator> owned_;  ///< set by the Objective ctor
+  Evaluator* backend_;
   std::unordered_map<std::size_t, double> cache_;
   std::size_t calls_ = 0;
   double best_ = kInvalid;
@@ -69,20 +83,53 @@ struct SearchOptions {
 };
 
 [[nodiscard]] SearchResult exhaustive_search(const ParamSpace& space,
-                                             const Objective& fn);
+                                             Evaluator& evaluator);
 [[nodiscard]] SearchResult random_search(const ParamSpace& space,
-                                         const Objective& fn,
+                                         Evaluator& evaluator,
                                          const SearchOptions& opts = {});
 [[nodiscard]] SearchResult simulated_annealing(const ParamSpace& space,
-                                               const Objective& fn,
+                                               Evaluator& evaluator,
                                                const SearchOptions& opts =
                                                    {});
 [[nodiscard]] SearchResult genetic_search(const ParamSpace& space,
-                                          const Objective& fn,
+                                          Evaluator& evaluator,
                                           const SearchOptions& opts = {});
 [[nodiscard]] SearchResult nelder_mead_search(const ParamSpace& space,
-                                              const Objective& fn,
+                                              Evaluator& evaluator,
                                               const SearchOptions& opts =
                                                   {});
+
+// Objective convenience overloads.
+[[nodiscard]] inline SearchResult exhaustive_search(const ParamSpace& space,
+                                                    const Objective& fn) {
+  FunctionEvaluator e(fn);
+  return exhaustive_search(space, e);
+}
+[[nodiscard]] inline SearchResult random_search(const ParamSpace& space,
+                                                const Objective& fn,
+                                                const SearchOptions& opts =
+                                                    {}) {
+  FunctionEvaluator e(fn);
+  return random_search(space, e, opts);
+}
+[[nodiscard]] inline SearchResult simulated_annealing(
+    const ParamSpace& space, const Objective& fn,
+    const SearchOptions& opts = {}) {
+  FunctionEvaluator e(fn);
+  return simulated_annealing(space, e, opts);
+}
+[[nodiscard]] inline SearchResult genetic_search(const ParamSpace& space,
+                                                 const Objective& fn,
+                                                 const SearchOptions& opts =
+                                                     {}) {
+  FunctionEvaluator e(fn);
+  return genetic_search(space, e, opts);
+}
+[[nodiscard]] inline SearchResult nelder_mead_search(
+    const ParamSpace& space, const Objective& fn,
+    const SearchOptions& opts = {}) {
+  FunctionEvaluator e(fn);
+  return nelder_mead_search(space, e, opts);
+}
 
 }  // namespace gpustatic::tuner

@@ -1,0 +1,155 @@
+// The eight built-in strategies, registered by name. Each one adapts an
+// algorithm from search.hpp / static_search.hpp / hybrid.hpp to the
+// uniform Strategy interface; nothing here owns search logic.
+
+#include "common/error.hpp"
+#include "tuner/strategy.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+void require_search_inputs(const StrategyContext& ctx,
+                           const std::string& name) {
+  if (ctx.space == nullptr)
+    throw Error("strategy '" + name + "': context has no ParamSpace");
+  if (ctx.evaluator == nullptr)
+    throw Error("strategy '" + name + "': context has no Evaluator");
+}
+
+void require_model_inputs(const StrategyContext& ctx,
+                          const std::string& name) {
+  if (ctx.gpu == nullptr || ctx.workload == nullptr)
+    throw Error("strategy '" + name +
+                "': model-guided search needs a GPU and a workload in "
+                "the context");
+}
+
+/// The five Orio searches over the full space, parameterized by the
+/// algorithm function.
+class PlainStrategy final : public Strategy {
+ public:
+  using SearchFn = SearchResult (*)(const ParamSpace&, Evaluator&,
+                                    const SearchOptions&);
+
+  PlainStrategy(std::string name, bool stochastic, SearchFn fn)
+      : name_(std::move(name)), stochastic_(stochastic), fn_(fn) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool stochastic() const override { return stochastic_; }
+
+  [[nodiscard]] StrategyResult run(const StrategyContext& ctx)
+      const override {
+    require_search_inputs(ctx, name_);
+    StrategyResult r;
+    r.method = name_;
+    r.search = fn_(*ctx.space, *ctx.evaluator, ctx.options);
+    r.space_size = ctx.space->size();
+    r.full_space_size = ctx.space->size();
+    return r;
+  }
+
+ private:
+  std::string name_;
+  bool stochastic_;
+  SearchFn fn_;
+};
+
+/// "static" / "rule": exhaustive search over the statically pruned
+/// space — the paper's Fig. 6 methods.
+class PrunedStrategy final : public Strategy {
+ public:
+  PrunedStrategy(std::string name, bool use_rule)
+      : name_(std::move(name)), use_rule_(use_rule) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] StrategyResult run(const StrategyContext& ctx)
+      const override {
+    require_search_inputs(ctx, name_);
+    StaticPruneResult local;
+    const StaticPruneResult* prune = nullptr;
+    if (ctx.prune) {
+      prune = &ctx.prune();
+    } else {
+      require_model_inputs(ctx, name_);
+      local = static_prune(*ctx.space, *ctx.gpu, *ctx.workload);
+      prune = &local;
+    }
+    const ParamSpace& pruned =
+        use_rule_ ? prune->rule_space : prune->static_space;
+    StrategyResult r;
+    r.method = name_;
+    r.search = exhaustive_search(pruned, *ctx.evaluator);
+    r.space_size = pruned.size();
+    r.full_space_size = ctx.space->size();
+    r.intensity = prune->intensity;
+    return r;
+  }
+
+ private:
+  std::string name_;
+  bool use_rule_;
+};
+
+/// Sec. VII hybrid dial: static shortlist ranked by Eq. 6, then the top
+/// B candidates measured through the context's evaluator.
+class HybridStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+  [[nodiscard]] StrategyResult run(const StrategyContext& ctx)
+      const override {
+    require_search_inputs(ctx, "hybrid");
+    require_model_inputs(ctx, "hybrid");
+    Evaluator* ev = ctx.evaluator;
+    const Objective objective = [ev](const codegen::TuningParams& p) {
+      return ev->evaluate(p);
+    };
+    const HybridResult h = hybrid_search(*ctx.space, *ctx.gpu,
+                                         *ctx.workload, objective,
+                                         ctx.hybrid);
+    StrategyResult r;
+    r.method = "hybrid";
+    r.search.strategy = "hybrid";
+    r.search.best_params = h.best_params;
+    r.search.best_time = h.best_time_ms;
+    r.search.distinct_evaluations = h.empirical_evaluations;
+    r.search.total_calls = h.empirical_evaluations;
+    r.space_size =
+        ctx.hybrid.use_rule ? h.prune.rule_size : h.prune.static_size;
+    r.full_space_size = ctx.space->size();
+    r.intensity = h.prune.intensity;
+    r.hybrid_candidates = h.shortlist.size();
+    return r;
+  }
+};
+
+}  // namespace
+
+void register_builtin_strategies(StrategyRegistry& registry) {
+  const auto plain = [&registry](const char* name, bool stochastic,
+                                 PlainStrategy::SearchFn fn) {
+    registry.register_strategy(name, [name, stochastic, fn] {
+      return std::make_unique<PlainStrategy>(name, stochastic, fn);
+    });
+  };
+  plain("exhaustive", false,
+        [](const ParamSpace& s, Evaluator& e, const SearchOptions&) {
+          return exhaustive_search(s, e);
+        });
+  plain("random", true, &random_search);
+  plain("anneal", true, &simulated_annealing);
+  plain("genetic", true, &genetic_search);
+  plain("simplex", true, &nelder_mead_search);
+  registry.register_strategy("static", [] {
+    return std::make_unique<PrunedStrategy>("static", /*use_rule=*/false);
+  });
+  registry.register_strategy("rule", [] {
+    return std::make_unique<PrunedStrategy>("rule", /*use_rule=*/true);
+  });
+  registry.register_strategy(
+      "hybrid", [] { return std::make_unique<HybridStrategy>(); });
+}
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,53 @@
+#include "tuner/strategy.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::tuner {
+
+StrategyRegistry& StrategyRegistry::instance() {
+  // The built-ins live in strategies.cpp; loading them through this call
+  // (rather than file-scope registrar objects) keeps the registration
+  // order defined and guarantees the archive member is linked in.
+  static StrategyRegistry registry = [] {
+    StrategyRegistry r;
+    register_builtin_strategies(r);
+    return r;
+  }();
+  return registry;
+}
+
+void StrategyRegistry::register_strategy(std::string name,
+                                         StrategyFactory factory) {
+  if (name.empty())
+    throw Error("StrategyRegistry: strategy name must not be empty");
+  if (!factory) throw Error("StrategyRegistry: null factory for '" + name +
+                            "'");
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted)
+    throw Error("StrategyRegistry: strategy '" + it->first +
+                "' is already registered");
+}
+
+std::unique_ptr<Strategy> StrategyRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw Error("unknown tune method '" + name + "' (registered: " +
+                str::join(names(), "|") + ")");
+  return it->second();
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace gpustatic::tuner

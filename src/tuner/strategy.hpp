@@ -1,0 +1,109 @@
+#pragma once
+
+// First-class search strategies. Every tuning method — Orio's five
+// searches, the paper's Static / Rule-Based pruned variants, and the
+// Sec. VII hybrid dial — implements the Strategy interface and lives in
+// a name-keyed StrategyRegistry, so drivers (core::TuningSession, the
+// CLI `tune` command) dispatch uniformly and new strategies appear
+// everywhere by registering themselves, not by editing method lists.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/hybrid.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+#include "tuner/static_search.hpp"
+
+namespace gpustatic::tuner {
+
+/// Everything a strategy may consume. `space` and `evaluator` are
+/// mandatory; `gpu`/`workload` are required by model-guided strategies
+/// (static, rule, hybrid), which throw Error when they are missing.
+/// `prune` optionally shares a caller-cached static-prune result so
+/// several model-guided runs over one workload analyze it once.
+struct StrategyContext {
+  const ParamSpace* space = nullptr;
+  Evaluator* evaluator = nullptr;
+  SearchOptions options;
+  HybridOptions hybrid;  ///< hybrid dial (empirical budget, rule toggle)
+  const arch::GpuSpec* gpu = nullptr;
+  const dsl::WorkloadDesc* workload = nullptr;
+  std::function<const StaticPruneResult&()> prune;
+};
+
+/// Uniform outcome of one strategy run, with enough bookkeeping to
+/// compare methods (core::TuningOutcome is an alias of this).
+struct StrategyResult {
+  std::string method;   ///< registry name of the strategy that ran
+  SearchResult search;
+  std::size_t space_size = 0;       ///< size of the space searched
+  std::size_t full_space_size = 0;  ///< size of the unpruned space
+  double intensity = 0;             ///< only for model-guided methods
+  std::size_t hybrid_candidates = 0;  ///< hybrid: prediction shortlist
+
+  /// Fig. 6 metric: fraction of the full space eliminated before search.
+  [[nodiscard]] double space_reduction() const {
+    return full_space_size == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(space_size) /
+                           static_cast<double>(full_space_size);
+  }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Registry name ("random", "rule", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// true when the strategy consumes SearchOptions::seed.
+  [[nodiscard]] virtual bool stochastic() const { return false; }
+  [[nodiscard]] virtual StrategyResult run(const StrategyContext& ctx)
+      const = 0;
+};
+
+using StrategyFactory = std::function<std::unique_ptr<Strategy>()>;
+
+/// Name -> factory. The process-wide instance() comes pre-loaded with
+/// the eight built-ins; tests may build private registries.
+class StrategyRegistry {
+ public:
+  /// The global registry (built-ins registered on first use).
+  static StrategyRegistry& instance();
+
+  /// Throws Error when `name` is already registered.
+  void register_strategy(std::string name, StrategyFactory factory);
+  /// Throws Error naming the registered strategies on unknown `name`.
+  [[nodiscard]] std::unique_ptr<Strategy> create(
+      const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, StrategyFactory> factories_;
+};
+
+/// Registers the eight built-in strategies (exhaustive, random, anneal,
+/// genetic, simplex, static, rule, hybrid) into `registry`. instance()
+/// calls this once; exposed so tests can build self-contained registries.
+void register_builtin_strategies(StrategyRegistry& registry);
+
+/// Self-registration helper for user strategies:
+///   static const tuner::RegisterStrategy reg{"mine", [] { ... }};
+/// registers into the global instance() at static-init time.
+struct RegisterStrategy {
+  RegisterStrategy(std::string name, StrategyFactory factory) {
+    StrategyRegistry::instance().register_strategy(std::move(name),
+                                                   std::move(factory));
+  }
+};
+
+}  // namespace gpustatic::tuner

@@ -143,6 +143,60 @@ TEST(CliRun, TuneUnknownMethodFails) {
                Error);
 }
 
+TEST(CliRun, TuneUnknownMethodErrorEnumeratesRegistry) {
+  std::ostringstream out;
+  try {
+    (void)cli::run_command(parse({"tune", "atax", "--method", "magic"}),
+                           out);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    for (const char* name : {"exhaustive", "random", "anneal", "genetic",
+                             "simplex", "static", "rule", "hybrid"})
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliRun, TuneMethodListEnumeratesRegistry) {
+  // No kernel argument needed to list strategies.
+  const std::string out = run({"tune", "--method", "list"});
+  for (const char* name : {"exhaustive", "random", "anneal", "genetic",
+                           "simplex", "static", "rule", "hybrid"})
+    EXPECT_NE(out.find(std::string(name) + "\n"), std::string::npos)
+        << name;
+}
+
+TEST(CliRun, TuneWithoutKernelStillFails) {
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run_command(parse({"tune", "--method", "random"}),
+                                      out),
+               Error);
+}
+
+TEST(CliRun, UsageListsRegisteredStrategies) {
+  const std::string text = cli::usage();
+  EXPECT_NE(text.find("anneal|exhaustive|genetic|hybrid|random|rule|"
+                      "simplex|static"),
+            std::string::npos);
+}
+
+TEST(CliParse, SeedReachesSearchOptions) {
+  const Options o = parse({"tune", "atax", "--seed", "77"});
+  EXPECT_EQ(o.seed, 77u);
+  EXPECT_EQ(cli::to_search_options(o).seed, 77u);
+  // Default plumbs through too.
+  EXPECT_EQ(cli::to_search_options(parse({"tune", "atax"})).seed, 1234u);
+}
+
+TEST(CliRun, TuneSameSeedIsDeterministic) {
+  const auto once = run({"tune", "atax", "-n", "64", "--method", "genetic",
+                         "--seed", "5"});
+  const auto twice = run({"tune", "atax", "-n", "64", "--method",
+                          "genetic", "--seed", "5"});
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("genetic search"), std::string::npos);
+}
+
 // ---- source-file kernels ---------------------------------------------------------
 
 TEST(CliRun, AnalyzesKernelFromSourceFile) {

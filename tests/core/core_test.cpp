@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/error.hpp"
 #include "core/session.hpp"
 #include "core/static_analyzer.hpp"
 #include "kernels/kernels.hpp"
@@ -42,8 +45,10 @@ TEST(StaticAnalyzer, TextReportMentionsKeyFields) {
 
 TEST(TuningSession, StaticReductionMatchesPaperOnKepler) {
   core::TuningSession session(kernels::make_atax(128), arch::gpu("K20"));
-  const auto st = session.static_pruned();
-  const auto rb = session.rule_based();
+  const auto st = session.tune("static");
+  const auto rb = session.tune("rule");
+  EXPECT_EQ(st.method, "static");
+  EXPECT_EQ(rb.method, "rule");
   EXPECT_NEAR(st.space_reduction(), 0.875, 1e-9);
   EXPECT_NEAR(rb.space_reduction(), 0.9375, 1e-9);
   EXPECT_LE(rb.search.best_time * 0.999, st.search.best_time * 1.5);
@@ -51,8 +56,8 @@ TEST(TuningSession, StaticReductionMatchesPaperOnKepler) {
 
 TEST(TuningSession, PrunedSearchNearExhaustive) {
   core::TuningSession session(kernels::make_ex14fj(16), arch::gpu("K20"));
-  const auto ex = session.exhaustive();
-  const auto rb = session.rule_based();
+  const auto ex = session.tune("exhaustive");
+  const auto rb = session.tune("rule");
   ASSERT_GT(ex.search.best_time, 0);
   // Compute-bound kernel: upper thread range retains the optimum basin.
   EXPECT_LT(rb.search.best_time, ex.search.best_time * 1.10);
@@ -65,11 +70,10 @@ TEST(TuningSession, BudgetedStrategiesRun) {
                               arch::gpu("M40"));
   tuner::SearchOptions o;
   o.budget = 60;
-  for (const auto& outcome :
-       {session.random(o), session.annealing(o), session.genetic(o),
-        session.simplex(o)}) {
-    EXPECT_LE(outcome.search.distinct_evaluations, 60u);
-    EXPECT_TRUE(std::isfinite(outcome.search.best_time));
+  for (const char* method : {"random", "anneal", "genetic", "simplex"}) {
+    const auto outcome = session.tune({method, o});
+    EXPECT_LE(outcome.search.distinct_evaluations, 60u) << method;
+    EXPECT_TRUE(std::isfinite(outcome.search.best_time)) << method;
   }
 }
 
@@ -78,4 +82,55 @@ TEST(TuningSession, PruneIsCached) {
   const auto& a = session.prune();
   const auto& b = session.prune();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(TuningSession, HybridResolvesThroughRegistry) {
+  core::TuningSession session(kernels::make_atax(64), arch::gpu("K20"));
+  core::TuningRequest req;
+  req.method = "hybrid";
+  req.hybrid.empirical_budget = 4;
+  const auto outcome = session.tune(req);
+  EXPECT_EQ(outcome.method, "hybrid");
+  EXPECT_EQ(outcome.search.distinct_evaluations, 4u);
+  EXPECT_GT(outcome.hybrid_candidates, 0u);
+  EXPECT_TRUE(std::isfinite(outcome.search.best_time));
+
+  req.hybrid.empirical_budget = 0;  // zero-run recommendation
+  const auto zero = session.tune(req);
+  EXPECT_EQ(zero.search.distinct_evaluations, 0u);
+  EXPECT_EQ(zero.search.best_time, tuner::kInvalid);
+  EXPECT_GT(zero.search.best_params.threads_per_block, 0);
+}
+
+TEST(TuningSession, UnknownMethodThrows) {
+  core::TuningSession session(kernels::make_atax(64), arch::gpu("K20"));
+  EXPECT_THROW((void)session.tune("magic"), Error);
+}
+
+TEST(TuningSession, RequestSelectsEvaluatorBackend) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  core::TuningSession session(wl, gpu);
+
+  // Counting backend: the session must route every evaluation through
+  // the evaluator named in the request, not its built-in one.
+  std::size_t calls = 0;
+  tuner::FunctionEvaluator counting(
+      [&calls](const codegen::TuningParams&) {
+        ++calls;
+        return 1.0;
+      });
+  core::TuningRequest req;
+  req.method = "rule";
+  req.evaluator = &counting;
+  const auto outcome = session.tune(req);
+  EXPECT_EQ(calls, outcome.search.distinct_evaluations);
+  EXPECT_GT(calls, 0u);
+
+  // The zero-run analytic backend is interchangeable with the default.
+  tuner::AnalyticEvaluator analytic(wl, gpu);
+  req.evaluator = &analytic;
+  const auto scored = session.tune(req);
+  EXPECT_TRUE(std::isfinite(scored.search.best_time));
+  EXPECT_EQ(scored.space_size, outcome.space_size);
 }

@@ -212,7 +212,7 @@ TEST(FrontendPipeline, ParsedKernelTunesEndToEnd) {
   const auto wl =
       frontend::parse_workload(frontend::sources::kMatVec2d, 64);
   core::TuningSession session(wl, arch::gpu("M40"));
-  const auto outcome = session.rule_based();
+  const auto outcome = session.tune("rule");
   EXPECT_GT(outcome.space_reduction(), 0.85);
   EXPECT_LT(outcome.search.best_time, tuner::kInvalid);
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "arch/gpu_spec.hpp"
@@ -8,6 +9,9 @@
 #include "replay/journal.hpp"
 #include "replay/refine.hpp"
 #include "replay/replay.hpp"
+#include "replay/replay_evaluator.hpp"
+#include "tuner/search.hpp"
+#include "tuner/static_search.hpp"
 
 using namespace gpustatic;  // NOLINT
 using replay::TuningJournal;
@@ -167,6 +171,43 @@ TEST(Replay, RejectsMismatchedContext) {
   const TuningJournal j = replay::record_tuning(wl, gpu, opts);
   EXPECT_THROW((void)replay::replay(j, kernels::make_bicg(64), gpu), Error);
   EXPECT_THROW((void)replay::replay(j, wl, arch::gpu("P100")), Error);
+}
+
+// ---- journal-backed evaluator -----------------------------------------------
+
+TEST(ReplayEvaluator, AnswersFromRecordedMeasurements) {
+  const TuningJournal j = sample_journal();
+  replay::ReplayEvaluator ev(j);
+  EXPECT_EQ(ev.name(), "replay");
+  EXPECT_EQ(ev.known_variants(), 1u);  // one valid + measured record
+  EXPECT_DOUBLE_EQ(ev.evaluate(j.variants()[0].params), 0.0625);
+  // Unmeasured, invalid, and never-journaled variants are all invalid.
+  EXPECT_EQ(ev.evaluate(j.variants()[1].params), tuner::kInvalid);
+  EXPECT_EQ(ev.evaluate(j.variants()[2].params), tuner::kInvalid);
+  codegen::TuningParams unseen;
+  unseen.threads_per_block = 777;
+  EXPECT_EQ(ev.evaluate(unseen), tuner::kInvalid);
+}
+
+TEST(ReplayEvaluator, DrivesASearchToTheJournaledBest) {
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  replay::RecordOptions opts;
+  opts.stride = 4;
+  const TuningJournal j = replay::record_tuning(wl, gpu, opts);
+  ASSERT_GT(j.measured_count(), 0u);
+
+  double journal_best = tuner::kInvalid;
+  for (const VariantRecord& v : j.variants())
+    if (v.valid && v.measured())
+      journal_best = std::min(journal_best, v.measured_ms);
+
+  // Exhaustive search over the recorded (rule-pruned) space, evaluated
+  // purely from the journal: no simulator involved, same best time.
+  replay::ReplayEvaluator ev(j);
+  const auto prune = tuner::static_prune(opts.space, gpu, wl);
+  const auto r = tuner::exhaustive_search(prune.rule_space, ev);
+  EXPECT_DOUBLE_EQ(r.best_time, journal_best);
 }
 
 // ---- coefficient refinement ----------------------------------------------------

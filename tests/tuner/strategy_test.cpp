@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/strategy.hpp"
+
+using namespace gpustatic;  // NOLINT
+using namespace gpustatic::tuner;  // NOLINT
+
+namespace {
+
+/// Tiny space whose TC values intersect every GPU's T* ladder, so the
+/// model-guided strategies can prune it.
+ParamSpace tiny_space() {
+  return ParamSpace({{"TC", {64, 128, 256, 512, 1024}},
+                     {"UIF", {1, 2}},
+                     {"CFLAGS", {0, 1}}});
+}
+
+/// Smooth synthetic objective minimized at TC=512, fast-math on.
+double synthetic(const codegen::TuningParams& p) {
+  const double t = (p.threads_per_block - 512.0) / 1024.0;
+  return 1.0 + t * t + (p.fast_math ? 0.0 : 0.05);
+}
+
+}  // namespace
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(StrategyRegistry, ListsAllEightBuiltins) {
+  const auto names = StrategyRegistry::instance().names();
+  for (const char* expected : {"exhaustive", "random", "anneal", "genetic",
+                               "simplex", "static", "rule", "hybrid"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected),
+              names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(StrategyRegistry, UnknownNameThrowsAndNamesTheRegistered) {
+  try {
+    (void)StrategyRegistry::instance().create("magic");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("magic"), std::string::npos);
+    EXPECT_NE(what.find("random"), std::string::npos);
+    EXPECT_NE(what.find("hybrid"), std::string::npos);
+  }
+  EXPECT_FALSE(StrategyRegistry::instance().contains("magic"));
+}
+
+TEST(StrategyRegistry, DuplicateRegistrationThrows) {
+  StrategyRegistry local;
+  register_builtin_strategies(local);
+  EXPECT_EQ(local.names(), StrategyRegistry::instance().names());
+  EXPECT_THROW(register_builtin_strategies(local), Error);
+  EXPECT_THROW(local.register_strategy("random", nullptr), Error);
+}
+
+TEST(StrategyRegistry, EveryBuiltinRunsEndToEndOnTinySpace) {
+  const auto wl = kernels::make_atax(32);
+  const auto& gpu = arch::gpu("K20");
+  const ParamSpace space = tiny_space();
+  SimEvaluator evaluator(wl, gpu);
+
+  StrategyContext ctx;
+  ctx.space = &space;
+  ctx.evaluator = &evaluator;
+  ctx.options.budget = 8;
+  ctx.hybrid.empirical_budget = 2;
+  ctx.gpu = &gpu;
+  ctx.workload = &wl;
+
+  for (const auto& name : StrategyRegistry::instance().names()) {
+    const auto strategy = StrategyRegistry::instance().create(name);
+    EXPECT_EQ(strategy->name(), name);
+    const StrategyResult r = strategy->run(ctx);
+    EXPECT_EQ(r.method, name);
+    EXPECT_GT(r.search.distinct_evaluations, 0u) << name;
+    EXPECT_TRUE(std::isfinite(r.search.best_time)) << name;
+    EXPECT_EQ(r.full_space_size, space.size()) << name;
+    EXPECT_GE(r.full_space_size, r.space_size) << name;
+  }
+}
+
+TEST(StrategyRegistry, ModelGuidedStrategiesRequireWorkloadContext) {
+  const ParamSpace space = tiny_space();
+  FunctionEvaluator evaluator{synthetic};
+  StrategyContext ctx;
+  ctx.space = &space;
+  ctx.evaluator = &evaluator;
+  for (const char* name : {"static", "rule", "hybrid"}) {
+    const auto strategy = StrategyRegistry::instance().create(name);
+    EXPECT_THROW((void)strategy->run(ctx), Error) << name;
+  }
+  // Plain searches do not need one.
+  const auto plain = StrategyRegistry::instance().create("random");
+  const auto r = plain->run(ctx);
+  EXPECT_GT(r.search.distinct_evaluations, 0u);
+}
+
+TEST(StrategyRegistry, StochasticFlagsMatchSeedConsumption) {
+  const auto& reg = StrategyRegistry::instance();
+  for (const char* name : {"random", "anneal", "genetic", "simplex"})
+    EXPECT_TRUE(reg.create(name)->stochastic()) << name;
+  for (const char* name : {"exhaustive", "static", "rule", "hybrid"})
+    EXPECT_FALSE(reg.create(name)->stochastic()) << name;
+}
+
+// ---- seed plumbing / determinism --------------------------------------------
+
+TEST(StrategySeed, SameSeedGivesIdenticalSearchResultTwice) {
+  const ParamSpace space = tiny_space();
+  for (const auto& name : StrategyRegistry::instance().names()) {
+    const auto strategy = StrategyRegistry::instance().create(name);
+    if (!strategy->stochastic()) continue;
+    FunctionEvaluator evaluator{synthetic};
+    StrategyContext ctx;
+    ctx.space = &space;
+    ctx.evaluator = &evaluator;
+    ctx.options.budget = 12;
+    ctx.options.seed = 2024;
+    const StrategyResult a = strategy->run(ctx);
+    const StrategyResult b = strategy->run(ctx);
+    EXPECT_EQ(a.search.best_params, b.search.best_params) << name;
+    EXPECT_EQ(a.search.best_time, b.search.best_time) << name;
+    EXPECT_EQ(a.search.distinct_evaluations,
+              b.search.distinct_evaluations)
+        << name;
+    EXPECT_EQ(a.search.total_calls, b.search.total_calls) << name;
+  }
+}
+
+// ---- caching decorator across backends --------------------------------------
+
+TEST(CachingDecorator, CountsDistinctAcrossBackends) {
+  const auto wl = kernels::make_atax(32);
+  const auto& gpu = arch::gpu("K20");
+  const ParamSpace space = tiny_space();
+
+  std::size_t fn_calls = 0;
+  FunctionEvaluator fn([&fn_calls](const codegen::TuningParams& p) {
+    ++fn_calls;
+    return synthetic(p);
+  });
+  SimEvaluator sim(wl, gpu);
+  AnalyticEvaluator analytic(wl, gpu);
+
+  for (Evaluator* backend : {static_cast<Evaluator*>(&fn),
+                             static_cast<Evaluator*>(&sim),
+                             static_cast<Evaluator*>(&analytic)}) {
+    CachingEvaluator cache(space, *backend);
+    const Point a = space.point_at(0);
+    const Point b = space.point_at(3);
+    cache(a);
+    cache(a);
+    cache(b);
+    cache(a);
+    EXPECT_EQ(cache.total_calls(), 4u) << backend->name();
+    EXPECT_EQ(cache.distinct_evaluations(), 2u) << backend->name();
+    EXPECT_TRUE(std::isfinite(cache.best_value())) << backend->name();
+  }
+  // The function backend really was consulted once per distinct point.
+  EXPECT_EQ(fn_calls, 2u);
+}
+
+TEST(CachingDecorator, BatchDeduplicatesBeforeHittingTheBackend) {
+  const ParamSpace space = tiny_space();
+  std::size_t backend_calls = 0;
+  FunctionEvaluator fn([&backend_calls](const codegen::TuningParams& p) {
+    ++backend_calls;
+    return synthetic(p);
+  });
+  CachingEvaluator cache(space, fn);
+  cache(space.point_at(1));  // pre-populate one entry
+
+  const std::vector<Point> batch = {space.point_at(0), space.point_at(1),
+                                    space.point_at(0), space.point_at(2)};
+  const auto values = cache.evaluate_batch(batch);
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values[0], values[2]);
+  EXPECT_EQ(backend_calls, 3u);  // points 0, 1, 2 — each exactly once
+  EXPECT_EQ(cache.total_calls(), 5u);
+  EXPECT_EQ(cache.distinct_evaluations(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(values[i], cache(batch[i])) << i;
+}
+
+TEST(CachingDecorator, BatchAndSequentialAgreeOnBestPoint) {
+  const auto wl = kernels::make_atax(32);
+  const auto& gpu = arch::gpu("K20");
+  const ParamSpace space = tiny_space();
+
+  SimEvaluator batched(wl, gpu);
+  CachingEvaluator via_batch(space, batched);
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    pts.push_back(space.point_at(i));
+  via_batch.evaluate_batch(pts);
+
+  SimEvaluator sequential(wl, gpu);
+  CachingEvaluator one_by_one(space, sequential);
+  for (const Point& p : pts) one_by_one(p);
+
+  EXPECT_EQ(via_batch.best_point(), one_by_one.best_point());
+  EXPECT_DOUBLE_EQ(via_batch.best_value(), one_by_one.best_value());
+  EXPECT_EQ(via_batch.distinct_evaluations(),
+            one_by_one.distinct_evaluations());
+}
