@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gpustatic {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t background = threads == 0 ? 0 : threads - 1;
+  workers_.reserve(background);
+  for (std::size_t t = 0; t < background; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::work_on_current_batch() {
+  for (;;) {
+    const std::size_t k = next_.fetch_add(1, std::memory_order_relaxed);
+    if (k >= batch_n_) return;
+    try {
+      (*batch_fn_)(k);
+    } catch (...) {
+      const std::scoped_lock lock(failure_mutex_);
+      if (!failure_) failure_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_;
+    lock.unlock();
+    work_on_current_batch();
+    lock.lock();
+    if (--active_ == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline path: no background workers (size-1 pool) or nothing to
+    // share — run on the caller, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  // One batch at a time: a second caller waits for the pool to drain.
+  done_.wait(lock, [&] { return active_ == 0 && batch_fn_ == nullptr; });
+  batch_n_ = n;
+  batch_fn_ = &fn;
+  next_.store(0, std::memory_order_relaxed);
+  failure_ = nullptr;
+  ++generation_;
+  lock.unlock();
+  wake_.notify_all();
+
+  work_on_current_batch();  // the caller is a participant
+
+  lock.lock();
+  done_.wait(lock, [&] { return active_ == 0; });
+  batch_fn_ = nullptr;
+  done_.notify_all();  // release any caller queued behind us
+  std::exception_ptr failure;
+  {
+    const std::scoped_lock failure_lock(failure_mutex_);
+    failure = failure_;
+    failure_ = nullptr;
+  }
+  lock.unlock();
+  if (failure) std::rethrow_exception(failure);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+std::size_t ThreadPool::configured_threads() {
+  if (const char* env = std::getenv("GPUSTATIC_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace gpustatic

@@ -1,0 +1,81 @@
+#pragma once
+
+// Persistent worker-thread pool for data-parallel batches. The tuner's
+// batch-first execution model funnels every parallel fan-out (simulator
+// batches, sweeps, benches) through one shared pool instead of spawning
+// a fresh std::thread set per batch — thread creation costs more than a
+// cheap variant evaluation, and a persistent pool keeps batch dispatch
+// O(condition-variable wake) instead of O(clone).
+//
+// parallel_for(n, fn) runs fn(0..n-1) with dynamic (atomic counter)
+// scheduling. The calling thread participates, so a pool of size 1 owns
+// no background threads at all and runs everything inline — the right
+// shape for 1-core CI boxes. Worker count comes from GPUSTATIC_THREADS
+// (see configured_threads) so constrained environments can pin it.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpustatic {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` participants (>= 1). `threads - 1` background
+  /// workers are spawned; the caller of parallel_for is the last one.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participants (background workers + the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Indices are claimed dynamically, one at a time, so uneven per-item
+  /// cost balances automatically. If any invocation throws, the first
+  /// exception (in completion order) is rethrown here after the batch
+  /// drains; remaining indices are still claimed but their results are
+  /// whatever fn left behind. Not reentrant from inside fn.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool, created on first use with
+  /// configured_threads() participants.
+  static ThreadPool& shared();
+
+  /// Pool size policy: the GPUSTATIC_THREADS environment variable when
+  /// set to a positive integer, else std::thread::hardware_concurrency
+  /// (min 1). Read once per call, so tests can setenv before first use
+  /// of shared().
+  [[nodiscard]] static std::size_t configured_threads();
+
+ private:
+  void worker_loop();
+  void work_on_current_batch();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped once per parallel_for batch
+  std::size_t active_ = 0;        ///< workers still inside current batch
+
+  // Current batch (valid while active_ > 0 or a batch is being seeded).
+  std::size_t batch_n_ = 0;
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr failure_;
+  std::mutex failure_mutex_;
+};
+
+}  // namespace gpustatic

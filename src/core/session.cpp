@@ -9,7 +9,8 @@ TuningSession::TuningSession(dsl::WorkloadDesc workload,
     : workload_(std::move(workload)),
       gpu_(&gpu),
       space_(std::move(space)),
-      evaluator_(workload_, gpu, run_opts) {}
+      evaluator_(workload_, gpu, run_opts),
+      cache_(space_, evaluator_) {}
 
 const tuner::StaticPruneResult& TuningSession::prune() {
   if (!prune_done_) {
@@ -25,7 +26,7 @@ TuningOutcome TuningSession::tune(const TuningRequest& request) {
   tuner::StrategyContext ctx;
   ctx.space = &space_;
   ctx.evaluator =
-      request.evaluator != nullptr ? request.evaluator : &evaluator_;
+      request.evaluator != nullptr ? request.evaluator : &cache_;
   ctx.options = request.options;
   ctx.hybrid = request.hybrid;
   ctx.gpu = gpu_;

@@ -47,6 +47,11 @@ class TuningSession {
                 tuner::ParamSpace space = tuner::paper_space(),
                 sim::RunOptions run_opts = {});
 
+  // The shared measurement cache points into the session's own space
+  // and simulator members, so the session must stay put.
+  TuningSession(const TuningSession&) = delete;
+  TuningSession& operator=(const TuningSession&) = delete;
+
   /// Resolve `request.method` through the StrategyRegistry and run it.
   /// Throws Error (naming the registered strategies) on unknown methods.
   [[nodiscard]] TuningOutcome tune(const TuningRequest& request = {});
@@ -59,14 +64,22 @@ class TuningSession {
   [[nodiscard]] const dsl::WorkloadDesc& workload() const {
     return workload_;
   }
-  /// The session's default backend (simulator with the ctor's RunOptions).
-  [[nodiscard]] tuner::Evaluator& evaluator() { return evaluator_; }
+  /// The session's default backend: the simulator behind a persistent
+  /// memo, so every tune() call on this session shares one measurement
+  /// cache — a variant simulated by one strategy is a cache hit for the
+  /// next (e.g. hybrid's empirical stage after an exhaustive/rule run).
+  [[nodiscard]] tuner::Evaluator& evaluator() { return cache_; }
+  /// The shared memo's accounting (distinct vs total, best seen).
+  [[nodiscard]] const tuner::CachingEvaluator& evaluation_cache() const {
+    return cache_;
+  }
 
  private:
   dsl::WorkloadDesc workload_;
   const arch::GpuSpec* gpu_;
   tuner::ParamSpace space_;
   tuner::SimEvaluator evaluator_;
+  tuner::CachingEvaluator cache_;
   bool prune_done_ = false;
   tuner::StaticPruneResult prune_;
 };

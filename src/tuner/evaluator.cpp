@@ -1,13 +1,9 @@
 #include "tuner/evaluator.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
 #include "analysis/predictor.hpp"
 #include "codegen/compiler.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/machine.hpp"
 
 namespace gpustatic::tuner {
@@ -37,37 +33,11 @@ double SimEvaluator::evaluate(const codegen::TuningParams& params) {
 std::vector<double> SimEvaluator::evaluate_batch(
     const std::vector<codegen::TuningParams>& batch) {
   std::vector<double> out(batch.size());
-  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<std::size_t>(threads, batch.size());
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      out[i] = evaluate(batch[i]);
-    return out;
-  }
-  std::atomic<std::size_t> next{0};
   // evaluate() absorbs gpustatic::Error into kInvalid; anything else
-  // (bad_alloc, logic errors) must not escape a thread body — stash the
-  // first one and rethrow after the join, like a sequential loop would.
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t k = next.fetch_add(1);
-      if (k >= batch.size()) return;
-      try {
-        out[k] = evaluate(batch[k]);
-      } catch (...) {
-        const std::scoped_lock lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (failure) std::rethrow_exception(failure);
+  // (bad_alloc, logic errors) is rethrown by the pool after the batch
+  // drains, like a sequential loop would.
+  ThreadPool::shared().parallel_for(
+      batch.size(), [&](std::size_t k) { out[k] = evaluate(batch[k]); });
   return out;
 }
 

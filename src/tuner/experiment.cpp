@@ -1,12 +1,11 @@
 #include "tuner/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "codegen/compiler.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/machine.hpp"
 
 namespace gpustatic::tuner {
@@ -62,24 +61,17 @@ std::vector<TrialRecord> sweep(const ParamSpace& space,
     indices.push_back(i);
 
   std::vector<TrialRecord> out(indices.size());
-  if (threads == 0)
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<std::size_t>(threads, indices.size());
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t k = next.fetch_add(1);
-      if (k >= indices.size()) return;
-      const Point p = space.point_at(indices[k]);
-      out[k] = evaluate_variant(workload, gpu, space.to_params(p),
-                                run_opts);
-    }
+  auto body = [&](std::size_t k) {
+    const Point p = space.point_at(indices[k]);
+    out[k] = evaluate_variant(workload, gpu, space.to_params(p), run_opts);
   };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  if (threads == 0) {
+    // Default: the shared persistent pool (GPUSTATIC_THREADS-sized).
+    ThreadPool::shared().parallel_for(indices.size(), body);
+  } else {
+    ThreadPool local(std::min<std::size_t>(threads, indices.size()));
+    local.parallel_for(indices.size(), body);
+  }
   return out;
 }
 

@@ -11,7 +11,7 @@ namespace gpustatic::tuner {
 HybridResult hybrid_search(const ParamSpace& space,
                            const arch::GpuSpec& gpu,
                            const dsl::WorkloadDesc& workload,
-                           const Objective& objective,
+                           Evaluator& evaluator,
                            const HybridOptions& opts) {
   HybridResult r;
   r.prune = static_prune(space, gpu, workload, opts.baseline);
@@ -43,24 +43,38 @@ HybridResult hybrid_search(const ParamSpace& space,
   if (r.shortlist.empty())
     throw Error("hybrid_search: no compilable variant in the pruned space");
 
-  // Stage 2 (empirical, dialed): measure the top-B predictions.
+  // Stage 2 (empirical, dialed): measure the top-B predictions as one
+  // memoized batch. Shortlist order is preserved inside the batch, so
+  // the first-wins tie-break matches a one-variant-at-a-time loop, and
+  // the CachingEvaluator budget guarantees at most B fresh backend runs.
   if (opts.empirical_budget == 0) {
     r.best_params = r.shortlist.front().params;  // zero-run recommendation
     return r;
   }
   const std::size_t budget =
       std::min(opts.empirical_budget, r.shortlist.size());
-  for (std::size_t i = 0; i < budget; ++i) {
-    const double t = objective(r.shortlist[i].params);
-    ++r.empirical_evaluations;
-    if (t < r.best_time_ms) {
-      r.best_time_ms = t;
-      r.best_params = r.shortlist[i].params;
-    }
-  }
-  if (r.best_time_ms == kInvalid)
+  CachingEvaluator eval(pruned, evaluator, opts.empirical_budget);
+  std::vector<Point> top;
+  top.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i)
+    top.push_back(pruned.point_at(r.shortlist[i].flat_index));
+  eval.evaluate_batch(top);
+  r.empirical_evaluations = eval.distinct_evaluations();
+  r.best_time_ms = eval.best_value();
+  if (!eval.best_point().empty())
+    r.best_params = pruned.to_params(eval.best_point());
+  else
     r.best_params = r.shortlist.front().params;  // all measured invalid
   return r;
+}
+
+HybridResult hybrid_search(const ParamSpace& space,
+                           const arch::GpuSpec& gpu,
+                           const dsl::WorkloadDesc& workload,
+                           const Objective& objective,
+                           const HybridOptions& opts) {
+  FunctionEvaluator evaluator(objective);
+  return hybrid_search(space, gpu, workload, evaluator, opts);
 }
 
 }  // namespace gpustatic::tuner

@@ -65,9 +65,19 @@ struct HybridResult {
 };
 
 /// Run the hybrid search: static prune -> Eq. 6 ranking (compiles, never
-/// runs) -> top-B empirical evaluations through `objective`. Variants
-/// whose compilation fails are dropped from the shortlist; the ranking
-/// tie-breaks on flat index so results are deterministic.
+/// runs) -> top-B empirical evaluations routed through a CachingEvaluator
+/// over `evaluator`'s evaluate_batch (one backend fan-out, memoized,
+/// budget-clamped). Variants whose compilation fails are dropped from the
+/// shortlist; the ranking tie-breaks on flat index and the measurement
+/// tie-breaks first-wins in shortlist order, so results are deterministic
+/// and identical to measuring the shortlist one variant at a time.
+[[nodiscard]] HybridResult hybrid_search(const ParamSpace& space,
+                                         const arch::GpuSpec& gpu,
+                                         const dsl::WorkloadDesc& workload,
+                                         Evaluator& evaluator,
+                                         const HybridOptions& opts = {});
+
+/// Objective convenience overload (wraps an owned FunctionEvaluator).
 [[nodiscard]] HybridResult hybrid_search(const ParamSpace& space,
                                          const arch::GpuSpec& gpu,
                                          const dsl::WorkloadDesc& workload,

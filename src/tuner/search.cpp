@@ -18,18 +18,28 @@ double CachingEvaluator::admit(std::size_t key, const Point& p, double v) {
 }
 
 double CachingEvaluator::operator()(const Point& p) {
-  ++calls_;
   const std::size_t key = space_->flat_index(p);
-  if (const auto it = cache_.find(key); it != cache_.end())
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++calls_;
     return it->second;
-  return admit(key, p, backend_->evaluate(space_->to_params(p)));
+  }
+  if (exhausted())
+    throw Error("CachingEvaluator: fresh evaluation requested after the "
+                "budget of " +
+                std::to_string(budget_) + " was spent");
+  const double v = backend_->evaluate(space_->to_params(p));
+  ++calls_;  // counted on success: a throwing backend charges nothing
+  return admit(key, p, v);
 }
 
-std::vector<double> CachingEvaluator::evaluate_batch(
-    const std::vector<Point>& pts) {
-  calls_ += pts.size();
+std::vector<double> CachingEvaluator::run_batch(
+    const std::vector<Point>& pts, bool clamp_to_budget) {
   // Collect cache misses in first-encounter order (deduplicated), so
-  // the best-point tie-break matches a sequential evaluation pass.
+  // the best-point tie-break matches a sequential evaluation pass. The
+  // budget clamp truncates exactly where a sequential loop would have
+  // run out: at the first miss it can no longer afford.
+  std::size_t answered = pts.size();
+  std::size_t room = remaining();
   std::vector<std::size_t> keys(pts.size());
   std::vector<std::size_t> miss;
   std::vector<codegen::TuningParams> miss_params;
@@ -37,20 +47,105 @@ std::vector<double> CachingEvaluator::evaluate_batch(
   for (std::size_t i = 0; i < pts.size(); ++i) {
     keys[i] = space_->flat_index(pts[i]);
     if (cache_.contains(keys[i]) || pending.contains(keys[i])) continue;
+    if (room == 0) {
+      if (!clamp_to_budget)
+        throw Error("CachingEvaluator: batch needs more than the " +
+                    std::to_string(budget_) + "-evaluation budget");
+      answered = i;
+      break;
+    }
+    --room;
     pending.insert(keys[i]);
     miss.push_back(i);
     miss_params.push_back(space_->to_params(pts[i]));
   }
-  const std::vector<double> fresh = backend_->evaluate_batch(miss_params);
-  if (fresh.size() != miss_params.size())
+  if (!miss.empty()) {  // an all-hit batch must not touch the backend
+    const std::vector<double> fresh =
+        backend_->evaluate_batch(miss_params);
+    if (fresh.size() != miss_params.size())
+      throw Error("evaluate_batch: backend '" + backend_->name() +
+                  "' returned " + std::to_string(fresh.size()) +
+                  " values for " + std::to_string(miss_params.size()) +
+                  " variants");
+    for (std::size_t m = 0; m < miss.size(); ++m)
+      admit(keys[miss[m]], pts[miss[m]], fresh[m]);
+  }
+  calls_ += answered;  // counted on success, hits and misses alike
+  std::vector<double> out(answered);
+  for (std::size_t i = 0; i < answered; ++i) out[i] = cache_.at(keys[i]);
+  return out;
+}
+
+std::vector<double> CachingEvaluator::evaluate_batch(
+    const std::vector<Point>& pts) {
+  return run_batch(pts, /*clamp_to_budget=*/true);
+}
+
+std::optional<Point> CachingEvaluator::exact_point_of(
+    const codegen::TuningParams& params) const {
+  std::optional<Point> p = space_->point_of(params);
+  // The round-trip check rejects params that differ in a field no
+  // dimension covers (e.g. a non-default stream_chunk against a space
+  // without SC): caching those under the in-space point's key would
+  // silently return the cost of a different variant.
+  if (p && !(space_->to_params(*p) == params)) return std::nullopt;
+  return p;
+}
+
+double CachingEvaluator::evaluate(const codegen::TuningParams& params) {
+  const std::optional<Point> p = exact_point_of(params);
+  if (!p) {
+    // Outside the space: pass through uncached (and unbudgeted — the
+    // budget meters the cache, and these params have no cache key).
+    const double v = backend_->evaluate(params);
+    ++calls_;
+    return v;
+  }
+  return (*this)(*p);
+}
+
+std::vector<double> CachingEvaluator::evaluate_batch(
+    const std::vector<codegen::TuningParams>& batch) {
+  // Split per entry: in-space params ride the cache machinery,
+  // out-of-space ones (no cache key) go to the backend as their own
+  // sub-batch — one foreign variant must not forfeit memoization for
+  // the rest of the batch.
+  std::vector<Point> pts;
+  pts.reserve(batch.size());
+  std::vector<codegen::TuningParams> foreign;
+  std::vector<std::size_t> foreign_slot;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (std::optional<Point> p = exact_point_of(batch[i])) {
+      pts.push_back(std::move(*p));
+    } else {
+      foreign.push_back(batch[i]);
+      foreign_slot.push_back(i);
+    }
+  }
+  if (foreign.empty()) return run_batch(pts, /*clamp_to_budget=*/false);
+
+  // In-space portion first: if the budget cannot cover its misses this
+  // throws before any foreign work is spent or charged.
+  const std::vector<double> cached_vals =
+      run_batch(pts, /*clamp_to_budget=*/false);
+  const std::vector<double> foreign_vals =
+      backend_->evaluate_batch(foreign);
+  if (foreign_vals.size() != foreign.size())
     throw Error("evaluate_batch: backend '" + backend_->name() +
-                "' returned " + std::to_string(fresh.size()) +
-                " values for " + std::to_string(miss_params.size()) +
+                "' returned " + std::to_string(foreign_vals.size()) +
+                " values for " + std::to_string(foreign.size()) +
                 " variants");
-  for (std::size_t m = 0; m < miss.size(); ++m)
-    admit(keys[miss[m]], pts[miss[m]], fresh[m]);
-  std::vector<double> out(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i) out[i] = cache_.at(keys[i]);
+  calls_ += foreign.size();
+  std::vector<double> out(batch.size());
+  std::size_t next_cached = 0;
+  std::size_t next_foreign = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (next_foreign < foreign_slot.size() &&
+        foreign_slot[next_foreign] == i)
+      out[i] = foreign_vals[next_foreign++];
+    else
+      out[i] = cached_vals[next_cached++];
+  }
   return out;
 }
 
@@ -89,6 +184,10 @@ Point neighbor(const ParamSpace& space, const Point& p, Rng& rng) {
   return q;
 }
 
+/// Caps one proposal round: bounds batch memory without changing
+/// results (the budget clamp makes any round partition equivalent).
+constexpr std::size_t kMaxRound = 1024;
+
 }  // namespace
 
 SearchResult exhaustive_search(const ParamSpace& space,
@@ -105,27 +204,47 @@ SearchResult exhaustive_search(const ParamSpace& space,
 
 SearchResult random_search(const ParamSpace& space, Evaluator& evaluator,
                            const SearchOptions& opts) {
-  CachingEvaluator eval(space, evaluator);
+  CachingEvaluator eval(space, evaluator,
+                        std::min(opts.budget, space.size()));
   Rng rng(opts.seed);
-  const std::size_t budget = std::min(opts.budget, space.size());
-  std::size_t guard = 0;
-  while (eval.distinct_evaluations() < budget &&
-         guard++ < opts.budget * 50)
-    eval(random_point(space, rng));
+  // Proposal guard against tiny spaces where the budget is unreachable;
+  // saturating so budget == SIZE_MAX cannot overflow it away.
+  const std::size_t max_proposals =
+      opts.budget > kUnlimitedBudget / 50 ? kUnlimitedBudget
+                                          : opts.budget * 50;
+  std::size_t proposed = 0;
+  while (!eval.exhausted() && proposed < max_proposals) {
+    // One round of candidates, evaluated as a single batch. The budget
+    // clamp stops the round exactly where a sequential loop would, so
+    // over-proposing within a round never overshoots.
+    const std::size_t want = std::min(
+        {eval.remaining(), kMaxRound, max_proposals - proposed});
+    std::vector<Point> round;
+    round.reserve(want);
+    for (std::size_t i = 0; i < want; ++i)
+      round.push_back(random_point(space, rng));
+    proposed += round.size();
+    eval.evaluate_batch(round);
+  }
   return finish("random", space, eval);
 }
 
 SearchResult simulated_annealing(const ParamSpace& space,
                                  Evaluator& evaluator,
                                  const SearchOptions& opts) {
-  CachingEvaluator eval(space, evaluator);
+  CachingEvaluator eval(space, evaluator,
+                        std::min(opts.budget, space.size()));
   Rng rng(opts.seed);
+  if (eval.exhausted()) return finish("simulated-annealing", space, eval);
   Point cur = random_point(space, rng);
   double cur_v = eval(cur);
   double temp = opts.sa_initial_temp;
-  const std::size_t budget = std::min(opts.budget, space.size());
 
-  while (eval.distinct_evaluations() < budget) {
+  // The walk is inherently sequential (each step depends on the last
+  // acceptance), so this strategy stays per-point; the loop admits at
+  // most one fresh evaluation per iteration, and the reheat below is
+  // budget-clamped, so the budget is never overshot.
+  while (!eval.exhausted()) {
     const Point cand = neighbor(space, cur, rng);
     const double cand_v = eval(cand);
     bool take = cand_v < cur_v;
@@ -142,6 +261,7 @@ SearchResult simulated_annealing(const ParamSpace& space,
     temp *= opts.sa_cooling;
     if (temp < 1e-4) {  // reheat and hop to escape local basins
       temp = opts.sa_initial_temp;
+      if (eval.exhausted()) break;  // no budget left for the hop
       cur = random_point(space, rng);
       cur_v = eval(cur);
     }
@@ -151,19 +271,28 @@ SearchResult simulated_annealing(const ParamSpace& space,
 
 SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
                             const SearchOptions& opts) {
-  CachingEvaluator eval(space, evaluator);
+  CachingEvaluator eval(space, evaluator,
+                        std::min(opts.budget, space.size()));
   Rng rng(opts.seed);
-  const std::size_t budget = std::min(opts.budget, space.size());
 
   struct Member {
     Point p;
     double v;
   };
+
+  // Generation 0: the whole seed population as one batch (clamped, so a
+  // budget smaller than the population just seeds fewer members).
+  std::vector<Point> seeds;
+  seeds.reserve(opts.ga_population);
+  for (std::size_t i = 0; i < opts.ga_population; ++i)
+    seeds.push_back(random_point(space, rng));
+  const std::vector<double> seed_vals = eval.evaluate_batch(seeds);
+
   std::vector<Member> pop;
-  for (std::size_t i = 0; i < opts.ga_population; ++i) {
-    Point p = random_point(space, rng);
-    pop.push_back({p, eval(p)});
-  }
+  pop.reserve(seed_vals.size());
+  for (std::size_t i = 0; i < seed_vals.size(); ++i)
+    pop.push_back({seeds[i], seed_vals[i]});
+  if (pop.empty()) return finish("genetic", space, eval);
 
   auto tournament = [&]() -> const Member& {
     const Member* best = &pop[rng.below(pop.size())];
@@ -174,23 +303,39 @@ SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
     return *best;
   };
 
-  while (eval.distinct_evaluations() < budget) {
-    const Member& a = tournament();
-    const Member& b = tournament();
-    Point child(space.rank());
-    for (std::size_t d = 0; d < space.rank(); ++d)
-      child[d] = rng.chance(0.5) ? a.p[d] : b.p[d];
-    for (std::size_t d = 0; d < space.rank(); ++d) {
-      if (!rng.chance(opts.ga_mutation_rate)) continue;
-      child[d] = static_cast<std::size_t>(
-          rng.below(space.dimensions()[d].values.size()));
+  // Generational loop: breed one generation of offspring from the
+  // current population, evaluate it as one batch, then fold survivors
+  // in (in offspring order, keeping replacement deterministic). The
+  // stall guard terminates a converged population whose children are
+  // all cache hits — distinct_evaluations can stop growing long before
+  // the budget is reached (always, when ga_mutation_rate == 0).
+  std::size_t stall = 0;
+  while (!eval.exhausted() && stall < opts.ga_max_stall) {
+    const std::size_t before = eval.distinct_evaluations();
+    std::vector<Point> children;
+    children.reserve(opts.ga_population);
+    for (std::size_t c = 0; c < opts.ga_population; ++c) {
+      const Member& a = tournament();
+      const Member& b = tournament();
+      Point child(space.rank());
+      for (std::size_t d = 0; d < space.rank(); ++d)
+        child[d] = rng.chance(0.5) ? a.p[d] : b.p[d];
+      for (std::size_t d = 0; d < space.rank(); ++d) {
+        if (!rng.chance(opts.ga_mutation_rate)) continue;
+        child[d] = static_cast<std::size_t>(
+            rng.below(space.dimensions()[d].values.size()));
+      }
+      children.push_back(std::move(child));
     }
-    const double v = eval(child);
-    // Replace the worst member when the child improves on it.
-    auto worst = std::max_element(
-        pop.begin(), pop.end(),
-        [](const Member& x, const Member& y) { return x.v < y.v; });
-    if (v < worst->v) *worst = {child, v};
+    const std::vector<double> vals = eval.evaluate_batch(children);
+    for (std::size_t c = 0; c < vals.size(); ++c) {
+      // Replace the worst member when the child improves on it.
+      auto worst = std::max_element(
+          pop.begin(), pop.end(),
+          [](const Member& x, const Member& y) { return x.v < y.v; });
+      if (vals[c] < worst->v) *worst = {children[c], vals[c]};
+    }
+    stall = eval.distinct_evaluations() == before ? stall + 1 : 0;
   }
   return finish("genetic", space, eval);
 }
@@ -198,10 +343,10 @@ SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
 SearchResult nelder_mead_search(const ParamSpace& space,
                                 Evaluator& evaluator,
                                 const SearchOptions& opts) {
-  CachingEvaluator eval(space, evaluator);
+  CachingEvaluator eval(space, evaluator,
+                        std::min(opts.budget, space.size()));
   Rng rng(opts.seed);
   const std::size_t n = space.rank();
-  const std::size_t budget = std::min(opts.budget, space.size());
 
   // Continuous coordinates in index space, rounded per evaluation.
   using Vec = std::vector<double>;
@@ -215,13 +360,20 @@ SearchResult nelder_mead_search(const ParamSpace& space,
     }
     return p;
   };
-  auto value = [&](const Vec& x) { return eval(clamp_round(x)); };
+  // One vertex value; false when it would need a fresh evaluation the
+  // budget no longer covers (the search must stop).
+  auto try_value = [&](const Vec& x, double& out) {
+    const Point p = clamp_round(x);
+    if (!eval.cached(p) && eval.exhausted()) return false;
+    out = eval(p);
+    return true;
+  };
+  auto done = [&] { return finish("nelder-mead", space, eval); };
 
   for (std::size_t restart = 0;
-       restart <= opts.nm_restarts &&
-       eval.distinct_evaluations() < budget;
-       ++restart) {
-    // Initial simplex: a random vertex plus unit offsets per dimension.
+       restart <= opts.nm_restarts && !eval.exhausted(); ++restart) {
+    // Initial simplex: a random vertex plus unit offsets per dimension,
+    // evaluated as one batch.
     std::vector<Vec> simplex;
     Vec x0(n);
     for (std::size_t d = 0; d < n; ++d)
@@ -233,12 +385,13 @@ SearchResult nelder_mead_search(const ParamSpace& space,
       x[d] += 1.0;
       simplex.push_back(x);
     }
-    std::vector<double> vals;
-    vals.reserve(simplex.size());
-    for (const Vec& x : simplex) vals.push_back(value(x));
+    std::vector<Point> seed_pts;
+    seed_pts.reserve(simplex.size());
+    for (const Vec& x : simplex) seed_pts.push_back(clamp_round(x));
+    std::vector<double> vals = eval.evaluate_batch(seed_pts);
+    if (vals.size() != seed_pts.size()) return done();  // budget ran dry
 
-    for (int iter = 0; iter < 200 && eval.distinct_evaluations() < budget;
-         ++iter) {
+    for (int iter = 0; iter < 200 && !eval.exhausted(); ++iter) {
       // Order: best first.
       std::vector<std::size_t> order(simplex.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -267,10 +420,12 @@ SearchResult nelder_mead_search(const ParamSpace& space,
       };
 
       const Vec reflect = blend(-1.0);
-      const double vr = value(reflect);
+      double vr;
+      if (!try_value(reflect, vr)) return done();
       if (vr < vals[best]) {
         const Vec expand = blend(-2.0);
-        const double ve = value(expand);
+        double ve;
+        if (!try_value(expand, ve)) return done();
         if (ve < vr) {
           simplex[worst] = expand;
           vals[worst] = ve;
@@ -283,25 +438,35 @@ SearchResult nelder_mead_search(const ParamSpace& space,
         vals[worst] = vr;
       } else {
         const Vec contract = blend(0.5);
-        const double vc = value(contract);
+        double vc;
+        if (!try_value(contract, vc)) return done();
         if (vc < vals[worst]) {
           simplex[worst] = contract;
           vals[worst] = vc;
         } else {
-          // Shrink toward the best vertex.
+          // Shrink toward the best vertex: every moved vertex in one
+          // batch, index order preserved for the tie-break.
+          std::vector<std::size_t> moved;
+          std::vector<Point> shrink_pts;
           for (std::size_t i = 0; i < simplex.size(); ++i) {
             if (i == best) continue;
             for (std::size_t d = 0; d < n; ++d)
               simplex[i][d] =
                   simplex[best][d] +
                   0.5 * (simplex[i][d] - simplex[best][d]);
-            vals[i] = value(simplex[i]);
+            moved.push_back(i);
+            shrink_pts.push_back(clamp_round(simplex[i]));
           }
+          const std::vector<double> shrunk =
+              eval.evaluate_batch(shrink_pts);
+          if (shrunk.size() != shrink_pts.size()) return done();
+          for (std::size_t k = 0; k < moved.size(); ++k)
+            vals[moved[k]] = shrunk[k];
         }
       }
     }
   }
-  return finish("nelder-mead", space, eval);
+  return done();
 }
 
 }  // namespace gpustatic::tuner

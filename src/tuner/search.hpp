@@ -7,12 +7,24 @@
 // *distinct* evaluations, which is the cost metric Fig. 6's improvement
 // percentages are computed from.
 //
+// Execution is batch-first: every strategy groups the evaluations whose
+// order does not affect its decisions (the exhaustive scan, random
+// proposal rounds, a GA generation's offspring, a simplex seed or shrink
+// step) into one CachingEvaluator::evaluate_batch call, which a parallel
+// backend fans out over the shared thread pool. Results are
+// byte-identical to evaluating the same points one at a time: batches
+// preserve in-batch ordering for the first-wins best-point tie-break,
+// and the budget clamp stops a batch exactly where a sequential loop
+// would have stopped.
+//
 // Each strategy exists in two forms: the Evaluator& overload (the real
 // implementation) and an Objective convenience overload for ad-hoc
 // lambdas. New call sites should prefer registry dispatch via
 // strategy.hpp; these free functions remain the algorithm layer.
 
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -22,24 +34,75 @@
 
 namespace gpustatic::tuner {
 
-/// Memoizing decorator over an evaluation backend: caches values by flat
-/// space index, tracks the best point seen, and counts total vs distinct
-/// evaluations. Batched lookups forward cache misses to the backend's
-/// evaluate_batch hook in one call (deduplicated, order preserved), so a
-/// parallel backend parallelizes transparently.
-class CachingEvaluator {
+/// No evaluation limit: the CachingEvaluator admits any number of fresh
+/// backend evaluations.
+inline constexpr std::size_t kUnlimitedBudget =
+    std::numeric_limits<std::size_t>::max();
+
+/// Memoizing, budget-aware decorator over an evaluation backend: caches
+/// values by flat space index, tracks the best point seen (first-wins on
+/// ties, in evaluation order), and counts total vs distinct evaluations.
+/// Batched lookups forward cache misses to the backend's evaluate_batch
+/// hook in one call (deduplicated, order preserved), so a parallel
+/// backend parallelizes transparently.
+///
+/// The budget bounds *distinct* (fresh) backend evaluations — cache hits
+/// are always free. The point-batch overload clamps: it answers the
+/// longest prefix of the batch whose fresh evaluations fit in the
+/// budget, so strategies can request "up to N fresh evaluations" without
+/// overshooting. The per-point operator() throws Error instead, catching
+/// strategies that forgot to check remaining().
+///
+/// CachingEvaluator is itself an Evaluator (params are mapped back to
+/// points via ParamSpace::point_of), so one instance can sit in front of
+/// any backend as a persistent memo — e.g. core::TuningSession shares
+/// one across every tune() call so repeated strategies never re-measure
+/// a variant. Params outside the space pass through uncached.
+class CachingEvaluator final : public Evaluator {
  public:
-  CachingEvaluator(const ParamSpace& space, Evaluator& backend)
-      : space_(&space), backend_(&backend) {}
+  CachingEvaluator(const ParamSpace& space, Evaluator& backend,
+                   std::size_t budget = kUnlimitedBudget)
+      : space_(&space), backend_(&backend), budget_(budget) {}
   /// Convenience: wrap a bare Objective in an owned FunctionEvaluator.
-  CachingEvaluator(const ParamSpace& space, Objective fn)
+  CachingEvaluator(const ParamSpace& space, Objective fn,
+                   std::size_t budget = kUnlimitedBudget)
       : space_(&space),
         owned_(std::make_unique<FunctionEvaluator>(std::move(fn))),
-        backend_(owned_.get()) {}
+        backend_(owned_.get()),
+        budget_(budget) {}
 
+  /// Evaluate one point. Throws Error when the point is uncached and the
+  /// budget is exhausted.
   double operator()(const Point& p);
-  /// Evaluate many points; results align with `pts` by index.
+  /// Evaluate many points; results align with `pts` by index. When the
+  /// remaining budget cannot cover every cache miss, the batch is
+  /// truncated: the returned vector answers the longest prefix of `pts`
+  /// whose misses fit (possibly empty), never exceeding the budget.
   std::vector<double> evaluate_batch(const std::vector<Point>& pts);
+
+  // Evaluator interface: params-keyed access to the same cache.
+  [[nodiscard]] std::string name() const override {
+    return "cached(" + backend_->name() + ")";
+  }
+  /// Throws Error when the params map into the space, are uncached, and
+  /// the budget is exhausted (mirrors operator()).
+  double evaluate(const codegen::TuningParams& params) override;
+  /// Full-batch semantics (results always align with `batch`): throws
+  /// Error when the misses exceed the remaining budget, since an
+  /// Evaluator cannot return a partial result.
+  std::vector<double> evaluate_batch(
+      const std::vector<codegen::TuningParams>& batch) override;
+
+  [[nodiscard]] std::size_t budget() const { return budget_; }
+  void set_budget(std::size_t budget) { budget_ = budget; }
+  /// Fresh evaluations still allowed before the budget is spent.
+  [[nodiscard]] std::size_t remaining() const {
+    return budget_ > cache_.size() ? budget_ - cache_.size() : 0;
+  }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+  [[nodiscard]] bool cached(const Point& p) const {
+    return cache_.contains(space_->flat_index(p));
+  }
 
   [[nodiscard]] std::size_t distinct_evaluations() const {
     return cache_.size();
@@ -50,11 +113,19 @@ class CachingEvaluator {
 
  private:
   double admit(std::size_t key, const Point& p, double v);
+  std::vector<double> run_batch(const std::vector<Point>& pts,
+                                bool clamp_to_budget);
+  /// point_of plus a to_params round-trip check, so params that differ
+  /// only in a field no dimension covers are treated as out-of-space
+  /// instead of collapsing onto an in-space variant's cache key.
+  [[nodiscard]] std::optional<Point> exact_point_of(
+      const codegen::TuningParams& params) const;
 
   const ParamSpace* space_;
   std::unique_ptr<Evaluator> owned_;  ///< set by the Objective ctor
   Evaluator* backend_;
   std::unordered_map<std::size_t, double> cache_;
+  std::size_t budget_ = kUnlimitedBudget;
   std::size_t calls_ = 0;
   double best_ = kInvalid;
   Point best_point_;
@@ -78,6 +149,11 @@ struct SearchOptions {
   std::size_t ga_population = 24;
   double ga_mutation_rate = 0.15;
   std::size_t ga_tournament = 3;
+  /// Stop after this many consecutive generations that produced no new
+  /// distinct evaluation (e.g. a converged population with
+  /// ga_mutation_rate = 0 can only ever re-propose cached children —
+  /// without this guard the search would spin forever).
+  std::size_t ga_max_stall = 3;
   // Nelder-Mead.
   std::size_t nm_restarts = 4;
 };

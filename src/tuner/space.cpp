@@ -6,11 +6,24 @@
 
 namespace gpustatic::tuner {
 
+ParamSpace::Field ParamSpace::field_of(const std::string& name) {
+  if (name == "TC") return Field::kTC;
+  if (name == "BC") return Field::kBC;
+  if (name == "UIF") return Field::kUIF;
+  if (name == "PL") return Field::kPL;
+  if (name == "SC") return Field::kSC;
+  if (name == "CFLAGS") return Field::kCFLAGS;
+  return Field::kUnknown;
+}
+
 ParamSpace::ParamSpace(std::vector<Dimension> dims)
     : dims_(std::move(dims)) {
-  for (const Dimension& d : dims_)
+  fields_.reserve(dims_.size());
+  for (const Dimension& d : dims_) {
     if (d.values.empty())
       throw ConfigError("dimension '" + d.name + "' has no values");
+    fields_.push_back(field_of(d.name));
+  }
 }
 
 std::size_t ParamSpace::size() const {
@@ -39,16 +52,50 @@ codegen::TuningParams ParamSpace::to_params(const Point& p) const {
   codegen::TuningParams out;
   for (std::size_t d = 0; d < dims_.size(); ++d) {
     const auto v = dims_[d].values[p[d]];
-    const std::string& name = dims_[d].name;
-    if (name == "TC") out.threads_per_block = static_cast<int>(v);
-    else if (name == "BC") out.block_count = static_cast<int>(v);
-    else if (name == "UIF") out.unroll = static_cast<int>(v);
-    else if (name == "PL") out.l1_pref_kb = static_cast<int>(v);
-    else if (name == "SC") out.stream_chunk = static_cast<int>(v);
-    else if (name == "CFLAGS") out.fast_math = v != 0;
-    else throw ConfigError("unknown tuning dimension '" + name + "'");
+    switch (fields_[d]) {
+      case Field::kTC: out.threads_per_block = static_cast<int>(v); break;
+      case Field::kBC: out.block_count = static_cast<int>(v); break;
+      case Field::kUIF: out.unroll = static_cast<int>(v); break;
+      case Field::kPL: out.l1_pref_kb = static_cast<int>(v); break;
+      case Field::kSC: out.stream_chunk = static_cast<int>(v); break;
+      case Field::kCFLAGS: out.fast_math = v != 0; break;
+      case Field::kUnknown:
+        throw ConfigError("unknown tuning dimension '" + dims_[d].name +
+                          "'");
+    }
   }
   return out;
+}
+
+std::optional<Point> ParamSpace::point_of(
+    const codegen::TuningParams& params) const {
+  Point p(dims_.size(), 0);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const auto& values = dims_[d].values;
+    // First matching value per dimension; CFLAGS values are truthiness
+    // flags, not literal ints, so it inverts the same `v != 0`
+    // lowering to_params applies.
+    std::int64_t want = 0;
+    bool truthy = false;
+    switch (fields_[d]) {
+      case Field::kTC: want = params.threads_per_block; break;
+      case Field::kBC: want = params.block_count; break;
+      case Field::kUIF: want = params.unroll; break;
+      case Field::kPL: want = params.l1_pref_kb; break;
+      case Field::kSC: want = params.stream_chunk; break;
+      case Field::kCFLAGS: truthy = true; break;
+      case Field::kUnknown:
+        throw ConfigError("unknown tuning dimension '" + dims_[d].name +
+                          "'");
+    }
+    const auto it = std::find_if(
+        values.begin(), values.end(), [&](std::int64_t v) {
+          return truthy ? (v != 0) == params.fast_math : v == want;
+        });
+    if (it == values.end()) return std::nullopt;
+    p[d] = static_cast<std::size_t>(it - values.begin());
+  }
+  return p;
 }
 
 ParamSpace ParamSpace::restrict(const std::string& dim,

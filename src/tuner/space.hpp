@@ -5,6 +5,7 @@
 // to_params() maps a point to compiler TuningParams.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,18 @@ class ParamSpace {
   /// missing dimensions keep TuningParams defaults.
   [[nodiscard]] codegen::TuningParams to_params(const Point& p) const;
 
+  /// Inverse of to_params: the point whose per-dimension values equal
+  /// the corresponding TuningParams fields, or nullopt when any
+  /// dimension has no matching value (the params lie outside this
+  /// space). Fields not named by a dimension are ignored, mirroring
+  /// to_params' defaulting. Each dimension resolves to its *first*
+  /// matching value, so point_of(to_params(p)) == p except for points
+  /// selecting an aliasing value (a duplicate, or a second truthy
+  /// CFLAGS entry), which map back to the first alias — to_params is
+  /// identical across aliases, so the resolved point is equivalent.
+  [[nodiscard]] std::optional<Point> point_of(
+      const codegen::TuningParams& params) const;
+
   /// Restrict one dimension to a subset of its values (the model-based
   /// pruning primitive). Values not present are ignored; an empty
   /// intersection throws.
@@ -50,7 +63,17 @@ class ParamSpace {
   [[nodiscard]] bool has_dimension(const std::string& name) const;
 
  private:
+  /// Which TuningParams field a dimension drives, resolved once at
+  /// construction so the per-point hot paths (to_params, point_of) need
+  /// no string comparisons. Unknown names stay constructible (the spec
+  /// parser admits arbitrary identifiers) and throw only when mapped,
+  /// preserving the historical error timing.
+  enum class Field : std::uint8_t { kTC, kBC, kUIF, kPL, kSC, kCFLAGS,
+                                    kUnknown };
+  [[nodiscard]] static Field field_of(const std::string& name);
+
   std::vector<Dimension> dims_;
+  std::vector<Field> fields_;  ///< parallel to dims_
 };
 
 /// The paper's effective evaluation space (Sec. IV-A): TC x BC x UIF x

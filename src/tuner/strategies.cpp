@@ -102,12 +102,11 @@ class HybridStrategy final : public Strategy {
       const override {
     require_search_inputs(ctx, "hybrid");
     require_model_inputs(ctx, "hybrid");
-    Evaluator* ev = ctx.evaluator;
-    const Objective objective = [ev](const codegen::TuningParams& p) {
-      return ev->evaluate(p);
-    };
+    // The evaluator goes straight through: hybrid_search batches its
+    // empirical stage via the backend's evaluate_batch, so a parallel
+    // or memoizing evaluator keeps those properties here.
     const HybridResult h = hybrid_search(*ctx.space, *ctx.gpu,
-                                         *ctx.workload, objective,
+                                         *ctx.workload, *ctx.evaluator,
                                          ctx.hybrid);
     StrategyResult r;
     r.method = "hybrid";

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+using gpustatic::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInlineWithNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(17, 0);
+    pool.parallel_for(out.size(),
+                      [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 17 * 16 / 2)
+        << round;
+  }
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("boom");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // The batch drained (no index abandoned mid-flight, pool reusable).
+  EXPECT_EQ(completed.load(), 99);
+  std::atomic<int> again{0};
+  pool.parallel_for(10, [&](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromInlinePath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   5, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ConfiguredThreadsHonorsEnvOverride) {
+  // setenv/unsetenv are process-global; this test restores the prior
+  // state so it cannot leak into other tests in this binary.
+  const char* prev = std::getenv("GPUSTATIC_THREADS");
+  const std::string saved = prev ? prev : "";
+
+  ASSERT_EQ(setenv("GPUSTATIC_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3u);
+  ASSERT_EQ(setenv("GPUSTATIC_THREADS", "0", 1), 0);  // invalid: fallback
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+  ASSERT_EQ(setenv("GPUSTATIC_THREADS", "junk", 1), 0);
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+
+  if (prev)
+    setenv("GPUSTATIC_THREADS", saved.c_str(), 1);
+  else
+    unsetenv("GPUSTATIC_THREADS");
+}

@@ -102,6 +102,34 @@ TEST(TuningSession, HybridResolvesThroughRegistry) {
   EXPECT_GT(zero.search.best_params.threads_per_block, 0);
 }
 
+TEST(TuningSession, EvaluationCacheIsSharedAcrossTuneCalls) {
+  // The session fronts its simulator with a persistent CachingEvaluator,
+  // so a variant measured by one strategy is a cache hit for the next.
+  core::TuningSession session(kernels::make_atax(64), arch::gpu("K20"));
+  const auto rule = session.tune("rule");
+  const auto& cache = session.evaluation_cache();
+  const std::size_t distinct_after_rule = cache.distinct_evaluations();
+  const std::size_t calls_after_rule = cache.total_calls();
+  EXPECT_EQ(distinct_after_rule, rule.search.distinct_evaluations);
+
+  // Hybrid's empirical stage measures top-ranked variants of the same
+  // rule-pruned space: every one must hit the session cache — zero
+  // fresh simulator runs.
+  core::TuningRequest req;
+  req.method = "hybrid";
+  req.hybrid.empirical_budget = 8;
+  const auto hybrid = session.tune(req);
+  EXPECT_EQ(hybrid.search.distinct_evaluations, 8u);
+  EXPECT_EQ(cache.distinct_evaluations(), distinct_after_rule);
+  EXPECT_GT(cache.total_calls(), calls_after_rule);
+
+  // Re-running the same strategy is all hits as well.
+  const auto rule_again = session.tune("rule");
+  EXPECT_EQ(cache.distinct_evaluations(), distinct_after_rule);
+  EXPECT_EQ(rule_again.search.best_params, rule.search.best_params);
+  EXPECT_EQ(rule_again.search.best_time, rule.search.best_time);
+}
+
 TEST(TuningSession, UnknownMethodThrows) {
   core::TuningSession session(kernels::make_atax(64), arch::gpu("K20"));
   EXPECT_THROW((void)session.tune("magic"), Error);

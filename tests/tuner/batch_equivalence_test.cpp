@@ -1,0 +1,147 @@
+// Acceptance test for the batch-first search core: every registered
+// strategy must produce byte-identical results whether its batches fan
+// out over a real multi-threaded pool or run as a plain sequential
+// loop. This binary forces a 4-participant shared pool (the CI box has
+// 1 core, which would otherwise degenerate to the inline path and prove
+// nothing) via GPUSTATIC_THREADS before the pool's first use.
+
+#include <cstdlib>
+
+namespace {
+// Static initializer: runs before main(), hence before ThreadPool::
+// shared() is first constructed (it is created lazily on first batch).
+const bool kForceParallelPool = [] {
+  setenv("GPUSTATIC_THREADS", "4", 1);
+  return true;
+}();
+}  // namespace
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/gpu_spec.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/strategy.hpp"
+
+using namespace gpustatic;  // NOLINT
+using namespace gpustatic::tuner;  // NOLINT
+
+namespace {
+
+/// Forwards single evaluations but strips the backend's batch override,
+/// falling back to Evaluator's default sequential loop — the "evaluate
+/// one variant at a time" baseline the batched path must reproduce.
+class SequentialEvaluator final : public Evaluator {
+ public:
+  explicit SequentialEvaluator(Evaluator& inner) : inner_(&inner) {}
+  [[nodiscard]] std::string name() const override {
+    return "sequential(" + inner_->name() + ")";
+  }
+  double evaluate(const codegen::TuningParams& params) override {
+    return inner_->evaluate(params);
+  }
+
+ private:
+  Evaluator* inner_;
+};
+
+ParamSpace tiny_space() {
+  return ParamSpace({{"TC", {64, 128, 256, 512, 1024}},
+                     {"UIF", {1, 2}},
+                     {"CFLAGS", {0, 1}}});
+}
+
+struct RunResult {
+  codegen::TuningParams best;
+  double best_time = 0;
+  std::size_t distinct = 0;
+};
+
+RunResult run_strategy(const std::string& name, const ParamSpace& space,
+                       Evaluator& evaluator,
+                       const dsl::WorkloadDesc& wl,
+                       const arch::GpuSpec& gpu, std::size_t budget,
+                       std::uint64_t seed) {
+  StrategyContext ctx;
+  ctx.space = &space;
+  ctx.evaluator = &evaluator;
+  ctx.options.budget = budget;
+  ctx.options.seed = seed;
+  ctx.hybrid.empirical_budget = 4;
+  ctx.gpu = &gpu;
+  ctx.workload = &wl;
+  const StrategyResult r =
+      StrategyRegistry::instance().create(name)->run(ctx);
+  return {r.search.best_params, r.search.best_time,
+          r.search.distinct_evaluations};
+}
+
+}  // namespace
+
+TEST(BatchEquivalence, PoolReallyIsParallelInThisBinary) {
+  ASSERT_EQ(ThreadPool::shared().size(), 4u);
+}
+
+TEST(BatchEquivalence, AllStrategiesMatchSequentialBaseline) {
+  const auto wl = kernels::make_atax(32);
+  const auto& gpu = arch::gpu("K20");
+  const ParamSpace space = tiny_space();
+
+  for (const auto& name : StrategyRegistry::instance().names()) {
+    for (const std::size_t budget : {4u, 8u, 60u}) {
+      SimEvaluator batched(wl, gpu);  // evaluate_batch -> 4-thread pool
+      const RunResult par =
+          run_strategy(name, space, batched, wl, gpu, budget, 1234);
+
+      SimEvaluator backend(wl, gpu);
+      SequentialEvaluator sequential(backend);
+      const RunResult seq =
+          run_strategy(name, space, sequential, wl, gpu, budget, 1234);
+
+      EXPECT_EQ(par.best.threads_per_block, seq.best.threads_per_block)
+          << name << " budget=" << budget;
+      EXPECT_EQ(par.best.block_count, seq.best.block_count) << name;
+      EXPECT_EQ(par.best.unroll, seq.best.unroll) << name;
+      EXPECT_EQ(par.best.l1_pref_kb, seq.best.l1_pref_kb) << name;
+      EXPECT_EQ(par.best.stream_chunk, seq.best.stream_chunk) << name;
+      EXPECT_EQ(par.best.fast_math, seq.best.fast_math) << name;
+      // Bitwise, not approximate: the batch may not reorder ties.
+      EXPECT_EQ(par.best_time, seq.best_time)
+          << name << " budget=" << budget;
+      EXPECT_EQ(par.distinct, seq.distinct)
+          << name << " budget=" << budget;
+    }
+  }
+}
+
+TEST(BatchEquivalence, TieBreakIsFirstWinsUnderParallelBatches) {
+  // A constant objective makes every point a tie: the reported best
+  // must be the first point ever evaluated, no matter how the pool
+  // schedules the batch.
+  const ParamSpace space = tiny_space();
+  FunctionEvaluator flat([](const codegen::TuningParams&) { return 1.0; });
+  CachingEvaluator eval(space, flat);
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    pts.push_back(space.point_at(i));
+  eval.evaluate_batch(pts);
+  EXPECT_EQ(eval.best_point(), space.point_at(0));
+  EXPECT_EQ(eval.best_value(), 1.0);
+}
+
+TEST(BatchEquivalence, SimBatchMatchesSimSingleUnderParallelPool) {
+  const auto wl = kernels::make_matvec2d(64);
+  const auto& gpu = arch::gpu("M40");
+  SimEvaluator sim(wl, gpu);
+  const ParamSpace space = tiny_space();
+  std::vector<codegen::TuningParams> batch;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    batch.push_back(space.to_params(space.point_at(i)));
+  const auto batched = sim.evaluate_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(batched[i], sim.evaluate(batch[i])) << i;
+}

@@ -111,6 +111,72 @@ TEST(HybridSearch, DeterministicAcrossRuns) {
     EXPECT_EQ(a.shortlist[i].flat_index, b.shortlist[i].flat_index);
 }
 
+namespace {
+
+/// Records how the empirical stage reaches the backend: per-point
+/// evaluate() calls vs batched evaluate_batch() calls.
+class RecordingEvaluator final : public tuner::Evaluator {
+ public:
+  explicit RecordingEvaluator(tuner::Objective fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] std::string name() const override { return "recording"; }
+  double evaluate(const codegen::TuningParams& p) override {
+    ++single_calls;
+    return fn_(p);
+  }
+  std::vector<double> evaluate_batch(
+      const std::vector<codegen::TuningParams>& batch) override {
+    ++batch_calls;
+    batch_sizes.push_back(batch.size());
+    std::vector<double> out;
+    out.reserve(batch.size());
+    for (const auto& p : batch) out.push_back(fn_(p));
+    return out;
+  }
+
+  std::size_t single_calls = 0;
+  std::size_t batch_calls = 0;
+  std::vector<std::size_t> batch_sizes;
+
+ private:
+  tuner::Objective fn_;
+};
+
+}  // namespace
+
+TEST(HybridSearch, EmpiricalStageIsOneBatchNotPerPointCalls) {
+  // The old HybridStrategy wrapped the evaluator in a per-point
+  // Objective lambda, bypassing evaluate_batch (and any memoization the
+  // backend carries). The empirical stage must now reach the backend as
+  // a single batch of exactly the dialed budget.
+  Fixture f;
+  RecordingEvaluator recording(f.objective);
+  HybridOptions opts;
+  opts.empirical_budget = 6;
+  const auto r = tuner::hybrid_search(f.space, f.gpu, f.wl, recording,
+                                      opts);
+  EXPECT_EQ(recording.single_calls, 0u);
+  EXPECT_EQ(recording.batch_calls, 1u);
+  ASSERT_EQ(recording.batch_sizes.size(), 1u);
+  EXPECT_EQ(recording.batch_sizes.front(), 6u);
+  EXPECT_EQ(r.empirical_evaluations, 6u);
+}
+
+TEST(HybridSearch, EvaluatorAndObjectiveOverloadsAgree) {
+  Fixture f;
+  HybridOptions opts;
+  opts.empirical_budget = 8;
+  tuner::SimEvaluator sim(f.wl, f.gpu);
+  const auto via_evaluator =
+      tuner::hybrid_search(f.space, f.gpu, f.wl, sim, opts);
+  const auto via_objective =
+      tuner::hybrid_search(f.space, f.gpu, f.wl, f.objective, opts);
+  EXPECT_EQ(via_evaluator.best_params, via_objective.best_params);
+  EXPECT_DOUBLE_EQ(via_evaluator.best_time_ms,
+                   via_objective.best_time_ms);
+  EXPECT_EQ(via_evaluator.empirical_evaluations,
+            via_objective.empirical_evaluations);
+}
+
 TEST(HybridSearch, EmpiricalFractionReflectsTheDial) {
   Fixture f;
   const auto r = run(f, 8);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "arch/gpu_spec.hpp"
 #include "common/error.hpp"
@@ -191,6 +194,228 @@ TEST(CachingDecorator, BatchDeduplicatesBeforeHittingTheBackend) {
   EXPECT_EQ(cache.distinct_evaluations(), 3u);
   for (std::size_t i = 0; i < batch.size(); ++i)
     EXPECT_EQ(values[i], cache(batch[i])) << i;
+}
+
+TEST(CachingDecorator, BatchClampsToTheBudget) {
+  const ParamSpace space = tiny_space();
+  std::size_t backend_calls = 0;
+  FunctionEvaluator fn([&backend_calls](const codegen::TuningParams& p) {
+    ++backend_calls;
+    return synthetic(p);
+  });
+  CachingEvaluator cache(space, fn, /*budget=*/3);
+  EXPECT_EQ(cache.remaining(), 3u);
+
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < 6; ++i) pts.push_back(space.point_at(i));
+  const auto values = cache.evaluate_batch(pts);
+  // Answered the longest affordable prefix: 3 fresh evaluations.
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_EQ(backend_calls, 3u);
+  EXPECT_TRUE(cache.exhausted());
+  EXPECT_EQ(cache.total_calls(), 3u);
+
+  // Cache hits are still free after exhaustion; a fresh point throws.
+  EXPECT_EQ(cache.evaluate_batch({pts[0], pts[2]}).size(), 2u);
+  EXPECT_NO_THROW((void)cache(pts[1]));
+  EXPECT_THROW((void)cache(space.point_at(10)), Error);
+  EXPECT_EQ(backend_calls, 3u);
+
+  // A batch whose affordable prefix is only hits answers that prefix.
+  const auto partial =
+      cache.evaluate_batch({pts[1], space.point_at(11), pts[2]});
+  EXPECT_EQ(partial.size(), 1u);
+  EXPECT_EQ(backend_calls, 3u);
+
+  cache.set_budget(4);
+  EXPECT_EQ(cache.remaining(), 1u);
+  EXPECT_NO_THROW((void)cache(space.point_at(10)));
+  EXPECT_EQ(backend_calls, 4u);
+}
+
+TEST(CachingDecorator, CallsAreCountedOnSuccessOnly) {
+  // A throwing backend must charge nothing to the accounting —
+  // historically total_calls was bumped by the whole batch before the
+  // backend could throw.
+  class ThrowingEvaluator final : public Evaluator {
+   public:
+    [[nodiscard]] std::string name() const override { return "throwing"; }
+    double evaluate(const codegen::TuningParams&) override {
+      throw std::runtime_error("backend down");
+    }
+    std::vector<double> evaluate_batch(
+        const std::vector<codegen::TuningParams>&) override {
+      throw std::runtime_error("backend down");
+    }
+  };
+  const ParamSpace space = tiny_space();
+  ThrowingEvaluator backend;
+  CachingEvaluator cache(space, backend);
+  EXPECT_THROW((void)cache(space.point_at(0)), std::runtime_error);
+  std::vector<Point> pts = {space.point_at(0), space.point_at(1)};
+  EXPECT_THROW((void)cache.evaluate_batch(pts), std::runtime_error);
+  EXPECT_EQ(cache.total_calls(), 0u);
+  EXPECT_EQ(cache.distinct_evaluations(), 0u);
+}
+
+TEST(CachingDecorator, ServesAsAnEvaluatorKeyedByParams) {
+  const ParamSpace space = tiny_space();
+  std::size_t backend_calls = 0;
+  FunctionEvaluator fn([&backend_calls](const codegen::TuningParams& p) {
+    ++backend_calls;
+    return synthetic(p);
+  });
+  CachingEvaluator cache(space, fn);
+  Evaluator& as_evaluator = cache;
+  EXPECT_EQ(as_evaluator.name(), "cached(function)");
+
+  const auto params = space.to_params(space.point_at(5));
+  const double first = as_evaluator.evaluate(params);
+  const double again = as_evaluator.evaluate(params);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(backend_calls, 1u);  // second lookup was a cache hit
+
+  // Batch path shares the same cache.
+  const auto out = as_evaluator.evaluate_batch(
+      {params, space.to_params(space.point_at(6))});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], first);
+  EXPECT_EQ(backend_calls, 2u);
+
+  // Params outside the space pass through, uncached.
+  codegen::TuningParams foreign = params;
+  foreign.threads_per_block = 96;  // not a TC value of tiny_space
+  (void)as_evaluator.evaluate(foreign);
+  (void)as_evaluator.evaluate(foreign);
+  EXPECT_EQ(backend_calls, 4u);
+
+  // So do params differing only in a field no dimension covers:
+  // tiny_space has no SC, and a variant with another stream_chunk must
+  // not collapse onto the cached in-space variant's key.
+  codegen::TuningParams chunked = params;
+  chunked.stream_chunk = 5;
+  (void)as_evaluator.evaluate(chunked);
+  (void)as_evaluator.evaluate(chunked);
+  EXPECT_EQ(backend_calls, 6u);
+}
+
+TEST(CachingDecorator, MixedParamsBatchKeepsMemoizingInSpaceEntries) {
+  // One out-of-space variant in a batch must not forfeit the cache for
+  // the rest: in-space entries stay memoized, only foreign entries
+  // re-run, and results stay aligned with the request.
+  const ParamSpace space = tiny_space();
+  std::size_t backend_calls = 0;
+  FunctionEvaluator fn([&backend_calls](const codegen::TuningParams& p) {
+    ++backend_calls;
+    return synthetic(p);
+  });
+  CachingEvaluator cache(space, fn);
+  Evaluator& as_evaluator = cache;
+
+  const auto in0 = space.to_params(space.point_at(0));
+  const auto in1 = space.to_params(space.point_at(1));
+  (void)as_evaluator.evaluate(in0);  // pre-cache: 1 backend call
+  codegen::TuningParams foreign = in0;
+  foreign.stream_chunk = 4;  // tiny_space has no SC dimension
+
+  const auto out = as_evaluator.evaluate_batch({in0, foreign, in1});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], synthetic(in0));
+  EXPECT_EQ(out[1], synthetic(foreign));
+  EXPECT_EQ(out[2], synthetic(in1));
+  EXPECT_EQ(backend_calls, 3u);  // foreign + the in1 miss; in0 was a hit
+  EXPECT_EQ(cache.distinct_evaluations(), 2u);
+
+  // Repeat: only the foreign entry reaches the backend again.
+  (void)as_evaluator.evaluate_batch({in0, foreign, in1});
+  EXPECT_EQ(backend_calls, 4u);
+}
+
+// ---- budget discipline across strategies ------------------------------------
+
+TEST(SearchBudget, NoStrategyOvershootsItsBudget) {
+  // The SA reheat and the Nelder-Mead shrink loop used to evaluate
+  // fresh points after the budget check; the GA evaluated its whole
+  // seed population regardless of budget. All are clamped now.
+  const ParamSpace space = tiny_space();
+  for (const char* name : {"random", "anneal", "genetic", "simplex"}) {
+    for (const std::size_t budget : {1u, 3u, 5u, 7u}) {
+      FunctionEvaluator fn{synthetic};
+      StrategyContext ctx;
+      ctx.space = &space;
+      ctx.evaluator = &fn;
+      ctx.options.budget = budget;
+      ctx.options.seed = 7;
+      const auto r = StrategyRegistry::instance().create(name)->run(ctx);
+      EXPECT_LE(r.search.distinct_evaluations, budget)
+          << name << " budget=" << budget;
+      EXPECT_GT(r.search.distinct_evaluations, 0u) << name;
+    }
+  }
+}
+
+TEST(SearchBudget, RandomSearchSaturatesItsGuardOnUnlimitedBudget) {
+  // budget == SIZE_MAX used to overflow the `budget * 50` proposal
+  // guard; with saturation the search exhausts the space and stops.
+  const ParamSpace space = tiny_space();
+  FunctionEvaluator fn{synthetic};
+  SearchOptions opts;
+  opts.budget = std::numeric_limits<std::size_t>::max();
+  const auto r = random_search(space, fn, opts);
+  EXPECT_EQ(r.distinct_evaluations, space.size());
+}
+
+TEST(SearchBudget, GeneticTerminatesWithZeroMutationRate) {
+  // Regression: with ga_mutation_rate = 0 a converged population can
+  // only re-propose cached children, so distinct_evaluations stops
+  // growing and the pre-fix while-loop never exited. The stall guard
+  // must end the search (well before this binary's CTest timeout).
+  const ParamSpace space = tiny_space();
+  FunctionEvaluator fn{synthetic};
+  SearchOptions opts;
+  opts.budget = space.size();  // unreachable via crossover alone
+  opts.ga_mutation_rate = 0.0;
+  opts.ga_population = 4;
+  opts.seed = 5;
+  const auto r = genetic_search(space, fn, opts);
+  EXPECT_GT(r.distinct_evaluations, 0u);
+  EXPECT_LE(r.distinct_evaluations, space.size());
+  EXPECT_TRUE(std::isfinite(r.best_time));
+}
+
+// ---- ParamSpace validation --------------------------------------------------
+
+TEST(SpaceValidation, EmptyDimensionThrowsAtConstruction) {
+  // An empty dimension would make random_point index into an empty
+  // vector (UB); the ctor must reject it up front.
+  EXPECT_THROW(ParamSpace(std::vector<Dimension>{{"TC", {}}}),
+               ConfigError);
+  EXPECT_THROW(
+      ParamSpace(std::vector<Dimension>{{"TC", {64}}, {"UIF", {}}}),
+      ConfigError);
+  EXPECT_NO_THROW(ParamSpace(std::vector<Dimension>{{"TC", {64}}}));
+}
+
+TEST(SpaceValidation, RestrictToEmptyIntersectionThrows) {
+  const ParamSpace space = tiny_space();
+  EXPECT_THROW((void)space.restrict("TC", {7, 9}), ConfigError);
+  EXPECT_THROW((void)space.restrict("TC", {}), ConfigError);
+  const ParamSpace ok = space.restrict("TC", {64, 7});
+  EXPECT_EQ(ok.dimension("TC").values,
+            (std::vector<std::int64_t>{64}));
+}
+
+TEST(SpaceValidation, PointOfInvertsToParams) {
+  const ParamSpace space = tiny_space();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const Point p = space.point_at(i);
+    const auto back = space.point_of(space.to_params(p));
+    ASSERT_TRUE(back.has_value()) << i;
+    EXPECT_EQ(*back, p) << i;
+  }
+  codegen::TuningParams outside = space.to_params(space.point_at(0));
+  outside.threads_per_block = 999;
+  EXPECT_FALSE(space.point_of(outside).has_value());
 }
 
 TEST(CachingDecorator, BatchAndSequentialAgreeOnBestPoint) {
