@@ -1,0 +1,142 @@
+// Fleet tuning bench: tunes the whole kernel library (base + extended)
+// through a TuningStore twice — a cold pass that pays for every
+// simulator run, then a warm pass that must answer everything from the
+// store. Prints both passes and the wall-clock cost of each, and exits
+// non-zero when the warm pass performed any fresh evaluation: this is
+// the CI gate that the persistent-store warm-start path keeps working.
+//
+//   $ ./bench/bench_fleet_tune [--method NAME] [--gpu NAME|all]
+//                              [--budget N] [--seed N] [--json PATH]
+//
+// --json writes a machine-readable artifact (both passes + timings),
+// the start of CI's tracked perf trajectory for the tuning pipeline.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+#include "core/fleet.hpp"
+
+using namespace gpustatic;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(const Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The fleet JSON object with its trailing newline stripped, for
+/// embedding as a sub-object.
+std::string embed(const core::FleetReport& report) {
+  std::string json = core::render_fleet_json(report);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string method = "random";
+  std::string gpu = "K20";
+  std::size_t budget = 48;
+  std::uint64_t seed = 1234;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--method") == 0)
+      method = value();
+    else if (std::strcmp(argv[i], "--gpu") == 0)
+      gpu = value();
+    else if (std::strcmp(argv[i], "--budget") == 0)
+      budget = static_cast<std::size_t>(std::stoull(value()));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = std::stoull(value());
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = value();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Fleet tuning: whole-library passes through a TuningStore",
+      "ROADMAP north star (library-scale tuning; Lim et al. Sec. VII)");
+
+  core::FleetOptions opts;
+  opts.gpus = {gpu};
+  opts.method = method;
+  opts.search.budget = budget;
+  opts.search.seed = seed;
+  opts.hybrid.empirical_budget = budget;
+
+  try {
+    tuner::TuningStore store;
+    core::FleetSession fleet(store, opts);
+    std::printf("method=%s budget=%zu: %zu jobs\n\n", method.c_str(),
+                budget, fleet.jobs().size());
+
+    const auto cold_start = Clock::now();
+    const core::FleetReport cold = fleet.run();
+    const double cold_ms = ms_since(cold_start);
+
+    const auto warm_start = Clock::now();
+    const core::FleetReport warm = fleet.run();
+    const double warm_ms = ms_since(warm_start);
+
+    std::printf("--- cold pass (%.1f ms) ---\n%s\n", cold_ms,
+                core::render_fleet_table(cold).c_str());
+    std::printf("--- warm pass (%.1f ms) ---\n%s\n", warm_ms,
+                core::render_fleet_table(warm).c_str());
+    std::printf("store round trip: %zu records, %zu bytes serialized\n",
+                store.size(), store.serialize().size());
+
+    if (!json_path.empty()) {
+      std::string json = "{\n  \"method\": \"" + method +
+                         "\",\n  \"budget\": " + std::to_string(budget) +
+                         ",\n  \"jobs\": " +
+                         std::to_string(fleet.jobs().size()) +
+                         ",\n  \"cold_ms\": " +
+                         str::format("%.3f", cold_ms) +
+                         ",\n  \"warm_ms\": " +
+                         str::format("%.3f", warm_ms) +
+                         ",\n  \"cold\": " + embed(cold) +
+                         ",\n  \"warm\": " + embed(warm) + "\n}\n";
+      io::write_file_atomic(json_path, json);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (cold.failed != 0 || warm.failed != 0) {
+      std::fprintf(stderr, "FAIL: %zu cold / %zu warm jobs errored\n",
+                   cold.failed, warm.failed);
+      return 1;
+    }
+    if (warm.fresh_evaluations != 0) {
+      std::fprintf(stderr,
+                   "FAIL: warm pass performed %zu fresh evaluations "
+                   "(want 0 — the store must answer everything)\n",
+                   warm.fresh_evaluations);
+      return 1;
+    }
+    std::printf("\nOK: warm pass answered all %zu lookups from the "
+                "store (0 fresh)\n",
+                warm.warm_hits);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

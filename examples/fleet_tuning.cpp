@@ -1,0 +1,73 @@
+// Example: fleet tuning through a persistent tuning store.
+//
+// The paper tunes one kernel at a time; a production autotuner keeps a
+// whole library of kernels tuned per GPU and never re-measures a
+// configuration it already paid for. This example shows that loop:
+//   1. cold pass  — tune three kernels on two GPUs, every evaluation a
+//                   fresh simulator run, results persisted to a store;
+//   2. reload     — the store round-trips through its on-disk form
+//                   (atomic rewrite, journal-style text format);
+//   3. warm pass  — the same fleet request again: every lookup answers
+//                   from the store, zero fresh simulator runs.
+//
+//   $ ./examples/fleet_tuning
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/fleet.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+core::FleetReport run_pass(tuner::TuningStore& store, const char* label) {
+  core::FleetOptions opts;
+  opts.kernels = {"atax", "bicg", "matvec2d"};
+  opts.gpus = {"K20", "P100"};
+  opts.n = 64;
+  opts.method = "rule";
+
+  core::FleetSession fleet(store, opts);
+  const core::FleetReport report = fleet.run();
+  std::printf("--- %s pass ---\n%s\n", label,
+              core::render_fleet_table(report).c_str());
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gpustatic_fleet_example")
+          .string() +
+      ".store";
+  std::filesystem::remove(path);
+
+  // 1. Cold: an empty store, so every evaluation hits the simulator.
+  tuner::TuningStore store;
+  const core::FleetReport cold = run_pass(store, "cold");
+  store.save(path);  // atomic: temp sibling + rename
+
+  // 2. Reload from disk — what a later process (or CI job) would see.
+  tuner::TuningStore reloaded = tuner::TuningStore::load(path);
+  std::printf("store persisted %zu records to %s\n\n", reloaded.size(),
+              path.c_str());
+
+  // 3. Warm: the same request against the reloaded store.
+  const core::FleetReport warm = run_pass(reloaded, "warm");
+
+  std::printf("cold pass: %zu fresh simulator runs\n",
+              cold.fresh_evaluations);
+  std::printf("warm pass: %zu fresh simulator runs, %zu warm hits\n",
+              warm.fresh_evaluations, warm.warm_hits);
+
+  std::filesystem::remove(path);
+  // The warm pass re-measuring anything would defeat the store's whole
+  // point; fail loudly so CI's example smoke run catches it.
+  return warm.fresh_evaluations == 0 && cold.failed == 0 &&
+                 warm.failed == 0
+             ? 0
+             : 1;
+}

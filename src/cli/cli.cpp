@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/fleet.hpp"
 #include "core/session.hpp"
 #include "core/static_analyzer.hpp"
 #include "dynamic/profile.hpp"
@@ -38,6 +39,10 @@ commands:
   disasm    <kernel>         virtual-ISA disassembly of the compiled variant
   profile   <kernel>         dynamic profile on the warp simulator
   tune      <kernel>         autotune (--method, --budget)
+  tune-fleet                 tune the whole kernel library (base +
+                             extended) through a persistent tuning
+                             store; a warm store answers every repeat
+                             evaluation with zero fresh simulator runs
 
 <kernel>: a registry name (atax, bicg, ex14fj, matvec2d) or a path to a
 kernel source file in the frontend language.
@@ -59,6 +64,11 @@ options:
   --seed N           stochastic search seed                  [1234]
   --spec FILE        tune: Orio PerfTuning annotation (Fig. 3 syntax)
                      defining the search space       [Table III space]
+  --store FILE       tune-fleet: tuning store to warm-start from and
+                     persist to (atomic rewrite)        [in-memory]
+  --report FMT       tune-fleet report format: table|json|csv [table]
+  --kernels a,b,c    tune-fleet: restrict to these kernels      [all]
+                     (--gpu accepts 'all' to fleet every Table I GPU)
 )";
 
 /// Usage text with the strategy list taken live from the registry, so a
@@ -75,7 +85,9 @@ std::string render_usage() {
 }
 
 std::int64_t default_size(const std::string& kernel) {
-  return kernel == "ex14fj" ? 16 : 128;
+  // Single-sourced with the fleet planner, so `tune atax` and a fleet
+  // row for atax tune the same workload by default.
+  return core::FleetSession::default_size(kernel);
 }
 
 bool looks_like_path(const std::string& s) {
@@ -263,6 +275,37 @@ int cmd_tune(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+int cmd_tune_fleet(const Options& opts, std::ostream& out) {
+  // Validate the request surface before loading or tuning anything.
+  (void)tuner::StrategyRegistry::instance().create(opts.method);
+  core::validate_fleet_report_format(opts.report);
+
+  std::vector<std::string> warnings;
+  tuner::TuningStore store =
+      opts.store_path.empty()
+          ? tuner::TuningStore{}
+          : tuner::TuningStore::load(opts.store_path, &warnings);
+  for (const std::string& w : warnings) out << "warning: " << w << "\n";
+
+  core::FleetOptions fleet_opts;
+  if (!opts.kernels.empty()) {
+    for (const std::string& name : str::split(opts.kernels, ','))
+      if (!name.empty()) fleet_opts.kernels.push_back(name);
+  }
+  fleet_opts.gpus = {opts.gpu};
+  fleet_opts.n = opts.n;
+  fleet_opts.method = opts.method;
+  fleet_opts.search = to_search_options(opts);
+  fleet_opts.hybrid.empirical_budget = opts.budget;
+  fleet_opts.space = tune_space(opts);
+
+  core::FleetSession fleet(store, fleet_opts);
+  const core::FleetReport report = fleet.run();
+  if (!opts.store_path.empty()) store.save(opts.store_path);
+  out << core::render_fleet_report(report, opts.report);
+  return report.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() { return render_usage(); }
@@ -340,6 +383,12 @@ Options parse_args(const std::vector<std::string>& args) {
       o.seed = static_cast<std::uint64_t>(to_int(a, need_value(a)));
     } else if (a == "--spec") {
       o.spec_path = need_value(a);
+    } else if (a == "--store") {
+      o.store_path = need_value(a);
+    } else if (a == "--report") {
+      o.report = need_value(a);
+    } else if (a == "--kernels") {
+      o.kernels = need_value(a);
     } else {
       throw Error("unknown flag '" + a + "'\n" + render_usage());
     }
@@ -356,6 +405,7 @@ int run_command(const Options& opts, std::ostream& out) {
   if (opts.command == "disasm") return cmd_disasm(opts, out);
   if (opts.command == "profile") return cmd_profile(opts, out);
   if (opts.command == "tune") return cmd_tune(opts, out);
+  if (opts.command == "tune-fleet") return cmd_tune_fleet(opts, out);
   if (opts.command == "help" || opts.command == "--help") {
     out << render_usage();
     return 0;

@@ -14,6 +14,8 @@
 //                             variant (the nvdisasm step of Sec. III)
 //   profile   <kernel> ...    dynamic profile via the warp simulator
 //   tune      <kernel> ...    autotune with a chosen search strategy
+//   tune-fleet ...            tune the whole kernel library through a
+//                             persistent tuning store (warm-started)
 //
 // <kernel> is a registry name (atax, bicg, ex14fj, matvec2d) or a path
 // to a kernel source file in the frontend language.
@@ -49,6 +51,10 @@ struct Options {
   std::size_t budget = 16;   ///< hybrid empirical budget
   std::uint64_t seed = 1234;
   std::string spec_path;     ///< optional Fig. 3 PerfTuning spec file
+  // tune-fleet command inputs.
+  std::string store_path;    ///< tuning store file; empty = in-memory
+  std::string report = "table";  ///< fleet report format: table|json|csv
+  std::string kernels;       ///< comma-separated filter; empty = all
 };
 
 /// Parse argv (excluding the program name). Throws Error with a usage

@@ -1,0 +1,47 @@
+#include "common/io.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gpustatic::io {
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw Error("error reading '" + path + "'");
+  return text.str();
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  // Unique per process: concurrent savers of *different* stores never
+  // collide, and a crashed save leaves at most one stale .tmp sibling.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open '" + tmp + "' for writing");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw Error("error writing '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+}  // namespace gpustatic::io

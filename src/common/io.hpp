@@ -1,0 +1,28 @@
+#pragma once
+
+// Small file-I/O helpers shared by the persistence layers (tuning
+// store, journal files). The one policy decision that lives here is
+// atomic replacement: write_file_atomic stages the content in a
+// temporary sibling and renames it over the target, so readers never
+// observe a half-written file and a crash mid-save leaves the previous
+// version intact.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gpustatic::io {
+
+/// Whole-file read. Returns nullopt when `path` does not exist; throws
+/// Error when it exists but cannot be opened or read.
+[[nodiscard]] std::optional<std::string> read_file_if_exists(
+    const std::string& path);
+
+/// Atomically replace `path` with `content`: the bytes are written to a
+/// unique temporary file in the same directory (same filesystem, so the
+/// rename is atomic) and renamed over the target. On any failure the
+/// temporary is removed and Error is thrown; the target keeps its
+/// previous content.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace gpustatic::io

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
 
 namespace gpustatic::str {
 
@@ -115,6 +116,55 @@ std::string join(const std::vector<std::string>& parts,
     if (i != 0) out.append(sep);
     out.append(parts[i]);
   }
+  return out;
+}
+
+namespace {
+
+/// Visit each line as (1-based number, content without newline, start
+/// offset); stop early when fn returns false.
+void for_each_line(
+    std::string_view text,
+    const std::function<bool(std::size_t, std::string_view, std::size_t)>&
+        fn) {
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos
+                               ? std::string_view::npos
+                               : end - start);
+    ++line_no;
+    if (!fn(line_no, line, start)) return;
+    if (end == std::string_view::npos) return;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+std::size_t last_content_line(std::string_view text) {
+  std::size_t last = 0;
+  for_each_line(text, [&](std::size_t no, std::string_view line,
+                          std::size_t) {
+    if (!trim(line).empty()) last = no;
+    return true;
+  });
+  return last;
+}
+
+std::string drop_line(std::string_view text, std::size_t line) {
+  std::string out;
+  out.reserve(text.size());
+  for_each_line(text, [&](std::size_t no, std::string_view content,
+                          std::size_t start) {
+    if (no == line) return true;
+    out.append(content);
+    // Preserve the original trailing-newline shape.
+    if (start + content.size() < text.size()) out.push_back('\n');
+    return true;
+  });
   return out;
 }
 

@@ -37,4 +37,13 @@ namespace gpustatic::str {
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
 
+/// 1-based number of the last line containing non-whitespace; 0 when
+/// the text has none. Used by the line-oriented persistence formats to
+/// tell a truncated final line (recoverable) from interior corruption.
+[[nodiscard]] std::size_t last_content_line(std::string_view text);
+
+/// Copy of `text` with 1-based line `line` removed (its newline too).
+[[nodiscard]] std::string drop_line(std::string_view text,
+                                    std::size_t line);
+
 }  // namespace gpustatic::str

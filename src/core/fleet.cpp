@@ -1,0 +1,215 @@
+#include "core/fleet.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "kernels/kernels.hpp"
+
+namespace gpustatic::core {
+
+namespace {
+
+/// Expand the requested GPU names, resolving "all" and validating the
+/// rest against the Table I database (throws LookupError).
+std::vector<const arch::GpuSpec*> resolve_gpus(
+    const std::vector<std::string>& names) {
+  std::vector<const arch::GpuSpec*> out;
+  for (const std::string& name : names) {
+    if (str::to_lower(name) == "all") {
+      out.clear();
+      for (const arch::GpuSpec& g : arch::all_gpus()) out.push_back(&g);
+      return out;
+    }
+    out.push_back(&arch::gpu(name));
+  }
+  if (out.empty()) out.push_back(&arch::gpu("K20"));
+  return out;
+}
+
+/// The whole library: base (Table IV) + extended suites, registry order.
+std::vector<std::string> all_kernel_names() {
+  std::vector<std::string> out;
+  for (const kernels::KernelInfo& k : kernels::all_kernels())
+    out.emplace_back(k.name);
+  for (const kernels::KernelInfo& k : kernels::extended_kernels())
+    out.emplace_back(k.name);
+  return out;
+}
+
+/// JSON number: finite values round-trip via %.17g; non-finite (an
+/// invalid variant) renders as null, which JSON can represent.
+std::string json_number(double v) {
+  return std::isfinite(v) ? str::format("%.17g", v) : "null";
+}
+
+std::string format_time(double v) {
+  return std::isfinite(v) ? str::format("%.4f", v) : "-";
+}
+
+}  // namespace
+
+std::int64_t FleetSession::default_size(std::string_view kernel) {
+  return kernel == "ex14fj" ? 16 : 128;
+}
+
+FleetSession::FleetSession(tuner::TuningStore& store, FleetOptions options)
+    : store_(&store), options_(std::move(options)) {
+  const std::vector<const arch::GpuSpec*> gpus =
+      resolve_gpus(options_.gpus);
+  const std::vector<std::string> kernels = options_.kernels.empty()
+                                               ? all_kernel_names()
+                                               : options_.kernels;
+  for (const arch::GpuSpec* gpu : gpus) {
+    for (const std::string& kernel : kernels) {
+      tuner::FleetJob job;
+      job.kernel = kernel;
+      job.n = options_.n > 0 ? options_.n : default_size(kernel);
+      job.workload = kernels::make_workload(kernel, job.n);
+      job.gpu = gpu;
+      job.space = options_.space;
+      jobs_.push_back(std::move(job));
+    }
+  }
+}
+
+FleetReport FleetSession::run() {
+  tuner::FleetTuneOptions opts;
+  opts.method = options_.method;
+  opts.search = options_.search;
+  opts.hybrid = options_.hybrid;
+  opts.run = options_.run;
+
+  FleetReport report;
+  report.rows = tuner::tune_fleet(jobs_, *store_, opts);
+  for (const tuner::FleetJobReport& row : report.rows) {
+    report.fresh_evaluations += row.fresh_evaluations;
+    report.warm_hits += row.warm_hits;
+    if (!row.ok()) ++report.failed;
+  }
+  report.store_records = store_->size();
+  return report;
+}
+
+std::string render_fleet_table(const FleetReport& report) {
+  TextTable t({"kernel", "GPU", "n", "best variant", "time ms", "pred",
+               "evals", "fresh", "warm", "space"});
+  for (const tuner::FleetJobReport& row : report.rows) {
+    if (!row.ok()) {
+      t.add_row({row.kernel, row.gpu, std::to_string(row.n),
+                 "ERROR: " + row.error, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    t.add_row({row.kernel, row.gpu, std::to_string(row.n),
+               row.outcome.search.best_params.to_string(),
+               format_time(row.outcome.search.best_time),
+               std::isfinite(row.predicted_cost)
+                   ? str::format("%.2f", row.predicted_cost)
+                   : "-",
+               std::to_string(row.outcome.search.distinct_evaluations),
+               std::to_string(row.fresh_evaluations),
+               std::to_string(row.warm_hits),
+               std::to_string(row.outcome.space_size) + "/" +
+                   std::to_string(row.outcome.full_space_size)});
+  }
+  std::ostringstream os;
+  os << t.render();
+  os << "fleet: " << report.rows.size() << " jobs, "
+     << report.fresh_evaluations << " fresh simulator runs, "
+     << report.warm_hits << " warm hits, store has "
+     << report.store_records << " records";
+  if (report.failed > 0) os << ", " << report.failed << " FAILED";
+  os << "\n";
+  return os.str();
+}
+
+std::string render_fleet_json(const FleetReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"fresh_evaluations\": " << report.fresh_evaluations << ",\n";
+  os << "  \"warm_hits\": " << report.warm_hits << ",\n";
+  os << "  \"failed\": " << report.failed << ",\n";
+  os << "  \"store_records\": " << report.store_records << ",\n";
+  os << "  \"kernels\": [";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const tuner::FleetJobReport& row = report.rows[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"kernel\": \"" << row.kernel << "\", \"gpu\": \""
+       << row.gpu << "\", \"n\": " << row.n << ", \"method\": \""
+       << row.method << "\"";
+    if (row.ok()) {
+      os << ", \"best_params\": \""
+         << row.outcome.search.best_params.to_string() << "\""
+         << ", \"best_time_ms\": "
+         << json_number(row.outcome.search.best_time)
+         << ", \"predicted_cost\": " << json_number(row.predicted_cost)
+         << ", \"evaluations\": "
+         << row.outcome.search.distinct_evaluations
+         << ", \"fresh_evaluations\": " << row.fresh_evaluations
+         << ", \"warm_hits\": " << row.warm_hits
+         << ", \"space_size\": " << row.outcome.space_size
+         << ", \"full_space_size\": " << row.outcome.full_space_size;
+    } else {
+      // Errors are library messages (no quotes/backslashes in
+      // practice), but escape defensively so the artifact stays JSON.
+      std::string escaped;
+      for (const char c : row.error) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        escaped.push_back(c == '\n' ? ' ' : c);
+      }
+      os << ", \"error\": \"" << escaped << "\"";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string render_fleet_csv(const FleetReport& report) {
+  std::ostringstream os;
+  os << "kernel,gpu,n,method,best_params,best_time_ms,predicted_cost,"
+        "evaluations,fresh_evaluations,warm_hits,space_size,"
+        "full_space_size,error\n";
+  for (const tuner::FleetJobReport& row : report.rows) {
+    os << row.kernel << "," << row.gpu << "," << row.n << ","
+       << row.method << ",";
+    if (row.ok()) {
+      // TuningParams::to_string is space-separated key=value tokens —
+      // comma-free, so it needs no CSV quoting.
+      os << row.outcome.search.best_params.to_string() << ","
+         << format_time(row.outcome.search.best_time) << ","
+         << (std::isfinite(row.predicted_cost)
+                 ? str::format("%.6f", row.predicted_cost)
+                 : "-")
+         << "," << row.outcome.search.distinct_evaluations << ","
+         << row.fresh_evaluations << "," << row.warm_hits << ","
+         << row.outcome.space_size << "," << row.outcome.full_space_size
+         << ",\n";
+    } else {
+      std::string sanitized = row.error;
+      for (char& c : sanitized)
+        if (c == ',' || c == '\n') c = ' ';
+      os << ",,,,,,,," << sanitized << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_fleet_report(const FleetReport& report,
+                                const std::string& format) {
+  validate_fleet_report_format(format);
+  if (format == "json") return render_fleet_json(report);
+  if (format == "csv") return render_fleet_csv(report);
+  return render_fleet_table(report);
+}
+
+void validate_fleet_report_format(const std::string& format) {
+  if (format != "table" && format != "json" && format != "csv")
+    throw Error("unknown fleet report format '" + format +
+                "' (expected table|json|csv)");
+}
+
+}  // namespace gpustatic::core

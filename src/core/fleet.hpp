@@ -1,0 +1,89 @@
+#pragma once
+
+// FleetSession: the library-level fleet tuner. Plans one tuning job per
+// (kernel, GPU) pair from the kernel registry, runs the fleet engine
+// (tuner/fleet.hpp) against a persistent TuningStore, and renders the
+// per-kernel report in the CLI's three formats. This is the layer the
+// `tune-fleet` subcommand and the fleet bench drive; keeping it in core
+// (above kernels + tuner) lets the engine itself stay
+// registry-agnostic.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "tuner/fleet.hpp"
+#include "tuner/store.hpp"
+
+namespace gpustatic::core {
+
+/// What to tune, on what, and how.
+struct FleetOptions {
+  /// Kernel registry names; empty = every kernel, base + extended
+  /// suites (the whole library).
+  std::vector<std::string> kernels;
+  /// GPU names; "all" anywhere in the list expands to every Table I
+  /// GPU. Empty = the CLI's default GPU (K20).
+  std::vector<std::string> gpus;
+  /// Problem size; 0 = per-kernel default (default_size()).
+  std::int64_t n = 0;
+  std::string method = "rule";
+  tuner::SearchOptions search;
+  tuner::HybridOptions hybrid;
+  tuner::ParamSpace space = tuner::paper_space();
+  sim::RunOptions run;
+};
+
+/// Aggregate outcome of one fleet pass.
+struct FleetReport {
+  std::vector<tuner::FleetJobReport> rows;  ///< one per job, job order
+  std::size_t fresh_evaluations = 0;  ///< simulator runs paid this pass
+  std::size_t warm_hits = 0;          ///< lookups the store/memo answered
+  std::size_t failed = 0;             ///< jobs that reported an error
+  std::size_t store_records = 0;      ///< store size after the merge
+};
+
+class FleetSession {
+ public:
+  /// Plans the job list up front; throws LookupError on unknown kernel
+  /// or GPU names, so a bad request fails before any tuning work.
+  FleetSession(tuner::TuningStore& store, FleetOptions options);
+
+  /// The planned jobs (GPU-major, kernels in registry order).
+  [[nodiscard]] const std::vector<tuner::FleetJob>& jobs() const {
+    return jobs_;
+  }
+
+  /// Run every job (fleet engine fan-out), merge measurements into the
+  /// store, and aggregate the per-job reports. Callable repeatedly; a
+  /// second pass over the now-warm store performs zero fresh runs.
+  [[nodiscard]] FleetReport run();
+
+  /// Problem size used when FleetOptions::n == 0 — the same default the
+  /// single-kernel CLI commands apply.
+  [[nodiscard]] static std::int64_t default_size(std::string_view kernel);
+
+ private:
+  tuner::TuningStore* store_;
+  FleetOptions options_;
+  std::vector<tuner::FleetJob> jobs_;
+};
+
+/// Report renderers shared by the CLI and the fleet bench. `format` is
+/// "table", "json", or "csv"; render_fleet_report dispatches and throws
+/// Error on anything else. JSON output is a single self-contained
+/// object (the CI bench artifact); table output ends with a summary
+/// line stating the fresh-run count — zero on a warm store.
+[[nodiscard]] std::string render_fleet_table(const FleetReport& report);
+[[nodiscard]] std::string render_fleet_json(const FleetReport& report);
+[[nodiscard]] std::string render_fleet_csv(const FleetReport& report);
+[[nodiscard]] std::string render_fleet_report(const FleetReport& report,
+                                              const std::string& format);
+
+/// Throws the same Error render_fleet_report would for an unknown
+/// `format` — the up-front check drivers run before tuning anything.
+void validate_fleet_report_format(const std::string& format);
+
+}  // namespace gpustatic::core

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "common/strings.hpp"
 
 // Serialized format, one record per line:
@@ -14,6 +15,9 @@
 //           pred=<float> time=<float|-> valid=<0|1>
 //
 // (the variant line is a single line; wrapped here for readability).
+// The variant fields are the shared measurement grammar of
+// tuner/measurement.hpp — the TuningStore's record lines carry the
+// same nine fields.
 
 namespace gpustatic::replay {
 
@@ -49,45 +53,20 @@ std::string TuningJournal::serialize() const {
   for (const DecisionRecord& d : decisions_)
     os << "decision " << d.step << " " << d.detail << "\n";
   for (const VariantRecord& v : variants_) {
-    os << "variant TC=" << v.params.threads_per_block
-       << " BC=" << v.params.block_count << " UIF=" << v.params.unroll
-       << " PL=" << v.params.l1_pref_kb << " SC=" << v.params.stream_chunk
-       << " FM=" << (v.params.fast_math ? 1 : 0)
-       << " pred=" << str::format("%.17g", v.predicted_cost) << " time=";
-    if (v.measured())
-      os << str::format("%.17g", v.measured_ms);
-    else
-      os << "-";
-    os << " valid=" << (v.valid ? 1 : 0) << "\n";
+    os << "variant ";
+    tuner::append_variant_fields(os, v);
+    os << "\n";
   }
   return os.str();
 }
 
 namespace {
 
-std::pair<std::string_view, std::string_view> split_kv(
-    std::string_view field, std::size_t line) {
-  const std::size_t eq = field.find('=');
-  if (eq == std::string_view::npos)
-    throw ParseError("journal field missing '=': " + std::string(field),
-                     line);
-  return {field.substr(0, eq), field.substr(eq + 1)};
-}
-
 std::int64_t parse_int(std::string_view s, std::size_t line) {
   try {
     return std::stoll(std::string(s));
   } catch (const std::exception&) {
     throw ParseError("journal: bad integer '" + std::string(s) + "'",
-                     line);
-  }
-}
-
-double parse_float(std::string_view s, std::size_t line) {
-  try {
-    return std::stod(std::string(s));
-  } catch (const std::exception&) {
-    throw ParseError("journal: bad number '" + std::string(s) + "'",
                      line);
   }
 }
@@ -131,35 +110,15 @@ TuningJournal TuningJournal::parse(std::string_view text) {
       d.detail = std::string(str::trim(trimmed.substr(detail_at)));
       j.decisions_.push_back(std::move(d));
     } else if (fields[0] == "variant") {
-      if (fields.size() != 10)
-        throw ParseError("journal: variant needs 9 fields", line_no);
+      if (fields.size() != 1 + tuner::kMeasuredVariantFields)
+        throw ParseError("journal: variant needs " +
+                             std::to_string(tuner::kMeasuredVariantFields) +
+                             " fields",
+                         line_no);
       VariantRecord v;
       for (std::size_t i = 1; i < fields.size(); ++i) {
-        const auto [key, value] = split_kv(fields[i], line_no);
-        if (key == "TC")
-          v.params.threads_per_block =
-              static_cast<int>(parse_int(value, line_no));
-        else if (key == "BC")
-          v.params.block_count =
-              static_cast<int>(parse_int(value, line_no));
-        else if (key == "UIF")
-          v.params.unroll = static_cast<int>(parse_int(value, line_no));
-        else if (key == "PL")
-          v.params.l1_pref_kb =
-              static_cast<int>(parse_int(value, line_no));
-        else if (key == "SC")
-          v.params.stream_chunk =
-              static_cast<int>(parse_int(value, line_no));
-        else if (key == "FM")
-          v.params.fast_math = parse_int(value, line_no) != 0;
-        else if (key == "pred")
-          v.predicted_cost = parse_float(value, line_no);
-        else if (key == "time")
-          v.measured_ms =
-              value == "-" ? -1.0 : parse_float(value, line_no);
-        else if (key == "valid")
-          v.valid = parse_int(value, line_no) != 0;
-        else
+        const auto [key, value] = tuner::split_field(fields[i], line_no);
+        if (!tuner::apply_variant_field(v, key, value, line_no))
           throw ParseError(
               "journal: unknown variant field '" + std::string(key) + "'",
               line_no);
@@ -173,6 +132,31 @@ TuningJournal TuningJournal::parse(std::string_view text) {
   }
   if (!saw_magic) throw ParseError("journal: empty input", 1);
   return j;
+}
+
+void save_journal(const std::string& path, const TuningJournal& journal) {
+  io::write_file_atomic(path, journal.serialize());
+}
+
+TuningJournal load_journal(const std::string& path,
+                           std::vector<std::string>* warnings) {
+  const std::optional<std::string> text = io::read_file_if_exists(path);
+  if (!text) throw Error("journal file '" + path + "' does not exist");
+  try {
+    return TuningJournal::parse(*text);
+  } catch (const ParseError& e) {
+    // A failure on the final content line is the signature of a write
+    // truncated mid-append; the completed prefix is still a valid
+    // journal. Retry without that line — anything still wrong then is
+    // real corruption and propagates.
+    const std::size_t last = str::last_content_line(*text);
+    if (last == 0 || e.line() != last) throw;
+    TuningJournal j = TuningJournal::parse(str::drop_line(*text, last));
+    if (warnings != nullptr)
+      warnings->push_back("journal: skipped truncated final line " +
+                          std::to_string(last) + " (" + e.what() + ")");
+    return j;
+  }
 }
 
 }  // namespace gpustatic::replay

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "codegen/params.hpp"
+#include "tuner/measurement.hpp"
 
 namespace gpustatic::replay {
 
@@ -23,15 +24,11 @@ struct DecisionRecord {
   std::string detail;  ///< free text to end of line
 };
 
-/// One code variant the tuner generated (and possibly measured).
-struct VariantRecord {
-  codegen::TuningParams params;
-  double predicted_cost = 0;  ///< Eq. 6 score at record time
-  double measured_ms = -1;    ///< trial time; < 0 = never executed
-  bool valid = true;          ///< false: configuration rejected
-
-  [[nodiscard]] bool measured() const { return measured_ms >= 0; }
-};
+/// One code variant the tuner generated (and possibly measured). The
+/// journal's variant lines and the TuningStore's record lines carry the
+/// same nine serialized fields, so the two formats share one type (and
+/// one grammar — tuner/measurement.hpp).
+using VariantRecord = tuner::MeasuredVariant;
 
 class TuningJournal {
  public:
@@ -65,5 +62,17 @@ class TuningJournal {
   std::vector<DecisionRecord> decisions_;
   std::vector<VariantRecord> variants_;
 };
+
+/// Atomic journal write: serialize() staged through a temp sibling and
+/// renamed over `path` (common/io.hpp), so an archived journal is never
+/// half-written.
+void save_journal(const std::string& path, const TuningJournal& journal);
+
+/// Load a journal file. A final line that fails to parse is treated as
+/// a truncated append: it is dropped with a note in `warnings` (when
+/// given) and the intact prefix is returned. A missing file, or
+/// corruption anywhere else, throws.
+[[nodiscard]] TuningJournal load_journal(
+    const std::string& path, std::vector<std::string>* warnings = nullptr);
 
 }  // namespace gpustatic::replay

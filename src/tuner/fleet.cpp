@@ -1,0 +1,133 @@
+#include "tuner/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "analysis/predictor.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+/// Eq. 6 score of the job's best variant (compile only, no run);
+/// kInvalid when the variant does not compile or no best exists.
+double best_predicted_cost(const FleetJob& job,
+                           const StrategyResult& outcome) {
+  if (outcome.search.best_time == kInvalid) return kInvalid;
+  try {
+    const codegen::Compiler compiler(*job.gpu,
+                                     outcome.search.best_params);
+    return analysis::predicted_cost(compiler.compile(job.workload),
+                                    job.gpu->family);
+  } catch (const Error&) {
+    return kInvalid;
+  }
+}
+
+/// One job: a store-warmed CachingEvaluator over the simulator, the
+/// strategy run mirroring core::TuningSession::tune() exactly, then a
+/// deterministic harvest of everything the memo learned.
+void run_job(const FleetJob& job, const TuningStore& store,
+             const FleetTuneOptions& opts, FleetJobReport& report,
+             std::vector<StoreRecord>& harvest) {
+  SimEvaluator sim(job.workload, *job.gpu, opts.run);
+  CachingEvaluator cache(job.space, sim);
+  for (const StoreRecord* r :
+       store.context(job.kernel, job.gpu->name, job.n)) {
+    const MeasuredVariant& v = r->variant;
+    // A rejected configuration replays as kInvalid — the store saves
+    // the re-discovery of unlaunchable variants too. Records that were
+    // never executed (journal-style predictions) carry no time and
+    // cannot warm anything.
+    if (v.valid && !v.measured()) continue;
+    (void)cache.preload(v.params, v.valid ? v.measured_ms : kInvalid);
+  }
+
+  const auto strategy = StrategyRegistry::instance().create(opts.method);
+  StrategyContext ctx;
+  ctx.space = &job.space;
+  ctx.evaluator = &cache;
+  ctx.options = opts.search;
+  ctx.hybrid = opts.hybrid;
+  ctx.gpu = job.gpu;
+  ctx.workload = &job.workload;
+  StaticPruneResult prune_storage;
+  bool prune_done = false;
+  ctx.prune = [&]() -> const StaticPruneResult& {
+    if (!prune_done) {
+      prune_storage = static_prune(job.space, *job.gpu, job.workload);
+      prune_done = true;
+    }
+    return prune_storage;
+  };
+  report.outcome = strategy->run(ctx);
+  report.fresh_evaluations = cache.fresh_evaluations();
+  report.warm_hits = cache.total_calls() - cache.fresh_evaluations();
+  report.predicted_cost = best_predicted_cost(job, report.outcome);
+
+  // Harvest in flat-index order: the memo iterates unordered, and a
+  // deterministic store file needs a deterministic record order.
+  std::vector<std::pair<std::size_t, double>> learned;
+  learned.reserve(cache.distinct_evaluations());
+  cache.for_each_cached([&](const Point& p, double v) {
+    learned.emplace_back(job.space.flat_index(p), v);
+  });
+  std::sort(learned.begin(), learned.end());
+  harvest.reserve(learned.size());
+  for (const auto& [flat, v] : learned) {
+    StoreRecord r;
+    r.kernel = job.kernel;
+    r.gpu = job.gpu->name;
+    r.n = job.n;
+    r.variant.params = job.space.to_params(job.space.point_at(flat));
+    if (std::isinf(v)) {
+      r.variant.valid = false;  // evaluated and rejected
+    } else {
+      r.variant.measured_ms = v;
+    }
+    harvest.push_back(std::move(r));
+  }
+}
+
+}  // namespace
+
+std::vector<FleetJobReport> tune_fleet(const std::vector<FleetJob>& jobs,
+                                       TuningStore& store,
+                                       const FleetTuneOptions& opts) {
+  std::vector<FleetJobReport> reports(jobs.size());
+  std::vector<std::vector<StoreRecord>> harvests(jobs.size());
+
+  // A dedicated pool for the kernel-level fan-out. Each job's simulator
+  // batches go through ThreadPool::shared() as usual; shared() admits
+  // one batch at a time, so concurrent jobs interleave batches safely
+  // (and a 1-thread configuration degenerates to a sequential loop).
+  ThreadPool pool(ThreadPool::configured_threads());
+  pool.parallel_for(jobs.size(), [&](std::size_t k) {
+    const FleetJob& job = jobs[k];
+    FleetJobReport& report = reports[k];
+    report.kernel = job.kernel;
+    report.gpu = job.gpu != nullptr ? job.gpu->name : "";
+    report.n = job.n;
+    report.method = opts.method;
+    try {
+      if (job.gpu == nullptr)
+        throw Error("fleet job '" + job.kernel + "': no GPU");
+      run_job(job, store, opts, report, harvests[k]);
+    } catch (const std::exception& e) {
+      report.error = e.what();
+      harvests[k].clear();  // a failed job contributes nothing
+    }
+  });
+
+  // Single-threaded merge, in job order: deterministic, and upserts
+  // refresh warm records in place so a rerun leaves the store stable.
+  for (std::vector<StoreRecord>& harvest : harvests)
+    for (StoreRecord& r : harvest) store.put(std::move(r));
+  return reports;
+}
+
+}  // namespace gpustatic::tuner

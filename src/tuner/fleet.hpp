@@ -1,0 +1,76 @@
+#pragma once
+
+// Fleet tuning: run one search strategy over many (kernel, GPU) jobs
+// concurrently, every job warm-started from — and harvested back into —
+// a persistent TuningStore. This is the service-shaped workload the
+// ROADMAP asks for: the paper tunes one kernel interactively; a fleet
+// keeps a whole kernel library tuned per GPU, and never re-pays for a
+// configuration the store already measured.
+//
+// Execution model: jobs fan out over a dedicated thread pool (kernel-
+// level parallelism), while each job's simulator batches keep flowing
+// through the shared pool exactly as in single-kernel tuning — the two
+// pools are distinct objects, so the nesting is deadlock-free and a
+// job's results are byte-identical to a standalone run of the same
+// strategy (fleet concurrency never reorders a search's decisions).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "dsl/ast.hpp"
+#include "sim/runner.hpp"
+#include "tuner/store.hpp"
+#include "tuner/strategy.hpp"
+
+namespace gpustatic::tuner {
+
+/// One unit of fleet work: tune `workload` on `gpu` over `space`.
+/// `kernel` and `n` key the store records this job reads and writes.
+struct FleetJob {
+  std::string kernel;
+  std::int64_t n = 0;
+  dsl::WorkloadDesc workload;
+  const arch::GpuSpec* gpu = nullptr;
+  ParamSpace space;
+};
+
+/// Fleet-wide tuning knobs (every job runs the same strategy).
+struct FleetTuneOptions {
+  std::string method = "rule";
+  SearchOptions search;
+  HybridOptions hybrid;
+  sim::RunOptions run;
+};
+
+/// Outcome of one fleet job. `outcome` is exactly what a standalone
+/// core::TuningSession::tune() of the same request would return; the
+/// fresh/warm split is the fleet's own accounting of what the store
+/// saved.
+struct FleetJobReport {
+  std::string kernel;
+  std::string gpu;
+  std::int64_t n = 0;
+  std::string method;
+  StrategyResult outcome;
+  double predicted_cost = 0;  ///< Eq. 6 score of the best variant
+  std::size_t fresh_evaluations = 0;  ///< simulator runs this job paid for
+  std::size_t warm_hits = 0;          ///< lookups answered by the memo
+  std::string error;                  ///< non-empty: the job failed
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Tune every job, warm-starting each from `store` and merging every
+/// measurement (new and refreshed) back into it afterwards. Reports
+/// align with `jobs` by index; a job that throws reports its error
+/// instead of aborting the fleet. The store merge runs single-threaded
+/// after the fan-out, in job order with records sorted by flat space
+/// index, so the resulting store is deterministic — rerunning an
+/// unchanged fleet rewrites the store byte-identically.
+[[nodiscard]] std::vector<FleetJobReport> tune_fleet(
+    const std::vector<FleetJob>& jobs, TuningStore& store,
+    const FleetTuneOptions& opts = {});
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,77 @@
+#include "tuner/measurement.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+std::int64_t parse_int(std::string_view s, std::size_t line) {
+  try {
+    return std::stoll(std::string(s));
+  } catch (const std::exception&) {
+    throw ParseError("bad integer '" + std::string(s) + "'", line);
+  }
+}
+
+double parse_float(std::string_view s, std::size_t line) {
+  try {
+    return std::stod(std::string(s));
+  } catch (const std::exception&) {
+    throw ParseError("bad number '" + std::string(s) + "'", line);
+  }
+}
+
+}  // namespace
+
+void append_variant_fields(std::ostream& os, const MeasuredVariant& v) {
+  os << "TC=" << v.params.threads_per_block
+     << " BC=" << v.params.block_count << " UIF=" << v.params.unroll
+     << " PL=" << v.params.l1_pref_kb << " SC=" << v.params.stream_chunk
+     << " FM=" << (v.params.fast_math ? 1 : 0)
+     << " pred=" << str::format("%.17g", v.predicted_cost) << " time=";
+  if (v.measured())
+    os << str::format("%.17g", v.measured_ms);
+  else
+    os << "-";
+  os << " valid=" << (v.valid ? 1 : 0);
+}
+
+bool apply_variant_field(MeasuredVariant& v, std::string_view key,
+                         std::string_view value, std::size_t line) {
+  if (key == "TC")
+    v.params.threads_per_block = static_cast<int>(parse_int(value, line));
+  else if (key == "BC")
+    v.params.block_count = static_cast<int>(parse_int(value, line));
+  else if (key == "UIF")
+    v.params.unroll = static_cast<int>(parse_int(value, line));
+  else if (key == "PL")
+    v.params.l1_pref_kb = static_cast<int>(parse_int(value, line));
+  else if (key == "SC")
+    v.params.stream_chunk = static_cast<int>(parse_int(value, line));
+  else if (key == "FM")
+    v.params.fast_math = parse_int(value, line) != 0;
+  else if (key == "pred")
+    v.predicted_cost = parse_float(value, line);
+  else if (key == "time")
+    v.measured_ms = value == "-" ? -1.0 : parse_float(value, line);
+  else if (key == "valid")
+    v.valid = parse_int(value, line) != 0;
+  else
+    return false;
+  return true;
+}
+
+std::pair<std::string_view, std::string_view> split_field(
+    std::string_view field, std::size_t line) {
+  const std::size_t eq = field.find('=');
+  if (eq == std::string_view::npos)
+    throw ParseError("field missing '=': " + std::string(field), line);
+  return {field.substr(0, eq), field.substr(eq + 1)};
+}
+
+}  // namespace gpustatic::tuner

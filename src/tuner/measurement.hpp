@@ -1,0 +1,48 @@
+#pragma once
+
+// MeasuredVariant: one evaluated (or rejected) code variant — the unit
+// both persistence formats share. replay::TuningJournal's `variant`
+// lines and tuner::TuningStore's `record` lines serialize the same nine
+// `key=value` fields through the helpers below, so the two formats stay
+// field-compatible by construction (replay::VariantRecord is an alias
+// of this type).
+
+#include <iosfwd>
+#include <string_view>
+
+#include "codegen/params.hpp"
+
+namespace gpustatic::tuner {
+
+/// One code variant the tuner generated (and possibly measured).
+struct MeasuredVariant {
+  codegen::TuningParams params;
+  double predicted_cost = 0;  ///< Eq. 6 score at record time
+  double measured_ms = -1;    ///< trial time; < 0 = never executed
+  bool valid = true;          ///< false: configuration rejected
+
+  [[nodiscard]] bool measured() const { return measured_ms >= 0; }
+};
+
+/// Number of `key=value` fields the serialized form carries (TC BC UIF
+/// PL SC FM pred time valid).
+inline constexpr std::size_t kMeasuredVariantFields = 9;
+
+/// Append the nine space-separated `key=value` fields (no leading or
+/// trailing whitespace, no newline) to `os`. Floats use %.17g so the
+/// round trip is lossless; an unmeasured time serializes as `-`.
+void append_variant_fields(std::ostream& os, const MeasuredVariant& v);
+
+/// Apply one `key=value` field to `v`. Returns false when `key` is not
+/// one of the nine variant fields (the caller decides whether that is
+/// an error); throws ParseError (tagged with `line`) on malformed
+/// values.
+bool apply_variant_field(MeasuredVariant& v, std::string_view key,
+                         std::string_view value, std::size_t line);
+
+/// Split a `key=value` token; throws ParseError (tagged with `line`)
+/// when `field` has no '='.
+[[nodiscard]] std::pair<std::string_view, std::string_view> split_field(
+    std::string_view field, std::size_t line);
+
+}  // namespace gpustatic::tuner

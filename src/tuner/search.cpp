@@ -29,7 +29,23 @@ double CachingEvaluator::operator()(const Point& p) {
                 std::to_string(budget_) + " was spent");
   const double v = backend_->evaluate(space_->to_params(p));
   ++calls_;  // counted on success: a throwing backend charges nothing
+  ++fresh_;
   return admit(key, p, v);
+}
+
+bool CachingEvaluator::preload(const codegen::TuningParams& params,
+                               double value) {
+  const std::optional<Point> p = exact_point_of(params);
+  if (!p) return false;
+  const std::size_t key = space_->flat_index(*p);
+  if (cache_.contains(key)) return false;
+  admit(key, *p, value);
+  return true;
+}
+
+void CachingEvaluator::for_each_cached(
+    const std::function<void(const Point&, double)>& fn) const {
+  for (const auto& [key, value] : cache_) fn(space_->point_at(key), value);
 }
 
 std::vector<double> CachingEvaluator::run_batch(
@@ -69,6 +85,7 @@ std::vector<double> CachingEvaluator::run_batch(
                   " variants");
     for (std::size_t m = 0; m < miss.size(); ++m)
       admit(keys[miss[m]], pts[miss[m]], fresh[m]);
+    fresh_ += miss.size();
   }
   calls_ += answered;  // counted on success, hits and misses alike
   std::vector<double> out(answered);

@@ -22,6 +22,7 @@
 // lambdas. New call sites should prefer registry dispatch via
 // strategy.hpp; these free functions remain the algorithm layer.
 
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -58,6 +59,13 @@ inline constexpr std::size_t kUnlimitedBudget =
 /// any backend as a persistent memo — e.g. core::TuningSession shares
 /// one across every tune() call so repeated strategies never re-measure
 /// a variant. Params outside the space pass through uncached.
+///
+/// The memo can also be seeded from outside via preload() — the
+/// warm-start hook the fleet tuner uses to replay a TuningStore into
+/// the cache — and harvested back out via for_each_cached(). Preloaded
+/// entries are free: they charge neither the backend nor the budget,
+/// which meters fresh_evaluations() (actual backend work), not cache
+/// size.
 class CachingEvaluator final : public Evaluator {
  public:
   CachingEvaluator(const ParamSpace& space, Evaluator& backend,
@@ -93,11 +101,23 @@ class CachingEvaluator final : public Evaluator {
   std::vector<double> evaluate_batch(
       const std::vector<codegen::TuningParams>& batch) override;
 
+  /// Seed the memo with an externally known value (e.g. a TuningStore
+  /// record). Free: charges neither the budget nor the backend, and
+  /// participates in best-point tracking like any admitted value.
+  /// Returns false — and caches nothing — when the params fall outside
+  /// the space (no cache key) or the point is already cached (first
+  /// value wins, matching the memo's usual semantics).
+  bool preload(const codegen::TuningParams& params, double value);
+  /// Visit every memoized entry (unordered) — the harvest hook that
+  /// turns a finished search back into TuningStore records.
+  void for_each_cached(
+      const std::function<void(const Point&, double)>& fn) const;
+
   [[nodiscard]] std::size_t budget() const { return budget_; }
   void set_budget(std::size_t budget) { budget_ = budget; }
   /// Fresh evaluations still allowed before the budget is spent.
   [[nodiscard]] std::size_t remaining() const {
-    return budget_ > cache_.size() ? budget_ - cache_.size() : 0;
+    return budget_ > fresh_ ? budget_ - fresh_ : 0;
   }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }
   [[nodiscard]] bool cached(const Point& p) const {
@@ -107,6 +127,9 @@ class CachingEvaluator final : public Evaluator {
   [[nodiscard]] std::size_t distinct_evaluations() const {
     return cache_.size();
   }
+  /// Backend evaluations actually performed (cache misses the budget
+  /// metered). Equals distinct_evaluations() minus preloaded entries.
+  [[nodiscard]] std::size_t fresh_evaluations() const { return fresh_; }
   [[nodiscard]] std::size_t total_calls() const { return calls_; }
   [[nodiscard]] double best_value() const { return best_; }
   [[nodiscard]] const Point& best_point() const { return best_point_; }
@@ -127,6 +150,7 @@ class CachingEvaluator final : public Evaluator {
   std::unordered_map<std::size_t, double> cache_;
   std::size_t budget_ = kUnlimitedBudget;
   std::size_t calls_ = 0;
+  std::size_t fresh_ = 0;  ///< backend evaluations (excludes preloads)
   double best_ = kInvalid;
   Point best_point_;
 };

@@ -1,0 +1,161 @@
+#include "tuner/store.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::tuner {
+
+namespace {
+
+constexpr std::string_view kMagic = "gpustatic-store v1";
+
+}  // namespace
+
+std::string TuningStore::key_of(std::string_view kernel,
+                                std::string_view gpu, std::int64_t n,
+                                const codegen::TuningParams& params) {
+  // '\n' cannot appear in a single-token kernel/gpu name, so the key is
+  // unambiguous.
+  std::string key;
+  key.append(kernel);
+  key.push_back('\n');
+  key.append(gpu);
+  key.push_back('\n');
+  key.append(std::to_string(n));
+  key.push_back('\n');
+  key.append(params.to_string());
+  return key;
+}
+
+void TuningStore::put(StoreRecord record) {
+  if (record.kernel.empty() ||
+      record.kernel.find_first_of(" \t\n") != std::string::npos)
+    throw Error("store: kernel name must be a single non-empty token, "
+                "got '" +
+                record.kernel + "'");
+  if (record.gpu.empty() ||
+      record.gpu.find_first_of(" \t\n") != std::string::npos)
+    throw Error("store: gpu name must be a single non-empty token, got '" +
+                record.gpu + "'");
+  const std::string key =
+      key_of(record.kernel, record.gpu, record.n, record.variant.params);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    records_[it->second] = std::move(record);
+    return;
+  }
+  index_.emplace(std::move(key), records_.size());
+  records_.push_back(std::move(record));
+}
+
+const MeasuredVariant* TuningStore::find(
+    std::string_view kernel, std::string_view gpu, std::int64_t n,
+    const codegen::TuningParams& params) const {
+  const auto it = index_.find(key_of(kernel, gpu, n, params));
+  return it == index_.end() ? nullptr : &records_[it->second].variant;
+}
+
+std::vector<const StoreRecord*> TuningStore::context(
+    std::string_view kernel, std::string_view gpu, std::int64_t n) const {
+  std::vector<const StoreRecord*> out;
+  for (const StoreRecord& r : records_)
+    if (r.kernel == kernel && r.gpu == gpu && r.n == n)
+      out.push_back(&r);
+  return out;
+}
+
+std::string TuningStore::serialize() const {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  for (const StoreRecord& r : records_) {
+    os << "record kernel=" << r.kernel << " gpu=" << r.gpu
+       << " n=" << r.n << " ";
+    append_variant_fields(os, r.variant);
+    os << "\n";
+  }
+  return os.str();
+}
+
+TuningStore TuningStore::parse(std::string_view text,
+                               std::vector<std::string>* warnings) {
+  TuningStore store;
+  const std::size_t last_line = str::last_content_line(text);
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+    try {
+      if (!saw_magic) {
+        if (trimmed != kMagic)
+          throw ParseError("store: bad magic line (want '" +
+                               std::string(kMagic) + "')",
+                           line_no);
+        saw_magic = true;
+        continue;
+      }
+      const auto fields = str::split_ws(trimmed);
+      if (fields[0] != "record")
+        throw ParseError(
+            "store: unknown record '" + std::string(fields[0]) + "'",
+            line_no);
+      if (fields.size() != 1 + 3 + kMeasuredVariantFields)
+        throw ParseError("store: record needs " +
+                             std::to_string(3 + kMeasuredVariantFields) +
+                             " fields",
+                         line_no);
+      StoreRecord r;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto [key, value] = split_field(fields[i], line_no);
+        if (key == "kernel") {
+          r.kernel = std::string(value);
+        } else if (key == "gpu") {
+          r.gpu = std::string(value);
+        } else if (key == "n") {
+          try {
+            r.n = std::stoll(std::string(value));
+          } catch (const std::exception&) {
+            throw ParseError(
+                "store: bad integer '" + std::string(value) + "'",
+                line_no);
+          }
+        } else if (!apply_variant_field(r.variant, key, value, line_no)) {
+          throw ParseError(
+              "store: unknown record field '" + std::string(key) + "'",
+              line_no);
+        }
+      }
+      store.put(std::move(r));
+    } catch (const Error& e) {
+      // A failure on the final content line is the signature of a
+      // truncated append (a writer killed mid-line): recoverable, the
+      // completed prefix is intact. Anywhere else it is corruption.
+      if (line_no != last_line || !saw_magic) throw;
+      if (warnings != nullptr)
+        warnings->push_back("store: skipped truncated final line " +
+                            std::to_string(line_no) + " (" + e.what() +
+                            ")");
+    }
+  }
+  if (!saw_magic) throw ParseError("store: empty input", 1);
+  return store;
+}
+
+TuningStore TuningStore::load(const std::string& path,
+                              std::vector<std::string>* warnings) {
+  const std::optional<std::string> text = io::read_file_if_exists(path);
+  if (!text) return {};
+  return parse(*text, warnings);
+}
+
+void TuningStore::save(const std::string& path) const {
+  io::write_file_atomic(path, serialize());
+}
+
+}  // namespace gpustatic::tuner

@@ -1,0 +1,94 @@
+#pragma once
+
+// TuningStore: the persistent tuning database behind fleet tuning. It
+// maps (kernel, GPU, problem size, TuningParams) to a measurement, so
+// every simulator run the tuner ever paid for can warm-start later
+// searches — a second fleet pass over an unchanged store performs zero
+// fresh evaluations. The on-disk form extends the replay::journal text
+// grammar: one `record` line per measurement, carrying the journal's
+// nine variant fields (tuner/measurement.hpp) plus the three context
+// keys:
+//
+//   gpustatic-store v1
+//   record kernel=<name> gpu=<name> n=<int> TC=.. BC=.. UIF=.. PL=..
+//          SC=.. FM=.. pred=.. time=<float|-> valid=<0|1>
+//
+// (one line per record; wrapped here for readability). Loads tolerate a
+// truncated final line — the signature of a writer killed mid-append —
+// by skipping it with a warning; corruption anywhere else is an error.
+// Saves are atomic (common/io.hpp), so a store is never half-written.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tuner/measurement.hpp"
+
+namespace gpustatic::tuner {
+
+/// One persisted evaluation: the context keys plus the variant.
+struct StoreRecord {
+  std::string kernel;   ///< registry/workload name (single token)
+  std::string gpu;      ///< arch::GpuSpec name (single token)
+  std::int64_t n = 0;   ///< problem size the measurement used
+  MeasuredVariant variant;
+};
+
+class TuningStore {
+ public:
+  /// Upsert: a record whose (kernel, gpu, n, params) key is already
+  /// present overwrites that record in place (keeping first-insertion
+  /// order, so re-tuning refreshes measurements without reshuffling the
+  /// file). Throws Error when kernel/gpu contain whitespace — keys must
+  /// stay single tokens to serialize.
+  void put(StoreRecord record);
+
+  /// The stored variant for an exact (kernel, gpu, n, params) key, or
+  /// nullptr when never recorded.
+  [[nodiscard]] const MeasuredVariant* find(
+      std::string_view kernel, std::string_view gpu, std::int64_t n,
+      const codegen::TuningParams& params) const;
+
+  /// Every record of one (kernel, gpu, n) tuning context, in insertion
+  /// order — the warm-start set for that search.
+  [[nodiscard]] std::vector<const StoreRecord*> context(
+      std::string_view kernel, std::string_view gpu,
+      std::int64_t n) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const std::vector<StoreRecord>& records() const {
+    return records_;
+  }
+
+  /// Text serialization (format above); parse() is the inverse.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse a serialized store. A final line that fails to parse is
+  /// treated as a truncated append: it is skipped and described in
+  /// `warnings` (when given). Any other malformed line, a bad version
+  /// header, or an unknown record kind raises ParseError.
+  [[nodiscard]] static TuningStore parse(
+      std::string_view text, std::vector<std::string>* warnings = nullptr);
+
+  /// Load from a file. A missing file is an empty store (the first run
+  /// bootstraps it); an existing but unreadable or corrupt file throws.
+  [[nodiscard]] static TuningStore load(
+      const std::string& path,
+      std::vector<std::string>* warnings = nullptr);
+
+  /// Atomic rewrite of `path` (temp sibling + rename; common/io.hpp).
+  void save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] static std::string key_of(
+      std::string_view kernel, std::string_view gpu, std::int64_t n,
+      const codegen::TuningParams& params);
+
+  std::vector<StoreRecord> records_;
+  std::unordered_map<std::string, std::size_t> index_;  ///< key -> slot
+};
+
+}  // namespace gpustatic::tuner

@@ -197,6 +197,122 @@ TEST(CliRun, TuneSameSeedIsDeterministic) {
   EXPECT_NE(once.find("genetic search"), std::string::npos);
 }
 
+// ---- tune-fleet ------------------------------------------------------------
+
+namespace {
+
+std::string fleet_temp_store(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+}  // namespace
+
+TEST(CliParse, ParsesTuneFleetFlags) {
+  const Options o =
+      parse({"tune-fleet", "--store", "/tmp/x.store", "--gpu", "all",
+             "--kernels", "atax,bicg", "--report", "json", "-n", "32"});
+  EXPECT_EQ(o.command, "tune-fleet");
+  EXPECT_EQ(o.store_path, "/tmp/x.store");
+  EXPECT_EQ(o.gpu, "all");
+  EXPECT_EQ(o.kernels, "atax,bicg");
+  EXPECT_EQ(o.report, "json");
+  EXPECT_EQ(o.n, 32);
+}
+
+TEST(CliRun, TuneFleetColdThenWarmStoreReportsZeroFreshRuns) {
+  const std::string path = fleet_temp_store("cli_fleet_warm.store");
+  const auto args = {"tune-fleet",  "--kernels", "atax,bicg",
+                     "--store",     path.c_str(), "-n",
+                     "32"};
+  const std::string cold = run(args);
+  EXPECT_NE(cold.find("0 warm hits"), std::string::npos) << cold;
+  EXPECT_EQ(cold.find(" 0 fresh simulator runs"), std::string::npos)
+      << cold;
+
+  // Same request against the now-warm store: zero fresh evaluations,
+  // same best variants.
+  const std::string warm = run(args);
+  EXPECT_NE(warm.find("0 fresh simulator runs"), std::string::npos)
+      << warm;
+  auto best_of = [](const std::string& out, const char* kernel) {
+    const std::size_t row = out.find(kernel);
+    EXPECT_NE(row, std::string::npos);
+    const std::size_t tc = out.find("TC=", row);
+    return out.substr(tc, out.find('|', tc) - tc);
+  };
+  EXPECT_EQ(best_of(cold, "atax"), best_of(warm, "atax"));
+  EXPECT_EQ(best_of(cold, "bicg"), best_of(warm, "bicg"));
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, TuneFleetBestMatchesSingleKernelTune) {
+  // The acceptance bar: a fleet row's best point is byte-identical to
+  // the standalone `tune` command over the same kernel/GPU/size.
+  const std::string single = run({"tune", "atax", "-n", "32"});
+  const std::size_t at = single.find("best TC=");
+  ASSERT_NE(at, std::string::npos);
+  const std::string best = single.substr(
+      at + 5, single.find(" -> ", at) - (at + 5));
+
+  const std::string fleet =
+      run({"tune-fleet", "--kernels", "atax", "-n", "32"});
+  EXPECT_NE(fleet.find(best), std::string::npos)
+      << "fleet best differs from single-kernel tune: " << best << "\n"
+      << fleet;
+}
+
+TEST(CliRun, TuneFleetRendersJsonAndCsv) {
+  const std::string json = run({"tune-fleet", "--kernels", "atax", "-n",
+                                "32", "--report", "json"});
+  EXPECT_EQ(json.rfind("{", 0), 0u);
+  EXPECT_NE(json.find("\"kernel\": \"atax\""), std::string::npos);
+  EXPECT_NE(json.find("\"fresh_evaluations\""), std::string::npos);
+
+  const std::string csv = run({"tune-fleet", "--kernels", "atax", "-n",
+                               "32", "--report", "csv"});
+  EXPECT_EQ(csv.rfind("kernel,gpu,n,method", 0), 0u);
+  EXPECT_NE(csv.find("atax,K20,32,rule,TC="), std::string::npos);
+}
+
+TEST(CliRun, TuneFleetValidatesRequestUpFront) {
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"tune-fleet", "--report", "xml"}), out),
+               Error);
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"tune-fleet", "--method", "magic"}), out),
+               Error);
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"tune-fleet", "--kernels", "nope"}), out),
+               Error);
+  EXPECT_THROW((void)cli::run_command(
+                   parse({"tune-fleet", "--gpu", "GTX9000"}), out),
+               Error);
+}
+
+TEST(CliRun, TuneFleetWarnsOnTruncatedStoreAndRecovers) {
+  const std::string path = fleet_temp_store("cli_fleet_trunc.store");
+  (void)run({"tune-fleet", "--kernels", "atax", "--store", path.c_str(),
+             "-n", "32"});
+  // Truncate the store's final line, as a killed writer would.
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  text.resize(text.size() - 20);
+  {
+    std::ofstream outf(path, std::ios::trunc);
+    outf << text;
+  }
+  const std::string out = run({"tune-fleet", "--kernels", "atax",
+                               "--store", path.c_str(), "-n", "32"});
+  EXPECT_NE(out.find("warning:"), std::string::npos) << out;
+  EXPECT_NE(out.find("truncated final line"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // ---- source-file kernels ---------------------------------------------------------
 
 TEST(CliRun, AnalyzesKernelFromSourceFile) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/fleet.hpp"
 #include "core/session.hpp"
 #include "core/static_analyzer.hpp"
 #include "kernels/kernels.hpp"
@@ -161,4 +162,65 @@ TEST(TuningSession, RequestSelectsEvaluatorBackend) {
   const auto scored = session.tune(req);
   EXPECT_TRUE(std::isfinite(scored.search.best_time));
   EXPECT_EQ(scored.space_size, outcome.space_size);
+}
+
+// ---- FleetSession -----------------------------------------------------------
+
+TEST(FleetSession, PlansTheWholeLibraryAcrossGpus) {
+  tuner::TuningStore store;
+  core::FleetOptions opts;
+  opts.gpus = {"all"};
+  const core::FleetSession fleet(store, opts);
+  // 9 kernels (4 base + 5 extended) x 4 Table I GPUs, GPU-major.
+  ASSERT_EQ(fleet.jobs().size(), 36u);
+  EXPECT_EQ(fleet.jobs()[0].kernel, "atax");
+  EXPECT_EQ(fleet.jobs()[0].gpu->name, "M2050");
+  EXPECT_EQ(fleet.jobs()[9].gpu->name, "K20");
+  // Per-kernel default sizes match the single-kernel CLI defaults.
+  EXPECT_EQ(fleet.jobs()[0].n, 128);
+  for (const tuner::FleetJob& job : fleet.jobs())
+    if (job.kernel == "ex14fj") {
+      EXPECT_EQ(job.n, 16);
+    }
+}
+
+TEST(FleetSession, RejectsUnknownNamesBeforeTuning) {
+  tuner::TuningStore store;
+  core::FleetOptions bad_kernel;
+  bad_kernel.kernels = {"atax", "nope"};
+  EXPECT_THROW((void)core::FleetSession(store, bad_kernel), LookupError);
+  core::FleetOptions bad_gpu;
+  bad_gpu.gpus = {"GTX9000"};
+  EXPECT_THROW((void)core::FleetSession(store, bad_gpu), LookupError);
+}
+
+TEST(FleetSession, RunAggregatesAndWarmRerunIsFree) {
+  tuner::TuningStore store;
+  core::FleetOptions opts;
+  opts.kernels = {"atax", "mvt"};
+  opts.n = 32;
+  opts.space = tuner::ParamSpace({{"TC", {64, 128}}, {"UIF", {1, 2}}});
+  opts.method = "exhaustive";
+  core::FleetSession fleet(store, opts);
+
+  const core::FleetReport cold = fleet.run();
+  ASSERT_EQ(cold.rows.size(), 2u);
+  EXPECT_EQ(cold.failed, 0u);
+  EXPECT_EQ(cold.fresh_evaluations, 8u);
+  EXPECT_EQ(cold.store_records, 8u);
+
+  const core::FleetReport warm = fleet.run();
+  EXPECT_EQ(warm.fresh_evaluations, 0u);
+  EXPECT_EQ(warm.warm_hits, 8u);
+  EXPECT_EQ(warm.rows[0].outcome.search.best_params,
+            cold.rows[0].outcome.search.best_params);
+
+  // Every renderer covers every row; table ends with the summary line.
+  const std::string table = core::render_fleet_table(warm);
+  EXPECT_NE(table.find("0 fresh simulator runs"), std::string::npos);
+  EXPECT_NE(core::render_fleet_json(warm).find("\"mvt\""),
+            std::string::npos);
+  EXPECT_NE(core::render_fleet_csv(warm).find("mvt,K20,32"),
+            std::string::npos);
+  EXPECT_THROW((void)core::render_fleet_report(warm, "xml"), Error);
 }

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "arch/gpu_spec.hpp"
 #include "common/error.hpp"
@@ -101,6 +105,88 @@ TEST(Journal, ParseReportsLineNumbers) {
 TEST(Journal, DecisionStepMustBeOneToken) {
   TuningJournal j;
   EXPECT_THROW(j.record_decision("two words", "detail"), Error);
+}
+
+// ---- journal files (atomic save, tolerant load) -----------------------------
+
+namespace {
+
+TuningJournal file_journal() {
+  TuningJournal j;
+  j.set_context("atax", "K20", 64);
+  j.record_decision("rule", "lower half");
+  for (int tc : {64, 128, 256}) {
+    VariantRecord v;
+    v.params.threads_per_block = tc;
+    v.predicted_cost = 10.0 * tc;
+    v.measured_ms = 0.001 * tc;
+    j.record_variant(v);
+  }
+  return j;
+}
+
+std::string journal_temp(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+}  // namespace
+
+TEST(JournalFile, SaveLoadRoundTripsAtomically) {
+  const std::string path = journal_temp("journal_roundtrip.journal");
+  const TuningJournal j = file_journal();
+  replay::save_journal(path, j);
+  // The atomic staging sibling must not survive a successful save.
+  std::size_t siblings = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path()))
+    if (entry.path().filename().string().find("journal_roundtrip") !=
+        std::string::npos)
+      ++siblings;
+  EXPECT_EQ(siblings, 1u);
+  const TuningJournal back = replay::load_journal(path);
+  EXPECT_EQ(back.serialize(), j.serialize());
+  // Overwrite-in-place replaces the whole file.
+  TuningJournal j2;
+  j2.set_context("bicg", "M40", 32);
+  replay::save_journal(path, j2);
+  EXPECT_EQ(replay::load_journal(path).workload(), "bicg");
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, LoadMissingFileThrows) {
+  EXPECT_THROW((void)replay::load_journal(journal_temp("nope.journal")),
+               Error);
+}
+
+TEST(JournalFile, TruncatedFinalLineIsSkippedWithWarning) {
+  const std::string path = journal_temp("journal_truncated.journal");
+  std::string text = file_journal().serialize();
+  text.resize(text.size() - 15);  // chop the last variant mid-line
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+  }
+  std::vector<std::string> warnings;
+  const TuningJournal back = replay::load_journal(path, &warnings);
+  EXPECT_EQ(back.variants().size(), 2u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("truncated final line"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, InteriorCorruptionStillThrows) {
+  const std::string path = journal_temp("journal_corrupt.journal");
+  std::string text = file_journal().serialize();
+  const std::size_t at = text.find("decision");
+  text.replace(at, 8, "deXision");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+  }
+  EXPECT_THROW((void)replay::load_journal(path), ParseError);
+  std::remove(path.c_str());
 }
 
 // ---- record + replay ---------------------------------------------------------

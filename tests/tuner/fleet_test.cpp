@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/fleet.hpp"
+#include "tuner/search.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+using tuner::FleetJob;
+using tuner::FleetJobReport;
+using tuner::FleetTuneOptions;
+using tuner::TuningStore;
+
+namespace {
+
+/// A 3 x 2 space keeps exhaustive jobs at six simulator runs each.
+tuner::ParamSpace small_space() {
+  return tuner::ParamSpace({{"TC", {64, 128, 256}}, {"UIF", {1, 2}}});
+}
+
+FleetJob job_for(const char* kernel, std::int64_t n) {
+  FleetJob job;
+  job.kernel = kernel;
+  job.n = n;
+  job.workload = kernels::make_workload(kernel, n);
+  job.gpu = &arch::gpu("K20");
+  job.space = small_space();
+  return job;
+}
+
+std::vector<FleetJob> two_jobs() {
+  std::vector<FleetJob> jobs;
+  jobs.push_back(job_for("atax", 32));
+  jobs.push_back(job_for("bicg", 32));
+  return jobs;
+}
+
+}  // namespace
+
+// ---- CachingEvaluator warm-start hooks --------------------------------------
+
+TEST(CachingEvaluatorPreload, IsFreeAndFirstWins) {
+  const tuner::ParamSpace space = small_space();
+  std::size_t backend_calls = 0;
+  tuner::CachingEvaluator eval(
+      space,
+      [&](const codegen::TuningParams&) {
+        ++backend_calls;
+        return 1.0;
+      },
+      /*budget=*/1);
+
+  codegen::TuningParams p = space.to_params({0, 0});
+  EXPECT_TRUE(eval.preload(p, 0.5));
+  EXPECT_FALSE(eval.preload(p, 9.0));  // already cached: first wins
+  // Preloads charge neither the budget nor the backend...
+  EXPECT_EQ(eval.fresh_evaluations(), 0u);
+  EXPECT_EQ(eval.distinct_evaluations(), 1u);
+  EXPECT_EQ(eval.remaining(), 1u);
+  // ...and answer lookups without touching the backend.
+  EXPECT_DOUBLE_EQ(eval.evaluate(p), 0.5);
+  EXPECT_EQ(backend_calls, 0u);
+  // A genuinely fresh point still goes to the backend and is metered.
+  EXPECT_DOUBLE_EQ(eval.evaluate(space.to_params({1, 0})), 1.0);
+  EXPECT_EQ(backend_calls, 1u);
+  EXPECT_EQ(eval.fresh_evaluations(), 1u);
+  EXPECT_TRUE(eval.exhausted());
+  // Preloaded entries participate in best tracking.
+  EXPECT_DOUBLE_EQ(eval.best_value(), 0.5);
+}
+
+TEST(CachingEvaluatorPreload, RejectsOutOfSpaceParams) {
+  const tuner::ParamSpace space = small_space();
+  tuner::CachingEvaluator eval(
+      space, [](const codegen::TuningParams&) { return 1.0; });
+  codegen::TuningParams foreign;
+  foreign.threads_per_block = 96;  // not a TC value of this space
+  EXPECT_FALSE(eval.preload(foreign, 0.5));
+  EXPECT_EQ(eval.distinct_evaluations(), 0u);
+}
+
+TEST(CachingEvaluatorPreload, HarvestRoundTripsThroughForEachCached) {
+  const tuner::ParamSpace space = small_space();
+  tuner::CachingEvaluator eval(
+      space, [](const codegen::TuningParams&) { return 2.0; });
+  EXPECT_TRUE(eval.preload(space.to_params({2, 1}), 0.25));
+  (void)eval.evaluate(space.to_params({0, 0}));
+  std::size_t seen = 0;
+  eval.for_each_cached([&](const tuner::Point& p, double v) {
+    ++seen;
+    if (p == tuner::Point{2, 1}) {
+      EXPECT_DOUBLE_EQ(v, 0.25);
+    }
+    if (p == tuner::Point{0, 0}) {
+      EXPECT_DOUBLE_EQ(v, 2.0);
+    }
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+// ---- tune_fleet -------------------------------------------------------------
+
+TEST(TuneFleet, ColdRunMeasuresWarmRunAnswersFromStore) {
+  TuningStore store;
+  FleetTuneOptions opts;
+  opts.method = "exhaustive";
+
+  const auto cold = tuner::tune_fleet(two_jobs(), store, opts);
+  ASSERT_EQ(cold.size(), 2u);
+  for (const FleetJobReport& r : cold) {
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.fresh_evaluations, 6u);
+    EXPECT_EQ(r.outcome.search.distinct_evaluations, 6u);
+  }
+  EXPECT_EQ(store.size(), 12u);
+
+  const auto warm = tuner::tune_fleet(two_jobs(), store, opts);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].ok()) << warm[i].error;
+    EXPECT_EQ(warm[i].fresh_evaluations, 0u)
+        << warm[i].kernel << " re-measured";
+    EXPECT_EQ(warm[i].warm_hits, 6u);
+    // Warm results are byte-identical to the cold ones.
+    EXPECT_EQ(warm[i].outcome.search.best_params,
+              cold[i].outcome.search.best_params);
+    EXPECT_DOUBLE_EQ(warm[i].outcome.search.best_time,
+                     cold[i].outcome.search.best_time);
+  }
+  EXPECT_EQ(store.size(), 12u);
+}
+
+TEST(TuneFleet, MatchesStandaloneSearchExactly) {
+  TuningStore store;
+  FleetTuneOptions opts;
+  opts.method = "exhaustive";
+  const auto reports = tuner::tune_fleet(two_jobs(), store, opts);
+
+  for (const FleetJob& job : two_jobs()) {
+    tuner::SimEvaluator sim(job.workload, *job.gpu, opts.run);
+    const tuner::SearchResult direct =
+        tuner::exhaustive_search(job.space, sim);
+    const FleetJobReport* row = nullptr;
+    for (const FleetJobReport& r : reports)
+      if (r.kernel == job.kernel) row = &r;
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->outcome.search.best_params, direct.best_params);
+    EXPECT_DOUBLE_EQ(row->outcome.search.best_time, direct.best_time);
+  }
+}
+
+TEST(TuneFleet, WarmStartSurvivesTheStoresTextForm) {
+  TuningStore store;
+  FleetTuneOptions opts;
+  opts.method = "random";
+  opts.search.budget = 4;
+  opts.search.seed = 7;
+  (void)tuner::tune_fleet(two_jobs(), store, opts);
+
+  // Round-trip the store through its serialized form, as the CLI does
+  // between invocations, then rerun the same stochastic request.
+  TuningStore reloaded = TuningStore::parse(store.serialize());
+  const auto warm = tuner::tune_fleet(two_jobs(), reloaded, opts);
+  for (const FleetJobReport& r : warm) {
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.fresh_evaluations, 0u);
+  }
+  EXPECT_EQ(reloaded.serialize(), store.serialize());
+}
+
+TEST(TuneFleet, RecordsInvalidConfigurationsAndReplaysThem) {
+  // TC=1024 on 9 blocks is unlaunchable for some kernels; more simply,
+  // force invalids by including an unlaunchable TC for the K20 warp
+  // engine via a space containing a non-multiple-of-32 TC.
+  std::vector<FleetJob> jobs;
+  FleetJob job = job_for("atax", 32);
+  job.space = tuner::ParamSpace({{"TC", {48, 64}}});  // 48: rejected
+  jobs.push_back(job);
+
+  TuningStore store;
+  FleetTuneOptions opts;
+  opts.method = "exhaustive";
+  opts.run.engine = sim::Engine::Warp;  // the warp engine rejects TC=48
+  const auto cold = tuner::tune_fleet(jobs, store, opts);
+  ASSERT_TRUE(cold[0].ok()) << cold[0].error;
+  EXPECT_EQ(cold[0].fresh_evaluations, 2u);
+
+  // The rejection is persisted (valid=0) and warm-replayed: the second
+  // pass re-discovers the invalid variant without a simulator run.
+  bool saw_invalid = false;
+  for (const tuner::StoreRecord& r : store.records())
+    if (!r.variant.valid) saw_invalid = true;
+  EXPECT_TRUE(saw_invalid);
+  const auto warm = tuner::tune_fleet(jobs, store, opts);
+  EXPECT_EQ(warm[0].fresh_evaluations, 0u);
+  EXPECT_EQ(warm[0].outcome.search.best_params,
+            cold[0].outcome.search.best_params);
+}
+
+TEST(TuneFleet, FailedJobReportsErrorWithoutPoisoningTheStore) {
+  TuningStore store;
+  FleetTuneOptions opts;
+  opts.method = "no-such-strategy";
+  const auto reports = tuner::tune_fleet(two_jobs(), store, opts);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const FleetJobReport& r : reports) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("no-such-strategy"), std::string::npos);
+  }
+  EXPECT_TRUE(store.empty());
+}

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+using tuner::MeasuredVariant;
+using tuner::StoreRecord;
+using tuner::TuningStore;
+
+namespace {
+
+StoreRecord record(const char* kernel, const char* gpu, std::int64_t n,
+                   int tc, double time_ms) {
+  StoreRecord r;
+  r.kernel = kernel;
+  r.gpu = gpu;
+  r.n = n;
+  r.variant.params.threads_per_block = tc;
+  r.variant.measured_ms = time_ms;
+  return r;
+}
+
+TuningStore sample_store() {
+  TuningStore s;
+  s.put(record("atax", "K20", 64, 128, 0.125));
+  s.put(record("atax", "K20", 64, 256, 0.5));
+  s.put(record("bicg", "P100", 128, 64, 0.0625));
+  // A rejected configuration: evaluated, found unlaunchable.
+  StoreRecord bad = record("atax", "K20", 64, 96, -1.0);
+  bad.variant.valid = false;
+  bad.variant.measured_ms = -1;
+  s.put(bad);
+  return s;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+}  // namespace
+
+// ---- in-memory behavior -----------------------------------------------------
+
+TEST(TuningStore, FindIsKeyedOnKernelGpuSizeAndParams) {
+  const TuningStore s = sample_store();
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  const MeasuredVariant* hit = s.find("atax", "K20", 64, p);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->measured_ms, 0.125);
+  // Any key component off by one misses.
+  EXPECT_EQ(s.find("bicg", "K20", 64, p), nullptr);
+  EXPECT_EQ(s.find("atax", "M40", 64, p), nullptr);
+  EXPECT_EQ(s.find("atax", "K20", 65, p), nullptr);
+  p.unroll = 2;
+  EXPECT_EQ(s.find("atax", "K20", 64, p), nullptr);
+}
+
+TEST(TuningStore, PutUpsertsInPlace) {
+  TuningStore s = sample_store();
+  const std::size_t before = s.size();
+  s.put(record("atax", "K20", 64, 128, 0.25));  // same key, new time
+  EXPECT_EQ(s.size(), before);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  EXPECT_DOUBLE_EQ(s.find("atax", "K20", 64, p)->measured_ms, 0.25);
+  // Upsert keeps first-insertion order: the refreshed record is still
+  // the first one serialized.
+  EXPECT_EQ(s.records().front().variant.params.threads_per_block, 128);
+}
+
+TEST(TuningStore, ContextCollectsOneTuningRunsRecords) {
+  const TuningStore s = sample_store();
+  EXPECT_EQ(s.context("atax", "K20", 64).size(), 3u);
+  EXPECT_EQ(s.context("bicg", "P100", 128).size(), 1u);
+  EXPECT_TRUE(s.context("atax", "K20", 128).empty());
+}
+
+TEST(TuningStore, RejectsMultiTokenKeys) {
+  TuningStore s;
+  EXPECT_THROW(s.put(record("two words", "K20", 1, 32, 1.0)), Error);
+  EXPECT_THROW(s.put(record("atax", "K 20", 1, 32, 1.0)), Error);
+  EXPECT_THROW(s.put(record("", "K20", 1, 32, 1.0)), Error);
+}
+
+// ---- serialization ----------------------------------------------------------
+
+TEST(TuningStore, SerializeStartsWithVersionHeader) {
+  const std::string text = sample_store().serialize();
+  EXPECT_EQ(text.rfind("gpustatic-store v1\n", 0), 0u) << text;
+}
+
+TEST(TuningStore, RoundTripIsLossless) {
+  const TuningStore s = sample_store();
+  const TuningStore back = TuningStore::parse(s.serialize());
+  ASSERT_EQ(back.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const StoreRecord& a = s.records()[i];
+    const StoreRecord& b = back.records()[i];
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.gpu, b.gpu);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.variant.params, b.variant.params);
+    EXPECT_DOUBLE_EQ(a.variant.predicted_cost, b.variant.predicted_cost);
+    EXPECT_DOUBLE_EQ(a.variant.measured_ms, b.variant.measured_ms);
+    EXPECT_EQ(a.variant.valid, b.variant.valid);
+  }
+  // And the round trip is byte-stable.
+  EXPECT_EQ(back.serialize(), s.serialize());
+}
+
+TEST(TuningStore, ParseRejectsBadVersionHeader) {
+  EXPECT_THROW((void)TuningStore::parse(""), ParseError);
+  EXPECT_THROW((void)TuningStore::parse("gpustatic-store v999\n"),
+               ParseError);
+  EXPECT_THROW((void)TuningStore::parse("gpustatic-journal v1\n"),
+               ParseError);
+}
+
+TEST(TuningStore, ParseRejectsCorruptInteriorLine) {
+  std::string text = sample_store().serialize();
+  // Corrupt the first record line (not the last): must throw, with the
+  // offending line number in the error.
+  const std::size_t at = text.find("record");
+  text.replace(at, 6, "reXord");
+  try {
+    (void)TuningStore::parse(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+  // Bad field values in the middle are corruption too.
+  std::string text2 = sample_store().serialize();
+  const std::size_t tc = text2.find("TC=");
+  text2.replace(tc, 5, "TC=xx");
+  EXPECT_THROW((void)TuningStore::parse(text2), ParseError);
+}
+
+TEST(TuningStore, TruncatedFinalLineIsSkippedWithWarning) {
+  const TuningStore s = sample_store();
+  std::string text = s.serialize();
+  // Chop the file mid-way through the last record, as a killed writer
+  // would leave it.
+  text.resize(text.size() - 25);
+  std::vector<std::string> warnings;
+  const TuningStore back = TuningStore::parse(text, &warnings);
+  EXPECT_EQ(back.size(), s.size() - 1);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("truncated final line"), std::string::npos);
+  // Without a warnings sink the truncated line is still skipped.
+  EXPECT_EQ(TuningStore::parse(text).size(), s.size() - 1);
+}
+
+// ---- file I/O ---------------------------------------------------------------
+
+TEST(TuningStore, LoadMissingFileIsEmptyStore) {
+  const TuningStore s = TuningStore::load(temp_path("no_such_store"));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TuningStore, SaveLoadRoundTripsAtomically) {
+  const std::string path = temp_path("store_roundtrip.store");
+  const TuningStore s = sample_store();
+  s.save(path);
+  // Atomic rewrite: no temp sibling survives a successful save.
+  std::size_t siblings = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path()))
+    if (entry.path().filename().string().find("store_roundtrip") !=
+        std::string::npos)
+      ++siblings;
+  EXPECT_EQ(siblings, 1u);
+
+  const TuningStore back = TuningStore::load(path);
+  EXPECT_EQ(back.serialize(), s.serialize());
+
+  // Overwriting an existing store works and fully replaces it.
+  TuningStore smaller;
+  smaller.put(record("mvt", "M40", 32, 64, 1.5));
+  smaller.save(path);
+  EXPECT_EQ(TuningStore::load(path).size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningStore, FailedSaveLeavesTargetIntact) {
+  const std::string path = temp_path("store_keep.store");
+  sample_store().save(path);
+  const std::string before = TuningStore::load(path).serialize();
+  TuningStore other;
+  other.put(record("mvt", "M40", 32, 64, 1.5));
+  // Saving into a nonexistent directory fails before touching `path`.
+  EXPECT_THROW(other.save(temp_path("no_such_dir/x.store")), Error);
+  EXPECT_EQ(TuningStore::load(path).serialize(), before);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningStore, LoadOfTruncatedFileWarnsAndKeepsPrefix) {
+  const std::string path = temp_path("store_truncated.store");
+  std::string text = sample_store().serialize();
+  text.resize(text.size() - 10);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+  }
+  std::vector<std::string> warnings;
+  const TuningStore back = TuningStore::load(path, &warnings);
+  EXPECT_EQ(back.size(), sample_store().size() - 1);
+  EXPECT_EQ(warnings.size(), 1u);
+  std::filesystem::remove(path);
+}
