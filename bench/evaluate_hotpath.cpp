@@ -1,0 +1,219 @@
+// Evaluation hot-path bench: cold (compile every point, the pre-cache
+// world: one fresh evaluator per point) vs warm (one SimEvaluator whose
+// SimContext memoizes lowering, analyses, and scratch) over the same
+// strided sample of the paper space. Prints points/sec for both passes
+// and the compilation-cache accounting, verifies the two passes return
+// bit-identical costs, and exits non-zero when
+//
+//   * warm points/sec < --min-ratio x cold points/sec (default 1.5 —
+//     the CI gate that the cache actually pays for itself), or
+//   * a launch-shape-only sweep triggers any recompile, or
+//   * any cold/warm cost disagrees (the cache must be pure speed).
+//
+//   $ ./bench/bench_evaluate_hotpath [--kernel NAME] [--gpu NAME]
+//       [--points N] [--engine analytic|warp] [--min-ratio R]
+//       [--json PATH]
+//
+// --json writes the machine-readable artifact CI uploads as
+// BENCH_evaluate_hotpath.json, extending the tracked perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+#include "kernels/kernels.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/space.hpp"
+
+using namespace gpustatic;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(const Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernel = "atax";
+  std::string gpu_name = "K20";
+  std::size_t points = 192;
+  std::string engine = "analytic";
+  double min_ratio = 1.5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--kernel") == 0)
+      kernel = value();
+    else if (std::strcmp(argv[i], "--gpu") == 0)
+      gpu_name = value();
+    else if (std::strcmp(argv[i], "--points") == 0)
+      points = static_cast<std::size_t>(std::stoull(value()));
+    else if (std::strcmp(argv[i], "--engine") == 0)
+      engine = value();
+    else if (std::strcmp(argv[i], "--min-ratio") == 0)
+      min_ratio = std::stod(value());
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = value();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (points == 0) {
+    std::fprintf(stderr, "--points must be >= 1\n");
+    return 2;
+  }
+
+  bench::print_header(
+      "Evaluation hot path: compile-once vs compile-every-point",
+      "ROADMAP north star (amortized per-point cost; cf. arXiv:2102.05299)");
+
+  try {
+    const arch::GpuSpec& gpu = arch::gpu(gpu_name);
+    const std::int64_t n = engine == "warp"
+                               ? bench::warp_size_for(kernel)
+                               : bench::bench_sizes(kernel).front();
+    const dsl::WorkloadDesc workload = kernels::make_workload(kernel, n);
+    sim::RunOptions run_opts;
+    run_opts.engine =
+        engine == "warp" ? sim::Engine::Warp : sim::Engine::Analytic;
+
+    // A strided sample of the paper space: visits every dimension's
+    // values, mixing codegen keys with many launch shapes per key. The
+    // stride is forced odd so it is coprime with the low-order
+    // UIF x PL x CFLAGS cycle — an even stride would sample a single
+    // codegen key and overstate the cache.
+    const tuner::ParamSpace space = tuner::paper_space();
+    const std::size_t stride =
+        std::max<std::size_t>(1, space.size() / points) | 1;
+    std::vector<codegen::TuningParams> sample;
+    sample.reserve(points);
+    for (std::size_t flat = 0;
+         flat < space.size() && sample.size() < points; flat += stride)
+      sample.push_back(space.to_params(space.point_at(flat)));
+
+    std::printf("kernel=%s gpu=%s n=%lld engine=%s points=%zu\n\n",
+                kernel.c_str(), gpu_name.c_str(),
+                static_cast<long long>(n), engine.c_str(), sample.size());
+
+    // ---- cold: one fresh evaluator (and pipeline) per point ------------
+    std::vector<double> cold_costs(sample.size());
+    const auto cold_start = Clock::now();
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      tuner::SimEvaluator fresh(workload, gpu, run_opts);
+      cold_costs[i] = fresh.evaluate(sample[i]);
+    }
+    const double cold_s = seconds_since(cold_start);
+
+    // ---- warm: one evaluator serves the whole sweep --------------------
+    tuner::SimEvaluator evaluator(workload, gpu, run_opts);
+    std::vector<double> warm_costs(sample.size());
+    const auto warm_start = Clock::now();
+    for (std::size_t i = 0; i < sample.size(); ++i)
+      warm_costs[i] = evaluator.evaluate(sample[i]);
+    const double warm_s = seconds_since(warm_start);
+
+    const codegen::CompileCacheStats stats =
+        evaluator.context().compilation_cache().stats();
+
+    // ---- launch-shape-only sweep must not recompile --------------------
+    codegen::TuningParams base = sample.front();
+    std::size_t launch_only = 0;
+    for (const int tc : {64, 128, 256, 512})
+      for (const int bc : {24, 96, 168})
+        for (const int pl : {16, 48}) {
+          codegen::TuningParams p = base;
+          p.threads_per_block = tc;
+          p.block_count = bc;
+          p.l1_pref_kb = pl;
+          (void)evaluator.evaluate(p);
+          ++launch_only;
+        }
+    const codegen::CompileCacheStats after =
+        evaluator.context().compilation_cache().stats();
+    const std::size_t launch_recompiles = after.misses - stats.misses;
+
+    const double cold_pps = static_cast<double>(sample.size()) / cold_s;
+    const double warm_pps = static_cast<double>(sample.size()) / warm_s;
+    const double ratio = warm_pps / cold_pps;
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i)
+      if (cold_costs[i] != warm_costs[i]) ++mismatches;
+
+    std::printf("cold: %8.1f points/sec  (%.3f s, compile every point)\n",
+                cold_pps, cold_s);
+    std::printf("warm: %8.1f points/sec  (%.3f s, compile-once pipeline)\n",
+                warm_pps, warm_s);
+    std::printf("warm/cold ratio: %.2fx (gate: >= %.2fx)\n", ratio,
+                min_ratio);
+    std::printf("compile cache: %zu misses / %zu hits over %zu points\n",
+                stats.misses, stats.hits, sample.size());
+    std::printf("launch-shape-only sweep: %zu evaluations, %zu recompiles\n",
+                launch_only, launch_recompiles);
+
+    if (!json_path.empty()) {
+      const std::string json =
+          "{\n  \"kernel\": \"" + kernel + "\",\n  \"gpu\": \"" + gpu_name +
+          "\",\n  \"engine\": \"" + engine +
+          "\",\n  \"points\": " + std::to_string(sample.size()) +
+          ",\n  \"cold_s\": " + str::format("%.6f", cold_s) +
+          ",\n  \"warm_s\": " + str::format("%.6f", warm_s) +
+          ",\n  \"cold_points_per_sec\": " + str::format("%.3f", cold_pps) +
+          ",\n  \"warm_points_per_sec\": " + str::format("%.3f", warm_pps) +
+          ",\n  \"warm_over_cold\": " + str::format("%.3f", ratio) +
+          ",\n  \"compile_misses\": " + std::to_string(stats.misses) +
+          ",\n  \"compile_hits\": " + std::to_string(stats.hits) +
+          ",\n  \"launch_only_recompiles\": " +
+          std::to_string(launch_recompiles) +
+          ",\n  \"cost_mismatches\": " + std::to_string(mismatches) + "\n}\n";
+      io::write_file_atomic(json_path, json);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %zu cold/warm cost mismatches (cache must be "
+                   "pure speed)\n",
+                   mismatches);
+      return 1;
+    }
+    if (launch_recompiles != 0) {
+      std::fprintf(stderr,
+                   "FAIL: launch-shape-only changes recompiled %zu times "
+                   "(want 0)\n",
+                   launch_recompiles);
+      return 1;
+    }
+    if (ratio < min_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: warm pass only %.2fx cold (gate %.2fx) — the "
+                   "compilation cache is not paying for itself\n",
+                   ratio, min_ratio);
+      return 1;
+    }
+    std::printf("\nOK: warm evaluation is %.2fx cold with %zu compiles "
+                "for %zu points\n",
+                ratio, stats.misses, sample.size());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

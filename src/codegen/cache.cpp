@@ -1,0 +1,56 @@
+#include "codegen/cache.hpp"
+
+namespace gpustatic::codegen {
+
+std::shared_ptr<const LoweredWorkload> CompilationCache::lower(
+    const TuningParams& params) {
+  // Per-point validation happens on every lookup: TC/BC are not part of
+  // the key, so an out-of-range launch must fail even when the key's
+  // lowering is already cached.
+  validate_params(*gpu_, params);
+
+  const CodegenKey key = CodegenKey::of(params);
+  LoweredFuture future;
+  std::promise<std::shared_ptr<const LoweredWorkload>> promise;
+  bool compile_here = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.misses;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      compile_here = true;
+    }
+  }
+  // The compiler runs outside the lock: distinct keys compile in
+  // parallel, and hits on already-resolved keys never wait. A failed
+  // compile parks its exception in the future, so this key's every
+  // future lookup rethrows the original error (type and message).
+  if (compile_here) {
+    try {
+      promise.set_value(std::make_shared<LoweredWorkload>(
+          Compiler(*gpu_, params).compile(workload_)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+LoweredWorkload CompilationCache::compile(const TuningParams& params) {
+  const std::shared_ptr<const LoweredWorkload> canonical = lower(params);
+  LoweredWorkload out = *canonical;
+  out.params = params;
+  for (LoweredStage& stage : out.stages) retarget_launch(stage, params);
+  return out;
+}
+
+CompileCacheStats CompilationCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gpustatic::codegen

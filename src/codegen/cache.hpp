@@ -1,0 +1,88 @@
+#pragma once
+
+// Compile-once memoization for the evaluation hot path. The lowered
+// instruction stream of a variant depends only on a small subset of
+// TuningParams — the CodegenKey — while TC/BC merely rescale block
+// frequencies (recorded per block in LoweredStage::freq_model) and PL
+// never reaches the compiler at all. A search over the Table III space
+// therefore needs at most |UIF| x |SC| x |CFLAGS| compiler runs, not one
+// per point: every launch-shape-only neighbor is a cache hit.
+//
+// The cache is thread-safe (SimEvaluator fans batches out over the
+// shared thread pool): entries are per-key shared futures, so the lock
+// covers only map lookup/insert — concurrent misses on distinct keys
+// compile in parallel, each key compiles exactly once, and waiters on
+// the same key park on its future. Failures are memoized as the stored
+// exception, so every lookup of a failing key rethrows the exact
+// exception a fresh compile would.
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+
+namespace gpustatic::codegen {
+
+/// The subset of TuningParams the lowered instruction stream depends on.
+struct CodegenKey {
+  int unroll = 1;
+  int stream_chunk = 1;
+  bool fast_math = false;
+
+  friend auto operator<=>(const CodegenKey&, const CodegenKey&) = default;
+
+  [[nodiscard]] static CodegenKey of(const TuningParams& p) {
+    return CodegenKey{p.unroll, p.stream_chunk, p.fast_math};
+  }
+};
+
+struct CompileCacheStats {
+  std::size_t hits = 0;    ///< lookups answered without running the compiler
+  std::size_t misses = 0;  ///< full compiler runs (including failed ones)
+};
+
+class CompilationCache {
+ public:
+  /// The cache owns its workload copy so it can be shared (e.g. between
+  /// a SimEvaluator's context and an AnalyticEvaluator) without lifetime
+  /// coupling; GpuSpecs come from the static hardware table.
+  CompilationCache(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu)
+      : workload_(std::move(workload)), gpu_(&gpu) {}
+
+  /// The canonical lowering for `params`' codegen key. Validates the
+  /// full params first (throwing ConfigError exactly like the Compiler
+  /// constructor), then returns the memoized compile — whose
+  /// LaunchConfig/block_freq reflect the *first* params seen with this
+  /// key; consumers that need point-exact values use compile() or
+  /// block_freq_at()/retarget_launch(). A memoized lowering failure
+  /// rethrows the original exception on every lookup.
+  std::shared_ptr<const LoweredWorkload> lower(const TuningParams& params);
+
+  /// Full per-point compile: the canonical lowering deep-copied and
+  /// retargeted to `params`. Byte-identical to
+  /// Compiler(gpu, params).compile(workload) in every field.
+  [[nodiscard]] LoweredWorkload compile(const TuningParams& params);
+
+  [[nodiscard]] CompileCacheStats stats() const;
+
+  [[nodiscard]] const dsl::WorkloadDesc& workload() const {
+    return workload_;
+  }
+  [[nodiscard]] const arch::GpuSpec& gpu() const { return *gpu_; }
+
+ private:
+  using LoweredFuture =
+      std::shared_future<std::shared_ptr<const LoweredWorkload>>;
+
+  dsl::WorkloadDesc workload_;
+  const arch::GpuSpec* gpu_;
+  mutable std::mutex mu_;
+  std::map<CodegenKey, LoweredFuture> entries_;
+  CompileCacheStats stats_;
+};
+
+}  // namespace gpustatic::codegen

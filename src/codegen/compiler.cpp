@@ -77,10 +77,13 @@ class Lowering {
   }
   BasicBlock& cur() { return kernel_.blocks[cur_block_]; }
   void emit(Instruction ins) { cur().body.push_back(std::move(ins)); }
-  /// Open a new block and record its static frequency.
+  /// Open a new block and record its static frequency alongside the
+  /// launch-shape model that derives it (cur_fexpr_ must be kept in sync
+  /// with cur_freq_ by every site that changes the frequency).
   void start_block(const std::string& label, double freq) {
     kernel_.blocks.push_back(BasicBlock{label, {}});
     freq_.push_back(freq);
+    fmodel_.push_back(cur_fexpr_);
     cur_block_ = kernel_.blocks.size() - 1;
   }
   std::string fresh_label(const std::string& stem) {
@@ -154,8 +157,10 @@ class Lowering {
 
   Kernel kernel_;
   std::vector<double> freq_;
+  std::vector<BlockFreqModel> fmodel_;  ///< parallel to freq_
   std::size_t cur_block_ = 0;
   double cur_freq_ = 1.0;
+  BlockFreqModel cur_fexpr_;  ///< launch-shape derivation of cur_freq_
   std::array<std::uint16_t, 5> next_reg_{};
   int label_counter_ = 0;
 
@@ -837,11 +842,14 @@ void Lowering::lower_for(const dsl::Stmt& s) {
 
   loop_stack_.push_back(lc);
   const double parent_freq = cur_freq_;
+  const BlockFreqModel parent_fexpr = cur_fexpr_;
 
   // ---- main unrolled loop
   if (main_iters > 0) {
     const std::string l_main = fresh_label("L" + s.name);
     cur_freq_ = parent_freq * static_cast<double>(main_iters);
+    cur_fexpr_ = parent_fexpr;
+    cur_fexpr_.factors.push_back(static_cast<double>(main_iters));
     start_block(l_main, cur_freq_);
     lower_loop_body_copies(s, loop_stack_.size() - 1, uif,
                            split_accs.empty() ? nullptr : &split_accs);
@@ -862,6 +870,7 @@ void Lowering::lower_for(const dsl::Stmt& s) {
 
   // ---- combine split partial sums
   cur_freq_ = parent_freq;
+  cur_fexpr_ = parent_fexpr;
   if (main_iters > 0 && !split_accs.empty()) {
     start_block(fresh_label("L" + s.name + "_epi"), cur_freq_);
   }
@@ -876,6 +885,8 @@ void Lowering::lower_for(const dsl::Stmt& s) {
   if (remainder > 0) {
     const std::string l_rem = fresh_label("L" + s.name + "_rem");
     cur_freq_ = parent_freq * static_cast<double>(remainder);
+    cur_fexpr_ = parent_fexpr;
+    cur_fexpr_.factors.push_back(static_cast<double>(remainder));
     start_block(l_rem, cur_freq_);
     // Reuse the same streams with unroll factor 1. The reference is
     // taken only AFTER lowering the body: nested loops inside it can
@@ -898,6 +909,7 @@ void Lowering::lower_for(const dsl::Stmt& s) {
 
   loop_stack_.pop_back();
   cur_freq_ = parent_freq;
+  cur_fexpr_ = parent_fexpr;
   start_block(fresh_label("L" + s.name + "_end"), cur_freq_);
 }
 
@@ -907,10 +919,13 @@ void Lowering::lower_if(const dsl::Stmt& s) {
   const std::string l_join = fresh_label("Ljoin");
   const bool has_else = s.else_branch != nullptr;
   const double parent_freq = cur_freq_;
+  const BlockFreqModel parent_fexpr = cur_fexpr_;
 
   emit(make_bra_if(p, /*negated=*/true, has_else ? l_else : l_join));
 
   cur_freq_ = parent_freq * s.then_prob;
+  cur_fexpr_ = parent_fexpr;
+  cur_fexpr_.factors.push_back(s.then_prob);
   start_block(fresh_label("Lthen"), cur_freq_);
   {
     const Scope saved = snapshot();
@@ -920,12 +935,15 @@ void Lowering::lower_if(const dsl::Stmt& s) {
   if (has_else) {
     emit(make_bra(l_join));
     cur_freq_ = parent_freq * (1.0 - s.then_prob);
+    cur_fexpr_ = parent_fexpr;
+    cur_fexpr_.factors.push_back(1.0 - s.then_prob);
     start_block(l_else, cur_freq_);
     const Scope saved = snapshot();
     lower_stmt(s.else_branch);
     restore(saved);
   }
   cur_freq_ = parent_freq;
+  cur_fexpr_ = parent_fexpr;
   start_block(l_join, cur_freq_);
 }
 
@@ -974,6 +992,7 @@ void Lowering::emit_prologue() {
   const auto n_idx = static_cast<std::uint16_t>(kernel_.params.size());
   kernel_.params.push_back(Param{"n_items", Type::I32, false});
 
+  cur_fexpr_ = BlockFreqModel{};  // entry runs once regardless of launch
   start_block("entry", 1.0);
   for (const std::string& a : used_arrays_) {
     const Reg base = fresh(Type::I64);
@@ -1028,6 +1047,7 @@ void Lowering::emit_grid_stride() {
   const double outer_freq = bases / total_threads;
 
   cur_freq_ = outer_freq;
+  cur_fexpr_ = BlockFreqModel{true, bases, {}};
   const std::string l_loop = "gs_loop";
   start_block(l_loop, cur_freq_);
 
@@ -1058,6 +1078,7 @@ void Lowering::emit_grid_stride() {
       l_skip = fresh_label("gs_skip");
       emit(make_bra_if(p, /*negated=*/true, l_skip));
       cur_freq_ = copy_freq;
+      cur_fexpr_ = BlockFreqModel{true, count_c, {}};
       start_block(fresh_label("gs_copy"), cur_freq_);
     }
 
@@ -1069,6 +1090,7 @@ void Lowering::emit_grid_stride() {
 
     if (c != 0) {
       cur_freq_ = outer_freq;
+      cur_fexpr_ = BlockFreqModel{true, bases, {}};
       start_block(l_skip, cur_freq_);
     }
   }
@@ -1082,6 +1104,7 @@ void Lowering::emit_grid_stride() {
   emit(make_bra_if(p, false, l_loop));
 
   cur_freq_ = 1.0;
+  cur_fexpr_ = BlockFreqModel{};
   start_block("done", 1.0);
   emit(make_exit());
 }
@@ -1134,13 +1157,16 @@ LoweredStage Lowering::run() {
               ins.target = it->second;
       std::vector<BasicBlock> keep;
       std::vector<double> keep_freq;
+      std::vector<BlockFreqModel> keep_fmodel;
       for (std::size_t i = 0; i < kernel_.blocks.size(); ++i) {
         if (kernel_.blocks[i].body.empty()) continue;
         keep.push_back(std::move(kernel_.blocks[i]));
         keep_freq.push_back(freq_[i]);
+        keep_fmodel.push_back(std::move(fmodel_[i]));
       }
       kernel_.blocks = std::move(keep);
       freq_ = std::move(keep_freq);
+      fmodel_ = std::move(keep_fmodel);
     }
   }
 
@@ -1151,6 +1177,7 @@ LoweredStage Lowering::run() {
   LoweredStage out;
   out.kernel = std::move(kernel_);
   out.block_freq = std::move(freq_);
+  out.freq_model = std::move(fmodel_);
   out.coarsen = coarsen_;
   out.demand = analyze_register_demand(out.kernel);
   out.launch.grid_blocks = static_cast<std::uint32_t>(p_.block_count);
@@ -1164,16 +1191,38 @@ LoweredStage Lowering::run() {
 
 }  // namespace
 
+void validate_params(const arch::GpuSpec& gpu, const TuningParams& params) {
+  if (params.threads_per_block < 1 ||
+      params.threads_per_block > static_cast<int>(gpu.threads_per_block))
+    throw ConfigError("threads_per_block out of range for " + gpu.name);
+  if (params.block_count < 1) throw ConfigError("block_count must be >= 1");
+  if (params.unroll < 1) throw ConfigError("unroll must be >= 1");
+  if (params.stream_chunk < 1)
+    throw ConfigError("stream_chunk must be >= 1");
+}
+
+void block_freq_at(const LoweredStage& stage, const TuningParams& params,
+                   std::vector<double>& out) {
+  if (stage.freq_model.size() != stage.block_freq.size())
+    throw Error("block_freq_at: stage carries no frequency model");
+  const auto total_threads = static_cast<double>(
+      static_cast<std::int64_t>(params.threads_per_block) *
+      params.block_count);
+  out.resize(stage.freq_model.size());
+  for (std::size_t i = 0; i < stage.freq_model.size(); ++i)
+    out[i] = stage.freq_model[i].at(total_threads);
+}
+
+void retarget_launch(LoweredStage& stage, const TuningParams& params) {
+  block_freq_at(stage, params, stage.block_freq);
+  stage.launch.grid_blocks = static_cast<std::uint32_t>(params.block_count);
+  stage.launch.block_threads =
+      static_cast<std::uint32_t>(params.threads_per_block);
+}
+
 Compiler::Compiler(const arch::GpuSpec& gpu, TuningParams params)
     : gpu_(&gpu), params_(params) {
-  if (params_.threads_per_block < 1 ||
-      params_.threads_per_block >
-          static_cast<int>(gpu.threads_per_block))
-    throw ConfigError("threads_per_block out of range for " + gpu.name);
-  if (params_.block_count < 1) throw ConfigError("block_count must be >= 1");
-  if (params_.unroll < 1) throw ConfigError("unroll must be >= 1");
-  if (params_.stream_chunk < 1)
-    throw ConfigError("stream_chunk must be >= 1");
+  validate_params(gpu, params_);
 }
 
 LoweredWorkload Compiler::compile(const dsl::WorkloadDesc& wl) const {

@@ -38,6 +38,25 @@
 
 namespace gpustatic::codegen {
 
+/// How one basic block's static frequency depends on the launch shape.
+/// The lowered instruction stream never depends on TC/BC — only the
+/// frequency estimates do, through total_threads = TC*BC — so recording
+/// each block's frequency as (numerator / total_threads) followed by the
+/// exact chain of multiplications the lowering performed lets a compiled
+/// stage be retargeted to any launch shape without recompiling, with
+/// bit-identical results (at() folds the same doubles in the same order).
+struct BlockFreqModel {
+  bool scaled = false;  ///< false: launch-independent constant (entry/done)
+  double base = 1.0;    ///< the fixed frequency, or the scaled numerator
+  std::vector<double> factors;  ///< loop trips / branch probs, in order
+
+  [[nodiscard]] double at(double total_threads) const {
+    double f = scaled ? base / total_threads : base;
+    for (const double m : factors) f *= m;
+    return f;
+  }
+};
+
 /// One compiled kernel stage plus everything the analyses need.
 struct LoweredStage {
   ptx::Kernel kernel;
@@ -46,6 +65,10 @@ struct LoweredStage {
   /// kernel.blocks). Static estimate used by the analytic performance
   /// model; the warp simulator measures the true counts.
   std::vector<double> block_freq;
+  /// How each entry of block_freq was derived (parallel to block_freq):
+  /// the launch-shape dependence, recorded so retarget_launch() can
+  /// rescale a cached compile instead of re-running the compiler.
+  std::vector<BlockFreqModel> freq_model;
   ptx::RegisterDemand demand;
   /// Param index -> workload array name; empty string for scalar params.
   std::vector<std::string> param_arrays;
@@ -90,5 +113,23 @@ class Compiler {
 
 /// `ptxas -v`-style one-line compile report ("Used 27 registers, ...").
 [[nodiscard]] std::string compile_info(const LoweredStage& stage);
+
+/// The per-point parameter validation the Compiler constructor performs,
+/// factored out so cache lookups reject exactly what a fresh compile
+/// would. Throws ConfigError with the constructor's messages.
+void validate_params(const arch::GpuSpec& gpu, const TuningParams& params);
+
+/// Recompute a stage's block frequencies for `params`' launch shape into
+/// `out` (resized; capacity reused). Bit-identical to what a fresh
+/// compile with the same codegen-affecting parameters would produce.
+void block_freq_at(const LoweredStage& stage, const TuningParams& params,
+                   std::vector<double>& out);
+
+/// Retarget a compiled stage to `params`' launch shape in place: rewrite
+/// LaunchConfig and rescale block_freq via freq_model. `stage` must come
+/// from a compile that agrees with `params` on the codegen-affecting
+/// fields (unroll, stream_chunk, fast_math); smem and domain never
+/// depend on the launch shape and are left untouched.
+void retarget_launch(LoweredStage& stage, const TuningParams& params);
 
 }  // namespace gpustatic::codegen

@@ -34,6 +34,10 @@ TuningOutcome TuningSession::tune(const TuningRequest& request) {
   ctx.prune = [this]() -> const tuner::StaticPruneResult& {
     return prune();
   };
+  // Model-guided stages share the simulator pipeline's lowering memo, so
+  // e.g. hybrid's Eq. 6 ranking reuses every kernel a previous tune()
+  // already compiled.
+  ctx.compile_cache = &evaluator_.context().compilation_cache();
   return strategy->run(ctx);
 }
 

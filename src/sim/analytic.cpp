@@ -39,19 +39,19 @@ double effective_transactions(const ptx::Instruction& ins,
 
 }  // namespace
 
-AnalyticResult AnalyticModel::run_stage(
-    const codegen::LoweredStage& stage) const {
+AnalyticResult AnalyticModel::run_stage(const StageInputs& in) const {
   const arch::GpuSpec& gpu = *m_.gpu;
-  const double tc = stage.launch.block_threads;
-  const double bc = stage.launch.grid_blocks;
-  const auto domain = static_cast<double>(stage.launch.domain);
-  const double cf = std::max(1, stage.coarsen);
+  const ptx::Kernel& kernel = *in.kernel;
+  const double tc = in.launch.block_threads;
+  const double bc = in.launch.grid_blocks;
+  const auto domain = static_cast<double>(in.launch.domain);
+  const double cf = std::max(1, in.coarsen);
 
   AnalyticResult out;
   out.occ = occupancy::calculate(
-      gpu, occupancy::KernelParams{stage.launch.block_threads,
-                                   stage.demand.regs_per_thread,
-                                   stage.launch.smem_bytes});
+      gpu, occupancy::KernelParams{in.launch.block_threads,
+                                   in.regs_per_thread,
+                                   in.launch.smem_bytes});
   if (out.occ.active_blocks == 0)
     throw ConfigError("configuration cannot be resident on " + gpu.name);
 
@@ -87,11 +87,11 @@ AnalyticResult AnalyticModel::run_stage(
 
   const double lat_blend = 0.7 * m_.dram_latency + 0.3 * m_.l1_latency;
 
-  for (std::size_t bi = 0; bi < stage.kernel.blocks.size(); ++bi) {
-    const double freq = stage.block_freq[bi] * scale;
+  for (std::size_t bi = 0; bi < kernel.blocks.size(); ++bi) {
+    const double freq = in.block_freq[bi] * scale;
     if (freq <= 0.0) continue;
     bool block_has_load = false;
-    for (const ptx::Instruction& ins : stage.kernel.blocks[bi].body) {
+    for (const ptx::Instruction& ins : kernel.blocks[bi].body) {
       const arch::OpCategory cat = ins.category();
       per_cat_warp[static_cast<std::size_t>(cat)] += freq;
       reg_traffic_warp += freq * (ins.reg_reads() + ins.reg_writes());

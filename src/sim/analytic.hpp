@@ -47,13 +47,34 @@ struct AnalyticResult {
   AnalyticBreakdown breakdown;
 };
 
+/// Everything the analytic model needs for one point: the (cacheable)
+/// kernel plus the point-specific launch geometry and block frequencies.
+/// Lets the hot path reuse a memoized lowering with rescaled
+/// frequencies instead of carrying a full per-point LoweredStage.
+struct StageInputs {
+  const ptx::Kernel* kernel = nullptr;
+  codegen::LaunchConfig launch;
+  std::uint32_t regs_per_thread = 0;
+  int coarsen = 1;
+  const double* block_freq = nullptr;  ///< one entry per kernel block
+
+  [[nodiscard]] static StageInputs of(const codegen::LoweredStage& stage) {
+    return StageInputs{&stage.kernel, stage.launch,
+                       stage.demand.regs_per_thread, stage.coarsen,
+                       stage.block_freq.data()};
+  }
+};
+
 class AnalyticModel {
  public:
   explicit AnalyticModel(const MachineModel& machine) : m_(machine) {}
 
   /// Estimate one stage. Throws ConfigError when occupancy is zero.
   [[nodiscard]] AnalyticResult run_stage(
-      const codegen::LoweredStage& stage) const;
+      const codegen::LoweredStage& stage) const {
+    return run_stage(StageInputs::of(stage));
+  }
+  [[nodiscard]] AnalyticResult run_stage(const StageInputs& in) const;
 
  private:
   const MachineModel& m_;

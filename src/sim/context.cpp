@@ -1,0 +1,161 @@
+#include "sim/context.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gpustatic::sim {
+
+/// RAII checkout of a pooled Scratch: acquired for one measure() call,
+/// returned to the pool on every exit path.
+class SimContext::ScratchLease {
+ public:
+  explicit ScratchLease(SimContext& ctx) : ctx_(ctx) {
+    const std::lock_guard<std::mutex> lock(ctx_.pool_mu_);
+    if (!ctx_.scratch_pool_.empty()) {
+      scratch_ = std::move(ctx_.scratch_pool_.back());
+      ctx_.scratch_pool_.pop_back();
+    } else {
+      scratch_ = std::make_unique<Scratch>();
+    }
+  }
+  ~ScratchLease() {
+    const std::lock_guard<std::mutex> lock(ctx_.pool_mu_);
+    ctx_.scratch_pool_.push_back(std::move(scratch_));
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  Scratch& operator*() { return *scratch_; }
+  Scratch* operator->() { return scratch_.get(); }
+
+ private:
+  SimContext& ctx_;
+  std::unique_ptr<Scratch> scratch_;
+};
+
+SimContext::SimContext(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+                       RunOptions opts)
+    : cache_(std::make_shared<codegen::CompilationCache>(std::move(workload),
+                                                         gpu)),
+      opts_(opts) {}
+
+SimContext::SimContext(std::shared_ptr<codegen::CompilationCache> cache,
+                       RunOptions opts)
+    : cache_(std::move(cache)), opts_(opts) {
+  if (!cache_) throw Error("SimContext: null compilation cache");
+}
+
+std::shared_ptr<SimContext::Plan> SimContext::plan_for(
+    const codegen::TuningParams& params) {
+  // lower() validates the full params and throws exactly like a fresh
+  // Compiler would; only successful lowerings reach the plan map.
+  std::shared_ptr<const codegen::LoweredWorkload> lowered =
+      cache_->lower(params);
+
+  const codegen::CodegenKey key = codegen::CodegenKey::of(params);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = plans_.find(key); it != plans_.end())
+      return it->second;
+  }
+  // Build the analyses outside the lock so concurrent first-touches of
+  // distinct keys proceed in parallel; a lost race on the same key just
+  // discards this copy (the analyses are deterministic).
+  auto plan = std::make_shared<Plan>();
+  plan->lowered = std::move(lowered);
+  if (opts_.engine == Engine::Warp) {
+    plan->cfgs.reserve(plan->lowered->stages.size());
+    plan->layouts.reserve(plan->lowered->stages.size());
+    for (const codegen::LoweredStage& stage : plan->lowered->stages) {
+      plan->cfgs.emplace_back(stage.kernel);
+      plan->layouts.emplace_back(stage.kernel);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  return plans_.emplace(key, std::move(plan)).first->second;
+}
+
+const MachineModel& SimContext::machine_for(int l1_pref_kb) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = machines_.find(l1_pref_kb);
+  if (it != machines_.end()) return it->second;
+  return machines_.emplace(l1_pref_kb, MachineModel::from(gpu(), l1_pref_kb))
+      .first->second;
+}
+
+Measurement SimContext::measure(const codegen::TuningParams& params) {
+  const std::shared_ptr<Plan> plan = plan_for(params);
+  const MachineModel& machine = machine_for(params.l1_pref_kb);
+
+  // Per-point launch geometry over the shared lowering: smem and domain
+  // never depend on the launch shape, TC/BC do.
+  const auto launch_at = [&](const codegen::LoweredStage& stage) {
+    codegen::LaunchConfig launch = stage.launch;
+    launch.grid_blocks = static_cast<std::uint32_t>(params.block_count);
+    launch.block_threads =
+        static_cast<std::uint32_t>(params.threads_per_block);
+    return launch;
+  };
+
+  // Mirrors run_impl() in runner.cpp step for step; the parity of the
+  // two paths is pinned by tests/sim/context_test.cpp.
+  Measurement m;
+  m.occupancy = 1.0;
+  m.regs_per_thread = plan->lowered->regs_per_thread();
+
+  ScratchLease scratch(*this);
+  try {
+    if (opts_.engine == Engine::Warp) {
+      if (scratch->memory == nullptr)
+        scratch->memory = std::make_unique<DeviceMemory>(workload());
+      else
+        scratch->memory->reset();
+      WarpSimulator simulator(machine);
+      for (std::size_t i = 0; i < plan->lowered->stages.size(); ++i) {
+        const codegen::LoweredStage& stage = plan->lowered->stages[i];
+        StagePlan sp;
+        sp.kernel = &stage.kernel;
+        sp.cfg = &plan->cfgs[i];
+        sp.layout = &plan->layouts[i];
+        sp.regs_per_thread = stage.demand.regs_per_thread;
+        sp.launch = launch_at(stage);
+        StageTiming t =
+            simulator.run_plan(sp, *scratch->memory, scratch->warp);
+        m.base_time_ms += t.time_ms;
+        m.counts += t.counts;
+        m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+        m.stage_timings.push_back(std::move(t));
+      }
+    } else {
+      AnalyticModel model(machine);
+      scratch->block_freq.resize(plan->lowered->stages.size());
+      for (std::size_t i = 0; i < plan->lowered->stages.size(); ++i) {
+        const codegen::LoweredStage& stage = plan->lowered->stages[i];
+        std::vector<double>& freq = scratch->block_freq[i];
+        codegen::block_freq_at(stage, params, freq);
+        StageInputs in;
+        in.kernel = &stage.kernel;
+        in.launch = launch_at(stage);
+        in.regs_per_thread = stage.demand.regs_per_thread;
+        in.coarsen = stage.coarsen;
+        in.block_freq = freq.data();
+        const AnalyticResult r = model.run_stage(in);
+        m.base_time_ms += r.time_ms;
+        m.counts += r.counts;
+        m.occupancy = std::min(m.occupancy, r.occ.occupancy);
+      }
+    }
+  } catch (const ConfigError& e) {
+    m.valid = false;
+    m.error = e.what();
+    m.base_time_ms = 0;
+    m.trial_time_ms = 0;
+    return m;
+  }
+  apply_measurement_protocol(m, opts_, params);
+  return m;
+}
+
+}  // namespace gpustatic::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+// SimContext: the compile-once, allocation-free evaluation pipeline for
+// one (workload, gpu, run-options) triple. Search strategies evaluate
+// thousands of points that differ only in a few parameters; a context
+// makes the per-point cost only what actually varies with the point:
+//
+//   * lowering is memoized in a shared codegen::CompilationCache (one
+//     compiler run per codegen key, not per point);
+//   * per-kernel CFGs and register layouts are built once per cached
+//     lowering and reused by every warp-simulator run;
+//   * MachineModels are memoized per L1 preference;
+//   * warp register files/scoreboards, SIMT stacks, tag caches, device
+//     memory, and block-frequency buffers live in pooled Scratch objects
+//     that are recycled across measurements (and across the threads of
+//     a parallel batch — measure() is thread-safe).
+//
+// Measurements are byte-identical to compiling and running each point
+// from scratch (sim::run_workload); the parity is pinned in tests.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "codegen/cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/warp_sim.hpp"
+
+namespace gpustatic::sim {
+
+class SimContext {
+ public:
+  SimContext(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+             RunOptions opts = {});
+  /// Share an existing compilation cache (its workload/gpu are used).
+  explicit SimContext(std::shared_ptr<codegen::CompilationCache> cache,
+                      RunOptions opts = {});
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  /// Measure one variant under the context's engine and trial protocol.
+  /// Identical in every field to
+  ///   run_workload(Compiler(gpu, params).compile(workload), ...)
+  /// including the error paths: throws ConfigError/Error exactly where
+  /// a fresh compile would, and returns an invalid Measurement when the
+  /// configuration cannot launch. Thread-safe.
+  [[nodiscard]] Measurement measure(const codegen::TuningParams& params);
+
+  [[nodiscard]] codegen::CompilationCache& compilation_cache() {
+    return *cache_;
+  }
+  [[nodiscard]] std::shared_ptr<codegen::CompilationCache>
+  compilation_cache_ptr() const {
+    return cache_;
+  }
+  [[nodiscard]] const dsl::WorkloadDesc& workload() const {
+    return cache_->workload();
+  }
+  [[nodiscard]] const arch::GpuSpec& gpu() const { return cache_->gpu(); }
+  [[nodiscard]] const RunOptions& options() const { return opts_; }
+
+ private:
+  /// Canonical lowering plus the per-kernel analyses the warp engine
+  /// needs, built once per codegen key.
+  struct Plan {
+    std::shared_ptr<const codegen::LoweredWorkload> lowered;
+    std::vector<ptx::Cfg> cfgs;        ///< per stage (warp engine only)
+    std::vector<RegLayout> layouts;    ///< per stage (warp engine only)
+  };
+  /// Reusable per-measurement state, pooled so concurrent measure()
+  /// calls never share and sequential calls never reallocate.
+  struct Scratch {
+    WarpScratch warp;
+    std::unique_ptr<DeviceMemory> memory;          ///< warp engine
+    std::vector<std::vector<double>> block_freq;   ///< analytic engine
+  };
+  class ScratchLease;
+
+  std::shared_ptr<Plan> plan_for(const codegen::TuningParams& params);
+  const MachineModel& machine_for(int l1_pref_kb);
+
+  std::shared_ptr<codegen::CompilationCache> cache_;
+  RunOptions opts_;
+  std::mutex mu_;  ///< guards plans_ and machines_
+  std::map<codegen::CodegenKey, std::shared_ptr<Plan>> plans_;
+  std::map<int, MachineModel> machines_;  ///< keyed by l1_pref_kb
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<Scratch>> scratch_pool_;
+};
+
+}  // namespace gpustatic::sim

@@ -35,13 +35,21 @@ void apply_protocol(Measurement& m, const RunOptions& opts,
         m.base_time_ms * (1.0 + opts.noise_stddev * rng.normal());
     m.repetitions.push_back(std::max(noisy, m.base_time_ms * 0.5));
   }
-  std::vector<double> sorted = m.repetitions;
-  std::sort(sorted.begin(), sorted.end());
+  if (m.repetitions.empty()) {
+    m.trial_time_ms = m.base_time_ms;
+    return;
+  }
+  // The protocol only needs the report_trial-th order statistic, so
+  // select it in place instead of sorting a copy (the selected value is
+  // identical to sorted[idx]; the buffer's order past that is
+  // unspecified, which Measurement documents).
   const int idx =
       std::clamp(opts.report_trial - 1, 0,
-                 static_cast<int>(sorted.size()) - 1);
-  m.trial_time_ms = sorted.empty() ? m.base_time_ms
-                                   : sorted[static_cast<std::size_t>(idx)];
+                 static_cast<int>(m.repetitions.size()) - 1);
+  const auto nth =
+      m.repetitions.begin() + static_cast<std::ptrdiff_t>(idx);
+  std::nth_element(m.repetitions.begin(), nth, m.repetitions.end());
+  m.trial_time_ms = *nth;
 }
 
 Measurement run_impl(const codegen::LoweredWorkload& lw,

@@ -34,6 +34,9 @@ struct Measurement {
   std::string error;            ///< reason when invalid
   double base_time_ms = 0;      ///< deterministic simulated time
   double trial_time_ms = 0;     ///< 5th of 10 noisy repetitions
+  /// The synthesized repetition times. Trial selection partitions this
+  /// buffer in place (std::nth_element), so after the protocol runs the
+  /// multiset of values is meaningful but their order is unspecified.
   std::vector<double> repetitions;
   Counts counts;                ///< summed over stages
   double occupancy = 0;         ///< min over stages

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -20,60 +19,42 @@ namespace {
 constexpr std::uint32_t kWarpSize = 32;
 constexpr std::uint32_t kFullMask = 0xffffffffu;
 
-/// Dense register ids across all classes of one kernel.
-struct RegLayout {
-  std::array<std::uint32_t, 5> base{};
-  std::uint32_t total = 0;
-
-  explicit RegLayout(const Kernel& k) {
-    std::uint32_t off = 0;
-    for (int s = 0; s < 5; ++s) {
-      base[s] = off;
-      off += k.max_reg_index(type_of_slot(s));
-    }
-    total = off;
-  }
-  static Type type_of_slot(int s) {
-    switch (s) {
-      case 0: return Type::Pred;
-      case 1: return Type::I32;
-      case 2: return Type::I64;
-      case 3: return Type::F32;
-      default: return Type::F64;
-    }
-  }
-  static int slot_of_type(Type t) {
-    switch (t) {
-      case Type::Pred: return 0;
-      case Type::I32: return 1;
-      case Type::I64: return 2;
-      case Type::F32: return 3;
-      default: return 4;
-    }
-  }
-  [[nodiscard]] std::uint32_t id(const Reg& r) const {
-    return base[slot_of_type(r.type)] + r.idx;
-  }
-};
-
 /// Direct-mapped cache tag model; addresses are device byte addresses.
+/// reset() re-initializes in place (the tag array's capacity is reused
+/// between runs), and power-of-two line/slot geometry is strength-
+/// reduced to shifts/masks — both divisions are exact for unsigned
+/// operands, so hit/miss behavior is unchanged.
 class TagCache {
  public:
-  TagCache(std::uint64_t bytes, std::uint32_t line)
-      : line_(line), tags_(std::max<std::uint64_t>(1, bytes / line),
-                           ~0ull) {}
+  void reset(std::uint64_t bytes, std::uint32_t line) {
+    line_ = line;
+    line_shift_ =
+        std::has_single_bit(line) ? std::countr_zero(line) : -1;
+    const auto slots =
+        static_cast<std::size_t>(std::max<std::uint64_t>(1, bytes / line));
+    slot_pow2_ = std::has_single_bit(slots);
+    slot_mask_ = slots - 1;
+    tags_.assign(slots, ~0ull);
+  }
 
   /// Returns true on hit; installs the line either way.
   bool access(std::uint64_t addr) {
-    const std::uint64_t line_id = addr / line_;
-    const std::size_t slot = line_id % tags_.size();
+    const std::uint64_t line_id =
+        line_shift_ >= 0 ? addr >> line_shift_ : addr / line_;
+    const std::size_t slot = slot_pow2_
+                                 ? static_cast<std::size_t>(line_id) &
+                                       slot_mask_
+                                 : line_id % tags_.size();
     const bool hit = tags_[slot] == line_id;
     tags_[slot] = line_id;
     return hit;
   }
 
  private:
-  std::uint32_t line_;
+  std::uint32_t line_ = 128;
+  int line_shift_ = 7;
+  bool slot_pow2_ = true;
+  std::size_t slot_mask_ = 0;
   std::vector<std::uint64_t> tags_;
 };
 
@@ -83,6 +64,9 @@ struct StackEntry {
   std::int32_t reconv = -1;  ///< block index where this entry rejoins
 };
 
+/// Register file and scoreboard live in the scratch arenas (one fixed-
+/// size slot per warp, carved at activation), so activating a warp
+/// recycles storage instead of allocating two vectors.
 struct Warp {
   std::uint32_t block = 0;       ///< block index within the grid
   std::uint32_t warp_in_block = 0;
@@ -92,42 +76,83 @@ struct Warp {
 
   double ready_at = 0;               ///< earliest next issue
   double last_issue = 0;
-  std::vector<double> reg_ready;     ///< scoreboard, per dense reg id
-  std::vector<std::uint64_t> regs;   ///< lane-major: reg*32 + lane
+  std::size_t ready_base = 0;  ///< scoreboard slot in ready_arena
+  std::size_t reg_base = 0;    ///< lane-major reg slot in reg_arena
 };
 
 }  // namespace
 
+struct WarpScratch::Impl {
+  TagCache l1, l2;
+  std::vector<std::uint64_t> param_values;
+  std::vector<std::uint32_t> blocks;
+  std::vector<std::uint32_t> block_warps_left;
+  std::vector<Warp> warps;        ///< slots reused; stacks keep capacity
+  std::size_t warps_used = 0;     ///< live prefix of `warps` this SM
+  std::vector<double> ready_arena;
+  std::vector<std::uint64_t> reg_arena;
+  std::vector<std::uint64_t> seg_keys;    ///< distinct lines, lane order
+  std::vector<std::uint64_t> seg_sorted;  ///< ascending replay order
+};
+
+WarpScratch::WarpScratch() : impl_(std::make_unique<Impl>()) {}
+WarpScratch::~WarpScratch() = default;
+WarpScratch::WarpScratch(WarpScratch&&) noexcept = default;
+WarpScratch& WarpScratch::operator=(WarpScratch&&) noexcept = default;
+
 StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
                                      DeviceMemory& mem, TraceSink* sink) {
-  const Kernel& k = stage.kernel;
+  const Cfg cfg(stage.kernel);
+  const RegLayout layout(stage.kernel);
+  WarpScratch scratch;
+  StagePlan plan;
+  plan.kernel = &stage.kernel;
+  plan.cfg = &cfg;
+  plan.layout = &layout;
+  plan.regs_per_thread = stage.demand.regs_per_thread;
+  plan.launch = stage.launch;
+  return run_plan(plan, mem, scratch, sink);
+}
+
+StageTiming WarpSimulator::run_plan(const StagePlan& plan, DeviceMemory& mem,
+                                    WarpScratch& scratch, TraceSink* sink) {
+  const Kernel& k = *plan.kernel;
+  const Cfg& cfg = *plan.cfg;
+  const RegLayout& layout = *plan.layout;
+  WarpScratch::Impl& s = *scratch.impl_;
   const arch::GpuSpec& gpu = *m_.gpu;
-  const std::uint32_t tc = stage.launch.block_threads;
-  const std::uint32_t bc = stage.launch.grid_blocks;
+  const std::uint32_t tc = plan.launch.block_threads;
+  const std::uint32_t bc = plan.launch.grid_blocks;
   if (tc % kWarpSize != 0)
     throw ConfigError("warp simulator requires TC to be a warp multiple");
 
   StageTiming out;
   out.occ = occupancy::calculate(
-      gpu, occupancy::KernelParams{tc, stage.demand.regs_per_thread,
-                                   stage.launch.smem_bytes});
+      gpu, occupancy::KernelParams{tc, plan.regs_per_thread,
+                                   plan.launch.smem_bytes});
   if (out.occ.active_blocks == 0)
     throw ConfigError("configuration cannot be resident on " + gpu.name);
 
-  const Cfg cfg(k);
-  const RegLayout layout(k);
   const std::uint32_t warps_per_block = tc / kWarpSize;
   const auto num_blocks = static_cast<std::uint32_t>(bc);
   const std::uint32_t num_sms = gpu.multiprocessors;
   const std::uint32_t busy_sms = std::min(num_sms, num_blocks);
 
+  const std::uint32_t line_bytes = m_.line_bytes;
+  const int line_shift = std::has_single_bit(line_bytes)
+                             ? std::countr_zero(line_bytes)
+                             : -1;
+  const auto line_of = [&](std::uint64_t addr) {
+    return line_shift >= 0 ? addr >> line_shift : addr / line_bytes;
+  };
+
   // Parameter values shared by every thread.
-  std::vector<std::uint64_t> param_values(k.params.size(), 0);
+  s.param_values.assign(k.params.size(), 0);
   for (std::size_t p = 0; p < k.params.size(); ++p) {
     if (k.params[p].is_pointer)
-      param_values[p] = mem.base(k.params[p].name);
+      s.param_values[p] = mem.base(k.params[p].name);
     else
-      param_values[p] = static_cast<std::uint64_t>(stage.launch.domain);
+      s.param_values[p] = static_cast<std::uint64_t>(plan.launch.domain);
   }
 
   // Per-SM DRAM bandwidth share.
@@ -136,60 +161,85 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
   const double l2_txn_cycles_sm =
       m_.l2_txn_cycles() * static_cast<double>(busy_sms);
 
-  TagCache l2(m_.l2_bytes, m_.line_bytes);  // shared across SMs
+  s.l2.reset(m_.l2_bytes, line_bytes);  // shared across SMs
 
   Counts totals;
   double gpu_cycles = 0;
 
   for (std::uint32_t sm = 0; sm < busy_sms; ++sm) {
     // Blocks of this SM.
-    std::vector<std::uint32_t> blocks;
+    s.blocks.clear();
     for (std::uint32_t b = sm; b < num_blocks; b += num_sms)
-      blocks.push_back(b);
-    if (blocks.empty()) continue;
+      s.blocks.push_back(b);
+    if (s.blocks.empty()) continue;
 
-    TagCache l1(m_.l1_bytes, m_.line_bytes);
+    s.l1.reset(m_.l1_bytes, line_bytes);
     std::array<double, arch::kNumOpCategories> pipe_free{};
     double sm_dram_free = 0;
     double sm_clock_end = 0;
 
-    std::vector<Warp> warps;
+    s.warps_used = 0;
     std::size_t next_block = 0;
-    std::vector<std::uint32_t> block_warps_left(blocks.size(), 0);
+    s.block_warps_left.assign(s.blocks.size(), 0);
+
+    const std::size_t ready_slot = layout.total;
+    const std::size_t reg_slot =
+        static_cast<std::size_t>(layout.total) * kWarpSize;
 
     auto activate_block = [&](double at) {
-      const std::uint32_t b = blocks[next_block];
-      block_warps_left[next_block] = warps_per_block;
+      const std::uint32_t b = s.blocks[next_block];
+      s.block_warps_left[next_block] = warps_per_block;
       for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-        Warp warp;
+        if (s.warps_used == s.warps.size()) s.warps.emplace_back();
+        Warp& warp = s.warps[s.warps_used];
         warp.block = b;
         warp.warp_in_block = w;
+        warp.stack.clear();
         warp.stack.push_back(
             StackEntry{0, kFullMask, static_cast<std::int32_t>(
                                          k.blocks.size())});
+        warp.cur = 0;
+        warp.done = false;
         warp.ready_at = at + m_.block_dispatch_overhead;
-        warp.reg_ready.assign(layout.total, 0.0);
-        warp.regs.assign(static_cast<std::size_t>(layout.total) * kWarpSize,
-                         0);
-        warps.push_back(std::move(warp));
+        warp.last_issue = 0;
+        warp.ready_base = s.warps_used * ready_slot;
+        warp.reg_base = s.warps_used * reg_slot;
+        if (s.ready_arena.size() < warp.ready_base + ready_slot)
+          s.ready_arena.resize(warp.ready_base + ready_slot);
+        if (s.reg_arena.size() < warp.reg_base + reg_slot)
+          s.reg_arena.resize(warp.reg_base + reg_slot);
+        std::fill_n(s.ready_arena.begin() +
+                        static_cast<std::ptrdiff_t>(warp.ready_base),
+                    ready_slot, 0.0);
+        std::fill_n(s.reg_arena.begin() +
+                        static_cast<std::ptrdiff_t>(warp.reg_base),
+                    reg_slot, std::uint64_t{0});
+        ++s.warps_used;
       }
       ++next_block;
     };
 
     const std::uint32_t max_resident =
         std::min<std::uint32_t>(out.occ.active_blocks,
-                                static_cast<std::uint32_t>(blocks.size()));
+                                static_cast<std::uint32_t>(
+                                    s.blocks.size()));
     for (std::uint32_t i = 0; i < max_resident; ++i) activate_block(0.0);
 
     // ---- helpers bound to this SM's state ------------------------------
+    auto ready_of = [&](const Warp& w, std::uint32_t id) -> double& {
+      return s.ready_arena[w.ready_base + id];
+    };
     auto reg_value = [&](const Warp& w, const Reg& r,
                          std::uint32_t lane) -> std::uint64_t {
-      return w.regs[static_cast<std::size_t>(layout.id(r)) * kWarpSize +
-                    lane];
+      return s.reg_arena[w.reg_base +
+                         static_cast<std::size_t>(layout.id(r)) * kWarpSize +
+                         lane];
     };
     auto set_reg = [&](Warp& w, const Reg& r, std::uint32_t lane,
                        std::uint64_t v) {
-      w.regs[static_cast<std::size_t>(layout.id(r)) * kWarpSize + lane] = v;
+      s.reg_arena[w.reg_base +
+                  static_cast<std::size_t>(layout.id(r)) * kWarpSize +
+                  lane] = v;
     };
 
     auto operand_i64 = [&](const Warp& w, const Operand& o,
@@ -216,7 +266,7 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
           return 0;
         }
         case Operand::Kind::Sym:
-          return static_cast<std::int64_t>(param_values[o.sym()]);
+          return static_cast<std::int64_t>(s.param_values[o.sym()]);
         default:
           throw Error("warp sim: bad integer operand");
       }
@@ -288,9 +338,9 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
 
     // ---- main issue loop ------------------------------------------------
     auto all_done = [&] {
-      if (next_block < blocks.size()) return false;
-      for (const Warp& w : warps)
-        if (!w.done) return false;
+      if (next_block < s.blocks.size()) return false;
+      for (std::size_t wi = 0; wi < s.warps_used; ++wi)
+        if (!s.warps[wi].done) return false;
       return true;
     };
 
@@ -298,16 +348,17 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
       // Pick the warp that can issue earliest.
       double best_t = std::numeric_limits<double>::infinity();
       std::size_t best_w = static_cast<std::size_t>(-1);
-      for (std::size_t wi = 0; wi < warps.size(); ++wi) {
-        Warp& w = warps[wi];
+      for (std::size_t wi = 0; wi < s.warps_used; ++wi) {
+        Warp& w = s.warps[wi];
         if (w.done) continue;
         const StackEntry& top = w.stack.back();
         const Instruction& ins = k.blocks[top.pc].body[w.cur];
         double t = w.ready_at;
         if (ins.guard)
-          t = std::max(t, w.reg_ready[layout.id(ins.guard->pred)]);
-        for (const Operand& s : ins.srcs)
-          if (s.is_reg()) t = std::max(t, w.reg_ready[layout.id(s.reg())]);
+          t = std::max(t, ready_of(w, layout.id(ins.guard->pred)));
+        for (const Operand& src : ins.srcs)
+          if (src.is_reg())
+            t = std::max(t, ready_of(w, layout.id(src.reg())));
         const auto cat = static_cast<std::size_t>(ins.category());
         t = std::max(t, pipe_free[cat]);
         if (t < best_t) {
@@ -318,7 +369,7 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
       if (best_w == static_cast<std::size_t>(-1))
         throw Error("warp sim: deadlock (no issuable warp)");
 
-      Warp& w = warps[best_w];
+      Warp& w = s.warps[best_w];
       StackEntry& top = w.stack.back();
       const Instruction& ins = k.blocks[top.pc].body[w.cur];
       const arch::OpCategory cat = ins.category();
@@ -375,6 +426,26 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
         emit_mem = true;
       }
 
+      // Distinct-line gathering shared by the LD/ST/ATOM handlers:
+      // seg_keys dedupes in lane order (which fixes the trace event's
+      // line order), seg_sorted replays the lines ascending — exactly
+      // the old per-instruction std::set's iteration order — without
+      // allocating.
+      auto gather_line = [&](std::uint64_t addr) -> bool {
+        const std::uint64_t line_id = line_of(addr);
+        if (std::find(s.seg_keys.begin(), s.seg_keys.end(), line_id) !=
+            s.seg_keys.end())
+          return false;
+        s.seg_keys.push_back(line_id);
+        if (emit_mem) mem_ev.lines.push_back(line_id);
+        return true;
+      };
+      auto sorted_lines = [&]() -> const std::vector<std::uint64_t>& {
+        s.seg_sorted.assign(s.seg_keys.begin(), s.seg_keys.end());
+        std::sort(s.seg_sorted.begin(), s.seg_sorted.end());
+        return s.seg_sorted;
+      };
+
       double dst_ready = t_issue + m_.result_latency(cat);
 
       switch (ins.op) {
@@ -382,7 +453,7 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
           if (ins.space == MemSpace::Param) {
             for (std::uint32_t lane = 0; lane < kWarpSize; ++lane)
               if (exec_mask >> lane & 1u) {
-                const std::uint64_t v = param_values[ins.srcs[0].sym()];
+                const std::uint64_t v = s.param_values[ins.srcs[0].sym()];
                 if (ins.dst->type == Type::I32)
                   set_reg(w, *ins.dst, lane, v & 0xffffffffu);
                 else
@@ -392,27 +463,26 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
             break;
           }
           // Gather segments and execute functionally.
-          std::set<std::uint64_t> segments;
+          s.seg_keys.clear();
           for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
             if (!(exec_mask >> lane & 1u)) continue;
             const std::uint64_t addr = static_cast<std::uint64_t>(
                 operand_i64(w, ins.srcs[0], lane) + ins.offset);
-            if (segments.insert(addr / m_.line_bytes).second && emit_mem)
-              mem_ev.lines.push_back(addr / m_.line_bytes);
+            gather_line(addr);
             const float v = mem.load(addr);
             std::uint32_t bits;
             std::memcpy(&bits, &v, sizeof(bits));
             set_reg(w, *ins.dst, lane, bits);
           }
           double data_ready = t_issue + m_.l1_latency;
-          for (const std::uint64_t seg : segments) {
-            const std::uint64_t addr = seg * m_.line_bytes;
-            if (l1.access(addr)) {  // L1 hit
+          for (const std::uint64_t seg : sorted_lines()) {
+            const std::uint64_t addr = seg * line_bytes;
+            if (s.l1.access(addr)) {  // L1 hit
               mem_ev.l1_hits += 1;
               continue;
             }
             totals.mem_transactions += 1;
-            if (l2.access(addr)) {
+            if (s.l2.access(addr)) {
               mem_ev.l2_hits += 1;
               sm_dram_free =
                   std::max(sm_dram_free, t_issue) + l2_txn_cycles_sm;
@@ -430,20 +500,20 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
           break;
         }
         case Opcode::ST: {
-          std::set<std::uint64_t> segments;
+          s.seg_keys.clear();
           for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
             if (!(exec_mask >> lane & 1u)) continue;
             const std::uint64_t addr = static_cast<std::uint64_t>(
                 operand_i64(w, ins.srcs[0], lane) + ins.offset);
-            if (segments.insert(addr / m_.line_bytes).second && emit_mem)
-              mem_ev.lines.push_back(addr / m_.line_bytes);
+            gather_line(addr);
             mem.store(addr, static_cast<float>(operand_f(w, ins.srcs[1],
                                                          lane)));
           }
           // Write-through traffic; does not block the warp.
-          totals.mem_transactions += static_cast<double>(segments.size());
-          for (const std::uint64_t seg : segments) {
-            if (l2.access(seg * m_.line_bytes)) {
+          totals.mem_transactions +=
+              static_cast<double>(s.seg_keys.size());
+          for (const std::uint64_t seg : sorted_lines()) {
+            if (s.l2.access(seg * line_bytes)) {
               mem_ev.l2_hits += 1;
             } else {
               mem_ev.dram += 1;
@@ -456,24 +526,24 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
         case Opcode::ATOM_ADD: {
           // Serialized per lane at the memory partition.
           std::uint32_t lanes = 0;
-          std::set<std::uint64_t> distinct;
+          s.seg_keys.clear();
           for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
             if (!(exec_mask >> lane & 1u)) continue;
             const std::uint64_t addr = static_cast<std::uint64_t>(
                 operand_i64(w, ins.srcs[0], lane) + ins.offset);
             mem.atomic_add(addr, static_cast<float>(
                                      operand_f(w, ins.srcs[1], lane)));
-            if (distinct.insert(addr / m_.line_bytes).second && emit_mem)
-              mem_ev.lines.push_back(addr / m_.line_bytes);
+            gather_line(addr);
             ++lanes;
           }
           // Each participating lane's update is serialized at the
           // memory partition.
           pipe_free[static_cast<std::size_t>(cat)] +=
               m_.atomic_conflict_cycles * static_cast<double>(lanes);
-          totals.mem_transactions += static_cast<double>(distinct.size());
-          for (const std::uint64_t seg : distinct) {
-            if (l2.access(seg * m_.line_bytes)) {
+          totals.mem_transactions +=
+              static_cast<double>(s.seg_keys.size());
+          for (const std::uint64_t seg : sorted_lines()) {
+            if (s.l2.access(seg * line_bytes)) {
               mem_ev.l2_hits += 1;
             } else {
               mem_ev.dram += 1;
@@ -611,7 +681,7 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
         }
       }
 
-      if (ins.dst) w.reg_ready[layout.id(*ins.dst)] = dst_ready;
+      if (ins.dst) ready_of(w, layout.id(*ins.dst)) = dst_ready;
 
       if (emit_mem && !mem_ev.lines.empty())
         sink->on_memory(mem_ev);
@@ -664,9 +734,7 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
         if (taken != 0 && not_taken != 0) {
           totals.divergent_branches += 1;
           const std::int32_t reconv = cfg.ipdom(top.pc);
-          const std::uint32_t parent_mask = top.mask;
           top.pc = reconv;
-          (void)parent_mask;
           w.stack.push_back(StackEntry{fallthrough, not_taken, reconv});
           w.stack.push_back(StackEntry{ins.target_block, taken, reconv});
           w.cur = 0;
@@ -714,9 +782,10 @@ StageTiming WarpSimulator::run_stage(const codegen::LoweredStage& stage,
       // ---- block retirement & admission --------------------------------
       if (w.done) {
         // Find this warp's block bookkeeping slot.
-        for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-          if (blocks[bi] != w.block) continue;
-          if (--block_warps_left[bi] == 0 && next_block < blocks.size()) {
+        for (std::size_t bi = 0; bi < s.blocks.size(); ++bi) {
+          if (s.blocks[bi] != w.block) continue;
+          if (--s.block_warps_left[bi] == 0 &&
+              next_block < s.blocks.size()) {
             activate_block(t_issue);
           }
           break;

@@ -23,10 +23,13 @@
 // approximation; see DESIGN.md §5.1); a final global-bandwidth bound is
 // applied across SMs.
 
+#include <array>
 #include <cstdint>
+#include <memory>
 
 #include "codegen/compiler.hpp"
 #include "occupancy/occupancy.hpp"
+#include "ptx/cfg.hpp"
 #include "sim/counts.hpp"
 #include "sim/device.hpp"
 #include "sim/machine.hpp"
@@ -41,6 +44,75 @@ struct StageTiming {
   occupancy::Result occ;
 };
 
+/// Dense register ids across all register classes of one kernel. Exposed
+/// (rather than private to the simulator) so SimContext can memoize one
+/// layout per cached kernel instead of rebuilding it for every point.
+struct RegLayout {
+  std::array<std::uint32_t, 5> base{};
+  std::uint32_t total = 0;
+
+  explicit RegLayout(const ptx::Kernel& k) {
+    std::uint32_t off = 0;
+    for (int s = 0; s < 5; ++s) {
+      base[s] = off;
+      off += k.max_reg_index(type_of_slot(s));
+    }
+    total = off;
+  }
+  static ptx::Type type_of_slot(int s) {
+    switch (s) {
+      case 0: return ptx::Type::Pred;
+      case 1: return ptx::Type::I32;
+      case 2: return ptx::Type::I64;
+      case 3: return ptx::Type::F32;
+      default: return ptx::Type::F64;
+    }
+  }
+  static int slot_of_type(ptx::Type t) {
+    switch (t) {
+      case ptx::Type::Pred: return 0;
+      case ptx::Type::I32: return 1;
+      case ptx::Type::I64: return 2;
+      case ptx::Type::F32: return 3;
+      default: return 4;
+    }
+  }
+  [[nodiscard]] std::uint32_t id(const ptx::Reg& r) const {
+    return base[slot_of_type(r.type)] + r.idx;
+  }
+};
+
+/// Everything one simulated launch needs that is not device memory: the
+/// kernel with its memoized analyses (shared across points) and the
+/// point-specific launch geometry. The kernel/cfg/layout pointees must
+/// outlive the run.
+struct StagePlan {
+  const ptx::Kernel* kernel = nullptr;
+  const ptx::Cfg* cfg = nullptr;
+  const RegLayout* layout = nullptr;
+  std::uint32_t regs_per_thread = 0;
+  codegen::LaunchConfig launch;
+};
+
+/// Reusable per-run simulation state: warp register files and
+/// scoreboards (recycled through arenas), SIMT stacks, tag-cache arrays
+/// (reset in place), and the coalescing scratch buffers. One scratch
+/// serves any number of sequential run_plan() calls; concurrent runs
+/// need one scratch each. Holding scratch across runs is what makes the
+/// warm evaluation path allocation-free in steady state.
+class WarpScratch {
+ public:
+  WarpScratch();
+  ~WarpScratch();
+  WarpScratch(WarpScratch&&) noexcept;
+  WarpScratch& operator=(WarpScratch&&) noexcept;
+
+ private:
+  friend class WarpSimulator;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class WarpSimulator {
  public:
   explicit WarpSimulator(const MachineModel& machine) : m_(machine) {}
@@ -50,8 +122,16 @@ class WarpSimulator {
   /// (occupancy zero: illegal register or smem footprint).
   /// A non-null `sink` observes every issue, branch, and global-memory
   /// operation (see sim/trace.hpp); tracing never changes execution.
+  /// Convenience form: builds the CFG, register layout, and scratch for
+  /// this one run. The hot path uses run_plan() with memoized analyses.
   StageTiming run_stage(const codegen::LoweredStage& stage,
                         DeviceMemory& mem, TraceSink* sink = nullptr);
+
+  /// As run_stage, with caller-owned (memoizable) analyses and reusable
+  /// scratch. Results are identical to run_stage for equal inputs,
+  /// regardless of what previous runs left in `scratch`.
+  StageTiming run_plan(const StagePlan& plan, DeviceMemory& mem,
+                       WarpScratch& scratch, TraceSink* sink = nullptr);
 
  private:
   const MachineModel& m_;

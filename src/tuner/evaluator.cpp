@@ -1,10 +1,8 @@
 #include "tuner/evaluator.hpp"
 
 #include "analysis/predictor.hpp"
-#include "codegen/compiler.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
-#include "sim/machine.hpp"
 
 namespace gpustatic::tuner {
 
@@ -18,12 +16,7 @@ std::vector<double> Evaluator::evaluate_batch(
 
 double SimEvaluator::evaluate(const codegen::TuningParams& params) {
   try {
-    const codegen::Compiler compiler(*gpu_, params);
-    const codegen::LoweredWorkload lw = compiler.compile(workload_);
-    const sim::MachineModel machine =
-        sim::MachineModel::from(*gpu_, params.l1_pref_kb);
-    const sim::Measurement m =
-        sim::run_workload(lw, workload_, machine, run_opts_);
+    const sim::Measurement m = ctx_->measure(params);
     return m.valid ? m.trial_time_ms : kInvalid;
   } catch (const gpustatic::Error&) {
     return kInvalid;
@@ -32,6 +25,9 @@ double SimEvaluator::evaluate(const codegen::TuningParams& params) {
 
 std::vector<double> SimEvaluator::evaluate_batch(
     const std::vector<codegen::TuningParams>& batch) {
+  // A one-point batch through the pool is pure overhead (queue, wake,
+  // join) — the common case for per-point strategies on small machines.
+  if (batch.size() == 1) return {evaluate(batch.front())};
   std::vector<double> out(batch.size());
   // evaluate() absorbs gpustatic::Error into kInvalid; anything else
   // (bad_alloc, logic errors) is rethrown by the pool after the batch
@@ -43,9 +39,18 @@ std::vector<double> SimEvaluator::evaluate_batch(
 
 double AnalyticEvaluator::evaluate(const codegen::TuningParams& params) {
   try {
-    const codegen::Compiler compiler(*gpu_, params);
-    return analysis::predicted_cost(compiler.compile(workload_),
-                                    gpu_->family);
+    // lower() re-validates TC/BC per point, so key-mates of a scored
+    // variant still reject out-of-range launch shapes.
+    const std::shared_ptr<const codegen::LoweredWorkload> lowered =
+        cache_->lower(params);
+    const codegen::CodegenKey key = codegen::CodegenKey::of(params);
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cost_by_key_.find(key);
+    if (it != cost_by_key_.end()) return it->second;
+    const double cost =
+        analysis::predicted_cost(*lowered, cache_->gpu().family);
+    cost_by_key_.emplace(key, cost);
+    return cost;
   } catch (const gpustatic::Error&) {
     return kInvalid;
   }

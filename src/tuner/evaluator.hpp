@@ -14,12 +14,17 @@
 
 #include <functional>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "arch/gpu_spec.hpp"
+#include "codegen/cache.hpp"
 #include "codegen/params.hpp"
 #include "dsl/ast.hpp"
+#include "sim/context.hpp"
 #include "sim/runner.hpp"
 
 namespace gpustatic::tuner {
@@ -64,43 +69,63 @@ class FunctionEvaluator final : public Evaluator {
   Objective fn_;
 };
 
-/// Simulator backend: compiles each variant and measures it with the
-/// configured engine (warp simulator or analytic timing model) under the
-/// paper's Sec. IV-A trial protocol. This is the behavior of the old
-/// make_objective(), now with a parallel batch path.
+/// Simulator backend: measures each variant with the configured engine
+/// (warp simulator or analytic timing model) under the paper's Sec. IV-A
+/// trial protocol. Built on a sim::SimContext, so one evaluator serving
+/// a whole search compiles each codegen key once, reuses per-kernel
+/// analyses, and recycles all simulation scratch — measurements stay
+/// byte-identical to compiling every point from scratch.
 class SimEvaluator final : public Evaluator {
  public:
   SimEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
                sim::RunOptions run_opts = {})
-      : workload_(std::move(workload)), gpu_(&gpu), run_opts_(run_opts) {}
+      : ctx_(std::make_shared<sim::SimContext>(std::move(workload), gpu,
+                                               run_opts)) {}
+  /// Build over an existing context (shares its compilation cache).
+  explicit SimEvaluator(std::shared_ptr<sim::SimContext> context)
+      : ctx_(std::move(context)) {}
 
   [[nodiscard]] std::string name() const override { return "sim"; }
   double evaluate(const codegen::TuningParams& params) override;
   /// Fans the batch out over hardware threads; per-variant results are
   /// deterministic and ordered by index regardless of scheduling.
+  /// Single-element batches run inline — no pool round trip.
   std::vector<double> evaluate_batch(
       const std::vector<codegen::TuningParams>& batch) override;
 
+  /// The pipeline object behind this evaluator (compilation cache,
+  /// memoized analyses, scratch pools).
+  [[nodiscard]] sim::SimContext& context() { return *ctx_; }
+
  private:
-  dsl::WorkloadDesc workload_;
-  const arch::GpuSpec* gpu_;
-  sim::RunOptions run_opts_;
+  std::shared_ptr<sim::SimContext> ctx_;
 };
 
 /// Zero-run backend: compiles each variant and scores it with the Eq. 6
 /// static cost model. Scores are relative (not ms), which is exactly
 /// what a search needs — the paper's "without executing them" regime.
+/// Lowering goes through a CompilationCache (shareable with a
+/// SimEvaluator's context), and scores are memoized per codegen key —
+/// Eq. 6 never looks at the launch shape, so key-mates score equal by
+/// construction.
 class AnalyticEvaluator final : public Evaluator {
  public:
   AnalyticEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu)
-      : workload_(std::move(workload)), gpu_(&gpu) {}
+      : cache_(std::make_shared<codegen::CompilationCache>(
+            std::move(workload), gpu)) {}
+  /// Share a compilation cache (e.g. a SimEvaluator context's), so the
+  /// two backends never lower the same key twice between them.
+  explicit AnalyticEvaluator(
+      std::shared_ptr<codegen::CompilationCache> cache)
+      : cache_(std::move(cache)) {}
 
   [[nodiscard]] std::string name() const override { return "analytic"; }
   double evaluate(const codegen::TuningParams& params) override;
 
  private:
-  dsl::WorkloadDesc workload_;
-  const arch::GpuSpec* gpu_;
+  std::shared_ptr<codegen::CompilationCache> cache_;
+  std::mutex mu_;
+  std::map<codegen::CodegenKey, double> cost_by_key_;
 };
 
 }  // namespace gpustatic::tuner

@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "analysis/predictor.hpp"
-#include "codegen/compiler.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -13,16 +12,17 @@ namespace gpustatic::tuner {
 
 namespace {
 
-/// Eq. 6 score of the job's best variant (compile only, no run);
-/// kInvalid when the variant does not compile or no best exists.
+/// Eq. 6 score of the job's best variant (a lowering-cache lookup after
+/// the search — no fresh compile in practice); kInvalid when the
+/// variant does not compile or no best exists.
 double best_predicted_cost(const FleetJob& job,
-                           const StrategyResult& outcome) {
+                           const StrategyResult& outcome,
+                           codegen::CompilationCache& compile_cache) {
   if (outcome.search.best_time == kInvalid) return kInvalid;
   try {
-    const codegen::Compiler compiler(*job.gpu,
-                                     outcome.search.best_params);
-    return analysis::predicted_cost(compiler.compile(job.workload),
-                                    job.gpu->family);
+    return analysis::predicted_cost(
+        *compile_cache.lower(outcome.search.best_params),
+        job.gpu->family);
   } catch (const Error&) {
     return kInvalid;
   }
@@ -55,6 +55,7 @@ void run_job(const FleetJob& job, const TuningStore& store,
   ctx.hybrid = opts.hybrid;
   ctx.gpu = job.gpu;
   ctx.workload = &job.workload;
+  ctx.compile_cache = &sim.context().compilation_cache();
   StaticPruneResult prune_storage;
   bool prune_done = false;
   ctx.prune = [&]() -> const StaticPruneResult& {
@@ -67,7 +68,9 @@ void run_job(const FleetJob& job, const TuningStore& store,
   report.outcome = strategy->run(ctx);
   report.fresh_evaluations = cache.fresh_evaluations();
   report.warm_hits = cache.total_calls() - cache.fresh_evaluations();
-  report.predicted_cost = best_predicted_cost(job, report.outcome);
+  report.predicted_cost =
+      best_predicted_cost(job, report.outcome,
+                          sim.context().compilation_cache());
 
   // Harvest in flat-index order: the memo iterates unordered, and a
   // deterministic store file needs a deterministic record order.

@@ -1,9 +1,10 @@
 #include "tuner/hybrid.hpp"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 
 #include "analysis/predictor.hpp"
-#include "codegen/compiler.hpp"
 #include "common/error.hpp"
 
 namespace gpustatic::tuner {
@@ -12,23 +13,41 @@ HybridResult hybrid_search(const ParamSpace& space,
                            const arch::GpuSpec& gpu,
                            const dsl::WorkloadDesc& workload,
                            Evaluator& evaluator,
-                           const HybridOptions& opts) {
+                           const HybridOptions& opts,
+                           codegen::CompilationCache* compile_cache) {
   HybridResult r;
   r.prune = static_prune(space, gpu, workload, opts.baseline);
   const ParamSpace& pruned =
       opts.use_rule ? r.prune.rule_space : r.prune.static_space;
 
-  // Stage 1 (static, zero runs): compile every survivor and rank by the
-  // Eq. 6 prediction.
+  // Stage 1 (static, zero runs): rank every survivor by the Eq. 6
+  // prediction. Lowering is memoized per codegen key — Eq. 6 never sees
+  // the launch shape, so key-mates score identically and the whole
+  // pruned space costs |UIF| x |SC| x |CFLAGS| compiles, not one per
+  // variant. Per-variant validation still rejects exactly what a fresh
+  // Compiler constructor would.
+  std::optional<codegen::CompilationCache> local_cache;
+  if (compile_cache == nullptr) {
+    local_cache.emplace(workload, gpu);
+    compile_cache = &*local_cache;
+  }
+  std::map<codegen::CodegenKey, double> cost_by_key;
   r.shortlist.reserve(pruned.size());
   for (std::size_t i = 0; i < pruned.size(); ++i) {
     RankedVariant v;
     v.flat_index = i;
     v.params = pruned.to_params(pruned.point_at(i));
     try {
-      const codegen::Compiler compiler(gpu, v.params);
-      v.predicted_cost =
-          analysis::predicted_cost(compiler.compile(workload), gpu.family);
+      const codegen::CodegenKey key = codegen::CodegenKey::of(v.params);
+      const auto it = cost_by_key.find(key);
+      if (it != cost_by_key.end()) {
+        codegen::validate_params(gpu, v.params);  // still per variant
+        v.predicted_cost = it->second;
+      } else {
+        v.predicted_cost = analysis::predicted_cost(
+            *compile_cache->lower(v.params), gpu.family);
+        cost_by_key.emplace(key, v.predicted_cost);
+      }
     } catch (const ConfigError&) {
       continue;  // not compilable on this GPU: not a candidate
     }

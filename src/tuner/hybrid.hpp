@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "arch/gpu_spec.hpp"
+#include "codegen/cache.hpp"
 #include "dsl/ast.hpp"
 #include "tuner/search.hpp"
 #include "tuner/space.hpp"
@@ -71,11 +72,16 @@ struct HybridResult {
 /// shortlist; the ranking tie-breaks on flat index and the measurement
 /// tie-breaks first-wins in shortlist order, so results are deterministic
 /// and identical to measuring the shortlist one variant at a time.
-[[nodiscard]] HybridResult hybrid_search(const ParamSpace& space,
-                                         const arch::GpuSpec& gpu,
-                                         const dsl::WorkloadDesc& workload,
-                                         Evaluator& evaluator,
-                                         const HybridOptions& opts = {});
+///
+/// The ranking stage lowers each variant at most once per codegen key
+/// through `compile_cache` (e.g. a TuningSession's shared cache); when
+/// none is supplied a call-local cache is used, so the stage never
+/// compiles the same instruction stream twice either way.
+[[nodiscard]] HybridResult hybrid_search(
+    const ParamSpace& space, const arch::GpuSpec& gpu,
+    const dsl::WorkloadDesc& workload, Evaluator& evaluator,
+    const HybridOptions& opts = {},
+    codegen::CompilationCache* compile_cache = nullptr);
 
 /// Objective convenience overload (wraps an owned FunctionEvaluator).
 [[nodiscard]] HybridResult hybrid_search(const ParamSpace& space,

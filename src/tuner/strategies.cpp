@@ -107,7 +107,7 @@ class HybridStrategy final : public Strategy {
     // or memoizing evaluator keeps those properties here.
     const HybridResult h = hybrid_search(*ctx.space, *ctx.gpu,
                                          *ctx.workload, *ctx.evaluator,
-                                         ctx.hybrid);
+                                         ctx.hybrid, ctx.compile_cache);
     StrategyResult r;
     r.method = "hybrid";
     r.search.strategy = "hybrid";

@@ -27,7 +27,10 @@ namespace gpustatic::tuner {
 /// mandatory; `gpu`/`workload` are required by model-guided strategies
 /// (static, rule, hybrid), which throw Error when they are missing.
 /// `prune` optionally shares a caller-cached static-prune result so
-/// several model-guided runs over one workload analyze it once.
+/// several model-guided runs over one workload analyze it once, and
+/// `compile_cache` shares the session's lowering memo so model-guided
+/// stages (hybrid's Eq. 6 ranking) never recompile what the evaluator
+/// already lowered.
 struct StrategyContext {
   const ParamSpace* space = nullptr;
   Evaluator* evaluator = nullptr;
@@ -36,6 +39,7 @@ struct StrategyContext {
   const arch::GpuSpec* gpu = nullptr;
   const dsl::WorkloadDesc* workload = nullptr;
   std::function<const StaticPruneResult&()> prune;
+  codegen::CompilationCache* compile_cache = nullptr;
 };
 
 /// Uniform outcome of one strategy run, with enough bookkeeping to

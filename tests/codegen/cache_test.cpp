@@ -1,0 +1,136 @@
+#include "codegen/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "ptx/printer.hpp"
+#include "tuner/space.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace kernels = gpustatic::kernels;
+namespace ptx = gpustatic::ptx;
+namespace tuner = gpustatic::tuner;
+
+namespace {
+
+/// Field-by-field equality of a cached-then-retargeted compile against a
+/// fresh Compiler run, including bitwise block frequencies — the
+/// byte-identity the whole hot path rests on.
+void expect_identical(const codegen::LoweredWorkload& cached,
+                      const codegen::LoweredWorkload& fresh) {
+  EXPECT_EQ(cached.name, fresh.name);
+  EXPECT_EQ(cached.params, fresh.params);
+  ASSERT_EQ(cached.stages.size(), fresh.stages.size());
+  for (std::size_t i = 0; i < cached.stages.size(); ++i) {
+    const codegen::LoweredStage& a = cached.stages[i];
+    const codegen::LoweredStage& b = fresh.stages[i];
+    EXPECT_EQ(ptx::to_string(a.kernel), ptx::to_string(b.kernel));
+    EXPECT_EQ(a.launch.grid_blocks, b.launch.grid_blocks);
+    EXPECT_EQ(a.launch.block_threads, b.launch.block_threads);
+    EXPECT_EQ(a.launch.smem_bytes, b.launch.smem_bytes);
+    EXPECT_EQ(a.launch.domain, b.launch.domain);
+    EXPECT_EQ(a.coarsen, b.coarsen);
+    EXPECT_EQ(a.demand.regs_per_thread, b.demand.regs_per_thread);
+    EXPECT_EQ(a.param_arrays, b.param_arrays);
+    // Bitwise: operator== on doubles, element by element.
+    EXPECT_EQ(a.block_freq, b.block_freq);
+  }
+}
+
+}  // namespace
+
+TEST(CompilationCache, LaunchShapeOnlyChangesNeverRecompile) {
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  codegen::CompilationCache cache(kernels::make_workload("atax", 64), gpu);
+
+  codegen::TuningParams p;
+  p.unroll = 2;
+  std::size_t lookups = 0;
+  for (const int tc : {32, 128, 512, 1024})
+    for (const int bc : {24, 96, 192})
+      for (const int pl : {16, 48}) {
+        p.threads_per_block = tc;
+        p.block_count = bc;
+        p.l1_pref_kb = pl;
+        (void)cache.lower(p);
+        ++lookups;
+      }
+  const codegen::CompileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, lookups - 1);
+}
+
+TEST(CompilationCache, DistinctCodegenKeysCompileSeparately) {
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  codegen::CompilationCache cache(kernels::make_workload("bicg", 64), gpu);
+
+  codegen::TuningParams p;
+  for (const int uif : {1, 2, 3})
+    for (const bool fm : {false, true}) {
+      p.unroll = uif;
+      p.fast_math = fm;
+      (void)cache.lower(p);
+      (void)cache.lower(p);  // immediate repeat is a hit
+    }
+  const codegen::CompileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.hits, 6u);
+}
+
+TEST(CompilationCache, CompileMatchesFreshCompilerExactly) {
+  const arch::GpuSpec& gpu = arch::gpu("M2050");
+  const auto workload = kernels::make_workload("ex14fj", 16);
+  codegen::CompilationCache cache(workload, gpu);
+
+  // A spread of points per key, including launch shapes the canonical
+  // (first-seen) compile did NOT use — the retarget path must still be
+  // bit-identical, frequencies included.
+  const tuner::ParamSpace space = tuner::table3_space();
+  for (std::size_t flat = 0; flat < space.size(); flat += 131) {
+    const codegen::TuningParams p = space.to_params(space.point_at(flat));
+    const codegen::LoweredWorkload cached = cache.compile(p);
+    const codegen::LoweredWorkload fresh =
+        codegen::Compiler(gpu, p).compile(workload);
+    expect_identical(cached, fresh);
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(CompilationCache, ValidationFailuresThrowPerPoint) {
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  codegen::CompilationCache cache(kernels::make_workload("atax", 32), gpu);
+
+  codegen::TuningParams good;
+  (void)cache.lower(good);
+  const codegen::CompileCacheStats before = cache.stats();
+
+  // Same codegen key, out-of-range launch: must throw without touching
+  // the compiler (TC/BC are validated on every lookup).
+  codegen::TuningParams bad = good;
+  bad.threads_per_block = 4096;
+  EXPECT_THROW((void)cache.lower(bad), gpustatic::ConfigError);
+  bad = good;
+  bad.block_count = 0;
+  EXPECT_THROW((void)cache.lower(bad), gpustatic::ConfigError);
+  const codegen::CompileCacheStats after = cache.stats();
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(CompilationCache, BlockFreqModelCoversEveryBlock) {
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  codegen::CompilationCache cache(kernels::make_workload("matvec2d", 64),
+                                  gpu);
+  codegen::TuningParams p;
+  const auto lowered = cache.lower(p);
+  for (const codegen::LoweredStage& stage : lowered->stages) {
+    ASSERT_EQ(stage.freq_model.size(), stage.block_freq.size());
+    // The recorded model must reproduce the compile's own frequencies
+    // exactly at the compile's own launch shape.
+    std::vector<double> rescaled;
+    codegen::block_freq_at(stage, p, rescaled);
+    EXPECT_EQ(rescaled, stage.block_freq);
+  }
+}

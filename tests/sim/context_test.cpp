@@ -1,0 +1,160 @@
+#include "sim/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/runner.hpp"
+#include "tuner/space.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace dsl = gpustatic::dsl;
+namespace kernels = gpustatic::kernels;
+namespace sim = gpustatic::sim;
+namespace tuner = gpustatic::tuner;
+
+namespace {
+
+/// The pre-cache world: compile the point from scratch and run it. This
+/// is exactly what SimEvaluator::evaluate did before SimContext; the
+/// context must reproduce every field of it bit for bit.
+sim::Measurement fresh_measure(const dsl::WorkloadDesc& wl,
+                               const arch::GpuSpec& gpu,
+                               const codegen::TuningParams& p,
+                               const sim::RunOptions& opts) {
+  const codegen::Compiler compiler(gpu, p);
+  const codegen::LoweredWorkload lw = compiler.compile(wl);
+  const sim::MachineModel machine =
+      sim::MachineModel::from(gpu, p.l1_pref_kb);
+  return sim::run_workload(lw, wl, machine, opts);
+}
+
+void expect_identical(const sim::Measurement& a, const sim::Measurement& b) {
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.base_time_ms, b.base_time_ms);  // bitwise, not NEAR
+  EXPECT_EQ(a.trial_time_ms, b.trial_time_ms);
+  EXPECT_EQ(a.repetitions, b.repetitions);
+  EXPECT_EQ(a.occupancy, b.occupancy);
+  EXPECT_EQ(a.regs_per_thread, b.regs_per_thread);
+  EXPECT_EQ(a.counts.per_category, b.counts.per_category);
+  EXPECT_EQ(a.counts.reg_traffic, b.counts.reg_traffic);
+  EXPECT_EQ(a.counts.branches, b.counts.branches);
+  EXPECT_EQ(a.counts.divergent_branches, b.counts.divergent_branches);
+  EXPECT_EQ(a.counts.partial_issues, b.counts.partial_issues);
+  EXPECT_EQ(a.counts.total_issues, b.counts.total_issues);
+  EXPECT_EQ(a.counts.mem_transactions, b.counts.mem_transactions);
+  EXPECT_EQ(a.counts.dram_transactions, b.counts.dram_transactions);
+  ASSERT_EQ(a.stage_timings.size(), b.stage_timings.size());
+  for (std::size_t i = 0; i < a.stage_timings.size(); ++i) {
+    EXPECT_EQ(a.stage_timings[i].cycles, b.stage_timings[i].cycles);
+    EXPECT_EQ(a.stage_timings[i].time_ms, b.stage_timings[i].time_ms);
+  }
+}
+
+std::vector<codegen::TuningParams> sample_points(std::size_t stride) {
+  const tuner::ParamSpace space = tuner::paper_space();
+  std::vector<codegen::TuningParams> pts;
+  for (std::size_t flat = 0; flat < space.size(); flat += stride)
+    pts.push_back(space.to_params(space.point_at(flat)));
+  return pts;
+}
+
+}  // namespace
+
+TEST(SimContext, AnalyticMeasurementsMatchFreshCompilePath) {
+  const auto wl = kernels::make_workload("atax", 128);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const sim::RunOptions opts;  // analytic engine
+  sim::SimContext ctx(wl, gpu, opts);
+
+  // Strided sweep: many launch shapes per codegen key, evaluated through
+  // warm (dirty) scratch — every field must still match a fresh compile.
+  for (const codegen::TuningParams& p : sample_points(97))
+    expect_identical(ctx.measure(p), fresh_measure(wl, gpu, p, opts));
+  EXPECT_GT(ctx.compilation_cache().stats().hits, 0u);
+}
+
+TEST(SimContext, WarpMeasurementsMatchFreshCompilePath) {
+  const auto wl = kernels::make_workload("bicg", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  sim::RunOptions opts;
+  opts.engine = sim::Engine::Warp;
+  sim::SimContext ctx(wl, gpu, opts);
+
+  // Includes repeats (dirty device memory + warp arenas) and key-mates
+  // with different launch shapes.
+  std::vector<codegen::TuningParams> pts;
+  for (const int tc : {32, 128, 256}) {
+    for (const int uif : {1, 2}) {
+      codegen::TuningParams p;
+      p.threads_per_block = tc;
+      p.unroll = uif;
+      pts.push_back(p);
+    }
+  }
+  pts.push_back(pts.front());  // revisit after the scratch went dirty
+  for (const codegen::TuningParams& p : pts)
+    expect_identical(ctx.measure(p), fresh_measure(wl, gpu, p, opts));
+}
+
+TEST(SimContext, DivergentKernelMatchesThroughReusedScratch) {
+  // The divergence stressor exercises the SIMT stack + coalescing
+  // scratch paths hardest; run it twice through one context.
+  const auto wl = kernels::make_workload("divergent", 64);
+  const arch::GpuSpec& gpu = arch::gpu("M2050");
+  sim::RunOptions opts;
+  opts.engine = sim::Engine::Warp;
+  sim::SimContext ctx(wl, gpu, opts);
+  codegen::TuningParams p;
+  p.threads_per_block = 64;
+  p.l1_pref_kb = 48;  // 48KB/128B = 384 slots: non-power-of-two mod path
+  const sim::Measurement first = ctx.measure(p);
+  const sim::Measurement second = ctx.measure(p);
+  expect_identical(first, second);
+  expect_identical(first, fresh_measure(wl, gpu, p, opts));
+}
+
+TEST(SimContext, InvalidConfigurationsMatchFreshPath) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const arch::GpuSpec& gpu = arch::gpu("M2050");
+  sim::RunOptions opts;
+  opts.engine = sim::Engine::Warp;
+  sim::SimContext ctx(wl, gpu, opts);
+
+  // Unlaunchable on Fermi (register footprint): invalid, not a throw.
+  codegen::TuningParams heavy;
+  heavy.threads_per_block = 1024;
+  heavy.unroll = 6;
+  heavy.fast_math = true;
+  const sim::Measurement cached = ctx.measure(heavy);
+  const sim::Measurement fresh = fresh_measure(wl, gpu, heavy, opts);
+  EXPECT_EQ(cached.valid, fresh.valid);
+  EXPECT_EQ(cached.error, fresh.error);
+  EXPECT_EQ(cached.trial_time_ms, fresh.trial_time_ms);
+
+  // Out-of-range params throw ConfigError exactly like Compiler's ctor.
+  codegen::TuningParams bad;
+  bad.threads_per_block = 4096;
+  EXPECT_THROW((void)ctx.measure(bad), gpustatic::ConfigError);
+}
+
+TEST(SimContext, MachineModelsMemoizedPerL1Preference) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  sim::SimContext ctx(wl, gpu, {});
+  codegen::TuningParams p16, p48;
+  p16.l1_pref_kb = 16;
+  p48.l1_pref_kb = 48;
+  // PL selects a different L1 geometry on Kepler; both must flow through
+  // (and only lowering is shared — zero extra compiles for the PL flip).
+  (void)ctx.measure(p48);
+  const auto before = ctx.compilation_cache().stats();
+  (void)ctx.measure(p16);
+  const auto after = ctx.compilation_cache().stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}

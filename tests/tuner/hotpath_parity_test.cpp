@@ -1,0 +1,196 @@
+// Byte-identity of the compile-once hot path against the pre-cache
+// world: every strategy must pick the same best point, at the same best
+// time, with the same evaluation accounting, whether variants are
+// measured through a TuningSession's SimContext-backed evaluator (one
+// pipeline, memoized lowering, recycled scratch) or through an objective
+// that compiles and runs each point from scratch.
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "core/session.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/runner.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/search.hpp"
+#include "tuner/strategy.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace core = gpustatic::core;
+namespace dsl = gpustatic::dsl;
+namespace kernels = gpustatic::kernels;
+namespace sim = gpustatic::sim;
+namespace tuner = gpustatic::tuner;
+
+namespace {
+
+/// The pre-SimContext SimEvaluator::evaluate body, verbatim: fresh
+/// compile, fresh machine model, one run. The reference the cached path
+/// is pinned against.
+tuner::Objective fresh_objective(const dsl::WorkloadDesc& wl,
+                                 const arch::GpuSpec& gpu,
+                                 sim::RunOptions opts = {}) {
+  return [&wl, &gpu, opts](const codegen::TuningParams& p) -> double {
+    try {
+      const codegen::Compiler compiler(gpu, p);
+      const codegen::LoweredWorkload lw = compiler.compile(wl);
+      const sim::MachineModel machine =
+          sim::MachineModel::from(gpu, p.l1_pref_kb);
+      const sim::Measurement m = sim::run_workload(lw, wl, machine, opts);
+      return m.valid ? m.trial_time_ms : tuner::kInvalid;
+    } catch (const gpustatic::Error&) {
+      return tuner::kInvalid;
+    }
+  };
+}
+
+/// A space small enough to exhaust but with every dimension populated.
+tuner::ParamSpace test_space() {
+  return tuner::paper_space()
+      .restrict("TC", {64, 128, 256, 512})
+      .restrict("BC", {24, 96});
+}
+
+}  // namespace
+
+TEST(HotpathParity, AllStrategiesMatchFreshCompileSearch) {
+  const auto workload = kernels::make_workload("atax", 128);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const tuner::ParamSpace space = test_space();
+
+  tuner::SearchOptions options;
+  options.budget = 60;
+  options.seed = 2024;
+  tuner::HybridOptions hybrid;
+  hybrid.empirical_budget = 12;
+
+  for (const std::string& method :
+       tuner::StrategyRegistry::instance().names()) {
+    SCOPED_TRACE(method);
+
+    // Cached path: a fresh session per method (persistent SimContext +
+    // CachingEvaluator memo, exactly what production drivers use).
+    core::TuningSession session(workload, gpu, space);
+    core::TuningRequest request(method, options);
+    request.hybrid = hybrid;
+    const core::TuningOutcome cached = session.tune(request);
+
+    // Reference path: same strategy, same seeds, but every variant is
+    // compiled and simulated from scratch.
+    const tuner::Objective reference = fresh_objective(workload, gpu);
+    tuner::CachingEvaluator memo(space, reference);
+    tuner::StrategyContext ctx;
+    ctx.space = &space;
+    ctx.evaluator = &memo;
+    ctx.options = options;
+    ctx.hybrid = hybrid;
+    ctx.gpu = &gpu;
+    ctx.workload = &workload;
+    const tuner::StrategyResult fresh =
+        tuner::StrategyRegistry::instance().create(method)->run(ctx);
+
+    EXPECT_EQ(cached.search.best_params, fresh.search.best_params);
+    EXPECT_EQ(cached.search.best_time, fresh.search.best_time);  // bitwise
+    EXPECT_EQ(cached.search.distinct_evaluations,
+              fresh.search.distinct_evaluations);
+    EXPECT_EQ(cached.space_size, fresh.space_size);
+    EXPECT_EQ(cached.full_space_size, fresh.full_space_size);
+  }
+}
+
+TEST(HotpathParity, WarpEngineStrategyMatchesFreshCompileSearch) {
+  // The warp engine is where the scratch/arena refactor lives; pin one
+  // stochastic strategy end to end on it.
+  const auto workload = kernels::make_workload("bicg", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const tuner::ParamSpace space =
+      tuner::paper_space()
+          .restrict("TC", {64, 256})
+          .restrict("BC", {24, 96})
+          .restrict("UIF", {1, 2});
+  sim::RunOptions run_opts;
+  run_opts.engine = sim::Engine::Warp;
+
+  tuner::SearchOptions options;
+  options.budget = 10;
+  options.seed = 99;
+
+  core::TuningSession session(workload, gpu, space, run_opts);
+  const core::TuningOutcome cached =
+      session.tune(core::TuningRequest("random", options));
+
+  const tuner::Objective reference =
+      fresh_objective(workload, gpu, run_opts);
+  tuner::CachingEvaluator memo(space, reference);
+  tuner::StrategyContext ctx;
+  ctx.space = &space;
+  ctx.evaluator = &memo;
+  ctx.options = options;
+  const tuner::StrategyResult fresh =
+      tuner::StrategyRegistry::instance().create("random")->run(ctx);
+
+  EXPECT_EQ(cached.search.best_params, fresh.search.best_params);
+  EXPECT_EQ(cached.search.best_time, fresh.search.best_time);
+  EXPECT_EQ(cached.search.distinct_evaluations,
+            fresh.search.distinct_evaluations);
+}
+
+TEST(HotpathParity, SearchesNeverRecompilePerPoint) {
+  // A full-space batch must cost at most one compile per codegen key —
+  // test_space() varies UIF and CFLAGS only (TC/BC/PL are launch
+  // shape), so 160 points may lower at most 5 x 2 = 10 streams.
+  const auto workload = kernels::make_workload("atax", 128);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const tuner::ParamSpace space = test_space();
+  tuner::SimEvaluator evaluator(workload, gpu);
+  std::vector<codegen::TuningParams> all;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    all.push_back(space.to_params(space.point_at(i)));
+  (void)evaluator.evaluate_batch(all);
+  const codegen::CompileCacheStats stats =
+      evaluator.context().compilation_cache().stats();
+  EXPECT_LE(stats.misses, 10u);
+  EXPECT_EQ(stats.hits + stats.misses, space.size());
+}
+
+TEST(HotpathParity, AnalyticEvaluatorSharesSimCompilationCache) {
+  // A zero-run backend built over a SimEvaluator's cache must answer
+  // from the simulator's lowerings — zero extra compiles — and score
+  // identically to a standalone AnalyticEvaluator.
+  const auto workload = kernels::make_workload("bicg", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  tuner::SimEvaluator sim_eval(workload, gpu);
+  codegen::TuningParams p;
+  p.unroll = 2;
+  p.fast_math = true;
+  (void)sim_eval.evaluate(p);
+  const codegen::CompileCacheStats before =
+      sim_eval.context().compilation_cache().stats();
+
+  tuner::AnalyticEvaluator shared(
+      sim_eval.context().compilation_cache_ptr());
+  const double shared_cost = shared.evaluate(p);
+  const codegen::CompileCacheStats after =
+      sim_eval.context().compilation_cache().stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits + 1);
+
+  tuner::AnalyticEvaluator standalone(workload, gpu);
+  EXPECT_EQ(shared_cost, standalone.evaluate(p));
+}
+
+TEST(HotpathParity, SingleElementBatchRunsInline) {
+  // Satellite: evaluate_batch({p}) must not detour through the pool and
+  // must equal evaluate(p) bitwise.
+  const auto workload = kernels::make_workload("matvec2d", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  tuner::SimEvaluator evaluator(workload, gpu);
+  codegen::TuningParams p;
+  p.unroll = 3;
+  const std::vector<double> batch = evaluator.evaluate_batch({p});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], evaluator.evaluate(p));
+}
