@@ -1,0 +1,198 @@
+// serve_throughput: the daemon's hot path under concurrency. Drives a
+// Server in-process through handle_line (the whole protocol minus the
+// socket), so the numbers isolate request handling — parse, admission,
+// single-flight, store lookup, render — from kernel TCP costs.
+//
+// Phases:
+//   1. cold   — one tune pays for the search and fills the store.
+//   2. warm   — C threads fire R identical tune requests; every one
+//               must be answered by the store with zero fresh simulator
+//               runs and zero compiles (the gate), and the aggregate
+//               request rate is reported.
+//   3. mixed  — warm tunes interleaved with query/ping ops, the shape a
+//               fleet dashboard produces.
+//
+// Exits non-zero when a warm response reports fresh>0 or compiles>0 —
+// the compile-once, measure-once promise, gated in CI.
+//
+//   serve_throughput [--requests N] [--clients C] [--json FILE]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using gpustatic::serve::JsonObject;
+using gpustatic::serve::ServeOptions;
+using gpustatic::serve::Server;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kTuneLine =
+    R"({"op":"tune","kernel":"atax","n":32,"seed":7})";
+constexpr const char* kQueryLine =
+    R"({"op":"query","kernel":"atax","n":32})";
+constexpr const char* kPingLine = R"({"op":"ping"})";
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fire `line` `rounds` times per thread across `clients` threads;
+/// count warm-path violations (fresh>0 or compiles>0) and errors.
+struct SweepResult {
+  double seconds = 0;
+  std::size_t responses = 0;
+  std::size_t violations = 0;
+  std::size_t errors = 0;
+  [[nodiscard]] double rate() const {
+    return seconds > 0 ? static_cast<double>(responses) / seconds : 0;
+  }
+};
+
+SweepResult sweep(Server& server, const std::vector<std::string>& lines,
+                  int clients, int rounds) {
+  std::atomic<std::size_t> violations{0};
+  std::atomic<std::size_t> errors{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c)
+    workers.emplace_back([&, c] {
+      for (int r = 0; r < rounds; ++r) {
+        const std::string& line =
+            lines[static_cast<std::size_t>(c + r) % lines.size()];
+        const std::string response = server.handle_line(line);
+        JsonObject obj;
+        try {
+          obj = gpustatic::serve::parse_json_object(response);
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (obj.at("status").string != "ok") {
+          errors.fetch_add(1);
+          continue;
+        }
+        const auto fresh = obj.find("fresh");
+        const auto compiles = obj.find("compiles");
+        if ((fresh != obj.end() && fresh->second.number > 0) ||
+            (compiles != obj.end() && compiles->second.number > 0))
+          violations.fetch_add(1);
+      }
+    });
+  for (std::thread& t : workers) t.join();
+  SweepResult result;
+  result.seconds = seconds_since(start);
+  result.responses =
+      static_cast<std::size_t>(clients) * static_cast<std::size_t>(rounds);
+  result.violations = violations.load();
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 2000;
+  int clients = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_throughput: flag needs a value\n");
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests") requests = std::atoi(value());
+    else if (arg == "--clients") clients = std::atoi(value());
+    else if (arg == "--json") json_path = value();
+    else {
+      std::fprintf(stderr, "serve_throughput: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (requests <= 0 || clients <= 0) {
+    std::fprintf(stderr,
+                 "serve_throughput: --requests and --clients must be "
+                 "positive\n");
+    return 2;
+  }
+
+  ServeOptions options;        // in-memory store
+  options.max_inflight = 16;   // the bench must never shed
+  options.max_queue = 1u << 20;
+  Server server(options);
+
+  // Phase 1: one cold search fills the store and the compile cache.
+  const Clock::time_point cold_start = Clock::now();
+  const JsonObject cold = gpustatic::serve::parse_json_object(
+      server.handle_line(kTuneLine));
+  const double cold_seconds = seconds_since(cold_start);
+  if (cold.at("status").string != "ok") {
+    std::fprintf(stderr, "serve_throughput: cold tune failed\n");
+    return 1;
+  }
+
+  const int rounds = (requests + clients - 1) / clients;
+
+  // Phase 2: identical warm tunes, full concurrency.
+  const SweepResult warm = sweep(server, {kTuneLine}, clients, rounds);
+  // Phase 3: the dashboard mix — tunes, queries, pings interleaved.
+  const SweepResult mixed = sweep(
+      server, {kTuneLine, kQueryLine, kPingLine}, clients, rounds);
+
+  const double cold_fresh = cold.at("fresh").number;
+  std::printf("serve_throughput: daemon hot path (in-process)\n");
+  std::printf("  cold tune       : %8.3f s  (%.0f fresh evaluations)\n",
+              cold_seconds, cold_fresh);
+  std::printf("  warm tunes      : %8.0f req/s  (%zu requests, %.3f s)\n",
+              warm.rate(), warm.responses, warm.seconds);
+  std::printf("  mixed ops       : %8.0f req/s  (%zu requests, %.3f s)\n",
+              mixed.rate(), mixed.responses, mixed.seconds);
+  std::printf("  warm violations : %zu (want 0)\n",
+              warm.violations + mixed.violations);
+  std::printf("  errors          : %zu (want 0)\n",
+              warm.errors + mixed.errors);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"serve_throughput\",\"requests\":%zu,"
+                 "\"clients\":%d,\"cold_seconds\":%.6f,"
+                 "\"warm_rate\":%.1f,\"mixed_rate\":%.1f,"
+                 "\"violations\":%zu,\"errors\":%zu}\n",
+                 warm.responses + mixed.responses, clients, cold_seconds,
+                 warm.rate(), mixed.rate(),
+                 warm.violations + mixed.violations,
+                 warm.errors + mixed.errors);
+    std::fclose(f);
+  }
+
+  // The gate: a warm daemon runs nothing fresh and recompiles nothing.
+  if (warm.violations + mixed.violations > 0 ||
+      warm.errors + mixed.errors > 0) {
+    std::fprintf(stderr,
+                 "serve_throughput: FAILED — warm requests did fresh "
+                 "work or errored\n");
+    return 1;
+  }
+  std::printf("serve_throughput: OK\n");
+  return 0;
+}

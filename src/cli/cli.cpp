@@ -1,6 +1,8 @@
 #include "cli/cli.hpp"
 
+#include <csignal>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -11,15 +13,14 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
-#include "core/session.hpp"
+#include "core/service.hpp"
 #include "core/static_analyzer.hpp"
 #include "dynamic/profile.hpp"
 #include "dynamic/report.hpp"
-#include "frontend/parser.hpp"
-#include "kernels/kernels.hpp"
 #include "occupancy/report.hpp"
 #include "occupancy/suggest.hpp"
 #include "ptx/printer.hpp"
+#include "serve/server.hpp"
 #include "sim/runner.hpp"
 #include "tuner/spec_parser.hpp"
 #include "tuner/strategy.hpp"
@@ -43,6 +44,12 @@ commands:
                              extended) through a persistent tuning
                              store; a warm store answers every repeat
                              evaluation with zero fresh simulator runs
+  serve                      long-running tuning daemon: line-delimited
+                             JSON requests (op tune|query|stats|ping)
+                             over loopback TCP (--port) or stdin/stdout
+                             (--pipe); identical concurrent requests are
+                             answered by one search, capacity overload
+                             sheds with status "shed"
 
 <kernel>: a registry name (atax, bicg, ex14fj, matvec2d) or a path to a
 kernel source file in the frontend language.
@@ -69,6 +76,18 @@ options:
   --report FMT       tune-fleet report format: table|json|csv [table]
   --kernels a,b,c    tune-fleet: restrict to these kernels      [all]
                      (--gpu accepts 'all' to fleet every Table I GPU)
+  --port N           serve: TCP port; 0 picks an ephemeral port   [0]
+                     (the chosen port is printed on startup)
+  --pipe             serve: speak the protocol on stdin/stdout
+  --max-inflight N   serve: concurrent tune searches admitted     [8]
+  --max-queue N      serve: tunes queued beyond that; then shed  [32]
+  --max-budget N     serve: cap on a request's empirical budget  [64]
+  --save-every N     serve: persist --store every N tune writes   [8]
+
+exit codes:
+  0  success
+  1  the command ran and failed (tuning, analysis, or I/O error)
+  2  usage error: unknown command/flag or malformed value
 )";
 
 /// Usage text with the strategy list taken live from the registry, so a
@@ -84,29 +103,11 @@ std::string render_usage() {
   return text;
 }
 
-std::int64_t default_size(const std::string& kernel) {
-  // Single-sourced with the fleet planner, so `tune atax` and a fleet
-  // row for atax tune the same workload by default.
-  return core::FleetSession::default_size(kernel);
-}
-
-bool looks_like_path(const std::string& s) {
-  return s.find('/') != std::string::npos ||
-         str::ends_with(s, ".gk") || str::ends_with(s, ".src");
-}
-
-/// Load a workload from the registry or from a source file.
+/// Load a workload from the registry or from a source file (the
+/// service's resolver, so every command agrees on name/path handling
+/// and default sizes).
 dsl::WorkloadDesc load_workload(const Options& opts) {
-  const std::int64_t n =
-      opts.n > 0 ? opts.n : default_size(opts.kernel);
-  if (looks_like_path(opts.kernel)) {
-    std::ifstream in(opts.kernel);
-    if (!in) throw Error("cannot open kernel source '" + opts.kernel + "'");
-    std::ostringstream text;
-    text << in.rdbuf();
-    return frontend::parse_workload(text.str(), n);
-  }
-  return kernels::make_workload(opts.kernel, n);
+  return core::load_workload(opts.kernel, opts.n);
 }
 
 codegen::TuningParams variant_of(const Options& opts) {
@@ -229,6 +230,21 @@ tuner::ParamSpace tune_space(const Options& opts) {
   return tuner::parse_perf_tuning(text.str());
 }
 
+/// The tune flags as one typed service request — the CLI's half of the
+/// TuningService contract (the daemon builds the same struct from wire
+/// fields; see serve/protocol.cpp).
+core::TuneRequest tune_request(const Options& opts) {
+  core::TuneRequest request;
+  request.kernel = opts.kernel;
+  request.gpu = opts.gpu;
+  request.n = opts.n;
+  request.method = opts.method;
+  request.search = to_search_options(opts);
+  request.hybrid.empirical_budget = opts.budget;
+  request.space = tune_space(opts);
+  return request;
+}
+
 int cmd_tune(const Options& opts, std::ostream& out) {
   if (opts.method == "list") {
     for (const auto& name : tuner::StrategyRegistry::instance().names())
@@ -236,20 +252,19 @@ int cmd_tune(const Options& opts, std::ostream& out) {
     return 0;
   }
   // Validate the method against the registry before loading anything;
-  // the Error enumerates every registered strategy.
-  (void)tuner::StrategyRegistry::instance().create(opts.method);
+  // the UsageError enumerates every registered strategy.
+  try {
+    (void)tuner::StrategyRegistry::instance().create(opts.method);
+  } catch (const Error& e) {
+    throw UsageError(e.what());
+  }
   if (opts.kernel.empty())
-    throw Error("command 'tune' needs a kernel argument");
+    throw UsageError("command 'tune' needs a kernel argument");
 
-  const auto wl = load_workload(opts);
-  const auto& gpu = arch::gpu(opts.gpu);
-  core::TuningSession session(wl, gpu, tune_space(opts));
-
-  core::TuningRequest request;
-  request.method = opts.method;
-  request.options = to_search_options(opts);
-  request.hybrid.empirical_budget = opts.budget;
-  const core::TuningOutcome outcome = session.tune(request);
+  core::TuningService service;  // in-memory store: one-shot tune
+  const core::TuneResponse response = service.tune(tune_request(opts));
+  if (!response.ok()) throw Error(response.error);
+  const tuner::StrategyResult& outcome = response.outcome;
 
   if (outcome.method == "hybrid") {
     out << "hybrid search (budget " << opts.budget << ", "
@@ -277,15 +292,18 @@ int cmd_tune(const Options& opts, std::ostream& out) {
 
 int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   // Validate the request surface before loading or tuning anything.
-  (void)tuner::StrategyRegistry::instance().create(opts.method);
-  core::validate_fleet_report_format(opts.report);
+  try {
+    (void)tuner::StrategyRegistry::instance().create(opts.method);
+    core::validate_fleet_report_format(opts.report);
+  } catch (const Error& e) {
+    throw UsageError(e.what());
+  }
 
-  std::vector<std::string> warnings;
-  tuner::TuningStore store =
-      opts.store_path.empty()
-          ? tuner::TuningStore{}
-          : tuner::TuningStore::load(opts.store_path, &warnings);
-  for (const std::string& w : warnings) out << "warning: " << w << "\n";
+  core::TuningService::Config config;
+  config.store_path = opts.store_path;
+  core::TuningService service(config);
+  for (const std::string& w : service.load_warnings())
+    out << "warning: " << w << "\n";
 
   core::FleetOptions fleet_opts;
   if (!opts.kernels.empty()) {
@@ -299,11 +317,42 @@ int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   fleet_opts.hybrid.empirical_budget = opts.budget;
   fleet_opts.space = tune_space(opts);
 
-  core::FleetSession fleet(store, fleet_opts);
-  const core::FleetReport report = fleet.run();
-  if (!opts.store_path.empty()) store.save(opts.store_path);
+  const core::FleetReport report = service.tune_fleet(fleet_opts);
   out << core::render_fleet_report(report, opts.report);
-  return report.failed == 0 ? 0 : 1;
+  return report.failed == 0 ? kExitOk : kExitError;
+}
+
+// The live server for the signal bridge: POSIX hands handlers only the
+// signal number, and Server::stop() is async-signal-safe by contract.
+serve::Server* g_serve_server = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->stop();
+}
+
+int cmd_serve(const Options& opts, std::ostream& out) {
+  serve::ServeOptions sopts;
+  sopts.store_path = opts.store_path;
+  sopts.port = opts.port;
+  sopts.max_inflight = opts.max_inflight;
+  sopts.max_queue = opts.max_queue;
+  sopts.max_budget = opts.max_budget;
+  sopts.save_every = opts.save_every;
+
+  serve::Server server(sopts);
+  if (opts.pipe) {
+    for (const std::string& w : server.service().load_warnings())
+      out << "warning: " << w << "\n";
+    return server.run_pipe(std::cin, out);
+  }
+  g_serve_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const int rc = server.run_tcp(out);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server = nullptr;
+  return rc;
 }
 
 }  // namespace
@@ -318,7 +367,7 @@ tuner::SearchOptions to_search_options(const Options& opts) {
 
 Options parse_args(const std::vector<std::string>& args) {
   if (args.empty())
-    throw Error(std::string("no command given\n") + render_usage());
+    throw UsageError(std::string("no command given\n") + render_usage());
   Options o;
   o.command = args[0];
   const bool wants_kernel =
@@ -333,12 +382,13 @@ Options parse_args(const std::vector<std::string>& args) {
     if (i < args.size() && !str::starts_with(args[i], "-"))
       o.kernel = args[i++];
     else if (o.command != "tune")
-      throw Error("command '" + o.command + "' needs a kernel argument");
+      throw UsageError("command '" + o.command +
+                       "' needs a kernel argument");
   }
 
   auto need_value = [&](const std::string& flag) -> const std::string& {
     if (i + 1 >= args.size())
-      throw Error("flag '" + flag + "' needs a value");
+      throw UsageError("flag '" + flag + "' needs a value");
     return args[++i];
   };
   auto to_int = [](const std::string& flag,
@@ -349,7 +399,7 @@ Options parse_args(const std::vector<std::string>& args) {
       if (used != v.size()) throw std::invalid_argument(v);
       return out;
     } catch (const std::exception&) {
-      throw Error("flag '" + flag + "': bad integer '" + v + "'");
+      throw UsageError("flag '" + flag + "': bad integer '" + v + "'");
     }
   };
 
@@ -389,8 +439,20 @@ Options parse_args(const std::vector<std::string>& args) {
       o.report = need_value(a);
     } else if (a == "--kernels") {
       o.kernels = need_value(a);
+    } else if (a == "--port") {
+      o.port = static_cast<int>(to_int(a, need_value(a)));
+    } else if (a == "--pipe") {
+      o.pipe = true;
+    } else if (a == "--max-inflight") {
+      o.max_inflight = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--max-queue") {
+      o.max_queue = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--max-budget") {
+      o.max_budget = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--save-every") {
+      o.save_every = static_cast<std::size_t>(to_int(a, need_value(a)));
     } else {
-      throw Error("unknown flag '" + a + "'\n" + render_usage());
+      throw UsageError("unknown flag '" + a + "'\n" + render_usage());
     }
   }
   return o;
@@ -406,11 +468,30 @@ int run_command(const Options& opts, std::ostream& out) {
   if (opts.command == "profile") return cmd_profile(opts, out);
   if (opts.command == "tune") return cmd_tune(opts, out);
   if (opts.command == "tune-fleet") return cmd_tune_fleet(opts, out);
+  if (opts.command == "serve") return cmd_serve(opts, out);
   if (opts.command == "help" || opts.command == "--help") {
     out << render_usage();
     return 0;
   }
-  throw Error("unknown command '" + opts.command + "'\n" + render_usage());
+  throw UsageError("unknown command '" + opts.command + "'\n" +
+                   render_usage());
+}
+
+int render_error(const std::exception& e, std::ostream& err) {
+  const bool library = dynamic_cast<const Error*>(&e) != nullptr;
+  err << "gpustatic: " << (library ? "" : "internal error: ") << e.what()
+      << "\n";
+  return dynamic_cast<const UsageError*>(&e) != nullptr ? kExitUsage
+                                                        : kExitError;
+}
+
+int run_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  try {
+    return run_command(parse_args(args), out);
+  } catch (const std::exception& e) {
+    return render_error(e, err);
+  }
 }
 
 }  // namespace gpustatic::cli

@@ -16,18 +16,39 @@
 //   tune      <kernel> ...    autotune with a chosen search strategy
 //   tune-fleet ...            tune the whole kernel library through a
 //                             persistent tuning store (warm-started)
+//   serve     ...             long-running tuning daemon speaking the
+//                             line-delimited JSON wire protocol over
+//                             TCP (--port) or stdin/stdout (--pipe)
 //
 // <kernel> is a registry name (atax, bicg, ex14fj, matvec2d) or a path
 // to a kernel source file in the frontend language.
+//
+// Exit-code contract (documented in --help, enforced by run_main):
+//   0  success
+//   1  the command ran and failed (tuning, analysis, or I/O error)
+//   2  usage error: unknown command/flag or malformed value
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "tuner/search.hpp"
 
 namespace gpustatic::cli {
+
+/// A mistake in how the tool was invoked (unknown command or flag,
+/// malformed value, missing required argument) — exits with kExitUsage.
+/// Every other Error is a failure of the requested work — kExitError.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr int kExitOk = 0;     ///< command succeeded
+inline constexpr int kExitError = 1;  ///< command ran and failed
+inline constexpr int kExitUsage = 2;  ///< bad invocation
 
 /// Parsed command line. Flags not meaningful for a given command are
 /// simply unused.
@@ -55,6 +76,13 @@ struct Options {
   std::string store_path;    ///< tuning store file; empty = in-memory
   std::string report = "table";  ///< fleet report format: table|json|csv
   std::string kernels;       ///< comma-separated filter; empty = all
+  // serve command inputs.
+  int port = 0;              ///< TCP port; 0 = ephemeral (printed)
+  bool pipe = false;         ///< stdin/stdout transport instead of TCP
+  std::size_t max_inflight = 8;  ///< concurrent tune searches admitted
+  std::size_t max_queue = 32;    ///< waiting tunes beyond that; then shed
+  std::size_t max_budget = 64;   ///< cap on a request's empirical budget
+  std::size_t save_every = 8;    ///< persist store every N tune writes
 };
 
 /// Parse argv (excluding the program name). Throws Error with a usage
@@ -68,6 +96,17 @@ struct Options {
 /// Execute the parsed command, writing the report to `out`. Returns the
 /// process exit code (0 on success).
 int run_command(const Options& opts, std::ostream& out);
+
+/// The one place errors become process exits: renders `e` to `err`
+/// ("gpustatic: ...") and returns the contract's code — kExitUsage for
+/// UsageError, kExitError for everything else.
+int render_error(const std::exception& e, std::ostream& err);
+
+/// The whole program behind main(): parse `args` (argv minus the
+/// program name), run the command, render any error. Never throws;
+/// always returns one of the contract's exit codes.
+int run_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
 
 /// One-line usage summary plus per-command help.
 [[nodiscard]] std::string usage();

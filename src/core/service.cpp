@@ -1,0 +1,251 @@
+#include "core/service.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+
+namespace gpustatic::core {
+
+namespace {
+
+bool looks_like_path(const std::string& s) {
+  return s.find('/') != std::string::npos ||
+         str::ends_with(s, ".gk") || str::ends_with(s, ".src");
+}
+
+/// Everything that can change a search outcome, one line per concern.
+void append_space_signature(std::ostream& os,
+                            const tuner::ParamSpace& space) {
+  for (const tuner::Dimension& d : space.dimensions()) {
+    os << '|' << d.name << '=';
+    for (std::size_t i = 0; i < d.values.size(); ++i)
+      os << (i ? "," : "") << d.values[i];
+  }
+}
+
+}  // namespace
+
+dsl::WorkloadDesc load_workload(const std::string& kernel,
+                                std::int64_t n) {
+  if (n <= 0) n = FleetSession::default_size(kernel);
+  if (looks_like_path(kernel)) {
+    std::ifstream in(kernel);
+    if (!in) throw Error("cannot open kernel source '" + kernel + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return frontend::parse_workload(text.str(), n);
+  }
+  return kernels::make_workload(kernel, n);
+}
+
+std::string TuningService::request_key(const TuneRequest& r) {
+  std::ostringstream os;
+  os << r.kernel << '|' << r.gpu << '|' << r.n << '|' << r.method;
+  os << "|seed=" << r.search.seed << "|sbudget=" << r.search.budget
+     << "|sa=" << r.search.sa_initial_temp << ',' << r.search.sa_cooling
+     << "|ga=" << r.search.ga_population << ','
+     << r.search.ga_mutation_rate << ',' << r.search.ga_tournament << ','
+     << r.search.ga_max_stall << "|nm=" << r.search.nm_restarts;
+  os << "|hb=" << r.hybrid.empirical_budget << ',' << r.hybrid.use_rule
+     << ',' << r.hybrid.baseline.to_string();
+  os << "|run=" << static_cast<int>(r.run.engine) << ','
+     << r.run.repetitions << ',' << r.run.report_trial << ','
+     << r.run.noise_stddev << ',' << r.run.seed;
+  os << "|store=" << r.store.read << r.store.write;
+  append_space_signature(os, r.space);
+  return os.str();
+}
+
+TuningService::TuningService(Config config) : config_(std::move(config)) {
+  if (!config_.store_path.empty())
+    store_ = tuner::TuningStore::load(config_.store_path, &load_warnings_);
+}
+
+TuningService::~TuningService() {
+  try {
+    persist();
+  } catch (...) {
+    // A failed shutdown save must not terminate the process; the
+    // periodic saves bounded the loss already.
+  }
+}
+
+TuningService::Stats TuningService::stats() const {
+  const std::lock_guard<std::mutex> lock(flights_mu_);
+  return stats_;
+}
+
+std::size_t TuningService::store_records() const {
+  const std::shared_lock<std::shared_mutex> lock(store_mu_);
+  return store_.size();
+}
+
+void TuningService::persist() {
+  if (config_.store_path.empty()) return;
+  const std::unique_lock<std::shared_mutex> lock(store_mu_);
+  store_.merge_and_save(config_.store_path);
+  writes_since_persist_ = 0;
+}
+
+TuningService::QueryResult TuningService::query(const std::string& kernel,
+                                                const std::string& gpu,
+                                                std::int64_t n) const {
+  if (n <= 0) n = FleetSession::default_size(kernel);
+  QueryResult out;
+  const std::shared_lock<std::shared_mutex> lock(store_mu_);
+  for (const tuner::StoreRecord* r : store_.context(kernel, gpu, n)) {
+    ++out.records;
+    const tuner::MeasuredVariant& v = r->variant;
+    if (!v.valid || !v.measured()) continue;
+    if (!out.found || v.measured_ms < out.best.measured_ms) {
+      out.found = true;
+      out.best = v;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<sim::SimContext> TuningService::context_for(
+    const tuner::FleetJob& job, const sim::RunOptions& run) {
+  std::ostringstream key;
+  key << job.kernel << '|' << job.gpu->name << '|' << job.n << '|'
+      << static_cast<int>(run.engine) << ',' << run.repetitions << ','
+      << run.report_trial << ',' << run.noise_stddev << ',' << run.seed;
+  const std::lock_guard<std::mutex> lock(contexts_mu_);
+  auto& slot = contexts_[key.str()];
+  if (slot == nullptr) {
+    if (contexts_.size() > config_.max_contexts) {
+      // Whole-map reset: crude, but it bounds memory and the next
+      // request per context simply re-pays one cold compile round.
+      contexts_.clear();
+    }
+    slot = std::make_shared<sim::SimContext>(job.workload, *job.gpu, run);
+    contexts_[key.str()] = slot;
+  }
+  return slot;
+}
+
+void TuningService::merge_harvest(
+    const std::vector<tuner::StoreRecord>& harvest) {
+  const std::unique_lock<std::shared_mutex> lock(store_mu_);
+  for (const tuner::StoreRecord& r : harvest) store_.put(r);
+  ++writes_since_persist_;
+  if (config_.save_every > 0 && !config_.store_path.empty() &&
+      writes_since_persist_ >= config_.save_every) {
+    store_.merge_and_save(config_.store_path);
+    writes_since_persist_ = 0;
+  }
+}
+
+TuneResponse TuningService::run_search(const TuneRequest& request) {
+  TuneResponse response;
+  response.kernel = request.kernel;
+  response.gpu = request.gpu;
+  response.n = request.n;
+  response.method = request.method;
+  try {
+    tuner::FleetJob job;
+    job.kernel = request.kernel;
+    job.n = request.n;
+    job.workload = load_workload(request.kernel, request.n);
+    job.gpu = &arch::gpu(request.gpu);
+    job.space = request.space;
+
+    // Snapshot the warm-start context under the read lock, then search
+    // without holding it — a long search must not block writers.
+    tuner::TuningStore warm;
+    if (request.store.read) {
+      const std::shared_lock<std::shared_mutex> lock(store_mu_);
+      for (const tuner::StoreRecord* r :
+           store_.context(job.kernel, job.gpu->name, job.n))
+        warm.put(*r);
+    }
+
+    const std::shared_ptr<sim::SimContext> context =
+        context_for(job, request.run);
+    const std::size_t compiles_before =
+        context->compilation_cache().stats().misses;
+
+    tuner::FleetTuneOptions opts;
+    opts.method = request.method;
+    opts.search = request.search;
+    opts.hybrid = request.hybrid;
+    opts.run = request.run;
+
+    if (config_.before_search) config_.before_search(request);
+    std::vector<tuner::StoreRecord> harvest;
+    static_cast<tuner::FleetJobReport&>(response) =
+        tuner::tune_job(job, warm, opts, &harvest, context);
+    response.compiles =
+        context->compilation_cache().stats().misses - compiles_before;
+    if (response.ok() && request.store.write) merge_harvest(harvest);
+  } catch (const std::exception& e) {
+    response.error = e.what();
+  }
+  return response;
+}
+
+TuneResponse TuningService::tune(const TuneRequest& request) {
+  TuneRequest normalized = request;
+  if (normalized.n <= 0)
+    normalized.n = FleetSession::default_size(normalized.kernel);
+  const std::string key = request_key(normalized);
+
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(flights_mu_);
+    ++stats_.requests;
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;
+      ++stats_.searches;
+    } else {
+      flight = it->second;
+      ++stats_.deduplicated;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->done_cv.wait(lock, [&] { return flight->done; });
+    TuneResponse response = flight->response;
+    response.deduplicated = true;
+    return response;
+  }
+
+  TuneResponse response = run_search(normalized);
+  {
+    const std::lock_guard<std::mutex> lock(flights_mu_);
+    flights_.erase(key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flight->mu);
+    flight->response = response;
+    flight->done = true;
+  }
+  flight->done_cv.notify_all();
+  return response;
+}
+
+FleetReport TuningService::tune_fleet(const FleetOptions& options) {
+  FleetReport report;
+  {
+    const std::unique_lock<std::shared_mutex> lock(store_mu_);
+    FleetSession fleet(store_, options);
+    report = fleet.run();
+    ++writes_since_persist_;
+  }
+  if (!config_.store_path.empty()) persist();
+  return report;
+}
+
+}  // namespace gpustatic::core

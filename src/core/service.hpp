@@ -1,0 +1,192 @@
+#pragma once
+
+// TuningService: the one entrypoint every tuning driver goes through.
+// The CLI `tune` and `tune-fleet` subcommands, the fleet bench, and the
+// `gpustatic serve` daemon are all thin adapters that build a typed
+// TuneRequest (kernel/GPU/size identity + method + store policy) and
+// call tune(); the service owns everything the drivers used to
+// hand-assemble — workload loading, the persistent TuningStore (with
+// read/write locking), and a process-wide cache of compiled evaluation
+// pipelines — so concurrent callers share compilations and
+// measurements instead of each paying for their own.
+//
+// Concurrency contract:
+//   * tune() is safe to call from any number of threads.
+//   * Identical concurrent requests are single-flighted: the first
+//     caller (the leader) runs the search, the rest block on its result
+//     and receive a copy flagged `deduplicated` — N clients asking for
+//     the same (kernel, gpu, n, method, ...) cost one search.
+//   * Store reads snapshot the warm-start context under a shared lock;
+//     harvested measurements merge back under an exclusive lock; disk
+//     persistence goes through TuningStore::merge_and_save, so a
+//     concurrent CLI run (or another daemon) never loses records.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "dsl/ast.hpp"
+#include "sim/context.hpp"
+#include "tuner/fleet.hpp"
+#include "tuner/store.hpp"
+
+namespace gpustatic::core {
+
+/// How one request interacts with the service's TuningStore.
+struct StorePolicy {
+  bool read = true;   ///< warm-start from stored measurements
+  bool write = true;  ///< merge this search's measurements back
+};
+
+/// One fully specified tuning request: what to tune (kernel/GPU/size
+/// identity), how (method + search knobs + space), and the store
+/// policy. The superset of core::TuningRequest a stateless service
+/// needs — a TuningSession already knows its workload and GPU; a
+/// service request must carry them.
+struct TuneRequest {
+  std::string kernel;        ///< registry name or kernel source path
+  std::string gpu = "K20";   ///< Table I GPU name
+  std::int64_t n = 0;        ///< problem size; 0 = per-kernel default
+  std::string method = "rule";
+  tuner::SearchOptions search;
+  tuner::HybridOptions hybrid;  ///< hybrid dial (empirical budget, ...)
+  tuner::ParamSpace space = tuner::paper_space();
+  sim::RunOptions run;
+  StorePolicy store;
+};
+
+/// The request's outcome plus the service's own accounting. The
+/// FleetJobReport base carries identity, the strategy outcome, the
+/// fresh/warm evaluation split, and the error field (`ok()`); failures
+/// are reported, not thrown, so daemon workers need no handlers.
+struct TuneResponse : tuner::FleetJobReport {
+  /// True when this response was answered by a concurrent leader's
+  /// search rather than a search of its own (single-flight follower).
+  bool deduplicated = false;
+  /// Compiler runs this request triggered in the shared pipeline; 0 on
+  /// a warm repeat (the compile-once promise, service-wide).
+  std::size_t compiles = 0;
+};
+
+class TuningService {
+ public:
+  struct Config {
+    /// Store file to load at construction and persist into; empty = a
+    /// purely in-memory store.
+    std::string store_path;
+    /// When > 0, persist (merge_and_save) after every `save_every`
+    /// store-writing requests, so a daemon crash loses at most that
+    /// window. 0 = only explicit persist() calls write the file.
+    std::size_t save_every = 0;
+    /// Upper bound on cached evaluation pipelines (one per distinct
+    /// (kernel, gpu, n, run) context); the cache is reset when full.
+    std::size_t max_contexts = 64;
+    /// Observability hook: runs on the leader's thread immediately
+    /// before each fresh search (not for deduplicated followers or
+    /// store-answered warm repeats — those run no search of their own).
+    std::function<void(const TuneRequest&)> before_search;
+  };
+
+  /// Request/search accounting across the service's lifetime.
+  struct Stats {
+    std::size_t requests = 0;      ///< tune() calls accepted
+    std::size_t searches = 0;      ///< searches actually run (leaders)
+    std::size_t deduplicated = 0;  ///< followers answered by a leader
+  };
+
+  /// Loads Config::store_path when set (a missing file is an empty
+  /// store; corruption throws, truncated final lines are recoverable
+  /// and land in load_warnings()).
+  explicit TuningService(Config config);
+  TuningService() : TuningService(Config{}) {}
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Resolve and run one request. Thread-safe; single-flights identical
+  /// concurrent requests. Failures land in the response's error field.
+  [[nodiscard]] TuneResponse tune(const TuneRequest& request);
+
+  /// Whole-library fleet pass over the service's store (the `tune-fleet`
+  /// entrypoint). Holds the store exclusively for the duration, then
+  /// persists when a store path is configured. Throws LookupError/Error
+  /// on invalid options, exactly like FleetSession.
+  [[nodiscard]] FleetReport tune_fleet(const FleetOptions& options);
+
+  /// Persist the store now via TuningStore::merge_and_save (no-op
+  /// without a configured path). Also runs on destruction, so an
+  /// orderly shutdown never loses the in-memory tail.
+  void persist();
+
+  /// Read-only store lookup: the best stored measurement for
+  /// (kernel, gpu, n) — zero searches, zero compiles. n <= 0 resolves
+  /// to the per-kernel default exactly like tune().
+  struct QueryResult {
+    bool found = false;           ///< a valid measured record exists
+    tuner::MeasuredVariant best;  ///< the smallest measured_ms (if found)
+    std::size_t records = 0;      ///< stored records for this context
+  };
+  [[nodiscard]] QueryResult query(const std::string& kernel,
+                                  const std::string& gpu,
+                                  std::int64_t n) const;
+
+  [[nodiscard]] Stats stats() const;
+  /// Warnings from the construction-time store load (e.g. a truncated
+  /// final line that was skipped).
+  [[nodiscard]] const std::vector<std::string>& load_warnings() const {
+    return load_warnings_;
+  }
+  [[nodiscard]] std::size_t store_records() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// The canonical request identity string: every field that can change
+  /// the outcome (kernel, gpu, n, method, seed, budgets, space, run
+  /// options). Two requests with equal keys are interchangeable — the
+  /// single-flight and context-cache key.
+  [[nodiscard]] static std::string request_key(const TuneRequest& request);
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    bool done = false;
+    TuneResponse response;
+  };
+
+  [[nodiscard]] TuneResponse run_search(const TuneRequest& request);
+  [[nodiscard]] std::shared_ptr<sim::SimContext> context_for(
+      const tuner::FleetJob& job, const sim::RunOptions& run);
+  void merge_harvest(const std::vector<tuner::StoreRecord>& harvest);
+
+  Config config_;
+  std::vector<std::string> load_warnings_;
+
+  mutable std::shared_mutex store_mu_;
+  tuner::TuningStore store_;
+  std::size_t writes_since_persist_ = 0;
+
+  std::mutex contexts_mu_;
+  std::map<std::string, std::shared_ptr<sim::SimContext>> contexts_;
+
+  mutable std::mutex flights_mu_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  Stats stats_;
+};
+
+/// Load a workload by kernel-registry name or source-file path (a name
+/// containing '/' or ending in .gk/.src is a path), at problem size
+/// `n`; n <= 0 resolves to the per-kernel default the CLI and fleet
+/// planner share (FleetSession::default_size). Throws LookupError on
+/// unknown registry names and Error on unreadable/unparsable files.
+[[nodiscard]] dsl::WorkloadDesc load_workload(const std::string& kernel,
+                                              std::int64_t n);
+
+}  // namespace gpustatic::core

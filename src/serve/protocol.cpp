@@ -1,0 +1,396 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tuner/search.hpp"
+
+namespace gpustatic::serve {
+
+namespace {
+
+/// Cursor over one request line. Wire errors are all line 1 by
+/// definition (the protocol is line-delimited), so ParseError's line
+/// number carries the *column* instead — far more useful to a client
+/// debugging a handwritten request.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  char take() {
+    if (done()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("wire request: " + what, pos_ + 1);
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (done()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          if (code > 0x7F) fail("non-ASCII \\u escape not supported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == '{' || c == '[')
+      fail("nested objects/arrays not supported (the protocol is flat)");
+    if (c == 't' || c == 'f') {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = c == 't';
+      expect_word(v.boolean ? "true" : "false");
+      return v;
+    }
+    if (c == 'n') {
+      expect_word("null");
+      return v;  // Kind::Null
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (!done() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                       peek() == '+' || peek() == '-'))
+      ++pos_;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size())
+      fail("bad value '" + token + "'");
+    v.kind = JsonValue::Kind::Number;
+    return v;
+  }
+
+ private:
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail("bad literal (expected '" + std::string(word) + "')");
+    pos_ += word.size();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// The field's value as a non-negative integer; throws on anything else.
+std::int64_t int_of(const std::string& key, const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Number ||
+      v.number != std::floor(v.number) || std::abs(v.number) > 1e15)
+    throw ParseError("wire request: field '" + key +
+                         "' must be an integer",
+                     1);
+  return static_cast<std::int64_t>(v.number);
+}
+
+const std::string& string_of(const std::string& key, const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::String)
+    throw ParseError("wire request: field '" + key + "' must be a string",
+                     1);
+  return v.string;
+}
+
+bool bool_of(const std::string& key, const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Bool)
+    throw ParseError("wire request: field '" + key + "' must be a boolean",
+                     1);
+  return v.boolean;
+}
+
+}  // namespace
+
+JsonObject parse_json_object(std::string_view line) {
+  Cursor cur(line);
+  cur.skip_ws();
+  cur.expect('{');
+  JsonObject out;
+  cur.skip_ws();
+  if (cur.peek() == '}') {
+    cur.expect('}');
+  } else {
+    while (true) {
+      cur.skip_ws();
+      std::string key = cur.parse_string();
+      cur.skip_ws();
+      cur.expect(':');
+      JsonValue value = cur.parse_value();
+      if (!out.emplace(std::move(key), std::move(value)).second)
+        cur.fail("duplicate key");
+      cur.skip_ws();
+      const char c = cur.take();
+      if (c == '}') break;
+      if (c != ',') cur.fail("expected ',' or '}'");
+    }
+  }
+  cur.skip_ws();
+  if (!cur.done()) cur.fail("trailing text after object");
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += str::format("\\u%04x", c);
+        else
+          out.push_back(c);
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (body_.size() > 1) body_ += ",";
+  body_ += "\"";
+  body_ += json_escape(k);
+  body_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view value) {
+  key(k).body_ += "\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::number_field(std::string_view k, double value) {
+  key(k).body_ += std::isfinite(value) ? str::format("%.17g", value)
+                                       : std::string("null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t value) {
+  key(k).body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t value) {
+  key(k).body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool value) {
+  key(k).body_ += value ? "true" : "false";
+  return *this;
+}
+
+WireRequest parse_request(std::string_view line) {
+  const JsonObject obj = parse_json_object(line);
+  WireRequest req;
+  const auto op = obj.find("op");
+  if (op == obj.end())
+    throw ParseError("wire request: missing required field 'op'", 1);
+  req.op = string_of("op", op->second);
+  if (req.op != "tune" && req.op != "query" && req.op != "stats" &&
+      req.op != "ping")
+    throw ParseError("wire request: unknown op '" + req.op +
+                         "' (want tune|query|stats|ping)",
+                     1);
+
+  for (const auto& [key, value] : obj) {
+    if (key == "op") continue;
+    if (key == "id") {
+      const std::int64_t id = int_of(key, value);
+      if (id < 0) throw ParseError("wire request: 'id' must be >= 0", 1);
+      req.id = static_cast<std::uint64_t>(id);
+      req.has_id = true;
+    } else if (key == "kernel") {
+      req.tune.kernel = string_of(key, value);
+    } else if (key == "gpu") {
+      req.tune.gpu = string_of(key, value);
+    } else if (key == "n") {
+      req.tune.n = int_of(key, value);
+    } else if (key == "method") {
+      req.tune.method = string_of(key, value);
+    } else if (key == "seed") {
+      req.tune.search.seed = static_cast<std::uint64_t>(int_of(key, value));
+    } else if (key == "budget") {
+      const std::int64_t b = int_of(key, value);
+      if (b < 0) throw ParseError("wire request: 'budget' must be >= 0", 1);
+      req.tune.hybrid.empirical_budget = static_cast<std::size_t>(b);
+    } else if (key == "search_budget") {
+      const std::int64_t b = int_of(key, value);
+      if (b <= 0)
+        throw ParseError("wire request: 'search_budget' must be > 0", 1);
+      req.tune.search.budget = static_cast<std::size_t>(b);
+    } else if (key == "engine") {
+      const std::string& name = string_of(key, value);
+      if (name == "warp") {
+        req.tune.run.engine = sim::Engine::Warp;
+      } else if (name == "analytic") {
+        req.tune.run.engine = sim::Engine::Analytic;
+      } else {
+        throw ParseError("wire request: unknown engine '" + name +
+                             "' (want warp|analytic)",
+                         1);
+      }
+    } else if (key == "store_read") {
+      req.tune.store.read = bool_of(key, value);
+    } else if (key == "store_write") {
+      req.tune.store.write = bool_of(key, value);
+    } else {
+      throw ParseError("wire request: unknown field '" + key + "'", 1);
+    }
+  }
+
+  if ((req.op == "tune" || req.op == "query") && req.tune.kernel.empty())
+    throw ParseError("wire request: op '" + req.op +
+                         "' needs a 'kernel' field",
+                     1);
+  return req;
+}
+
+std::string render_request(const WireRequest& request) {
+  JsonWriter w;
+  w.field("op", request.op);
+  if (request.has_id) w.field("id", request.id);
+  if (request.op == "tune" || request.op == "query") {
+    const core::TuneRequest& t = request.tune;
+    w.field("kernel", t.kernel).field("gpu", t.gpu).field("n", t.n);
+    w.field("method", t.method).field("seed", t.search.seed);
+    w.field("budget",
+            static_cast<std::uint64_t>(t.hybrid.empirical_budget));
+    w.field("engine",
+            t.run.engine == sim::Engine::Warp ? "warp" : "analytic");
+    w.field("store_read", t.store.read);
+    w.field("store_write", t.store.write);
+  }
+  return w.str();
+}
+
+std::string render_tune_response(const WireRequest& request,
+                                 const core::TuneResponse& response,
+                                 bool budget_capped) {
+  JsonWriter w;
+  if (!response.ok()) {
+    w.field("status", "error");
+    if (request.has_id) w.field("id", request.id);
+    w.field("error", response.error);
+    return w.str();
+  }
+  w.field("status", "ok").field("op", "tune");
+  if (request.has_id) w.field("id", request.id);
+  w.field("kernel", response.kernel).field("gpu", response.gpu);
+  w.field("n", response.n).field("method", response.method);
+  w.field("best", response.outcome.search.best_params.to_string());
+  w.number_field("time_ms", response.outcome.search.best_time);
+  w.field("evaluations",
+          static_cast<std::uint64_t>(
+              response.outcome.search.distinct_evaluations));
+  w.field("fresh",
+          static_cast<std::uint64_t>(response.fresh_evaluations));
+  w.field("warm", static_cast<std::uint64_t>(response.warm_hits));
+  w.field("compiles", static_cast<std::uint64_t>(response.compiles));
+  w.field("deduplicated", response.deduplicated);
+  w.field("budget_capped", budget_capped);
+  return w.str();
+}
+
+std::string render_query_response(
+    const WireRequest& request,
+    const core::TuningService::QueryResult& result) {
+  JsonWriter w;
+  w.field("status", "ok").field("op", "query");
+  if (request.has_id) w.field("id", request.id);
+  w.field("kernel", request.tune.kernel).field("gpu", request.tune.gpu);
+  w.field("found", result.found);
+  w.field("records", static_cast<std::uint64_t>(result.records));
+  if (result.found) {
+    w.field("best", result.best.params.to_string());
+    w.number_field("time_ms", result.best.measured_ms);
+  }
+  return w.str();
+}
+
+std::string render_ping_response(const WireRequest& request) {
+  JsonWriter w;
+  w.field("status", "ok").field("op", "ping");
+  if (request.has_id) w.field("id", request.id);
+  return w.str();
+}
+
+std::string render_error_response(const WireRequest* request,
+                                  const std::string& message) {
+  JsonWriter w;
+  w.field("status", "error");
+  if (request != nullptr && request->has_id) w.field("id", request->id);
+  w.field("error", message);
+  return w.str();
+}
+
+std::string render_shed_response(const WireRequest& request,
+                                 const std::string& message) {
+  JsonWriter w;
+  w.field("status", "shed");
+  if (request.has_id) w.field("id", request.id);
+  w.field("error", message).field("retry", true);
+  return w.str();
+}
+
+}  // namespace gpustatic::serve

@@ -1,0 +1,114 @@
+#pragma once
+
+// The serve-mode wire protocol: line-delimited JSON, one request object
+// per line in, one response object per line out. The grammar is
+// deliberately flat — every field is a string, number, or boolean —
+// so any client (netcat + a JSON one-liner included) can speak it:
+//
+//   request  = "{" pair ("," pair)* "}"
+//   pair     = string ":" (string | number | true | false | null)
+//   op       = "tune" | "query" | "stats" | "ping"
+//
+//   {"op":"tune","kernel":"atax","gpu":"K20","n":64,"method":"rule",
+//    "seed":1234,"budget":16,"engine":"analytic",
+//    "store_read":true,"store_write":true,"id":7}
+//
+// `op` is required; `kernel` is required for tune/query; everything
+// else defaults like the CLI (`gpu` K20, `n` 0 = per-kernel default,
+// `method` rule). Unknown fields are rejected — a typoed knob must not
+// silently tune the wrong thing. Malformed lines produce a
+// status:"error" response and leave the connection open.
+//
+// Responses carry status "ok", "error", or "shed" (the admission
+// policy's 429: the server is at capacity, retry later), the request's
+// `id` when one was given, and for tunes the full accounting a client
+// needs to verify warm-path behavior: fresh evaluation count, warm
+// hits, compile count, and the single-flight `deduplicated` flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/service.hpp"
+
+namespace gpustatic::serve {
+
+/// One flat JSON scalar.
+struct JsonValue {
+  enum class Kind { String, Number, Bool, Null };
+  Kind kind = Kind::Null;
+  std::string string;  ///< Kind::String
+  double number = 0;   ///< Kind::Number
+  bool boolean = false;  ///< Kind::Bool
+};
+
+/// Key -> scalar, sorted by key. Nested containers are rejected: the
+/// protocol is flat by design.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse one JSON object line. Throws ParseError on anything malformed
+/// (bad syntax, duplicate keys, nested arrays/objects, trailing text).
+[[nodiscard]] JsonObject parse_json_object(std::string_view line);
+
+/// JSON string escaping for the writer ('"', '\\', control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Builds one single-line JSON object, fields in call order.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  /// Non-finite doubles render as null (JSON has no inf/nan).
+  JsonWriter& number_field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// The finished object, e.g. {"status":"ok","op":"ping"}.
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  JsonWriter& key(std::string_view k);
+  std::string body_ = "{";
+};
+
+/// One parsed wire request: the op plus (for tune/query) the full typed
+/// core::TuneRequest it maps to.
+struct WireRequest {
+  std::string op;
+  std::uint64_t id = 0;  ///< client correlation id; echoed when has_id
+  bool has_id = false;
+  core::TuneRequest tune;
+};
+
+/// Parse and validate one request line (grammar above). Throws
+/// ParseError naming the offending field on malformed input, unknown
+/// ops, or unknown fields.
+[[nodiscard]] WireRequest parse_request(std::string_view line);
+
+/// Inverse of parse_request for the fields a request carries; clients
+/// (tools/serve_client, tests) build requests through this so both
+/// directions of the protocol live in one file.
+[[nodiscard]] std::string render_request(const WireRequest& request);
+
+// ---- response rendering (one line, no trailing newline) -------------
+
+[[nodiscard]] std::string render_tune_response(
+    const WireRequest& request, const core::TuneResponse& response,
+    bool budget_capped);
+/// Read-only store lookup: found/best/records, never a search.
+[[nodiscard]] std::string render_query_response(
+    const WireRequest& request,
+    const core::TuningService::QueryResult& result);
+[[nodiscard]] std::string render_ping_response(const WireRequest& request);
+/// `status:"error"`; `request` may be null when the line never parsed.
+[[nodiscard]] std::string render_error_response(
+    const WireRequest* request, const std::string& message);
+/// `status:"shed"` with retry:true — the admission policy's 429.
+[[nodiscard]] std::string render_shed_response(
+    const WireRequest& request, const std::string& message);
+
+}  // namespace gpustatic::serve

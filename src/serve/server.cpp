@@ -1,0 +1,311 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::serve {
+
+namespace {
+
+core::TuningService::Config service_config(const ServeOptions& opts) {
+  core::TuningService::Config cfg;
+  cfg.store_path = opts.store_path;
+  cfg.save_every = opts.save_every;
+  return cfg;
+}
+
+/// RAII pairing for Admission::acquire/release.
+class AdmissionGuard {
+ public:
+  explicit AdmissionGuard(Admission& admission)
+      : admission_(&admission), admitted_(admission.acquire()) {}
+  ~AdmissionGuard() {
+    if (admitted_) admission_->release();
+  }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+  [[nodiscard]] bool admitted() const { return admitted_; }
+
+ private:
+  Admission* admission_;
+  bool admitted_;
+};
+
+}  // namespace
+
+// ---- Admission ------------------------------------------------------
+
+bool Admission::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return false;
+  if (active_ >= max_inflight_) {
+    if (waiting_ >= max_queue_) return false;  // queue full: shed
+    ++waiting_;
+    cv_.wait(lock, [&] { return active_ < max_inflight_ || stopping_; });
+    --waiting_;
+    if (stopping_) return false;
+  }
+  ++active_;
+  return true;
+}
+
+void Admission::release() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (active_ > 0) --active_;
+  }
+  cv_.notify_one();
+}
+
+void Admission::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Admission::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::size_t Admission::waiting() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+// ---- Server ---------------------------------------------------------
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      service_(service_config(options_)),
+      admission_(std::max<std::size_t>(1, options_.max_inflight),
+                 options_.max_queue) {
+  // The self-pipe exists for the server's whole lifetime so stop() is
+  // safe to call from a signal handler at any point.
+  if (pipe(wake_fds_) != 0)
+    throw Error(std::string("serve: pipe: ") + std::strerror(errno));
+}
+
+Server::~Server() {
+  for (const int fd : wake_fds_)
+    if (fd >= 0) close(fd);
+}
+
+void Server::count_error() {
+  const std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.errors;
+}
+
+Server::Counters Server::counters() const {
+  const std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  {
+    const std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.requests;
+  }
+  WireRequest request;
+  try {
+    request = parse_request(line);
+  } catch (const Error& e) {
+    count_error();
+    return render_error_response(nullptr, e.what());
+  }
+  try {
+    if (request.op == "ping") return render_ping_response(request);
+    if (request.op == "stats") return handle_stats(request);
+    if (request.op == "query") return handle_query(request);
+    return handle_tune(std::move(request));
+  } catch (const std::exception& e) {
+    count_error();
+    return render_error_response(&request, e.what());
+  }
+}
+
+std::string Server::handle_tune(WireRequest request) {
+  // Per-request budget caps: one runaway client must not monopolize
+  // the simulator. Capping is reported, not an error.
+  bool capped = false;
+  if (request.tune.hybrid.empirical_budget > options_.max_budget) {
+    request.tune.hybrid.empirical_budget = options_.max_budget;
+    capped = true;
+  }
+  if (request.tune.search.budget > options_.max_search_budget) {
+    request.tune.search.budget = options_.max_search_budget;
+    capped = true;
+  }
+
+  const AdmissionGuard guard(admission_);
+  if (!guard.admitted()) {
+    {
+      const std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.shed;
+    }
+    return render_shed_response(
+        request,
+        str::format("server at capacity (inflight %zu, queue %zu)",
+                    options_.max_inflight, options_.max_queue));
+  }
+  const core::TuneResponse response = service_.tune(request.tune);
+  if (!response.ok()) count_error();
+  return render_tune_response(request, response, capped);
+}
+
+std::string Server::handle_query(const WireRequest& request) {
+  const core::TuningService::QueryResult result = service_.query(
+      request.tune.kernel, request.tune.gpu, request.tune.n);
+  return render_query_response(request, result);
+}
+
+std::string Server::handle_stats(const WireRequest& request) {
+  const core::TuningService::Stats stats = service_.stats();
+  const Counters counters = this->counters();
+  JsonWriter w;
+  w.field("status", "ok").field("op", "stats");
+  if (request.has_id) w.field("id", request.id);
+  w.field("requests", static_cast<std::uint64_t>(counters.requests));
+  w.field("shed", static_cast<std::uint64_t>(counters.shed));
+  w.field("errors", static_cast<std::uint64_t>(counters.errors));
+  w.field("tunes", static_cast<std::uint64_t>(stats.requests));
+  w.field("searches", static_cast<std::uint64_t>(stats.searches));
+  w.field("deduplicated",
+          static_cast<std::uint64_t>(stats.deduplicated));
+  w.field("store_records",
+          static_cast<std::uint64_t>(service_.store_records()));
+  return w.str();
+}
+
+int Server::run_pipe(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!stopping_.load() && std::getline(in, line)) {
+    if (str::trim(line).empty()) continue;
+    out << handle_line(line) << "\n" << std::flush;
+  }
+  service_.persist();
+  return 0;
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  // Only async-signal-safe calls past this point: wake the poll loop.
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t rc = write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) break;  // EOF, reset, or shutdown()
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (str::trim(line).empty()) continue;
+    const std::string response = handle_line(line) + "\n";
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t wrote =
+          send(fd, response.data() + sent, response.size() - sent,
+               MSG_NOSIGNAL);
+      if (wrote <= 0) break;
+      sent += static_cast<std::size_t>(wrote);
+    }
+    if (sent < response.size()) break;  // client went away mid-write
+  }
+  close(fd);
+  const std::lock_guard<std::mutex> lock(clients_mu_);
+  client_fds_.erase(
+      std::remove(client_fds_.begin(), client_fds_.end(), fd),
+      client_fds_.end());
+}
+
+int Server::run_tcp(std::ostream& log) {
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0)
+    throw Error(std::string("serve: socket: ") + std::strerror(errno));
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof addr) != 0 ||
+      listen(listen_fd, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    close(listen_fd);
+    throw Error("serve: cannot listen on 127.0.0.1:" +
+                std::to_string(options_.port) + ": " + what);
+  }
+  socklen_t addr_len = sizeof addr;
+  getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_.store(ntohs(addr.sin_port));
+
+  for (const std::string& w : service_.load_warnings())
+    log << "warning: " << w << "\n";
+  log << "gpustatic serve: listening on 127.0.0.1:" << bound_port_.load()
+      << "\n"
+      << std::flush;
+
+  std::vector<std::thread> handlers;
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    {
+      const std::lock_guard<std::mutex> lock(clients_mu_);
+      client_fds_.push_back(client);
+    }
+    handlers.emplace_back(&Server::serve_connection, this, client);
+  }
+
+  close(listen_fd);
+  admission_.stop();  // queued waiters shed instead of blocking shutdown
+  {
+    // shutdown() (not close) so handler threads blocked in recv wake
+    // up; each thread still owns its fd and closes it itself.
+    const std::lock_guard<std::mutex> lock(clients_mu_);
+    for (const int fd : client_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : handlers) t.join();
+  service_.persist();
+  log << "gpustatic serve: shut down cleanly ("
+      << service_.store_records() << " store records persisted)\n"
+      << std::flush;
+  return 0;
+}
+
+}  // namespace gpustatic::serve

@@ -1,0 +1,142 @@
+#pragma once
+
+// gpustatic serve: the long-running tuning daemon. One process owns a
+// core::TuningService (process-wide CompilationCache + TuningStore +
+// single-flight request dedup) and answers line-delimited JSON requests
+// (serve/protocol.hpp) over either transport:
+//
+//   * TCP (run_tcp): a loopback listener, one handler thread per
+//     connection; each request's simulator batches flow through the
+//     shared common::ThreadPool exactly as in CLI tuning. SIGTERM-style
+//     shutdown goes through stop() — async-signal-safe — which drains
+//     connections, persists the store, and returns cleanly.
+//   * pipe (run_pipe): stdin/stdout, one response line per request
+//     line. The testable transport, and handy for scripting.
+//
+// Admission policy for cache-miss storms: at most `max_inflight` tune
+// requests run concurrently; up to `max_queue` more wait their turn;
+// beyond that the server answers immediately with status "shed"
+// (retry:true) instead of building an unbounded backlog. Per-request
+// budget caps bound the damage any single request can do.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+#include "serve/protocol.hpp"
+
+namespace gpustatic::serve {
+
+struct ServeOptions {
+  std::string store_path;    ///< persistent store; empty = in-memory
+  int port = 0;              ///< TCP port; 0 = ephemeral (printed on start)
+  std::size_t max_inflight = 8;  ///< concurrent tune searches admitted
+  std::size_t max_queue = 32;    ///< waiters beyond that; then shed
+  std::size_t max_budget = 64;   ///< cap on a request's hybrid budget
+  std::size_t max_search_budget = 5000;  ///< cap on a request's search budget
+  std::size_t save_every = 8;  ///< persist store every N store writes
+};
+
+/// Counting-semaphore admission with a bounded wait queue: acquire()
+/// admits immediately below `max_inflight`, waits while the queue has
+/// room, and returns false (shed) when the queue is full or stop() was
+/// called. Its own class so the policy is unit-testable without a
+/// server.
+class Admission {
+ public:
+  Admission(std::size_t max_inflight, std::size_t max_queue)
+      : max_inflight_(max_inflight), max_queue_(max_queue) {}
+
+  /// True = admitted (pair with release()); false = shed this request.
+  [[nodiscard]] bool acquire();
+  void release();
+  /// Wakes every waiter to shed; subsequent acquires shed immediately.
+  void stop();
+
+  [[nodiscard]] std::size_t active() const;
+  [[nodiscard]] std::size_t waiting() const;
+
+ private:
+  const std::size_t max_inflight_;
+  const std::size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t active_ = 0;
+  std::size_t waiting_ = 0;
+  bool stopping_ = false;
+};
+
+class Server {
+ public:
+  /// Builds the TuningService (loading ServeOptions::store_path when
+  /// set — load warnings go to the transport log on startup).
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// One request line -> one response line (no trailing newline). The
+  /// whole protocol minus transport: never throws — malformed input and
+  /// failed tunes render as status:"error", capacity as status:"shed".
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Pipe transport: serve request lines from `in` until EOF or
+  /// stop(), writing one flushed response line each. Returns 0; the
+  /// store is persisted before returning.
+  int run_pipe(std::istream& in, std::ostream& out);
+
+  /// TCP transport on 127.0.0.1:port (options().port 0 = ephemeral;
+  /// the chosen port is printed to `log` as "listening on ..." before
+  /// the first accept). Serves until stop(); drains connections,
+  /// persists the store, returns 0 on clean shutdown. Throws Error when
+  /// the socket cannot be created or bound.
+  int run_tcp(std::ostream& log);
+
+  /// Begin shutdown. Async-signal-safe (atomic flag + self-pipe write):
+  /// call it straight from a SIGTERM/SIGINT handler.
+  void stop();
+
+  struct Counters {
+    std::size_t requests = 0;  ///< lines received (any op)
+    std::size_t shed = 0;      ///< tunes refused by admission
+    std::size_t errors = 0;    ///< malformed requests + failed ops
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] core::TuningService& service() { return service_; }
+  /// Exposed so tests can pin shed behavior deterministically (occupy
+  /// the slots, then watch a request shed).
+  [[nodiscard]] Admission& admission() { return admission_; }
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
+  /// The TCP port actually bound (after "listening on" is printed);
+  /// 0 before run_tcp.
+  [[nodiscard]] int bound_port() const { return bound_port_; }
+
+ private:
+  [[nodiscard]] std::string handle_tune(WireRequest request);
+  [[nodiscard]] std::string handle_query(const WireRequest& request);
+  [[nodiscard]] std::string handle_stats(const WireRequest& request);
+  void serve_connection(int fd);
+  void count_error();
+
+  ServeOptions options_;
+  core::TuningService service_;
+  Admission admission_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> bound_port_{0};
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe; [1] written by stop()
+  std::mutex clients_mu_;
+  std::vector<int> client_fds_;
+};
+
+}  // namespace gpustatic::serve

@@ -33,8 +33,12 @@ double best_predicted_cost(const FleetJob& job,
 /// deterministic harvest of everything the memo learned.
 void run_job(const FleetJob& job, const TuningStore& store,
              const FleetTuneOptions& opts, FleetJobReport& report,
-             std::vector<StoreRecord>& harvest) {
-  SimEvaluator sim(job.workload, *job.gpu, opts.run);
+             std::vector<StoreRecord>* harvest,
+             std::shared_ptr<sim::SimContext> context) {
+  SimEvaluator sim(context != nullptr
+                       ? std::move(context)
+                       : std::make_shared<sim::SimContext>(
+                             job.workload, *job.gpu, opts.run));
   CachingEvaluator cache(job.space, sim);
   for (const StoreRecord* r :
        store.context(job.kernel, job.gpu->name, job.n)) {
@@ -72,6 +76,7 @@ void run_job(const FleetJob& job, const TuningStore& store,
       best_predicted_cost(job, report.outcome,
                           sim.context().compilation_cache());
 
+  if (harvest == nullptr) return;
   // Harvest in flat-index order: the memo iterates unordered, and a
   // deterministic store file needs a deterministic record order.
   std::vector<std::pair<std::size_t, double>> learned;
@@ -80,7 +85,7 @@ void run_job(const FleetJob& job, const TuningStore& store,
     learned.emplace_back(job.space.flat_index(p), v);
   });
   std::sort(learned.begin(), learned.end());
-  harvest.reserve(learned.size());
+  harvest->reserve(learned.size());
   for (const auto& [flat, v] : learned) {
     StoreRecord r;
     r.kernel = job.kernel;
@@ -92,11 +97,31 @@ void run_job(const FleetJob& job, const TuningStore& store,
     } else {
       r.variant.measured_ms = v;
     }
-    harvest.push_back(std::move(r));
+    harvest->push_back(std::move(r));
   }
 }
 
 }  // namespace
+
+FleetJobReport tune_job(const FleetJob& job, const TuningStore& store,
+                        const FleetTuneOptions& opts,
+                        std::vector<StoreRecord>* harvest,
+                        std::shared_ptr<sim::SimContext> context) {
+  FleetJobReport report;
+  report.kernel = job.kernel;
+  report.gpu = job.gpu != nullptr ? job.gpu->name : "";
+  report.n = job.n;
+  report.method = opts.method;
+  try {
+    if (job.gpu == nullptr)
+      throw Error("fleet job '" + job.kernel + "': no GPU");
+    run_job(job, store, opts, report, harvest, std::move(context));
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    if (harvest != nullptr) harvest->clear();  // a failed job contributes nothing
+  }
+  return report;
+}
 
 std::vector<FleetJobReport> tune_fleet(const std::vector<FleetJob>& jobs,
                                        TuningStore& store,
@@ -110,20 +135,7 @@ std::vector<FleetJobReport> tune_fleet(const std::vector<FleetJob>& jobs,
   // (and a 1-thread configuration degenerates to a sequential loop).
   ThreadPool pool(ThreadPool::configured_threads());
   pool.parallel_for(jobs.size(), [&](std::size_t k) {
-    const FleetJob& job = jobs[k];
-    FleetJobReport& report = reports[k];
-    report.kernel = job.kernel;
-    report.gpu = job.gpu != nullptr ? job.gpu->name : "";
-    report.n = job.n;
-    report.method = opts.method;
-    try {
-      if (job.gpu == nullptr)
-        throw Error("fleet job '" + job.kernel + "': no GPU");
-      run_job(job, store, opts, report, harvests[k]);
-    } catch (const std::exception& e) {
-      report.error = e.what();
-      harvests[k].clear();  // a failed job contributes nothing
-    }
+    reports[k] = tune_job(jobs[k], store, opts, &harvests[k]);
   });
 
   // Single-threaded merge, in job order: deterministic, and upserts

@@ -15,11 +15,13 @@
 // strategy (fleet concurrency never reorders a search's decisions).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/gpu_spec.hpp"
 #include "dsl/ast.hpp"
+#include "sim/context.hpp"
 #include "sim/runner.hpp"
 #include "tuner/store.hpp"
 #include "tuner/strategy.hpp"
@@ -61,6 +63,23 @@ struct FleetJobReport {
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
+
+/// Tune one job, warm-started from `store` (which is only read). Never
+/// throws: a failure lands in the report's `error` field, so callers on
+/// worker threads need no handler. `harvest`, when non-null, receives
+/// everything the memo learned in flat-space-index order (ready for a
+/// deterministic store merge; left empty on failure). `context`, when
+/// non-null, supplies the evaluation pipeline (compilation cache +
+/// simulator scratch) instead of a fresh per-call one — the sharing
+/// hook the tuning service uses so repeated requests for the same
+/// (kernel, gpu, n) never recompile; it must have been built from this
+/// job's workload/GPU and `opts.run`. Results are byte-identical to a
+/// standalone core::TuningSession::tune() of the same request.
+[[nodiscard]] FleetJobReport tune_job(
+    const FleetJob& job, const TuningStore& store,
+    const FleetTuneOptions& opts,
+    std::vector<StoreRecord>* harvest = nullptr,
+    std::shared_ptr<sim::SimContext> context = nullptr);
 
 /// Tune every job, warm-starting each from `store` and merging every
 /// measurement (new and refreshed) back into it afterwards. Reports

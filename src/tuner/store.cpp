@@ -1,5 +1,6 @@
 #include "tuner/store.hpp"
 
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -156,6 +157,19 @@ TuningStore TuningStore::load(const std::string& path,
 
 void TuningStore::save(const std::string& path) const {
   io::write_file_atomic(path, serialize());
+}
+
+void TuningStore::merge_and_save(const std::string& path,
+                                 std::vector<std::string>* warnings) {
+  // One lock for every path: merges are rare (end of a fleet pass, the
+  // daemon's periodic persist) and a per-path registry would complicate
+  // lifetime for no measurable gain.
+  static std::mutex merge_mu;
+  const std::lock_guard<std::mutex> lock(merge_mu);
+  TuningStore merged = load(path, warnings);
+  for (const StoreRecord& r : records_) merged.put(r);
+  merged.save(path);
+  *this = std::move(merged);
 }
 
 }  // namespace gpustatic::tuner

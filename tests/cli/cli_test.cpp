@@ -376,3 +376,63 @@ TEST(CliRun, ProfileReturnsNonZeroForUnlaunchableVariant) {
   EXPECT_EQ(code, 1);
   EXPECT_NE(out.str().find("not launchable"), std::string::npos);
 }
+
+// ---- exit-code contract -----------------------------------------------------
+
+namespace {
+
+/// run_main with captured stdout/stderr; returns the exit code.
+int main_code(std::initializer_list<const char*> args,
+              std::string* err_text = nullptr) {
+  std::ostringstream out, err;
+  const int code = cli::run_main(
+      std::vector<std::string>(args.begin(), args.end()), out, err);
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+}  // namespace
+
+TEST(CliExitCodes, SuccessIsZero) {
+  EXPECT_EQ(main_code({"gpus"}), cli::kExitOk);
+  EXPECT_EQ(main_code({"--help"}), cli::kExitOk);
+  EXPECT_EQ(main_code({"tune", "--method", "list"}), cli::kExitOk);
+}
+
+TEST(CliExitCodes, UsageMistakesAreTwo) {
+  EXPECT_EQ(main_code({}), cli::kExitUsage);  // no command
+  EXPECT_EQ(main_code({"frobnicate"}), cli::kExitUsage);
+  EXPECT_EQ(main_code({"analyze", "atax", "--bogus"}), cli::kExitUsage);
+  EXPECT_EQ(main_code({"analyze", "atax", "-n", "abc"}), cli::kExitUsage);
+  EXPECT_EQ(main_code({"analyze", "atax", "-n"}), cli::kExitUsage);
+  EXPECT_EQ(main_code({"analyze"}), cli::kExitUsage);  // missing kernel
+  EXPECT_EQ(main_code({"tune"}), cli::kExitUsage);
+  EXPECT_EQ(main_code({"tune", "atax", "--method", "bogus"}),
+            cli::kExitUsage);
+  EXPECT_EQ(main_code({"tune-fleet", "--report", "bogus"}),
+            cli::kExitUsage);
+}
+
+TEST(CliExitCodes, CommandFailuresAreOne) {
+  // The invocation is well-formed; the work itself fails.
+  EXPECT_EQ(main_code({"tune", "nosuchkernel"}), cli::kExitError);
+  EXPECT_EQ(main_code({"analyze", "/no/such/file.gk"}), cli::kExitError);
+}
+
+TEST(CliExitCodes, ErrorsRenderToStderrWithTheToolPrefix) {
+  std::string err;
+  EXPECT_EQ(main_code({"frobnicate"}, &err), cli::kExitUsage);
+  EXPECT_EQ(err.rfind("gpustatic: ", 0), 0u) << err;
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliExitCodes, HelpDocumentsTheContract) {
+  EXPECT_NE(cli::usage().find("exit codes:"), std::string::npos);
+  EXPECT_NE(cli::usage().find("usage error"), std::string::npos);
+}
+
+TEST(CliExitCodes, UsageErrorIsAnErrorSubclassForCompatibility) {
+  // Existing callers that catch Error keep working.
+  EXPECT_THROW((void)cli::parse_args({"frobnicate", "--x"}), Error);
+  EXPECT_THROW((void)cli::parse_args({}), cli::UsageError);
+}

@@ -1,0 +1,264 @@
+// TuningService: the one tuning entrypoint behind the CLI, the fleet
+// bench, and the serve daemon. These tests pin the service's three
+// contracts: warm repeats are free (zero fresh simulator runs, zero
+// recompiles), identical concurrent requests single-flight into one
+// search, and the store survives instances via merge-and-save
+// persistence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/service.hpp"
+
+using namespace gpustatic;  // NOLINT
+using core::TuneRequest;
+using core::TuneResponse;
+using core::TuningService;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TuneRequest small_request(const char* method = "rule") {
+  TuneRequest r;
+  r.kernel = "atax";
+  r.n = 16;
+  r.method = method;
+  r.hybrid.empirical_budget = 4;
+  return r;
+}
+
+}  // namespace
+
+// ---- request resolution ---------------------------------------------
+
+TEST(ServiceWorkload, ResolvesRegistryNamesAndDefaultSizes) {
+  const dsl::WorkloadDesc wl = core::load_workload("atax", 0);
+  EXPECT_EQ(wl.name, "atax");
+  EXPECT_THROW((void)core::load_workload("nosuchkernel", 0), Error);
+  // A path-looking kernel goes to the file loader, which must fail
+  // loudly on a missing file instead of falling through to the registry.
+  EXPECT_THROW((void)core::load_workload("/no/such/kernel.gk", 16), Error);
+}
+
+TEST(ServiceRequestKey, CoversEveryOutcomeChangingField) {
+  const TuneRequest base = small_request();
+  const std::string key = TuningService::request_key(base);
+  EXPECT_EQ(TuningService::request_key(base), key);  // deterministic
+
+  TuneRequest changed = base;
+  changed.method = "random";
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.n = 32;
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.gpu = "P100";
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.search.seed += 1;
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.hybrid.empirical_budget += 1;
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.run.engine = base.run.engine == sim::Engine::Warp
+                           ? sim::Engine::Analytic
+                           : sim::Engine::Warp;
+  EXPECT_NE(TuningService::request_key(changed), key);
+  changed = base;
+  changed.store.read = false;
+  EXPECT_NE(TuningService::request_key(changed), key);
+}
+
+// ---- the warm-path promise ------------------------------------------
+
+TEST(TuningService, WarmRepeatRunsZeroFreshAndZeroCompiles) {
+  TuningService service;
+  const TuneRequest request = small_request();
+
+  const TuneResponse cold = service.tune(request);
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_GT(cold.fresh_evaluations, 0u);
+  EXPECT_GT(cold.compiles, 0u);
+
+  const TuneResponse warm = service.tune(request);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.fresh_evaluations, 0u);
+  EXPECT_EQ(warm.compiles, 0u);
+  EXPECT_EQ(warm.warm_hits, cold.fresh_evaluations + cold.warm_hits);
+  // Same answer, store-served.
+  EXPECT_EQ(warm.outcome.search.best_params.to_string(),
+            cold.outcome.search.best_params.to_string());
+  EXPECT_DOUBLE_EQ(warm.outcome.search.best_time,
+                   cold.outcome.search.best_time);
+  // Sequential repeats are two searches (the flight ended) — warm, not
+  // deduplicated.
+  EXPECT_FALSE(warm.deduplicated);
+  EXPECT_EQ(service.stats().searches, 2u);
+}
+
+TEST(TuningService, StorePolicyGatesReadsAndWrites) {
+  TuningService service;
+  TuneRequest request = small_request();
+  request.store.write = false;
+  const TuneResponse first = service.tune(request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(service.store_records(), 0u);  // nothing harvested
+
+  request.store.write = true;
+  const TuneResponse second = service.tune(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(service.store_records(), 0u);
+
+  // read=false ignores the warm store: the repeat pays fresh runs again
+  // (the compile cache still applies — contexts are shared regardless).
+  TuneRequest no_read = small_request();
+  no_read.store.read = false;
+  const TuneResponse fresh = service.tune(no_read);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.fresh_evaluations, 0u);
+}
+
+TEST(TuningService, FailuresLandInTheResponseNotAsThrows) {
+  TuningService service;
+  TuneRequest request = small_request();
+  request.kernel = "nosuchkernel";
+  const TuneResponse response = service.tune(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.error.find("nosuchkernel"), std::string::npos);
+  // A failed request contributes no store records.
+  EXPECT_EQ(service.store_records(), 0u);
+}
+
+// ---- single-flight dedup --------------------------------------------
+
+TEST(TuningService, ConcurrentIdenticalRequestsCostOneSearch) {
+  constexpr std::size_t kClients = 4;
+  std::atomic<std::size_t> searches_started{0};
+  TuningService* service_ptr = nullptr;
+
+  TuningService::Config config;
+  // Gate the leader inside its search until every follower has joined
+  // the flight, making the dedup count deterministic, not timing-luck.
+  config.before_search = [&](const TuneRequest&) {
+    searches_started.fetch_add(1);
+    while (service_ptr->stats().deduplicated < kClients - 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  TuningService service(config);
+  service_ptr = &service;
+
+  const TuneRequest request = small_request();
+  std::vector<TuneResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i)
+    clients.emplace_back(
+        [&, i] { responses[i] = service.tune(request); });
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(searches_started.load(), 1u);
+  std::size_t deduplicated = 0;
+  for (const TuneResponse& r : responses) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    if (r.deduplicated) ++deduplicated;
+    // Followers receive the leader's exact result.
+    EXPECT_EQ(r.outcome.search.best_params.to_string(),
+              responses[0].outcome.search.best_params.to_string());
+  }
+  EXPECT_EQ(deduplicated, kClients - 1);
+
+  const TuningService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.searches, 1u);
+  EXPECT_EQ(stats.deduplicated, kClients - 1);
+}
+
+TEST(TuningService, DifferentRequestsDoNotDeduplicate) {
+  TuningService service;
+  const TuneResponse a = service.tune(small_request("rule"));
+  const TuneResponse b = service.tune(small_request("static"));
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(service.stats().searches, 2u);
+  EXPECT_EQ(service.stats().deduplicated, 0u);
+}
+
+// ---- queries and persistence ----------------------------------------
+
+TEST(TuningService, QueryReadsTheStoreWithoutSearching) {
+  TuningService service;
+  const TuneRequest request = small_request();
+  const TuneResponse tuned = service.tune(request);
+  ASSERT_TRUE(tuned.ok()) << tuned.error;
+  const std::size_t searches_before = service.stats().searches;
+
+  const TuningService::QueryResult hit =
+      service.query("atax", "K20", 16);
+  EXPECT_TRUE(hit.found);
+  EXPECT_GT(hit.records, 0u);
+  EXPECT_EQ(hit.best.params.to_string(),
+            tuned.outcome.search.best_params.to_string());
+
+  const TuningService::QueryResult miss =
+      service.query("bicg", "K20", 16);
+  EXPECT_FALSE(miss.found);
+  EXPECT_EQ(miss.records, 0u);
+  EXPECT_EQ(service.stats().searches, searches_before);
+}
+
+TEST(TuningService, StorePersistsAcrossServiceInstances) {
+  const std::string path = temp_path("service_persist.store");
+  std::filesystem::remove(path);
+  const TuneRequest request = small_request();
+
+  std::size_t cold_records = 0;
+  {
+    TuningService::Config config;
+    config.store_path = path;
+    TuningService service(config);
+    const TuneResponse cold = service.tune(request);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    cold_records = service.store_records();
+    EXPECT_GT(cold_records, 0u);
+  }  // destructor persists
+
+  TuningService::Config config;
+  config.store_path = path;
+  TuningService revived(config);
+  EXPECT_TRUE(revived.load_warnings().empty());
+  EXPECT_EQ(revived.store_records(), cold_records);
+  // The warm-path promise holds across a process restart: the reloaded
+  // store answers every evaluation. The new instance pays exactly the
+  // one compile that building its evaluation context costs — never the
+  // per-variant compiles of a cold search.
+  const TuneResponse warm = revived.tune(request);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.fresh_evaluations, 0u);
+  EXPECT_LE(warm.compiles, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningService, PeriodicSaveBoundsTheCrashWindow) {
+  const std::string path = temp_path("service_periodic.store");
+  std::filesystem::remove(path);
+  TuningService::Config config;
+  config.store_path = path;
+  config.save_every = 1;  // persist after every store write
+  TuningService service(config);
+  const TuneResponse tuned = service.tune(small_request());
+  ASSERT_TRUE(tuned.ok()) << tuned.error;
+  // The file is already on disk — no destructor needed.
+  EXPECT_GT(tuner::TuningStore::load(path).size(), 0u);
+  std::filesystem::remove(path);
+}

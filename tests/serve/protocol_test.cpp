@@ -1,0 +1,247 @@
+// The serve wire protocol: flat line-delimited JSON in both directions.
+// These tests pin the grammar (what parses, what is rejected and how),
+// the request mapping onto core::TuneRequest, and the render/parse
+// round trip clients rely on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+using namespace gpustatic;  // NOLINT
+using serve::JsonObject;
+using serve::JsonValue;
+using serve::JsonWriter;
+using serve::WireRequest;
+
+// ---- the JSON layer -------------------------------------------------
+
+TEST(WireJson, ParsesFlatObjects) {
+  const JsonObject obj = serve::parse_json_object(
+      R"(  {"s" : "hi" , "i": 42, "f": -2.5, "t": true, "x": null}  )");
+  ASSERT_EQ(obj.size(), 5u);
+  EXPECT_EQ(obj.at("s").kind, JsonValue::Kind::String);
+  EXPECT_EQ(obj.at("s").string, "hi");
+  EXPECT_EQ(obj.at("i").kind, JsonValue::Kind::Number);
+  EXPECT_DOUBLE_EQ(obj.at("i").number, 42);
+  EXPECT_DOUBLE_EQ(obj.at("f").number, -2.5);
+  EXPECT_EQ(obj.at("t").kind, JsonValue::Kind::Bool);
+  EXPECT_TRUE(obj.at("t").boolean);
+  EXPECT_EQ(obj.at("x").kind, JsonValue::Kind::Null);
+  EXPECT_TRUE(serve::parse_json_object("{}").empty());
+}
+
+TEST(WireJson, DecodesStringEscapes) {
+  const JsonObject obj = serve::parse_json_object(
+      R"({"k":"a\"b\\c\nd\teA"})");
+  EXPECT_EQ(obj.at("k").string, "a\"b\\c\nd\teA");
+}
+
+TEST(WireJson, RejectsMalformedInput) {
+  // Each rejected shape, one line of rationale in the parser.
+  EXPECT_THROW((void)serve::parse_json_object(""), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object("not json"), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":1)"), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a" 1})"), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":})"), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":"x)"), ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":1} extra)"),
+               ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":1,"a":2})"),
+               ParseError);  // duplicate key
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":{"b":1}})"),
+               ParseError);  // nested object: protocol is flat
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":[1,2]})"),
+               ParseError);  // nested array
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":truthy})"),
+               ParseError);
+  EXPECT_THROW((void)serve::parse_json_object(R"({"a":1.2.3})"),
+               ParseError);
+}
+
+TEST(WireJson, WriterEscapesAndOrdersFields) {
+  JsonWriter w;
+  w.field("status", "ok");
+  w.field("text", "a\"b\\c\nd");
+  w.field("count", std::uint64_t{7});
+  w.field("n", std::int64_t{-3});
+  w.field("flag", true);
+  EXPECT_EQ(w.str(),
+            "{\"status\":\"ok\",\"text\":\"a\\\"b\\\\c\\nd\","
+            "\"count\":7,\"n\":-3,\"flag\":true}");
+}
+
+TEST(WireJson, WriterRendersNonFiniteNumbersAsNull) {
+  JsonWriter w;
+  w.number_field("bad", std::numeric_limits<double>::quiet_NaN());
+  w.number_field("good", 0.5);
+  EXPECT_EQ(w.str(), "{\"bad\":null,\"good\":0.5}");
+}
+
+TEST(WireJson, WriterOutputReparsesExactly) {
+  JsonWriter w;
+  w.field("s", "tab\there").field("u", std::uint64_t{9}).field("b", false);
+  const JsonObject back = serve::parse_json_object(w.str());
+  EXPECT_EQ(back.at("s").string, "tab\there");
+  EXPECT_DOUBLE_EQ(back.at("u").number, 9);
+  EXPECT_FALSE(back.at("b").boolean);
+}
+
+// ---- request parsing ------------------------------------------------
+
+TEST(WireRequestParse, MapsEveryTuneFieldOntoTheServiceRequest) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","gpu":"P100","n":64,)"
+      R"("method":"random","seed":99,"budget":8,"search_budget":50,)"
+      R"("engine":"analytic","store_read":false,"store_write":false,)"
+      R"("id":12})");
+  EXPECT_EQ(req.op, "tune");
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 12u);
+  EXPECT_EQ(req.tune.kernel, "atax");
+  EXPECT_EQ(req.tune.gpu, "P100");
+  EXPECT_EQ(req.tune.n, 64);
+  EXPECT_EQ(req.tune.method, "random");
+  EXPECT_EQ(req.tune.search.seed, 99u);
+  EXPECT_EQ(req.tune.hybrid.empirical_budget, 8u);
+  EXPECT_EQ(req.tune.search.budget, 50u);
+  EXPECT_EQ(req.tune.run.engine, sim::Engine::Analytic);
+  EXPECT_FALSE(req.tune.store.read);
+  EXPECT_FALSE(req.tune.store.write);
+}
+
+TEST(WireRequestParse, DefaultsMatchTheCli) {
+  const WireRequest req =
+      serve::parse_request(R"({"op":"tune","kernel":"bicg"})");
+  EXPECT_FALSE(req.has_id);
+  EXPECT_EQ(req.tune.gpu, "K20");
+  EXPECT_EQ(req.tune.n, 0);  // 0 = per-kernel default, like the CLI
+  EXPECT_EQ(req.tune.method, "rule");
+  EXPECT_TRUE(req.tune.store.read);
+  EXPECT_TRUE(req.tune.store.write);
+}
+
+TEST(WireRequestParse, RejectsUnknownAndMistypedFields) {
+  // A typoed knob must not silently tune the wrong thing.
+  EXPECT_THROW(
+      (void)serve::parse_request(R"({"op":"tune","kernel":"atax","bugdet":4})"),
+      ParseError);
+  EXPECT_THROW((void)serve::parse_request(R"({"kernel":"atax"})"),
+               ParseError);  // missing op
+  EXPECT_THROW((void)serve::parse_request(R"({"op":"dance"})"),
+               ParseError);  // unknown op
+  EXPECT_THROW((void)serve::parse_request(R"({"op":"tune"})"),
+               ParseError);  // tune needs a kernel
+  EXPECT_THROW((void)serve::parse_request(R"({"op":"query"})"),
+               ParseError);  // query needs a kernel
+  EXPECT_THROW(
+      (void)serve::parse_request(R"({"op":"tune","kernel":42})"),
+      ParseError);  // kernel must be a string
+  EXPECT_THROW(
+      (void)serve::parse_request(R"({"op":"tune","kernel":"atax","n":1.5})"),
+      ParseError);  // n must be an integer
+  EXPECT_THROW(
+      (void)serve::parse_request(
+          R"({"op":"tune","kernel":"atax","engine":"cuda"})"),
+      ParseError);  // unknown engine
+  EXPECT_THROW(
+      (void)serve::parse_request(
+          R"({"op":"tune","kernel":"atax","id":-1})"),
+      ParseError);  // negative id
+  EXPECT_THROW(
+      (void)serve::parse_request(
+          R"({"op":"tune","kernel":"atax","store_read":1})"),
+      ParseError);  // booleans are not numbers
+}
+
+TEST(WireRequestParse, OpsWithoutAKernelParse) {
+  EXPECT_EQ(serve::parse_request(R"({"op":"ping"})").op, "ping");
+  EXPECT_EQ(serve::parse_request(R"({"op":"stats","id":3})").op, "stats");
+}
+
+// ---- render/parse round trip ----------------------------------------
+
+TEST(WireRequestRoundTrip, RenderedRequestsReparseIdentically) {
+  WireRequest req;
+  req.op = "tune";
+  req.id = 41;
+  req.has_id = true;
+  req.tune.kernel = "matvec2d";
+  req.tune.gpu = "M40";
+  req.tune.n = 128;
+  req.tune.method = "hybrid";
+  req.tune.search.seed = 7;
+  req.tune.hybrid.empirical_budget = 6;
+  req.tune.run.engine = sim::Engine::Analytic;
+  req.tune.store.write = false;
+
+  const WireRequest back = serve::parse_request(serve::render_request(req));
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.tune.kernel, req.tune.kernel);
+  EXPECT_EQ(back.tune.gpu, req.tune.gpu);
+  EXPECT_EQ(back.tune.n, req.tune.n);
+  EXPECT_EQ(back.tune.method, req.tune.method);
+  EXPECT_EQ(back.tune.search.seed, req.tune.search.seed);
+  EXPECT_EQ(back.tune.hybrid.empirical_budget,
+            req.tune.hybrid.empirical_budget);
+  EXPECT_EQ(back.tune.run.engine, req.tune.run.engine);
+  EXPECT_TRUE(back.tune.store.read);
+  EXPECT_FALSE(back.tune.store.write);
+}
+
+// ---- response rendering ---------------------------------------------
+
+TEST(WireResponse, TuneResponseCarriesTheWarmPathAccounting) {
+  WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","id":5})");
+  core::TuneResponse response;
+  response.kernel = "atax";
+  response.gpu = "K20";
+  response.n = 32;
+  response.method = "rule";
+  response.fresh_evaluations = 0;
+  response.warm_hits = 320;
+  response.compiles = 0;
+  response.deduplicated = true;
+  const std::string line =
+      serve::render_tune_response(req, response, /*budget_capped=*/true);
+  const serve::JsonObject obj = serve::parse_json_object(line);
+  EXPECT_EQ(obj.at("status").string, "ok");
+  EXPECT_DOUBLE_EQ(obj.at("id").number, 5);
+  EXPECT_DOUBLE_EQ(obj.at("fresh").number, 0);
+  EXPECT_DOUBLE_EQ(obj.at("warm").number, 320);
+  EXPECT_DOUBLE_EQ(obj.at("compiles").number, 0);
+  EXPECT_TRUE(obj.at("deduplicated").boolean);
+  EXPECT_TRUE(obj.at("budget_capped").boolean);
+}
+
+TEST(WireResponse, FailedTuneRendersAsError) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","id":8})");
+  core::TuneResponse response;
+  response.error = "no such GPU";
+  const serve::JsonObject obj = serve::parse_json_object(
+      serve::render_tune_response(req, response, false));
+  EXPECT_EQ(obj.at("status").string, "error");
+  EXPECT_DOUBLE_EQ(obj.at("id").number, 8);
+  EXPECT_EQ(obj.at("error").string, "no such GPU");
+}
+
+TEST(WireResponse, ShedAndErrorResponsesEchoTheRequestId) {
+  const WireRequest req =
+      serve::parse_request(R"({"op":"tune","kernel":"atax","id":2})");
+  const serve::JsonObject shed =
+      serve::parse_json_object(serve::render_shed_response(req, "full"));
+  EXPECT_EQ(shed.at("status").string, "shed");
+  EXPECT_TRUE(shed.at("retry").boolean);
+  EXPECT_DOUBLE_EQ(shed.at("id").number, 2);
+
+  const serve::JsonObject err = serve::parse_json_object(
+      serve::render_error_response(nullptr, "bad line"));
+  EXPECT_EQ(err.at("status").string, "error");
+  EXPECT_EQ(err.count("id"), 0u);  // no id when the line never parsed
+}

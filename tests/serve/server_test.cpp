@@ -1,0 +1,292 @@
+// The serve daemon behind the transports: admission policy, request
+// dispatch, error isolation (a bad line never kills the session), the
+// warm-path promise over the wire, and clean TCP shutdown via the
+// async-signal-safe stop().
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+using namespace gpustatic;  // NOLINT
+using serve::Admission;
+using serve::JsonObject;
+using serve::ServeOptions;
+using serve::Server;
+
+namespace {
+
+/// A cheap tune request line (atax at n=16 resolves in well under a
+/// second on the warp engine).
+const char* kTuneLine = R"({"op":"tune","kernel":"atax","n":16})";
+
+ServeOptions in_memory_options() {
+  ServeOptions opts;
+  opts.store_path.clear();  // in-memory store
+  return opts;
+}
+
+}  // namespace
+
+// ---- admission policy -----------------------------------------------
+
+TEST(Admission, AdmitsUpToMaxInflightImmediately) {
+  Admission adm(2, 0);
+  EXPECT_TRUE(adm.acquire());
+  EXPECT_TRUE(adm.acquire());
+  EXPECT_EQ(adm.active(), 2u);
+  // Slots full, queue empty: the third request sheds.
+  EXPECT_FALSE(adm.acquire());
+  adm.release();
+  EXPECT_TRUE(adm.acquire());
+  adm.release();
+  adm.release();
+  EXPECT_EQ(adm.active(), 0u);
+}
+
+TEST(Admission, QueuedRequestWaitsForAReleasedSlot) {
+  Admission adm(1, 1);
+  ASSERT_TRUE(adm.acquire());
+  std::thread waiter([&] {
+    EXPECT_TRUE(adm.acquire());  // blocks until the release below
+    adm.release();
+  });
+  while (adm.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // One waiter queued; the queue is full, so the next request sheds
+  // instead of building a backlog.
+  EXPECT_FALSE(adm.acquire());
+  adm.release();
+  waiter.join();
+  EXPECT_EQ(adm.active(), 0u);
+  EXPECT_EQ(adm.waiting(), 0u);
+}
+
+TEST(Admission, StopShedsWaitersAndFutureRequests) {
+  Admission adm(1, 4);
+  ASSERT_TRUE(adm.acquire());
+  std::thread waiter([&] { EXPECT_FALSE(adm.acquire()); });
+  while (adm.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  adm.stop();
+  waiter.join();
+  EXPECT_FALSE(adm.acquire());
+}
+
+// ---- request dispatch -----------------------------------------------
+
+TEST(Server, AnswersPingAndStats) {
+  Server server(in_memory_options());
+  const JsonObject ping = serve::parse_json_object(
+      server.handle_line(R"({"op":"ping","id":1})"));
+  EXPECT_EQ(ping.at("status").string, "ok");
+  EXPECT_DOUBLE_EQ(ping.at("id").number, 1);
+
+  const JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("status").string, "ok");
+  EXPECT_DOUBLE_EQ(stats.at("requests").number, 2);  // ping + stats
+  EXPECT_DOUBLE_EQ(stats.at("searches").number, 0);
+}
+
+TEST(Server, MalformedLinesErrorWithoutKillingTheSession) {
+  Server server(in_memory_options());
+  const JsonObject bad =
+      serve::parse_json_object(server.handle_line("not json at all"));
+  EXPECT_EQ(bad.at("status").string, "error");
+  const JsonObject unknown = serve::parse_json_object(
+      server.handle_line(R"({"op":"tune","kernel":"atax","bogus":1})"));
+  EXPECT_EQ(unknown.at("status").string, "error");
+  // The session is still serving.
+  const JsonObject ok =
+      serve::parse_json_object(server.handle_line(R"({"op":"ping"})"));
+  EXPECT_EQ(ok.at("status").string, "ok");
+  EXPECT_EQ(server.counters().errors, 2u);
+  EXPECT_EQ(server.counters().requests, 3u);
+}
+
+TEST(Server, FailedTunesReportErrorsInBand) {
+  Server server(in_memory_options());
+  const JsonObject resp = serve::parse_json_object(
+      server.handle_line(R"({"op":"tune","kernel":"nosuchkernel"})"));
+  EXPECT_EQ(resp.at("status").string, "error");
+  EXPECT_NE(resp.at("error").string.find("nosuchkernel"),
+            std::string::npos);
+  EXPECT_EQ(server.counters().errors, 1u);
+}
+
+TEST(Server, ClampsPerRequestBudgetsToTheAdmissionCaps) {
+  ServeOptions opts = in_memory_options();
+  opts.max_budget = 2;
+  opts.max_search_budget = 10;
+  Server server(opts);
+  const JsonObject resp = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","n":16,"budget":1000,)"
+      R"("search_budget":100000})"));
+  ASSERT_EQ(resp.at("status").string, "ok") << resp.at("error").string;
+  EXPECT_TRUE(resp.at("budget_capped").boolean);
+  // An in-cap request is not flagged.
+  const JsonObject small = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","n":16,"budget":1,"search_budget":5})"));
+  ASSERT_EQ(small.at("status").string, "ok");
+  EXPECT_FALSE(small.at("budget_capped").boolean);
+}
+
+TEST(Server, ShedsTuneRequestsWhenAtCapacity) {
+  ServeOptions opts = in_memory_options();
+  opts.max_inflight = 1;
+  opts.max_queue = 0;
+  Server server(opts);
+  // Occupy the only slot directly — deterministic, no racing searches.
+  ASSERT_TRUE(server.admission().acquire());
+  const JsonObject shed =
+      serve::parse_json_object(server.handle_line(kTuneLine));
+  EXPECT_EQ(shed.at("status").string, "shed");
+  EXPECT_TRUE(shed.at("retry").boolean);
+  EXPECT_EQ(server.counters().shed, 1u);
+  // Pings bypass admission: the daemon stays observable under load.
+  EXPECT_EQ(serve::parse_json_object(
+                server.handle_line(R"({"op":"ping"})"))
+                .at("status")
+                .string,
+            "ok");
+  server.admission().release();
+  const JsonObject ok =
+      serve::parse_json_object(server.handle_line(kTuneLine));
+  EXPECT_EQ(ok.at("status").string, "ok") << ok.at("error").string;
+}
+
+// ---- the warm-path promise over the wire ----------------------------
+
+TEST(Server, WarmRepeatOverThePipeRunsNothingFresh) {
+  Server server(in_memory_options());
+  std::istringstream in(std::string(kTuneLine) + "\n" + kTuneLine +
+                        "\n" + R"({"op":"query","kernel":"atax","n":16})" +
+                        "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run_pipe(in, out), 0);
+
+  std::istringstream lines(out.str());
+  std::string cold_line, warm_line, query_line;
+  ASSERT_TRUE(std::getline(lines, cold_line));
+  ASSERT_TRUE(std::getline(lines, warm_line));
+  ASSERT_TRUE(std::getline(lines, query_line));
+
+  const JsonObject cold = serve::parse_json_object(cold_line);
+  ASSERT_EQ(cold.at("status").string, "ok") << cold.at("error").string;
+  EXPECT_GT(cold.at("fresh").number, 0);
+  EXPECT_GT(cold.at("compiles").number, 0);
+
+  const JsonObject warm = serve::parse_json_object(warm_line);
+  ASSERT_EQ(warm.at("status").string, "ok");
+  EXPECT_DOUBLE_EQ(warm.at("fresh").number, 0);
+  EXPECT_DOUBLE_EQ(warm.at("compiles").number, 0);
+  EXPECT_EQ(warm.at("best").string, cold.at("best").string);
+
+  const JsonObject query = serve::parse_json_object(query_line);
+  EXPECT_EQ(query.at("status").string, "ok");
+  EXPECT_TRUE(query.at("found").boolean);
+  EXPECT_EQ(query.at("best").string, cold.at("best").string);
+}
+
+TEST(Server, PipeSkipsBlankLinesAndSurvivesGarbage) {
+  Server server(in_memory_options());
+  std::istringstream in("\n\nnot json\n{\"op\":\"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run_pipe(in, out), 0);
+  std::istringstream lines(out.str());
+  std::string first, second, extra;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_FALSE(std::getline(lines, extra));  // blanks produce no output
+  EXPECT_EQ(serve::parse_json_object(first).at("status").string, "error");
+  EXPECT_EQ(serve::parse_json_object(second).at("status").string, "ok");
+}
+
+// ---- TCP transport --------------------------------------------------
+
+namespace {
+
+/// Connect to the test server, send `lines`, read one response line
+/// each, then close.
+std::vector<std::string> tcp_exchange(int port,
+                                      const std::vector<std::string>& lines) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr),
+            0);
+  std::vector<std::string> responses;
+  std::string buffer;
+  char chunk[4096];
+  for (const std::string& line : lines) {
+    const std::string out = line + "\n";
+    EXPECT_EQ(send(fd, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    while (buffer.find('\n') == std::string::npos) {
+      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(got));
+    }
+    const std::size_t nl = buffer.find('\n');
+    if (nl == std::string::npos) break;
+    responses.push_back(buffer.substr(0, nl));
+    buffer.erase(0, nl + 1);
+  }
+  close(fd);
+  return responses;
+}
+
+}  // namespace
+
+TEST(Server, TcpServesConcurrentClientsAndStopsCleanly) {
+  ServeOptions opts = in_memory_options();
+  opts.port = 0;  // ephemeral
+  Server server(opts);
+  std::ostringstream log;
+  std::thread daemon([&] { EXPECT_EQ(server.run_tcp(log), 0); });
+  while (server.bound_port() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const int port = server.bound_port();
+
+  std::vector<std::vector<std::string>> replies(3);
+  std::vector<std::thread> clients;
+  clients.reserve(replies.size());
+  for (std::size_t i = 0; i < replies.size(); ++i)
+    clients.emplace_back([&, i] {
+      replies[i] = tcp_exchange(
+          port, {R"({"op":"ping"})", kTuneLine, R"({"op":"stats"})"});
+    });
+  for (std::thread& t : clients) t.join();
+
+  for (const std::vector<std::string>& lines : replies) {
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(serve::parse_json_object(lines[0]).at("status").string,
+              "ok");
+    const JsonObject tune = serve::parse_json_object(lines[1]);
+    EXPECT_EQ(tune.at("status").string, "ok") << lines[1];
+  }
+
+  // stop() is the SIGTERM path: drain, persist, exit 0.
+  server.stop();
+  daemon.join();
+  EXPECT_NE(log.str().find("listening on 127.0.0.1:"), std::string::npos);
+  EXPECT_NE(log.str().find("shut down cleanly"), std::string::npos);
+  // The three concurrent identical tunes cost at most... exactly the
+  // searches the single-flight let through; all clients got answers.
+  EXPECT_GE(server.service().stats().requests, 3u);
+}

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -197,6 +198,62 @@ TEST(TuningStore, FailedSaveLeavesTargetIntact) {
   // Saving into a nonexistent directory fails before touching `path`.
   EXPECT_THROW(other.save(temp_path("no_such_dir/x.store")), Error);
   EXPECT_EQ(TuningStore::load(path).serialize(), before);
+  std::filesystem::remove(path);
+}
+
+// ---- merge_and_save -------------------------------------------------------
+
+TEST(TuningStore, MergeAndSaveAdoptsTheMergedView) {
+  const std::string path = temp_path("store_merge_view.store");
+  std::filesystem::remove(path);
+  TuningStore first;
+  first.put(record("atax", "K20", 64, 128, 0.25));
+  first.save(path);
+
+  TuningStore second;
+  second.put(record("atax", "K20", 64, 256, 0.5));
+  second.merge_and_save(path);
+  // The caller now holds disk ∪ its own records, and so does the file.
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(TuningStore::load(path).size(), 2u);
+
+  // The caller's records win on key collisions (they are newer).
+  TuningStore refresher;
+  refresher.put(record("atax", "K20", 64, 128, 0.125));
+  refresher.merge_and_save(path);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  EXPECT_DOUBLE_EQ(
+      TuningStore::load(path).find("atax", "K20", 64, p)->measured_ms,
+      0.125);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningStore, MergeAndSaveKeepsConcurrentWritersRecords) {
+  const std::string path = temp_path("store_merge_race.store");
+  std::filesystem::remove(path);
+  // Two threads, disjoint record sets, hammering one path. With plain
+  // save() the last writer would win and half the records would vanish;
+  // merge_and_save must keep every one.
+  constexpr int kRounds = 16;
+  auto writer = [&path](const char* kernel, int base_tc) {
+    for (int i = 0; i < kRounds; ++i) {
+      TuningStore mine;
+      mine.put(record(kernel, "K20", 64, base_tc + i, 0.5 + i));
+      mine.merge_and_save(path);
+    }
+  };
+  std::thread a(writer, "atax", 32);
+  std::thread b(writer, "bicg", 1024);
+  a.join();
+  b.join();
+
+  const TuningStore merged = TuningStore::load(path);
+  EXPECT_EQ(merged.context("atax", "K20", 64).size(),
+            static_cast<std::size_t>(kRounds));
+  EXPECT_EQ(merged.context("bicg", "K20", 64).size(),
+            static_cast<std::size_t>(kRounds));
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(2 * kRounds));
   std::filesystem::remove(path);
 }
 

@@ -1,25 +1,15 @@
 // gpustatic: the command-line front door to the library.
-// All logic lives in src/cli (unit-tested); this is dispatch only.
+// All logic — including the exit-code contract (0 success, 1 command
+// failure, 2 usage error) and error rendering — lives in src/cli
+// (unit-tested); this is argv marshalling only.
 
-#include <cstdio>
-#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.hpp"
-#include "common/error.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  try {
-    const auto opts = gpustatic::cli::parse_args(args);
-    return gpustatic::cli::run_command(opts, std::cout);
-  } catch (const gpustatic::Error& e) {
-    std::fprintf(stderr, "gpustatic: %s\n", e.what());
-    return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "gpustatic: internal error: %s\n", e.what());
-    return 3;
-  }
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return gpustatic::cli::run_main(args, std::cout, std::cerr);
 }

@@ -1,0 +1,216 @@
+// serve_client: concurrent exerciser (and CI gate) for `gpustatic
+// serve`. Fires identical tune requests from many TCP connections at a
+// running daemon, in rounds, and verifies the daemon's two core
+// promises from the outside:
+//
+//   * cold round: exactly one response paid for a search of its own
+//     (deduplicated=false with fresh>0); every other client was either
+//     single-flighted onto that search or answered warm by the store.
+//   * warm rounds: every response reports zero fresh simulator runs and
+//     zero compiles — the store and compilation cache answer everything.
+//
+// Exit codes follow the CLI contract: 0 all checks passed, 1 a check
+// failed or the daemon misbehaved, 2 bad usage.
+//
+//   serve_client --port 7411 [--clients 8] [--rounds 3]
+//                [--kernel atax] [-n 32] [--seed 7]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace {
+
+using gpustatic::serve::JsonObject;
+
+struct ClientOptions {
+  int port = 0;
+  int clients = 8;
+  int rounds = 3;
+  std::string kernel = "atax";
+  long long n = 32;
+  unsigned long long seed = 7;
+};
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr,
+               "serve_client: %s\n"
+               "usage: serve_client --port P [--clients N] [--rounds R]"
+               " [--kernel K] [-n SIZE] [--seed S]\n",
+               what);
+  std::exit(2);
+}
+
+ClientOptions parse_options(int argc, char** argv) {
+  ClientOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("flag needs a value");
+      return argv[++i];
+    };
+    if (arg == "--port") opts.port = std::atoi(value());
+    else if (arg == "--clients") opts.clients = std::atoi(value());
+    else if (arg == "--rounds") opts.rounds = std::atoi(value());
+    else if (arg == "--kernel") opts.kernel = value();
+    else if (arg == "-n") opts.n = std::atoll(value());
+    else if (arg == "--seed") opts.seed = std::strtoull(value(), nullptr, 10);
+    else usage_error(("unknown flag '" + arg + "'").c_str());
+  }
+  if (opts.port <= 0) usage_error("--port is required");
+  if (opts.clients <= 0 || opts.rounds <= 0)
+    usage_error("--clients and --rounds must be positive");
+  return opts;
+}
+
+/// One request line over one fresh connection; empty string on failure.
+std::string exchange(int port, const std::string& line) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(fd);
+    return "";
+  }
+  const std::string out = line + "\n";
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t wrote =
+        send(fd, out.data() + sent, out.size() - sent, 0);
+    if (wrote <= 0) {
+      close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (buffer.find('\n') == std::string::npos) {
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(fd);
+  const std::size_t nl = buffer.find('\n');
+  return nl == std::string::npos ? "" : buffer.substr(0, nl);
+}
+
+std::string tune_line(const ClientOptions& opts, int id) {
+  gpustatic::serve::JsonWriter w;
+  w.field("op", "tune").field("id", static_cast<std::uint64_t>(id));
+  w.field("kernel", opts.kernel);
+  w.field("n", static_cast<std::int64_t>(opts.n));
+  w.field("seed", static_cast<std::uint64_t>(opts.seed));
+  return w.str();
+}
+
+double number(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? -1 : it->second.number;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ClientOptions opts = parse_options(argc, argv);
+  int failures = 0;
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    std::vector<std::string> responses(
+        static_cast<std::size_t>(opts.clients));
+    std::vector<std::thread> workers;
+    workers.reserve(responses.size());
+    for (int c = 0; c < opts.clients; ++c)
+      workers.emplace_back([&, c] {
+        responses[static_cast<std::size_t>(c)] =
+            exchange(opts.port, tune_line(opts, c));
+      });
+    for (std::thread& t : workers) t.join();
+
+    int ok = 0, shed = 0, paid_searches = 0, deduplicated = 0;
+    int warm_violations = 0;
+    for (const std::string& line : responses) {
+      if (line.empty()) {
+        std::fprintf(stderr, "round %d: a client got no response\n",
+                     round);
+        ++failures;
+        continue;
+      }
+      JsonObject obj;
+      try {
+        obj = gpustatic::serve::parse_json_object(line);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "round %d: unparsable response: %s\n",
+                     round, e.what());
+        ++failures;
+        continue;
+      }
+      const std::string& status = obj.at("status").string;
+      if (status == "shed") {
+        ++shed;  // legitimate under overload; not a failure
+        continue;
+      }
+      if (status != "ok") {
+        std::fprintf(stderr, "round %d: error response: %s\n", round,
+                     line.c_str());
+        ++failures;
+        continue;
+      }
+      ++ok;
+      const bool dedup = obj.at("deduplicated").boolean;
+      const double fresh = number(obj, "fresh");
+      const double compiles = number(obj, "compiles");
+      if (dedup) ++deduplicated;
+      if (!dedup && fresh > 0) ++paid_searches;
+      if (round > 0 && (fresh != 0 || compiles != 0)) ++warm_violations;
+    }
+
+    std::printf(
+        "round %d: ok=%d shed=%d deduplicated=%d paid_searches=%d\n",
+        round, ok, shed, deduplicated, paid_searches);
+
+    if (ok == 0) {
+      std::fprintf(stderr, "round %d: no successful responses\n", round);
+      ++failures;
+    }
+    if (round == 0 && paid_searches > 1) {
+      // The single-flight promise: N identical cold requests, one search.
+      std::fprintf(stderr,
+                   "round 0: %d clients paid for their own search "
+                   "(want exactly 1)\n",
+                   paid_searches);
+      ++failures;
+    }
+    if (round > 0 && warm_violations > 0) {
+      std::fprintf(stderr,
+                   "round %d: %d responses ran fresh work on a warm "
+                   "store (want fresh=0, compiles=0)\n",
+                   round, warm_violations);
+      ++failures;
+    }
+  }
+
+  const std::string stats = exchange(opts.port, R"({"op":"stats"})");
+  if (!stats.empty()) std::printf("stats: %s\n", stats.c_str());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "serve_client: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("serve_client: all checks passed\n");
+  return 0;
+}
