@@ -117,17 +117,19 @@ std::shared_ptr<sim::SimContext> TuningService::context_for(
   key << job.kernel << '|' << job.gpu->name << '|' << job.n << '|'
       << static_cast<int>(run.engine) << ',' << run.repetitions << ','
       << run.report_trial << ',' << run.noise_stddev << ',' << run.seed;
+  const std::string k = key.str();
   const std::lock_guard<std::mutex> lock(contexts_mu_);
-  auto& slot = contexts_[key.str()];
-  if (slot == nullptr) {
-    if (contexts_.size() > config_.max_contexts) {
-      // Whole-map reset: crude, but it bounds memory and the next
-      // request per context simply re-pays one cold compile round.
-      contexts_.clear();
-    }
-    slot = std::make_shared<sim::SimContext>(job.workload, *job.gpu, run);
-    contexts_[key.str()] = slot;
+  // Evict before inserting: clearing after taking a reference into the
+  // map would destroy the node the reference points at.
+  if (contexts_.size() >= config_.max_contexts &&
+      contexts_.find(k) == contexts_.end()) {
+    // Whole-map reset: crude, but it bounds memory and the next
+    // request per context simply re-pays one cold compile round.
+    contexts_.clear();
   }
+  auto& slot = contexts_[k];
+  if (slot == nullptr)
+    slot = std::make_shared<sim::SimContext>(job.workload, *job.gpu, run);
   return slot;
 }
 
@@ -222,17 +224,37 @@ TuneResponse TuningService::tune(const TuneRequest& request) {
     return response;
   }
 
-  TuneResponse response = run_search(normalized);
-  {
-    const std::lock_guard<std::mutex> lock(flights_mu_);
-    flights_.erase(key);
-  }
-  {
-    const std::lock_guard<std::mutex> lock(flight->mu);
-    flight->response = response;
-    flight->done = true;
-  }
-  flight->done_cv.notify_all();
+  // The leader must complete the flight on every exit path — including
+  // exceptions run_search cannot catch (non-std throws, bad_alloc in
+  // its own prologue) — or followers wait forever on a flight nobody
+  // owns. The guard publishes whatever `response` holds at unwind time;
+  // the sentinel error below is what followers see if the search never
+  // produced a real response.
+  TuneResponse response;
+  response.kernel = normalized.kernel;
+  response.gpu = normalized.gpu;
+  response.n = normalized.n;
+  response.method = normalized.method;
+  response.error = "search terminated abnormally";
+  struct FlightCloser {
+    TuningService* service;
+    const std::string& key;
+    const std::shared_ptr<Flight>& flight;
+    const TuneResponse& response;
+    ~FlightCloser() {
+      {
+        const std::lock_guard<std::mutex> lock(service->flights_mu_);
+        service->flights_.erase(key);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(flight->mu);
+        flight->response = response;
+        flight->done = true;
+      }
+      flight->done_cv.notify_all();
+    }
+  } closer{this, key, flight, response};
+  response = run_search(normalized);
   return response;
 }
 

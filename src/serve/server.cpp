@@ -218,6 +218,18 @@ void Server::serve_connection(int fd) {
   while (!stopping_.load()) {
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      if (buffer.size() > options_.max_line_bytes) {
+        // A client streaming bytes without a newline must not grow the
+        // buffer without bound: answer once, then drop the connection.
+        count_error();
+        const std::string response =
+            render_error_response(
+                nullptr, str::format("request line exceeds %zu bytes",
+                                     options_.max_line_bytes)) +
+            "\n";
+        send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+        break;
+      }
       const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
       if (got <= 0) break;  // EOF, reset, or shutdown()
       buffer.append(chunk, static_cast<std::size_t>(got));
@@ -238,10 +250,15 @@ void Server::serve_connection(int fd) {
     if (sent < response.size()) break;  // client went away mid-write
   }
   close(fd);
-  const std::lock_guard<std::mutex> lock(clients_mu_);
-  client_fds_.erase(
-      std::remove(client_fds_.begin(), client_fds_.end(), fd),
-      client_fds_.end());
+  {
+    const std::lock_guard<std::mutex> lock(clients_mu_);
+    client_fds_.erase(
+        std::remove(client_fds_.begin(), client_fds_.end(), fd),
+        client_fds_.end());
+  }
+  // Tell the accept loop this thread is joinable-without-blocking.
+  const std::lock_guard<std::mutex> lock(handlers_mu_);
+  finished_handlers_.push_back(std::this_thread::get_id());
 }
 
 int Server::run_tcp(std::ostream& log) {
@@ -285,6 +302,22 @@ int Server::run_tcp(std::ostream& log) {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client = accept(listen_fd, nullptr, nullptr);
     if (client < 0) continue;
+    // Reap handlers whose connections already ended, so `handlers`
+    // tracks live connections rather than every connection ever served.
+    std::vector<std::thread::id> done;
+    {
+      const std::lock_guard<std::mutex> lock(handlers_mu_);
+      done.swap(finished_handlers_);
+    }
+    for (const std::thread::id id : done) {
+      const auto it =
+          std::find_if(handlers.begin(), handlers.end(),
+                       [id](const std::thread& t) { return t.get_id() == id; });
+      if (it != handlers.end()) {
+        it->join();
+        handlers.erase(it);
+      }
+    }
     {
       const std::lock_guard<std::mutex> lock(clients_mu_);
       client_fds_.push_back(client);

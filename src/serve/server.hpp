@@ -25,6 +25,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/service.hpp"
@@ -40,6 +41,11 @@ struct ServeOptions {
   std::size_t max_budget = 64;   ///< cap on a request's hybrid budget
   std::size_t max_search_budget = 5000;  ///< cap on a request's search budget
   std::size_t save_every = 8;  ///< persist store every N store writes
+  /// Longest request line a TCP client may send; a connection whose
+  /// pending (newline-less) bytes exceed this gets one status:"error"
+  /// response and is dropped, so a client streaming without newlines
+  /// cannot grow the server's buffer without bound.
+  std::size_t max_line_bytes = 64 * 1024;
 };
 
 /// Counting-semaphore admission with a bounded wait queue: acquire()
@@ -137,6 +143,11 @@ class Server {
   int wake_fds_[2] = {-1, -1};  ///< self-pipe; [1] written by stop()
   std::mutex clients_mu_;
   std::vector<int> client_fds_;
+  /// Handler threads that have finished serving their connection; the
+  /// accept loop joins and discards these so a long-running daemon
+  /// never accumulates exited-thread handles.
+  std::mutex handlers_mu_;
+  std::vector<std::thread::id> finished_handlers_;
 };
 
 }  // namespace gpustatic::serve

@@ -1,5 +1,10 @@
 #include "tuner/store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <mutex>
 #include <sstream>
 
@@ -12,6 +17,32 @@ namespace gpustatic::tuner {
 namespace {
 
 constexpr std::string_view kMagic = "gpustatic-store v1";
+
+/// Advisory cross-process exclusion: an exclusive flock() on a sibling
+/// `<path>.lock` file, held for the guard's lifetime. Best-effort — if
+/// the lockfile cannot be created (e.g. a read-only directory) the
+/// guard degrades to a no-op and in-process exclusion still holds.
+class StoreFileLock {
+ public:
+  explicit StoreFileLock(const std::string& path)
+      : fd_(open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                 0644)) {
+    if (fd_ >= 0)
+      while (flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+      }
+  }
+  ~StoreFileLock() {
+    if (fd_ >= 0) {
+      flock(fd_, LOCK_UN);
+      close(fd_);
+    }
+  }
+  StoreFileLock(const StoreFileLock&) = delete;
+  StoreFileLock& operator=(const StoreFileLock&) = delete;
+
+ private:
+  int fd_;
+};
 
 }  // namespace
 
@@ -161,11 +192,16 @@ void TuningStore::save(const std::string& path) const {
 
 void TuningStore::merge_and_save(const std::string& path,
                                  std::vector<std::string>* warnings) {
-  // One lock for every path: merges are rare (end of a fleet pass, the
-  // daemon's periodic persist) and a per-path registry would complicate
-  // lifetime for no measurable gain.
+  // Two exclusion layers around the load-merge-save window. In-process:
+  // one static mutex for every path — merges are rare (end of a fleet
+  // pass, the daemon's periodic persist) and a per-path registry would
+  // complicate lifetime for no measurable gain. Cross-process (a daemon
+  // plus a CLI run): an advisory flock on `<path>.lock`, without which
+  // two processes could both load, merge, and save, the second rename
+  // silently dropping the first's new records.
   static std::mutex merge_mu;
   const std::lock_guard<std::mutex> lock(merge_mu);
+  const StoreFileLock file_lock(path);
   TuningStore merged = load(path, warnings);
   for (const StoreRecord& r : records_) merged.put(r);
   merged.save(path);

@@ -82,15 +82,18 @@ class TuningStore {
   /// Atomic rewrite of `path` (temp sibling + rename; common/io.hpp).
   void save(const std::string& path) const;
 
-  /// Concurrent-writer-safe persistence: under a process-wide lock,
-  /// reload `path`, overlay this store's records onto the on-disk set
-  /// (this store wins per key; disk-only records are kept in their
-  /// file order), adopt the merged view, and atomically rewrite the
-  /// file. Two daemon workers — or a daemon plus a CLI run — saving
-  /// into the same path therefore never lose each other's records:
-  /// plain save() is last-writer-wins on the whole file, merge_and_save
-  /// is last-writer-wins per record. Load warnings (e.g. a truncated
-  /// final line) land in `warnings` when given.
+  /// Concurrent-writer-safe persistence: under a process-wide mutex
+  /// plus an advisory flock() on a sibling `<path>.lock` file, reload
+  /// `path`, overlay this store's records onto the on-disk set (this
+  /// store wins per key; disk-only records are kept in their file
+  /// order), adopt the merged view, and atomically rewrite the file.
+  /// Two daemon workers — or a daemon plus a CLI run in a separate
+  /// process — saving into the same path therefore never lose each
+  /// other's records: plain save() is last-writer-wins on the whole
+  /// file, merge_and_save is last-writer-wins per record. (If the
+  /// lockfile cannot be created, cross-process exclusion degrades to
+  /// best-effort; in-process exclusion always holds.) Load warnings
+  /// (e.g. a truncated final line) land in `warnings` when given.
   void merge_and_save(const std::string& path,
                       std::vector<std::string>* warnings = nullptr);
 

@@ -194,6 +194,80 @@ TEST(TuningService, DifferentRequestsDoNotDeduplicate) {
   EXPECT_EQ(service.stats().deduplicated, 0u);
 }
 
+TEST(TuningService, LeaderAbnormalExitStillCompletesTheFlight) {
+  // A throw that run_search's std::exception handler cannot catch must
+  // still erase the flight and publish a response, or followers block
+  // forever on a flight nobody owns.
+  TuningService* service_ptr = nullptr;
+  TuningService::Config config;
+  config.before_search = [&](const TuneRequest&) {
+    while (service_ptr->stats().deduplicated < 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw 42;  // not a std::exception
+  };
+  TuningService service(config);
+  service_ptr = &service;
+
+  const TuneRequest request = small_request();
+  std::vector<TuneResponse> responses(2);
+  std::atomic<std::size_t> threw{0};
+  auto call = [&](std::size_t i) {
+    try {
+      responses[i] = service.tune(request);
+    } catch (int) {
+      threw.fetch_add(1);
+    }
+  };
+  std::thread a(call, 0);
+  std::thread b(call, 1);
+  a.join();
+  b.join();
+
+  // Exactly one caller was the leader and saw the raw throw; the other
+  // was the follower and received the sentinel response.
+  ASSERT_EQ(threw.load(), 1u);
+  const TuneResponse& follower =
+      responses[0].kernel.empty() ? responses[1] : responses[0];
+  EXPECT_FALSE(follower.ok());
+  EXPECT_NE(follower.error.find("terminated abnormally"),
+            std::string::npos);
+  EXPECT_TRUE(follower.deduplicated);
+
+  // The flight is gone: a retry becomes a fresh leader (and reaches the
+  // throwing hook again) instead of being answered by a stale flight.
+  bool retried_as_leader = false;
+  try {
+    (void)service.tune(request);
+  } catch (int) {
+    retried_as_leader = true;
+  }
+  EXPECT_TRUE(retried_as_leader);
+}
+
+// ---- context-cache eviction -----------------------------------------
+
+TEST(TuningService, ContextEvictionKeepsServingDistinctContexts) {
+  TuningService::Config config;
+  config.max_contexts = 1;  // every new context evicts the cache
+  TuningService service(config);
+
+  TuneRequest a = small_request();
+  TuneRequest b = small_request();
+  b.n = 32;
+
+  const TuneResponse first = service.tune(a);
+  ASSERT_TRUE(first.ok()) << first.error;
+  const TuneResponse second = service.tune(b);  // evicts a's context
+  ASSERT_TRUE(second.ok()) << second.error;
+  // The evicted context re-pays its compile, but the store still
+  // answers every evaluation and the result is unchanged.
+  const TuneResponse warm = service.tune(a);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.fresh_evaluations, 0u);
+  EXPECT_EQ(warm.outcome.search.best_params.to_string(),
+            first.outcome.search.best_params.to_string());
+}
+
 // ---- queries and persistence ----------------------------------------
 
 TEST(TuningService, QueryReadsTheStoreWithoutSearching) {

@@ -253,6 +253,51 @@ std::vector<std::string> tcp_exchange(int port,
 
 }  // namespace
 
+TEST(Server, TcpDropsClientsThatStreamWithoutNewline) {
+  ServeOptions opts = in_memory_options();
+  opts.port = 0;
+  opts.max_line_bytes = 128;
+  Server server(opts);
+  std::ostringstream log;
+  std::thread daemon([&] { EXPECT_EQ(server.run_tcp(log), 0); });
+  while (server.bound_port() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.bound_port()));
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr),
+            0);
+  // Far past the cap, never a newline: the server must answer once with
+  // status:"error" and close, not buffer indefinitely.
+  const std::string flood(4096, 'x');
+  ASSERT_EQ(send(fd, flood.data(), flood.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(flood.size()));
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;  // server closed the connection
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(fd);
+
+  const std::size_t nl = buffer.find('\n');
+  ASSERT_NE(nl, std::string::npos) << buffer;
+  const JsonObject response = serve::parse_json_object(buffer.substr(0, nl));
+  EXPECT_EQ(response.at("status").string, "error");
+  EXPECT_NE(response.at("error").string.find("exceeds"),
+            std::string::npos);
+
+  server.stop();
+  daemon.join();
+  EXPECT_GE(server.counters().errors, 1u);
+}
+
 TEST(Server, TcpServesConcurrentClientsAndStopsCleanly) {
   ServeOptions opts = in_memory_options();
   opts.port = 0;  // ephemeral

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -255,6 +258,43 @@ TEST(TuningStore, MergeAndSaveKeepsConcurrentWritersRecords) {
             static_cast<std::size_t>(kRounds));
   EXPECT_EQ(merged.size(), static_cast<std::size_t>(2 * kRounds));
   std::filesystem::remove(path);
+}
+
+TEST(TuningStore, MergeAndSaveKeepsConcurrentProcessesRecords) {
+  const std::string path = temp_path("store_merge_fork.store");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
+  // A daemon plus a CLI run are separate processes: the in-process
+  // mutex cannot order them, only the flock on `<path>.lock` can. Fork
+  // a child and let both sides hammer the same path with disjoint
+  // record sets; every record must survive.
+  constexpr int kRounds = 16;
+  auto writer = [&path](const char* kernel, int base_tc) {
+    for (int i = 0; i < kRounds; ++i) {
+      TuningStore mine;
+      mine.put(record(kernel, "K20", 64, base_tc + i, 0.5 + i));
+      mine.merge_and_save(path);
+    }
+  };
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    writer("bicg", 1024);
+    _exit(0);
+  }
+  writer("atax", 32);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  const TuningStore merged = TuningStore::load(path);
+  EXPECT_EQ(merged.context("atax", "K20", 64).size(),
+            static_cast<std::size_t>(kRounds));
+  EXPECT_EQ(merged.context("bicg", "K20", 64).size(),
+            static_cast<std::size_t>(kRounds));
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(2 * kRounds));
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".lock");
 }
 
 TEST(TuningStore, LoadOfTruncatedFileWarnsAndKeepsPrefix) {
