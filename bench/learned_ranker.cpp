@@ -1,0 +1,283 @@
+// Learned-ranker bench: the CI gate for the src/learn subsystem. Builds
+// a fleet-style TuningStore by sweeping every paper kernel on one GPU,
+// trains the regression-forest cost model on it, and verifies that
+//
+//   * the model's mean held-out Spearman clears --min-spearman AND
+//     beats a seeded random ranker over the same validation rows (the
+//     model must order variants better than chance), and
+//   * a hybrid search whose stage 1 is the learned ranker finds a best
+//     time within --max-regression of the analytic-stage-1 search on
+//     every kernel, spending no more fresh simulator runs (the learned
+//     order must not cost quality or budget at the same dial).
+//
+//   $ ./bench/bench_learned_ranker [--gpu NAME] [--budget N]
+//       [--points N] [--trees N] [--seed N] [--min-spearman R]
+//       [--max-regression R] [--json PATH]
+//
+// --json writes the machine-readable artifact CI uploads as
+// BENCH_learned_ranker.json, extending the tracked perf trajectory.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "kernels/kernels.hpp"
+#include "learn/corpus.hpp"
+#include "learn/evaluator.hpp"
+#include "learn/trainer.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/hybrid.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+/// Mean Spearman a seeded random ranker achieves over the corpus's
+/// validation rows — the chance baseline the model must beat.
+double random_ranker_spearman(const learn::Corpus& corpus,
+                              std::uint64_t seed) {
+  double sum = 0;
+  std::size_t groups = 0;
+  for (std::size_t g = 0; g < corpus.groups.size(); ++g) {
+    const learn::CorpusGroup& group = corpus.groups[g];
+    if (group.validation.size() < 2) continue;
+    Rng rng(seed + 7919 * (g + 1));
+    std::vector<double> random_scores, measured;
+    random_scores.reserve(group.validation.size());
+    measured.reserve(group.validation.size());
+    for (const std::size_t row : group.validation) {
+      random_scores.push_back(
+          static_cast<double>(rng.below(1000000007)));
+      measured.push_back(corpus.rows[row].measured_ms);
+    }
+    const double rho =
+        learn::spearman_rank_correlation(random_scores, measured);
+    if (std::isfinite(rho)) {
+      sum += rho;
+      ++groups;
+    }
+  }
+  return groups == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum / static_cast<double>(groups);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string gpu_name = "K20";
+  std::size_t budget = 8;
+  std::size_t points = 96;
+  std::size_t trees = 16;
+  std::uint64_t seed = 42;
+  double min_spearman = 0.3;
+  double max_regression = 1.15;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--gpu") == 0)
+      gpu_name = value();
+    else if (std::strcmp(argv[i], "--budget") == 0)
+      budget = static_cast<std::size_t>(std::stoull(value()));
+    else if (std::strcmp(argv[i], "--points") == 0)
+      points = static_cast<std::size_t>(std::stoull(value()));
+    else if (std::strcmp(argv[i], "--trees") == 0)
+      trees = static_cast<std::size_t>(std::stoull(value()));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = std::stoull(value());
+    else if (std::strcmp(argv[i], "--min-spearman") == 0)
+      min_spearman = std::stod(value());
+    else if (std::strcmp(argv[i], "--max-regression") == 0)
+      max_regression = std::stod(value());
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = value();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (budget == 0 || points == 0 || trees == 0) {
+    std::fprintf(stderr, "--budget/--points/--trees must be >= 1\n");
+    return 2;
+  }
+
+  bench::print_header(
+      "Learned ranker: held-out rank quality and hybrid stage-1 parity",
+      "ROADMAP learned cost model (rank metrics per Sec. IV-A protocol)");
+
+  try {
+    const arch::GpuSpec& gpu = arch::gpu(gpu_name);
+    const tuner::ParamSpace space = tuner::paper_space();
+
+    // ---- 1. fleet-style store: strided sweep per kernel ----------------
+    tuner::TuningStore store;
+    const std::int64_t n = 64;
+    const std::size_t stride =
+        std::max<std::size_t>(1, space.size() / points) | 1;
+    for (const kernels::KernelInfo& info : kernels::all_kernels()) {
+      const dsl::WorkloadDesc wl = kernels::make_workload(info.name, n);
+      const auto trials = tuner::sweep(space, wl, gpu, {}, stride);
+      for (const tuner::TrialRecord& trial : trials) {
+        tuner::StoreRecord r;
+        r.kernel = std::string(info.name);
+        r.gpu = gpu_name;
+        r.n = n;
+        r.variant.params = trial.params;
+        r.variant.valid = trial.valid;
+        if (trial.valid) r.variant.measured_ms = trial.time_ms;
+        store.put(std::move(r));
+      }
+    }
+    std::printf("store: %zu records (%zu kernels x ~%zu points, n=%lld)\n",
+                store.size(), kernels::all_kernels().size(), points,
+                static_cast<long long>(n));
+
+    // ---- 2. train + held-out rank quality vs random --------------------
+    learn::TrainOptions topts;
+    topts.corpus.seed = seed;
+    topts.forest.trees = trees;
+    const learn::TrainReport report =
+        learn::train_cost_model(store, topts);
+    const learn::Corpus corpus = learn::build_corpus(store, topts.corpus);
+    const double random_rho = random_ranker_spearman(corpus, seed);
+
+    std::printf("train: %zu rows (%zu held out), %zu groups, %zu skipped\n",
+                report.rows, report.validation_rows, report.groups.size(),
+                report.skipped);
+    std::printf("held-out mean Spearman: %.4f  (random ranker: %.4f, "
+                "gate: >= %.2f and > random)\n",
+                report.mean_spearman, random_rho, min_spearman);
+    std::printf("held-out top-1 regret: %.4f   top-%zu regret: %.4f\n\n",
+                report.mean_top1_regret, topts.top_k,
+                report.mean_topk_regret);
+
+    // ---- 3. learned stage 1 vs analytic stage 1 at the same dial -------
+    const auto model = std::make_shared<const learn::CostModel>(
+        report.model);
+    learn::LearnedRankerOptions ropts;  // bench forces the learned order
+    ropts.max_variance = std::numeric_limits<double>::infinity();
+    ropts.min_confident_fraction = 0.0;
+
+    std::printf("%-10s %12s %12s %8s %6s\n", "kernel", "analytic ms",
+                "learned ms", "ratio", "evals");
+    double worst_ratio = 0;
+    std::size_t extra_evals = 0;
+    std::size_t ranker_declines = 0;
+    std::vector<std::string> per_kernel_json;
+    for (const kernels::KernelInfo& info : kernels::all_kernels()) {
+      const dsl::WorkloadDesc wl = kernels::make_workload(info.name, n);
+      const tuner::Objective objective = tuner::make_objective(wl, gpu);
+      tuner::HybridOptions hopts;
+      hopts.empirical_budget = budget;
+      const tuner::HybridResult analytic =
+          tuner::hybrid_search(space, gpu, wl, objective, hopts);
+      hopts.stage1 = learn::make_stage1_ranker(model, ropts);
+      const tuner::HybridResult learned =
+          tuner::hybrid_search(space, gpu, wl, objective, hopts);
+
+      if (!learned.used_learned_ranker) ++ranker_declines;
+      if (learned.empirical_evaluations > analytic.empirical_evaluations)
+        extra_evals +=
+            learned.empirical_evaluations - analytic.empirical_evaluations;
+      const double ratio = learned.best_time_ms / analytic.best_time_ms;
+      worst_ratio = std::max(worst_ratio, ratio);
+      std::printf("%-10s %12.4f %12.4f %8.3f %3zu/%zu\n",
+                  std::string(info.name).c_str(), analytic.best_time_ms,
+                  learned.best_time_ms, ratio,
+                  learned.empirical_evaluations,
+                  analytic.empirical_evaluations);
+      per_kernel_json.push_back(
+          "    {\"kernel\": \"" + std::string(info.name) +
+          "\", \"analytic_ms\": " +
+          str::format("%.6f", analytic.best_time_ms) +
+          ", \"learned_ms\": " +
+          str::format("%.6f", learned.best_time_ms) +
+          ", \"ratio\": " + str::format("%.4f", ratio) + "}");
+    }
+    std::printf("\nworst learned/analytic best-time ratio: %.3f "
+                "(gate: <= %.2f)\n",
+                worst_ratio, max_regression);
+
+    if (!json_path.empty()) {
+      std::string json =
+          "{\n  \"gpu\": \"" + gpu_name +
+          "\",\n  \"budget\": " + std::to_string(budget) +
+          ",\n  \"seed\": " + std::to_string(seed) +
+          ",\n  \"store_records\": " + std::to_string(store.size()) +
+          ",\n  \"train_rows\": " + std::to_string(report.train_rows) +
+          ",\n  \"validation_rows\": " +
+          std::to_string(report.validation_rows) +
+          ",\n  \"mean_spearman\": " +
+          str::format("%.6f", report.mean_spearman) +
+          ",\n  \"random_spearman\": " + str::format("%.6f", random_rho) +
+          ",\n  \"mean_top1_regret\": " +
+          str::format("%.6f", report.mean_top1_regret) +
+          ",\n  \"mean_topk_regret\": " +
+          str::format("%.6f", report.mean_topk_regret) +
+          ",\n  \"worst_ratio\": " + str::format("%.4f", worst_ratio) +
+          ",\n  \"ranker_declines\": " + std::to_string(ranker_declines) +
+          ",\n  \"per_kernel\": [\n";
+      for (std::size_t i = 0; i < per_kernel_json.size(); ++i)
+        json += per_kernel_json[i] +
+                (i + 1 < per_kernel_json.size() ? ",\n" : "\n");
+      json += "  ]\n}\n";
+      io::write_file_atomic(json_path, json);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (!std::isfinite(report.mean_spearman) ||
+        report.mean_spearman < min_spearman ||
+        !(report.mean_spearman > random_rho)) {
+      std::fprintf(stderr,
+                   "FAIL: held-out Spearman %.4f (gate >= %.2f and > "
+                   "random %.4f) — the model does not rank better than "
+                   "chance\n",
+                   report.mean_spearman, min_spearman, random_rho);
+      return 1;
+    }
+    if (ranker_declines != 0) {
+      std::fprintf(stderr,
+                   "FAIL: the learned ranker declined on %zu kernels "
+                   "despite an open confidence gate\n",
+                   ranker_declines);
+      return 1;
+    }
+    if (extra_evals != 0) {
+      std::fprintf(stderr,
+                   "FAIL: the learned stage 1 spent %zu extra fresh "
+                   "simulator runs (want <= analytic)\n",
+                   extra_evals);
+      return 1;
+    }
+    if (worst_ratio > max_regression) {
+      std::fprintf(stderr,
+                   "FAIL: learned stage 1 is %.3fx the analytic best "
+                   "time on its worst kernel (gate <= %.2fx)\n",
+                   worst_ratio, max_regression);
+      return 1;
+    }
+    std::printf("\nOK: Spearman %.4f beats random %.4f; learned stage 1 "
+                "within %.3fx of analytic at budget %zu\n",
+                report.mean_spearman, random_rho, worst_ratio, budget);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -17,6 +17,7 @@
 #include "core/static_analyzer.hpp"
 #include "dynamic/profile.hpp"
 #include "dynamic/report.hpp"
+#include "learn/trainer.hpp"
 #include "occupancy/report.hpp"
 #include "occupancy/suggest.hpp"
 #include "ptx/printer.hpp"
@@ -44,8 +45,15 @@ commands:
                              extended) through a persistent tuning
                              store; a warm store answers every repeat
                              evaluation with zero fresh simulator runs
+  train                      fit the learned cost model from a tuning
+                             store (--store in, --model out): a
+                             regression forest over the static features,
+                             reported with per-(kernel, GPU) held-out
+                             Spearman and top-k regret (--report json
+                             for machine-readable metrics)
   serve                      long-running tuning daemon: line-delimited
-                             JSON requests (op tune|query|stats|ping)
+                             JSON requests (op
+                             tune|query|stats|ping|retrain)
                              over loopback TCP (--port) or stdin/stdout
                              (--pipe); identical concurrent requests are
                              answered by one search, capacity overload
@@ -76,6 +84,13 @@ options:
   --report FMT       tune-fleet report format: table|json|csv [table]
   --kernels a,b,c    tune-fleet: restrict to these kernels      [all]
                      (--gpu accepts 'all' to fleet every Table I GPU)
+  --model FILE       learned cost-model file: output of `train`,
+                     input to `tune --method hybrid` and `serve`
+                     (learned stage-1 ranking; analytic fallback
+                     when absent or unconfident)           [none]
+  --trees N          train: regression-forest size              [24]
+  --min-records N    train: fewest usable store rows required   [16]
+  --val-frac F       train: per-group held-out fraction       [0.25]
   --port N           serve: TCP port; 0 picks an ephemeral port   [0]
                      (the chosen port is printed on startup)
   --pipe             serve: speak the protocol on stdin/stdout
@@ -261,7 +276,13 @@ int cmd_tune(const Options& opts, std::ostream& out) {
   if (opts.kernel.empty())
     throw UsageError("command 'tune' needs a kernel argument");
 
-  core::TuningService service;  // in-memory store: one-shot tune
+  // In-memory store (one-shot tune); --model arms the hybrid strategy
+  // with the learned stage-1 ranker.
+  core::TuningService::Config config;
+  config.model_path = opts.model_path;
+  core::TuningService service(config);
+  for (const std::string& w : service.load_warnings())
+    out << "warning: " << w << "\n";
   const core::TuneResponse response = service.tune(tune_request(opts));
   if (!response.ok()) throw Error(response.error);
   const tuner::StrategyResult& outcome = response.outcome;
@@ -269,7 +290,10 @@ int cmd_tune(const Options& opts, std::ostream& out) {
   if (outcome.method == "hybrid") {
     out << "hybrid search (budget " << opts.budget << ", "
         << outcome.search.distinct_evaluations << " runs over "
-        << outcome.hybrid_candidates << " candidates):\n";
+        << outcome.hybrid_candidates << " candidates"
+        << (outcome.used_learned_ranker ? ", learned stage-1 ranking"
+                                        : "")
+        << "):\n";
     out << "  best " << outcome.search.best_params.to_string();
     if (outcome.search.best_time != tuner::kInvalid)
       out << str::format(" -> %.4f ms", outcome.search.best_time);
@@ -322,6 +346,43 @@ int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   return report.failed == 0 ? kExitOk : kExitError;
 }
 
+int cmd_train(const Options& opts, std::ostream& out) {
+  if (opts.store_path.empty())
+    throw UsageError("command 'train' needs --store FILE (the corpus)");
+  if (opts.report != "table" && opts.report != "json")
+    throw UsageError("command 'train' supports --report table|json, not '" +
+                     opts.report + "'");
+
+  std::vector<std::string> warnings;
+  const tuner::TuningStore store =
+      tuner::TuningStore::load(opts.store_path, &warnings);
+
+  learn::TrainOptions topts;
+  topts.corpus.seed = opts.seed;
+  topts.corpus.min_records = opts.min_records;
+  topts.corpus.validation_fraction = opts.val_frac;
+  topts.corpus.load_workload = [](const std::string& kernel,
+                                  std::int64_t n) {
+    return core::load_workload(kernel, n);
+  };
+  topts.forest.trees = opts.trees;
+
+  const learn::TrainReport report =
+      learn::train_cost_model(store, topts, &warnings);
+  for (const std::string& w : warnings) out << "warning: " << w << "\n";
+  if (opts.report == "json") {
+    out << report.to_json() << "\n";
+  } else {
+    out << report.to_table();
+  }
+  if (!opts.model_path.empty()) {
+    report.model.save(opts.model_path);
+    if (opts.report != "json")
+      out << "model saved to " << opts.model_path << "\n";
+  }
+  return 0;
+}
+
 // The live server for the signal bridge: POSIX hands handlers only the
 // signal number, and Server::stop() is async-signal-safe by contract.
 serve::Server* g_serve_server = nullptr;
@@ -333,6 +394,7 @@ void serve_signal_handler(int) {
 int cmd_serve(const Options& opts, std::ostream& out) {
   serve::ServeOptions sopts;
   sopts.store_path = opts.store_path;
+  sopts.model_path = opts.model_path;
   sopts.port = opts.port;
   sopts.max_inflight = opts.max_inflight;
   sopts.max_queue = opts.max_queue;
@@ -402,6 +464,17 @@ Options parse_args(const std::vector<std::string>& args) {
       throw UsageError("flag '" + flag + "': bad integer '" + v + "'");
     }
   };
+  auto to_double = [](const std::string& flag,
+                      const std::string& v) -> double {
+    try {
+      std::size_t used = 0;
+      const double out = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return out;
+    } catch (const std::exception&) {
+      throw UsageError("flag '" + flag + "': bad number '" + v + "'");
+    }
+  };
 
   for (; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -439,6 +512,14 @@ Options parse_args(const std::vector<std::string>& args) {
       o.report = need_value(a);
     } else if (a == "--kernels") {
       o.kernels = need_value(a);
+    } else if (a == "--model") {
+      o.model_path = need_value(a);
+    } else if (a == "--trees") {
+      o.trees = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--min-records") {
+      o.min_records = static_cast<std::size_t>(to_int(a, need_value(a)));
+    } else if (a == "--val-frac") {
+      o.val_frac = to_double(a, need_value(a));
     } else if (a == "--port") {
       o.port = static_cast<int>(to_int(a, need_value(a)));
     } else if (a == "--pipe") {
@@ -468,6 +549,7 @@ int run_command(const Options& opts, std::ostream& out) {
   if (opts.command == "profile") return cmd_profile(opts, out);
   if (opts.command == "tune") return cmd_tune(opts, out);
   if (opts.command == "tune-fleet") return cmd_tune_fleet(opts, out);
+  if (opts.command == "train") return cmd_train(opts, out);
   if (opts.command == "serve") return cmd_serve(opts, out);
   if (opts.command == "help" || opts.command == "--help") {
     out << render_usage();

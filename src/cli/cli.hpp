@@ -16,6 +16,9 @@
 //   tune      <kernel> ...    autotune with a chosen search strategy
 //   tune-fleet ...            tune the whole kernel library through a
 //                             persistent tuning store (warm-started)
+//   train     ...             fit the learned cost model from a tuning
+//                             store (--store in, --model out) and
+//                             report held-out ranking metrics
 //   serve     ...             long-running tuning daemon speaking the
 //                             line-delimited JSON wire protocol over
 //                             TCP (--port) or stdin/stdout (--pipe)
@@ -76,6 +79,11 @@ struct Options {
   std::string store_path;    ///< tuning store file; empty = in-memory
   std::string report = "table";  ///< fleet report format: table|json|csv
   std::string kernels;       ///< comma-separated filter; empty = all
+  // train command inputs (--model also arms tune/serve with the model).
+  std::string model_path;    ///< learned cost-model file; empty = none
+  std::size_t trees = 24;    ///< regression-forest size
+  std::size_t min_records = 16;  ///< fewest usable store rows to train
+  double val_frac = 0.25;    ///< per-group held-out fraction
   // serve command inputs.
   int port = 0;              ///< TCP port; 0 = ephemeral (printed)
   bool pipe = false;         ///< stdin/stdout transport instead of TCP

@@ -9,6 +9,7 @@
 #include "common/strings.hpp"
 #include "frontend/parser.hpp"
 #include "kernels/kernels.hpp"
+#include "learn/evaluator.hpp"
 
 namespace gpustatic::core {
 
@@ -65,6 +66,15 @@ std::string TuningService::request_key(const TuneRequest& r) {
 TuningService::TuningService(Config config) : config_(std::move(config)) {
   if (!config_.store_path.empty())
     store_ = tuner::TuningStore::load(config_.store_path, &load_warnings_);
+  if (!config_.model_path.empty()) {
+    // Lenient: a daemon must come up with analytic ranking rather than
+    // refuse to start over a missing/corrupt model file.
+    if (auto model = learn::CostModel::load_lenient(config_.model_path,
+                                                    &load_warnings_)) {
+      model_ = std::make_shared<const learn::CostModel>(std::move(*model));
+      model_generation_ = 1;
+    }
+  }
 }
 
 TuningService::~TuningService() {
@@ -79,6 +89,62 @@ TuningService::~TuningService() {
 TuningService::Stats TuningService::stats() const {
   const std::lock_guard<std::mutex> lock(flights_mu_);
   return stats_;
+}
+
+TuningService::ModelInfo TuningService::model_info() const {
+  const std::shared_lock<std::shared_mutex> lock(model_mu_);
+  ModelInfo info;
+  info.generation = model_generation_;
+  if (model_ != nullptr) {
+    info.loaded = true;
+    info.version = model_->meta.version;
+    info.records = model_->meta.records;
+  }
+  return info;
+}
+
+TuningService::RetrainResult TuningService::retrain(
+    learn::TrainOptions options) {
+  RetrainResult result;
+  // Train on a snapshot so a long fit never blocks tuning writers.
+  tuner::TuningStore snapshot;
+  {
+    const std::shared_lock<std::shared_mutex> lock(store_mu_);
+    for (const tuner::StoreRecord& r : store_.records()) snapshot.put(r);
+  }
+  result.store_records = snapshot.size();
+  options.corpus.load_workload = [](const std::string& kernel,
+                                    std::int64_t n) {
+    return load_workload(kernel, n);
+  };
+  learn::TrainReport report;
+  try {
+    report = learn::train_cost_model(snapshot, options);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.trained_rows = report.train_rows;
+  result.validation_rows = report.validation_rows;
+  result.mean_spearman = report.mean_spearman;
+  if (!config_.model_path.empty()) {
+    try {
+      report.model.save(config_.model_path);
+    } catch (const std::exception& e) {
+      // The fit is sound but not durable — report it rather than
+      // installing a model the next start won't have.
+      result.error = std::string("model trained but save failed: ") +
+                     e.what();
+      return result;
+    }
+  }
+  {
+    const std::unique_lock<std::shared_mutex> lock(model_mu_);
+    model_ = std::make_shared<const learn::CostModel>(
+        std::move(report.model));
+    result.generation = ++model_generation_;
+  }
+  return result;
 }
 
 std::size_t TuningService::store_records() const {
@@ -179,6 +245,18 @@ TuneResponse TuningService::run_search(const TuneRequest& request) {
     opts.search = request.search;
     opts.hybrid = request.hybrid;
     opts.run = request.run;
+    if (!opts.hybrid.stage1) {
+      // Install the learned stage-1 ranker when a model is loaded; the
+      // ranker itself declines (analytic fallback) when unconfident,
+      // and only the hybrid strategy consumes it.
+      std::shared_ptr<const learn::CostModel> model;
+      {
+        const std::shared_lock<std::shared_mutex> lock(model_mu_);
+        model = model_;
+      }
+      if (model != nullptr)
+        opts.hybrid.stage1 = learn::make_stage1_ranker(std::move(model));
+    }
 
     if (config_.before_search) config_.before_search(request);
     std::vector<tuner::StoreRecord> harvest;
@@ -197,7 +275,13 @@ TuneResponse TuningService::tune(const TuneRequest& request) {
   TuneRequest normalized = request;
   if (normalized.n <= 0)
     normalized.n = FleetSession::default_size(normalized.kernel);
-  const std::string key = request_key(normalized);
+  std::string key = request_key(normalized);
+  {
+    // The model generation is flight identity too: a follower must not
+    // be answered by a leader that searched under a different model.
+    const std::shared_lock<std::shared_mutex> lock(model_mu_);
+    key += "|model-gen=" + std::to_string(model_generation_);
+  }
 
   std::shared_ptr<Flight> flight;
   bool leader = false;

@@ -33,6 +33,8 @@
 
 #include "core/fleet.hpp"
 #include "dsl/ast.hpp"
+#include "learn/model.hpp"
+#include "learn/trainer.hpp"
 #include "sim/context.hpp"
 #include "tuner/fleet.hpp"
 #include "tuner/store.hpp"
@@ -85,6 +87,12 @@ class TuningService {
     /// store-writing requests, so a daemon crash loses at most that
     /// window. 0 = only explicit persist() calls write the file.
     std::size_t save_every = 0;
+    /// Learned cost-model file (learn::CostModel). When set, the model
+    /// is loaded leniently at construction (missing or corrupt file =
+    /// no model + a load warning, never a failed start) and installed
+    /// as the hybrid strategy's stage-1 ranker; retrain() saves back
+    /// here. Empty = analytic ranking only.
+    std::string model_path;
     /// Upper bound on cached evaluation pipelines (one per distinct
     /// (kernel, gpu, n, run) context); the cache is reset when full.
     std::size_t max_contexts = 64;
@@ -138,6 +146,33 @@ class TuningService {
                                   const std::string& gpu,
                                   std::int64_t n) const;
 
+  /// Snapshot of the installed learned cost model (stats/`serve`
+  /// observability). Fields are zero/false when no model is loaded.
+  struct ModelInfo {
+    bool loaded = false;
+    int version = 0;           ///< model file format version
+    std::uint64_t records = 0; ///< training rows the model was fit on
+    std::uint64_t generation = 0;  ///< bumps on every install/retrain
+  };
+  [[nodiscard]] ModelInfo model_info() const;
+
+  /// Retrain the learned cost model from the service's current store,
+  /// save it to Config::model_path (when set), and install it for
+  /// subsequent hybrid searches. Failures (not enough data, save
+  /// errors) land in `error`, never throw — daemons call this from a
+  /// protocol handler. `options.corpus.load_workload` is overridden
+  /// with the service's own loader so path-named kernels join too.
+  struct RetrainResult {
+    std::string error;
+    std::size_t store_records = 0;
+    std::size_t trained_rows = 0;
+    std::size_t validation_rows = 0;
+    double mean_spearman = 0;
+    std::uint64_t generation = 0;  ///< of the newly installed model
+    [[nodiscard]] bool ok() const { return error.empty(); }
+  };
+  [[nodiscard]] RetrainResult retrain(learn::TrainOptions options = {});
+
   [[nodiscard]] Stats stats() const;
   /// Warnings from the construction-time store load (e.g. a truncated
   /// final line that was skipped).
@@ -172,6 +207,15 @@ class TuningService {
   mutable std::shared_mutex store_mu_;
   tuner::TuningStore store_;
   std::size_t writes_since_persist_ = 0;
+
+  // The installed cost model is an immutable snapshot behind a shared
+  // pointer: searches grab the pointer under a shared lock and keep
+  // using it lock-free; retrain() swaps in a new snapshot and bumps the
+  // generation (which is part of the single-flight key, so a request
+  // racing a retrain never shares a flight across model versions).
+  mutable std::shared_mutex model_mu_;
+  std::shared_ptr<const learn::CostModel> model_;
+  std::uint64_t model_generation_ = 0;
 
   std::mutex contexts_mu_;
   std::map<std::string, std::shared_ptr<sim::SimContext>> contexts_;

@@ -1,0 +1,191 @@
+#include "learn/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/cache.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/features.hpp"
+
+namespace gpustatic::learn {
+
+namespace {
+
+/// One compilation pipeline per (kernel, n, gpu) context; nullptr marks
+/// a context whose workload/GPU failed to resolve (warned once).
+struct ContextCache {
+  std::map<std::string, std::unique_ptr<codegen::CompilationCache>> entries;
+
+  codegen::CompilationCache* get(const tuner::StoreRecord& r,
+                                 const WorkloadLoader& load,
+                                 std::vector<std::string>* warnings) {
+    const std::string key =
+        r.kernel + "\n" + std::to_string(r.n) + "\n" + r.gpu;
+    const auto it = entries.find(key);
+    if (it != entries.end()) return it->second.get();
+    std::unique_ptr<codegen::CompilationCache> cache;
+    try {
+      const arch::GpuSpec& gpu = arch::gpu(r.gpu);
+      cache = std::make_unique<codegen::CompilationCache>(
+          load(r.kernel, r.n), gpu);
+    } catch (const Error& e) {
+      if (warnings != nullptr)
+        warnings->push_back("corpus: skipping records for (" + r.kernel +
+                            ", " + r.gpu + ", n=" + std::to_string(r.n) +
+                            "): " + e.what());
+    }
+    return entries.emplace(key, std::move(cache)).first->second.get();
+  }
+};
+
+void split_group(CorpusGroup& group, std::size_t group_index,
+                 const CorpusOptions& opts) {
+  const std::size_t size = group.rows.size();
+  std::size_t held_out = static_cast<std::size_t>(
+      opts.validation_fraction * static_cast<double>(size));
+  // Groups of 4+ always contribute at least one held-out row when any
+  // validation was asked for; every group keeps at least one train row.
+  if (opts.validation_fraction > 0.0 && size >= 4 && held_out == 0)
+    held_out = 1;
+  if (held_out >= size) held_out = size - 1;
+
+  std::vector<std::size_t> shuffled = group.rows;
+  Rng rng(opts.seed + 0x9e3779b97f4a7c15ULL * (group_index + 1));
+  rng.shuffle(shuffled);
+  group.validation.assign(shuffled.begin(),
+                          shuffled.begin() +
+                              static_cast<std::ptrdiff_t>(held_out));
+  group.train.assign(shuffled.begin() +
+                         static_cast<std::ptrdiff_t>(held_out),
+                     shuffled.end());
+  std::sort(group.validation.begin(), group.validation.end());
+  std::sort(group.train.begin(), group.train.end());
+}
+
+}  // namespace
+
+std::vector<std::size_t> Corpus::train_indices() const {
+  std::vector<std::size_t> out;
+  for (const CorpusGroup& g : groups)
+    out.insert(out.end(), g.train.begin(), g.train.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> Corpus::validation_indices() const {
+  std::vector<std::size_t> out;
+  for (const CorpusGroup& g : groups)
+    out.insert(out.end(), g.validation.begin(), g.validation.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<double>> Corpus::matrix(
+    const std::vector<std::size_t>& idx) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(rows.at(i).features);
+  return out;
+}
+
+std::vector<double> Corpus::targets(
+    const std::vector<std::size_t>& idx) const {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(rows.at(i).target);
+  return out;
+}
+
+Corpus build_corpus(const tuner::TuningStore& store,
+                    const CorpusOptions& opts,
+                    std::vector<std::string>* warnings) {
+  if (opts.min_records == 0)
+    throw Error("corpus: min_records must be positive");
+  if (opts.validation_fraction < 0.0 || opts.validation_fraction >= 1.0)
+    throw Error("corpus: validation_fraction must be in [0, 1)");
+  const WorkloadLoader load =
+      opts.load_workload
+          ? opts.load_workload
+          : [](const std::string& kernel, std::int64_t n) {
+              return kernels::make_workload(kernel, n);
+            };
+
+  Corpus corpus;
+  corpus.feature_names = ml::feature_names();
+
+  ContextCache contexts;
+  std::map<std::string, std::size_t> group_index;  ///< key -> slot
+
+  for (const tuner::StoreRecord& r : store.records()) {
+    const tuner::MeasuredVariant& v = r.variant;
+    // Failed / invalid measurements are training poison: a rejected
+    // configuration has no time, an unmeasured one only a prediction.
+    if (!v.valid) {
+      ++corpus.skipped_invalid;
+      continue;
+    }
+    if (!v.measured() || !std::isfinite(v.measured_ms)) {
+      ++corpus.skipped_unmeasured;
+      continue;
+    }
+    codegen::CompilationCache* cache = contexts.get(r, load, warnings);
+    if (cache == nullptr) {
+      ++corpus.skipped_unloadable;
+      continue;
+    }
+
+    CorpusRow row;
+    row.kernel = r.kernel;
+    row.gpu = r.gpu;
+    row.n = r.n;
+    row.params = v.params;
+    row.measured_ms = v.measured_ms;
+    row.target = std::log1p(v.measured_ms);
+    try {
+      // The cached lowering is canonical per codegen key; the record's
+      // own params supply the launch-shape features (features.hpp).
+      row.features =
+          ml::extract_features(*cache->lower(v.params), cache->gpu(),
+                               v.params);
+    } catch (const ConfigError&) {
+      ++corpus.skipped_uncompilable;
+      continue;
+    }
+
+    const std::string key = r.kernel + "\n" + r.gpu;
+    const auto [it, inserted] =
+        group_index.emplace(key, corpus.groups.size());
+    if (inserted) {
+      CorpusGroup g;
+      g.kernel = r.kernel;
+      g.gpu = r.gpu;
+      corpus.groups.push_back(std::move(g));
+    }
+    row.group = it->second;
+    corpus.groups[it->second].rows.push_back(corpus.rows.size());
+    corpus.rows.push_back(std::move(row));
+  }
+
+  if (corpus.rows.size() < opts.min_records)
+    throw Error(
+        "corpus: not enough training data: " +
+        std::to_string(corpus.rows.size()) + " usable record(s) joined (" +
+        std::to_string(store.size()) + " in store; skipped " +
+        std::to_string(corpus.skipped_invalid) + " invalid, " +
+        std::to_string(corpus.skipped_unmeasured) + " unmeasured, " +
+        std::to_string(corpus.skipped_uncompilable) + " uncompilable, " +
+        std::to_string(corpus.skipped_unloadable) +
+        " unloadable); need at least " + std::to_string(opts.min_records) +
+        " — run tune-fleet or the serve daemon to grow the store");
+
+  for (std::size_t g = 0; g < corpus.groups.size(); ++g)
+    split_group(corpus.groups[g], g, opts);
+  return corpus;
+}
+
+}  // namespace gpustatic::learn

@@ -1,0 +1,103 @@
+#pragma once
+
+// Corpus builder: the join between the fleet's TuningStore and the
+// static feature extractor. Every valid, measured store record becomes
+// one training row — ml::extract_features over the record's cached
+// lowering (codegen::CompilationCache, one compile per codegen key, not
+// per record) with the record's own launch shape, targeting
+// log1p(measured_ms) — grouped by (kernel, gpu) with a deterministic
+// seeded train/validation split per group. Records that never executed,
+// were rejected as invalid, or no longer compile are excluded and
+// counted, never silently trained on; a store too small to learn from
+// is a clear "not enough training data" error, not a junk model.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/params.hpp"
+#include "dsl/ast.hpp"
+#include "tuner/store.hpp"
+
+namespace gpustatic::learn {
+
+/// Resolves a store record's (kernel, n) identity to the workload to
+/// compile. The default uses the kernels registry; the tuning service
+/// plugs in core::load_workload so path-named kernels join too.
+using WorkloadLoader = std::function<dsl::WorkloadDesc(
+    const std::string& kernel, std::int64_t n)>;
+
+struct CorpusOptions {
+  /// Fewest usable (valid + measured + compilable) rows a store must
+  /// yield; below this build_corpus throws a "not enough training
+  /// data" Error instead of producing a model-poisoning toy corpus.
+  std::size_t min_records = 16;
+  /// Per-group fraction of rows held out for validation metrics.
+  double validation_fraction = 0.25;
+  /// Seed for the per-group split shuffles.
+  std::uint64_t seed = 42;
+  /// Workload resolver; default = kernels registry (see WorkloadLoader).
+  WorkloadLoader load_workload;
+};
+
+/// One joined training row.
+struct CorpusRow {
+  std::string kernel;
+  std::string gpu;
+  std::int64_t n = 0;
+  codegen::TuningParams params;
+  std::vector<double> features;  ///< ml::feature_names() order
+  double measured_ms = 0;
+  double target = 0;             ///< log1p(measured_ms)
+  std::size_t group = 0;         ///< index into Corpus::groups
+};
+
+/// One (kernel, gpu) group with its deterministic split. `rows`,
+/// `train`, and `validation` are indexes into Corpus::rows, each in
+/// ascending order; train and validation partition `rows` (groups too
+/// small to hold anything out keep every row in train).
+struct CorpusGroup {
+  std::string kernel;
+  std::string gpu;
+  std::vector<std::size_t> rows;
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+struct Corpus {
+  std::vector<std::string> feature_names;  ///< schema of every row
+  std::vector<CorpusRow> rows;
+  std::vector<CorpusGroup> groups;  ///< first-encounter store order
+
+  // Exclusion accounting (records the join refused to train on).
+  std::size_t skipped_invalid = 0;      ///< valid=0 (rejected configs)
+  std::size_t skipped_unmeasured = 0;   ///< never executed (time=-)
+  std::size_t skipped_uncompilable = 0; ///< no longer compiles (ConfigError)
+  std::size_t skipped_unloadable = 0;   ///< unknown kernel or GPU
+
+  [[nodiscard]] std::size_t skipped() const {
+    return skipped_invalid + skipped_unmeasured + skipped_uncompilable +
+           skipped_unloadable;
+  }
+
+  /// All train (resp. validation) row indexes, ascending across groups.
+  [[nodiscard]] std::vector<std::size_t> train_indices() const;
+  [[nodiscard]] std::vector<std::size_t> validation_indices() const;
+
+  /// Feature matrix / target vector for a set of row indexes (aligned).
+  [[nodiscard]] std::vector<std::vector<double>> matrix(
+      const std::vector<std::size_t>& idx) const;
+  [[nodiscard]] std::vector<double> targets(
+      const std::vector<std::size_t>& idx) const;
+};
+
+/// Join `store` into a corpus (see file comment). Throws Error when the
+/// usable row count is below opts.min_records; per-record skip reasons
+/// land in the corpus counters, per-kernel load failures additionally
+/// in `warnings` (once per kernel).
+[[nodiscard]] Corpus build_corpus(
+    const tuner::TuningStore& store, const CorpusOptions& opts = {},
+    std::vector<std::string>* warnings = nullptr);
+
+}  // namespace gpustatic::learn

@@ -1,0 +1,79 @@
+#include "learn/evaluator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "ml/features.hpp"
+
+namespace gpustatic::learn {
+
+LearnedEvaluator::LearnedEvaluator(
+    std::shared_ptr<const CostModel> model,
+    std::shared_ptr<codegen::CompilationCache> cache)
+    : model_(std::move(model)), cache_(std::move(cache)) {
+  if (model_ == nullptr || !model_->forest.fitted())
+    throw Error("learned evaluator: no fitted model");
+  if (cache_ == nullptr)
+    throw Error("learned evaluator: no compilation cache");
+  if (model_->features != ml::feature_names())
+    throw Error(
+        "learned evaluator: model feature schema does not match this "
+        "build (" +
+        std::to_string(model_->features.size()) + " vs " +
+        std::to_string(ml::feature_names().size()) +
+        " features) — retrain with `gpustatic train`");
+}
+
+CostModel::Score LearnedEvaluator::score(
+    const codegen::TuningParams& params) {
+  // Canonical lowering per codegen key; the point's own params supply
+  // the launch-shape features (see ml/features.hpp).
+  return model_->score(
+      ml::extract_features(*cache_->lower(params), cache_->gpu(), params));
+}
+
+double LearnedEvaluator::evaluate(const codegen::TuningParams& params) {
+  try {
+    return score(params).cost_ms;
+  } catch (const ConfigError&) {
+    return tuner::kInvalid;
+  }
+}
+
+tuner::Stage1Ranker make_stage1_ranker(
+    std::shared_ptr<const CostModel> model, LearnedRankerOptions opts) {
+  return [model = std::move(model), opts](
+             const std::vector<tuner::RankedVariant>& shortlist,
+             codegen::CompilationCache& cache)
+             -> std::optional<std::vector<double>> {
+    if (model == nullptr || !model->forest.fitted()) return std::nullopt;
+    if (model->features != ml::feature_names()) return std::nullopt;
+    if (shortlist.empty()) return std::nullopt;
+    try {
+      std::vector<double> scores;
+      scores.reserve(shortlist.size());
+      std::size_t confident = 0;
+      for (const tuner::RankedVariant& v : shortlist) {
+        const CostModel::Score s = model->score(ml::extract_features(
+            *cache.lower(v.params), cache.gpu(), v.params));
+        if (!std::isfinite(s.cost_ms)) return std::nullopt;
+        if (s.variance <= opts.max_variance) ++confident;
+        scores.push_back(s.cost_ms);
+      }
+      // All-or-nothing: a partially-trusted ranking would interleave
+      // model and analytic opinions with incomparable scales, so below
+      // the confidence bar the whole shortlist keeps its analytic order.
+      const double fraction = static_cast<double>(confident) /
+                              static_cast<double>(shortlist.size());
+      if (fraction < opts.min_confident_fraction) return std::nullopt;
+      return scores;
+    } catch (const Error&) {
+      // Decline, don't fail the search: the analytic ranking is always
+      // available and correct.
+      return std::nullopt;
+    }
+  };
+}
+
+}  // namespace gpustatic::learn

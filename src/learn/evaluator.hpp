@@ -1,0 +1,76 @@
+#pragma once
+
+// The deployed side of the learned cost model: an Evaluator backend
+// that scores variants from the model (zero program runs, like the
+// analytic backend, but trained on the fleet's own measurements), and
+// the hybrid stage-1 ranker hook that re-orders the Eq. 6 shortlist
+// when — and only when — the model is present, schema-compatible, and
+// confident. The confidence signal is the forest's per-tree variance:
+// trees that disagree about a point have never seen its neighborhood,
+// so their mean is noise and the ranker declines, leaving the analytic
+// ranking byte-identical to a model-less run.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/cache.hpp"
+#include "learn/model.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/hybrid.hpp"
+
+namespace gpustatic::learn {
+
+struct LearnedRankerOptions {
+  /// Per-tree prediction variance (log-target units) above which one
+  /// point counts as low-confidence.
+  double max_variance = 0.25;
+  /// Minimum fraction of confident shortlist points for the ranker to
+  /// take the ranking; below it the whole shortlist falls back to the
+  /// analytic order (the decision is all-or-nothing per search, never
+  /// per point, so fallback output is exactly the analytic output).
+  double min_confident_fraction = 0.9;
+};
+
+/// Model-backed evaluation backend, registered alongside "sim" and
+/// "analytic". Scores are predicted milliseconds; a variant that fails
+/// validation/lowering scores kInvalid, exactly like the other
+/// backends. Thread-compatible (the underlying cache is thread-safe;
+/// the model is immutable).
+class LearnedEvaluator final : public tuner::Evaluator {
+ public:
+  /// Throws Error when `model` is null or its forest is unfitted.
+  LearnedEvaluator(std::shared_ptr<const CostModel> model,
+                   std::shared_ptr<codegen::CompilationCache> cache);
+
+  [[nodiscard]] std::string name() const override { return "learned"; }
+  double evaluate(const codegen::TuningParams& params) override;
+
+  /// Full scored prediction (cost + confidence) for one variant;
+  /// throws ConfigError for unlaunchable configurations.
+  [[nodiscard]] CostModel::Score score(
+      const codegen::TuningParams& params);
+
+  [[nodiscard]] const CostModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const CostModel> model_;
+  std::shared_ptr<codegen::CompilationCache> cache_;
+};
+
+/// Build a hybrid stage-1 ranker over `model` (see tuner::Stage1Ranker).
+/// The returned ranker declines — returns nullopt, analytic fallback —
+/// when `model` is null, unfitted, trained on a different feature
+/// schema, or low-confidence on this shortlist per `opts`; it never
+/// throws. A null model is accepted so callers can install the ranker
+/// unconditionally and let presence be decided per search.
+[[nodiscard]] tuner::Stage1Ranker make_stage1_ranker(
+    std::shared_ptr<const CostModel> model, LearnedRankerOptions opts = {});
+
+}  // namespace gpustatic::learn
+
+namespace gpustatic::tuner {
+/// The learned backend under its tuner-layer name, next to
+/// SimEvaluator / AnalyticEvaluator.
+using LearnedEvaluator = learn::LearnedEvaluator;
+}  // namespace gpustatic::tuner

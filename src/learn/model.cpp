@@ -1,0 +1,295 @@
+#include "learn/model.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+#include "tuner/measurement.hpp"
+
+namespace gpustatic::learn {
+
+namespace {
+
+constexpr std::string_view kMagic = "gpustatic-model v1";
+
+std::uint64_t parse_u64(std::string_view value, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t out = std::stoull(std::string(value), &used);
+    if (used != value.size()) throw std::invalid_argument("");
+    return out;
+  } catch (const std::exception&) {
+    throw ParseError("model: bad integer '" + std::string(value) + "'",
+                     line);
+  }
+}
+
+std::int64_t parse_i64(std::string_view value, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(std::string(value), &used);
+    if (used != value.size()) throw std::invalid_argument("");
+    return out;
+  } catch (const std::exception&) {
+    throw ParseError("model: bad integer '" + std::string(value) + "'",
+                     line);
+  }
+}
+
+double parse_double(std::string_view value, std::size_t line) {
+  const std::string token(value);
+  char* end = nullptr;
+  const double out = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size())
+    throw ParseError("model: bad number '" + token + "'", line);
+  return out;
+}
+
+}  // namespace
+
+CostModel::Score CostModel::score(
+    const std::vector<double>& feature_row) const {
+  const ml::RegressionForest::Prediction p = forest.predict(feature_row);
+  Score s;
+  // The target is log1p(measured_ms); invert it, clamped at zero so a
+  // slightly-negative ensemble mean never yields a negative cost.
+  s.cost_ms = std::max(0.0, std::expm1(p.mean));
+  s.variance = p.variance;
+  return s;
+}
+
+std::string CostModel::serialize() const {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "meta seed=" << meta.seed << " records=" << meta.records
+     << " groups=" << meta.groups << " target=" << meta.target
+     << " features=" << features.size() << " trees=" << forest.size()
+     << "\n";
+  for (std::size_t i = 0; i < features.size(); ++i)
+    os << "feature " << i << " " << features[i] << "\n";
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& nodes = forest.trees()[t].nodes();
+    os << "tree " << t << " nodes=" << nodes.size() << "\n";
+    for (const ml::RegressionTree::Node& n : nodes) {
+      os << "node feature=" << n.feature
+         << str::format(" threshold=%.17g", n.threshold)
+         << " left=" << n.left << " right=" << n.right
+         << str::format(" value=%.17g", n.value)
+         << " samples=" << n.samples << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+CostModel CostModel::parse(std::string_view text,
+                           std::vector<std::string>* warnings) {
+  CostModel model;
+  model.features.clear();
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Parser state: how many schema/tree/node records are still owed.
+  bool saw_magic = false;
+  bool saw_meta = false;
+  bool saw_end = false;
+  std::uint64_t features_expected = 0;
+  std::uint64_t trees_expected = 0;
+  std::vector<ml::RegressionTree> trees;
+  std::vector<ml::RegressionTree::Node> nodes;  ///< current tree's nodes
+  std::uint64_t nodes_expected = 0;
+  bool in_tree = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+
+    if (saw_end) {
+      // The model is complete; anything after `end` is a recoverable
+      // tail (mirrors the store's truncated-append stance).
+      if (warnings != nullptr)
+        warnings->push_back("model: skipped trailing content after 'end' "
+                            "(line " +
+                            std::to_string(line_no) + ")");
+      break;
+    }
+    if (!saw_magic) {
+      if (trimmed != kMagic)
+        throw ParseError("model: bad magic line (want '" +
+                             std::string(kMagic) + "')",
+                         line_no);
+      saw_magic = true;
+      continue;
+    }
+
+    const auto fields = str::split_ws(trimmed);
+    const std::string& kind = fields[0];
+
+    if (kind == "meta") {
+      if (saw_meta) throw ParseError("model: duplicate meta line", line_no);
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto [key, value] = tuner::split_field(fields[i], line_no);
+        if (key == "seed") {
+          model.meta.seed = parse_u64(value, line_no);
+        } else if (key == "records") {
+          model.meta.records = parse_u64(value, line_no);
+        } else if (key == "groups") {
+          model.meta.groups = parse_u64(value, line_no);
+        } else if (key == "target") {
+          model.meta.target = std::string(value);
+        } else if (key == "features") {
+          features_expected = parse_u64(value, line_no);
+        } else if (key == "trees") {
+          trees_expected = parse_u64(value, line_no);
+        } else {
+          throw ParseError(
+              "model: unknown meta field '" + std::string(key) + "'",
+              line_no);
+        }
+      }
+      if (features_expected == 0 || trees_expected == 0)
+        throw ParseError("model: meta needs features > 0 and trees > 0",
+                         line_no);
+      saw_meta = true;
+      continue;
+    }
+    if (!saw_meta)
+      throw ParseError("model: expected meta line before '" + kind + "'",
+                       line_no);
+
+    if (kind == "feature") {
+      if (fields.size() != 3)
+        throw ParseError("model: feature line needs '<index> <name>'",
+                         line_no);
+      if (model.features.size() >= features_expected)
+        throw ParseError("model: more feature lines than meta declared",
+                         line_no);
+      const std::uint64_t index = parse_u64(fields[1], line_no);
+      if (index != model.features.size())
+        throw ParseError("model: feature index " + fields[1] +
+                             " out of order (expected " +
+                             std::to_string(model.features.size()) + ")",
+                         line_no);
+      model.features.push_back(fields[2]);
+      continue;
+    }
+
+    if (kind == "tree") {
+      if (model.features.size() != features_expected)
+        throw ParseError("model: tree before full feature schema",
+                         line_no);
+      if (in_tree)
+        throw ParseError("model: tree " + std::to_string(trees.size()) +
+                             " is missing nodes",
+                         line_no);
+      if (fields.size() != 3)
+        throw ParseError("model: tree line needs '<index> nodes=<n>'",
+                         line_no);
+      if (trees.size() >= trees_expected)
+        throw ParseError("model: more tree lines than meta declared",
+                         line_no);
+      const std::uint64_t index = parse_u64(fields[1], line_no);
+      if (index != trees.size())
+        throw ParseError("model: tree index out of order", line_no);
+      const auto [key, value] = tuner::split_field(fields[2], line_no);
+      if (key != "nodes")
+        throw ParseError("model: tree line needs 'nodes=<n>'", line_no);
+      nodes_expected = parse_u64(value, line_no);
+      if (nodes_expected == 0)
+        throw ParseError("model: tree declares zero nodes", line_no);
+      nodes.clear();
+      in_tree = true;
+      continue;
+    }
+
+    if (kind == "node") {
+      if (!in_tree)
+        throw ParseError("model: node line outside a tree", line_no);
+      ml::RegressionTree::Node n;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto [key, value] = tuner::split_field(fields[i], line_no);
+        if (key == "feature") {
+          n.feature = static_cast<int>(parse_i64(value, line_no));
+        } else if (key == "threshold") {
+          n.threshold = parse_double(value, line_no);
+        } else if (key == "left") {
+          n.left = static_cast<std::int32_t>(parse_i64(value, line_no));
+        } else if (key == "right") {
+          n.right = static_cast<std::int32_t>(parse_i64(value, line_no));
+        } else if (key == "value") {
+          n.value = parse_double(value, line_no);
+        } else if (key == "samples") {
+          n.samples = static_cast<std::size_t>(parse_u64(value, line_no));
+        } else {
+          throw ParseError(
+              "model: unknown node field '" + std::string(key) + "'",
+              line_no);
+        }
+      }
+      nodes.push_back(n);
+      if (nodes.size() == nodes_expected) {
+        try {
+          trees.push_back(ml::RegressionTree::from_nodes(std::move(nodes)));
+        } catch (const Error& e) {
+          throw ParseError(std::string("model: ") + e.what(), line_no);
+        }
+        nodes = {};
+        in_tree = false;
+      }
+      continue;
+    }
+
+    if (kind == "end") {
+      if (in_tree || trees.size() != trees_expected)
+        throw ParseError("model: 'end' before all declared trees",
+                         line_no);
+      saw_end = true;
+      continue;
+    }
+
+    throw ParseError("model: unknown record '" + kind + "'", line_no);
+  }
+
+  if (!saw_magic) throw ParseError("model: empty input", 1);
+  if (!saw_end)
+    throw ParseError(
+        "model: file truncated (missing 'end' terminator after line " +
+            std::to_string(line_no) + ")",
+        line_no == 0 ? 1 : line_no);
+
+  model.forest = ml::RegressionForest::from_trees(std::move(trees));
+  return model;
+}
+
+CostModel CostModel::load(const std::string& path,
+                          std::vector<std::string>* warnings) {
+  const std::optional<std::string> text = io::read_file_if_exists(path);
+  if (!text) throw Error("model: cannot read '" + path + "'");
+  return parse(*text, warnings);
+}
+
+std::optional<CostModel> CostModel::load_lenient(
+    const std::string& path, std::vector<std::string>* warnings) {
+  const std::optional<std::string> text = io::read_file_if_exists(path);
+  if (!text) return std::nullopt;  // no model yet: a normal cold start
+  try {
+    return parse(*text, warnings);
+  } catch (const Error& e) {
+    if (warnings != nullptr)
+      warnings->push_back("model: ignoring unusable model file '" + path +
+                          "': " + e.what());
+    return std::nullopt;
+  }
+}
+
+void CostModel::save(const std::string& path) const {
+  io::write_file_atomic(path, serialize());
+}
+
+}  // namespace gpustatic::learn

@@ -1,0 +1,97 @@
+#pragma once
+
+// The deployed artifact of src/learn: a trained regression-forest cost
+// model plus the metadata a consumer needs to trust it (format version,
+// training seed, record/group counts, the exact feature schema it was
+// fit on). The on-disk form follows the TuningStore's text-format
+// conventions — versioned magic line, one record per line, %.17g floats
+// for lossless round trips, atomic saves via common/io.hpp:
+//
+//   gpustatic-model v1
+//   meta seed=<u64> records=<n> groups=<n> target=log1p_ms
+//        features=<k> trees=<t>
+//   feature <index> <name>
+//   tree <index> nodes=<n>
+//   node feature=<i> threshold=<f> left=<i> right=<i> value=<f> samples=<n>
+//   end
+//
+// (wrapped here for readability; every record is one line). Unlike the
+// store, model lines are not independent — a tree missing nodes is not
+// a smaller model, it is a broken one — so a partial read cannot be
+// repaired by dropping the tail. Instead the format ends with an
+// explicit `end` terminator: a file that stops early (a writer killed
+// mid-save on a filesystem without atomic rename) fails with a clear
+// "truncated" error rather than loading a junk model, and the lenient
+// loader turns exactly that class of failure into a warning + "no
+// model" so a daemon can still start. Content after `end` is skipped
+// with a warning, mirroring the store's recoverable-tail stance.
+//
+// Round-trip guarantee: parse(serialize()) reproduces the model and
+// serialize() of the reparse is byte-identical (pinned by tests).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/regression.hpp"
+
+namespace gpustatic::learn {
+
+inline constexpr int kModelFormatVersion = 1;
+
+/// Provenance carried inside the model file.
+struct ModelMeta {
+  int version = kModelFormatVersion;  ///< file-format version
+  std::uint64_t seed = 0;             ///< training seed (corpus + forest)
+  std::uint64_t records = 0;          ///< rows the forest was fit on
+  std::uint64_t groups = 0;           ///< (kernel, gpu) corpus groups
+  std::string target = "log1p_ms";    ///< regression target encoding
+};
+
+/// A trained cost model: forest + schema + provenance.
+class CostModel {
+ public:
+  ModelMeta meta;
+  /// Feature schema the forest was fit on, in column order. Consumers
+  /// compare this against ml::feature_names() before trusting scores —
+  /// a model trained on an older schema must decline, not mis-score.
+  std::vector<std::string> features;
+  ml::RegressionForest forest;
+
+  /// One scored point: the predicted cost back in milliseconds (the
+  /// target is log1p(ms), so the mean is expm1'd) plus the per-tree
+  /// variance in log-target units — the confidence signal.
+  struct Score {
+    double cost_ms = 0;
+    double variance = 0;
+  };
+  [[nodiscard]] Score score(const std::vector<double>& feature_row) const;
+
+  /// Text serialization (format above); parse() is the inverse.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse a serialized model. Throws ParseError on malformed lines,
+  /// a bad magic line, or a file that ends before its `end` terminator
+  /// (truncation). Content after `end` is skipped and described in
+  /// `warnings` when given.
+  [[nodiscard]] static CostModel parse(
+      std::string_view text, std::vector<std::string>* warnings = nullptr);
+
+  /// Load from a file; a missing file or corrupt content throws.
+  [[nodiscard]] static CostModel load(
+      const std::string& path,
+      std::vector<std::string>* warnings = nullptr);
+
+  /// Lenient load for daemon startup: a missing file returns nullopt
+  /// silently; an unreadable/corrupt/truncated file returns nullopt and
+  /// describes why in `warnings`. Never throws.
+  [[nodiscard]] static std::optional<CostModel> load_lenient(
+      const std::string& path, std::vector<std::string>* warnings);
+
+  /// Atomic rewrite of `path` (temp sibling + rename; common/io.hpp).
+  void save(const std::string& path) const;
+};
+
+}  // namespace gpustatic::learn

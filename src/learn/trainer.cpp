@@ -1,0 +1,230 @@
+#include "learn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace gpustatic::learn {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Ranks with average ties (1-based; the offset cancels in Pearson).
+std::vector<double> average_ranks(const std::vector<double>& values) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  std::vector<double> ranks(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]])
+      ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                            2.0 +
+                        1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+/// Regret of trusting the first `k` entries of `by_prediction` (indexes
+/// into `measured`): best measured among them vs the overall best.
+double regret_at(const std::vector<std::size_t>& by_prediction,
+                 const std::vector<double>& measured, std::size_t k) {
+  if (by_prediction.empty()) return kNaN;
+  const double best = *std::min_element(measured.begin(), measured.end());
+  double picked = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < std::min(k, by_prediction.size()); ++i)
+    picked = std::min(picked, measured[by_prediction[i]]);
+  if (best <= 0.0) return picked <= best ? 0.0 : kNaN;
+  return (picked - best) / best;
+}
+
+double mean_defined(const std::vector<double>& values) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const double v : values)
+    if (std::isfinite(v)) {
+      sum += v;
+      ++n;
+    }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+std::string metric_cell(double v) {
+  return std::isfinite(v) ? str::format("%.4f", v) : std::string("-");
+}
+
+void json_number(std::ostream& os, double v) {
+  if (std::isfinite(v))
+    os << str::format("%.17g", v);
+  else
+    os << "null";
+}
+
+}  // namespace
+
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return kNaN;
+  const std::vector<double> ra = average_ranks(a);
+  const std::vector<double> rb = average_ranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0;
+  double mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0;
+  double va = 0;
+  double vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return kNaN;  // a constant side has no rank
+  return cov / std::sqrt(va * vb);
+}
+
+TrainReport train_cost_model(const tuner::TuningStore& store,
+                             const TrainOptions& opts,
+                             std::vector<std::string>* warnings) {
+  TrainReport report;
+  report.store_records = store.size();
+
+  const Corpus corpus = build_corpus(store, opts.corpus, warnings);
+  report.rows = corpus.rows.size();
+  report.skipped = corpus.skipped();
+
+  const std::vector<std::size_t> train = corpus.train_indices();
+  const std::vector<std::size_t> validation = corpus.validation_indices();
+  report.train_rows = train.size();
+  report.validation_rows = validation.size();
+
+  ml::RegressionForestOptions fopts = opts.forest;
+  fopts.seed = opts.corpus.seed;  // one seed governs split + bagging
+  report.model.forest.fit(corpus.matrix(train), corpus.targets(train),
+                          fopts);
+  report.model.features = corpus.feature_names;
+  report.model.meta.seed = opts.corpus.seed;
+  report.model.meta.records = train.size();
+  report.model.meta.groups = corpus.groups.size();
+
+  std::vector<double> spearmans;
+  std::vector<double> top1s;
+  std::vector<double> topks;
+  for (const CorpusGroup& g : corpus.groups) {
+    GroupMetrics m;
+    m.kernel = g.kernel;
+    m.gpu = g.gpu;
+    m.train_rows = g.train.size();
+    m.validation_rows = g.validation.size();
+    m.spearman = kNaN;
+    m.top1_regret = kNaN;
+    m.topk_regret = kNaN;
+    if (!g.validation.empty()) {
+      std::vector<double> predicted;
+      std::vector<double> measured;
+      predicted.reserve(g.validation.size());
+      measured.reserve(g.validation.size());
+      for (const std::size_t i : g.validation) {
+        predicted.push_back(
+            report.model.forest.predict(corpus.rows[i].features).mean);
+        measured.push_back(corpus.rows[i].measured_ms);
+      }
+      m.spearman = spearman_rank_correlation(predicted, measured);
+      std::vector<std::size_t> by_prediction(predicted.size());
+      for (std::size_t i = 0; i < by_prediction.size(); ++i)
+        by_prediction[i] = i;
+      std::sort(by_prediction.begin(), by_prediction.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (predicted[a] != predicted[b])
+                    return predicted[a] < predicted[b];
+                  return a < b;
+                });
+      m.top1_regret = regret_at(by_prediction, measured, 1);
+      m.topk_regret =
+          regret_at(by_prediction, measured, std::max<std::size_t>(
+                                                 1, opts.top_k));
+    }
+    spearmans.push_back(m.spearman);
+    top1s.push_back(m.top1_regret);
+    topks.push_back(m.topk_regret);
+    report.groups.push_back(std::move(m));
+  }
+  report.mean_spearman = mean_defined(spearmans);
+  report.mean_top1_regret = mean_defined(top1s);
+  report.mean_topk_regret = mean_defined(topks);
+  return report;
+}
+
+std::string TrainReport::to_table() const {
+  TextTable t({"Kernel", "GPU", "train", "val", "Spearman", "top-1 regret",
+               "top-k regret"});
+  for (const GroupMetrics& g : groups)
+    t.add_row({g.kernel, g.gpu, std::to_string(g.train_rows),
+               std::to_string(g.validation_rows), metric_cell(g.spearman),
+               metric_cell(g.top1_regret), metric_cell(g.topk_regret)});
+  std::ostringstream os;
+  os << t.render();
+  os << str::format(
+      "trained on %zu rows (%zu held out) from %zu store records "
+      "(%zu skipped), %zu groups\n",
+      train_rows, validation_rows, store_records, skipped, groups.size());
+  os << "mean held-out Spearman " << metric_cell(mean_spearman)
+     << ", top-1 regret " << metric_cell(mean_top1_regret)
+     << ", top-k regret " << metric_cell(mean_topk_regret) << "\n";
+  return os.str();
+}
+
+std::string TrainReport::to_json() const {
+  // Hand-rolled: the report is flat and every name here is a
+  // single-token kernel/GPU identifier (enforced by TuningStore::put),
+  // so no escaping is required.
+  std::ostringstream os;
+  os << "{\"store_records\":" << store_records << ",\"rows\":" << rows
+     << ",\"train_rows\":" << train_rows
+     << ",\"validation_rows\":" << validation_rows
+     << ",\"skipped\":" << skipped
+     << ",\"trees\":" << model.forest.size()
+     << ",\"seed\":" << model.meta.seed << ",\"mean_spearman\":";
+  json_number(os, mean_spearman);
+  os << ",\"mean_top1_regret\":";
+  json_number(os, mean_top1_regret);
+  os << ",\"mean_topk_regret\":";
+  json_number(os, mean_topk_regret);
+  os << ",\"groups\":[";
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const GroupMetrics& g = groups[i];
+    os << (i ? "," : "") << "{\"kernel\":\"" << g.kernel << "\",\"gpu\":\""
+       << g.gpu << "\",\"train\":" << g.train_rows
+       << ",\"validation\":" << g.validation_rows << ",\"spearman\":";
+    json_number(os, g.spearman);
+    os << ",\"top1_regret\":";
+    json_number(os, g.top1_regret);
+    os << ",\"topk_regret\":";
+    json_number(os, g.topk_regret);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace gpustatic::learn

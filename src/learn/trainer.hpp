@@ -1,0 +1,78 @@
+#pragma once
+
+// Trainer: store -> corpus -> fitted regression-forest cost model, with
+// per-group rank metrics on the held-out rows. Rank metrics — not MSE —
+// because the model's job downstream is ordering candidates for the
+// hybrid dial: Spearman correlation says whether the model sorts a
+// group's variants like the simulator does, and top-k regret says how
+// much measured time is lost by trusting the model's top picks.
+// Everything is deterministic under a fixed seed: same store + options
+// -> byte-identical model file and metrics report.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "learn/corpus.hpp"
+#include "learn/model.hpp"
+#include "ml/regression.hpp"
+
+namespace gpustatic::learn {
+
+struct TrainOptions {
+  CorpusOptions corpus;
+  /// Forest shape. The trainer overwrites forest.seed with corpus.seed
+  /// so one --seed governs the whole run (split + bagging).
+  ml::RegressionForestOptions forest;
+  /// k for the top-k regret metric (clamped to the group's size).
+  std::size_t top_k = 3;
+};
+
+/// Held-out ranking quality of one (kernel, gpu) group.
+struct GroupMetrics {
+  std::string kernel;
+  std::string gpu;
+  std::size_t train_rows = 0;
+  std::size_t validation_rows = 0;
+  /// Spearman rank correlation between predicted and measured cost over
+  /// the group's validation rows; NaN when fewer than 2 rows held out.
+  double spearman = 0;
+  /// Relative measured-time loss of trusting the model's #1 pick:
+  /// (measured(top prediction) - best measured) / best measured.
+  double top1_regret = 0;
+  /// Same, best measured variant inside the model's top-k predictions.
+  double topk_regret = 0;
+};
+
+struct TrainReport {
+  CostModel model;
+  std::vector<GroupMetrics> groups;
+  std::size_t store_records = 0;  ///< records in the input store
+  std::size_t rows = 0;           ///< usable joined rows
+  std::size_t train_rows = 0;
+  std::size_t validation_rows = 0;
+  std::size_t skipped = 0;        ///< records the join excluded
+  /// Means over groups with defined metrics; NaN when none have any.
+  double mean_spearman = 0;
+  double mean_top1_regret = 0;
+  double mean_topk_regret = 0;
+
+  /// Human-readable metrics table (one row per group + summary lines).
+  [[nodiscard]] std::string to_table() const;
+  /// Machine-readable single-object JSON rendering of the same.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Build the corpus from `store` and fit the cost model. Throws Error
+/// on not-enough-data (see build_corpus) or invalid options; join
+/// warnings land in `warnings` when given.
+[[nodiscard]] TrainReport train_cost_model(
+    const tuner::TuningStore& store, const TrainOptions& opts = {},
+    std::vector<std::string>* warnings = nullptr);
+
+/// Spearman rank correlation of two aligned samples (average ranks on
+/// ties). NaN when sizes differ, n < 2, or either side is constant.
+[[nodiscard]] double spearman_rank_correlation(
+    const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace gpustatic::learn

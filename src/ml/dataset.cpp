@@ -80,6 +80,9 @@ std::vector<std::size_t> fold_complement(
 void Scaler::fit(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) throw Error("scaler: empty fit set");
   const std::size_t w = rows.front().size();
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    if (rows[r].size() != w)
+      throw Error("scaler: ragged row " + std::to_string(r));
   mean_.assign(w, 0.0);
   std_.assign(w, 0.0);
   for (const auto& r : rows)
@@ -95,6 +98,12 @@ void Scaler::fit(const std::vector<std::vector<double>>& rows) {
 }
 
 std::vector<double> Scaler::transform(const std::vector<double>& row) const {
+  // Width must match the fitted schema: silently zipping a wider row
+  // against mean_/std_ would read past the fitted statistics.
+  if (row.size() != mean_.size())
+    throw Error("scaler: row width " + std::to_string(row.size()) +
+                " does not match fitted width " +
+                std::to_string(mean_.size()));
   std::vector<double> out(row.size());
   for (std::size_t j = 0; j < row.size(); ++j)
     out[j] = std_[j] > 1e-12 ? (row[j] - mean_[j]) / std_[j] : 0.0;

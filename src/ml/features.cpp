@@ -56,6 +56,12 @@ std::size_t feature_count() { return feature_names().size(); }
 
 std::vector<double> extract_features(const codegen::LoweredWorkload& lw,
                                      const arch::GpuSpec& gpu) {
+  return extract_features(lw, gpu, lw.params);
+}
+
+std::vector<double> extract_features(const codegen::LoweredWorkload& lw,
+                                     const arch::GpuSpec& gpu,
+                                     const codegen::TuningParams& p) {
   // Aggregate static views over stages: mixes add, structure takes the
   // worst case (a multi-stage workload is constrained by its hungriest
   // stage, mirroring LoweredWorkload::regs_per_thread).
@@ -75,7 +81,6 @@ std::vector<double> extract_features(const codegen::LoweredWorkload& lw,
     max_depth = std::max(max_depth, div.max_loop_depth);
   }
 
-  const codegen::TuningParams& p = lw.params;
   const std::uint32_t regs = lw.regs_per_thread();
   const std::uint32_t smem = lw.smem_per_block();
   const occupancy::Result occ = occupancy::calculate(

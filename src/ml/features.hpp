@@ -31,4 +31,16 @@ namespace gpustatic::ml {
 [[nodiscard]] std::vector<double> extract_features(
     const codegen::LoweredWorkload& lw, const arch::GpuSpec& gpu);
 
+/// Same schema, but launch-shape features (threads/blocks/L1 and the
+/// occupancy outputs they drive) come from `params` rather than from
+/// `lw.params`. A codegen::CompilationCache canonicalizes lowerings per
+/// CodegenKey — every key-mate shares the first-seen launch shape — so
+/// corpus builders scoring many points against one cached lowering must
+/// pass the point's own params here. Code-structure features (mix,
+/// divergence, regs, smem) still come from the lowering, which is
+/// exactly what the key shares.
+[[nodiscard]] std::vector<double> extract_features(
+    const codegen::LoweredWorkload& lw, const arch::GpuSpec& gpu,
+    const codegen::TuningParams& params);
+
 }  // namespace gpustatic::ml

@@ -1,0 +1,274 @@
+#include "ml/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gpustatic::ml {
+
+namespace {
+
+void validate_input(const std::vector<std::vector<double>>& rows,
+                    const std::vector<double>& targets) {
+  if (rows.empty()) throw Error("regression tree: empty training set");
+  if (rows.size() != targets.size())
+    throw Error("regression tree: rows/targets size mismatch (" +
+                std::to_string(rows.size()) + " vs " +
+                std::to_string(targets.size()) + ")");
+  const std::size_t width = rows.front().size();
+  if (width == 0) throw Error("regression tree: zero-width rows");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != width)
+      throw Error("regression tree: ragged row " + std::to_string(i));
+    for (const double v : rows[i])
+      if (!std::isfinite(v))
+        throw Error("regression tree: non-finite feature in row " +
+                    std::to_string(i));
+    if (!std::isfinite(targets[i]))
+      throw Error("regression tree: non-finite target in row " +
+                  std::to_string(i));
+  }
+}
+
+struct Moments {
+  double sum = 0;
+  double sum_sq = 0;
+  std::size_t n = 0;
+
+  void add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    n += 1;
+  }
+  void remove(double v) {
+    sum -= v;
+    sum_sq -= v * v;
+    n -= 1;
+  }
+  [[nodiscard]] double mean() const {
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+  /// Summed squared error around the mean (n * variance). Clamped at
+  /// zero: the incremental form can go slightly negative in floating
+  /// point when the child is near-constant.
+  [[nodiscard]] double sse() const {
+    if (n == 0) return 0.0;
+    return std::max(0.0, sum_sq - sum * sum / static_cast<double>(n));
+  }
+};
+
+struct SplitChoice {
+  bool found = false;
+  int feature = -1;
+  double threshold = 0;
+  double gain = 0;  ///< SSE decrease; must exceed min_gain to count
+};
+
+/// Best threshold over one feature via a single sorted sweep, moving
+/// samples across the cut while updating left/right moments — the
+/// regression analogue of the classifier's class-count sweep.
+void best_split_on_feature(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const std::vector<std::size_t>& idx, int feature,
+                           double parent_sse, std::size_t min_samples_leaf,
+                           SplitChoice& best) {
+  const auto f = static_cast<std::size_t>(feature);
+  std::vector<std::size_t> order = idx;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a][f] < rows[b][f];
+  });
+
+  Moments left;
+  Moments right;
+  for (const std::size_t i : idx) right.add(targets[i]);
+
+  for (std::size_t cut = 1; cut < order.size(); ++cut) {
+    const double moved = targets[order[cut - 1]];
+    left.add(moved);
+    right.remove(moved);
+
+    const double a = rows[order[cut - 1]][f];
+    const double b = rows[order[cut]][f];
+    if (a == b) continue;  // cannot separate equal values
+    if (cut < min_samples_leaf || order.size() - cut < min_samples_leaf)
+      continue;
+
+    const double gain = parent_sse - (left.sse() + right.sse());
+    // Strict > keeps the first-found split on ties (schema feature
+    // order, then lowest threshold), matching the classifier contract.
+    if (!best.found || gain > best.gain) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = (a + b) / 2.0;
+      best.gain = gain;
+    }
+  }
+}
+
+}  // namespace
+
+void RegressionTree::fit(const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& targets,
+                         const RegressionTreeOptions& opts) {
+  validate_input(rows, targets);
+  nodes_.clear();
+  std::vector<std::size_t> idx(rows.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(rows, targets, idx, opts, 0);
+}
+
+std::int32_t RegressionTree::build(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets, const std::vector<std::size_t>& idx,
+    const RegressionTreeOptions& opts, std::size_t depth) {
+  Moments here;
+  for (const std::size_t i : idx) here.add(targets[i]);
+
+  Node node;
+  node.samples = idx.size();
+  node.value = here.mean();
+
+  SplitChoice best;
+  const double parent_sse = here.sse();
+  if (depth < opts.max_depth && idx.size() >= opts.min_samples_split &&
+      parent_sse > 0.0) {
+    const auto width = static_cast<int>(rows.front().size());
+    if (opts.feature_subset.empty()) {
+      for (int f = 0; f < width; ++f)
+        best_split_on_feature(rows, targets, idx, f, parent_sse,
+                              opts.min_samples_leaf, best);
+    } else {
+      for (const int f : opts.feature_subset)
+        if (f >= 0 && f < width)
+          best_split_on_feature(rows, targets, idx, f, parent_sse,
+                                opts.min_samples_leaf, best);
+    }
+    if (best.gain < opts.min_gain) best.found = false;
+  }
+
+  const auto my_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (best.found) {
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    const auto f = static_cast<std::size_t>(best.feature);
+    for (const std::size_t i : idx) {
+      if (rows[i][f] <= best.threshold)
+        left_idx.push_back(i);
+      else
+        right_idx.push_back(i);
+    }
+    nodes_[static_cast<std::size_t>(my_index)].feature = best.feature;
+    nodes_[static_cast<std::size_t>(my_index)].threshold = best.threshold;
+    const std::int32_t l = build(rows, targets, left_idx, opts, depth + 1);
+    nodes_[static_cast<std::size_t>(my_index)].left = l;
+    const std::int32_t r = build(rows, targets, right_idx, opts, depth + 1);
+    nodes_[static_cast<std::size_t>(my_index)].right = r;
+  }
+  return my_index;
+}
+
+double RegressionTree::predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) throw Error("regression tree: predict before fit");
+  std::size_t at = 0;
+  while (nodes_[at].feature >= 0) {
+    const Node& n = nodes_[at];
+    const double v = row.at(static_cast<std::size_t>(n.feature));
+    at = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[at].value;
+}
+
+RegressionTree RegressionTree::from_nodes(std::vector<Node> nodes) {
+  if (nodes.empty()) throw Error("regression tree: no nodes to rebuild");
+  const auto count = static_cast<std::int32_t>(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (n.feature < 0) continue;  // leaf: children unused
+    if (n.left < 0 || n.left >= count || n.right < 0 || n.right >= count ||
+        n.left == static_cast<std::int32_t>(i) ||
+        n.right == static_cast<std::int32_t>(i))
+      throw Error("regression tree: node " + std::to_string(i) +
+                  " has out-of-range children");
+  }
+  RegressionTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+void RegressionForest::fit(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const RegressionForestOptions& opts) {
+  validate_input(rows, targets);
+  if (opts.trees == 0) throw Error("regression forest: need at least 1 tree");
+  if (opts.sample_fraction <= 0.0 || opts.sample_fraction > 1.0)
+    throw Error("regression forest: sample_fraction must be in (0, 1]");
+
+  trees_.clear();
+  const std::size_t width = rows.front().size();
+  const std::size_t subset =
+      opts.features_per_tree > 0
+          ? std::min(opts.features_per_tree, width)
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::ceil(
+                       static_cast<double>(width) * 2.0 / 3.0)));
+  const auto sample_size = static_cast<std::size_t>(std::max(
+      1.0, opts.sample_fraction * static_cast<double>(rows.size())));
+
+  Rng rng(opts.seed);
+  for (std::size_t t = 0; t < opts.trees; ++t) {
+    // Bootstrap rows (with replacement).
+    std::vector<std::vector<double>> sample_rows;
+    std::vector<double> sample_targets;
+    sample_rows.reserve(sample_size);
+    sample_targets.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      const auto pick = static_cast<std::size_t>(rng.below(rows.size()));
+      sample_rows.push_back(rows[pick]);
+      sample_targets.push_back(targets[pick]);
+    }
+
+    // Feature subset: first `subset` entries of a seeded shuffle.
+    std::vector<int> features(width);
+    std::iota(features.begin(), features.end(), 0);
+    for (std::size_t i = width; i > 1; --i)
+      std::swap(features[i - 1],
+                features[static_cast<std::size_t>(rng.below(i))]);
+    features.resize(subset);
+    std::sort(features.begin(), features.end());  // deterministic order
+
+    RegressionTreeOptions topts = opts.tree;
+    topts.feature_subset = std::move(features);
+    RegressionTree tree;
+    tree.fit(sample_rows, sample_targets, topts);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+RegressionForest::Prediction RegressionForest::predict(
+    const std::vector<double>& row) const {
+  if (!fitted()) throw Error("regression forest: predict before fit");
+  Moments m;
+  for (const RegressionTree& t : trees_) m.add(t.predict(row));
+  Prediction out;
+  out.mean = m.mean();
+  out.variance = m.sse() / static_cast<double>(trees_.size());
+  return out;
+}
+
+RegressionForest RegressionForest::from_trees(
+    std::vector<RegressionTree> trees) {
+  if (trees.empty()) throw Error("regression forest: no trees to rebuild");
+  for (const RegressionTree& t : trees)
+    if (!t.fitted())
+      throw Error("regression forest: cannot rebuild with an unfitted tree");
+  RegressionForest forest;
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
+}  // namespace gpustatic::ml

@@ -1,0 +1,119 @@
+#pragma once
+
+// Regression companions to the CART classifier (tree.hpp) and bagged
+// forest (forest.hpp): variance-reduction threshold splits, mean-value
+// leaves, and a bagged ensemble whose per-tree disagreement doubles as
+// a confidence signal. This is the model class behind the learned cost
+// model (src/learn): targets are continuous costs (log-compressed trial
+// times), and the forest's spread at a point tells the consumer whether
+// the prediction is trustworthy enough to rank on.
+//
+// Determinism contract (same as the classifiers): candidate thresholds
+// are midpoints of consecutive sorted feature values, features are
+// scanned in schema order, ties keep the first-found split, and all
+// randomness (bootstrap samples, per-tree feature subsets) comes from
+// the library RNG seeded by the caller — identical inputs always yield
+// identical models. Zero-variance (degenerate) feature columns offer no
+// candidate threshold and are therefore skipped, never poisoning a fit.
+//
+// Node vectors are exposed (nodes()/from_nodes()) so the learned-model
+// file format (learn/model.hpp) can serialize and rebuild forests
+// without friending its way into the internals.
+
+#include <cstdint>
+#include <vector>
+
+namespace gpustatic::ml {
+
+struct RegressionTreeOptions {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Minimum summed-squared-error decrease to accept a split; splits
+  /// that reduce nothing grow no tree.
+  double min_gain = 1e-12;
+  /// When non-empty, only these feature indexes are considered for
+  /// splits (the forest's per-tree feature subset).
+  std::vector<int> feature_subset;
+};
+
+class RegressionTree {
+ public:
+  /// One node; `feature < 0` marks a leaf carrying `value` (the mean
+  /// target of its training rows).
+  struct Node {
+    int feature = -1;
+    double threshold = 0;
+    std::int32_t left = -1;   ///< row[feature] <= threshold
+    std::int32_t right = -1;  ///< row[feature] >  threshold
+    double value = 0;
+    std::size_t samples = 0;
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  /// Fit on `rows`/`targets` (aligned by index). Throws Error on empty,
+  /// ragged, or non-finite input.
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets,
+           const RegressionTreeOptions& opts = {});
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+
+  [[nodiscard]] bool fitted() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Rebuild a tree from serialized nodes (learn/model.hpp's loader).
+  /// Validates child indexes; throws Error on malformed structure.
+  [[nodiscard]] static RegressionTree from_nodes(std::vector<Node> nodes);
+
+ private:
+  std::int32_t build(const std::vector<std::vector<double>>& rows,
+                     const std::vector<double>& targets,
+                     const std::vector<std::size_t>& idx,
+                     const RegressionTreeOptions& opts, std::size_t depth);
+
+  std::vector<Node> nodes_;
+};
+
+struct RegressionForestOptions {
+  std::size_t trees = 24;
+  RegressionTreeOptions tree;     ///< per-tree growth limits
+  double sample_fraction = 1.0;   ///< bootstrap sample size / n
+  /// Features per tree; 0 = max(1, ceil(width * 2 / 3)) — regression
+  /// forests want wider subsets than the classifier's sqrt heuristic.
+  std::size_t features_per_tree = 0;
+  std::uint64_t seed = 17;
+};
+
+class RegressionForest {
+ public:
+  /// Ensemble prediction: the per-tree mean plus the population
+  /// variance of the per-tree predictions (the confidence signal).
+  struct Prediction {
+    double mean = 0;
+    double variance = 0;
+  };
+
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets,
+           const RegressionForestOptions& opts = {});
+
+  [[nodiscard]] Prediction predict(const std::vector<double>& row) const;
+
+  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t size() const { return trees_.size(); }
+  [[nodiscard]] const std::vector<RegressionTree>& trees() const {
+    return trees_;
+  }
+
+  /// Rebuild from deserialized trees (learn/model.hpp's loader).
+  [[nodiscard]] static RegressionForest from_trees(
+      std::vector<RegressionTree> trees);
+
+ private:
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace gpustatic::ml

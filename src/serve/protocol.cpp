@@ -248,9 +248,9 @@ WireRequest parse_request(std::string_view line) {
     throw ParseError("wire request: missing required field 'op'", 1);
   req.op = string_of("op", op->second);
   if (req.op != "tune" && req.op != "query" && req.op != "stats" &&
-      req.op != "ping")
+      req.op != "ping" && req.op != "retrain")
     throw ParseError("wire request: unknown op '" + req.op +
-                         "' (want tune|query|stats|ping)",
+                         "' (want tune|query|stats|ping|retrain)",
                      1);
 
   for (const auto& [key, value] : obj) {
@@ -349,6 +349,7 @@ std::string render_tune_response(const WireRequest& request,
   w.field("compiles", static_cast<std::uint64_t>(response.compiles));
   w.field("deduplicated", response.deduplicated);
   w.field("budget_capped", budget_capped);
+  w.field("learned_ranker", response.outcome.used_learned_ranker);
   return w.str();
 }
 
@@ -365,6 +366,28 @@ std::string render_query_response(
     w.field("best", result.best.params.to_string());
     w.number_field("time_ms", result.best.measured_ms);
   }
+  return w.str();
+}
+
+std::string render_retrain_response(
+    const WireRequest& request,
+    const core::TuningService::RetrainResult& result) {
+  JsonWriter w;
+  if (!result.ok()) {
+    w.field("status", "error").field("op", "retrain");
+    if (request.has_id) w.field("id", request.id);
+    w.field("error", result.error);
+    return w.str();
+  }
+  w.field("status", "ok").field("op", "retrain");
+  if (request.has_id) w.field("id", request.id);
+  w.field("store_records",
+          static_cast<std::uint64_t>(result.store_records));
+  w.field("trained", static_cast<std::uint64_t>(result.trained_rows));
+  w.field("validation",
+          static_cast<std::uint64_t>(result.validation_rows));
+  w.number_field("mean_spearman", result.mean_spearman);
+  w.field("model_generation", result.generation);
   return w.str();
 }
 

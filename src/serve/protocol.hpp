@@ -7,7 +7,7 @@
 //
 //   request  = "{" pair ("," pair)* "}"
 //   pair     = string ":" (string | number | true | false | null)
-//   op       = "tune" | "query" | "stats" | "ping"
+//   op       = "tune" | "query" | "stats" | "ping" | "retrain"
 //
 //   {"op":"tune","kernel":"atax","gpu":"K20","n":64,"method":"rule",
 //    "seed":1234,"budget":16,"engine":"analytic",
@@ -104,6 +104,13 @@ struct WireRequest {
     const WireRequest& request,
     const core::TuningService::QueryResult& result);
 [[nodiscard]] std::string render_ping_response(const WireRequest& request);
+/// Retrain outcome: training/validation row counts, mean held-out
+/// Spearman, and the installed model generation; status:"error" with
+/// the service's message when the retrain failed (e.g. not enough
+/// data).
+[[nodiscard]] std::string render_retrain_response(
+    const WireRequest& request,
+    const core::TuningService::RetrainResult& result);
 /// `status:"error"`; `request` may be null when the line never parsed.
 [[nodiscard]] std::string render_error_response(
     const WireRequest* request, const std::string& message);

@@ -24,6 +24,7 @@ namespace {
 core::TuningService::Config service_config(const ServeOptions& opts) {
   core::TuningService::Config cfg;
   cfg.store_path = opts.store_path;
+  cfg.model_path = opts.model_path;
   cfg.save_every = opts.save_every;
   return cfg;
 }
@@ -133,6 +134,7 @@ std::string Server::handle_line(const std::string& line) {
     if (request.op == "ping") return render_ping_response(request);
     if (request.op == "stats") return handle_stats(request);
     if (request.op == "query") return handle_query(request);
+    if (request.op == "retrain") return handle_retrain(request);
     return handle_tune(std::move(request));
   } catch (const std::exception& e) {
     count_error();
@@ -177,6 +179,7 @@ std::string Server::handle_query(const WireRequest& request) {
 
 std::string Server::handle_stats(const WireRequest& request) {
   const core::TuningService::Stats stats = service_.stats();
+  const core::TuningService::ModelInfo model = service_.model_info();
   const Counters counters = this->counters();
   JsonWriter w;
   w.field("status", "ok").field("op", "stats");
@@ -190,7 +193,31 @@ std::string Server::handle_stats(const WireRequest& request) {
           static_cast<std::uint64_t>(stats.deduplicated));
   w.field("store_records",
           static_cast<std::uint64_t>(service_.store_records()));
+  // Model fields are always present — false/zero when no model is
+  // loaded — so clients never branch on field existence.
+  w.field("model_loaded", model.loaded);
+  w.field("model_version", static_cast<std::int64_t>(model.version));
+  w.field("model_records", model.records);
   return w.str();
+}
+
+std::string Server::handle_retrain(const WireRequest& request) {
+  // Retraining competes with tune searches for the same cores, so it
+  // goes through admission too (and sheds identically at capacity).
+  const AdmissionGuard guard(admission_);
+  if (!guard.admitted()) {
+    {
+      const std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.shed;
+    }
+    return render_shed_response(
+        request,
+        str::format("server at capacity (inflight %zu, queue %zu)",
+                    options_.max_inflight, options_.max_queue));
+  }
+  const core::TuningService::RetrainResult result = service_.retrain();
+  if (!result.ok()) count_error();
+  return render_retrain_response(request, result);
 }
 
 int Server::run_pipe(std::istream& in, std::ostream& out) {

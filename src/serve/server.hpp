@@ -35,6 +35,10 @@ namespace gpustatic::serve {
 
 struct ServeOptions {
   std::string store_path;    ///< persistent store; empty = in-memory
+  /// Learned cost-model file: loaded (leniently) at startup and used as
+  /// the hybrid stage-1 ranker; the `retrain` op saves back here.
+  /// Empty = analytic ranking only.
+  std::string model_path;
   int port = 0;              ///< TCP port; 0 = ephemeral (printed on start)
   std::size_t max_inflight = 8;  ///< concurrent tune searches admitted
   std::size_t max_queue = 32;    ///< waiters beyond that; then shed
@@ -128,6 +132,7 @@ class Server {
   [[nodiscard]] std::string handle_tune(WireRequest request);
   [[nodiscard]] std::string handle_query(const WireRequest& request);
   [[nodiscard]] std::string handle_stats(const WireRequest& request);
+  [[nodiscard]] std::string handle_retrain(const WireRequest& request);
   void serve_connection(int fd);
   void count_error();
 

@@ -1,6 +1,7 @@
 #include "tuner/hybrid.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <optional>
 
@@ -61,6 +62,39 @@ HybridResult hybrid_search(const ParamSpace& space,
                    });
   if (r.shortlist.empty())
     throw Error("hybrid_search: no compilable variant in the pruned space");
+
+  // Stage 1b (optional, learned): offer the ranking to the installed
+  // stage-1 ranker. A decline (nullopt) leaves the analytic order — and
+  // therefore the whole result — byte-identical to a ranker-less run;
+  // an accepted ranking re-orders the shortlist by (score, flat index).
+  if (opts.stage1) {
+    const std::optional<std::vector<double>> scores =
+        opts.stage1(r.shortlist, *compile_cache);
+    if (scores.has_value()) {
+      if (scores->size() != r.shortlist.size())
+        throw Error("hybrid_search: stage-1 ranker returned " +
+                    std::to_string(scores->size()) + " scores for " +
+                    std::to_string(r.shortlist.size()) + " candidates");
+      for (const double s : *scores)
+        if (std::isnan(s))
+          throw Error("hybrid_search: stage-1 ranker returned NaN");
+      std::vector<std::size_t> order(r.shortlist.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if ((*scores)[a] != (*scores)[b])
+                           return (*scores)[a] < (*scores)[b];
+                         return r.shortlist[a].flat_index <
+                                r.shortlist[b].flat_index;
+                       });
+      std::vector<RankedVariant> reranked;
+      reranked.reserve(r.shortlist.size());
+      for (const std::size_t i : order)
+        reranked.push_back(std::move(r.shortlist[i]));
+      r.shortlist = std::move(reranked);
+      r.used_learned_ranker = true;
+    }
+  }
 
   // Stage 2 (empirical, dialed): measure the top-B predictions as one
   // memoized batch. Shortlist order is preserved inside the batch, so

@@ -20,6 +20,8 @@
 // gets worse as the dial increases.
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "arch/gpu_spec.hpp"
@@ -31,6 +33,24 @@
 
 namespace gpustatic::tuner {
 
+/// One shortlist entry: a pruned-space variant with its Eq. 6 score.
+struct RankedVariant {
+  codegen::TuningParams params;
+  double predicted_cost = 0;
+  std::size_t flat_index = 0;  ///< index in the pruned space
+};
+
+/// Optional stage-1 re-ranker (the learned-cost-model hook; see
+/// learn/evaluator.hpp). Called once per search with the analytically
+/// ranked shortlist and the search's compilation cache; returns one
+/// finite score per entry (aligned by index, lower = better) to re-rank
+/// by, or nullopt to decline — model missing, schema mismatch, or low
+/// confidence — in which case the analytic Eq. 6 order is used
+/// untouched, byte-identical to a search with no ranker installed.
+using Stage1Ranker = std::function<std::optional<std::vector<double>>(
+    const std::vector<RankedVariant>& shortlist,
+    codegen::CompilationCache& cache)>;
+
 struct HybridOptions {
   /// Number of empirical evaluations allowed. SIZE_MAX = whole pruned
   /// space (the paper's Static/RB exhaustive regime).
@@ -40,13 +60,8 @@ struct HybridOptions {
   bool use_rule = true;
   /// Baseline compile used by the static analyzer for the prune.
   codegen::TuningParams baseline{};
-};
-
-/// One shortlist entry: a pruned-space variant with its Eq. 6 score.
-struct RankedVariant {
-  codegen::TuningParams params;
-  double predicted_cost = 0;
-  std::size_t flat_index = 0;  ///< index in the pruned space
+  /// When set, offered the stage-1 ranking (decline = analytic order).
+  Stage1Ranker stage1;
 };
 
 struct HybridResult {
@@ -55,6 +70,9 @@ struct HybridResult {
   codegen::TuningParams best_params;   ///< recommendation
   double best_time_ms = kInvalid;      ///< kInvalid when budget == 0
   std::size_t empirical_evaluations = 0;
+  /// True when HybridOptions::stage1 was offered the ranking and took
+  /// it (the shortlist order is the learned one, not Eq. 6's).
+  bool used_learned_ranker = false;
 
   /// The dial position actually used (evaluations / pruned-space size).
   [[nodiscard]] double empirical_fraction() const {

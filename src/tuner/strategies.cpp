@@ -120,6 +120,7 @@ class HybridStrategy final : public Strategy {
     r.full_space_size = ctx.space->size();
     r.intensity = h.prune.intensity;
     r.hybrid_candidates = h.shortlist.size();
+    r.used_learned_ranker = h.used_learned_ranker;
     return r;
   }
 };

@@ -51,6 +51,9 @@ struct StrategyResult {
   std::size_t full_space_size = 0;  ///< size of the unpruned space
   double intensity = 0;             ///< only for model-guided methods
   std::size_t hybrid_candidates = 0;  ///< hybrid: prediction shortlist
+  /// hybrid: the installed learned stage-1 ranker took the ranking
+  /// (false when it declined or none was installed).
+  bool used_learned_ranker = false;
 
   /// Fig. 6 metric: fraction of the full space eliminated before search.
   [[nodiscard]] double space_reduction() const {

@@ -323,6 +323,60 @@ TEST(TuningService, StorePersistsAcrossServiceInstances) {
   std::filesystem::remove(path);
 }
 
+// ---- the learned model lifecycle ------------------------------------
+
+TEST(TuningService, RetrainFitsInstallsAndPersistsTheModel) {
+  const std::string path = temp_path("service_model.model");
+  std::filesystem::remove(path);
+  TuningService::Config config;
+  config.model_path = path;
+  TuningService service(config);
+
+  TuningService::ModelInfo info = service.model_info();
+  EXPECT_FALSE(info.loaded);
+  EXPECT_EQ(info.generation, 0u);
+
+  // Seed the store with one real search, then train on it.
+  const TuneResponse tuned = service.tune(small_request());
+  ASSERT_TRUE(tuned.ok()) << tuned.error;
+  learn::TrainOptions topts;
+  topts.corpus.min_records = 4;
+  topts.forest.trees = 4;
+  const TuningService::RetrainResult result = service.retrain(topts);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.store_records, service.store_records());
+  EXPECT_GT(result.trained_rows, 0u);
+  EXPECT_EQ(result.generation, 1u);
+
+  info = service.model_info();
+  EXPECT_TRUE(info.loaded);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_EQ(info.records, result.trained_rows);
+  EXPECT_EQ(info.generation, 1u);
+
+  // The model reached disk, and a retrain bumps the generation.
+  EXPECT_NO_THROW((void)learn::CostModel::load(path));
+  EXPECT_EQ(service.retrain(topts).generation, 2u);
+
+  // A new service instance cold-loads the persisted model.
+  TuningService revived(config);
+  EXPECT_TRUE(revived.model_info().loaded);
+  EXPECT_EQ(revived.model_info().records,
+            service.model_info().records);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningService, RetrainWithoutDataFailsWithoutInstallingAModel) {
+  TuningService service;
+  const TuningService::RetrainResult result = service.retrain();
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("not enough training data"),
+            std::string::npos)
+      << result.error;
+  EXPECT_FALSE(service.model_info().loaded);
+  EXPECT_EQ(service.model_info().generation, 0u);
+}
+
 TEST(TuningService, PeriodicSaveBoundsTheCrashWindow) {
   const std::string path = temp_path("service_periodic.store");
   std::filesystem::remove(path);

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "learn/corpus.hpp"
+#include "ml/features.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+using learn::build_corpus;
+using learn::Corpus;
+using learn::CorpusOptions;
+
+namespace {
+
+tuner::StoreRecord record(const std::string& kernel, const std::string& gpu,
+                          int tc, double measured_ms, bool valid = true) {
+  tuner::StoreRecord r;
+  r.kernel = kernel;
+  r.gpu = gpu;
+  r.n = 64;
+  r.variant.params.threads_per_block = tc;
+  r.variant.measured_ms = measured_ms;
+  r.variant.valid = valid;
+  return r;
+}
+
+/// `count` measured atax/K20 rows at distinct param keys.
+tuner::TuningStore measured_store(int count,
+                                  const std::string& kernel = "atax",
+                                  const std::string& gpu = "K20") {
+  tuner::TuningStore store;
+  for (int i = 0; i < count; ++i)
+    store.put(record(kernel, gpu, 32 * (i + 1), 0.5 + 0.01 * i));
+  return store;
+}
+
+}  // namespace
+
+TEST(Corpus, JoinsMeasuredRecordsIntoFeatureRows) {
+  const tuner::TuningStore store = measured_store(6);
+  CorpusOptions opts;
+  opts.min_records = 4;
+  const Corpus corpus = build_corpus(store, opts);
+
+  EXPECT_EQ(corpus.feature_names, ml::feature_names());
+  ASSERT_EQ(corpus.rows.size(), 6u);
+  ASSERT_EQ(corpus.groups.size(), 1u);
+  EXPECT_EQ(corpus.groups[0].kernel, "atax");
+  EXPECT_EQ(corpus.groups[0].gpu, "K20");
+  EXPECT_EQ(corpus.skipped(), 0u);
+  for (const learn::CorpusRow& row : corpus.rows) {
+    EXPECT_EQ(row.features.size(), ml::feature_names().size());
+    EXPECT_DOUBLE_EQ(row.target, std::log1p(row.measured_ms));
+    EXPECT_EQ(row.group, 0u);
+  }
+}
+
+TEST(Corpus, ExcludesInvalidAndUnmeasuredRecordsWithCounters) {
+  // Failed (valid=0) and never-executed (time=-) measurements must not
+  // become training rows — only counters.
+  tuner::TuningStore store = measured_store(6);
+  store.put(record("atax", "K20", 416, 0.9, /*valid=*/false));
+  store.put(record("atax", "K20", 448, 1.1, /*valid=*/false));
+  store.put(record("atax", "K20", 480, -1.0));  // never executed
+  CorpusOptions opts;
+  opts.min_records = 4;
+  const Corpus corpus = build_corpus(store, opts);
+
+  EXPECT_EQ(corpus.rows.size(), 6u);
+  EXPECT_EQ(corpus.skipped_invalid, 2u);
+  EXPECT_EQ(corpus.skipped_unmeasured, 1u);
+  EXPECT_EQ(corpus.skipped_unloadable, 0u);
+  for (const learn::CorpusRow& row : corpus.rows)
+    EXPECT_GE(row.measured_ms, 0.0);
+}
+
+TEST(Corpus, UnknownKernelIsSkippedWithOneWarningPerKernel) {
+  tuner::TuningStore store = measured_store(6);
+  store.put(record("no-such-kernel", "K20", 64, 0.7));
+  store.put(record("no-such-kernel", "K20", 128, 0.8));
+  CorpusOptions opts;
+  opts.min_records = 4;
+  std::vector<std::string> warnings;
+  const Corpus corpus = build_corpus(store, opts, &warnings);
+
+  EXPECT_EQ(corpus.rows.size(), 6u);
+  EXPECT_EQ(corpus.skipped_unloadable, 2u);
+  ASSERT_EQ(warnings.size(), 1u);  // once per kernel, not per record
+  EXPECT_NE(warnings[0].find("no-such-kernel"), std::string::npos)
+      << warnings[0];
+}
+
+TEST(Corpus, TooFewUsableRecordsIsAClearError) {
+  // 3 measured + 2 invalid: the invalid ones must not count toward the
+  // minimum, and the error must say what is wrong, not hand back junk.
+  tuner::TuningStore store = measured_store(3);
+  store.put(record("atax", "K20", 416, 0.9, /*valid=*/false));
+  store.put(record("atax", "K20", 448, 1.1, /*valid=*/false));
+  CorpusOptions opts;
+  opts.min_records = 4;
+  try {
+    (void)build_corpus(store, opts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not enough training data"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)build_corpus(tuner::TuningStore{}, opts), Error);
+}
+
+TEST(Corpus, SplitsAreDeterministicAndPartitionEachGroup) {
+  tuner::TuningStore store = measured_store(12);
+  for (int i = 0; i < 12; ++i)
+    store.put(record("bicg", "P100", 32 * (i + 1), 0.3 + 0.02 * i));
+  CorpusOptions opts;
+  opts.min_records = 4;
+  opts.validation_fraction = 0.25;
+
+  const Corpus a = build_corpus(store, opts);
+  const Corpus b = build_corpus(store, opts);
+  ASSERT_EQ(a.groups.size(), 2u);
+  ASSERT_EQ(b.groups.size(), 2u);
+
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    // Same seed -> identical split.
+    EXPECT_EQ(a.groups[g].train, b.groups[g].train);
+    EXPECT_EQ(a.groups[g].validation, b.groups[g].validation);
+
+    // train + validation partition the group's rows exactly.
+    const learn::CorpusGroup& grp = a.groups[g];
+    EXPECT_FALSE(grp.validation.empty());
+    std::vector<std::size_t> merged = grp.train;
+    merged.insert(merged.end(), grp.validation.begin(),
+                  grp.validation.end());
+    std::sort(merged.begin(), merged.end());
+    std::vector<std::size_t> rows = grp.rows;
+    std::sort(rows.begin(), rows.end());
+    EXPECT_EQ(merged, rows);
+  }
+
+  // A different seed reshuffles at least one group's split.
+  opts.seed += 1;
+  const Corpus c = build_corpus(store, opts);
+  bool any_different = false;
+  for (std::size_t g = 0; g < a.groups.size(); ++g)
+    any_different |= a.groups[g].validation != c.groups[g].validation;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Corpus, TrainAndValidationIndexHelpersAlignWithMatrix) {
+  CorpusOptions opts;
+  opts.min_records = 4;
+  const Corpus corpus = build_corpus(measured_store(8), opts);
+  const std::vector<std::size_t> train = corpus.train_indices();
+  const std::vector<std::size_t> val = corpus.validation_indices();
+  EXPECT_EQ(train.size() + val.size(), corpus.rows.size());
+
+  const auto matrix = corpus.matrix(train);
+  const auto targets = corpus.targets(train);
+  ASSERT_EQ(matrix.size(), train.size());
+  ASSERT_EQ(targets.size(), train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(matrix[i], corpus.rows[train[i]].features);
+    EXPECT_EQ(targets[i], corpus.rows[train[i]].target);
+  }
+}

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "learn/evaluator.hpp"
+#include "learn/trainer.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/hybrid.hpp"
+
+using namespace gpustatic;  // NOLINT
+using learn::CostModel;
+using learn::LearnedRankerOptions;
+using tuner::HybridOptions;
+using tuner::HybridResult;
+
+namespace {
+
+struct Fixture {
+  dsl::WorkloadDesc wl = kernels::make_atax(64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  tuner::ParamSpace space = tuner::paper_space();
+  tuner::Objective objective = tuner::make_objective(wl, gpu);
+};
+
+HybridResult run(Fixture& f, const HybridOptions& opts) {
+  return tuner::hybrid_search(f.space, f.gpu, f.wl, f.objective, opts);
+}
+
+void expect_identical(const HybridResult& a, const HybridResult& b) {
+  ASSERT_EQ(a.shortlist.size(), b.shortlist.size());
+  for (std::size_t i = 0; i < a.shortlist.size(); ++i)
+    EXPECT_EQ(a.shortlist[i].flat_index, b.shortlist[i].flat_index);
+  EXPECT_EQ(a.best_params, b.best_params);
+  EXPECT_DOUBLE_EQ(a.best_time_ms, b.best_time_ms);
+  EXPECT_EQ(a.empirical_evaluations, b.empirical_evaluations);
+}
+
+/// A store whose measured time is a smooth function of the block size
+/// for the fixture's (kernel, gpu), so a trained model can rank it.
+std::shared_ptr<const CostModel> trained_model() {
+  tuner::TuningStore store;
+  for (int i = 0; i < 16; ++i) {
+    tuner::StoreRecord r;
+    r.kernel = "atax";
+    r.gpu = "K20";
+    r.n = 64;
+    r.variant.params.threads_per_block = 32 * (i + 1);
+    r.variant.measured_ms = 0.2 + std::abs(32 * (i + 1) - 256) / 1000.0;
+    store.put(r);
+  }
+  learn::TrainOptions opts;
+  opts.corpus.seed = 7;
+  opts.forest.trees = 6;
+  return std::make_shared<const CostModel>(
+      learn::train_cost_model(store, opts).model);
+}
+
+}  // namespace
+
+TEST(LearnedHybrid, DecliningRankerFallsBackByteIdentically) {
+  // The acceptance bar: a ranker that declines must leave the search
+  // indistinguishable from one with no ranker installed at all.
+  Fixture f;
+  HybridOptions plain;
+  plain.empirical_budget = 8;
+  HybridOptions declined = plain;
+  declined.stage1 = [](const std::vector<tuner::RankedVariant>&,
+                       codegen::CompilationCache&)
+      -> std::optional<std::vector<double>> { return std::nullopt; };
+
+  const HybridResult a = run(f, plain);
+  const HybridResult b = run(f, declined);
+  EXPECT_FALSE(a.used_learned_ranker);
+  EXPECT_FALSE(b.used_learned_ranker);
+  expect_identical(a, b);
+}
+
+TEST(LearnedHybrid, AcceptedRankingReordersTheShortlist) {
+  Fixture f;
+  HybridOptions plain;
+  plain.empirical_budget = 4;
+  const HybridResult analytic = run(f, plain);
+
+  // Scores that exactly reverse the analytic order (lower = better).
+  HybridOptions reversed = plain;
+  reversed.stage1 = [](const std::vector<tuner::RankedVariant>& shortlist,
+                       codegen::CompilationCache&)
+      -> std::optional<std::vector<double>> {
+    std::vector<double> scores(shortlist.size());
+    for (std::size_t i = 0; i < shortlist.size(); ++i)
+      scores[i] = static_cast<double>(shortlist.size() - i);
+    return scores;
+  };
+  const HybridResult r = run(f, reversed);
+  EXPECT_TRUE(r.used_learned_ranker);
+  ASSERT_EQ(r.shortlist.size(), analytic.shortlist.size());
+  for (std::size_t i = 0; i < r.shortlist.size(); ++i)
+    EXPECT_EQ(r.shortlist[i].flat_index,
+              analytic.shortlist[analytic.shortlist.size() - 1 - i]
+                  .flat_index);
+}
+
+TEST(LearnedHybrid, TiedScoresBreakOnFlatIndex) {
+  // All-equal scores leave no learned preference; the deterministic
+  // tie-break is ascending flat index.
+  Fixture f;
+  HybridOptions opts;
+  opts.empirical_budget = 2;
+  opts.stage1 = [](const std::vector<tuner::RankedVariant>& shortlist,
+                   codegen::CompilationCache&)
+      -> std::optional<std::vector<double>> {
+    return std::vector<double>(shortlist.size(), 1.0);
+  };
+  const HybridResult r = run(f, opts);
+  EXPECT_TRUE(r.used_learned_ranker);
+  for (std::size_t i = 1; i < r.shortlist.size(); ++i)
+    EXPECT_LT(r.shortlist[i - 1].flat_index, r.shortlist[i].flat_index);
+}
+
+TEST(LearnedHybrid, MalformedRankingsAreErrors) {
+  Fixture f;
+  HybridOptions opts;
+  opts.empirical_budget = 2;
+  opts.stage1 = [](const std::vector<tuner::RankedVariant>& shortlist,
+                   codegen::CompilationCache&)
+      -> std::optional<std::vector<double>> {
+    return std::vector<double>(shortlist.size() + 1, 1.0);  // misaligned
+  };
+  EXPECT_THROW((void)run(f, opts), Error);
+
+  opts.stage1 = [](const std::vector<tuner::RankedVariant>& shortlist,
+                   codegen::CompilationCache&)
+      -> std::optional<std::vector<double>> {
+    std::vector<double> scores(shortlist.size(), 1.0);
+    scores[0] = std::numeric_limits<double>::quiet_NaN();
+    return scores;
+  };
+  EXPECT_THROW((void)run(f, opts), Error);
+}
+
+TEST(LearnedHybrid, RankerWithoutAModelDeclines) {
+  Fixture f;
+  HybridOptions plain;
+  plain.empirical_budget = 8;
+  const HybridResult a = run(f, plain);
+
+  // No model at all, and a default-constructed (unfitted) one: both
+  // must decline and leave the analytic order untouched.
+  for (const auto& model :
+       {std::shared_ptr<const CostModel>{},
+        std::make_shared<const CostModel>()}) {
+    HybridOptions opts = plain;
+    opts.stage1 = learn::make_stage1_ranker(model);
+    const HybridResult b = run(f, opts);
+    EXPECT_FALSE(b.used_learned_ranker);
+    expect_identical(a, b);
+  }
+}
+
+TEST(LearnedHybrid, TrainedModelDrivesStageOneEndToEnd) {
+  Fixture f;
+  const std::shared_ptr<const CostModel> model = trained_model();
+
+  // Confidence gate wide open: the model must be consulted and used.
+  LearnedRankerOptions ropts;
+  ropts.max_variance = std::numeric_limits<double>::infinity();
+  ropts.min_confident_fraction = 0.0;
+  HybridOptions opts;
+  opts.empirical_budget = 8;
+  opts.stage1 = learn::make_stage1_ranker(model, ropts);
+  const HybridResult r = run(f, opts);
+  EXPECT_TRUE(r.used_learned_ranker);
+  EXPECT_LT(r.best_time_ms, tuner::kInvalid);
+  EXPECT_EQ(r.empirical_evaluations, 8u);
+
+  // An impossible confidence bar declines -> byte-identical fallback.
+  LearnedRankerOptions strict;
+  strict.max_variance = -1.0;  // nothing is ever this confident
+  HybridOptions gated = opts;
+  gated.stage1 = learn::make_stage1_ranker(model, strict);
+  const HybridResult fallback = run(f, gated);
+  EXPECT_FALSE(fallback.used_learned_ranker);
+  HybridOptions plain;
+  plain.empirical_budget = 8;
+  expect_identical(run(f, plain), fallback);
+}
+
+TEST(LearnedEvaluator, ScoresVariantsAndValidatesItsInputs) {
+  Fixture f;
+  const std::shared_ptr<const CostModel> model = trained_model();
+  auto cache = std::make_shared<codegen::CompilationCache>(f.wl, f.gpu);
+
+  learn::LearnedEvaluator evaluator(model, cache);
+  EXPECT_EQ(evaluator.name(), "learned");
+  codegen::TuningParams params;
+  params.threads_per_block = 128;
+  const double cost = evaluator.evaluate(params);
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GE(cost, 0.0);
+  const CostModel::Score score = evaluator.score(params);
+  EXPECT_DOUBLE_EQ(score.cost_ms, cost);
+  EXPECT_GE(score.variance, 0.0);
+
+  EXPECT_THROW(learn::LearnedEvaluator(nullptr, cache), Error);
+  EXPECT_THROW(learn::LearnedEvaluator(
+                   std::make_shared<const CostModel>(), cache),
+               Error);
+  EXPECT_THROW(learn::LearnedEvaluator(model, nullptr), Error);
+}

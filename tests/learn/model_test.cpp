@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "learn/model.hpp"
+
+using namespace gpustatic;  // NOLINT
+using learn::CostModel;
+
+namespace {
+
+/// A small but real model: forest fit on a deterministic toy target.
+CostModel toy_model() {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 24; ++i) {
+    rows.push_back({i / 23.0, (i % 5) / 4.0});
+    targets.push_back(0.1 * i + (i % 3));
+  }
+  ml::RegressionForestOptions opts;
+  opts.trees = 4;
+  CostModel model;
+  model.forest.fit(rows, targets, opts);
+  model.features = {"alpha", "beta"};
+  model.meta.seed = 99;
+  model.meta.records = rows.size();
+  model.meta.groups = 1;
+  return model;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(CostModelFormat, SerializeParseSerializeIsByteIdentical) {
+  const CostModel model = toy_model();
+  const std::string text = model.serialize();
+  const CostModel reparsed = CostModel::parse(text);
+  EXPECT_EQ(reparsed.serialize(), text);
+
+  // The reparse predicts identically too, not just textually.
+  const std::vector<double> probe = {0.4, 0.6};
+  EXPECT_EQ(model.score(probe).cost_ms, reparsed.score(probe).cost_ms);
+  EXPECT_EQ(model.score(probe).variance, reparsed.score(probe).variance);
+  EXPECT_EQ(reparsed.features, model.features);
+  EXPECT_EQ(reparsed.meta.seed, model.meta.seed);
+  EXPECT_EQ(reparsed.meta.records, model.meta.records);
+}
+
+TEST(CostModelFormat, SaveLoadSaveIsByteIdentical) {
+  const CostModel model = toy_model();
+  const TempFile a("model_roundtrip_a.model");
+  const TempFile b("model_roundtrip_b.model");
+  model.save(a.path);
+  const CostModel loaded = CostModel::load(a.path);
+  loaded.save(b.path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string first = slurp(a.path);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, slurp(b.path));
+}
+
+TEST(CostModelFormat, ScoresAreNonNegativeMilliseconds) {
+  const CostModel model = toy_model();
+  EXPECT_GE(model.score({0.0, 0.0}).cost_ms, 0.0);
+  EXPECT_GE(model.score({1.0, 1.0}).variance, 0.0);
+}
+
+TEST(CostModelFormat, TruncationIsAClearError) {
+  // Model lines are not independent (unlike store records): a file that
+  // stops before `end` must fail loudly, not load a junk model.
+  const std::string text = toy_model().serialize();
+  const std::size_t end_at = text.rfind("end");
+  ASSERT_NE(end_at, std::string::npos);
+  const std::string truncated = text.substr(0, end_at);
+  try {
+    (void)CostModel::parse(truncated);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+
+  // Cutting mid-tree is also truncation, whatever line it lands on.
+  EXPECT_THROW((void)CostModel::parse(text.substr(0, text.size() / 2)),
+               ParseError);
+}
+
+TEST(CostModelFormat, ContentAfterEndIsSkippedWithWarning) {
+  const CostModel model = toy_model();
+  const std::string text = model.serialize() + "stray line after end\n";
+  std::vector<std::string> warnings;
+  const CostModel parsed = CostModel::parse(text, &warnings);
+  EXPECT_EQ(parsed.serialize(), model.serialize());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("end"), std::string::npos) << warnings[0];
+}
+
+TEST(CostModelFormat, BadMagicAndGarbageAreParseErrors) {
+  EXPECT_THROW((void)CostModel::parse("not-a-model v1\nend\n"), ParseError);
+  EXPECT_THROW((void)CostModel::parse(""), ParseError);
+  EXPECT_THROW((void)CostModel::parse("gpustatic-model v2\nend\n"),
+               ParseError);
+}
+
+TEST(CostModelLenientLoad, MissingFileIsSilentlyNoModel) {
+  std::vector<std::string> warnings;
+  const auto model = CostModel::load_lenient(
+      testing::TempDir() + "does_not_exist.model", &warnings);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST(CostModelLenientLoad, CorruptFileIsNoModelPlusWarning) {
+  const TempFile f("model_corrupt.model");
+  {
+    std::ofstream out(f.path);
+    out << "gpustatic-model v1\nmeta this is not a meta line\n";
+  }
+  std::vector<std::string> warnings;
+  const auto model = CostModel::load_lenient(f.path, &warnings);
+  EXPECT_FALSE(model.has_value());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find(f.path), std::string::npos) << warnings[0];
+}
+
+TEST(CostModelLenientLoad, GoodFileLoads) {
+  const CostModel model = toy_model();
+  const TempFile f("model_lenient_good.model");
+  model.save(f.path);
+  std::vector<std::string> warnings;
+  const auto loaded = CostModel::load_lenient(f.path, &warnings);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(warnings.empty());
+  EXPECT_EQ(loaded->serialize(), model.serialize());
+}
+
+TEST(CostModelLoad, MissingFileThrows) {
+  EXPECT_THROW(
+      (void)CostModel::load(testing::TempDir() + "missing_model.model"),
+      Error);
+}

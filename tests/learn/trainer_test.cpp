@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "learn/trainer.hpp"
+#include "ml/features.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+using learn::spearman_rank_correlation;
+using learn::train_cost_model;
+using learn::TrainOptions;
+using learn::TrainReport;
+
+namespace {
+
+/// A learnable fleet store: measured time is a smooth function of the
+/// block size, so a model that reads tc_frac can rank variants.
+tuner::TuningStore learnable_store() {
+  tuner::TuningStore store;
+  for (const char* gpu : {"K20", "P100"})
+    for (int i = 0; i < 16; ++i) {
+      tuner::StoreRecord r;
+      r.kernel = "atax";
+      r.gpu = gpu;
+      r.n = 64;
+      r.variant.params.threads_per_block = 32 * (i + 1);
+      r.variant.measured_ms =
+          0.2 + std::abs(32 * (i + 1) - 256) / 1000.0;
+      store.put(r);
+    }
+  return store;
+}
+
+}  // namespace
+
+TEST(Trainer, FixedSeedIsByteDeterministic) {
+  // The acceptance bar: same store + seed -> byte-identical model file
+  // AND byte-identical metrics report.
+  const tuner::TuningStore store = learnable_store();
+  TrainOptions opts;
+  opts.corpus.seed = 99;
+  opts.forest.trees = 6;
+  const TrainReport a = train_cost_model(store, opts);
+  const TrainReport b = train_cost_model(store, opts);
+  EXPECT_EQ(a.model.serialize(), b.model.serialize());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_table(), b.to_table());
+}
+
+TEST(Trainer, ReportAndMetaDescribeTheRun) {
+  const tuner::TuningStore store = learnable_store();
+  TrainOptions opts;
+  opts.corpus.seed = 7;
+  opts.forest.trees = 6;
+  const TrainReport report = train_cost_model(store, opts);
+
+  EXPECT_EQ(report.store_records, store.size());
+  EXPECT_EQ(report.rows, store.size());
+  EXPECT_EQ(report.train_rows + report.validation_rows, report.rows);
+  EXPECT_EQ(report.skipped, 0u);
+  ASSERT_EQ(report.groups.size(), 2u);
+  for (const learn::GroupMetrics& g : report.groups) {
+    EXPECT_EQ(g.kernel, "atax");
+    EXPECT_GT(g.train_rows, 0u);
+    EXPECT_GT(g.validation_rows, 0u);
+  }
+
+  // The model carries its provenance and the live feature schema.
+  EXPECT_EQ(report.model.meta.seed, 7u);
+  EXPECT_EQ(report.model.meta.records, report.train_rows);
+  EXPECT_EQ(report.model.meta.groups, 2u);
+  EXPECT_EQ(report.model.meta.target, "log1p_ms");
+  EXPECT_EQ(report.model.features, ml::feature_names());
+  EXPECT_TRUE(report.model.forest.fitted());
+}
+
+TEST(Trainer, LearnsToRankASmoothTarget) {
+  // Held-out Spearman on a target that is a clean function of the
+  // features should be strongly positive; regret should be bounded.
+  TrainOptions opts;
+  opts.corpus.seed = 7;
+  const TrainReport report = train_cost_model(learnable_store(), opts);
+  ASSERT_TRUE(std::isfinite(report.mean_spearman));
+  EXPECT_GT(report.mean_spearman, 0.5);
+  EXPECT_GE(report.mean_top1_regret, 0.0);
+  EXPECT_GE(report.mean_topk_regret, 0.0);
+  EXPECT_LE(report.mean_topk_regret, report.mean_top1_regret + 1e-12);
+}
+
+TEST(Trainer, NotEnoughDataPropagatesAsError) {
+  tuner::TuningStore store;
+  tuner::StoreRecord r;
+  r.kernel = "atax";
+  r.gpu = "K20";
+  r.n = 64;
+  r.variant.measured_ms = 0.5;
+  store.put(r);
+  try {
+    (void)train_cost_model(store, {});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not enough training data"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- the rank metric itself ------------------------------------------------
+
+TEST(SpearmanRankCorrelation, AgreesWithHandValues) {
+  EXPECT_DOUBLE_EQ(
+      spearman_rank_correlation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      spearman_rank_correlation({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+  // Monotone but nonlinear is still a perfect rank correlation.
+  EXPECT_DOUBLE_EQ(
+      spearman_rank_correlation({1, 2, 3, 4}, {1, 8, 27, 64}), 1.0);
+}
+
+TEST(SpearmanRankCorrelation, TiesUseAverageRanks) {
+  // {1, 2, 2, 3} vs {1, 2, 3, 4}: the tied pair takes rank 2.5 each.
+  // Pearson over ranks {1, 2.5, 2.5, 4} x {1, 2, 3, 4} = ~0.9487.
+  const double rho =
+      spearman_rank_correlation({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_NEAR(rho, 0.9486832980505138, 1e-12);
+}
+
+TEST(SpearmanRankCorrelation, DegenerateInputsAreNaN) {
+  EXPECT_TRUE(std::isnan(spearman_rank_correlation({1, 1, 1}, {1, 2, 3})));
+  EXPECT_TRUE(std::isnan(spearman_rank_correlation({1, 2, 3}, {4, 4, 4})));
+  EXPECT_TRUE(std::isnan(spearman_rank_correlation({1}, {2})));
+  EXPECT_TRUE(std::isnan(spearman_rank_correlation({}, {})));
+  EXPECT_TRUE(std::isnan(spearman_rank_correlation({1, 2}, {1, 2, 3})));
+}

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/error.hpp"
@@ -97,9 +98,37 @@ TEST(Scaler, ConstantFeatureMapsToZero) {
   EXPECT_DOUBLE_EQ(t[0], 0.0);
 }
 
+TEST(Scaler, DegenerateColumnNeverProducesNaN) {
+  // A zero-variance column divides by its zero std unless guarded; the
+  // guard must hold even for off-center probes of the constant column.
+  Scaler s;
+  s.fit({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  for (const double probe : {5.0, 0.0, -7.5, 1e9}) {
+    const auto t = s.transform({probe, 2.0});
+    EXPECT_TRUE(std::isfinite(t[0])) << "probe " << probe;
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+    EXPECT_TRUE(std::isfinite(t[1]));
+  }
+}
+
 TEST(Scaler, EmptyFitThrows) {
   Scaler s;
   EXPECT_THROW(s.fit({}), Error);
+}
+
+TEST(Scaler, RaggedFitRowsThrow) {
+  Scaler s;
+  EXPECT_THROW(s.fit({{1.0, 2.0}, {1.0}}), Error);
+}
+
+TEST(Scaler, TransformWidthMismatchThrows) {
+  // Silently zipping a wider row against the fitted statistics would
+  // read past them; the schema mismatch must be loud.
+  Scaler s;
+  s.fit({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_THROW((void)s.transform({1.0}), Error);
+  EXPECT_THROW((void)s.transform({1.0, 2.0, 3.0}), Error);
+  EXPECT_NO_THROW((void)s.transform({1.0, 2.0}));
 }
 
 // ---- dataset & metrics -----------------------------------------------------

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/cache.hpp"
+#include "codegen/compiler.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/features.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+codegen::LoweredWorkload compile(const dsl::WorkloadDesc& wl,
+                                 const arch::GpuSpec& gpu,
+                                 const codegen::TuningParams& params) {
+  return codegen::Compiler(gpu, params).compile(wl);
+}
+
+}  // namespace
+
+// ---- schema ---------------------------------------------------------------
+
+TEST(Features, NamesAndCountAndVectorLengthAgree) {
+  const auto& names = ml::feature_names();
+  EXPECT_EQ(names.size(), ml::feature_count());
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  const auto lw = compile(wl, gpu, {});
+  EXPECT_EQ(ml::extract_features(lw, gpu).size(), names.size());
+  EXPECT_EQ(ml::extract_features(lw, gpu, lw.params).size(), names.size());
+}
+
+// ---- determinism (the learned corpus depends on this bit-for-bit) ---------
+
+TEST(Features, ExtractionIsBitIdenticalAcrossCalls) {
+  const auto wl = kernels::make_bicg(128);
+  const auto& gpu = arch::gpu("P100");
+  codegen::TuningParams params;
+  params.threads_per_block = 256;
+  params.unroll = 3;
+  const auto lw = compile(wl, gpu, params);
+  const std::vector<double> a = ml::extract_features(lw, gpu);
+  const std::vector<double> b = ml::extract_features(lw, gpu);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "feature " << ml::feature_names()[i]
+                          << " not bit-identical";
+}
+
+TEST(Features, RecompilationYieldsBitIdenticalFeatures) {
+  // Two independent compiles of the same variant must extract the same
+  // vector — training corpora are rebuilt from scratch every run.
+  const auto& gpu = arch::gpu("K20");
+  codegen::TuningParams params;
+  params.threads_per_block = 192;
+  params.fast_math = true;
+  const auto a = ml::extract_features(
+      compile(kernels::make_ex14fj(64), gpu, params), gpu);
+  const auto b = ml::extract_features(
+      compile(kernels::make_ex14fj(64), gpu, params), gpu);
+  EXPECT_EQ(a, b);
+}
+
+// ---- finiteness across the paper suite ------------------------------------
+
+TEST(Features, FiniteAcrossPaperKernelsAndGpus) {
+  for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    const auto wl = kernels::make_workload(k.name, 64);
+    for (const char* gpu_name : {"M2050", "K20", "M40", "P100"}) {
+      const auto& gpu = arch::gpu(gpu_name);
+      const auto lw = compile(wl, gpu, {});
+      const auto features = ml::extract_features(lw, gpu);
+      for (std::size_t i = 0; i < features.size(); ++i)
+        EXPECT_TRUE(std::isfinite(features[i]))
+            << k.name << " on " << gpu_name << ": feature "
+            << ml::feature_names()[i] << " = " << features[i];
+    }
+  }
+}
+
+// ---- the params-override overload (cached-lowering join) ------------------
+
+TEST(Features, ParamsOverloadWithOwnParamsMatchesTwoArgForm) {
+  const auto wl = kernels::make_matvec2d(64);
+  const auto& gpu = arch::gpu("K20");
+  codegen::TuningParams params;
+  params.threads_per_block = 96;
+  params.block_count = 72;
+  const auto lw = compile(wl, gpu, params);
+  EXPECT_EQ(ml::extract_features(lw, gpu),
+            ml::extract_features(lw, gpu, lw.params));
+}
+
+TEST(Features, ParamsOverrideChangesLaunchShapeFeaturesOnCachedLowering) {
+  // A CompilationCache canonicalizes the lowering per codegen key: two
+  // launch shapes of the same key share one lowering. The 3-arg
+  // overload must score each point's own shape, not the first-seen one.
+  const auto wl = kernels::make_atax(64);
+  const auto& gpu = arch::gpu("K20");
+  codegen::CompilationCache cache(wl, gpu);
+
+  codegen::TuningParams first;
+  first.threads_per_block = 64;
+  codegen::TuningParams second = first;  // same CodegenKey
+  second.threads_per_block = 512;
+
+  const auto lowering = cache.lower(first);
+  ASSERT_EQ(cache.lower(second).get(), lowering.get());  // canonicalized
+
+  const auto a = ml::extract_features(*lowering, gpu, first);
+  const auto b = ml::extract_features(*lowering, gpu, second);
+  EXPECT_NE(a, b);
+  // And the override agrees with a fresh, uncached compile of `second`.
+  const auto fresh = compile(wl, gpu, second);
+  EXPECT_EQ(b, ml::extract_features(fresh, gpu, second));
+}

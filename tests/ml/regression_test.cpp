@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ml/regression.hpp"
+
+using namespace gpustatic;  // NOLINT
+using ml::RegressionForest;
+using ml::RegressionForestOptions;
+using ml::RegressionTree;
+using ml::RegressionTreeOptions;
+
+namespace {
+
+/// A deterministic nonlinear target over a 2-feature grid.
+void make_grid(std::vector<std::vector<double>>* rows,
+               std::vector<double>* targets) {
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      rows->push_back({i / 15.0, j / 15.0});
+      targets->push_back(std::abs(i - 8.0) + 0.25 * j);
+    }
+}
+
+double mean_of(const std::vector<double>& v) {
+  double sum = 0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+// ---- tree -----------------------------------------------------------------
+
+TEST(RegressionTree, BeatsTheMeanPredictorOnANonlinearTarget) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  make_grid(&rows, &targets);
+  RegressionTree tree;
+  tree.fit(rows, targets, {});
+  ASSERT_TRUE(tree.fitted());
+
+  const double mean = mean_of(targets);
+  double sse_tree = 0, sse_mean = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double p = tree.predict(rows[i]);
+    sse_tree += (p - targets[i]) * (p - targets[i]);
+    sse_mean += (mean - targets[i]) * (mean - targets[i]);
+  }
+  EXPECT_LT(sse_tree, 0.2 * sse_mean);
+}
+
+TEST(RegressionTree, ConstantTargetYieldsASingleLeaf) {
+  RegressionTree tree;
+  tree.fit({{0.0}, {1.0}, {2.0}, {3.0}}, {5.0, 5.0, 5.0, 5.0}, {});
+  ASSERT_EQ(tree.nodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({9.0}), 5.0);
+}
+
+TEST(RegressionTree, ZeroVarianceFeatureIsNeverSplitOnAndNeverNaN) {
+  // A constant column must not poison the split sweep (satellite: the
+  // Dataset degenerate-column class of bug, pinned at the tree level).
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back({7.0, static_cast<double>(i)});
+    targets.push_back(static_cast<double>(i % 2 == 0 ? i : -i));
+  }
+  RegressionTree tree;
+  tree.fit(rows, targets, {});
+  for (const RegressionTree::Node& n : tree.nodes()) {
+    EXPECT_TRUE(std::isfinite(n.value));
+    if (n.feature >= 0) {
+      EXPECT_EQ(n.feature, 1);  // never the constant column
+    }
+  }
+  EXPECT_TRUE(std::isfinite(tree.predict({7.0, 3.0})));
+}
+
+TEST(RegressionTree, FitIsDeterministic) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  make_grid(&rows, &targets);
+  RegressionTree a, b;
+  a.fit(rows, targets, {});
+  b.fit(rows, targets, {});
+  EXPECT_EQ(a.nodes(), b.nodes());
+}
+
+TEST(RegressionTree, RejectsBadInput) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.fit({}, {}, {}), Error);
+  EXPECT_THROW(tree.fit({{1.0}}, {1.0, 2.0}, {}), Error);
+  EXPECT_THROW(tree.fit({{1.0, 2.0}, {1.0}}, {1.0, 2.0}, {}), Error);
+  EXPECT_THROW(
+      tree.fit({{std::numeric_limits<double>::quiet_NaN()}}, {1.0}, {}),
+      Error);
+  EXPECT_THROW(
+      tree.fit({{1.0}}, {std::numeric_limits<double>::infinity()}, {}),
+      Error);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  const RegressionTree tree;
+  EXPECT_THROW((void)tree.predict({1.0}), Error);
+}
+
+TEST(RegressionTree, FromNodesValidatesChildIndexes) {
+  RegressionTree::Node leaf;
+  leaf.value = 1.0;
+  EXPECT_NO_THROW((void)RegressionTree::from_nodes({leaf}));
+
+  RegressionTree::Node bad;
+  bad.feature = 0;
+  bad.threshold = 0.5;
+  bad.left = 5;  // out of range
+  bad.right = 0;
+  EXPECT_THROW((void)RegressionTree::from_nodes({bad, leaf}), Error);
+
+  bad.left = 0;  // self-referencing internal node
+  EXPECT_THROW((void)RegressionTree::from_nodes({bad, leaf}), Error);
+}
+
+// ---- forest ---------------------------------------------------------------
+
+TEST(RegressionForest, PredictsTheTargetAndReportsFiniteVariance) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  make_grid(&rows, &targets);
+  RegressionForest forest;
+  forest.fit(rows, targets, {});
+  ASSERT_TRUE(forest.fitted());
+
+  const double mean = mean_of(targets);
+  double sse_forest = 0, sse_mean = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto p = forest.predict(rows[i]);
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_GE(p.variance, 0.0);
+    sse_forest += (p.mean - targets[i]) * (p.mean - targets[i]);
+    sse_mean += (mean - targets[i]) * (mean - targets[i]);
+  }
+  EXPECT_LT(sse_forest, 0.5 * sse_mean);
+}
+
+TEST(RegressionForest, DeterministicPerSeedAndSensitiveToSeed) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  make_grid(&rows, &targets);
+  RegressionForestOptions opts;
+  opts.trees = 8;
+  RegressionForest a, b, c;
+  a.fit(rows, targets, opts);
+  b.fit(rows, targets, opts);
+  opts.seed += 1;
+  c.fit(rows, targets, opts);
+
+  const std::vector<double> probe = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(a.predict(probe).mean, b.predict(probe).mean);
+  EXPECT_DOUBLE_EQ(a.predict(probe).variance, b.predict(probe).variance);
+  ASSERT_EQ(a.trees().size(), b.trees().size());
+  for (std::size_t i = 0; i < a.trees().size(); ++i)
+    EXPECT_EQ(a.trees()[i].nodes(), b.trees()[i].nodes());
+  EXPECT_NE(a.predict(probe).mean, c.predict(probe).mean);
+}
+
+TEST(RegressionForest, ConstantTargetHasZeroVariance) {
+  RegressionForest forest;
+  forest.fit({{0.0}, {1.0}, {2.0}, {3.0}}, {2.0, 2.0, 2.0, 2.0}, {});
+  const auto p = forest.predict({1.5});
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_DOUBLE_EQ(p.variance, 0.0);
+}
+
+TEST(RegressionForest, FromTreesRejectsEmpty) {
+  EXPECT_THROW((void)RegressionForest::from_trees({}), Error);
+}

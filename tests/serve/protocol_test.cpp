@@ -160,6 +160,20 @@ TEST(WireRequestParse, RejectsUnknownAndMistypedFields) {
 TEST(WireRequestParse, OpsWithoutAKernelParse) {
   EXPECT_EQ(serve::parse_request(R"({"op":"ping"})").op, "ping");
   EXPECT_EQ(serve::parse_request(R"({"op":"stats","id":3})").op, "stats");
+  EXPECT_EQ(serve::parse_request(R"({"op":"retrain","id":4})").op,
+            "retrain");
+}
+
+TEST(WireRequestParse, UnknownOpErrorNamesEveryOp) {
+  // The error is the client's only documentation over the wire.
+  try {
+    (void)serve::parse_request(R"({"op":"dance"})");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    for (const char* op : {"tune", "query", "stats", "ping", "retrain"})
+      EXPECT_NE(what.find(op), std::string::npos) << what;
+  }
 }
 
 // ---- render/parse round trip ----------------------------------------
@@ -217,6 +231,42 @@ TEST(WireResponse, TuneResponseCarriesTheWarmPathAccounting) {
   EXPECT_DOUBLE_EQ(obj.at("compiles").number, 0);
   EXPECT_TRUE(obj.at("deduplicated").boolean);
   EXPECT_TRUE(obj.at("budget_capped").boolean);
+  // Always present, so clients never branch on field existence.
+  ASSERT_EQ(obj.count("learned_ranker"), 1u);
+  EXPECT_FALSE(obj.at("learned_ranker").boolean);
+}
+
+TEST(WireResponse, RetrainResponseCarriesTheTrainingSummary) {
+  const WireRequest req =
+      serve::parse_request(R"({"op":"retrain","id":9})");
+  core::TuningService::RetrainResult result;
+  result.store_records = 4500;
+  result.trained_rows = 3375;
+  result.validation_rows = 1125;
+  result.mean_spearman = 0.92;
+  result.generation = 3;
+  const serve::JsonObject obj = serve::parse_json_object(
+      serve::render_retrain_response(req, result));
+  EXPECT_EQ(obj.at("status").string, "ok");
+  EXPECT_EQ(obj.at("op").string, "retrain");
+  EXPECT_DOUBLE_EQ(obj.at("id").number, 9);
+  EXPECT_DOUBLE_EQ(obj.at("store_records").number, 4500);
+  EXPECT_DOUBLE_EQ(obj.at("trained").number, 3375);
+  EXPECT_DOUBLE_EQ(obj.at("validation").number, 1125);
+  EXPECT_DOUBLE_EQ(obj.at("mean_spearman").number, 0.92);
+  EXPECT_DOUBLE_EQ(obj.at("model_generation").number, 3);
+}
+
+TEST(WireResponse, FailedRetrainRendersAsError) {
+  const WireRequest req =
+      serve::parse_request(R"({"op":"retrain","id":10})");
+  core::TuningService::RetrainResult result;
+  result.error = "not enough training data";
+  const serve::JsonObject obj = serve::parse_json_object(
+      serve::render_retrain_response(req, result));
+  EXPECT_EQ(obj.at("status").string, "error");
+  EXPECT_DOUBLE_EQ(obj.at("id").number, 10);
+  EXPECT_EQ(obj.at("error").string, "not enough training data");
 }
 
 TEST(WireResponse, FailedTuneRendersAsError) {

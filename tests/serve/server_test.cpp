@@ -166,6 +166,51 @@ TEST(Server, ShedsTuneRequestsWhenAtCapacity) {
   EXPECT_EQ(ok.at("status").string, "ok") << ok.at("error").string;
 }
 
+TEST(Server, StatsAlwaysCarriesTheModelFields) {
+  // No model configured: the fields still render (false/0/0) so
+  // clients never branch on field existence.
+  Server server(in_memory_options());
+  const JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  ASSERT_EQ(stats.count("model_loaded"), 1u);
+  ASSERT_EQ(stats.count("model_version"), 1u);
+  ASSERT_EQ(stats.count("model_records"), 1u);
+  EXPECT_FALSE(stats.at("model_loaded").boolean);
+  EXPECT_DOUBLE_EQ(stats.at("model_version").number, 0);
+  EXPECT_DOUBLE_EQ(stats.at("model_records").number, 0);
+}
+
+TEST(Server, RetrainOnAnEmptyStoreFailsInBandAndKeepsServing) {
+  Server server(in_memory_options());
+  const JsonObject resp = serve::parse_json_object(
+      server.handle_line(R"({"op":"retrain","id":6})"));
+  EXPECT_EQ(resp.at("status").string, "error");
+  EXPECT_DOUBLE_EQ(resp.at("id").number, 6);
+  EXPECT_NE(resp.at("error").string.find("not enough training data"),
+            std::string::npos)
+      << resp.at("error").string;
+  EXPECT_EQ(server.counters().errors, 1u);
+  // Stats still reports no model after the failed retrain.
+  const JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_FALSE(stats.at("model_loaded").boolean);
+}
+
+TEST(Server, RetrainGoesThroughAdmissionLikeTune) {
+  // Training is as expensive as a search; it must not bypass the
+  // inflight cap.
+  ServeOptions opts = in_memory_options();
+  opts.max_inflight = 1;
+  opts.max_queue = 0;
+  Server server(opts);
+  ASSERT_TRUE(server.admission().acquire());
+  const JsonObject shed = serve::parse_json_object(
+      server.handle_line(R"({"op":"retrain"})"));
+  EXPECT_EQ(shed.at("status").string, "shed");
+  EXPECT_TRUE(shed.at("retry").boolean);
+  server.admission().release();
+}
+
 // ---- the warm-path promise over the wire ----------------------------
 
 TEST(Server, WarmRepeatOverThePipeRunsNothingFresh) {
