@@ -1,0 +1,141 @@
+// Differential count smoke: run the scalar-C reference backend over the
+// whole kernel library (paper + extended suites) across the sampled
+// launch shapes and diff the executed per-block counters against the
+// static BlockFreqModel. The headline numbers — kernels/shapes/blocks
+// checked and the worst exact-block deviation — land in the CI artifact
+// (BENCH_difftest.json) so a model drift shows up in the perf
+// trajectory, not just as a red test.
+//
+//   bench_difftest [--kernels a,b,c] [--tolerance F] [--json PATH]
+//
+// Exits 1 when any kernel fails its diff (count mismatch, reference
+// build failure, or run failure) — the bench is itself a gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "difftest/difftest.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+std::int64_t diff_size(const std::string& kernel) {
+  if (kernel == "ex14fj") return 8;
+  if (kernel == "matvec2d") return 128;
+  if (kernel == "jacobi2d") return 32;
+  if (kernel == "divergent") return 256;
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernel_filter;
+  double tolerance = 0.05;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--kernels") == 0)
+      kernel_filter = value();
+    else if (std::strcmp(argv[i], "--tolerance") == 0)
+      tolerance = std::stod(value());
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = value();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Differential count testing: static block frequencies vs an "
+      "executed scalar-C reference",
+      "codegen backend seam (cref oracle for the Sec. III count model)");
+
+  std::vector<std::string> names;
+  if (kernel_filter.empty()) {
+    for (const kernels::KernelInfo& k : kernels::all_kernels())
+      names.emplace_back(k.name);
+    for (const kernels::KernelInfo& k : kernels::extended_kernels())
+      names.emplace_back(k.name);
+  } else {
+    for (const std::string& name : str::split(kernel_filter, ','))
+      if (!name.empty()) names.push_back(name);
+  }
+
+  difftest::Options opts;
+  opts.divergence_tolerance = tolerance;
+
+  TextTable t({"Kernel", "shapes", "blocks", "max exact dev", "status"});
+  std::size_t kernels_checked = 0, shapes_checked = 0, blocks_checked = 0;
+  std::size_t failures = 0;
+  double worst_deviation = 0;
+  std::string failure_log;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& name : names) {
+    const difftest::KernelReport report = difftest::diff_kernel(
+        kernels::make_workload(name, diff_size(name)), opts);
+    ++kernels_checked;
+    shapes_checked += report.shapes.size();
+    blocks_checked += report.blocks_checked();
+    const double dev = report.max_exact_deviation();
+    if (dev > worst_deviation) worst_deviation = dev;
+    if (!report.ok()) {
+      ++failures;
+      failure_log += report.failure_summary();
+    }
+    t.add_row({name, std::to_string(report.shapes.size()),
+               std::to_string(report.blocks_checked()),
+               str::format("%.3f", dev), report.ok() ? "ok" : "FAIL"});
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("%zu kernels x %zu shapes, %zu block counters diffed in "
+              "%.2f s; worst exact deviation %.3f\n",
+              kernels_checked, difftest::default_shapes().size(),
+              blocks_checked, elapsed, worst_deviation);
+  if (!failure_log.empty()) std::printf("\n%s", failure_log.c_str());
+
+  if (!json_path.empty()) {
+    const std::string json =
+        "{\n  \"kernels_checked\": " + std::to_string(kernels_checked) +
+        ",\n  \"shapes_per_kernel\": " +
+        std::to_string(difftest::default_shapes().size()) +
+        ",\n  \"shapes_checked\": " + std::to_string(shapes_checked) +
+        ",\n  \"blocks_checked\": " + std::to_string(blocks_checked) +
+        ",\n  \"max_exact_deviation\": " +
+        str::format("%.6f", worst_deviation) +
+        ",\n  \"divergence_tolerance\": " + str::format("%.4f", tolerance) +
+        ",\n  \"failures\": " + std::to_string(failures) +
+        ",\n  \"elapsed_s\": " + str::format("%.3f", elapsed) + "\n}\n";
+    io::write_file_atomic(json_path, json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "FAIL: %zu of %zu kernels diverged from their "
+                         "reference counts\n",
+                 failures, kernels_checked);
+    return 1;
+  }
+  return 0;
+}

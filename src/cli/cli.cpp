@@ -8,6 +8,7 @@
 
 #include "analysis/predictor.hpp"
 #include "arch/gpu_spec.hpp"
+#include "codegen/backend.hpp"
 #include "codegen/compiler.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -71,6 +72,8 @@ options:
   --pl KB            preferred L1 size (16|48)               [48]
   --sc N             work-items per thread step              [1]
   --fast-math        enable fast-math lowering
+  --backend NAME     codegen backend for predict/disasm/profile/tune,
+                     registered: %BACKENDS%                 [ptx]
   --regs N           registers/thread (occupancy command)    [32]
   --smem B           shared memory/block bytes (occupancy)   [0]
   --method NAME      tune strategy, or 'list' to print them  [rule]
@@ -109,12 +112,14 @@ exit codes:
 /// newly registered strategy shows up in help without editing this file.
 std::string render_usage() {
   std::string text = kUsageTemplate;
-  const std::string placeholder = "%METHODS%";
-  const std::size_t at = text.find(placeholder);
-  if (at != std::string::npos)
-    text.replace(at, placeholder.size(),
-                 str::join(tuner::StrategyRegistry::instance().names(),
-                           "|"));
+  const auto substitute = [&text](const std::string& placeholder,
+                                  const std::vector<std::string>& names) {
+    const std::size_t at = text.find(placeholder);
+    if (at != std::string::npos)
+      text.replace(at, placeholder.size(), str::join(names, "|"));
+  };
+  substitute("%METHODS%", tuner::StrategyRegistry::instance().names());
+  substitute("%BACKENDS%", codegen::BackendRegistry::instance().names());
   return text;
 }
 
@@ -123,6 +128,17 @@ std::string render_usage() {
 /// and default sizes).
 dsl::WorkloadDesc load_workload(const Options& opts) {
   return core::load_workload(opts.kernel, opts.n);
+}
+
+/// Resolve --backend through the registry, turning an unknown name into
+/// a usage error that enumerates the registered backends (the --method
+/// treatment, applied to backends).
+std::shared_ptr<const codegen::Backend> backend_of(const Options& opts) {
+  try {
+    return codegen::BackendRegistry::instance().get(opts.backend);
+  } catch (const Error& e) {
+    throw UsageError(e.what());
+  }
 }
 
 codegen::TuningParams variant_of(const Options& opts) {
@@ -194,11 +210,11 @@ int cmd_suggest(const Options& opts, std::ostream& out) {
 }
 
 int cmd_predict(const Options& opts, std::ostream& out) {
+  const auto backend = backend_of(opts);
   const auto wl = load_workload(opts);
   const auto& gpu = arch::gpu(opts.gpu);
   const auto params = variant_of(opts);
-  const codegen::Compiler c(gpu, params);
-  const auto lw = c.compile(wl);
+  const auto lw = backend->lower(wl, gpu, params);
   const double score = analysis::predicted_cost(lw, gpu.family);
   const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
   const auto m = sim::run_workload(lw, wl, machine);
@@ -214,22 +230,19 @@ int cmd_predict(const Options& opts, std::ostream& out) {
 }
 
 int cmd_disasm(const Options& opts, std::ostream& out) {
+  const auto backend = backend_of(opts);
   const auto wl = load_workload(opts);
-  const codegen::Compiler c(arch::gpu(opts.gpu), variant_of(opts));
-  const auto lw = c.compile(wl);
-  for (const codegen::LoweredStage& st : lw.stages) {
-    out << "// " << codegen::compile_info(st) << "\n";
-    out << ptx::to_string(st.kernel) << "\n";
-  }
+  const auto lw = backend->lower(wl, arch::gpu(opts.gpu), variant_of(opts));
+  out << backend->emit_source(lw, wl);
   return 0;
 }
 
 int cmd_profile(const Options& opts, std::ostream& out) {
+  const auto backend = backend_of(opts);
   const auto wl = load_workload(opts);
   const auto& gpu = arch::gpu(opts.gpu);
   const auto params = variant_of(opts);
-  const codegen::Compiler c(gpu, params);
-  const auto lw = c.compile(wl);
+  const auto lw = backend->lower(wl, gpu, params);
   const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
   const auto profile = dynamic::profile_workload(lw, wl, machine);
   out << dynamic::render_profile(profile);
@@ -257,6 +270,7 @@ core::TuneRequest tune_request(const Options& opts) {
   request.search = to_search_options(opts);
   request.hybrid.empirical_budget = opts.budget;
   request.space = tune_space(opts);
+  request.run.backend = opts.backend;
   return request;
 }
 
@@ -266,13 +280,14 @@ int cmd_tune(const Options& opts, std::ostream& out) {
       out << name << "\n";
     return 0;
   }
-  // Validate the method against the registry before loading anything;
-  // the UsageError enumerates every registered strategy.
+  // Validate the method and backend against their registries before
+  // loading anything; the UsageError enumerates what is registered.
   try {
     (void)tuner::StrategyRegistry::instance().create(opts.method);
   } catch (const Error& e) {
     throw UsageError(e.what());
   }
+  (void)backend_of(opts);
   if (opts.kernel.empty())
     throw UsageError("command 'tune' needs a kernel argument");
 
@@ -322,6 +337,7 @@ int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   } catch (const Error& e) {
     throw UsageError(e.what());
   }
+  (void)backend_of(opts);
 
   core::TuningService::Config config;
   config.store_path = opts.store_path;
@@ -340,6 +356,7 @@ int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   fleet_opts.search = to_search_options(opts);
   fleet_opts.hybrid.empirical_budget = opts.budget;
   fleet_opts.space = tune_space(opts);
+  fleet_opts.run.backend = opts.backend;
 
   const core::FleetReport report = service.tune_fleet(fleet_opts);
   out << core::render_fleet_report(report, opts.report);
@@ -494,6 +511,8 @@ Options parse_args(const std::vector<std::string>& args) {
       o.sc = static_cast<int>(to_int(a, need_value(a)));
     } else if (a == "--fast-math") {
       o.fast_math = true;
+    } else if (a == "--backend") {
+      o.backend = need_value(a);
     } else if (a == "--regs") {
       o.regs = static_cast<std::uint32_t>(to_int(a, need_value(a)));
     } else if (a == "--smem") {

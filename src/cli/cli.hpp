@@ -67,6 +67,9 @@ struct Options {
   int pl = 48;
   int sc = 1;
   bool fast_math = false;
+  /// Codegen backend (BackendRegistry name) for predict/disasm/profile/
+  /// tune/tune-fleet; "ptx" is byte-identical to the pre-seam output.
+  std::string backend = "ptx";
   // occupancy command inputs.
   std::uint32_t regs = 32;
   std::uint32_t smem = 0;

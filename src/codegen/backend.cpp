@@ -1,0 +1,76 @@
+#include "codegen/backend.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "codegen/cref.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "ptx/printer.hpp"
+
+namespace gpustatic::codegen {
+
+BackendRegistry& BackendRegistry::instance() {
+  // Built-ins load through this call (rather than file-scope registrar
+  // objects) so the registration order is defined and the archive
+  // members are guaranteed linked in.
+  static BackendRegistry registry = [] {
+    BackendRegistry r;
+    register_builtin_backends(r);
+    return r;
+  }();
+  return registry;
+}
+
+void BackendRegistry::register_backend(
+    std::shared_ptr<const Backend> backend) {
+  if (backend == nullptr)
+    throw Error("backend registry: null backend");
+  const std::string name = backend->name();
+  if (!backends_.emplace(name, std::move(backend)).second)
+    throw Error("backend '" + name + "' is already registered");
+}
+
+std::shared_ptr<const Backend> BackendRegistry::get(
+    const std::string& name) const {
+  const auto it = backends_.find(name);
+  if (it == backends_.end())
+    throw Error("unknown backend '" + name + "' (registered: " +
+                str::join(names(), ", ") + ")");
+  return it->second;
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return backends_.find(name) != backends_.end();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& [name, backend] : backends_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.register_backend(std::make_shared<PtxBackend>());
+  registry.register_backend(std::make_shared<CRefBackend>());
+}
+
+LoweredWorkload PtxBackend::lower(const dsl::WorkloadDesc& wl,
+                                  const arch::GpuSpec& gpu,
+                                  const TuningParams& params) const {
+  return Compiler(gpu, params).compile(wl);
+}
+
+std::string PtxBackend::emit_source(const LoweredWorkload& lowered,
+                                    const dsl::WorkloadDesc&) const {
+  // The `disasm` command's exact output format.
+  std::ostringstream out;
+  for (const LoweredStage& st : lowered.stages) {
+    out << "// " << compile_info(st) << "\n";
+    out << ptx::to_string(st.kernel) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gpustatic::codegen

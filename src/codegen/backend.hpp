@@ -1,0 +1,104 @@
+#pragma once
+
+// The codegen backend seam. A Backend turns a DSL workload into a
+// LoweredWorkload under one target dialect; everything downstream of
+// lowering (CompilationCache, SimContext, TuningService, the serve
+// protocol, the CLI) selects a backend by registry name instead of
+// hard-wiring the PTX lowering. Two backends ship built in:
+//
+//   "ptx"  — the paper's virtual-CUDA lowering (codegen::Compiler),
+//            the default everywhere; byte-identical to calling the
+//            Compiler directly.
+//   "cref" — the scalar-C reference backend (cref.hpp): the same
+//            mid-level lowering rendered as a plain C program with a
+//            dynamic counter per basic block, compilable with the host
+//            toolchain. It is the execution oracle the differential
+//            tests (src/difftest) diff the static counts against.
+//
+// The registry mirrors tuner::StrategyRegistry: name-keyed, built-ins
+// registered on first use of instance(), unknown names throw an Error
+// that enumerates what is registered.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+
+namespace gpustatic::codegen {
+
+/// Every consumer that takes a backend name defaults to this.
+inline constexpr const char* kDefaultBackend = "ptx";
+
+/// One lowering target. Backends are stateless and const — a single
+/// instance serves every thread — so the registry hands out shared
+/// pointers to immutable objects.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registry name ("ptx", "cref", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Lower `wl` for `gpu` under `params`. Must validate params exactly
+  /// like validate_params() (throwing ConfigError) and must populate
+  /// freq_model so retarget_launch()/block_freq_at() work unchanged —
+  /// the cache's launch-shape rescaling is backend-agnostic.
+  [[nodiscard]] virtual LoweredWorkload lower(
+      const dsl::WorkloadDesc& wl, const arch::GpuSpec& gpu,
+      const TuningParams& params) const = 0;
+
+  /// Render the lowered workload in the backend's source dialect
+  /// (virtual-ISA disassembly for "ptx", an instrumented C program for
+  /// "cref"). `wl` is the workload `lowered` came from.
+  [[nodiscard]] virtual std::string emit_source(
+      const LoweredWorkload& lowered, const dsl::WorkloadDesc& wl) const = 0;
+
+  /// True when emit_source() yields a program the host toolchain can
+  /// compile and run (the differential tester requires this).
+  [[nodiscard]] virtual bool executable() const { return false; }
+};
+
+/// Name -> backend. The process-wide instance() comes pre-loaded with
+/// the built-ins; tests may build private registries.
+class BackendRegistry {
+ public:
+  /// The global registry (built-ins registered on first use).
+  static BackendRegistry& instance();
+
+  /// Throws Error when `name` is already registered or `backend` null.
+  void register_backend(std::shared_ptr<const Backend> backend);
+  /// Throws Error naming the registered backends on unknown `name`.
+  [[nodiscard]] std::shared_ptr<const Backend> get(
+      const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const Backend>> backends_;
+};
+
+/// Registers the built-in backends ("ptx", "cref") into `registry`.
+/// instance() calls this once; exposed so tests can build
+/// self-contained registries.
+void register_builtin_backends(BackendRegistry& registry);
+
+/// The paper's lowering behind the seam: lower() delegates to
+/// codegen::Compiler (bit-identical output), emit_source() renders the
+/// `disasm` view (compile_info comment + virtual-ISA text per stage).
+class PtxBackend : public Backend {
+ public:
+  [[nodiscard]] std::string name() const override { return "ptx"; }
+  [[nodiscard]] LoweredWorkload lower(
+      const dsl::WorkloadDesc& wl, const arch::GpuSpec& gpu,
+      const TuningParams& params) const override;
+  [[nodiscard]] std::string emit_source(
+      const LoweredWorkload& lowered,
+      const dsl::WorkloadDesc& wl) const override;
+};
+
+}  // namespace gpustatic::codegen

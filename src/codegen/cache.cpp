@@ -4,22 +4,35 @@ namespace gpustatic::codegen {
 
 std::shared_ptr<const LoweredWorkload> CompilationCache::lower(
     const TuningParams& params) {
+  return lower_impl(backend_, params);
+}
+
+std::shared_ptr<const LoweredWorkload> CompilationCache::lower_as(
+    const std::string& backend, const TuningParams& params) {
+  if (backend == backend_.name) return lower_impl(backend_, params);
+  return lower_impl(Bound(BackendRegistry::instance().get(backend)),
+                    params);
+}
+
+std::shared_ptr<const LoweredWorkload> CompilationCache::lower_impl(
+    const Bound& backend, const TuningParams& params) {
   // Per-point validation happens on every lookup: TC/BC are not part of
   // the key, so an out-of-range launch must fail even when the key's
-  // lowering is already cached.
+  // lowering is already cached. Validation is backend-agnostic.
   validate_params(*gpu_, params);
 
-  const CodegenKey key = CodegenKey::of(params);
+  const std::pair<std::string, CodegenKey> key{backend.name,
+                                               CodegenKey::of(params)};
   LoweredFuture future;
   std::promise<std::shared_ptr<const LoweredWorkload>> promise;
   bool compile_here = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
-      ++stats_.hits;
+      ++stats_[backend.name].hits;
       future = it->second;
     } else {
-      ++stats_.misses;
+      ++stats_[backend.name].misses;
       future = promise.get_future().share();
       entries_.emplace(key, future);
       compile_here = true;
@@ -27,12 +40,13 @@ std::shared_ptr<const LoweredWorkload> CompilationCache::lower(
   }
   // The compiler runs outside the lock: distinct keys compile in
   // parallel, and hits on already-resolved keys never wait. A failed
-  // compile parks its exception in the future, so this key's every
-  // future lookup rethrows the original error (type and message).
+  // compile parks its exception in the future, so this (backend, key)'s
+  // every future lookup rethrows the original error (type and message)
+  // — while the same key under another backend stays untouched.
   if (compile_here) {
     try {
       promise.set_value(std::make_shared<LoweredWorkload>(
-          Compiler(*gpu_, params).compile(workload_)));
+          backend.impl->lower(workload_, *gpu_, params)));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
@@ -49,6 +63,13 @@ LoweredWorkload CompilationCache::compile(const TuningParams& params) {
 }
 
 CompileCacheStats CompilationCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stats_.find(backend_.name);
+  return it == stats_.end() ? CompileCacheStats{} : it->second;
+}
+
+std::map<std::string, CompileCacheStats>
+CompilationCache::stats_by_backend() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

@@ -8,6 +8,14 @@
 // therefore needs at most |UIF| x |SC| x |CFLAGS| compiler runs, not one
 // per point: every launch-shape-only neighbor is a cache hit.
 //
+// Lowerings come from a codegen::Backend (backend.hpp) selected by
+// registry name at construction; entries are keyed by (backend id,
+// CodegenKey), so one cache can serve several backends without their
+// lowerings — or their memoized lowering *failures* — poisoning each
+// other. validate_params()/retarget_launch() are backend-agnostic: every
+// backend populates freq_model, so the launch-shape rescaling fast path
+// works identically under any backend.
+//
 // The cache is thread-safe (SimEvaluator fans batches out over the
 // shared thread pool): entries are per-key shared futures, so the lock
 // covers only map lookup/insert — concurrent misses on distinct keys
@@ -20,8 +28,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "arch/gpu_spec.hpp"
+#include "codegen/backend.hpp"
 #include "codegen/compiler.hpp"
 #include "dsl/ast.hpp"
 
@@ -49,25 +60,52 @@ class CompilationCache {
  public:
   /// The cache owns its workload copy so it can be shared (e.g. between
   /// a SimEvaluator's context and an AnalyticEvaluator) without lifetime
-  /// coupling; GpuSpecs come from the static hardware table.
-  CompilationCache(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu)
-      : workload_(std::move(workload)), gpu_(&gpu) {}
+  /// coupling; GpuSpecs come from the static hardware table. `backend`
+  /// names the default lowering target for lower()/compile(); it is
+  /// resolved against BackendRegistry::instance() here, so an unknown
+  /// name fails at construction, not first lookup.
+  CompilationCache(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+                   const std::string& backend = kDefaultBackend)
+      : workload_(std::move(workload)),
+        gpu_(&gpu),
+        backend_(BackendRegistry::instance().get(backend)) {}
 
-  /// The canonical lowering for `params`' codegen key. Validates the
-  /// full params first (throwing ConfigError exactly like the Compiler
-  /// constructor), then returns the memoized compile — whose
-  /// LaunchConfig/block_freq reflect the *first* params seen with this
-  /// key; consumers that need point-exact values use compile() or
-  /// block_freq_at()/retarget_launch(). A memoized lowering failure
-  /// rethrows the original exception on every lookup.
+  CompilationCache(const CompilationCache&) = delete;
+  CompilationCache& operator=(const CompilationCache&) = delete;
+
+  /// The canonical lowering for `params`' codegen key under the bound
+  /// backend. Validates the full params first (throwing ConfigError
+  /// exactly like the Compiler constructor), then returns the memoized
+  /// compile — whose LaunchConfig/block_freq reflect the *first* params
+  /// seen with this key; consumers that need point-exact values use
+  /// compile() or block_freq_at()/retarget_launch(). A memoized
+  /// lowering failure rethrows the original exception on every lookup.
   std::shared_ptr<const LoweredWorkload> lower(const TuningParams& params);
 
-  /// Full per-point compile: the canonical lowering deep-copied and
-  /// retargeted to `params`. Byte-identical to
-  /// Compiler(gpu, params).compile(workload) in every field.
+  /// As lower(), under an explicitly named backend (resolved against
+  /// the global registry; throws Error on unknown names). Entries and
+  /// stats are tracked per backend, so a params combo that fails to
+  /// lower under one backend stays a fresh (and possibly successful)
+  /// compile under another.
+  std::shared_ptr<const LoweredWorkload> lower_as(
+      const std::string& backend, const TuningParams& params);
+
+  /// Full per-point compile under the bound backend: the canonical
+  /// lowering deep-copied and retargeted to `params`. Byte-identical to
+  /// Compiler(gpu, params).compile(workload) in every field (for the
+  /// default "ptx" backend).
   [[nodiscard]] LoweredWorkload compile(const TuningParams& params);
 
+  /// Stats for the bound backend (the common single-backend view).
   [[nodiscard]] CompileCacheStats stats() const;
+  /// Stats for every backend this cache has seen lookups under.
+  [[nodiscard]] std::map<std::string, CompileCacheStats> stats_by_backend()
+      const;
+
+  [[nodiscard]] const std::string& backend_name() const {
+    return backend_.name;
+  }
+  [[nodiscard]] const Backend& backend() const { return *backend_.impl; }
 
   [[nodiscard]] const dsl::WorkloadDesc& workload() const {
     return workload_;
@@ -77,12 +115,24 @@ class CompilationCache {
  private:
   using LoweredFuture =
       std::shared_future<std::shared_ptr<const LoweredWorkload>>;
+  /// A resolved backend plus its cached name (the map-key string, kept
+  /// out of the per-lookup path).
+  struct Bound {
+    std::string name;
+    std::shared_ptr<const Backend> impl;
+    explicit Bound(std::shared_ptr<const Backend> b)
+        : name(b->name()), impl(std::move(b)) {}
+  };
+
+  std::shared_ptr<const LoweredWorkload> lower_impl(
+      const Bound& backend, const TuningParams& params);
 
   dsl::WorkloadDesc workload_;
   const arch::GpuSpec* gpu_;
+  Bound backend_;
   mutable std::mutex mu_;
-  std::map<CodegenKey, LoweredFuture> entries_;
-  CompileCacheStats stats_;
+  std::map<std::pair<std::string, CodegenKey>, LoweredFuture> entries_;
+  std::map<std::string, CompileCacheStats> stats_;
 };
 
 }  // namespace gpustatic::codegen

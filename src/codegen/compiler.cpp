@@ -926,6 +926,7 @@ void Lowering::lower_if(const dsl::Stmt& s) {
   cur_freq_ = parent_freq * s.then_prob;
   cur_fexpr_ = parent_fexpr;
   cur_fexpr_.factors.push_back(s.then_prob);
+  cur_fexpr_.exact = false;  // branch probabilities are estimates
   start_block(fresh_label("Lthen"), cur_freq_);
   {
     const Scope saved = snapshot();
@@ -937,6 +938,7 @@ void Lowering::lower_if(const dsl::Stmt& s) {
     cur_freq_ = parent_freq * (1.0 - s.then_prob);
     cur_fexpr_ = parent_fexpr;
     cur_fexpr_.factors.push_back(1.0 - s.then_prob);
+    cur_fexpr_.exact = false;  // branch probabilities are estimates
     start_block(l_else, cur_freq_);
     const Scope saved = snapshot();
     lower_stmt(s.else_branch);

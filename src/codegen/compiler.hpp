@@ -49,6 +49,12 @@ struct BlockFreqModel {
   bool scaled = false;  ///< false: launch-independent constant (entry/done)
   double base = 1.0;    ///< the fixed frequency, or the scaled numerator
   std::vector<double> factors;  ///< loop trips / branch probs, in order
+  /// True while every factor is structural (loop trips, grid-stride
+  /// bases): the frequency is then an exact execution count, not an
+  /// estimate. lower_if() clears it when a branch-probability factor
+  /// enters the chain — those are geometry-derived estimates, and the
+  /// differential tester gates them by tolerance instead of equality.
+  bool exact = true;
 
   [[nodiscard]] double at(double total_threads) const {
     double f = scaled ? base / total_threads : base;

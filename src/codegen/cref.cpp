@@ -1,0 +1,382 @@
+#include "codegen/cref.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::codegen {
+
+namespace {
+
+using ptx::Instruction;
+using ptx::Opcode;
+using ptx::Operand;
+using ptx::Reg;
+using ptx::Type;
+
+/// Kernel labels become C goto labels; anything outside [A-Za-z0-9_]
+/// is mapped to '_' (labels are already near-identifiers, this is a
+/// guard against future label schemes).
+std::string c_label(const std::string& label) {
+  std::string out = "bb_";
+  for (const char ch : label)
+    out += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
+  return out;
+}
+
+std::string reg_ref(const Reg& r) {
+  switch (r.type) {
+    case Type::Pred: return "p[" + std::to_string(r.idx) + "]";
+    case Type::I32: return "r[" + std::to_string(r.idx) + "]";
+    case Type::I64: return "rd[" + std::to_string(r.idx) + "]";
+    case Type::F32: return "f[" + std::to_string(r.idx) + "]";
+    case Type::F64: return "fd[" + std::to_string(r.idx) + "]";
+  }
+  return "r[0]";
+}
+
+/// Per-stage emission state: the kernel (for param resolution) and its
+/// domain (the value of the scalar `n_items` param).
+struct StageCtx {
+  const ptx::Kernel* kernel = nullptr;
+  std::int64_t domain = 0;
+};
+
+std::string param_value(const StageCtx& ctx, std::uint16_t index) {
+  const ptx::Param& param = ctx.kernel->params.at(index);
+  if (param.is_pointer)
+    return "(std::int64_t)(std::intptr_t)buf_" + param.name;
+  // The only scalar param the lowering emits is the domain bound.
+  return std::to_string(ctx.domain) + "LL";
+}
+
+/// Render an operand as a C integer expression (int64 arithmetic, like
+/// the warp interpreter's operand_i64: I32 registers sign-extend).
+std::string int_of(const StageCtx& ctx, const Operand& o) {
+  switch (o.kind()) {
+    case Operand::Kind::Reg:
+      return "(std::int64_t)" + reg_ref(o.reg());
+    case Operand::Kind::ImmI:
+      return std::to_string(o.imm_i()) + "LL";
+    case Operand::Kind::Sym:
+      return param_value(ctx, o.sym());
+    case Operand::Kind::Special:
+      switch (o.special()) {
+        case ptx::SpecialReg::TidX: return "tid";
+        case ptx::SpecialReg::NTidX: return "ntid";
+        case ptx::SpecialReg::CTAidX: return "ctaid";
+        case ptx::SpecialReg::NCTAidX: return "nctaid";
+        case ptx::SpecialReg::LaneId: return "(tid & 31)";
+      }
+      break;
+    default:
+      break;
+  }
+  throw Error("cref backend: bad integer operand");
+}
+
+/// Render an operand as a C double expression (the interpreter computes
+/// floating point in double and narrows on the F32 register write).
+std::string float_of(const StageCtx& ctx, const Operand& o) {
+  if (o.kind() == Operand::Kind::Reg) {
+    const Type t = o.reg().type;
+    if (t == Type::F32 || t == Type::F64)
+      return "(double)" + reg_ref(o.reg());
+    return "(double)(" + int_of(ctx, o) + ")";
+  }
+  if (o.kind() == Operand::Kind::ImmF) {
+    std::ostringstream out;
+    out.precision(17);
+    out << o.imm_f();
+    std::string text = out.str();
+    // A bare integer literal is still a valid double, but keep the
+    // emitted program unambiguous about its type.
+    if (text.find_first_of(".eEnN") == std::string::npos) text += ".0";
+    return text;
+  }
+  return "(double)(" + int_of(ctx, o) + ")";
+}
+
+/// Wrap a computed value in the destination register's write semantics
+/// (truncate to int32 for I32, narrow to float for F32, 0/1 for Pred).
+std::string store_to(const Reg& dst, const std::string& value) {
+  switch (dst.type) {
+    case Type::Pred:
+      return reg_ref(dst) + " = (" + value + ") != 0 ? 1 : 0;";
+    case Type::I32:
+      return reg_ref(dst) + " = (std::int32_t)(" + value + ");";
+    case Type::I64:
+      return reg_ref(dst) + " = (std::int64_t)(" + value + ");";
+    case Type::F32:
+      return reg_ref(dst) + " = (float)(" + value + ");";
+    case Type::F64:
+      return reg_ref(dst) + " = (" + value + ");";
+  }
+  return ";";
+}
+
+bool is_float_type(Type t) { return t == Type::F32 || t == Type::F64; }
+
+std::string address_expr(const StageCtx& ctx, const Instruction& ins) {
+  std::string addr = int_of(ctx, ins.srcs.at(0));
+  if (ins.offset != 0)
+    addr += " + " + std::to_string(ins.offset) + "LL";
+  if (ins.space != ptx::MemSpace::Global)
+    throw Error("cref backend: unsupported memory space");
+  if (ins.type != Type::F32)
+    throw Error("cref backend: unsupported memory element type");
+  return "(float*)(std::intptr_t)(" + addr + ")";
+}
+
+/// One instruction -> one C statement (sans guard).
+std::string statement_of(const StageCtx& ctx, const Instruction& ins,
+                         const std::string& exit_label) {
+  const auto a = [&] { return int_of(ctx, ins.srcs.at(0)); };
+  const auto b = [&] { return int_of(ctx, ins.srcs.at(1)); };
+  const auto c = [&] { return int_of(ctx, ins.srcs.at(2)); };
+  const auto fa = [&] { return float_of(ctx, ins.srcs.at(0)); };
+  const auto fb = [&] { return float_of(ctx, ins.srcs.at(1)); };
+  const auto fc = [&] { return float_of(ctx, ins.srcs.at(2)); };
+  switch (ins.op) {
+    case Opcode::MOV:
+      if (ins.dst && is_float_type(ins.dst->type))
+        return store_to(*ins.dst, fa());
+      return store_to(*ins.dst, a());
+    case Opcode::SELP:
+      if (ins.dst && is_float_type(ins.dst->type))
+        return store_to(*ins.dst, "(" + c() + ") != 0 ? (" + fa() +
+                                      ") : (" + fb() + ")");
+      return store_to(*ins.dst,
+                      "(" + c() + ") != 0 ? (" + a() + ") : (" + b() + ")");
+    case Opcode::AND:
+      return store_to(*ins.dst, "(" + a() + ") & (" + b() + ")");
+    case Opcode::OR:
+      return store_to(*ins.dst, "(" + a() + ") | (" + b() + ")");
+    case Opcode::XOR:
+      return store_to(*ins.dst, "(" + a() + ") ^ (" + b() + ")");
+    case Opcode::NOT:
+      if (ins.dst && ins.dst->type == Type::Pred)
+        return store_to(*ins.dst, "!(" + a() + ")");
+      return store_to(*ins.dst, "~(" + a() + ")");
+    case Opcode::SHL:
+      return store_to(*ins.dst, "(" + a() + ") << (" + b() + ")");
+    case Opcode::SHR:
+      return store_to(*ins.dst, "(" + a() + ") >> (" + b() + ")");
+    case Opcode::IADD:
+      return store_to(*ins.dst, "(" + a() + ") + (" + b() + ")");
+    case Opcode::ISUB:
+      return store_to(*ins.dst, "(" + a() + ") - (" + b() + ")");
+    case Opcode::IMUL:
+      return store_to(*ins.dst, "(" + a() + ") * (" + b() + ")");
+    case Opcode::IMULHI:
+      return store_to(*ins.dst, "(std::int64_t)(((__int128)(" + a() +
+                                    ") * (__int128)(" + b() + ")) >> 64)");
+    case Opcode::IMAD:
+      return store_to(*ins.dst, "(" + a() + ") * (" + b() + ") + (" + c() +
+                                    ")");
+    case Opcode::IMIN:
+      return store_to(*ins.dst, "(" + a() + ") < (" + b() + ") ? (" + a() +
+                                    ") : (" + b() + ")");
+    case Opcode::IMAX:
+      return store_to(*ins.dst, "(" + a() + ") > (" + b() + ") ? (" + a() +
+                                    ") : (" + b() + ")");
+    case Opcode::FADD:
+      return store_to(*ins.dst, "(" + fa() + ") + (" + fb() + ")");
+    case Opcode::FSUB:
+      return store_to(*ins.dst, "(" + fa() + ") - (" + fb() + ")");
+    case Opcode::FMUL:
+      return store_to(*ins.dst, "(" + fa() + ") * (" + fb() + ")");
+    case Opcode::FFMA:
+      // Mirrors the warp interpreter: fused in the register width.
+      if (ins.type == Type::F32)
+        return store_to(*ins.dst,
+                        "(double)std::fmaf((float)(" + fa() + "), (float)(" +
+                            fb() + "), (float)(" + fc() + "))");
+      return store_to(*ins.dst, "std::fma(" + fa() + ", " + fb() + ", " +
+                                    fc() + ")");
+    case Opcode::FMIN:
+      return store_to(*ins.dst, "std::min(" + fa() + ", " + fb() + ")");
+    case Opcode::FMAX:
+      return store_to(*ins.dst, "std::max(" + fa() + ", " + fb() + ")");
+    case Opcode::RCP:
+      return store_to(*ins.dst, "1.0 / (" + fa() + ")");
+    case Opcode::RSQRT:
+      return store_to(*ins.dst, "1.0 / std::sqrt(" + fa() + ")");
+    case Opcode::SQRT:
+      return store_to(*ins.dst, "std::sqrt(" + fa() + ")");
+    case Opcode::EX2:
+      return store_to(*ins.dst, "std::exp2(" + fa() + ")");
+    case Opcode::LG2:
+      return store_to(*ins.dst, "std::log2(" + fa() + ")");
+    case Opcode::SIN:
+      return store_to(*ins.dst, "std::sin(" + fa() + ")");
+    case Opcode::COS:
+      return store_to(*ins.dst, "std::cos(" + fa() + ")");
+    case Opcode::CVT:
+      if (ins.dst && is_float_type(ins.dst->type))
+        return store_to(*ins.dst,
+                        ins.cvt_src == Type::I32 || ins.cvt_src == Type::I64
+                            ? "(double)(" + a() + ")"
+                            : fa());
+      return store_to(*ins.dst,
+                      ins.cvt_src == Type::F32 || ins.cvt_src == Type::F64
+                          ? "(std::int64_t)(" + fa() + ")"
+                          : a());
+    case Opcode::SETP: {
+      const bool fcmp = is_float_type(ins.type);
+      const std::string lhs = fcmp ? fa() : a();
+      const std::string rhs = fcmp ? fb() : b();
+      const char* op = "==";
+      switch (ins.cmp) {
+        case ptx::CmpOp::EQ: op = "=="; break;
+        case ptx::CmpOp::NE: op = "!="; break;
+        case ptx::CmpOp::LT: op = "<"; break;
+        case ptx::CmpOp::LE: op = "<="; break;
+        case ptx::CmpOp::GT: op = ">"; break;
+        case ptx::CmpOp::GE: op = ">="; break;
+      }
+      return reg_ref(*ins.dst) + " = ((" + lhs + ") " + op + " (" + rhs +
+             ")) ? 1 : 0;";
+    }
+    case Opcode::LD:
+      if (ins.space == ptx::MemSpace::Param)
+        return store_to(*ins.dst, param_value(ctx, ins.srcs.at(0).sym()));
+      return store_to(*ins.dst, "(double)(*(" + address_expr(ctx, ins) +
+                                    "))");
+    case Opcode::ST:
+      return "*(" + address_expr(ctx, ins) + ") = (float)(" +
+             float_of(ctx, ins.srcs.at(1)) + ");";
+    case Opcode::ATOM_ADD:
+      // Threads run sequentially, so the atomic is a plain accumulate.
+      return "*(" + address_expr(ctx, ins) + ") += (float)(" +
+             float_of(ctx, ins.srcs.at(1)) + ");";
+    case Opcode::BRA:
+      return "goto " + c_label(ins.target) + ";";
+    case Opcode::BAR:
+      // One thread at a time: every barrier is trivially satisfied.
+      return ";";
+    case Opcode::EXIT:
+      return "goto " + exit_label + ";";
+    case Opcode::NOP:
+      return ";";
+  }
+  throw Error("cref backend: unsupported opcode");
+}
+
+void emit_stage(std::ostringstream& out, const LoweredStage& stage,
+                std::size_t index) {
+  const ptx::Kernel& k = stage.kernel;
+  StageCtx ctx;
+  ctx.kernel = &k;
+  ctx.domain = stage.launch.domain;
+  const std::string si = std::to_string(index);
+  const std::string exit_label = "thread_exit_" + si;
+
+  out << "static long long cnt_" << si << "[" << k.blocks.size()
+      << "];\n\n";
+  out << "// stage " << index << ": kernel '" << k.name << "', domain "
+      << stage.launch.domain << "\n";
+  out << "static void stage_" << si
+      << "(std::int64_t ntid, std::int64_t nctaid) {\n";
+  out << "  for (std::int64_t ctaid = 0; ctaid < nctaid; ++ctaid)\n";
+  out << "  for (std::int64_t tid = 0; tid < ntid; ++tid) {\n";
+  // Register files: one array per class, sized by the highest virtual
+  // index the kernel uses, zero-initialized per thread like the
+  // simulator's fresh register arena.
+  out << "    std::int32_t r[" << k.max_reg_index(Type::I32) + 1
+      << "] = {0};\n";
+  out << "    std::int64_t rd[" << k.max_reg_index(Type::I64) + 1
+      << "] = {0};\n";
+  out << "    float f[" << k.max_reg_index(Type::F32) + 1 << "] = {0};\n";
+  out << "    double fd[" << k.max_reg_index(Type::F64) + 1
+      << "] = {0};\n";
+  out << "    int p[" << k.max_reg_index(Type::Pred) + 1 << "] = {0};\n";
+  out << "    (void)r; (void)rd; (void)f; (void)fd; (void)p;\n";
+  for (std::size_t b = 0; b < k.blocks.size(); ++b) {
+    const ptx::BasicBlock& block = k.blocks[b];
+    out << "    " << c_label(block.label) << ": cnt_" << si << "[" << b
+        << "] += 1;\n";
+    for (const Instruction& ins : block.body) {
+      out << "      ";
+      if (ins.guard) {
+        out << "if (" << (ins.guard->negated ? "!" : "")
+            << reg_ref(ins.guard->pred) << ") ";
+      }
+      out << statement_of(ctx, ins, exit_label) << "\n";
+    }
+  }
+  out << "    " << exit_label << ": ;\n";
+  out << "  }\n";
+  out << "}\n\n";
+}
+
+}  // namespace
+
+LoweredWorkload CRefBackend::lower(const dsl::WorkloadDesc& wl,
+                                   const arch::GpuSpec& gpu,
+                                   const TuningParams& params) const {
+  // The mid-level lowering is target-neutral; sharing it with "ptx" is
+  // deliberate — the differential tests execute this backend's artifact
+  // to pin the *same* static frequency model against real counts.
+  return Compiler(gpu, params).compile(wl);
+}
+
+std::string CRefBackend::emit_source(const LoweredWorkload& lowered,
+                                     const dsl::WorkloadDesc& wl) const {
+  std::ostringstream out;
+  out << "// generated by gpustatic cref backend\n";
+  out << "// workload '" << wl.name << "', variant "
+      << lowered.params.to_string() << "\n";
+  out << "// usage: prog <threads_per_block> <block_count>; prints one\n";
+  out << "// \"<stage> <block> <count>\" line per basic block.\n";
+  out << "#include <cmath>\n#include <cstdint>\n#include <cstdio>\n"
+         "#include <cstdlib>\n#include <algorithm>\n\n";
+
+  for (const dsl::ArrayDecl& a : wl.arrays)
+    out << "static float buf_" << a.name << "[" << a.length << "];\n";
+  out << "\n";
+
+  for (std::size_t i = 0; i < lowered.stages.size(); ++i)
+    emit_stage(out, lowered.stages[i], i);
+
+  out << "int main(int argc, char** argv) {\n";
+  out << "  if (argc != 3) {\n";
+  out << "    std::fprintf(stderr, \"usage: %s <threads_per_block> "
+         "<block_count>\\n\", argv[0]);\n";
+  out << "    return 2;\n  }\n";
+  out << "  const std::int64_t ntid = std::atoll(argv[1]);\n";
+  out << "  const std::int64_t nctaid = std::atoll(argv[2]);\n";
+  out << "  if (ntid <= 0 || nctaid <= 0) return 2;\n";
+  for (const dsl::ArrayDecl& a : wl.arrays) {
+    switch (a.init) {
+      case dsl::ArrayInit::Zero:
+        out << "  // buf_" << a.name << ": zero-initialized (static)\n";
+        break;
+      case dsl::ArrayInit::Ones:
+        out << "  for (std::int64_t i = 0; i < " << a.length
+            << "; ++i) buf_" << a.name << "[i] = 1.0f;\n";
+        break;
+      case dsl::ArrayInit::Ramp:
+        // Exactly sim::init_value: (i % 97) / 97.0f.
+        out << "  for (std::int64_t i = 0; i < " << a.length
+            << "; ++i) buf_" << a.name << "[i] = (float)(i % 97) / "
+               "97.0f;\n";
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < lowered.stages.size(); ++i)
+    out << "  stage_" << i << "(ntid, nctaid);\n";
+  for (std::size_t i = 0; i < lowered.stages.size(); ++i) {
+    out << "  for (std::size_t b = 0; b < "
+        << lowered.stages[i].kernel.blocks.size() << "; ++b)\n";
+    out << "    std::printf(\"%d %zu %lld\\n\", " << i << ", b, cnt_" << i
+        << "[b]);\n";
+  }
+  out << "  return 0;\n}\n";
+  return out.str();
+}
+
+}  // namespace gpustatic::codegen

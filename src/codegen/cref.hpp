@@ -1,0 +1,46 @@
+#pragma once
+
+// The scalar-C reference backend: the execution oracle behind the
+// differential tests (src/difftest).
+//
+// lower() runs the same mid-level lowering as the "ptx" backend — the
+// virtual ISA is target-neutral, and sharing it is the point: the
+// static per-block frequency model under test is identical — but the
+// artifact differs. emit_source() renders the lowered kernels as one
+// self-contained C++ program that
+//
+//   * executes every (ctaid, tid) thread of the launch sequentially,
+//   * increments a dynamic counter at the top of every basic block,
+//   * allocates and initializes the workload's arrays exactly like
+//     sim::DeviceMemory (Zero / Ramp = (i % 97)/97 / Ones),
+//   * takes the launch shape on the command line
+//     (`prog <threads_per_block> <block_count>`), and
+//   * prints one "<stage> <block> <count>" line per basic block.
+//
+// Compiling that program with the host toolchain and running it gives
+// ground-truth per-block execution counts — derived by an independent
+// implementation (the host C compiler + CPU) — to diff against the
+// simulator's static block_freq/freq_model. Integer semantics mirror
+// the warp interpreter (I32 ops computed in int64, truncated on
+// write), so control flow — which the lowering only ever makes depend
+// on integer SETPs — matches instruction for instruction.
+
+#include <string>
+
+#include "codegen/backend.hpp"
+
+namespace gpustatic::codegen {
+
+class CRefBackend : public Backend {
+ public:
+  [[nodiscard]] std::string name() const override { return "cref"; }
+  [[nodiscard]] LoweredWorkload lower(
+      const dsl::WorkloadDesc& wl, const arch::GpuSpec& gpu,
+      const TuningParams& params) const override;
+  [[nodiscard]] std::string emit_source(
+      const LoweredWorkload& lowered,
+      const dsl::WorkloadDesc& wl) const override;
+  [[nodiscard]] bool executable() const override { return true; }
+};
+
+}  // namespace gpustatic::codegen

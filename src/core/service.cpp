@@ -57,7 +57,8 @@ std::string TuningService::request_key(const TuneRequest& r) {
      << ',' << r.hybrid.baseline.to_string();
   os << "|run=" << static_cast<int>(r.run.engine) << ','
      << r.run.repetitions << ',' << r.run.report_trial << ','
-     << r.run.noise_stddev << ',' << r.run.seed;
+     << r.run.noise_stddev << ',' << r.run.seed << ','
+     << r.run.backend;
   os << "|store=" << r.store.read << r.store.write;
   append_space_signature(os, r.space);
   return os.str();
@@ -182,7 +183,8 @@ std::shared_ptr<sim::SimContext> TuningService::context_for(
   std::ostringstream key;
   key << job.kernel << '|' << job.gpu->name << '|' << job.n << '|'
       << static_cast<int>(run.engine) << ',' << run.repetitions << ','
-      << run.report_trial << ',' << run.noise_stddev << ',' << run.seed;
+      << run.report_trial << ',' << run.noise_stddev << ',' << run.seed
+      << ',' << run.backend;
   const std::string k = key.str();
   const std::lock_guard<std::mutex> lock(contexts_mu_);
   // Evict before inserting: clearing after taking a reference into the
@@ -197,6 +199,25 @@ std::shared_ptr<sim::SimContext> TuningService::context_for(
   if (slot == nullptr)
     slot = std::make_shared<sim::SimContext>(job.workload, *job.gpu, run);
   return slot;
+}
+
+std::map<std::string, codegen::CompileCacheStats>
+TuningService::cache_stats() {
+  // Every registered backend reports — zeros included — so consumers
+  // (serve `stats`) render a stable field set.
+  std::map<std::string, codegen::CompileCacheStats> out;
+  for (const std::string& name :
+       codegen::BackendRegistry::instance().names())
+    out[name];
+  const std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const auto& [key, context] : contexts_) {
+    for (const auto& [name, s] :
+         context->compilation_cache().stats_by_backend()) {
+      out[name].hits += s.hits;
+      out[name].misses += s.misses;
+    }
+  }
+  return out;
 }
 
 void TuningService::merge_harvest(

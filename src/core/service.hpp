@@ -174,6 +174,12 @@ class TuningService {
   [[nodiscard]] RetrainResult retrain(learn::TrainOptions options = {});
 
   [[nodiscard]] Stats stats() const;
+  /// Compile-cache hit/miss totals per codegen backend, aggregated over
+  /// the service's cached evaluation pipelines. Every registered
+  /// backend appears (zeros when unused), so `serve` stats render a
+  /// stable field set.
+  [[nodiscard]] std::map<std::string, codegen::CompileCacheStats>
+  cache_stats();
   /// Warnings from the construction-time store load (e.g. a truncated
   /// final line that was skipped).
   [[nodiscard]] const std::vector<std::string>& load_warnings() const {

@@ -1,0 +1,257 @@
+#include "difftest/difftest.hpp"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "codegen/backend.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+#ifndef GPUSTATIC_HOST_CXX
+#define GPUSTATIC_HOST_CXX "c++"
+#endif
+
+namespace gpustatic::difftest {
+
+namespace fs = std::filesystem;
+
+std::vector<LaunchShape> default_shapes() {
+  return {{32, 2}, {64, 2},  {128, 1}, {128, 4},
+          {96, 3}, {256, 2}, {48, 5},  {200, 3}};
+}
+
+bool ShapeReport::ok() const {
+  if (!error.empty()) return false;
+  for (const BlockCheck& c : checks)
+    if (!c.ok) return false;
+  return true;
+}
+
+bool KernelReport::ok() const {
+  if (!error.empty()) return false;
+  for (const ShapeReport& s : shapes)
+    if (!s.ok()) return false;
+  return true;
+}
+
+std::size_t KernelReport::blocks_checked() const {
+  std::size_t n = 0;
+  for (const ShapeReport& s : shapes) n += s.checks.size();
+  return n;
+}
+
+double KernelReport::max_exact_deviation() const {
+  double worst = 0;
+  for (const ShapeReport& s : shapes)
+    for (const BlockCheck& c : s.checks)
+      if (c.exact && c.deviation > worst) worst = c.deviation;
+  return worst;
+}
+
+std::string KernelReport::failure_summary() const {
+  std::ostringstream out;
+  if (!error.empty()) out << kernel << ": " << error << "\n";
+  for (const ShapeReport& s : shapes) {
+    const std::string at = str::format(
+        "%s @ TC=%d BC=%d", kernel.c_str(), s.shape.threads_per_block,
+        s.shape.block_count);
+    if (!s.error.empty()) out << at << ": " << s.error << "\n";
+    for (const BlockCheck& c : s.checks)
+      if (!c.ok)
+        out << at
+            << str::format(
+                   ": stage %zu block %zu '%s' expected %.3f got %lld "
+                   "(%s model)\n",
+                   c.stage, c.block, c.label.c_str(), c.expected,
+                   c.executed, c.exact ? "exact" : "estimated");
+  }
+  return out.str();
+}
+
+std::vector<BlockCheck> check_stage(const codegen::LoweredStage& stage,
+                                    std::size_t stage_index,
+                                    const codegen::TuningParams& params,
+                                    const CountMap& executed,
+                                    double divergence_tolerance) {
+  const double total_threads =
+      static_cast<double>(params.threads_per_block) *
+      static_cast<double>(params.block_count);
+  std::vector<BlockCheck> checks;
+  checks.reserve(stage.freq_model.size());
+  for (std::size_t b = 0; b < stage.freq_model.size(); ++b) {
+    const codegen::BlockFreqModel& model = stage.freq_model[b];
+    BlockCheck check;
+    check.stage = stage_index;
+    check.block = b;
+    if (b < stage.kernel.blocks.size())
+      check.label = stage.kernel.blocks[b].label;
+    check.exact = model.exact;
+    check.expected = model.at(total_threads) * total_threads;
+    const auto it = executed.find({stage_index, b});
+    check.executed = it == executed.end() ? -1 : it->second;
+    check.deviation =
+        std::abs(check.expected - static_cast<double>(check.executed));
+    if (it == executed.end()) {
+      check.ok = false;  // counter missing from the program's output
+    } else if (check.exact) {
+      // An exact model is an integer count; half a count of slack only
+      // absorbs floating-point evaluation noise, never an off-by-one.
+      check.ok = check.deviation <= 0.5;
+    } else {
+      const double scale = std::max(std::abs(check.expected), 1.0);
+      check.ok = check.deviation / scale <= divergence_tolerance;
+    }
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+CountMap parse_counts(const std::string& text) {
+  CountMap counts;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::size_t stage = 0, block = 0;
+    long long count = 0;
+    if (!(fields >> stage >> block >> count))
+      throw Error("difftest: malformed counter line '" + line + "'");
+    counts[{stage, block}] = count;
+  }
+  return counts;
+}
+
+namespace {
+
+std::string host_compiler(const Options& opts) {
+  if (!opts.host_cxx.empty()) return opts.host_cxx;
+  if (const char* env = std::getenv("GPUSTATIC_HOST_CXX");
+      env != nullptr && *env != '\0')
+    return env;
+  return GPUSTATIC_HOST_CXX;
+}
+
+/// Run `command`, capturing stdout+stderr into `output`. Returns the
+/// shell's exit status (-1 when system() itself fails).
+int run_captured(const std::string& command, const fs::path& capture,
+                 std::string* output) {
+  const int rc =
+      std::system((command + " > '" + capture.string() + "' 2>&1").c_str());
+  if (output != nullptr) {
+    std::ifstream in(capture);
+    std::ostringstream text;
+    text << in.rdbuf();
+    *output = text.str();
+  }
+  return rc;
+}
+
+/// Scratch directory management: mkdtemp under the system temp path
+/// unless the caller pinned one; removed on destruction unless kept.
+class WorkDir {
+ public:
+  WorkDir(const std::string& pinned, bool keep) : keep_(keep) {
+    if (!pinned.empty()) {
+      path_ = pinned;
+      fs::create_directories(path_);
+      keep_ = true;  // never delete a directory the caller named
+      return;
+    }
+    std::string pattern =
+        (fs::temp_directory_path() / "gpustatic_difftest_XXXXXX").string();
+    if (mkdtemp(pattern.data()) == nullptr)
+      throw Error("difftest: cannot create scratch directory");
+    path_ = pattern;
+  }
+  ~WorkDir() {
+    if (!keep_) {
+      std::error_code ec;  // best-effort cleanup
+      fs::remove_all(path_, ec);
+    }
+  }
+  WorkDir(const WorkDir&) = delete;
+  WorkDir& operator=(const WorkDir&) = delete;
+
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+  bool keep_;
+};
+
+}  // namespace
+
+KernelReport diff_kernel(const dsl::WorkloadDesc& wl, const Options& opts) {
+  KernelReport report;
+  report.kernel = wl.name;
+  report.backend = opts.backend;
+  try {
+    const std::shared_ptr<const codegen::Backend> backend =
+        codegen::BackendRegistry::instance().get(opts.backend);
+    if (!backend->executable())
+      throw Error("difftest: backend '" + opts.backend +
+                  "' does not produce an executable source");
+    const arch::GpuSpec& gpu = arch::gpu(opts.gpu);
+    const codegen::LoweredWorkload lowered =
+        backend->lower(wl, gpu, opts.params);
+    const std::string source = backend->emit_source(lowered, wl);
+
+    const WorkDir dir(opts.work_dir, opts.keep_artifacts);
+    const fs::path src = dir.path() / (wl.name + ".cpp");
+    const fs::path bin = dir.path() / wl.name;
+    const fs::path log = dir.path() / "log.txt";
+    {
+      std::ofstream out(src);
+      out << source;
+      if (!out) throw Error("difftest: cannot write " + src.string());
+    }
+    std::string build_output;
+    const std::string compile = host_compiler(opts) + " -O1 -o '" +
+                                bin.string() + "' '" + src.string() + "'";
+    if (run_captured(compile, log, &build_output) != 0)
+      throw Error("difftest: host compile failed: " + compile + "\n" +
+                  build_output);
+
+    for (const LaunchShape& shape : opts.shapes) {
+      ShapeReport sr;
+      sr.shape = shape;
+      codegen::TuningParams at = opts.params;
+      at.threads_per_block = shape.threads_per_block;
+      at.block_count = shape.block_count;
+      std::string run_output;
+      const std::string run = "'" + bin.string() + "' " +
+                              std::to_string(shape.threads_per_block) +
+                              " " + std::to_string(shape.block_count);
+      if (run_captured(run, log, &run_output) != 0) {
+        sr.error = "reference run failed: " + run + "\n" + run_output;
+      } else {
+        try {
+          const CountMap counts = parse_counts(run_output);
+          for (std::size_t i = 0; i < lowered.stages.size(); ++i) {
+            std::vector<BlockCheck> checks =
+                check_stage(lowered.stages[i], i, at, counts,
+                            opts.divergence_tolerance);
+            sr.checks.insert(sr.checks.end(),
+                             std::make_move_iterator(checks.begin()),
+                             std::make_move_iterator(checks.end()));
+          }
+        } catch (const Error& e) {
+          sr.error = e.what();
+        }
+      }
+      report.shapes.push_back(std::move(sr));
+    }
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+}  // namespace gpustatic::difftest

@@ -1,0 +1,127 @@
+#pragma once
+
+// Differential count testing: run a workload through an *executable*
+// codegen backend (the scalar-C reference, "cref") on the host and
+// compare the dynamically counted per-block executions against the
+// static BlockFreqModel the analytic engine trusts. The lowered IR is
+// shared between the simulator and the reference program, so a mismatch
+// means the static frequency model is wrong for that block — the class
+// of bug no amount of simulator-vs-simulator testing can catch.
+//
+// Protocol per kernel:
+//   1. lower once (the C source is launch-shape independent),
+//   2. emit_source + compile with the host toolchain once,
+//   3. execute once per launch shape; the program prints one
+//      "<stage> <block> <count>" line per basic block,
+//   4. per block, evaluate the freq model at that shape's total thread
+//      count and compare: blocks whose model is exact (loop trips,
+//      grid-stride bases) must match to the integer; blocks carrying a
+//      branch-probability factor (BlockFreqModel::exact == false, e.g.
+//      the divergent kernel's then/else arms) are gated by a relative
+//      tolerance instead — those frequencies are estimates by design.
+//
+// The comparison step is exposed separately (check_stage) so tests can
+// exercise mismatch detection without compiling anything.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
+#include "dsl/ast.hpp"
+
+namespace gpustatic::difftest {
+
+/// One launch geometry to execute and diff.
+struct LaunchShape {
+  int threads_per_block = 128;
+  int block_count = 2;
+};
+
+/// The sampled shapes every kernel is diffed over: mixed powers of two
+/// and deliberately ragged sizes (non-multiples of the warp width, odd
+/// block counts) so under- and over-subscribed grids are both covered.
+[[nodiscard]] std::vector<LaunchShape> default_shapes();
+
+struct Options {
+  /// Backend to execute (must report executable()).
+  std::string backend = "cref";
+  std::string gpu = "K20";
+  /// Codegen-affecting knobs (unroll, stream chunk, fast-math); the
+  /// launch shape fields are overridden per sampled shape.
+  codegen::TuningParams params;
+  std::vector<LaunchShape> shapes = default_shapes();
+  /// Relative tolerance for blocks whose frequency model is inexact
+  /// (carries a branch-probability factor).
+  double divergence_tolerance = 0.05;
+  /// Host C++ compiler. Empty = $GPUSTATIC_HOST_CXX, falling back to
+  /// the compiler this library was built with, then "c++".
+  std::string host_cxx;
+  /// Scratch directory for emitted sources/binaries; empty = a fresh
+  /// directory under the system temp path, removed unless
+  /// keep_artifacts is set.
+  std::string work_dir;
+  bool keep_artifacts = false;
+};
+
+/// Executed counters: (stage index, block index) -> dynamic count.
+using CountMap = std::map<std::pair<std::size_t, std::size_t>, long long>;
+
+/// One block's expected-vs-executed comparison.
+struct BlockCheck {
+  std::size_t stage = 0;
+  std::size_t block = 0;
+  std::string label;          ///< basic-block label in the lowered kernel
+  double expected = 0;        ///< freq model × total threads
+  long long executed = 0;     ///< the reference program's counter
+  bool exact = true;          ///< integer equality vs tolerance gate
+  double deviation = 0;       ///< |expected - executed| (abs)
+  bool ok = false;
+};
+
+struct ShapeReport {
+  LaunchShape shape;
+  std::vector<BlockCheck> checks;
+  std::string error;  ///< run/parse failure; checks empty when set
+  [[nodiscard]] bool ok() const;
+};
+
+struct KernelReport {
+  std::string kernel;
+  std::string backend;
+  std::string error;  ///< lower/emit/compile failure; shapes empty
+  std::vector<ShapeReport> shapes;
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t blocks_checked() const;
+  /// Largest |expected - executed| over every exact block checked (the
+  /// bench's headline number; 0.0 when the model is count-perfect).
+  [[nodiscard]] double max_exact_deviation() const;
+  /// One line per failing check (empty when ok) — the loud part of
+  /// "fails loudly".
+  [[nodiscard]] std::string failure_summary() const;
+};
+
+/// Compare one lowered stage's frequency model against executed
+/// counters at the given launch shape. Pure — no compilation, no I/O —
+/// so tests can feed perturbed counters and assert mismatches are
+/// caught. `params` must already carry the shape's TC/BC.
+[[nodiscard]] std::vector<BlockCheck> check_stage(
+    const codegen::LoweredStage& stage, std::size_t stage_index,
+    const codegen::TuningParams& params, const CountMap& executed,
+    double divergence_tolerance);
+
+/// Parse the reference program's stdout ("<stage> <block> <count>" per
+/// line) into a CountMap. Throws Error on malformed lines.
+[[nodiscard]] CountMap parse_counts(const std::string& text);
+
+/// Full differential run for one workload: lower, emit, host-compile
+/// once, execute per shape, check every block. Failures are reported in
+/// the result, not thrown (a build error on one kernel should not hide
+/// the others in a suite).
+[[nodiscard]] KernelReport diff_kernel(const dsl::WorkloadDesc& wl,
+                                       const Options& opts = {});
+
+}  // namespace gpustatic::difftest

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "codegen/backend.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "tuner/search.hpp"
@@ -290,6 +291,16 @@ WireRequest parse_request(std::string_view line) {
                              "' (want warp|analytic)",
                          1);
       }
+    } else if (key == "backend") {
+      const std::string& name = string_of(key, value);
+      if (!codegen::BackendRegistry::instance().contains(name))
+        throw ParseError(
+            "wire request: unknown backend '" + name + "' (want " +
+                str::join(codegen::BackendRegistry::instance().names(),
+                          "|") +
+                ")",
+            1);
+      req.tune.run.backend = name;
     } else if (key == "store_read") {
       req.tune.store.read = bool_of(key, value);
     } else if (key == "store_write") {
@@ -318,6 +329,7 @@ std::string render_request(const WireRequest& request) {
             static_cast<std::uint64_t>(t.hybrid.empirical_budget));
     w.field("engine",
             t.run.engine == sim::Engine::Warp ? "warp" : "analytic");
+    w.field("backend", t.run.backend);
     w.field("store_read", t.store.read);
     w.field("store_write", t.store.write);
   }

@@ -198,6 +198,15 @@ std::string Server::handle_stats(const WireRequest& request) {
   w.field("model_loaded", model.loaded);
   w.field("model_version", static_cast<std::int64_t>(model.version));
   w.field("model_records", model.records);
+  // Per-backend compile-cache counters; every registered backend gets a
+  // field pair (zeros when unused), same stable-field-set contract as
+  // the model fields above.
+  for (const auto& [name, cache] : service_.cache_stats()) {
+    w.field("cache_" + name + "_hits",
+            static_cast<std::uint64_t>(cache.hits));
+    w.field("cache_" + name + "_misses",
+            static_cast<std::uint64_t>(cache.misses));
+  }
   return w.str();
 }
 

@@ -38,13 +38,20 @@ class SimContext::ScratchLease {
 SimContext::SimContext(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
                        RunOptions opts)
     : cache_(std::make_shared<codegen::CompilationCache>(std::move(workload),
-                                                         gpu)),
-      opts_(opts) {}
+                                                         gpu, opts.backend)),
+      opts_(std::move(opts)) {}
 
 SimContext::SimContext(std::shared_ptr<codegen::CompilationCache> cache,
                        RunOptions opts)
-    : cache_(std::move(cache)), opts_(opts) {
+    : cache_(std::move(cache)), opts_(std::move(opts)) {
   if (!cache_) throw Error("SimContext: null compilation cache");
+  // A shared cache lowers through its own bound backend; a context
+  // asking for a different one would silently measure the wrong
+  // lowering, so the mismatch is an error here, not a surprise later.
+  if (cache_->backend_name() != opts_.backend)
+    throw Error("SimContext: run options name backend '" + opts_.backend +
+                "' but the shared compilation cache is bound to '" +
+                cache_->backend_name() + "'");
 }
 
 std::shared_ptr<SimContext::Plan> SimContext::plan_for(

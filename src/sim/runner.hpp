@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/backend.hpp"
 #include "codegen/compiler.hpp"
 #include "dsl/ast.hpp"
 #include "sim/analytic.hpp"
@@ -50,6 +51,9 @@ struct RunOptions {
   int report_trial = 5;        ///< 1-based index into sorted times
   double noise_stddev = 0.015; ///< relative measurement noise
   std::uint64_t seed = 42;     ///< noise seed (per-variant salt mixed in)
+  /// Codegen backend (BackendRegistry name) the evaluation pipeline
+  /// lowers through; SimContext keys its CompilationCache on it.
+  std::string backend = codegen::kDefaultBackend;
 };
 
 /// Apply the paper's measurement protocol to a Measurement whose

@@ -436,3 +436,49 @@ TEST(CliExitCodes, UsageErrorIsAnErrorSubclassForCompatibility) {
   EXPECT_THROW((void)cli::parse_args({"frobnicate", "--x"}), Error);
   EXPECT_THROW((void)cli::parse_args({}), cli::UsageError);
 }
+
+// ---- codegen backend selection ---------------------------------------------
+
+TEST(CliParse, BackendFlagParsesAndDefaultsToPtx) {
+  EXPECT_EQ(parse({"disasm", "atax"}).backend, "ptx");
+  EXPECT_EQ(parse({"disasm", "atax", "--backend", "cref"}).backend, "cref");
+}
+
+TEST(CliRun, UnknownBackendIsAUsageErrorEnumeratingBackends) {
+  for (auto args : {std::vector<std::string>{"disasm", "atax",
+                                             "--backend", "nvvm"},
+                    std::vector<std::string>{"tune", "atax",
+                                             "--backend", "nvvm"}}) {
+    std::ostringstream out;
+    try {
+      (void)cli::run_command(cli::parse_args(args), out);
+      FAIL() << "expected UsageError";
+    } catch (const cli::UsageError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("nvvm"), std::string::npos);
+      EXPECT_NE(what.find("ptx"), std::string::npos);
+      EXPECT_NE(what.find("cref"), std::string::npos);
+    }
+  }
+}
+
+TEST(CliRun, DisasmDefaultAndExplicitPtxAreByteIdentical) {
+  const std::string def = run({"disasm", "atax", "-n", "64"});
+  const std::string ptx =
+      run({"disasm", "atax", "-n", "64", "--backend", "ptx"});
+  EXPECT_EQ(def, ptx);
+  EXPECT_NE(def.find(".kernel"), std::string::npos);
+}
+
+TEST(CliRun, DisasmCRefEmitsAnInstrumentedCProgram) {
+  const std::string source =
+      run({"disasm", "atax", "-n", "64", "--backend", "cref"});
+  EXPECT_NE(source.find("int main("), std::string::npos);
+  EXPECT_NE(source.find("cnt_0"), std::string::npos);
+}
+
+TEST(CliRun, UsageListsRegisteredBackends) {
+  const std::string text = cli::usage();
+  EXPECT_NE(text.find("--backend"), std::string::npos);
+  EXPECT_NE(text.find("cref|ptx"), std::string::npos);
+}

@@ -1,0 +1,189 @@
+#include "codegen/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/cache.hpp"
+#include "codegen/compiler.hpp"
+#include "codegen/cref.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "ptx/printer.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace kernels = gpustatic::kernels;
+namespace ptx = gpustatic::ptx;
+using gpustatic::Error;
+
+namespace {
+
+/// A backend that always fails to lower — the probe for per-backend
+/// failure memoization in the cache.
+class FailingBackend : public codegen::Backend {
+ public:
+  [[nodiscard]] std::string name() const override { return "failing"; }
+  [[nodiscard]] codegen::LoweredWorkload lower(
+      const gpustatic::dsl::WorkloadDesc&, const arch::GpuSpec&,
+      const codegen::TuningParams&) const override {
+    throw Error("failing backend: lower always fails");
+  }
+  [[nodiscard]] std::string emit_source(
+      const codegen::LoweredWorkload&,
+      const gpustatic::dsl::WorkloadDesc&) const override {
+    return "";
+  }
+};
+
+/// Registers "failing" into the global registry once for this process
+/// (the registry has no unregister; tests share the instance).
+void ensure_failing_backend() {
+  codegen::BackendRegistry& reg = codegen::BackendRegistry::instance();
+  if (!reg.contains("failing"))
+    reg.register_backend(std::make_shared<FailingBackend>());
+}
+
+}  // namespace
+
+TEST(BackendRegistry, BuiltinsAreRegistered) {
+  codegen::BackendRegistry& reg = codegen::BackendRegistry::instance();
+  EXPECT_TRUE(reg.contains("ptx"));
+  EXPECT_TRUE(reg.contains("cref"));
+  EXPECT_EQ(reg.get("ptx")->name(), "ptx");
+  EXPECT_EQ(reg.get("cref")->name(), "cref");
+  EXPECT_FALSE(reg.get("ptx")->executable());
+  EXPECT_TRUE(reg.get("cref")->executable());
+}
+
+TEST(BackendRegistry, UnknownNameEnumeratesRegisteredBackends) {
+  try {
+    (void)codegen::BackendRegistry::instance().get("no-such-backend");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(what.find("ptx"), std::string::npos);
+    EXPECT_NE(what.find("cref"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, DuplicateAndNullRegistrationsThrow) {
+  codegen::BackendRegistry reg;
+  codegen::register_builtin_backends(reg);
+  EXPECT_THROW(reg.register_backend(nullptr), Error);
+  EXPECT_THROW(
+      reg.register_backend(std::make_shared<codegen::PtxBackend>()), Error);
+}
+
+TEST(PtxBackend, LowerIsByteIdenticalToCompiler) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  codegen::TuningParams p;
+  p.unroll = 2;
+
+  const codegen::Compiler compiler(gpu, p);
+  const codegen::LoweredWorkload direct = compiler.compile(wl);
+  const codegen::LoweredWorkload seamed =
+      codegen::BackendRegistry::instance().get("ptx")->lower(wl, gpu, p);
+
+  ASSERT_EQ(seamed.stages.size(), direct.stages.size());
+  for (std::size_t i = 0; i < direct.stages.size(); ++i) {
+    EXPECT_EQ(ptx::to_string(seamed.stages[i].kernel),
+              ptx::to_string(direct.stages[i].kernel));
+    EXPECT_EQ(seamed.stages[i].block_freq, direct.stages[i].block_freq);
+  }
+}
+
+TEST(PtxBackend, EmitSourceMatchesDisasmFormat) {
+  const auto wl = kernels::make_workload("bicg", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const codegen::TuningParams p;
+  const auto backend = codegen::BackendRegistry::instance().get("ptx");
+  const codegen::LoweredWorkload lowered = backend->lower(wl, gpu, p);
+
+  std::string expected;
+  for (const codegen::LoweredStage& st : lowered.stages) {
+    expected += "// " + codegen::compile_info(st) + "\n";
+    expected += ptx::to_string(st.kernel) + "\n";
+  }
+  EXPECT_EQ(backend->emit_source(lowered, wl), expected);
+}
+
+TEST(CRefBackend, LowersIdenticallyToPtx) {
+  // The reference backend deliberately shares the mid-level lowering:
+  // the difftest pins the exact static model the simulator consumes.
+  const auto wl = kernels::make_workload("divergent", 256);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const codegen::TuningParams p;
+  const auto& reg = codegen::BackendRegistry::instance();
+  const codegen::LoweredWorkload a = reg.get("ptx")->lower(wl, gpu, p);
+  const codegen::LoweredWorkload b = reg.get("cref")->lower(wl, gpu, p);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(ptx::to_string(a.stages[i].kernel),
+              ptx::to_string(b.stages[i].kernel));
+    EXPECT_EQ(a.stages[i].block_freq, b.stages[i].block_freq);
+  }
+}
+
+TEST(CRefBackend, EmitsSelfContainedCProgram) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  const codegen::TuningParams p;
+  const auto backend = codegen::BackendRegistry::instance().get("cref");
+  const std::string source =
+      backend->emit_source(backend->lower(wl, gpu, p), wl);
+  EXPECT_NE(source.find("int main("), std::string::npos);
+  EXPECT_NE(source.find("static float buf_A["), std::string::npos);
+  EXPECT_NE(source.find("cnt_0"), std::string::npos);
+  // Counter printing: one "<stage> <block> <count>" line per block.
+  EXPECT_NE(source.find("%d %zu %lld"), std::string::npos);
+}
+
+TEST(CompilationCache, UnknownBackendFailsAtConstruction) {
+  EXPECT_THROW(codegen::CompilationCache(kernels::make_workload("atax", 64),
+                                         arch::gpu("K20"), "no-such"),
+               Error);
+}
+
+TEST(CompilationCache, KeysEntriesAndStatsPerBackend) {
+  codegen::CompilationCache cache(kernels::make_workload("atax", 64),
+                                  arch::gpu("K20"));
+  const codegen::TuningParams p;
+  (void)cache.lower(p);            // ptx miss
+  (void)cache.lower(p);            // ptx hit
+  (void)cache.lower_as("cref", p); // cref miss: distinct entry
+  (void)cache.lower_as("cref", p); // cref hit
+  (void)cache.lower_as("ptx", p);  // routes to the bound entry: hit
+
+  const auto by_backend = cache.stats_by_backend();
+  ASSERT_TRUE(by_backend.contains("ptx"));
+  ASSERT_TRUE(by_backend.contains("cref"));
+  EXPECT_EQ(by_backend.at("ptx").misses, 1u);
+  EXPECT_EQ(by_backend.at("ptx").hits, 2u);
+  EXPECT_EQ(by_backend.at("cref").misses, 1u);
+  EXPECT_EQ(by_backend.at("cref").hits, 1u);
+  EXPECT_EQ(cache.stats().misses, by_backend.at("ptx").misses);
+  EXPECT_EQ(cache.backend_name(), "ptx");
+}
+
+TEST(CompilationCache, MemoizedFailuresAreScopedToTheirBackend) {
+  // A failure under one backend must not poison the same CodegenKey
+  // under another: the memo key carries the backend id.
+  ensure_failing_backend();
+  codegen::CompilationCache cache(kernels::make_workload("atax", 64),
+                                  arch::gpu("K20"));
+  const codegen::TuningParams p;
+  EXPECT_THROW((void)cache.lower_as("failing", p), Error);
+  EXPECT_THROW((void)cache.lower_as("failing", p), Error);  // memoized
+  EXPECT_NO_THROW((void)cache.lower(p));  // ptx entry is untouched
+  EXPECT_NO_THROW((void)cache.lower_as("cref", p));
+
+  const auto by_backend = cache.stats_by_backend();
+  // Both throws consult the same memoized entry: one miss, one hit.
+  EXPECT_EQ(by_backend.at("failing").misses, 1u);
+  EXPECT_EQ(by_backend.at("failing").hits, 1u);
+}

@@ -1,0 +1,206 @@
+#include "difftest/difftest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "codegen/backend.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+
+namespace arch = gpustatic::arch;
+namespace codegen = gpustatic::codegen;
+namespace difftest = gpustatic::difftest;
+namespace kernels = gpustatic::kernels;
+using gpustatic::Error;
+
+namespace {
+
+/// Problem sizes kept modest so nine kernels × eight shapes × a host
+/// compile each stay well inside the suite timeout.
+std::int64_t difftest_size(const std::string& kernel) {
+  if (kernel == "ex14fj") return 8;
+  if (kernel == "matvec2d") return 128;
+  if (kernel == "jacobi2d") return 32;
+  if (kernel == "divergent") return 256;
+  return 64;
+}
+
+std::vector<std::string> all_kernel_names() {
+  std::vector<std::string> names;
+  for (const kernels::KernelInfo& k : kernels::all_kernels())
+    names.emplace_back(k.name);
+  for (const kernels::KernelInfo& k : kernels::extended_kernels())
+    names.emplace_back(k.name);
+  return names;
+}
+
+/// Synthesize the counters a perfectly model-conforming execution would
+/// print (exact blocks exactly, estimated blocks rounded).
+difftest::CountMap conforming_counts(const codegen::LoweredWorkload& lw,
+                                     const codegen::TuningParams& p) {
+  const double tt = static_cast<double>(p.threads_per_block) *
+                    static_cast<double>(p.block_count);
+  difftest::CountMap counts;
+  for (std::size_t s = 0; s < lw.stages.size(); ++s)
+    for (std::size_t b = 0; b < lw.stages[s].freq_model.size(); ++b)
+      counts[{s, b}] = static_cast<long long>(
+          std::llround(lw.stages[s].freq_model[b].at(tt) * tt));
+  return counts;
+}
+
+}  // namespace
+
+TEST(DiffTest, ParseCountsReadsStageBlockCountLines) {
+  const difftest::CountMap counts =
+      difftest::parse_counts("0 0 256\n0 1 64\n\n1 2 4096\n");
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.at({0, 0}), 256);
+  EXPECT_EQ(counts.at({0, 1}), 64);
+  EXPECT_EQ(counts.at({1, 2}), 4096);
+}
+
+TEST(DiffTest, ParseCountsRejectsMalformedLines) {
+  EXPECT_THROW((void)difftest::parse_counts("0 zero 12\n"), Error);
+  EXPECT_THROW((void)difftest::parse_counts("garbage\n"), Error);
+}
+
+TEST(DiffTest, CheckStagePassesConformingCounters) {
+  const auto wl = kernels::make_workload("atax", 64);
+  codegen::TuningParams p;
+  p.threads_per_block = 96;
+  p.block_count = 3;
+  const codegen::LoweredWorkload lw =
+      codegen::Compiler(arch::gpu("K20"), p).compile(wl);
+  const difftest::CountMap counts = conforming_counts(lw, p);
+  for (std::size_t s = 0; s < lw.stages.size(); ++s)
+    for (const difftest::BlockCheck& c :
+         difftest::check_stage(lw.stages[s], s, p, counts, 0.05))
+      EXPECT_TRUE(c.ok) << "stage " << s << " block " << c.block;
+}
+
+TEST(DiffTest, CheckStageCatchesAnOffByOneOnAnExactBlock) {
+  const auto wl = kernels::make_workload("atax", 64);
+  codegen::TuningParams p;
+  p.threads_per_block = 128;
+  p.block_count = 2;
+  const codegen::LoweredWorkload lw =
+      codegen::Compiler(arch::gpu("K20"), p).compile(wl);
+  difftest::CountMap counts = conforming_counts(lw, p);
+  counts[{0, 0}] += 1;  // perturb one exact counter by a single count
+  const std::vector<difftest::BlockCheck> checks =
+      difftest::check_stage(lw.stages[0], 0, p, counts, 0.05);
+  ASSERT_FALSE(checks.empty());
+  EXPECT_TRUE(checks[0].exact);
+  EXPECT_FALSE(checks[0].ok);
+}
+
+TEST(DiffTest, CheckStageFlagsMissingCounters) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const codegen::TuningParams p;
+  const codegen::LoweredWorkload lw =
+      codegen::Compiler(arch::gpu("K20"), p).compile(wl);
+  const std::vector<difftest::BlockCheck> checks =
+      difftest::check_stage(lw.stages[0], 0, p, {}, 0.05);
+  for (const difftest::BlockCheck& c : checks) {
+    EXPECT_FALSE(c.ok);
+    EXPECT_EQ(c.executed, -1);
+  }
+}
+
+TEST(DiffTest, CheckStageGatesEstimatedBlocksByTolerance) {
+  // The divergent kernel's then/else arms carry branch-probability
+  // factors; their models must be flagged inexact and judged by the
+  // relative gate, not integer equality.
+  const auto wl = kernels::make_workload("divergent", 256);
+  const codegen::TuningParams p;
+  const codegen::LoweredWorkload lw =
+      codegen::Compiler(arch::gpu("K20"), p).compile(wl);
+  std::size_t estimated = 0;
+  for (const codegen::LoweredStage& st : lw.stages)
+    for (const codegen::BlockFreqModel& m : st.freq_model)
+      if (!m.exact) ++estimated;
+  ASSERT_GT(estimated, 0u) << "divergent kernel should have inexact blocks";
+
+  // A 3% deviation on an estimated block passes at the default 5% gate
+  // and fails at a 1% gate.
+  difftest::CountMap counts = conforming_counts(lw, p);
+  for (std::size_t s = 0; s < lw.stages.size(); ++s)
+    for (std::size_t b = 0; b < lw.stages[s].freq_model.size(); ++b)
+      if (!lw.stages[s].freq_model[b].exact)
+        counts[{s, b}] = static_cast<long long>(
+            std::llround(static_cast<double>(counts.at({s, b})) * 1.03));
+  for (std::size_t s = 0; s < lw.stages.size(); ++s) {
+    for (const difftest::BlockCheck& c :
+         difftest::check_stage(lw.stages[s], s, p, counts, 0.05))
+      EXPECT_TRUE(c.ok);
+    for (const difftest::BlockCheck& c :
+         difftest::check_stage(lw.stages[s], s, p, counts, 0.01))
+      if (!c.exact && c.expected > 100) EXPECT_FALSE(c.ok);
+  }
+}
+
+TEST(DiffTest, DefaultShapesAreDiverseAndRagged) {
+  const std::vector<difftest::LaunchShape> shapes =
+      difftest::default_shapes();
+  ASSERT_GE(shapes.size(), 8u);
+  bool has_ragged_tc = false, has_odd_bc = false;
+  for (const difftest::LaunchShape& s : shapes) {
+    EXPECT_GT(s.threads_per_block, 0);
+    EXPECT_GT(s.block_count, 0);
+    if (s.threads_per_block % 32 != 0) has_ragged_tc = true;
+    if (s.block_count % 2 == 1) has_odd_bc = true;
+  }
+  EXPECT_TRUE(has_ragged_tc);
+  EXPECT_TRUE(has_odd_bc);
+}
+
+TEST(DiffTest, DiffKernelReportsUnknownBackendInBand) {
+  const difftest::Options opts{.backend = "no-such-backend"};
+  const difftest::KernelReport report =
+      difftest::diff_kernel(kernels::make_workload("atax", 64), opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("no-such-backend"), std::string::npos);
+  EXPECT_FALSE(report.failure_summary().empty());
+}
+
+TEST(DiffTest, DiffKernelRejectsNonExecutableBackends) {
+  const difftest::Options opts{.backend = "ptx"};
+  const difftest::KernelReport report =
+      difftest::diff_kernel(kernels::make_workload("atax", 64), opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("executable"), std::string::npos);
+}
+
+// The tentpole acceptance test: for every kernel in the library, the
+// executed per-block counters of the scalar-C reference match the
+// static frequency model across all sampled launch shapes.
+TEST(DiffTest, EveryKernelMatchesAcrossAllSampledShapes) {
+  for (const std::string& name : all_kernel_names()) {
+    const difftest::Options opts;
+    const difftest::KernelReport report = difftest::diff_kernel(
+        kernels::make_workload(name, difftest_size(name)), opts);
+    EXPECT_TRUE(report.ok()) << report.failure_summary();
+    EXPECT_EQ(report.shapes.size(), difftest::default_shapes().size());
+    EXPECT_GT(report.blocks_checked(), 0u) << name;
+    EXPECT_LE(report.max_exact_deviation(), 0.5) << name;
+  }
+}
+
+// Codegen-affecting knobs reshape the CFG (unrolled copies, remainder
+// loops, streaming); the counters must still match exactly.
+TEST(DiffTest, UnrolledAndStreamedVariantsMatch) {
+  difftest::Options opts;
+  opts.params.unroll = 2;
+  opts.params.stream_chunk = 2;
+  opts.params.fast_math = true;
+  const difftest::KernelReport report =
+      difftest::diff_kernel(kernels::make_workload("atax", 64), opts);
+  EXPECT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_LE(report.max_exact_deviation(), 0.5);
+}

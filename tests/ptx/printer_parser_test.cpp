@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "arch/gpu_spec.hpp"
+#include "codegen/compiler.hpp"
 #include "common/error.hpp"
+#include "kernels/kernels.hpp"
 #include "ptx/parser.hpp"
 #include "ptx/printer.hpp"
 #include "test_kernels.hpp"
@@ -216,4 +219,43 @@ entry:
 }
 )");
   EXPECT_EQ(k.smem_static_bytes, 2048u);
+}
+
+// Golden round-trip over the real kernel library: every compiled stage
+// of every registry kernel (paper + extended suites) must survive
+// print -> parse -> print byte-identically, under the default variant
+// and a codegen-stressing one (unrolled, streamed, fast-math).
+TEST(PrinterParser, EveryLibraryKernelRoundTripsByteIdentically) {
+  namespace arch = gpustatic::arch;
+  namespace codegen = gpustatic::codegen;
+  namespace kernels = gpustatic::kernels;
+
+  std::vector<std::string> names;
+  for (const kernels::KernelInfo& k : kernels::all_kernels())
+    names.emplace_back(k.name);
+  for (const kernels::KernelInfo& k : kernels::extended_kernels())
+    names.emplace_back(k.name);
+  ASSERT_FALSE(names.empty());
+
+  codegen::TuningParams stressed;
+  stressed.unroll = 2;
+  stressed.stream_chunk = 2;
+  stressed.fast_math = true;
+
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  for (const std::string& name : names) {
+    const auto wl = kernels::make_workload(name, 64);
+    for (const codegen::TuningParams& p :
+         {codegen::TuningParams{}, stressed}) {
+      const codegen::LoweredWorkload lw =
+          codegen::Compiler(gpu, p).compile(wl);
+      for (const codegen::LoweredStage& st : lw.stages) {
+        const std::string text = to_string(st.kernel);
+        const Kernel parsed = parse_kernel(text);
+        EXPECT_EQ(to_string(parsed), text)
+            << name << " stage '" << st.kernel.name << "' variant "
+            << p.to_string();
+      }
+    }
+  }
 }

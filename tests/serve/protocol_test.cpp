@@ -295,3 +295,35 @@ TEST(WireResponse, ShedAndErrorResponsesEchoTheRequestId) {
   EXPECT_EQ(err.at("status").string, "error");
   EXPECT_EQ(err.count("id"), 0u);  // no id when the line never parsed
 }
+
+TEST(WireRequestParse, BackendFieldSelectsTheCodegenBackend) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","backend":"cref"})");
+  EXPECT_EQ(req.tune.run.backend, "cref");
+  // Unset means the default backend, same as the CLI.
+  const WireRequest plain =
+      serve::parse_request(R"({"op":"tune","kernel":"atax"})");
+  EXPECT_EQ(plain.tune.run.backend, "ptx");
+}
+
+TEST(WireRequestParse, UnknownBackendErrorNamesRegisteredBackends) {
+  try {
+    (void)serve::parse_request(
+        R"({"op":"tune","kernel":"atax","backend":"nvvm"})");
+    FAIL() << "expected ParseError";
+  } catch (const gpustatic::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nvvm"), std::string::npos);
+    EXPECT_NE(what.find("ptx"), std::string::npos);
+    EXPECT_NE(what.find("cref"), std::string::npos);
+  }
+}
+
+TEST(WireRequestRoundTrip, BackendSurvivesRenderAndReparse) {
+  WireRequest req;
+  req.op = "tune";
+  req.tune.kernel = "atax";
+  req.tune.run.backend = "cref";
+  const WireRequest back = serve::parse_request(serve::render_request(req));
+  EXPECT_EQ(back.tune.run.backend, "cref");
+}

@@ -380,3 +380,39 @@ TEST(Server, TcpServesConcurrentClientsAndStopsCleanly) {
   // searches the single-flight let through; all clients got answers.
   EXPECT_GE(server.service().stats().requests, 3u);
 }
+
+TEST(Server, StatsCarryPerBackendCompileCacheCounters) {
+  Server server(in_memory_options());
+  // Before any tune: every registered backend reports zeroed counters
+  // (the stable-field-set contract).
+  JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  ASSERT_EQ(stats.count("cache_ptx_hits"), 1u);
+  ASSERT_EQ(stats.count("cache_ptx_misses"), 1u);
+  ASSERT_EQ(stats.count("cache_cref_hits"), 1u);
+  ASSERT_EQ(stats.count("cache_cref_misses"), 1u);
+  EXPECT_DOUBLE_EQ(stats.at("cache_ptx_misses").number, 0);
+
+  // One tune compiles through the ptx backend; the counters move.
+  const JsonObject tune = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","n":64,"method":"rule"})"));
+  ASSERT_EQ(tune.at("status").string, "ok");
+  stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_GT(stats.at("cache_ptx_misses").number, 0);
+  EXPECT_DOUBLE_EQ(stats.at("cache_cref_misses").number, 0);
+}
+
+TEST(Server, UnknownBackendFieldAnswersInBandError) {
+  Server server(in_memory_options());
+  const JsonObject resp = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","backend":"nvvm"})"));
+  EXPECT_EQ(resp.at("status").string, "error");
+  EXPECT_NE(resp.at("error").string.find("nvvm"), std::string::npos);
+  EXPECT_NE(resp.at("error").string.find("ptx"), std::string::npos);
+  EXPECT_NE(resp.at("error").string.find("cref"), std::string::npos);
+  // Still serving afterwards.
+  const JsonObject ping = serve::parse_json_object(
+      server.handle_line(R"({"op":"ping","id":3})"));
+  EXPECT_EQ(ping.at("status").string, "ok");
+}

@@ -158,3 +158,60 @@ TEST(SimContext, MachineModelsMemoizedPerL1Preference) {
   EXPECT_EQ(after.misses, before.misses);
   EXPECT_EQ(after.hits, before.hits + 1);
 }
+
+TEST(SimContext, NonDefaultBackendMatchesFreshCompilePath) {
+  // The cref backend shares the PTX mid-level lowering by design, so a
+  // context bound to it must measure bit-identically to a fresh
+  // Compiler run — the seam itself adds nothing to the numbers.
+  const auto wl = kernels::make_workload("bicg", 128);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  sim::RunOptions opts;
+  opts.backend = "cref";
+  sim::SimContext ctx(wl, gpu, opts);
+  for (const codegen::TuningParams& p : sample_points(23))
+    expect_identical(ctx.measure(p), fresh_measure(wl, gpu, p, opts));
+}
+
+TEST(SimContext, LaunchShapeSweepsNeverRecompilePerBackend) {
+  const auto wl = kernels::make_workload("atax", 128);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  sim::RunOptions opts;
+  opts.backend = "cref";
+  sim::SimContext ctx(wl, gpu, opts);
+
+  codegen::TuningParams p;
+  std::size_t lookups = 0;
+  for (const int tc : {32, 96, 128, 256})
+    for (const int bc : {14, 56, 112}) {
+      p.threads_per_block = tc;
+      p.block_count = bc;
+      (void)ctx.measure(p);
+      ++lookups;
+    }
+  const auto stats = ctx.compilation_cache().stats_by_backend();
+  ASSERT_TRUE(stats.contains("cref"));
+  EXPECT_EQ(stats.at("cref").misses, 1u);
+  EXPECT_EQ(stats.at("cref").hits, lookups - 1);
+  // Nothing leaked into other backends' entries.
+  for (const auto& [name, s] : stats)
+    if (name != "cref") EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(SimContext, UnknownBackendFailsAtConstruction) {
+  sim::RunOptions opts;
+  opts.backend = "no-such-backend";
+  EXPECT_THROW(sim::SimContext(kernels::make_workload("atax", 64),
+                               arch::gpu("K20"), opts),
+               gpustatic::Error);
+}
+
+TEST(SimContext, SharedCacheBackendMismatchThrows) {
+  const auto wl = kernels::make_workload("atax", 64);
+  const arch::GpuSpec& gpu = arch::gpu("K20");
+  auto cache = std::make_shared<codegen::CompilationCache>(wl, gpu, "ptx");
+  sim::RunOptions opts;
+  opts.backend = "cref";
+  EXPECT_THROW(sim::SimContext(cache, opts), gpustatic::Error);
+  opts.backend = "ptx";
+  EXPECT_NO_THROW(sim::SimContext(cache, opts));
+}

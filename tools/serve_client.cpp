@@ -74,7 +74,7 @@ ClientOptions parse_options(int argc, char** argv) {
 }
 
 /// One request line over one fresh connection; empty string on failure.
-std::string exchange(int port, const std::string& line) {
+std::string round_trip(int port, const std::string& line) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return "";
   sockaddr_in addr{};
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
     for (int c = 0; c < opts.clients; ++c)
       workers.emplace_back([&, c] {
         responses[static_cast<std::size_t>(c)] =
-            exchange(opts.port, tune_line(opts, c));
+            round_trip(opts.port, tune_line(opts, c));
       });
     for (std::thread& t : workers) t.join();
 
@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string stats = exchange(opts.port, R"({"op":"stats"})");
+  const std::string stats = round_trip(opts.port, R"({"op":"stats"})");
   if (!stats.empty()) std::printf("stats: %s\n", stats.c_str());
 
   if (failures > 0) {
