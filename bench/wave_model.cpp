@@ -1,0 +1,301 @@
+// Wave-model validation gate: analytic classic vs wave mode against the
+// warp simulator on launch shapes straddling wave boundaries. Each
+// curated shape is either wave-aligned (the last wave is full on the
+// busiest SM) or tail-heavy (a partial tail wave); shapes are chosen so
+// the warp simulator stays cheap even at multi-wave scale (low TC drops
+// residency, so oversubscription starts at a few thousand threads).
+//
+// Gates (the bench is itself a CI gate, like bench_difftest):
+//   1. On every wave-aligned shape the two modes must agree exactly —
+//      wave mode may never regress the classic Eq. 6 prediction.
+//   2. Per kernel, pooled over architectures, the wave-mode relative
+//      MAE on tail-heavy shapes must be strictly below classic's.
+//
+//   bench_wave_model [--kernels a,b,c] [--json PATH]
+//
+// Subsampled mode covers M2050 + K20; GPUSTATIC_FULL=1 adds the M40 and
+// P100 shapes (and the slower K20 atax/bicg multi-wave points).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "bench_common.hpp"
+#include "codegen/compiler.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/analytic.hpp"
+#include "sim/machine.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+struct Shape {
+  const char* kernel;
+  const char* gpu;
+  std::int64_t n;
+  int tc;
+  int bc;
+  bool full_only;  ///< only run with GPUSTATIC_FULL=1
+};
+
+// Tail shapes follow one recipe: a TC low enough that residency is
+// block-limited (TC=32 -> 8 blocks/SM on Fermi, 16 on Kepler, 32 on
+// Maxwell/Pascal), then a block count one wave-slot past a full wave,
+// so the tail wave runs a handful of warps per SM and is latency-bound
+// — exactly where the classic full-wave assumption breaks. Aligned
+// partners use the same TC with block counts at exact wave multiples.
+const Shape kShapes[] = {
+    // atax: O(n) per thread, so multi-wave points need the low-TC trick
+    // to stay simulable (threads x n work items).
+    {"atax", "M2050", 4064, 32, 126, false},   // 9 slots / 8 resident
+    {"atax", "M2050", 4064, 32, 112, false},   // aligned, 1 wave
+    {"atax", "M2050", 4064, 32, 56, false},    // aligned, half the SMs.. still 1 full wave
+    {"atax", "K20", 7072, 32, 221, true},      // 17 slots / 16 resident
+    {"atax", "K20", 7072, 32, 208, true},      // aligned, 1 wave
+    // bicg: same geometry as atax (fused 1-D stage).
+    {"bicg", "M2050", 4064, 32, 126, false},
+    {"bicg", "M2050", 4064, 32, 112, false},
+    {"bicg", "K20", 7072, 32, 221, true},
+    {"bicg", "K20", 7072, 32, 208, true},
+    // ex14fj: O(1) per thread; cheap at any scale. The TC=1024 K20 pair
+    // has a throughput-bound tail (32 warps), where classic's linear
+    // interpolation is already right — wave mode must match, not win.
+    {"ex14fj", "M2050", 32, 32, 121, false},   // tail on 9 of 14 SMs
+    {"ex14fj", "M2050", 32, 32, 126, false},   // tail on every SM
+    {"ex14fj", "M2050", 32, 32, 112, false},   // aligned, 1 wave
+    {"ex14fj", "M2050", 32, 32, 224, false},   // aligned, 2 waves
+    {"ex14fj", "K20", 64, 1024, 26, false},    // aligned, 1 wave
+    {"ex14fj", "K20", 64, 1024, 39, false},    // tail, throughput-bound
+    {"ex14fj", "M40", 64, 32, 769, true},      // 33 slots / 32 resident
+    {"ex14fj", "M40", 64, 32, 768, true},      // aligned, 1 wave
+    {"ex14fj", "P100", 64, 32, 1793, true},
+    {"ex14fj", "P100", 64, 32, 1792, true},
+    // matvec2d: constant kMatVecChunk work per thread.
+    {"matvec2d", "K20", 1024, 64, 209, false},  // 17 slots / 16 resident
+    {"matvec2d", "K20", 1024, 64, 221, false},  // deeper into the tail
+    {"matvec2d", "K20", 1024, 64, 208, false},  // aligned, 1 wave
+    {"matvec2d", "K20", 1024, 64, 104, false},  // aligned, 1 wave
+    {"matvec2d", "M2050", 1024, 32, 126, false},
+    {"matvec2d", "M2050", 1024, 32, 112, false},
+    {"matvec2d", "M40", 2048, 32, 769, true},
+    {"matvec2d", "M40", 2048, 32, 768, true},
+    {"matvec2d", "P100", 2048, 32, 1793, true},
+    {"matvec2d", "P100", 2048, 32, 1792, true},
+};
+
+struct Sample {
+  std::string kernel;
+  std::string gpu;
+  bool tail = false;
+  double measured = 0;
+  double classic = 0;
+  double wave = 0;
+};
+
+double rel_err(double pred, double meas) {
+  return std::abs(pred - meas) / meas;
+}
+
+double mean(const std::vector<double>& v) {
+  double s = 0;
+  for (const double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernel_filter;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--kernels") == 0)
+      kernel_filter = value();
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = value();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Wave-aware analytic model vs the warp simulator at wave "
+      "boundaries",
+      "Sec. V analytic engine; AnalyticOptions mode classic|wave");
+
+  const std::vector<std::string> wanted = str::split(kernel_filter, ',');
+  const auto kernel_wanted = [&](const std::string& name) {
+    if (kernel_filter.empty()) return true;
+    for (const std::string& w : wanted)
+      if (w == name) return true;
+    return false;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Sample> samples;
+  std::size_t skipped = 0;
+  for (const Shape& s : kShapes) {
+    if (s.full_only && !bench::full_mode()) {
+      ++skipped;
+      continue;
+    }
+    if (!kernel_wanted(s.kernel)) continue;
+    const auto wl = kernels::make_workload(s.kernel, s.n);
+    const arch::GpuSpec& gpu = arch::gpu(s.gpu);
+    codegen::TuningParams p;
+    p.threads_per_block = s.tc;
+    p.block_count = s.bc;
+    Sample out;
+    out.kernel = s.kernel;
+    out.gpu = s.gpu;
+    try {
+      const codegen::Compiler compiler(gpu, p);
+      const auto lw = compiler.compile(wl);
+      const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+
+      sim::RunOptions warp;
+      warp.engine = sim::Engine::Warp;
+      const auto measured = sim::run_workload(lw, wl, machine, warp);
+      if (!measured.valid) continue;
+      out.measured = measured.trial_time_ms;
+
+      sim::RunOptions analytic;
+      analytic.engine = sim::Engine::Analytic;
+      analytic.analytic.mode = sim::AnalyticMode::Classic;
+      const auto classic = sim::run_workload(lw, wl, machine, analytic);
+      out.classic = classic.trial_time_ms;
+
+      analytic.analytic.mode = sim::AnalyticMode::Wave;
+      const auto wave = sim::run_workload(lw, wl, machine, analytic);
+      out.wave = wave.trial_time_ms;
+
+      // Tail-heavy iff some stage's busiest SM carries a partial last
+      // wave: the per-launch wave count is then fractional.
+      out.tail =
+          classic.waves - std::floor(classic.waves) > 1e-9;
+    } catch (const gpustatic::Error& e) {
+      std::fprintf(stderr, "shape %s/%s tc=%d bc=%d failed: %s\n",
+                   s.kernel, s.gpu, s.tc, s.bc, e.what());
+      return 1;
+    }
+    samples.push_back(out);
+  }
+  if (skipped != 0)
+    std::printf("(%zu full-sweep shapes skipped; set GPUSTATIC_FULL=1 "
+                "to include M40/P100 and the slow K20 points)\n\n",
+                skipped);
+
+  // Gate 1: exact classic/wave agreement on every aligned shape.
+  std::size_t aligned_mismatches = 0;
+  for (const Sample& s : samples)
+    if (!s.tail && s.wave != s.classic) {
+      ++aligned_mismatches;
+      std::fprintf(stderr,
+                   "aligned shape %s/%s: wave %.6f != classic %.6f\n",
+                   s.kernel.c_str(), s.gpu.c_str(), s.wave, s.classic);
+    }
+
+  // Per kernel x GPU cells for the table/artifact; per-kernel pools for
+  // gate 2.
+  std::map<std::pair<std::string, std::string>, std::vector<Sample>>
+      cells;
+  std::map<std::string, std::pair<std::vector<double>,
+                                  std::vector<double>>>
+      tail_pool;  // kernel -> (classic errs, wave errs)
+  for (const Sample& s : samples) {
+    cells[{s.kernel, s.gpu}].push_back(s);
+    if (s.tail) {
+      tail_pool[s.kernel].first.push_back(rel_err(s.classic, s.measured));
+      tail_pool[s.kernel].second.push_back(rel_err(s.wave, s.measured));
+    }
+  }
+
+  // Per-cell wave-vs-classic comparison is informational; the gates are
+  // the aligned-exactness check above and the per-kernel pools below.
+  TextTable t({"Kernel", "Arch", "shapes", "tail", "MAE classic",
+               "MAE wave", "wave vs classic"});
+  std::string json_cells;
+  for (const auto& [key, cell] : cells) {
+    std::vector<double> ce, we;
+    std::size_t tails = 0;
+    for (const Sample& s : cell) {
+      ce.push_back(rel_err(s.classic, s.measured));
+      we.push_back(rel_err(s.wave, s.measured));
+      if (s.tail) ++tails;
+    }
+    const double mc = mean(ce), mw = mean(we);
+    const char* verdict = mw < mc             ? "better"
+                          : mw <= mc + 1e-12 ? "equal"
+                                             : "worse";
+    t.add_row({key.first, key.second, std::to_string(cell.size()),
+               std::to_string(tails), str::format("%.3f", mc),
+               str::format("%.3f", mw), verdict});
+    if (!json_cells.empty()) json_cells += ",\n";
+    json_cells += str::format(
+        "    {\"kernel\": \"%s\", \"gpu\": \"%s\", \"shapes\": %zu, "
+        "\"tail_shapes\": %zu, \"mae_classic\": %.6f, "
+        "\"mae_wave\": %.6f}",
+        key.first.c_str(), key.second.c_str(), cell.size(), tails, mc,
+        mw);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Gate 2: per-kernel pooled tail MAE, wave strictly better.
+  std::size_t tail_failures = 0;
+  std::printf("Tail-heavy pools (gate: wave MAE strictly below "
+              "classic):\n");
+  for (const auto& [kernel, errs] : tail_pool) {
+    const double mc = mean(errs.first);
+    const double mw = mean(errs.second);
+    const bool ok = mw < mc;
+    if (!ok) ++tail_failures;
+    std::printf("  %-10s %zu shapes: classic %.3f, wave %.3f  %s\n",
+                kernel.c_str(), errs.first.size(), mc, mw,
+                ok ? "ok" : "FAIL");
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  std::printf("\n%zu shapes simulated in %.2f s\n", samples.size(),
+              elapsed);
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"cells\": [\n" + json_cells + "\n  ],\n";
+    json += "  \"aligned_mismatches\": " +
+            std::to_string(aligned_mismatches) + ",\n";
+    json += "  \"tail_pool_failures\": " +
+            std::to_string(tail_failures) + ",\n";
+    json += "  \"shapes\": " + std::to_string(samples.size()) + ",\n";
+    json += "  \"elapsed_s\": " + str::format("%.3f", elapsed) + "\n}\n";
+    io::write_file_atomic(json_path, json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (aligned_mismatches != 0 || tail_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu aligned mismatches, %zu tail pools where "
+                 "wave mode does not beat classic\n",
+                 aligned_mismatches, tail_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -74,6 +75,10 @@ options:
   --fast-math        enable fast-math lowering
   --backend NAME     codegen backend for predict/disasm/profile/tune,
                      registered: %BACKENDS%                 [ptx]
+  --analytic-mode M  analytic engine mode for predict/tune/tune-fleet/
+                     serve: %ANALYTIC_MODES%          [classic]
+                     (wave models the partial tail wave; classic is
+                     the paper's Eq. 6 full-wave scoring)
   --regs N           registers/thread (occupancy command)    [32]
   --smem B           shared memory/block bytes (occupancy)   [0]
   --method NAME      tune strategy, or 'list' to print them  [rule]
@@ -120,6 +125,7 @@ std::string render_usage() {
   };
   substitute("%METHODS%", tuner::StrategyRegistry::instance().names());
   substitute("%BACKENDS%", codegen::BackendRegistry::instance().names());
+  substitute("%ANALYTIC_MODES%", sim::analytic_mode_names());
   return text;
 }
 
@@ -139,6 +145,18 @@ std::shared_ptr<const codegen::Backend> backend_of(const Options& opts) {
   } catch (const Error& e) {
     throw UsageError(e.what());
   }
+}
+
+/// Resolve --analytic-mode, turning an unknown name into a usage error
+/// that enumerates the valid modes (the --backend treatment).
+sim::AnalyticOptions analytic_of(const Options& opts) {
+  const std::optional<sim::AnalyticMode> mode =
+      sim::parse_analytic_mode(opts.analytic_mode);
+  if (!mode.has_value())
+    throw UsageError("unknown analytic mode '" + opts.analytic_mode +
+                     "' (want " + str::join(sim::analytic_mode_names(), "|") +
+                     ")");
+  return sim::AnalyticOptions{*mode};
 }
 
 codegen::TuningParams variant_of(const Options& opts) {
@@ -211,21 +229,30 @@ int cmd_suggest(const Options& opts, std::ostream& out) {
 
 int cmd_predict(const Options& opts, std::ostream& out) {
   const auto backend = backend_of(opts);
+  const auto analytic = analytic_of(opts);
   const auto wl = load_workload(opts);
   const auto& gpu = arch::gpu(opts.gpu);
   const auto params = variant_of(opts);
   const auto lw = backend->lower(wl, gpu, params);
   const double score = analysis::predicted_cost(lw, gpu.family);
   const auto machine = sim::MachineModel::from(gpu, params.l1_pref_kb);
-  const auto m = sim::run_workload(lw, wl, machine);
+  sim::RunOptions run;
+  run.analytic = analytic;
+  const auto m = sim::run_workload(lw, wl, machine, run);
   out << "variant " << params.to_string() << " of " << wl.name << " on "
       << gpu.name << ":\n";
   out << str::format("  Eq. 6 static cost score : %.2f\n", score);
-  if (m.valid)
-    out << str::format("  analytic time estimate  : %.4f ms\n",
-                       m.trial_time_ms);
-  else
+  if (m.valid) {
+    out << str::format("  analytic time estimate  : %.4f ms (%s mode)\n",
+                       m.trial_time_ms,
+                       std::string(sim::analytic_mode_name(analytic.mode))
+                           .c_str());
+    out << str::format("  launch waves            : %.2f\n", m.waves);
+    out << str::format("  last-wave SM fullness   : %.0f%%\n",
+                       100.0 * m.tail_sm_fraction);
+  } else {
     out << "  not launchable: " << m.error << "\n";
+  }
   return 0;
 }
 
@@ -271,6 +298,7 @@ core::TuneRequest tune_request(const Options& opts) {
   request.hybrid.empirical_budget = opts.budget;
   request.space = tune_space(opts);
   request.run.backend = opts.backend;
+  request.run.analytic = analytic_of(opts);
   return request;
 }
 
@@ -288,6 +316,7 @@ int cmd_tune(const Options& opts, std::ostream& out) {
     throw UsageError(e.what());
   }
   (void)backend_of(opts);
+  (void)analytic_of(opts);
   if (opts.kernel.empty())
     throw UsageError("command 'tune' needs a kernel argument");
 
@@ -357,6 +386,7 @@ int cmd_tune_fleet(const Options& opts, std::ostream& out) {
   fleet_opts.hybrid.empirical_budget = opts.budget;
   fleet_opts.space = tune_space(opts);
   fleet_opts.run.backend = opts.backend;
+  fleet_opts.run.analytic = analytic_of(opts);
 
   const core::FleetReport report = service.tune_fleet(fleet_opts);
   out << core::render_fleet_report(report, opts.report);
@@ -409,9 +439,11 @@ void serve_signal_handler(int) {
 }
 
 int cmd_serve(const Options& opts, std::ostream& out) {
+  (void)analytic_of(opts);  // validate before the daemon starts
   serve::ServeOptions sopts;
   sopts.store_path = opts.store_path;
   sopts.model_path = opts.model_path;
+  sopts.analytic_mode = opts.analytic_mode;
   sopts.port = opts.port;
   sopts.max_inflight = opts.max_inflight;
   sopts.max_queue = opts.max_queue;
@@ -513,6 +545,8 @@ Options parse_args(const std::vector<std::string>& args) {
       o.fast_math = true;
     } else if (a == "--backend") {
       o.backend = need_value(a);
+    } else if (a == "--analytic-mode") {
+      o.analytic_mode = need_value(a);
     } else if (a == "--regs") {
       o.regs = static_cast<std::uint32_t>(to_int(a, need_value(a)));
     } else if (a == "--smem") {

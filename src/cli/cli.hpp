@@ -70,6 +70,9 @@ struct Options {
   /// Codegen backend (BackendRegistry name) for predict/disasm/profile/
   /// tune/tune-fleet; "ptx" is byte-identical to the pre-seam output.
   std::string backend = "ptx";
+  /// Analytic-engine mode (classic|wave) for predict/tune/tune-fleet/
+  /// serve; "classic" is byte-identical to the pre-mode output.
+  std::string analytic_mode = "classic";
   // occupancy command inputs.
   std::uint32_t regs = 32;
   std::uint32_t smem = 0;

@@ -58,7 +58,8 @@ std::string TuningService::request_key(const TuneRequest& r) {
   os << "|run=" << static_cast<int>(r.run.engine) << ','
      << r.run.repetitions << ',' << r.run.report_trial << ','
      << r.run.noise_stddev << ',' << r.run.seed << ','
-     << r.run.backend;
+     << r.run.backend << ','
+     << sim::analytic_mode_name(r.run.analytic.mode);
   os << "|store=" << r.store.read << r.store.write;
   append_space_signature(os, r.space);
   return os.str();
@@ -184,7 +185,8 @@ std::shared_ptr<sim::SimContext> TuningService::context_for(
   key << job.kernel << '|' << job.gpu->name << '|' << job.n << '|'
       << static_cast<int>(run.engine) << ',' << run.repetitions << ','
       << run.report_trial << ',' << run.noise_stddev << ',' << run.seed
-      << ',' << run.backend;
+      << ',' << run.backend << ','
+      << sim::analytic_mode_name(run.analytic.mode);
   const std::string k = key.str();
   const std::lock_guard<std::mutex> lock(contexts_mu_);
   // Evict before inserting: clearing after taking a reference into the
@@ -315,6 +317,10 @@ TuneResponse TuningService::tune(const TuneRequest& request) {
       flights_.emplace(key, flight);
       leader = true;
       ++stats_.searches;
+      if (normalized.run.analytic.mode == sim::AnalyticMode::Wave)
+        ++stats_.wave_searches;
+      else
+        ++stats_.classic_searches;
     } else {
       flight = it->second;
       ++stats_.deduplicated;

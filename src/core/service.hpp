@@ -107,6 +107,10 @@ class TuningService {
     std::size_t requests = 0;      ///< tune() calls accepted
     std::size_t searches = 0;      ///< searches actually run (leaders)
     std::size_t deduplicated = 0;  ///< followers answered by a leader
+    /// Leader searches split by the request's analytic mode, so `stats`
+    /// shows how much the wave model is actually exercised.
+    std::size_t classic_searches = 0;
+    std::size_t wave_searches = 0;
   };
 
   /// Loads Config::store_path when set (a missing file is an empty

@@ -9,6 +9,7 @@ TuningSession::TuningSession(dsl::WorkloadDesc workload,
     : workload_(std::move(workload)),
       gpu_(&gpu),
       space_(std::move(space)),
+      analytic_(run_opts.analytic),
       evaluator_(workload_, gpu, run_opts),
       cache_(space_, evaluator_) {}
 
@@ -29,6 +30,10 @@ TuningOutcome TuningSession::tune(const TuningRequest& request) {
       request.evaluator != nullptr ? request.evaluator : &cache_;
   ctx.options = request.options;
   ctx.hybrid = request.hybrid;
+  // The session's RunOptions carry the analytic mode (like the backend);
+  // sync it into the hybrid dial so stage 1 ranks with the same engine
+  // configuration the evaluator measures with.
+  ctx.hybrid.analytic = analytic_;
   ctx.gpu = gpu_;
   ctx.workload = &workload_;
   ctx.prune = [this]() -> const tuner::StaticPruneResult& {

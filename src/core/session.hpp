@@ -78,6 +78,7 @@ class TuningSession {
   dsl::WorkloadDesc workload_;
   const arch::GpuSpec* gpu_;
   tuner::ParamSpace space_;
+  sim::AnalyticOptions analytic_;  ///< from run_opts; synced into hybrid
   tuner::SimEvaluator evaluator_;
   tuner::CachingEvaluator cache_;
   bool prune_done_ = false;

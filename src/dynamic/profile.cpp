@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.hpp"
+#include "sim/analytic.hpp"
 #include "sim/warp_sim.hpp"
 
 namespace gpustatic::dynamic {
@@ -155,6 +156,10 @@ WorkloadProfile profile_workload(const codegen::LoweredWorkload& lw,
       m.base_time_ms += t.time_ms;
       m.counts += t.counts;
       m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+      const sim::WaveGeometry g =
+          sim::decompose_waves(*machine.gpu, t.occ, st.launch, st.coarsen);
+      m.waves = std::max(m.waves, g.waves);
+      m.tail_sm_fraction = std::min(m.tail_sm_fraction, g.tail_sm_fraction);
       wp.stages.push_back(prof.take(std::move(t)));
     }
   } catch (const ConfigError& e) {

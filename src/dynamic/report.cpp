@@ -131,6 +131,9 @@ std::string render_profile(const WorkloadProfile& p,
   os << format("trial time %.4f ms, SIMD efficiency %s\n",
                p.measurement.trial_time_ms,
                pct(p.simd_efficiency()).c_str());
+  os << format("waves %.2f, last wave fills %s of busy SMs\n",
+               p.measurement.waves,
+               pct(p.measurement.tail_sm_fraction).c_str());
   for (const StageProfile& s : p.stages) os << "\n" << render_stage(s, opts);
   return os.str();
 }

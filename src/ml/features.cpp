@@ -1,10 +1,12 @@
 #include "ml/features.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "analysis/divergence.hpp"
 #include "analysis/mix.hpp"
 #include "occupancy/occupancy.hpp"
+#include "sim/analytic.hpp"
 
 namespace gpustatic::ml {
 
@@ -48,6 +50,12 @@ const std::vector<std::string>& feature_names() {
       // Architecture identity.
       "cc_frac",        // compute capability / 6.0
       "cores_per_mp_frac",
+      // Wave/tail geometry (decompose_waves — the analytic engine's
+      // wave decomposition, so the model sees launch raggedness).
+      // Appending here bumps the schema: models trained on the old
+      // feature list decline cleanly at load (learn/evaluator.hpp).
+      "tail_sm_frac",   // grid last-wave SM fullness (min over stages)
+      "waves_rem",      // fractional wave remainder (max over stages)
   };
   return kNames;
 }
@@ -131,6 +139,23 @@ std::vector<double> extract_features(const codegen::LoweredWorkload& lw,
 
   f.push_back(gpu.compute_capability / 6.0);
   f.push_back(gpu.cores_per_mp / 192.0);
+
+  // Wave/tail geometry at this launch shape, from the same
+  // decomposition the analytic engine times with.
+  double tail_sm_frac = 1.0;
+  double waves_rem = 0.0;
+  for (const codegen::LoweredStage& st : lw.stages) {
+    codegen::LaunchConfig launch = st.launch;
+    launch.grid_blocks = static_cast<std::uint32_t>(p.block_count);
+    launch.block_threads =
+        static_cast<std::uint32_t>(p.threads_per_block);
+    const sim::WaveGeometry g =
+        sim::decompose_waves(gpu, occ, launch, st.coarsen);
+    tail_sm_frac = std::min(tail_sm_frac, g.tail_sm_fraction);
+    waves_rem = std::max(waves_rem, g.waves - g.full_waves);
+  }
+  f.push_back(tail_sm_frac);
+  f.push_back(waves_rem);
   return f;
 }
 

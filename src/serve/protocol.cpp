@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 
 #include "codegen/backend.hpp"
 #include "common/error.hpp"
@@ -301,6 +302,18 @@ WireRequest parse_request(std::string_view line) {
                 ")",
             1);
       req.tune.run.backend = name;
+    } else if (key == "analytic") {
+      const std::string& name = string_of(key, value);
+      const std::optional<sim::AnalyticMode> mode =
+          sim::parse_analytic_mode(name);
+      if (!mode.has_value())
+        throw ParseError("wire request: unknown analytic mode '" + name +
+                             "' (want " +
+                             str::join(sim::analytic_mode_names(), "|") +
+                             ")",
+                         1);
+      req.tune.run.analytic.mode = *mode;
+      req.has_analytic = true;
     } else if (key == "store_read") {
       req.tune.store.read = bool_of(key, value);
     } else if (key == "store_write") {
@@ -330,6 +343,7 @@ std::string render_request(const WireRequest& request) {
     w.field("engine",
             t.run.engine == sim::Engine::Warp ? "warp" : "analytic");
     w.field("backend", t.run.backend);
+    w.field("analytic", sim::analytic_mode_name(t.run.analytic.mode));
     w.field("store_read", t.store.read);
     w.field("store_write", t.store.write);
   }
@@ -362,6 +376,8 @@ std::string render_tune_response(const WireRequest& request,
   w.field("deduplicated", response.deduplicated);
   w.field("budget_capped", budget_capped);
   w.field("learned_ranker", response.outcome.used_learned_ranker);
+  w.field("analytic",
+          sim::analytic_mode_name(request.tune.run.analytic.mode));
   return w.str();
 }
 

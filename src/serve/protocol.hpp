@@ -81,6 +81,9 @@ struct WireRequest {
   std::string op;
   std::uint64_t id = 0;  ///< client correlation id; echoed when has_id
   bool has_id = false;
+  /// true when the line carried an explicit "analytic" field; absent,
+  /// the server substitutes its --analytic-mode default.
+  bool has_analytic = false;
   core::TuneRequest tune;
 };
 

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <thread>
 #include <utility>
@@ -97,6 +98,13 @@ Server::Server(ServeOptions options)
       service_(service_config(options_)),
       admission_(std::max<std::size_t>(1, options_.max_inflight),
                  options_.max_queue) {
+  const std::optional<sim::AnalyticMode> mode =
+      sim::parse_analytic_mode(options_.analytic_mode);
+  if (!mode.has_value())
+    throw Error("serve: unknown analytic mode '" + options_.analytic_mode +
+                "' (want " + str::join(sim::analytic_mode_names(), "|") +
+                ")");
+  default_analytic_.mode = *mode;
   // The self-pipe exists for the server's whole lifetime so stop() is
   // safe to call from a signal handler at any point.
   if (pipe(wake_fds_) != 0)
@@ -143,6 +151,9 @@ std::string Server::handle_line(const std::string& line) {
 }
 
 std::string Server::handle_tune(WireRequest request) {
+  // A request without an explicit "analytic" field tunes under the
+  // server's default mode (--analytic-mode), the same way the CLI does.
+  if (!request.has_analytic) request.tune.run.analytic = default_analytic_;
   // Per-request budget caps: one runaway client must not monopolize
   // the simulator. Capping is reported, not an error.
   bool capped = false;
@@ -191,6 +202,14 @@ std::string Server::handle_stats(const WireRequest& request) {
   w.field("searches", static_cast<std::uint64_t>(stats.searches));
   w.field("deduplicated",
           static_cast<std::uint64_t>(stats.deduplicated));
+  // Analytic-engine usage: the server's default mode plus leader-search
+  // counts per requested mode (stable field set, zeros when unused).
+  w.field("analytic_mode",
+          sim::analytic_mode_name(default_analytic_.mode));
+  w.field("classic_searches",
+          static_cast<std::uint64_t>(stats.classic_searches));
+  w.field("wave_searches",
+          static_cast<std::uint64_t>(stats.wave_searches));
   w.field("store_records",
           static_cast<std::uint64_t>(service_.store_records()));
   // Model fields are always present — false/zero when no model is

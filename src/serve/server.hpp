@@ -39,6 +39,10 @@ struct ServeOptions {
   /// the hybrid stage-1 ranker; the `retrain` op saves back here.
   /// Empty = analytic ranking only.
   std::string model_path;
+  /// Default analytic mode (classic|wave) applied to tune requests that
+  /// carry no explicit "analytic" field; validated at Server
+  /// construction. Mirrors the CLI's --analytic-mode.
+  std::string analytic_mode = "classic";
   int port = 0;              ///< TCP port; 0 = ephemeral (printed on start)
   std::size_t max_inflight = 8;  ///< concurrent tune searches admitted
   std::size_t max_queue = 32;    ///< waiters beyond that; then shed
@@ -137,6 +141,9 @@ class Server {
   void count_error();
 
   ServeOptions options_;
+  /// Parsed ServeOptions::analytic_mode, substituted into tune requests
+  /// that carry no explicit "analytic" field.
+  sim::AnalyticOptions default_analytic_;
   core::TuningService service_;
   Admission admission_;
 

@@ -39,13 +39,66 @@ double effective_transactions(const ptx::Instruction& ins,
 
 }  // namespace
 
+std::string_view analytic_mode_name(AnalyticMode mode) {
+  return mode == AnalyticMode::Wave ? "wave" : "classic";
+}
+
+std::optional<AnalyticMode> parse_analytic_mode(std::string_view name) {
+  if (name == "classic") return AnalyticMode::Classic;
+  if (name == "wave") return AnalyticMode::Wave;
+  return std::nullopt;
+}
+
+const std::vector<std::string>& analytic_mode_names() {
+  static const std::vector<std::string> kNames = {"classic", "wave"};
+  return kNames;
+}
+
+WaveGeometry decompose_waves(const arch::GpuSpec& gpu,
+                             const occupancy::Result& occ,
+                             const codegen::LaunchConfig& launch,
+                             int coarsen) {
+  WaveGeometry g;
+  const double tc = launch.block_threads;
+  const double bc = launch.grid_blocks;
+  if (occ.active_blocks == 0 || tc <= 0 || bc <= 0) return g;
+  const auto domain = static_cast<double>(launch.domain);
+  const double cf = std::max(1, coarsen);
+
+  const double total_threads = tc * bc;
+  const double bases = std::ceil(domain / cf);
+  g.active_threads = std::min(total_threads, std::max(1.0, bases));
+  g.busy_blocks = std::min(bc, std::ceil(g.active_threads / tc));
+  g.busy_sms = std::min<double>(gpu.multiprocessors, g.busy_blocks);
+  g.blocks_per_sm = std::ceil(g.busy_blocks / g.busy_sms);
+  g.resident_blocks =
+      std::min<double>(occ.active_blocks, g.blocks_per_sm);
+  const double threads_per_busy_block =
+      std::min(tc, std::ceil(g.active_threads / g.busy_blocks));
+  g.warps_per_block = std::ceil(threads_per_busy_block / kWarp);
+  g.active_warps = std::min<double>(
+      g.resident_blocks * g.warps_per_block, gpu.warps_per_mp);
+  g.waves = g.blocks_per_sm / g.resident_blocks;
+  g.full_waves = std::floor(g.blocks_per_sm / g.resident_blocks);
+  g.tail_blocks = g.blocks_per_sm - g.full_waves * g.resident_blocks;
+
+  // Grid-level last-wave fullness: blocks land on the busy SMs
+  // round-robin, so once the whole-GPU full waves drain, the remaining
+  // blocks occupy one SM each.
+  const double wave_capacity = g.busy_sms * g.resident_blocks;
+  const double tail_gpu_blocks = std::fmod(g.busy_blocks, wave_capacity);
+  g.tail_sm_fraction =
+      tail_gpu_blocks == 0.0
+          ? 1.0
+          : std::min(g.busy_sms, tail_gpu_blocks) / g.busy_sms;
+  return g;
+}
+
 AnalyticResult AnalyticModel::run_stage(const StageInputs& in) const {
   const arch::GpuSpec& gpu = *m_.gpu;
   const ptx::Kernel& kernel = *in.kernel;
   const double tc = in.launch.block_threads;
   const double bc = in.launch.grid_blocks;
-  const auto domain = static_cast<double>(in.launch.domain);
-  const double cf = std::max(1, in.coarsen);
 
   AnalyticResult out;
   out.occ = occupancy::calculate(
@@ -55,23 +108,21 @@ AnalyticResult AnalyticModel::run_stage(const StageInputs& in) const {
   if (out.occ.active_blocks == 0)
     throw ConfigError("configuration cannot be resident on " + gpu.name);
 
+  const WaveGeometry g =
+      decompose_waves(gpu, out.occ, in.launch, in.coarsen);
+
   AnalyticBreakdown& b = out.breakdown;
   const double total_threads = tc * bc;
-  const double bases = std::ceil(domain / cf);
-  b.active_threads = std::min(total_threads, std::max(1.0, bases));
-  b.busy_blocks = std::min(bc, std::ceil(b.active_threads / tc));
-  b.busy_sms =
-      std::min<double>(gpu.multiprocessors, b.busy_blocks);
-  const double blocks_per_sm = std::ceil(b.busy_blocks / b.busy_sms);
-  b.resident_blocks =
-      std::min<double>(out.occ.active_blocks, blocks_per_sm);
-  const double threads_per_busy_block =
-      std::min(tc, std::ceil(b.active_threads / b.busy_blocks));
-  const double warps_per_busy_block = std::ceil(threads_per_busy_block /
-                                                kWarp);
-  b.active_warps = std::min<double>(
-      b.resident_blocks * warps_per_busy_block, gpu.warps_per_mp);
-  b.waves = blocks_per_sm / b.resident_blocks;
+  b.active_threads = g.active_threads;
+  b.busy_blocks = g.busy_blocks;
+  b.busy_sms = g.busy_sms;
+  const double blocks_per_sm = g.blocks_per_sm;
+  b.resident_blocks = g.resident_blocks;
+  b.active_warps = g.active_warps;
+  b.waves = g.waves;
+  b.full_waves = g.full_waves;
+  b.tail_blocks = g.tail_blocks;
+  b.tail_sm_fraction = g.tail_sm_fraction;
 
   // Work concentration: per-ACTIVE-warp counts are the per-average-thread
   // counts scaled up by the idle fraction.
@@ -132,8 +183,35 @@ AnalyticResult AnalyticModel::run_stage(const StageInputs& in) const {
 
   const double wave_cycles =
       std::max({tp_bound, serial_bound, b.bandwidth_cycles});
-  b.sm_cycles = b.waves * wave_cycles +
-                blocks_per_sm * m_.block_dispatch_overhead;
+  if (opts_.mode == AnalyticMode::Wave && b.tail_blocks > 0) {
+    // Tail wave: fewer resident blocks, so the throughput and bandwidth
+    // bounds shrink with the tail's warp count. The latency bound does
+    // not — one warp's critical path is unchanged no matter how few
+    // neighbors remain to hide its stalls — but part of it overlaps the
+    // final full wave: blocks retire staggered, so the tail block starts
+    // before the wave fully drains and hides part of its own chain in
+    // the stagger. The exposed remainder scales with the share of the
+    // wave the chain occupies (serial_bound / wave_cycles): a chain as
+    // long as the wave (a serial-bound wave, where blocks retire
+    // together) is fully exposed; a short chain hides almost entirely.
+    // The DRAM share keeps the first-wave busy-SM count: the warp
+    // simulator charges the whole run at that share.
+    b.tail_active_warps = std::min<double>(
+        b.tail_blocks * g.warps_per_block, gpu.warps_per_mp);
+    const double tp_tail = b.tail_active_warps * bottleneck_pipe;
+    const double bw_tail =
+        b.tail_active_warps * txn_per_warp * txn_cycles_sm_share;
+    const double exposed_serial =
+        serial_bound * (serial_bound / wave_cycles);
+    b.tail_wave_cycles = std::max({tp_tail, exposed_serial, bw_tail});
+    b.sm_cycles = b.full_waves * wave_cycles + b.tail_wave_cycles +
+                  blocks_per_sm * m_.block_dispatch_overhead;
+  } else {
+    // Classic Eq. 6: every wave full (also the wave-aligned wave-mode
+    // path, where waves == full_waves and the tail is empty).
+    b.sm_cycles = b.waves * wave_cycles +
+                  blocks_per_sm * m_.block_dispatch_overhead;
+  }
 
   // Whole-GPU DRAM bound.
   const double total_warps = b.active_threads / kWarp;

@@ -15,8 +15,26 @@
 //                           per-SM bandwidth bound) + overheads
 //   GPU cycles = max(SM cycles, whole-GPU DRAM bound) + launch overhead
 //
+// The model runs in one of two selectable modes (AnalyticOptions):
+//
+//   classic  every wave is scored as if it were full — the paper's Eq. 6
+//            regime, byte-identical to the pre-mode implementation;
+//   wave     the launch is split into whole resident waves plus a
+//            modeled tail wave whose throughput and bandwidth bounds are
+//            recomputed for the tail's reduced warp count, and whose
+//            latency chain is exposed in proportion to the share of a
+//            wave it occupies (a serial-bound wave retires its blocks
+//            together, exposing the whole chain; a throughput-bound
+//            wave retires them staggered, hiding most of it). On
+//            wave-aligned launches the two modes agree exactly.
+//
 // Dynamic instruction counts come from the same frequencies, so the
 // analytic engine also supplies mixes for sweeps without execution.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "codegen/compiler.hpp"
 #include "occupancy/occupancy.hpp"
@@ -25,6 +43,59 @@
 
 namespace gpustatic::sim {
 
+/// Which tail treatment the analytic engine applies (sketch above).
+enum class AnalyticMode : std::uint8_t {
+  Classic,  ///< full-wave scoring (Eq. 6 as published)
+  Wave,     ///< full waves + a reduced-parallelism tail wave
+};
+
+/// The analytic engine's typed configuration surface. Threaded through
+/// every evaluation driver the same way RunOptions::backend is:
+/// RunOptions -> SimContext/AnalyticEvaluator -> hybrid stage 1 ->
+/// core::TuneRequest -> serve protocol -> CLI --analytic-mode.
+struct AnalyticOptions {
+  AnalyticMode mode = AnalyticMode::Classic;
+
+  friend auto operator<=>(const AnalyticOptions&,
+                          const AnalyticOptions&) = default;
+};
+
+/// Canonical wire/CLI name of a mode ("classic" / "wave").
+[[nodiscard]] std::string_view analytic_mode_name(AnalyticMode mode);
+/// Inverse of analytic_mode_name; nullopt on unknown names.
+[[nodiscard]] std::optional<AnalyticMode> parse_analytic_mode(
+    std::string_view name);
+/// Every valid mode name, for error messages and usage text.
+[[nodiscard]] const std::vector<std::string>& analytic_mode_names();
+
+/// Wave/tail geometry of one launch: how the busy blocks pack into
+/// resident waves. Pure occupancy + launch arithmetic, shared by the
+/// analytic engine, measurement reporting, and the ML feature extractor
+/// so none of them can drift from the timing model. When the
+/// configuration is not resident (occ.active_blocks == 0) the default-
+/// constructed geometry is returned.
+struct WaveGeometry {
+  double active_threads = 0;
+  double busy_blocks = 0;
+  double busy_sms = 0;
+  double blocks_per_sm = 0;    ///< the busiest SM's block share (ceil)
+  double resident_blocks = 0;  ///< concurrently resident per busy SM
+  double warps_per_block = 0;  ///< warps of one busy block
+  double active_warps = 0;     ///< resident warps on a busy SM (full wave)
+  double waves = 1;            ///< blocks_per_sm / resident (fractional)
+  double full_waves = 1;       ///< whole resident waves on the busiest SM
+  double tail_blocks = 0;      ///< busiest SM's blocks past the full waves
+  /// How full the grid's LAST wave is: the fraction of busy SMs that
+  /// still have a block once the full GPU-wide waves have drained
+  /// (blocks land round-robin). 1.0 = wave-aligned launch.
+  double tail_sm_fraction = 1;
+};
+
+[[nodiscard]] WaveGeometry decompose_waves(const arch::GpuSpec& gpu,
+                                           const occupancy::Result& occ,
+                                           const codegen::LaunchConfig& launch,
+                                           int coarsen);
+
 struct AnalyticBreakdown {
   double active_threads = 0;
   double busy_blocks = 0;
@@ -32,6 +103,13 @@ struct AnalyticBreakdown {
   double resident_blocks = 0;
   double active_warps = 0;   ///< per busy SM
   double waves = 1;
+  // Per-wave decomposition (filled in both modes; the tail-wave cycle
+  // fields are only nonzero when wave mode actually modeled a tail).
+  double full_waves = 1;        ///< whole resident waves (busiest SM)
+  double tail_blocks = 0;       ///< blocks in the busiest SM's tail wave
+  double tail_active_warps = 0; ///< resident warps during the tail wave
+  double tail_wave_cycles = 0;  ///< modeled tail-wave cycles (wave mode)
+  double tail_sm_fraction = 1;  ///< grid's last-wave SM fullness
   double issue_cycles = 0;   ///< per active warp
   double latency_cycles = 0; ///< per active warp
   double bandwidth_cycles = 0;
@@ -67,7 +145,9 @@ struct StageInputs {
 
 class AnalyticModel {
  public:
-  explicit AnalyticModel(const MachineModel& machine) : m_(machine) {}
+  explicit AnalyticModel(const MachineModel& machine,
+                         AnalyticOptions options = {})
+      : m_(machine), opts_(options) {}
 
   /// Estimate one stage. Throws ConfigError when occupancy is zero.
   [[nodiscard]] AnalyticResult run_stage(
@@ -76,8 +156,11 @@ class AnalyticModel {
   }
   [[nodiscard]] AnalyticResult run_stage(const StageInputs& in) const;
 
+  [[nodiscard]] const AnalyticOptions& options() const { return opts_; }
+
  private:
   const MachineModel& m_;
+  AnalyticOptions opts_;
 };
 
 }  // namespace gpustatic::sim

@@ -111,6 +111,10 @@ Measurement SimContext::measure(const codegen::TuningParams& params) {
   Measurement m;
   m.occupancy = 1.0;
   m.regs_per_thread = plan->lowered->regs_per_thread();
+  const auto note_waves = [&m](const WaveGeometry& g) {
+    m.waves = std::max(m.waves, g.waves);
+    m.tail_sm_fraction = std::min(m.tail_sm_fraction, g.tail_sm_fraction);
+  };
 
   ScratchLease scratch(*this);
   try {
@@ -133,10 +137,12 @@ Measurement SimContext::measure(const codegen::TuningParams& params) {
         m.base_time_ms += t.time_ms;
         m.counts += t.counts;
         m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+        note_waves(decompose_waves(*machine.gpu, t.occ, sp.launch,
+                                   stage.coarsen));
         m.stage_timings.push_back(std::move(t));
       }
     } else {
-      AnalyticModel model(machine);
+      AnalyticModel model(machine, opts_.analytic);
       scratch->block_freq.resize(plan->lowered->stages.size());
       for (std::size_t i = 0; i < plan->lowered->stages.size(); ++i) {
         const codegen::LoweredStage& stage = plan->lowered->stages[i];
@@ -152,6 +158,8 @@ Measurement SimContext::measure(const codegen::TuningParams& params) {
         m.base_time_ms += r.time_ms;
         m.counts += r.counts;
         m.occupancy = std::min(m.occupancy, r.occ.occupancy);
+        note_waves(decompose_waves(*machine.gpu, r.occ, in.launch,
+                                   in.coarsen));
       }
     }
   } catch (const ConfigError& e) {

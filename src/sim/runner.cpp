@@ -59,6 +59,10 @@ Measurement run_impl(const codegen::LoweredWorkload& lw,
   Measurement m;
   m.occupancy = 1.0;
   m.regs_per_thread = lw.regs_per_thread();
+  const auto note_waves = [&m](const WaveGeometry& g) {
+    m.waves = std::max(m.waves, g.waves);
+    m.tail_sm_fraction = std::min(m.tail_sm_fraction, g.tail_sm_fraction);
+  };
   try {
     if (opts.engine == Engine::Warp) {
       DeviceMemory mem(desc);
@@ -68,16 +72,20 @@ Measurement run_impl(const codegen::LoweredWorkload& lw,
         m.base_time_ms += t.time_ms;
         m.counts += t.counts;
         m.occupancy = std::min(m.occupancy, t.occ.occupancy);
+        note_waves(decompose_waves(*machine.gpu, t.occ, st.launch,
+                                   st.coarsen));
         m.stage_timings.push_back(std::move(t));
       }
       if (mem_out != nullptr) *mem_out = std::move(mem);
     } else {
-      AnalyticModel model(machine);
+      AnalyticModel model(machine, opts.analytic);
       for (const codegen::LoweredStage& st : lw.stages) {
         const AnalyticResult r = model.run_stage(st);
         m.base_time_ms += r.time_ms;
         m.counts += r.counts;
         m.occupancy = std::min(m.occupancy, r.occ.occupancy);
+        note_waves(decompose_waves(*machine.gpu, r.occ, st.launch,
+                                   st.coarsen));
       }
     }
   } catch (const ConfigError& e) {

@@ -35,6 +35,12 @@ struct Measurement {
   std::string error;            ///< reason when invalid
   double base_time_ms = 0;      ///< deterministic simulated time
   double trial_time_ms = 0;     ///< 5th of 10 noisy repetitions
+  /// Wave geometry of the launch (decompose_waves), reported under both
+  /// engines and both analytic modes so `predict`/`profile` can show how
+  /// full the last wave is: busiest-SM wave count (max over stages) and
+  /// the grid's last-wave SM fullness (min over stages; 1.0 = aligned).
+  double waves = 0;
+  double tail_sm_fraction = 1;
   /// The synthesized repetition times. Trial selection partitions this
   /// buffer in place (std::nth_element), so after the protocol runs the
   /// multiset of values is meaningful but their order is unspecified.
@@ -54,6 +60,9 @@ struct RunOptions {
   /// Codegen backend (BackendRegistry name) the evaluation pipeline
   /// lowers through; SimContext keys its CompilationCache on it.
   std::string backend = codegen::kDefaultBackend;
+  /// Analytic-engine configuration (mode classic|wave); ignored by the
+  /// warp engine. Part of every request/context identity, like backend.
+  AnalyticOptions analytic;
 };
 
 /// Apply the paper's measurement protocol to a Measurement whose

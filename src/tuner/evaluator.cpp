@@ -43,6 +43,8 @@ double AnalyticEvaluator::evaluate(const codegen::TuningParams& params) {
     // variant still reject out-of-range launch shapes.
     const std::shared_ptr<const codegen::LoweredWorkload> lowered =
         cache_->lower(params);
+    if (analytic_.mode == sim::AnalyticMode::Wave)
+      return wave_time(*lowered, params);
     const codegen::CodegenKey key = codegen::CodegenKey::of(params);
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = cost_by_key_.find(key);
@@ -54,6 +56,52 @@ double AnalyticEvaluator::evaluate(const codegen::TuningParams& params) {
   } catch (const gpustatic::Error&) {
     return kInvalid;
   }
+}
+
+const sim::MachineModel& AnalyticEvaluator::machine_for(int l1_pref_kb) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = machines_.find(l1_pref_kb);
+  if (it != machines_.end()) return it->second;
+  // std::map nodes are stable, so the returned reference outlives
+  // later insertions.
+  return machines_
+      .emplace(l1_pref_kb,
+               sim::MachineModel::from(cache_->gpu(), l1_pref_kb))
+      .first->second;
+}
+
+double AnalyticEvaluator::wave_time(const codegen::LoweredWorkload& lowered,
+                                    const codegen::TuningParams& params) {
+  const WaveKey wk{codegen::CodegenKey::of(params), params.threads_per_block,
+                   params.block_count, params.l1_pref_kb};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = wave_cost_.find(wk);
+    if (it != wave_cost_.end()) return it->second;
+  }
+  // Compute outside the lock (deterministic; a lost race on the same key
+  // just discards this copy). The cached lowering carries the launch
+  // shape of whichever params first built the key, so the launch and the
+  // block frequencies are re-targeted to this point.
+  const sim::MachineModel& machine = machine_for(params.l1_pref_kb);
+  const sim::AnalyticModel model(machine, analytic_);
+  double total_ms = 0;
+  std::vector<double> freq;
+  for (const codegen::LoweredStage& stage : lowered.stages) {
+    codegen::block_freq_at(stage, params, freq);
+    sim::StageInputs in;
+    in.kernel = &stage.kernel;
+    in.launch = stage.launch;
+    in.launch.grid_blocks = static_cast<std::uint32_t>(params.block_count);
+    in.launch.block_threads =
+        static_cast<std::uint32_t>(params.threads_per_block);
+    in.regs_per_thread = stage.demand.regs_per_thread;
+    in.coarsen = stage.coarsen;
+    in.block_freq = freq.data();
+    total_ms += model.run_stage(in).time_ms;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  return wave_cost_.emplace(wk, total_ms).first->second;
 }
 
 }  // namespace gpustatic::tuner

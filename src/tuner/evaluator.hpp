@@ -101,31 +101,59 @@ class SimEvaluator final : public Evaluator {
   std::shared_ptr<sim::SimContext> ctx_;
 };
 
-/// Zero-run backend: compiles each variant and scores it with the Eq. 6
-/// static cost model. Scores are relative (not ms), which is exactly
-/// what a search needs — the paper's "without executing them" regime.
+/// Zero-run backend: compiles each variant and scores it without any
+/// simulator execution — the paper's "without executing them" regime.
 /// Lowering goes through a CompilationCache (shareable with a
-/// SimEvaluator's context), and scores are memoized per codegen key —
-/// Eq. 6 never looks at the launch shape, so key-mates score equal by
-/// construction.
+/// SimEvaluator's context). The analytic mode selects the score:
+///
+///   classic  Eq. 6 static cost; relative units, memoized per codegen
+///            key — Eq. 6 never looks at the launch shape, so key-mates
+///            score equal by construction;
+///   wave     wave-aware AnalyticModel time (ms), which DOES depend on
+///            the launch shape, so scores are memoized per
+///            (codegen key, TC, BC, PL) over the same cached lowerings.
 class AnalyticEvaluator final : public Evaluator {
  public:
-  AnalyticEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu)
+  AnalyticEvaluator(dsl::WorkloadDesc workload, const arch::GpuSpec& gpu,
+                    sim::AnalyticOptions analytic = {})
       : cache_(std::make_shared<codegen::CompilationCache>(
-            std::move(workload), gpu)) {}
+            std::move(workload), gpu)),
+        analytic_(analytic) {}
   /// Share a compilation cache (e.g. a SimEvaluator context's), so the
   /// two backends never lower the same key twice between them.
   explicit AnalyticEvaluator(
-      std::shared_ptr<codegen::CompilationCache> cache)
-      : cache_(std::move(cache)) {}
+      std::shared_ptr<codegen::CompilationCache> cache,
+      sim::AnalyticOptions analytic = {})
+      : cache_(std::move(cache)), analytic_(analytic) {}
 
   [[nodiscard]] std::string name() const override { return "analytic"; }
   double evaluate(const codegen::TuningParams& params) override;
 
+  [[nodiscard]] const sim::AnalyticOptions& analytic() const {
+    return analytic_;
+  }
+
  private:
+  /// Launch-shape-aware memo key for wave-mode scores: everything the
+  /// wave-aware analytic time depends on beyond the lowering itself.
+  struct WaveKey {
+    codegen::CodegenKey key;
+    int threads_per_block = 0;
+    int block_count = 0;
+    int l1_pref_kb = 0;
+    friend auto operator<=>(const WaveKey&, const WaveKey&) = default;
+  };
+
+  double wave_time(const codegen::LoweredWorkload& lowered,
+                   const codegen::TuningParams& params);
+  const sim::MachineModel& machine_for(int l1_pref_kb);
+
   std::shared_ptr<codegen::CompilationCache> cache_;
+  sim::AnalyticOptions analytic_;
   std::mutex mu_;
   std::map<codegen::CodegenKey, double> cost_by_key_;
+  std::map<WaveKey, double> wave_cost_;
+  std::map<int, sim::MachineModel> machines_;  ///< per L1 preference
 };
 
 }  // namespace gpustatic::tuner

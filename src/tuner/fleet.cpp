@@ -57,6 +57,10 @@ void run_job(const FleetJob& job, const TuningStore& store,
   ctx.evaluator = &cache;
   ctx.options = opts.search;
   ctx.hybrid = opts.hybrid;
+  // The analytic mode travels in RunOptions (like the backend); hybrid's
+  // stage 1 reads it from HybridOptions, so keep the two in sync here
+  // rather than asking every caller to set both.
+  ctx.hybrid.analytic = opts.run.analytic;
   ctx.gpu = job.gpu;
   ctx.workload = &job.workload;
   ctx.compile_cache = &sim.context().compilation_cache();

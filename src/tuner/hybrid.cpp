@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "analysis/predictor.hpp"
 #include "common/error.hpp"
+#include "tuner/evaluator.hpp"
 
 namespace gpustatic::tuner {
 
@@ -32,6 +34,17 @@ HybridResult hybrid_search(const ParamSpace& space,
     local_cache.emplace(workload, gpu);
     compile_cache = &*local_cache;
   }
+  // Wave mode swaps the stage-1 score for the wave-aware analytic time,
+  // which sees the launch shape (memoized per key x TC x BC x PL inside
+  // the evaluator). The non-owning alias keeps lowering through the
+  // caller's cache; classic mode never constructs it and stays
+  // byte-identical to the original ranking.
+  std::optional<AnalyticEvaluator> wave_eval;
+  if (opts.analytic.mode == sim::AnalyticMode::Wave)
+    wave_eval.emplace(std::shared_ptr<codegen::CompilationCache>(
+                          std::shared_ptr<codegen::CompilationCache>(),
+                          compile_cache),
+                      opts.analytic);
   std::map<codegen::CodegenKey, double> cost_by_key;
   r.shortlist.reserve(pruned.size());
   for (std::size_t i = 0; i < pruned.size(); ++i) {
@@ -39,15 +52,20 @@ HybridResult hybrid_search(const ParamSpace& space,
     v.flat_index = i;
     v.params = pruned.to_params(pruned.point_at(i));
     try {
-      const codegen::CodegenKey key = codegen::CodegenKey::of(v.params);
-      const auto it = cost_by_key.find(key);
-      if (it != cost_by_key.end()) {
-        codegen::validate_params(gpu, v.params);  // still per variant
-        v.predicted_cost = it->second;
+      if (wave_eval.has_value()) {
+        v.predicted_cost = wave_eval->evaluate(v.params);
+        if (v.predicted_cost == kInvalid) continue;  // not compilable
       } else {
-        v.predicted_cost = analysis::predicted_cost(
-            *compile_cache->lower(v.params), gpu.family);
-        cost_by_key.emplace(key, v.predicted_cost);
+        const codegen::CodegenKey key = codegen::CodegenKey::of(v.params);
+        const auto it = cost_by_key.find(key);
+        if (it != cost_by_key.end()) {
+          codegen::validate_params(gpu, v.params);  // still per variant
+          v.predicted_cost = it->second;
+        } else {
+          v.predicted_cost = analysis::predicted_cost(
+              *compile_cache->lower(v.params), gpu.family);
+          cost_by_key.emplace(key, v.predicted_cost);
+        }
       }
     } catch (const ConfigError&) {
       continue;  // not compilable on this GPU: not a candidate

@@ -27,6 +27,7 @@
 #include "arch/gpu_spec.hpp"
 #include "codegen/cache.hpp"
 #include "dsl/ast.hpp"
+#include "sim/analytic.hpp"
 #include "tuner/search.hpp"
 #include "tuner/space.hpp"
 #include "tuner/static_search.hpp"
@@ -62,6 +63,12 @@ struct HybridOptions {
   codegen::TuningParams baseline{};
   /// When set, offered the stage-1 ranking (decline = analytic order).
   Stage1Ranker stage1;
+  /// Analytic-engine configuration for stage 1. classic ranks survivors
+  /// by the Eq. 6 static cost (launch-shape blind, one score per codegen
+  /// key); wave ranks them by the wave-aware analytic time, which models
+  /// the partial tail wave and therefore separates launch shapes the
+  /// Eq. 6 score cannot.
+  sim::AnalyticOptions analytic{};
 };
 
 struct HybridResult {

@@ -192,6 +192,42 @@ TEST(LearnedHybrid, TrainedModelDrivesStageOneEndToEnd) {
   expect_identical(run(f, plain), fallback);
 }
 
+TEST(LearnedHybrid, PreWaveSchemaModelDeclinesCleanly) {
+  // A model trained before the wave/tail features joined the schema
+  // (ml/features.cpp: tail_sm_frac, waves_rem) must decline — never
+  // score variants against a shifted feature vector.
+  Fixture f;
+  auto stale_model = std::make_shared<CostModel>(*trained_model());
+  ASSERT_GE(stale_model->features.size(), 2u);
+  stale_model->features.pop_back();
+  stale_model->features.pop_back();
+  const std::shared_ptr<const CostModel> stale = stale_model;
+
+  // The strict evaluator refuses outright, pointing at retraining.
+  auto cache = std::make_shared<codegen::CompilationCache>(f.wl, f.gpu);
+  try {
+    learn::LearnedEvaluator evaluator(stale, cache);
+    FAIL() << "expected schema mismatch to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("retrain"), std::string::npos);
+  }
+
+  // The lenient ranker declines and falls back byte-identically to the
+  // analytic stage-1 order, even with the confidence gate wide open.
+  LearnedRankerOptions ropts;
+  ropts.max_variance = std::numeric_limits<double>::infinity();
+  ropts.min_confident_fraction = 0.0;
+  HybridOptions opts;
+  opts.empirical_budget = 8;
+  opts.stage1 = learn::make_stage1_ranker(stale, ropts);
+  const HybridResult declined = run(f, opts);
+  EXPECT_FALSE(declined.used_learned_ranker);
+  HybridOptions plain;
+  plain.empirical_budget = 8;
+  expect_identical(run(f, plain), declined);
+}
+
 TEST(LearnedEvaluator, ScoresVariantsAndValidatesItsInputs) {
   Fixture f;
   const std::shared_ptr<const CostModel> model = trained_model();

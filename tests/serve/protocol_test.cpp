@@ -327,3 +327,39 @@ TEST(WireRequestRoundTrip, BackendSurvivesRenderAndReparse) {
   const WireRequest back = serve::parse_request(serve::render_request(req));
   EXPECT_EQ(back.tune.run.backend, "cref");
 }
+
+TEST(WireRequestParse, AnalyticFieldSelectsTheAnalyticMode) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","analytic":"wave"})");
+  EXPECT_EQ(req.tune.run.analytic.mode, sim::AnalyticMode::Wave);
+  EXPECT_TRUE(req.has_analytic);
+  // Unset leaves the classic default and records that the client did
+  // not choose, so the server can substitute its own default.
+  const WireRequest plain =
+      serve::parse_request(R"({"op":"tune","kernel":"atax"})");
+  EXPECT_EQ(plain.tune.run.analytic.mode, sim::AnalyticMode::Classic);
+  EXPECT_FALSE(plain.has_analytic);
+}
+
+TEST(WireRequestParse, UnknownAnalyticModeErrorEnumeratesModes) {
+  try {
+    (void)serve::parse_request(
+        R"({"op":"tune","kernel":"atax","analytic":"quantum"})");
+    FAIL() << "expected ParseError";
+  } catch (const gpustatic::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quantum"), std::string::npos);
+    EXPECT_NE(what.find("classic"), std::string::npos);
+    EXPECT_NE(what.find("wave"), std::string::npos);
+  }
+}
+
+TEST(WireRequestRoundTrip, AnalyticModeSurvivesRenderAndReparse) {
+  WireRequest req;
+  req.op = "tune";
+  req.tune.kernel = "atax";
+  req.tune.run.analytic.mode = sim::AnalyticMode::Wave;
+  const WireRequest back = serve::parse_request(serve::render_request(req));
+  EXPECT_EQ(back.tune.run.analytic.mode, sim::AnalyticMode::Wave);
+  EXPECT_TRUE(back.has_analytic);
+}

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -212,6 +213,66 @@ TEST(Server, RetrainGoesThroughAdmissionLikeTune) {
 }
 
 // ---- the warm-path promise over the wire ----------------------------
+
+TEST(Server, UnknownAnalyticModeErrorsInBand) {
+  Server server(in_memory_options());
+  const JsonObject resp = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","n":16,"analytic":"quantum"})"));
+  EXPECT_EQ(resp.at("status").string, "error");
+  EXPECT_NE(resp.at("error").string.find("quantum"), std::string::npos);
+  EXPECT_NE(resp.at("error").string.find("classic"), std::string::npos);
+  EXPECT_NE(resp.at("error").string.find("wave"), std::string::npos);
+  // The session is still serving.
+  const JsonObject ok =
+      serve::parse_json_object(server.handle_line(R"({"op":"ping"})"));
+  EXPECT_EQ(ok.at("status").string, "ok");
+}
+
+TEST(Server, InvalidDefaultAnalyticModeFailsConstruction) {
+  ServeOptions opts = in_memory_options();
+  opts.analytic_mode = "quantum";
+  EXPECT_THROW(Server{opts}, gpustatic::Error);
+}
+
+TEST(Server, StatsReportAnalyticModeAndPerModeSearchCounts) {
+  Server server(in_memory_options());
+  JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("analytic_mode").string, "classic");
+  EXPECT_DOUBLE_EQ(stats.at("classic_searches").number, 0);
+  EXPECT_DOUBLE_EQ(stats.at("wave_searches").number, 0);
+
+  // One explicit wave tune, one defaulted (classic) tune.
+  const JsonObject wave = serve::parse_json_object(server.handle_line(
+      R"({"op":"tune","kernel":"atax","n":16,"analytic":"wave"})"));
+  ASSERT_EQ(wave.at("status").string, "ok") << wave.at("error").string;
+  EXPECT_EQ(wave.at("analytic").string, "wave");
+  const JsonObject classic =
+      serve::parse_json_object(server.handle_line(kTuneLine));
+  ASSERT_EQ(classic.at("status").string, "ok");
+  EXPECT_EQ(classic.at("analytic").string, "classic");
+
+  stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_DOUBLE_EQ(stats.at("wave_searches").number, 1);
+  EXPECT_DOUBLE_EQ(stats.at("classic_searches").number, 1);
+}
+
+TEST(Server, DefaultAnalyticModeSubstitutesIntoBareRequests) {
+  ServeOptions opts = in_memory_options();
+  opts.analytic_mode = "wave";
+  Server server(opts);
+  // No "analytic" field: the server's default applies and is echoed.
+  const JsonObject resp =
+      serve::parse_json_object(server.handle_line(kTuneLine));
+  ASSERT_EQ(resp.at("status").string, "ok") << resp.at("error").string;
+  EXPECT_EQ(resp.at("analytic").string, "wave");
+  const JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("analytic_mode").string, "wave");
+  EXPECT_DOUBLE_EQ(stats.at("wave_searches").number, 1);
+  EXPECT_DOUBLE_EQ(stats.at("classic_searches").number, 0);
+}
 
 TEST(Server, WarmRepeatOverThePipeRunsNothingFresh) {
   Server server(in_memory_options());

@@ -1,0 +1,259 @@
+// Wave/tail decomposition and the two analytic modes on deliberately
+// ragged grids: non-multiple-of-SM block counts and 1-block tails, the
+// shapes the classic full-wave assumption scores wrong. Shapes follow
+// the low-TC recipe from bench/wave_model.cpp so the warp-simulator
+// cross-checks stay fast (residency is block-limited at TC=32, so
+// oversubscription starts at a few thousand threads).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/compiler.hpp"
+#include "kernels/kernels.hpp"
+#include "occupancy/occupancy.hpp"
+#include "sim/analytic.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpustatic;  // NOLINT
+
+namespace {
+
+// Lower `kernel` at (tc, bc) for `gpu_name` and return the measurement
+// under the requested engine/mode.
+sim::Measurement run(const std::string& kernel, std::int64_t n, int tc,
+                     int bc, const std::string& gpu_name,
+                     sim::Engine engine,
+                     sim::AnalyticMode mode = sim::AnalyticMode::Classic) {
+  const auto wl = kernels::make_workload(kernel, n);
+  const auto& gpu = arch::gpu(gpu_name);
+  codegen::TuningParams p;
+  p.threads_per_block = tc;
+  p.block_count = bc;
+  const codegen::Compiler c(gpu, p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+  sim::RunOptions opts;
+  opts.engine = engine;
+  opts.analytic.mode = mode;
+  return sim::run_workload(lw, wl, machine, opts);
+}
+
+sim::WaveGeometry geometry(const std::string& gpu_name, int tc, int bc,
+                           std::int64_t domain) {
+  const auto& gpu = arch::gpu(gpu_name);
+  const auto occ = occupancy::calculate(
+      gpu, occupancy::KernelParams{static_cast<std::uint32_t>(tc), 20, 0});
+  codegen::LaunchConfig launch;
+  launch.grid_blocks = static_cast<std::uint32_t>(bc);
+  launch.block_threads = static_cast<std::uint32_t>(tc);
+  launch.domain = domain;
+  return sim::decompose_waves(gpu, occ, launch, /*coarsen=*/1);
+}
+
+}  // namespace
+
+// ---- decompose_waves geometry ------------------------------------------
+
+TEST(DecomposeWaves, AlignedLaunchHasNoTail) {
+  // M2050: 14 SMs, 8 blocks/SM at TC=32 -> 112 blocks is exactly one
+  // resident wave on every SM.
+  const auto g = geometry("M2050", 32, 112, 1 << 20);
+  EXPECT_DOUBLE_EQ(g.busy_blocks, 112.0);
+  EXPECT_DOUBLE_EQ(g.busy_sms, 14.0);
+  EXPECT_DOUBLE_EQ(g.blocks_per_sm, 8.0);
+  EXPECT_DOUBLE_EQ(g.resident_blocks, 8.0);
+  EXPECT_DOUBLE_EQ(g.waves, 1.0);
+  EXPECT_DOUBLE_EQ(g.full_waves, 1.0);
+  EXPECT_DOUBLE_EQ(g.tail_blocks, 0.0);
+  EXPECT_DOUBLE_EQ(g.tail_sm_fraction, 1.0);
+}
+
+TEST(DecomposeWaves, OneBlockTailIsFractionalWave) {
+  // 126 blocks on 14 SMs = 9 slots against 8 resident: a 1-block tail
+  // on every SM, an eighth of a wave.
+  const auto g = geometry("M2050", 32, 126, 1 << 20);
+  EXPECT_DOUBLE_EQ(g.blocks_per_sm, 9.0);
+  EXPECT_DOUBLE_EQ(g.resident_blocks, 8.0);
+  EXPECT_DOUBLE_EQ(g.full_waves, 1.0);
+  EXPECT_DOUBLE_EQ(g.tail_blocks, 1.0);
+  EXPECT_DOUBLE_EQ(g.waves, 1.0 + 1.0 / 8.0);
+  // 126 = 112 + 14: the last grid-wide wave lands on every busy SM.
+  EXPECT_DOUBLE_EQ(g.tail_sm_fraction, 1.0);
+}
+
+TEST(DecomposeWaves, PartialLastWaveReportsSmFraction) {
+  // 121 blocks = 112 + 9: nine of the fourteen SMs get a tail block.
+  const auto g = geometry("M2050", 32, 121, 1 << 20);
+  EXPECT_DOUBLE_EQ(g.blocks_per_sm, 9.0);
+  EXPECT_DOUBLE_EQ(g.tail_blocks, 1.0);
+  EXPECT_NEAR(g.tail_sm_fraction, 9.0 / 14.0, 1e-12);
+}
+
+TEST(DecomposeWaves, SmallLaunchIsSingleWave) {
+  // Fewer blocks than SMs: every block is resident, one (partial) wave.
+  const auto g = geometry("M2050", 32, 7, 1 << 20);
+  EXPECT_DOUBLE_EQ(g.busy_sms, 7.0);
+  EXPECT_DOUBLE_EQ(g.blocks_per_sm, 1.0);
+  EXPECT_DOUBLE_EQ(g.waves, 1.0);
+  EXPECT_DOUBLE_EQ(g.tail_blocks, 0.0);
+  EXPECT_DOUBLE_EQ(g.tail_sm_fraction, 1.0);
+}
+
+TEST(DecomposeWaves, DomainCapsBusyBlocks) {
+  // A grid larger than the domain needs: busy blocks come from the
+  // domain, not the launch, so empty blocks cannot fabricate waves.
+  const auto g = geometry("M2050", 32, 1000, /*domain=*/4064);
+  EXPECT_DOUBLE_EQ(g.busy_blocks, 127.0);  // ceil(4064/32)
+  EXPECT_DOUBLE_EQ(g.blocks_per_sm, 10.0);
+  EXPECT_DOUBLE_EQ(g.tail_blocks, 2.0);
+}
+
+// ---- mode names --------------------------------------------------------
+
+TEST(AnalyticMode, NamesRoundTrip) {
+  for (const std::string& name : sim::analytic_mode_names()) {
+    const auto mode = sim::parse_analytic_mode(name);
+    ASSERT_TRUE(mode.has_value()) << name;
+    EXPECT_EQ(sim::analytic_mode_name(*mode), name);
+  }
+  EXPECT_FALSE(sim::parse_analytic_mode("bogus").has_value());
+  EXPECT_FALSE(sim::parse_analytic_mode("").has_value());
+}
+
+// ---- classic/wave agreement and divergence -----------------------------
+
+TEST(AnalyticWave, DefaultOptionsAreClassic) {
+  EXPECT_EQ(sim::AnalyticOptions{}.mode, sim::AnalyticMode::Classic);
+  const auto def = run("ex14fj", 32, 32, 126, "M2050",
+                       sim::Engine::Analytic);
+  const auto classic = run("ex14fj", 32, 32, 126, "M2050",
+                           sim::Engine::Analytic,
+                           sim::AnalyticMode::Classic);
+  EXPECT_EQ(def.trial_time_ms, classic.trial_time_ms);
+}
+
+TEST(AnalyticWave, ModesAgreeExactlyOnAlignedLaunches) {
+  // One full wave (112) and two full waves (224): no tail, so the wave
+  // path must reproduce classic bit-for-bit.
+  for (const int bc : {14, 56, 112, 224}) {
+    const auto classic = run("ex14fj", 32, 32, bc, "M2050",
+                             sim::Engine::Analytic,
+                             sim::AnalyticMode::Classic);
+    const auto wave = run("ex14fj", 32, 32, bc, "M2050",
+                          sim::Engine::Analytic, sim::AnalyticMode::Wave);
+    EXPECT_EQ(classic.trial_time_ms, wave.trial_time_ms) << "bc=" << bc;
+    EXPECT_EQ(classic.waves, wave.waves);
+  }
+}
+
+TEST(AnalyticWave, TailChargesMoreThanClassicInterpolation) {
+  // Ragged launch with a latency-bound tail: classic interpolates the
+  // tail linearly, wave mode charges the exposed chain, so it must
+  // predict strictly more time.
+  const auto classic = run("ex14fj", 32, 32, 126, "M2050",
+                           sim::Engine::Analytic,
+                           sim::AnalyticMode::Classic);
+  const auto wave = run("ex14fj", 32, 32, 126, "M2050",
+                        sim::Engine::Analytic, sim::AnalyticMode::Wave);
+  EXPECT_GT(wave.trial_time_ms, classic.trial_time_ms);
+}
+
+TEST(AnalyticWave, MeasurementExposesWaveGeometry) {
+  const auto m = run("ex14fj", 32, 32, 121, "M2050",
+                     sim::Engine::Analytic);
+  EXPECT_NEAR(m.waves, 1.0 + 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(m.tail_sm_fraction, 9.0 / 14.0, 1e-12);
+  // The warp simulator reports the same geometry: it is launch
+  // arithmetic, not engine behavior.
+  const auto w = run("ex14fj", 32, 32, 121, "M2050", sim::Engine::Warp);
+  EXPECT_EQ(m.waves, w.waves);
+  EXPECT_EQ(m.tail_sm_fraction, w.tail_sm_fraction);
+}
+
+// ---- agreement with the warp simulator on ragged grids -----------------
+
+TEST(AnalyticWave, CloserThanClassicToWarpSimOnRaggedGrid) {
+  // The bench gate in miniature, on the cheapest tail-heavy shape: a
+  // 1-block (1-warp) tail on 9 of M2050's 14 SMs.
+  const auto measured = run("ex14fj", 32, 32, 121, "M2050",
+                            sim::Engine::Warp);
+  ASSERT_TRUE(measured.valid);
+  const auto classic = run("ex14fj", 32, 32, 121, "M2050",
+                           sim::Engine::Analytic,
+                           sim::AnalyticMode::Classic);
+  const auto wave = run("ex14fj", 32, 32, 121, "M2050",
+                        sim::Engine::Analytic, sim::AnalyticMode::Wave);
+  const double err_classic =
+      std::abs(classic.trial_time_ms - measured.trial_time_ms);
+  const double err_wave =
+      std::abs(wave.trial_time_ms - measured.trial_time_ms);
+  EXPECT_LT(err_wave, err_classic);
+}
+
+TEST(AnalyticWave, NoWorseThanClassicOnThroughputBoundTail) {
+  // TC=1024 on K20: the tail wave still runs 32 warps, so it is
+  // throughput-bound and classic's linear interpolation is already
+  // right — wave mode must not regress it.
+  const auto measured = run("ex14fj", 64, 1024, 39, "K20",
+                            sim::Engine::Warp);
+  ASSERT_TRUE(measured.valid);
+  const auto classic = run("ex14fj", 64, 1024, 39, "K20",
+                           sim::Engine::Analytic,
+                           sim::AnalyticMode::Classic);
+  const auto wave = run("ex14fj", 64, 1024, 39, "K20",
+                        sim::Engine::Analytic, sim::AnalyticMode::Wave);
+  const double err_classic =
+      std::abs(classic.trial_time_ms - measured.trial_time_ms);
+  const double err_wave =
+      std::abs(wave.trial_time_ms - measured.trial_time_ms);
+  EXPECT_LE(err_wave, err_classic + 1e-9);
+}
+
+// ---- per-wave breakdown arithmetic -------------------------------------
+
+TEST(AnalyticWave, BreakdownDecomposesSmCycles) {
+  const auto wl = kernels::make_workload("ex14fj", 32);
+  const auto& gpu = arch::gpu("M2050");
+  codegen::TuningParams p;
+  p.threads_per_block = 32;
+  p.block_count = 126;
+  const codegen::Compiler c(gpu, p);
+  const auto lw = c.compile(wl);
+  const auto machine = sim::MachineModel::from(gpu, p.l1_pref_kb);
+
+  const sim::AnalyticModel classic(machine, {sim::AnalyticMode::Classic});
+  const sim::AnalyticModel wave(machine, {sim::AnalyticMode::Wave});
+  const auto rc = classic.run_stage(lw.stages[0]);
+  const auto rw = wave.run_stage(lw.stages[0]);
+
+  // Geometry is mode-independent.
+  EXPECT_EQ(rc.breakdown.waves, rw.breakdown.waves);
+  EXPECT_EQ(rc.breakdown.full_waves, rw.breakdown.full_waves);
+  EXPECT_EQ(rc.breakdown.tail_blocks, rw.breakdown.tail_blocks);
+  EXPECT_DOUBLE_EQ(rw.breakdown.full_waves, 1.0);
+  EXPECT_DOUBLE_EQ(rw.breakdown.tail_blocks, 1.0);
+  // Only wave mode prices the tail wave.
+  EXPECT_EQ(rc.breakdown.tail_wave_cycles, 0.0);
+  EXPECT_GT(rw.breakdown.tail_wave_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(rw.breakdown.tail_active_warps, 1.0);
+
+  // Classic scores `waves` full waves; recover one wave's cycles from
+  // it and check the wave-mode sum: full waves + tail + dispatch.
+  const double blocks_per_sm =
+      rc.breakdown.full_waves * rc.breakdown.resident_blocks +
+      rc.breakdown.tail_blocks;
+  const double dispatch_cycles =
+      blocks_per_sm * machine.block_dispatch_overhead;
+  const double wave_cycles =
+      (rc.breakdown.sm_cycles - dispatch_cycles) / rc.breakdown.waves;
+  EXPECT_NEAR(rw.breakdown.sm_cycles,
+              rw.breakdown.full_waves * wave_cycles +
+                  rw.breakdown.tail_wave_cycles + dispatch_cycles,
+              1e-6 * rw.breakdown.sm_cycles);
+  // The modeled tail wave costs more than classic's linear share but
+  // never more than a full wave.
+  EXPECT_GT(rw.breakdown.tail_wave_cycles,
+            (rw.breakdown.waves - rw.breakdown.full_waves) * wave_cycles);
+  EXPECT_LE(rw.breakdown.tail_wave_cycles, wave_cycles);
+}
