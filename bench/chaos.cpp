@@ -1,0 +1,457 @@
+// chaos: the robustness gate for the serve pipeline. Four phases:
+//
+//   1. golden  — a fresh in-memory server, failpoints disarmed, answers
+//                a fixed battery of 32 tune requests (4 kernels × 4
+//                methods × 2 seeds); the response lines are recorded.
+//   2. chaos   — every failpoint armed at low seeded probability while
+//                client threads fire randomized requests (tunes with
+//                and without deadlines, queries, stats, pings,
+//                retrains, malformed lines). Gates: every response is
+//                one parseable JSON line with status ok|error|shed
+//                (failures in-band, never a crash), and deadline-capped
+//                requests come back within 2× their deadline plus one
+//                batch-granularity slack. A watchdog turns a hang into
+//                a loud failure.
+//   3. torn    — a forked child rewrites a store file in a tight
+//                put+merge_and_save loop and is SIGKILLed at a random
+//                point; the parent then requires the store to reload
+//                cleanly (atomic-rename crash safety) and the dead
+//                writer's temp files to be swept. Repeated K times.
+//   4. golden  — phase 1 again, failpoints disarmed, on another fresh
+//                server: all 32 outputs must be byte-identical to
+//                phase 1 (fault injection leaves no residue).
+//
+// Exits non-zero when any gate fails.
+//
+//   chaos [--kills N] [--clients C] [--rounds R] [--json FILE]
+//   chaos --torn-child <store-path> <seed>      (internal fork target)
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tuner/store.hpp"
+
+namespace {
+
+using gpustatic::Error;
+using gpustatic::Rng;
+using gpustatic::failpoint::configure;
+using gpustatic::serve::JsonObject;
+using gpustatic::serve::ServeOptions;
+using gpustatic::serve::Server;
+using gpustatic::tuner::StoreRecord;
+using gpustatic::tuner::TuningStore;
+using Clock = std::chrono::steady_clock;
+
+/// Only `error` and `delay` actions: `throw` is the foreign-exception
+/// case, deliberately outside this gate (it is allowed to reach the
+/// request boundary).
+const char* kChaosSchedule =
+    "codegen.compile=error(p=0.10,seed=11);"
+    "sim.measure=error(p=0.05,seed=12);"
+    "store.save=error(p=0.30,seed=13);"
+    "store.merge=error(p=0.20,seed=14);"
+    "learn.model_load=error(seed=15);"
+    "serve.write=error(p=0.15,seed=16);"
+    "sim.measure=delay(ms=1,p=0.02,seed=17)";
+
+std::string temp_path(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return (std::filesystem::path(dir != nullptr ? dir : "/tmp") / name)
+      .string();
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// ---- phase 1 and 4: the golden battery ------------------------------
+
+std::vector<std::string> golden_battery() {
+  // 4 kernels x 4 methods x 2 seeds = 32 deterministic requests against
+  // one fresh in-memory server (earlier tunes warm-start later ones
+  // through the store — deterministically, since the sequence is fixed).
+  Server server{ServeOptions{}};
+  std::vector<std::string> outputs;
+  for (const char* kernel :
+       {"atax", "bicg", "ex14fj", "matvec2d"}) {
+    const int n = std::strcmp(kernel, "ex14fj") == 0 ? 8 : 32;
+    for (const char* method : {"rule", "hybrid", "random", "genetic"})
+      for (const int seed : {1, 2}) {
+        std::ostringstream line;
+        line << R"({"op":"tune","kernel":")" << kernel << R"(","n":)"
+             << n << R"(,"method":")" << method << R"(","seed":)"
+             << seed << R"(,"budget":4,"search_budget":12})";
+        outputs.push_back(server.handle_line(line.str()));
+      }
+  }
+  return outputs;
+}
+
+// ---- phase 2: randomized chaos --------------------------------------
+
+struct ChaosResult {
+  std::size_t requests = 0;
+  std::size_t out_of_band = 0;        ///< unparseable/unknown status
+  std::size_t deadline_violations = 0;  ///< late timed-out responses
+  std::size_t timed_out = 0;
+  std::size_t errors = 0;
+  std::size_t shed = 0;
+};
+
+/// One randomized request line; deadline_ms (when the tune carries one)
+/// is returned through `deadline_ms`.
+std::string random_line(Rng& rng, std::int64_t* deadline_ms) {
+  *deadline_ms = 0;
+  const std::uint64_t roll = rng() % 10;
+  if (roll == 0) return R"({"op":"ping"})";
+  if (roll == 1) return R"({"op":"stats"})";
+  if (roll == 2) return R"({"op":"query","kernel":"atax","n":32})";
+  if (roll == 3) return R"({"op":"retrain"})";
+  if (roll == 4) return "{not json at all";
+  const char* kernel = (rng() % 2 == 0) ? "atax" : "bicg";
+  const char* method = (rng() % 3 == 0) ? "random" : "rule";
+  std::ostringstream line;
+  line << R"({"op":"tune","kernel":")" << kernel << R"(","n":)"
+       << 16 + 16 * (rng() % 3) << R"(,"method":")" << method
+       << R"(","seed":)" << rng() % 64 << R"(,"search_budget":12)";
+  if (rng() % 2 == 0) {
+    *deadline_ms = (rng() % 4 == 0) ? 1 : 500;
+    line << R"(,"deadline_ms":)" << *deadline_ms;
+  }
+  line << "}";
+  return line.str();
+}
+
+/// Validates one response against the in-band contract; returns the
+/// status string ("" when the line did not parse).
+std::string classify(const std::string& response, ChaosResult& result) {
+  JsonObject obj;
+  try {
+    obj = gpustatic::serve::parse_json_object(response);
+  } catch (const std::exception&) {
+    ++result.out_of_band;
+    return "";
+  }
+  const auto status_it = obj.find("status");
+  if (status_it == obj.end()) {
+    ++result.out_of_band;
+    return "";
+  }
+  const std::string status = status_it->second.string;
+  if (status == "error") {
+    ++result.errors;
+    const auto timed_out = obj.find("timed_out");
+    if (timed_out != obj.end() && timed_out->second.boolean)
+      ++result.timed_out;
+  } else if (status == "shed") {
+    ++result.shed;
+  } else if (status != "ok") {
+    ++result.out_of_band;
+  }
+  return status;
+}
+
+ChaosResult chaos_phase(int clients, int rounds) {
+  const std::string store = temp_path("bench_chaos_serve.store");
+  std::filesystem::remove(store);
+  ChaosResult total;
+  {
+    ServeOptions options;
+    options.store_path = store;
+    options.save_every = 4;  // exercise the periodic-save retry path
+    options.max_inflight = 4;
+    options.max_queue = 64;
+    Server server(options);
+    configure(kChaosSchedule);
+
+    // Watchdog: the no-hang gate. Any wedged request turns into a loud
+    // non-zero exit instead of a silent CI timeout.
+    std::atomic<bool> done{false};
+    std::thread watchdog([&done] {
+      for (int i = 0; i < 1800 && !done.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (!done.load()) {
+        std::fprintf(stderr, "chaos: FAILED — watchdog expired (hang)\n");
+        std::_Exit(3);
+      }
+    });
+
+    std::vector<ChaosResult> per_thread(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c)
+      workers.emplace_back([&server, &per_thread, c, rounds] {
+        ChaosResult& result = per_thread[static_cast<std::size_t>(c)];
+        Rng rng(0xC0FFEE + static_cast<std::uint64_t>(c));
+        for (int r = 0; r < rounds; ++r) {
+          std::int64_t deadline_ms = 0;
+          const std::string line = random_line(rng, &deadline_ms);
+          const Clock::time_point start = Clock::now();
+          const std::string response = server.handle_line(line);
+          const double elapsed_ms = ms_since(start);
+          ++result.requests;
+          const std::string status = classify(response, result);
+          // The deadline gate: a capped tune must come back within 2x
+          // its deadline plus one batch-granularity slack (cancellation
+          // is cooperative — it fires between evaluation batches, so a
+          // 1 ms deadline still pays for the batch in flight).
+          if (deadline_ms > 0 && status != "shed" &&
+              elapsed_ms > 2.0 * static_cast<double>(deadline_ms) + 1500)
+            ++result.deadline_violations;
+        }
+      });
+    for (std::thread& t : workers) t.join();
+
+    // The transport write path: serve.write trips must degrade to an
+    // in-band error line, and a persist whose retries were all injected
+    // away surfaces as an Error at this (the CLI's) boundary.
+    std::ostringstream pipe_in_text;
+    for (int i = 0; i < 8; ++i)
+      pipe_in_text << R"({"op":"tune","kernel":"atax","n":32})" << "\n";
+    std::istringstream pipe_in(pipe_in_text.str());
+    std::ostringstream pipe_out;
+    try {
+      (void)server.run_pipe(pipe_in, pipe_out);
+    } catch (const Error&) {
+      // Bounded-retry persist failure: reported, not a crash.
+    }
+    std::istringstream lines(pipe_out.str());
+    std::string response_line;
+    while (std::getline(lines, response_line)) {
+      ++total.requests;
+      classify(response_line, total);
+    }
+
+    done.store(true);
+    watchdog.join();
+    for (const ChaosResult& r : per_thread) {
+      total.requests += r.requests;
+      total.out_of_band += r.out_of_band;
+      total.deadline_violations += r.deadline_violations;
+      total.timed_out += r.timed_out;
+      total.errors += r.errors;
+      total.shed += r.shed;
+    }
+    gpustatic::failpoint::disarm();
+  }
+  // Whatever the injected faults did, the store file must load cleanly.
+  try {
+    std::vector<std::string> warnings;
+    (void)TuningStore::load(store, &warnings);
+    total.out_of_band += warnings.size();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos: store reload after faults failed: %s\n",
+                 e.what());
+    ++total.out_of_band;
+  }
+  std::filesystem::remove(store);
+  return total;
+}
+
+// ---- phase 3: torn-write kills --------------------------------------
+
+/// The forked child: rewrite the store as fast as possible until the
+/// parent kills us mid-write.
+int run_torn_child(const char* path, std::uint64_t seed) {
+  TuningStore store;
+  for (std::uint64_t i = 0;; ++i) {
+    StoreRecord r;
+    r.kernel = "atax";
+    r.gpu = "K20";
+    r.n = 64;
+    r.variant.params.threads_per_block =
+        static_cast<int>(32 + 32 * ((seed + i) % 16));
+    r.variant.params.unroll = static_cast<int>(1 + i % 4);
+    r.variant.measured_ms = 0.1 + 0.001 * static_cast<double>(i);
+    store.put(r);
+    try {
+      store.merge_and_save(path);
+    } catch (const Error&) {
+      // A transient save failure is fine; keep hammering the file.
+    }
+  }
+}
+
+struct TornResult {
+  std::size_t kills = 0;
+  std::size_t reload_failures = 0;
+  std::size_t stale_tmp_files = 0;
+};
+
+TornResult torn_phase(const char* self, int kills) {
+  const std::string store = temp_path("bench_chaos_torn.store");
+  std::filesystem::remove(store);
+  TornResult result;
+  Rng rng(0xDEAD);
+  for (int k = 0; k < kills; ++k) {
+    const pid_t child = fork();
+    if (child == 0) {
+      char* const argv[] = {
+          const_cast<char*>(self), const_cast<char*>("--torn-child"),
+          const_cast<char*>(store.c_str()),
+          const_cast<char*>(std::to_string(k).c_str()), nullptr};
+      execv(self, argv);
+      std::_Exit(127);  // exec failed
+    }
+    if (child < 0) {
+      std::fprintf(stderr, "chaos: fork failed\n");
+      ++result.reload_failures;
+      continue;
+    }
+    // Kill at a random instant 2..30 ms in — early enough to land
+    // mid-write, late enough that writes actually started.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(2 + static_cast<int>(rng() % 29)));
+    kill(child, SIGKILL);
+    int status = 0;
+    waitpid(child, &status, 0);
+    ++result.kills;
+
+    // The gate: an atomically written store is never torn — every
+    // reload parses without so much as a truncated-line warning.
+    try {
+      std::vector<std::string> warnings;
+      (void)TuningStore::load(store, &warnings);
+      result.reload_failures += warnings.size();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos: reload after kill %d failed: %s\n", k,
+                   e.what());
+      ++result.reload_failures;
+    }
+  }
+  // The dead writers' temp files must have been swept by the loads, not
+  // left to accumulate.
+  const std::filesystem::path dir =
+      std::filesystem::path(store).parent_path();
+  const std::string prefix =
+      std::filesystem::path(store).filename().string() + ".tmp.";
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().filename().string().rfind(prefix, 0) == 0)
+      ++result.stale_tmp_files;
+  std::filesystem::remove(store);
+  std::filesystem::remove(store + ".lock");
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--torn-child") == 0) {
+    if (argc != 4) return 2;
+    return run_torn_child(
+        argv[2],
+        static_cast<std::uint64_t>(std::strtoull(argv[3], nullptr, 10)));
+  }
+
+  int kills = 10;
+  int clients = 4;
+  int rounds = 24;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaos: flag needs a value\n");
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kills") kills = std::atoi(value());
+    else if (arg == "--clients") clients = std::atoi(value());
+    else if (arg == "--rounds") rounds = std::atoi(value());
+    else if (arg == "--json") json_path = value();
+    else {
+      std::fprintf(stderr, "chaos: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (kills <= 0 || clients <= 0 || rounds <= 0) {
+    std::fprintf(stderr, "chaos: flags must be positive\n");
+    return 2;
+  }
+
+  std::printf("chaos: failpoint/deadline/torn-write robustness gate\n");
+
+  gpustatic::failpoint::configure("");  // phase 1 runs clean
+  const std::vector<std::string> golden_before = golden_battery();
+  std::printf("  golden battery  : %zu responses recorded\n",
+              golden_before.size());
+
+  const ChaosResult chaos = chaos_phase(clients, rounds);
+  const std::uint64_t trips = gpustatic::failpoint::total_trips();
+  std::printf(
+      "  chaos phase     : %zu requests (%zu errors, %zu shed, %zu "
+      "timed out), %llu failpoint trips\n",
+      chaos.requests, chaos.errors, chaos.shed, chaos.timed_out,
+      static_cast<unsigned long long>(trips));
+  std::printf("  out-of-band     : %zu (want 0)\n", chaos.out_of_band);
+  std::printf("  late deadlines  : %zu (want 0)\n",
+              chaos.deadline_violations);
+
+  const TornResult torn = torn_phase(argv[0], kills);
+  std::printf("  torn-write kills: %zu (%zu reload failures, %zu stale "
+              "tmp files; want 0/0)\n",
+              torn.kills, torn.reload_failures, torn.stale_tmp_files);
+
+  gpustatic::failpoint::configure("");  // phase 4 runs clean again
+  const std::vector<std::string> golden_after = golden_battery();
+  std::size_t golden_mismatches = 0;
+  for (std::size_t i = 0;
+       i < golden_before.size() && i < golden_after.size(); ++i)
+    if (golden_before[i] != golden_after[i]) ++golden_mismatches;
+  if (golden_before.size() != golden_after.size()) ++golden_mismatches;
+  std::printf("  golden replay   : %zu byte mismatches (want 0)\n",
+              golden_mismatches);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaos: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"chaos\",\"golden\":%zu,"
+        "\"golden_mismatches\":%zu,\"chaos_requests\":%zu,"
+        "\"chaos_errors\":%zu,\"chaos_shed\":%zu,"
+        "\"chaos_timed_out\":%zu,\"out_of_band\":%zu,"
+        "\"deadline_violations\":%zu,\"failpoint_trips\":%llu,"
+        "\"torn_kills\":%zu,\"reload_failures\":%zu,"
+        "\"stale_tmp_files\":%zu}\n",
+        golden_before.size(), golden_mismatches, chaos.requests,
+        chaos.errors, chaos.shed, chaos.timed_out, chaos.out_of_band,
+        chaos.deadline_violations,
+        static_cast<unsigned long long>(trips), torn.kills,
+        torn.reload_failures, torn.stale_tmp_files);
+    std::fclose(f);
+  }
+
+  if (chaos.out_of_band > 0 || chaos.deadline_violations > 0 ||
+      torn.reload_failures > 0 || torn.stale_tmp_files > 0 ||
+      golden_mismatches > 0) {
+    std::fprintf(stderr, "chaos: FAILED\n");
+    return 1;
+  }
+  std::printf("chaos: OK\n");
+  return 0;
+}

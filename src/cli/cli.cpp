@@ -11,7 +11,9 @@
 #include "arch/gpu_spec.hpp"
 #include "codegen/backend.hpp"
 #include "codegen/compiler.hpp"
+#include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
@@ -87,6 +89,13 @@ options:
   --seed N           stochastic search seed                  [1234]
   --spec FILE        tune: Orio PerfTuning annotation (Fig. 3 syntax)
                      defining the search space       [Table III space]
+  --timeout-ms N     tune: per-request deadline in milliseconds; an
+                     expired deadline cancels the search and fails
+                     with the partial-result error           [none]
+  --failpoints SPEC  arm fault-injection points before running, e.g.
+                     'store.save=error(p=0.5,seed=1)'; equivalent to
+                     the GPUSTATIC_FAILPOINTS environment variable
+                     (chaos testing only)                    [none]
   --store FILE       tune-fleet: tuning store to warm-start from and
                      persist to (atomic rewrite)        [in-memory]
   --report FMT       tune-fleet report format: table|json|csv [table]
@@ -299,6 +308,9 @@ core::TuneRequest tune_request(const Options& opts) {
   request.space = tune_space(opts);
   request.run.backend = opts.backend;
   request.run.analytic = analytic_of(opts);
+  if (opts.timeout_ms > 0)
+    request.cancel = common::CancelToken::with_deadline(
+        common::Deadline::after_ms(opts.timeout_ms));
   return request;
 }
 
@@ -559,6 +571,12 @@ Options parse_args(const std::vector<std::string>& args) {
       o.seed = static_cast<std::uint64_t>(to_int(a, need_value(a)));
     } else if (a == "--spec") {
       o.spec_path = need_value(a);
+    } else if (a == "--timeout-ms") {
+      o.timeout_ms = to_int(a, need_value(a));
+      if (o.timeout_ms <= 0)
+        throw UsageError("flag '--timeout-ms' needs a positive value");
+    } else if (a == "--failpoints") {
+      o.failpoints = need_value(a);
     } else if (a == "--store") {
       o.store_path = need_value(a);
     } else if (a == "--report") {
@@ -593,6 +611,16 @@ Options parse_args(const std::vector<std::string>& args) {
 }
 
 int run_command(const Options& opts, std::ostream& out) {
+  // Arm --failpoints before any command logic runs, so even
+  // construction-time code paths (store load, model load) can trip. A
+  // malformed spec is a usage error, same as any other bad flag value.
+  if (!opts.failpoints.empty()) {
+    try {
+      failpoint::configure(opts.failpoints);
+    } catch (const Error& e) {
+      throw UsageError(e.what());
+    }
+  }
   if (opts.command == "gpus") return cmd_gpus(out);
   if (opts.command == "analyze") return cmd_analyze(opts, out);
   if (opts.command == "occupancy") return cmd_occupancy(opts, out);
@@ -623,6 +651,10 @@ int render_error(const std::exception& e, std::ostream& err) {
 int run_main(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   try {
+    // GPUSTATIC_FAILPOINTS arms first so a supervisor can chaos-test a
+    // daemon without touching its command line; --failpoints (applied
+    // in run_command) replaces the whole configuration when given.
+    failpoint::configure_from_env();
     return run_command(parse_args(args), out);
   } catch (const std::exception& e) {
     return render_error(e, err);

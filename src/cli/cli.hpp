@@ -81,6 +81,14 @@ struct Options {
   std::size_t budget = 16;   ///< hybrid empirical budget
   std::uint64_t seed = 1234;
   std::string spec_path;     ///< optional Fig. 3 PerfTuning spec file
+  /// Deadline for one tune in milliseconds; 0 = none. An expired
+  /// deadline cancels the search cooperatively and the command fails
+  /// with the partial-result error, exit code 1.
+  std::int64_t timeout_ms = 0;
+  /// Failpoint spec (common/failpoint.hpp grammar), applied before the
+  /// command runs; the GPUSTATIC_FAILPOINTS environment variable is the
+  /// equivalent for daemons started by a supervisor.
+  std::string failpoints;
   // tune-fleet command inputs.
   std::string store_path;    ///< tuning store file; empty = in-memory
   std::string report = "table";  ///< fleet report format: table|json|csv

@@ -1,5 +1,7 @@
 #include "codegen/cache.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace gpustatic::codegen {
 
 std::shared_ptr<const LoweredWorkload> CompilationCache::lower(
@@ -16,6 +18,11 @@ std::shared_ptr<const LoweredWorkload> CompilationCache::lower_as(
 
 std::shared_ptr<const LoweredWorkload> CompilationCache::lower_impl(
     const Bound& backend, const TuningParams& params) {
+  // Before the cache transaction, so an injected fault stays transient:
+  // it must never be memoized into the future map and poison every
+  // later lookup of this key the way a real compile failure would.
+  failpoint::check("codegen.compile");
+
   // Per-point validation happens on every lookup: TC/BC are not part of
   // the key, so an out-of-range launch must fail even when the key's
   // lowering is already cached. Validation is backend-agnostic.

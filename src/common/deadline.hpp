@@ -1,0 +1,134 @@
+#pragma once
+
+// Request deadlines and cooperative cancellation. A Deadline is an
+// absolute steady-clock instant (or "never"); a CancelToken is a
+// copyable handle on shared cancellation state — a manual flag plus an
+// optional deadline — that travels with a request from the serve
+// protocol's "deadline_ms" field (or the CLI's --timeout-ms) down into
+// the search core. Cancellation is cooperative: the CachingEvaluator
+// checks the token before every fresh backend batch and the strategies
+// check it between rounds, so a cancelled search stops at the next
+// batch boundary, never mid-measurement, and charges nothing for work
+// it did not do.
+//
+// The default-constructed token is inert (no shared state): carrying
+// one through every SearchOptions costs a null shared_ptr, and
+// cancelled() on it is a single pointer test.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gpustatic::common {
+
+/// Thrown at a cancellation point when the token's deadline has passed
+/// (or it was cancelled manually). A distinct type so drivers can tell
+/// "the search ran out of time" from "the search failed" and report
+/// timed_out with partial accounting instead of a bare error.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// An absolute steady-clock instant; default-constructed = never.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    d.set_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  [[nodiscard]] bool set() const { return set_; }
+  [[nodiscard]] bool expired() const {
+    return set_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Milliseconds until expiry (clamped at 0); a very large value when
+  /// the deadline is unset, so min(remaining, x) composes naturally.
+  [[nodiscard]] std::int64_t remaining_ms() const {
+    if (!set_) return std::numeric_limits<std::int64_t>::max();
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point time_point() const {
+    return at_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool set_ = false;
+};
+
+/// Copyable cancellation handle. Copies share state: cancel() through
+/// any copy is visible to all, and a deadline set at construction is
+/// checked on every cancelled() call.
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, costs a null pointer to carry.
+  CancelToken() = default;
+
+  /// A token that cancels itself when `deadline` passes.
+  [[nodiscard]] static CancelToken with_deadline(Deadline deadline) {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    t.state_->deadline = deadline;
+    return t;
+  }
+  /// A manually cancellable token (no deadline) — the shutdown hook.
+  [[nodiscard]] static CancelToken manual() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// True when this token can ever report cancellation.
+  [[nodiscard]] bool possible() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (state_->deadline.expired()) {
+      // Latch it: once a deadline has passed the token stays cancelled,
+      // and later checks skip the clock read.
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void cancel() const {
+    if (state_ != nullptr)
+      state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// The cancellation point: throws CancelledError when cancelled.
+  void throw_if_cancelled() const {
+    if (!cancelled()) return;
+    if (state_->deadline.set())
+      throw CancelledError("deadline exceeded");
+    throw CancelledError("request cancelled");
+  }
+
+  [[nodiscard]] Deadline deadline() const {
+    return state_ != nullptr ? state_->deadline : Deadline{};
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Deadline deadline;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace gpustatic::common

@@ -1,0 +1,211 @@
+#include "common/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace gpustatic::failpoint {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Action { kError, kThrow, kDelay };
+
+struct PointConfig {
+  Action action = Action::kError;
+  double probability = 1.0;
+  // Remaining trips before the point self-disarms; negative = unlimited.
+  std::int64_t count = -1;
+  std::int64_t delay_ms = 0;
+  Rng rng{1};
+  std::uint64_t trips = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointConfig> points;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<std::uint64_t> g_total_trips{0};
+
+[[noreturn]] void fail_spec(const std::string& spec, const std::string& why) {
+  throw Error("failpoint: bad spec '" + spec + "': " + why);
+}
+
+/// Parse one `point=action(key=value,...)` clause into the map.
+void parse_clause(const std::string& clause,
+                  std::map<std::string, PointConfig>& out) {
+  const auto eq = clause.find('=');
+  if (eq == std::string::npos) fail_spec(clause, "expected point=action");
+  const std::string name = std::string(str::trim(clause.substr(0, eq)));
+  std::string rest = std::string(str::trim(clause.substr(eq + 1)));
+
+  const auto& known = known_points();
+  if (!std::binary_search(known.begin(), known.end(), name))
+    fail_spec(clause, "unknown failpoint '" + name + "'");
+
+  std::string action_name = rest;
+  std::string args;
+  const auto paren = rest.find('(');
+  if (paren != std::string::npos) {
+    if (rest.back() != ')') fail_spec(clause, "unbalanced parentheses");
+    action_name = std::string(str::trim(rest.substr(0, paren)));
+    args = rest.substr(paren + 1, rest.size() - paren - 2);
+  }
+
+  if (action_name == "off") {
+    out.erase(name);
+    return;
+  }
+
+  PointConfig cfg;
+  if (action_name == "error") {
+    cfg.action = Action::kError;
+  } else if (action_name == "throw") {
+    cfg.action = Action::kThrow;
+  } else if (action_name == "delay") {
+    cfg.action = Action::kDelay;
+    cfg.delay_ms = 10;
+  } else {
+    fail_spec(clause, "unknown action '" + action_name + "'");
+  }
+
+  std::uint64_t seed = 1;
+  for (const auto& kv : str::split(args, ',')) {
+    const std::string pair = std::string(str::trim(kv));
+    if (pair.empty()) continue;
+    const auto kv_eq = pair.find('=');
+    if (kv_eq == std::string::npos) fail_spec(clause, "expected key=value");
+    const std::string key = std::string(str::trim(pair.substr(0, kv_eq)));
+    const std::string value = std::string(str::trim(pair.substr(kv_eq + 1)));
+    try {
+      if (key == "p") {
+        cfg.probability = std::stod(value);
+        if (cfg.probability < 0.0 || cfg.probability > 1.0)
+          fail_spec(clause, "p must be in [0,1]");
+      } else if (key == "count") {
+        cfg.count = std::stoll(value);
+        if (cfg.count < 0) fail_spec(clause, "count must be >= 0");
+      } else if (key == "ms") {
+        cfg.delay_ms = std::stoll(value);
+        if (cfg.delay_ms < 0) fail_spec(clause, "ms must be >= 0");
+      } else if (key == "seed") {
+        seed = static_cast<std::uint64_t>(std::stoull(value));
+      } else {
+        fail_spec(clause, "unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      fail_spec(clause, "bad number for '" + key + "'");
+    } catch (const std::out_of_range&) {
+      fail_spec(clause, "number out of range for '" + key + "'");
+    }
+  }
+  cfg.rng = Rng(seed);
+  out[name] = cfg;
+}
+
+}  // namespace
+
+namespace detail {
+
+void check_slow(const char* point) {
+  Action action;
+  std::int64_t delay_ms;
+  std::string name(point);
+  {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.points.find(name);
+    if (it == reg.points.end()) return;
+    PointConfig& cfg = it->second;
+    if (cfg.count == 0) return;
+    if (cfg.probability < 1.0) {
+      // uniform in [0,1): 53 random bits over 2^53.
+      const double u =
+          static_cast<double>(cfg.rng() >> 11) * 0x1.0p-53;
+      if (u >= cfg.probability) return;
+    }
+    if (cfg.count > 0) --cfg.count;
+    ++cfg.trips;
+    g_total_trips.fetch_add(1, std::memory_order_relaxed);
+    action = cfg.action;
+    delay_ms = cfg.delay_ms;
+  }
+  // Sleep outside the registry lock so a delay point can't serialize
+  // every other armed point behind it.
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  switch (action) {
+    case Action::kError:
+      throw InjectedFault("failpoint: injected fault at " + name);
+    case Action::kThrow:
+      throw std::runtime_error("failpoint: injected exception at " + name);
+    case Action::kDelay:
+      break;
+  }
+}
+
+}  // namespace detail
+
+const std::vector<std::string>& known_points() {
+  // Sorted: parse_clause binary-searches it.
+  static const std::vector<std::string> points = {
+      "codegen.compile", "learn.model_load", "serve.write",
+      "sim.measure",     "store.merge",      "store.save",
+  };
+  return points;
+}
+
+void configure(const std::string& spec) {
+  std::map<std::string, PointConfig> parsed;
+  for (const auto& clause : str::split(spec, ';')) {
+    const std::string trimmed = std::string(str::trim(clause));
+    if (trimmed.empty()) continue;
+    parse_clause(trimmed, parsed);
+  }
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points = std::move(parsed);
+  g_total_trips.store(0, std::memory_order_relaxed);
+  detail::g_armed.store(!reg.points.empty(), std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("GPUSTATIC_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') configure(spec);
+}
+
+void disarm() {
+  // Keep the point map so stats() still answers; only stop tripping.
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t total_trips() {
+  return g_total_trips.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> stats() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [name, cfg] : reg.points)
+    if (cfg.trips > 0) out.emplace_back(name, cfg.trips);
+  return out;
+}
+
+}  // namespace gpustatic::failpoint

@@ -1,0 +1,86 @@
+#pragma once
+
+// Failpoint injection. A failpoint is a named site on a production code
+// path — `codegen.compile`, `sim.measure`, `store.save`, `store.merge`,
+// `learn.model_load`, `serve.write` — where a fault can be injected at
+// runtime for chaos testing: throw a library error, throw a foreign
+// exception, or sleep. Points are configured per-name with probability,
+// trigger count, and seed via the GPUSTATIC_FAILPOINTS environment
+// variable or the CLI --failpoints flag:
+//
+//   point=action[(key=value,...)][;point=action(...)]...
+//
+//   actions:  error   throw InjectedFault (a gpustatic::Error — absorbed
+//                     wherever library errors are absorbed, e.g. an
+//                     evaluator marks the variant invalid)
+//             throw   throw std::runtime_error (a foreign exception —
+//                     propagates to the request boundary)
+//             delay   sleep, no exception
+//             off     explicitly disarm the point
+//   keys:     p=<0..1>   trip probability (default 1)
+//             count=<n>  trip at most n times, then disarm (default ∞)
+//             ms=<n>     sleep n milliseconds before acting (default 0
+//                        for error/throw, 10 for delay)
+//             seed=<n>   per-point RNG seed (default 1)
+//
+// Example: GPUSTATIC_FAILPOINTS="store.save=error(p=0.1,seed=7);sim.measure=delay(ms=5)"
+//
+// When nothing is configured (the production case) check() is a single
+// relaxed atomic load and a branch — no lock, no map lookup.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gpustatic::failpoint {
+
+/// The exception an `error`-action failpoint throws. Derives from
+/// gpustatic::Error so it takes the same recovery paths real library
+/// failures take; the message names the tripped point.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void check_slow(const char* point);
+}  // namespace detail
+
+/// The hook placed on production code paths. Disarmed (the default and
+/// the production case) this is one relaxed load.
+inline void check(const char* point) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  detail::check_slow(point);
+}
+
+/// Replace the active configuration with `spec` (the grammar above).
+/// An empty spec disarms everything. Unknown point names or malformed
+/// specs throw gpustatic::Error — a typo'd chaos schedule must fail
+/// loudly, not silently test nothing.
+void configure(const std::string& spec);
+
+/// configure() from GPUSTATIC_FAILPOINTS if set; no-op when unset.
+void configure_from_env();
+
+/// Disarm every point and clear the configuration. Trip counters are
+/// preserved (stats() still reports what happened) until the next
+/// configure().
+void disarm();
+
+/// Total trips across all points since the last configure().
+std::uint64_t total_trips();
+
+/// Per-point trip counts since the last configure(), sorted by name;
+/// only points that have tripped at least once appear.
+std::vector<std::pair<std::string, std::uint64_t>> stats();
+
+/// The registry of valid point names (sorted). configure() rejects
+/// anything not listed here.
+const std::vector<std::string>& known_points();
+
+}  // namespace gpustatic::failpoint

@@ -1,8 +1,14 @@
 #include "common/io.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +16,37 @@
 #include "common/error.hpp"
 
 namespace gpustatic::io {
+
+namespace {
+
+/// Directory part of `path` ("." when it has none) — for fsyncing the
+/// parent after the rename.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// write(2) until every byte is down, retrying EINTR.
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& tmp) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t wrote = ::write(fd, data + done, size - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("error writing '" + tmp + "'");
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace
 
 std::optional<std::string> read_file_if_exists(const std::string& path) {
   std::error_code ec;
@@ -24,24 +61,85 @@ std::optional<std::string> read_file_if_exists(const std::string& path) {
 
 void write_file_atomic(const std::string& path, std::string_view content) {
   // Unique per process: concurrent savers of *different* stores never
-  // collide, and a crashed save leaves at most one stale .tmp sibling.
+  // collide, and a crashed save leaves at most one stale .tmp sibling
+  // (which sweep_stale_tmp_files reclaims on the next load).
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("cannot open '" + tmp + "' for writing");
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      throw Error("error writing '" + tmp + "'");
-    }
+
+  // POSIX I/O rather than ofstream: crash safety needs fsync on the
+  // temp file before the rename (otherwise the rename can hit the disk
+  // first and a power cut surfaces an empty/torn target) and fsync on
+  // the parent directory after (so the rename itself is durable).
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("cannot open '" + tmp + "' for writing");
+  try {
+    write_all(fd, content.data(), content.size(), tmp);
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail_errno("cannot fsync '" + tmp + "'");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
   }
+  if (::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("error closing '" + tmp + "'");
+  }
+
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw Error("cannot rename '" + tmp + "' to '" + path + "'");
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail_errno("cannot rename '" + tmp + "' to '" + path + "'");
   }
+
+  // Make the rename durable. Failure here is not worth failing the save
+  // over — the data is safely in the new file and the directory entry
+  // will land shortly — so a directory that can't be opened or synced
+  // (exotic filesystems) degrades silently.
+  const int dir_fd = ::open(parent_dir(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    int rc;
+    do {
+      rc = ::fsync(dir_fd);
+    } while (rc < 0 && errno == EINTR);
+    ::close(dir_fd);
+  }
+}
+
+std::size_t sweep_stale_tmp_files(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  const fs::path dir =
+      target.has_parent_path() ? target.parent_path() : fs::path(".");
+  const std::string prefix = target.filename().string() + ".tmp.";
+
+  std::size_t removed = 0;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    // The suffix is the pid of the writer; only reclaim files whose
+    // writer is provably gone (kill(pid, 0) -> ESRCH). A live writer's
+    // in-flight temp must not be yanked out from under it.
+    const std::string pid_str = name.substr(prefix.size());
+    char* end = nullptr;
+    const long pid = std::strtol(pid_str.c_str(), &end, 10);
+    if (end == pid_str.c_str() || *end != '\0' || pid <= 0) continue;
+    if (pid != static_cast<long>(::getpid()) &&
+        ::kill(static_cast<pid_t>(pid), 0) == 0) {
+      continue;  // writer still alive
+    }
+    if (pid != static_cast<long>(::getpid()) && errno != ESRCH) continue;
+    std::error_code rm_ec;
+    if (fs::remove(entry.path(), rm_ec) && !rm_ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace gpustatic::io

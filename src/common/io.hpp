@@ -7,6 +7,7 @@
 // observe a half-written file and a crash mid-save leaves the previous
 // version intact.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -20,9 +21,17 @@ namespace gpustatic::io {
 
 /// Atomically replace `path` with `content`: the bytes are written to a
 /// unique temporary file in the same directory (same filesystem, so the
-/// rename is atomic) and renamed over the target. On any failure the
-/// temporary is removed and Error is thrown; the target keeps its
-/// previous content.
+/// rename is atomic), fsynced, and renamed over the target; the parent
+/// directory is fsynced after the rename so the replacement survives a
+/// crash or power cut. On any failure the temporary is removed and
+/// Error is thrown; the target keeps its previous content.
 void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Remove stale `<path>.tmp.<pid>` siblings left behind by writers that
+/// died mid-save. Only files whose writer pid no longer exists (or is
+/// this process) are reclaimed; a live writer's in-flight temp is left
+/// alone. Returns the number of files removed. Never throws — sweeping
+/// is best-effort hygiene on the load path.
+std::size_t sweep_stale_tmp_files(const std::string& path);
 
 }  // namespace gpustatic::io

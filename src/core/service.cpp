@@ -1,7 +1,10 @@
 #include "core/service.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "arch/gpu_spec.hpp"
@@ -71,10 +74,17 @@ TuningService::TuningService(Config config) : config_(std::move(config)) {
   if (!config_.model_path.empty()) {
     // Lenient: a daemon must come up with analytic ranking rather than
     // refuse to start over a missing/corrupt model file.
+    const std::size_t warnings_before = load_warnings_.size();
     if (auto model = learn::CostModel::load_lenient(config_.model_path,
                                                     &load_warnings_)) {
       model_ = std::make_shared<const learn::CostModel>(std::move(*model));
       model_generation_ = 1;
+    } else if (load_warnings_.size() > warnings_before) {
+      // The file existed but was unusable (vs. a normal cold start,
+      // which emits no warning): remember it so `stats` can surface the
+      // degraded mode instead of it dying silently in a warning list
+      // nobody reads.
+      model_load_error_ = load_warnings_.back();
     }
   }
 }
@@ -91,6 +101,11 @@ TuningService::~TuningService() {
 TuningService::Stats TuningService::stats() const {
   const std::lock_guard<std::mutex> lock(flights_mu_);
   return stats_;
+}
+
+void TuningService::count_timed_out() {
+  const std::lock_guard<std::mutex> lock(flights_mu_);
+  ++stats_.timed_out;
 }
 
 TuningService::ModelInfo TuningService::model_info() const {
@@ -154,11 +169,39 @@ std::size_t TuningService::store_records() const {
   return store_.size();
 }
 
+bool TuningService::save_with_retries() {
+  // Transient save failures (a crashed sibling holding the lock file, a
+  // full-for-a-moment disk, an injected store.save fault) get a bounded
+  // backoff; anything still failing after that is reported, not thrown
+  // — the records stay in memory for the next save window.
+  constexpr int kAttempts = 3;
+  constexpr std::chrono::milliseconds kBackoff[] = {
+      std::chrono::milliseconds(10), std::chrono::milliseconds(50)};
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(kBackoff[attempt - 1]);
+      const std::lock_guard<std::mutex> lock(flights_mu_);
+      ++stats_.store_save_retries;
+    }
+    try {
+      store_.merge_and_save(config_.store_path);
+      writes_since_persist_ = 0;
+      return true;
+    } catch (const std::exception&) {
+      // retry (or fall through to the failure count)
+    }
+  }
+  const std::lock_guard<std::mutex> lock(flights_mu_);
+  ++stats_.store_save_failures;
+  return false;
+}
+
 void TuningService::persist() {
   if (config_.store_path.empty()) return;
   const std::unique_lock<std::shared_mutex> lock(store_mu_);
-  store_.merge_and_save(config_.store_path);
-  writes_since_persist_ = 0;
+  if (!save_with_retries())
+    throw Error("store: could not persist '" + config_.store_path +
+                "' after retries");
 }
 
 TuningService::QueryResult TuningService::query(const std::string& kernel,
@@ -229,8 +272,10 @@ void TuningService::merge_harvest(
   ++writes_since_persist_;
   if (config_.save_every > 0 && !config_.store_path.empty() &&
       writes_since_persist_ >= config_.save_every) {
-    store_.merge_and_save(config_.store_path);
-    writes_since_persist_ = 0;
+    // A periodic save that fails after retries degrades (counted),
+    // never fails the request: the merged records are in memory and the
+    // next window or shutdown persist() tries again.
+    (void)save_with_retries();
   }
 }
 
@@ -241,6 +286,9 @@ TuneResponse TuningService::run_search(const TuneRequest& request) {
   response.n = request.n;
   response.method = request.method;
   try {
+    // A request that arrives already past its deadline (e.g. it sat in
+    // the admission queue) must not pay for workload loading/compiles.
+    request.cancel.throw_if_cancelled();
     tuner::FleetJob job;
     job.kernel = request.kernel;
     job.n = request.n;
@@ -268,6 +316,9 @@ TuneResponse TuningService::run_search(const TuneRequest& request) {
     opts.search = request.search;
     opts.hybrid = request.hybrid;
     opts.run = request.run;
+    // The request's token rides SearchOptions into the search core
+    // (tune_job mirrors it into the hybrid dial and the evaluator memo).
+    opts.search.cancel = request.cancel;
     if (!opts.hybrid.stage1) {
       // Install the learned stage-1 ranker when a model is loaded; the
       // ranker itself declines (analytic fallback) when unconfident,
@@ -287,7 +338,14 @@ TuneResponse TuningService::run_search(const TuneRequest& request) {
         tuner::tune_job(job, warm, opts, &harvest, context);
     response.compiles =
         context->compilation_cache().stats().misses - compiles_before;
-    if (response.ok() && request.store.write) merge_harvest(harvest);
+    // A timed-out search merges too: the measurements taken before the
+    // cut are real, and discarding them would make deadline pressure
+    // throw away exactly the work it already paid for.
+    if ((response.ok() || response.timed_out) && request.store.write)
+      merge_harvest(harvest);
+  } catch (const common::CancelledError& e) {
+    response.timed_out = true;
+    response.error = e.what();
   } catch (const std::exception& e) {
     response.error = e.what();
   }
@@ -329,9 +387,41 @@ TuneResponse TuningService::tune(const TuneRequest& request) {
 
   if (!leader) {
     std::unique_lock<std::mutex> lock(flight->mu);
-    flight->done_cv.wait(lock, [&] { return flight->done; });
-    TuneResponse response = flight->response;
+    if (!normalized.cancel.possible()) {
+      // No deadline and no cancel handle: the leader's FlightCloser
+      // publishes on every exit path, so this wait always terminates.
+      flight->done_cv.wait(lock, [&] { return flight->done; });
+    } else {
+      while (!flight->done && !normalized.cancel.cancelled()) {
+        // Chunked waits bound how stale the cancel check can get; the
+        // chunk tracks the remaining deadline so a short deadline is
+        // honored tightly and a long one costs few wakeups.
+        const auto chunk = std::min<std::int64_t>(
+            50, normalized.cancel.deadline().remaining_ms() + 1);
+        flight->done_cv.wait_for(lock, std::chrono::milliseconds(chunk),
+                                 [&] { return flight->done; });
+      }
+    }
+    if (flight->done) {
+      TuneResponse response = flight->response;
+      response.deduplicated = true;
+      if (response.timed_out) count_timed_out();
+      return response;
+    }
+    lock.unlock();
+    // Deadline passed while the leader was still searching: answer
+    // in-band rather than holding the caller hostage to a slower
+    // leader. The leader's own result still lands in the store.
+    TuneResponse response;
+    response.kernel = normalized.kernel;
+    response.gpu = normalized.gpu;
+    response.n = normalized.n;
+    response.method = normalized.method;
     response.deduplicated = true;
+    response.timed_out = true;
+    response.error =
+        "deadline exceeded while waiting for deduplicated search";
+    count_timed_out();
     return response;
   }
 
@@ -366,6 +456,7 @@ TuneResponse TuningService::tune(const TuneRequest& request) {
     }
   } closer{this, key, flight, response};
   response = run_search(normalized);
+  if (response.timed_out) count_timed_out();
   return response;
 }
 

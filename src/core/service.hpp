@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/fleet.hpp"
 #include "dsl/ast.hpp"
 #include "learn/model.hpp"
@@ -62,6 +63,13 @@ struct TuneRequest {
   tuner::ParamSpace space = tuner::paper_space();
   sim::RunOptions run;
   StorePolicy store;
+  /// Cooperative deadline/cancellation for this request. Deliberately
+  /// NOT part of request_key(): requests differing only in deadline are
+  /// the same search, and a follower with a shorter deadline than its
+  /// leader gives up in-band instead of forking a flight. A cancelled
+  /// search returns a response with timed_out set and partial
+  /// accounting — never throws out of tune().
+  common::CancelToken cancel;
 };
 
 /// The request's outcome plus the service's own accounting. The
@@ -111,6 +119,15 @@ class TuningService {
     /// shows how much the wave model is actually exercised.
     std::size_t classic_searches = 0;
     std::size_t wave_searches = 0;
+    // Graceful-degradation accounting (the chaos dashboard).
+    std::size_t timed_out = 0;  ///< searches cancelled by their deadline
+    /// Store saves that needed a retry (bounded backoff) before
+    /// succeeding — counts attempts beyond the first, not saves.
+    std::size_t store_save_retries = 0;
+    /// Periodic saves abandoned after every retry failed; the records
+    /// stay in memory for the next save window, so this is degradation,
+    /// not loss — until a crash.
+    std::size_t store_save_failures = 0;
   };
 
   /// Loads Config::store_path when set (a missing file is an empty
@@ -189,6 +206,13 @@ class TuningService {
   [[nodiscard]] const std::vector<std::string>& load_warnings() const {
     return load_warnings_;
   }
+  /// Non-empty when Config::model_path named a file that existed but
+  /// could not be used (corrupt/stale schema) at construction — the
+  /// service is running in degraded mode with analytic ranking only.
+  /// Empty on a clean load and on a normal cold start (no file).
+  [[nodiscard]] const std::string& model_load_error() const {
+    return model_load_error_;
+  }
   [[nodiscard]] std::size_t store_records() const;
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -210,9 +234,15 @@ class TuningService {
   [[nodiscard]] std::shared_ptr<sim::SimContext> context_for(
       const tuner::FleetJob& job, const sim::RunOptions& run);
   void merge_harvest(const std::vector<tuner::StoreRecord>& harvest);
+  /// merge_and_save with bounded-backoff retries (store_mu_ must be held
+  /// exclusively). Returns false when every attempt failed; counts
+  /// retries/failures into stats_. Throws nothing.
+  bool save_with_retries();
+  void count_timed_out();
 
   Config config_;
   std::vector<std::string> load_warnings_;
+  std::string model_load_error_;
 
   mutable std::shared_mutex store_mu_;
   tuner::TuningStore store_;

@@ -32,8 +32,10 @@ TuningOutcome TuningSession::tune(const TuningRequest& request) {
   ctx.hybrid = request.hybrid;
   // The session's RunOptions carry the analytic mode (like the backend);
   // sync it into the hybrid dial so stage 1 ranks with the same engine
-  // configuration the evaluator measures with.
+  // configuration the evaluator measures with. The cancel token rides
+  // SearchOptions the same way.
   ctx.hybrid.analytic = analytic_;
+  ctx.hybrid.cancel = request.options.cancel;
   ctx.gpu = gpu_;
   ctx.workload = &workload_;
   ctx.prune = [this]() -> const tuner::StaticPruneResult& {

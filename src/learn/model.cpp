@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "common/strings.hpp"
 #include "tuner/measurement.hpp"
@@ -276,11 +277,15 @@ CostModel CostModel::load(const std::string& path,
 
 std::optional<CostModel> CostModel::load_lenient(
     const std::string& path, std::vector<std::string>* warnings) {
-  const std::optional<std::string> text = io::read_file_if_exists(path);
-  if (!text) return std::nullopt;  // no model yet: a normal cold start
   try {
+    failpoint::check("learn.model_load");
+    const std::optional<std::string> text = io::read_file_if_exists(path);
+    if (!text) return std::nullopt;  // no model yet: a normal cold start
     return parse(*text, warnings);
   } catch (const Error& e) {
+    // Degraded mode, not a failure: the caller runs without a model and
+    // search falls back to the analytic stage-1 order. The warning is
+    // the only trace, so it must always be recorded.
     if (warnings != nullptr)
       warnings->push_back("model: ignoring unusable model file '" + path +
                           "': " + e.what());

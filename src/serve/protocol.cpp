@@ -314,6 +314,11 @@ WireRequest parse_request(std::string_view line) {
                          1);
       req.tune.run.analytic.mode = *mode;
       req.has_analytic = true;
+    } else if (key == "deadline_ms") {
+      const std::int64_t d = int_of(key, value);
+      if (d <= 0)
+        throw ParseError("wire request: 'deadline_ms' must be > 0", 1);
+      req.deadline_ms = d;
     } else if (key == "store_read") {
       req.tune.store.read = bool_of(key, value);
     } else if (key == "store_write") {
@@ -346,6 +351,8 @@ std::string render_request(const WireRequest& request) {
     w.field("analytic", sim::analytic_mode_name(t.run.analytic.mode));
     w.field("store_read", t.store.read);
     w.field("store_write", t.store.write);
+    if (request.deadline_ms > 0)
+      w.field("deadline_ms", request.deadline_ms);
   }
   return w.str();
 }
@@ -358,6 +365,24 @@ std::string render_tune_response(const WireRequest& request,
     w.field("status", "error");
     if (request.has_id) w.field("id", request.id);
     w.field("error", response.error);
+    if (response.timed_out) {
+      // Partial accounting rides the error response: the work done
+      // before the deadline is real (and merged into the store), so a
+      // client can tell "nothing happened" from "ran out of time after
+      // N evaluations" — and best-so-far when one exists.
+      w.field("timed_out", true);
+      w.field("evaluations",
+              static_cast<std::uint64_t>(
+                  response.outcome.search.distinct_evaluations));
+      w.field("fresh",
+              static_cast<std::uint64_t>(response.fresh_evaluations));
+      w.field("warm", static_cast<std::uint64_t>(response.warm_hits));
+      w.field("deduplicated", response.deduplicated);
+      if (response.outcome.search.best_time != tuner::kInvalid) {
+        w.field("best", response.outcome.search.best_params.to_string());
+        w.number_field("time_ms", response.outcome.search.best_time);
+      }
+    }
     return w.str();
   }
   w.field("status", "ok").field("op", "tune");

@@ -84,6 +84,11 @@ struct WireRequest {
   /// true when the line carried an explicit "analytic" field; absent,
   /// the server substitutes its --analytic-mode default.
   bool has_analytic = false;
+  /// Per-request deadline in milliseconds measured from parse time;
+  /// 0 = none. A deadline-capped request that runs out of time gets an
+  /// in-band status:"error" response with timed_out:true and partial
+  /// accounting. Deliberately not part of the search identity.
+  std::int64_t deadline_ms = 0;
   core::TuneRequest tune;
 };
 

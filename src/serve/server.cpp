@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 
 namespace gpustatic::serve {
@@ -33,36 +34,82 @@ core::TuningService::Config service_config(const ServeOptions& opts) {
 /// RAII pairing for Admission::acquire/release.
 class AdmissionGuard {
  public:
-  explicit AdmissionGuard(Admission& admission)
-      : admission_(&admission), admitted_(admission.acquire()) {}
+  explicit AdmissionGuard(Admission& admission,
+                          const common::Deadline& deadline = {})
+      : admission_(&admission), result_(admission.acquire(deadline)) {}
   ~AdmissionGuard() {
-    if (admitted_) admission_->release();
+    if (admitted()) admission_->release();
   }
   AdmissionGuard(const AdmissionGuard&) = delete;
   AdmissionGuard& operator=(const AdmissionGuard&) = delete;
-  [[nodiscard]] bool admitted() const { return admitted_; }
+  [[nodiscard]] bool admitted() const {
+    return result_ == Admission::Admit::Admitted;
+  }
+  [[nodiscard]] bool timed_out() const {
+    return result_ == Admission::Admit::TimedOut;
+  }
 
  private:
   Admission* admission_;
-  bool admitted_;
+  Admission::Admit result_;
 };
+
+// EINTR-retrying wrappers: a signal (e.g. the SIGTERM that drives
+// stop()) arriving mid-syscall must not tear a connection down on its
+// own — shutdown is decided by stopping_/shutdown(fd), never by a
+// stray -1/EINTR return. (The poll loop handles its own EINTR.)
+ssize_t recv_retry(int fd, void* buf, std::size_t len) {
+  ssize_t rc;
+  do {
+    rc = recv(fd, buf, len, 0);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+ssize_t send_retry(int fd, const void* buf, std::size_t len) {
+  ssize_t rc;
+  do {
+    rc = send(fd, buf, len, MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+int accept_retry(int fd) {
+  int rc;
+  do {
+    rc = accept(fd, nullptr, nullptr);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
 
 }  // namespace
 
 // ---- Admission ------------------------------------------------------
 
 bool Admission::acquire() {
+  return acquire(common::Deadline{}) == Admit::Admitted;
+}
+
+Admission::Admit Admission::acquire(const common::Deadline& deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (stopping_) return false;
+  if (stopping_) return Admit::Shed;
   if (active_ >= max_inflight_) {
-    if (waiting_ >= max_queue_) return false;  // queue full: shed
+    if (waiting_ >= max_queue_) return Admit::Shed;  // queue full: shed
     ++waiting_;
-    cv_.wait(lock, [&] { return active_ < max_inflight_ || stopping_; });
+    const auto free_slot = [&] {
+      return active_ < max_inflight_ || stopping_;
+    };
+    bool woke = true;
+    if (deadline.set())
+      woke = cv_.wait_until(lock, deadline.time_point(), free_slot);
+    else
+      cv_.wait(lock, free_slot);
     --waiting_;
-    if (stopping_) return false;
+    if (stopping_) return Admit::Shed;
+    if (!woke) return Admit::TimedOut;  // deadline expired while queued
   }
   ++active_;
-  return true;
+  return Admit::Admitted;
 }
 
 void Admission::release() {
@@ -121,6 +168,11 @@ void Server::count_error() {
   ++counters_.errors;
 }
 
+void Server::count_timed_out() {
+  const std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.timed_out;
+}
+
 Server::Counters Server::counters() const {
   const std::lock_guard<std::mutex> lock(counters_mu_);
   return counters_;
@@ -154,6 +206,14 @@ std::string Server::handle_tune(WireRequest request) {
   // A request without an explicit "analytic" field tunes under the
   // server's default mode (--analytic-mode), the same way the CLI does.
   if (!request.has_analytic) request.tune.run.analytic = default_analytic_;
+  // The deadline clock starts here — before the admission wait — so a
+  // request that spends its whole budget queued behind other searches
+  // times out in-band instead of starting a search it has no time for.
+  common::Deadline deadline;
+  if (request.deadline_ms > 0) {
+    deadline = common::Deadline::after_ms(request.deadline_ms);
+    request.tune.cancel = common::CancelToken::with_deadline(deadline);
+  }
   // Per-request budget caps: one runaway client must not monopolize
   // the simulator. Capping is reported, not an error.
   bool capped = false;
@@ -166,8 +226,16 @@ std::string Server::handle_tune(WireRequest request) {
     capped = true;
   }
 
-  const AdmissionGuard guard(admission_);
+  const AdmissionGuard guard(admission_, deadline);
   if (!guard.admitted()) {
+    if (guard.timed_out()) {
+      count_timed_out();
+      count_error();
+      core::TuneResponse response;
+      response.timed_out = true;
+      response.error = "deadline exceeded while queued for admission";
+      return render_tune_response(request, response, capped);
+    }
     {
       const std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.shed;
@@ -178,6 +246,7 @@ std::string Server::handle_tune(WireRequest request) {
                     options_.max_inflight, options_.max_queue));
   }
   const core::TuneResponse response = service_.tune(request.tune);
+  if (response.timed_out) count_timed_out();
   if (!response.ok()) count_error();
   return render_tune_response(request, response, capped);
 }
@@ -202,6 +271,19 @@ std::string Server::handle_stats(const WireRequest& request) {
   w.field("searches", static_cast<std::uint64_t>(stats.searches));
   w.field("deduplicated",
           static_cast<std::uint64_t>(stats.deduplicated));
+  // Graceful-degradation counters (the chaos dashboard): deadline
+  // expiries, failpoint trips, and store-save retries are expected
+  // behavior under fault injection, and they must be observable —
+  // silent degradation is how a daemon rots. `model_load_error` is
+  // empty on a clean start; non-empty means the configured model file
+  // existed but was unusable and the server is ranking analytically.
+  w.field("timed_out", static_cast<std::uint64_t>(counters.timed_out));
+  w.field("failpoint_trips", failpoint::total_trips());
+  w.field("store_save_retries",
+          static_cast<std::uint64_t>(stats.store_save_retries));
+  w.field("store_save_failures",
+          static_cast<std::uint64_t>(stats.store_save_failures));
+  w.field("model_load_error", service_.model_load_error());
   // Analytic-engine usage: the server's default mode plus leader-search
   // counts per requested mode (stable field set, zeros when unused).
   w.field("analytic_mode",
@@ -248,11 +330,21 @@ std::string Server::handle_retrain(const WireRequest& request) {
   return render_retrain_response(request, result);
 }
 
+std::string Server::guard_write(std::string response) {
+  try {
+    failpoint::check("serve.write");
+  } catch (const failpoint::InjectedFault& e) {
+    count_error();
+    return render_error_response(nullptr, e.what());
+  }
+  return response;
+}
+
 int Server::run_pipe(std::istream& in, std::ostream& out) {
   std::string line;
   while (!stopping_.load() && std::getline(in, line)) {
     if (str::trim(line).empty()) continue;
-    out << handle_line(line) << "\n" << std::flush;
+    out << guard_write(handle_line(line)) << "\n" << std::flush;
   }
   service_.persist();
   return 0;
@@ -282,10 +374,10 @@ void Server::serve_connection(int fd) {
                 nullptr, str::format("request line exceeds %zu bytes",
                                      options_.max_line_bytes)) +
             "\n";
-        send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+        send_retry(fd, response.data(), response.size());
         break;
       }
-      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      const ssize_t got = recv_retry(fd, chunk, sizeof chunk);
       if (got <= 0) break;  // EOF, reset, or shutdown()
       buffer.append(chunk, static_cast<std::size_t>(got));
       continue;
@@ -293,12 +385,11 @@ void Server::serve_connection(int fd) {
     std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
     if (str::trim(line).empty()) continue;
-    const std::string response = handle_line(line) + "\n";
+    const std::string response = guard_write(handle_line(line)) + "\n";
     std::size_t sent = 0;
     while (sent < response.size()) {
       const ssize_t wrote =
-          send(fd, response.data() + sent, response.size() - sent,
-               MSG_NOSIGNAL);
+          send_retry(fd, response.data() + sent, response.size() - sent);
       if (wrote <= 0) break;
       sent += static_cast<std::size_t>(wrote);
     }
@@ -355,7 +446,7 @@ int Server::run_tcp(std::ostream& log) {
     }
     if ((fds[1].revents & POLLIN) != 0) break;  // stop() woke us
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = accept(listen_fd, nullptr, nullptr);
+    const int client = accept_retry(listen_fd);
     if (client < 0) continue;
     // Reap handlers whose connections already ended, so `handlers`
     // tracks live connections rather than every connection ever served.

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/service.hpp"
 #include "serve/protocol.hpp"
 
@@ -63,11 +64,21 @@ struct ServeOptions {
 /// server.
 class Admission {
  public:
+  /// Why an acquire did not simply admit: Shed is the policy saying
+  /// "retry later" (queue full or stopping); TimedOut is the caller's
+  /// own deadline expiring while queued — reported separately so the
+  /// response can say timed_out instead of inviting a retry.
+  enum class Admit { Admitted, Shed, TimedOut };
+
   Admission(std::size_t max_inflight, std::size_t max_queue)
       : max_inflight_(max_inflight), max_queue_(max_queue) {}
 
   /// True = admitted (pair with release()); false = shed this request.
   [[nodiscard]] bool acquire();
+  /// Deadline-bounded acquire: waits in the queue at most until
+  /// `deadline` (an unset deadline waits indefinitely, like acquire()).
+  /// Only Admit::Admitted pairs with release().
+  [[nodiscard]] Admit acquire(const common::Deadline& deadline);
   void release();
   /// Wakes every waiter to shed; subsequent acquires shed immediately.
   void stop();
@@ -120,6 +131,10 @@ class Server {
     std::size_t requests = 0;  ///< lines received (any op)
     std::size_t shed = 0;      ///< tunes refused by admission
     std::size_t errors = 0;    ///< malformed requests + failed ops
+    /// Deadline-capped tunes answered with timed_out:true — whether the
+    /// deadline expired in the admission queue, mid-search, or while
+    /// waiting on a deduplicated leader. A subset of `errors`.
+    std::size_t timed_out = 0;
   };
   [[nodiscard]] Counters counters() const;
 
@@ -139,6 +154,12 @@ class Server {
   [[nodiscard]] std::string handle_retrain(const WireRequest& request);
   void serve_connection(int fd);
   void count_error();
+  void count_timed_out();
+  /// Passes the response through the serve.write failpoint: on an
+  /// injected write fault the client still gets one well-formed
+  /// status:"error" line (in-band degradation, never a dropped or torn
+  /// response).
+  [[nodiscard]] std::string guard_write(std::string response);
 
   ServeOptions options_;
   /// Parsed ServeOptions::analytic_mode, substituted into tune requests

@@ -2,6 +2,7 @@
 
 #include "analysis/predictor.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 
 namespace gpustatic::tuner {
@@ -16,6 +17,10 @@ std::vector<double> Evaluator::evaluate_batch(
 
 double SimEvaluator::evaluate(const codegen::TuningParams& params) {
   try {
+    // Inside the try: an injected measurement fault takes the same
+    // recovery path as a real one — this variant scores invalid and the
+    // search moves on.
+    failpoint::check("sim.measure");
     const sim::Measurement m = ctx_->measure(params);
     return m.valid ? m.trial_time_ms : kInvalid;
   } catch (const gpustatic::Error&) {
@@ -39,6 +44,7 @@ std::vector<double> SimEvaluator::evaluate_batch(
 
 double AnalyticEvaluator::evaluate(const codegen::TuningParams& params) {
   try {
+    failpoint::check("sim.measure");
     // lower() re-validates TC/BC per point, so key-mates of a scored
     // variant still reject out-of-range launch shapes.
     const std::shared_ptr<const codegen::LoweredWorkload> lowered =

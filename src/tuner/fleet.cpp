@@ -59,8 +59,11 @@ void run_job(const FleetJob& job, const TuningStore& store,
   ctx.hybrid = opts.hybrid;
   // The analytic mode travels in RunOptions (like the backend); hybrid's
   // stage 1 reads it from HybridOptions, so keep the two in sync here
-  // rather than asking every caller to set both.
+  // rather than asking every caller to set both. Same for the cancel
+  // token, which travels in SearchOptions.
   ctx.hybrid.analytic = opts.run.analytic;
+  ctx.hybrid.cancel = opts.search.cancel;
+  cache.set_cancel(opts.search.cancel);
   ctx.gpu = job.gpu;
   ctx.workload = &job.workload;
   ctx.compile_cache = &sim.context().compilation_cache();
@@ -73,7 +76,29 @@ void run_job(const FleetJob& job, const TuningStore& store,
     }
     return prune_storage;
   };
-  report.outcome = strategy->run(ctx);
+  try {
+    report.outcome = strategy->run(ctx);
+  } catch (const common::CancelledError& e) {
+    // Deadline hit mid-search: report best-so-far instead of nothing.
+    // The outer memo saw every admitted evaluation regardless of which
+    // strategy-internal wrapper was interrupted, so the partial outcome
+    // and the harvest below are exactly the work completed before the
+    // cut. `error` stays set — a timed-out search is not a completed
+    // one — and timed_out lets callers render it as such in-band.
+    report.timed_out = true;
+    report.error = e.what();
+    report.outcome.method = opts.method;
+    report.outcome.search.strategy = opts.method;
+    report.outcome.search.best_time = cache.best_value();
+    if (!cache.best_point().empty())
+      report.outcome.search.best_params =
+          job.space.to_params(cache.best_point());
+    report.outcome.search.distinct_evaluations =
+        cache.distinct_evaluations();
+    report.outcome.search.total_calls = cache.total_calls();
+    report.outcome.space_size = job.space.size();
+    report.outcome.full_space_size = job.space.size();
+  }
   report.fresh_evaluations = cache.fresh_evaluations();
   report.warm_hits = cache.total_calls() - cache.fresh_evaluations();
   report.predicted_cost =

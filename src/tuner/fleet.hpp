@@ -60,6 +60,12 @@ struct FleetJobReport {
   std::size_t fresh_evaluations = 0;  ///< simulator runs this job paid for
   std::size_t warm_hits = 0;          ///< lookups answered by the memo
   std::string error;                  ///< non-empty: the job failed
+  /// True when the search was cancelled by its deadline/token. The
+  /// report still carries partial results: best-so-far in `outcome` and
+  /// real fresh/warm accounting for the work done before the cut, but
+  /// `error` is set and ok() is false — a timed-out search is not a
+  /// completed one.
+  bool timed_out = false;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };

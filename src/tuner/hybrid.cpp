@@ -48,6 +48,10 @@ HybridResult hybrid_search(const ParamSpace& space,
   std::map<codegen::CodegenKey, double> cost_by_key;
   r.shortlist.reserve(pruned.size());
   for (std::size_t i = 0; i < pruned.size(); ++i) {
+    // Static ranking over a big pruned space can dominate a request's
+    // wall time; check the token at a stride that keeps the overhead
+    // unmeasurable.
+    if ((i & 63u) == 0) opts.cancel.throw_if_cancelled();
     RankedVariant v;
     v.flat_index = i;
     v.params = pruned.to_params(pruned.point_at(i));
@@ -125,6 +129,7 @@ HybridResult hybrid_search(const ParamSpace& space,
   const std::size_t budget =
       std::min(opts.empirical_budget, r.shortlist.size());
   CachingEvaluator eval(pruned, evaluator, opts.empirical_budget);
+  eval.set_cancel(opts.cancel);
   std::vector<Point> top;
   top.reserve(budget);
   for (std::size_t i = 0; i < budget; ++i)

@@ -69,6 +69,10 @@ struct HybridOptions {
   /// the partial tail wave and therefore separates launch shapes the
   /// Eq. 6 score cannot.
   sim::AnalyticOptions analytic{};
+  /// Cooperative cancellation: the stage-1 ranking loop checks it
+  /// periodically and the stage-2 batch checks before measuring,
+  /// throwing common::CancelledError. Default token is inert.
+  common::CancelToken cancel;
 };
 
 struct HybridResult {

@@ -27,6 +27,8 @@ double CachingEvaluator::operator()(const Point& p) {
     throw Error("CachingEvaluator: fresh evaluation requested after the "
                 "budget of " +
                 std::to_string(budget_) + " was spent");
+  // Before the backend and before charging: cancelled work costs nothing.
+  cancel_.throw_if_cancelled();
   const double v = backend_->evaluate(space_->to_params(p));
   ++calls_;  // counted on success: a throwing backend charges nothing
   ++fresh_;
@@ -76,6 +78,9 @@ std::vector<double> CachingEvaluator::run_batch(
     miss_params.push_back(space_->to_params(pts[i]));
   }
   if (!miss.empty()) {  // an all-hit batch must not touch the backend
+    // The cancellation point for batched search: past it, the round runs
+    // to completion (stops at batch boundaries, never mid-measurement).
+    cancel_.throw_if_cancelled();
     const std::vector<double> fresh =
         backend_->evaluate_batch(miss_params);
     if (fresh.size() != miss_params.size())
@@ -114,6 +119,7 @@ double CachingEvaluator::evaluate(const codegen::TuningParams& params) {
   if (!p) {
     // Outside the space: pass through uncached (and unbudgeted — the
     // budget meters the cache, and these params have no cache key).
+    cancel_.throw_if_cancelled();
     const double v = backend_->evaluate(params);
     ++calls_;
     return v;
@@ -145,6 +151,7 @@ std::vector<double> CachingEvaluator::evaluate_batch(
   // throws before any foreign work is spent or charged.
   const std::vector<double> cached_vals =
       run_batch(pts, /*clamp_to_budget=*/false);
+  cancel_.throw_if_cancelled();
   const std::vector<double> foreign_vals =
       backend_->evaluate_batch(foreign);
   if (foreign_vals.size() != foreign.size())
@@ -209,13 +216,26 @@ constexpr std::size_t kMaxRound = 1024;
 
 SearchResult exhaustive_search(const ParamSpace& space,
                                Evaluator& evaluator) {
+  return exhaustive_search(space, evaluator, SearchOptions{});
+}
+
+SearchResult exhaustive_search(const ParamSpace& space, Evaluator& evaluator,
+                               const SearchOptions& opts) {
   CachingEvaluator eval(space, evaluator);
-  // One batch over the whole space: a parallel backend fans out here.
-  std::vector<Point> pts;
-  pts.reserve(space.size());
-  for (std::size_t i = 0; i < space.size(); ++i)
-    pts.push_back(space.point_at(i));
-  eval.evaluate_batch(pts);
+  eval.set_cancel(opts.cancel);
+  // The full scan in kMaxRound-sized rounds (a parallel backend fans
+  // out within each round) with a cancellation check between rounds.
+  // Any round partition yields identical results: in-batch order and
+  // the first-wins tie-break are index order either way.
+  std::vector<Point> round;
+  for (std::size_t i = 0; i < space.size();) {
+    opts.cancel.throw_if_cancelled();
+    const std::size_t end = std::min(space.size(), i + kMaxRound);
+    round.clear();
+    round.reserve(end - i);
+    for (; i < end; ++i) round.push_back(space.point_at(i));
+    eval.evaluate_batch(round);
+  }
   return finish("exhaustive", space, eval);
 }
 
@@ -223,6 +243,7 @@ SearchResult random_search(const ParamSpace& space, Evaluator& evaluator,
                            const SearchOptions& opts) {
   CachingEvaluator eval(space, evaluator,
                         std::min(opts.budget, space.size()));
+  eval.set_cancel(opts.cancel);
   Rng rng(opts.seed);
   // Proposal guard against tiny spaces where the budget is unreachable;
   // saturating so budget == SIZE_MAX cannot overflow it away.
@@ -231,6 +252,9 @@ SearchResult random_search(const ParamSpace& space, Evaluator& evaluator,
                                           : opts.budget * 50;
   std::size_t proposed = 0;
   while (!eval.exhausted() && proposed < max_proposals) {
+    // Covers all-cache-hit rounds, which never reach the evaluator's
+    // own cancellation point.
+    opts.cancel.throw_if_cancelled();
     // One round of candidates, evaluated as a single batch. The budget
     // clamp stops the round exactly where a sequential loop would, so
     // over-proposing within a round never overshoots.
@@ -251,6 +275,7 @@ SearchResult simulated_annealing(const ParamSpace& space,
                                  const SearchOptions& opts) {
   CachingEvaluator eval(space, evaluator,
                         std::min(opts.budget, space.size()));
+  eval.set_cancel(opts.cancel);
   Rng rng(opts.seed);
   if (eval.exhausted()) return finish("simulated-annealing", space, eval);
   Point cur = random_point(space, rng);
@@ -262,6 +287,7 @@ SearchResult simulated_annealing(const ParamSpace& space,
   // most one fresh evaluation per iteration, and the reheat below is
   // budget-clamped, so the budget is never overshot.
   while (!eval.exhausted()) {
+    opts.cancel.throw_if_cancelled();
     const Point cand = neighbor(space, cur, rng);
     const double cand_v = eval(cand);
     bool take = cand_v < cur_v;
@@ -290,6 +316,7 @@ SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
                             const SearchOptions& opts) {
   CachingEvaluator eval(space, evaluator,
                         std::min(opts.budget, space.size()));
+  eval.set_cancel(opts.cancel);
   Rng rng(opts.seed);
 
   struct Member {
@@ -328,6 +355,7 @@ SearchResult genetic_search(const ParamSpace& space, Evaluator& evaluator,
   // the budget is reached (always, when ga_mutation_rate == 0).
   std::size_t stall = 0;
   while (!eval.exhausted() && stall < opts.ga_max_stall) {
+    opts.cancel.throw_if_cancelled();
     const std::size_t before = eval.distinct_evaluations();
     std::vector<Point> children;
     children.reserve(opts.ga_population);
@@ -362,6 +390,7 @@ SearchResult nelder_mead_search(const ParamSpace& space,
                                 const SearchOptions& opts) {
   CachingEvaluator eval(space, evaluator,
                         std::min(opts.budget, space.size()));
+  eval.set_cancel(opts.cancel);
   Rng rng(opts.seed);
   const std::size_t n = space.rank();
 
@@ -389,6 +418,7 @@ SearchResult nelder_mead_search(const ParamSpace& space,
 
   for (std::size_t restart = 0;
        restart <= opts.nm_restarts && !eval.exhausted(); ++restart) {
+    opts.cancel.throw_if_cancelled();
     // Initial simplex: a random vertex plus unit offsets per dimension,
     // evaluated as one batch.
     std::vector<Vec> simplex;

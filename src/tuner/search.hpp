@@ -29,6 +29,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/space.hpp"
@@ -115,6 +116,13 @@ class CachingEvaluator final : public Evaluator {
 
   [[nodiscard]] std::size_t budget() const { return budget_; }
   void set_budget(std::size_t budget) { budget_ = budget; }
+  /// Attach a cancellation token. Once it reports cancelled, the next
+  /// batch (or per-point miss) throws common::CancelledError *before*
+  /// touching the backend or charging calls/fresh counters — cancelled
+  /// work costs nothing, and everything already cached stays harvestable
+  /// for partial results. Distinct from budget exhaustion, which is a
+  /// normal completion.
+  void set_cancel(common::CancelToken cancel) { cancel_ = std::move(cancel); }
   /// Fresh evaluations still allowed before the budget is spent.
   [[nodiscard]] std::size_t remaining() const {
     return budget_ > fresh_ ? budget_ - fresh_ : 0;
@@ -147,6 +155,7 @@ class CachingEvaluator final : public Evaluator {
   const ParamSpace* space_;
   std::unique_ptr<Evaluator> owned_;  ///< set by the Objective ctor
   Evaluator* backend_;
+  common::CancelToken cancel_;
   std::unordered_map<std::size_t, double> cache_;
   std::size_t budget_ = kUnlimitedBudget;
   std::size_t calls_ = 0;
@@ -180,10 +189,23 @@ struct SearchOptions {
   std::size_t ga_max_stall = 3;
   // Nelder-Mead.
   std::size_t nm_restarts = 4;
+  /// Cooperative cancellation: strategies check between evaluation
+  /// rounds and the CachingEvaluator checks before every fresh batch,
+  /// throwing common::CancelledError. The default token is inert.
+  /// Deliberately NOT part of any request identity/serialization —
+  /// requests differing only in deadline are the same search.
+  common::CancelToken cancel;
 };
 
 [[nodiscard]] SearchResult exhaustive_search(const ParamSpace& space,
                                              Evaluator& evaluator);
+/// Cancellable form: identical results, but the full-space scan runs in
+/// bounded rounds with a cancellation check between rounds (any round
+/// partition is result-equivalent — in-batch order and the first-wins
+/// tie-break are preserved).
+[[nodiscard]] SearchResult exhaustive_search(const ParamSpace& space,
+                                             Evaluator& evaluator,
+                                             const SearchOptions& opts);
 [[nodiscard]] SearchResult random_search(const ParamSpace& space,
                                          Evaluator& evaluator,
                                          const SearchOptions& opts = {});

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "common/strings.hpp"
 
@@ -181,12 +182,16 @@ TuningStore TuningStore::parse(std::string_view text,
 
 TuningStore TuningStore::load(const std::string& path,
                               std::vector<std::string>* warnings) {
+  // Reclaim `.tmp.<pid>` siblings from writers that died mid-save, so
+  // a crashy fleet can't slowly fill the store directory.
+  io::sweep_stale_tmp_files(path);
   const std::optional<std::string> text = io::read_file_if_exists(path);
   if (!text) return {};
   return parse(*text, warnings);
 }
 
 void TuningStore::save(const std::string& path) const {
+  failpoint::check("store.save");
   io::write_file_atomic(path, serialize());
 }
 
@@ -201,6 +206,7 @@ void TuningStore::merge_and_save(const std::string& path,
   // silently dropping the first's new records.
   static std::mutex merge_mu;
   const std::lock_guard<std::mutex> lock(merge_mu);
+  failpoint::check("store.merge");
   const StoreFileLock file_lock(path);
   TuningStore merged = load(path, warnings);
   for (const StoreRecord& r : records_) merged.put(r);

@@ -80,7 +80,7 @@ class PrunedStrategy final : public Strategy {
         use_rule_ ? prune->rule_space : prune->static_space;
     StrategyResult r;
     r.method = name_;
-    r.search = exhaustive_search(pruned, *ctx.evaluator);
+    r.search = exhaustive_search(pruned, *ctx.evaluator, ctx.options);
     r.space_size = pruned.size();
     r.full_space_size = ctx.space->size();
     r.intensity = prune->intensity;
@@ -135,8 +135,8 @@ void register_builtin_strategies(StrategyRegistry& registry) {
     });
   };
   plain("exhaustive", false,
-        [](const ParamSpace& s, Evaluator& e, const SearchOptions&) {
-          return exhaustive_search(s, e);
+        [](const ParamSpace& s, Evaluator& e, const SearchOptions& o) {
+          return exhaustive_search(s, e, o);
         });
   plain("random", true, &random_search);
   plain("anneal", true, &simulated_annealing);

@@ -1,0 +1,90 @@
+// Deadlines and cooperative cancellation: the inert default token, the
+// deadline latch, shared state across copies, and the distinct
+// CancelledError messages drivers branch on.
+
+#include "common/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+using namespace gpustatic;  // NOLINT
+using common::CancelledError;
+using common::CancelToken;
+using common::Deadline;
+
+TEST(Deadline, DefaultIsNever) {
+  const Deadline d;
+  EXPECT_FALSE(d.set());
+  EXPECT_FALSE(d.expired());
+  // Unset composes as "no bound": min(remaining, x) picks x.
+  EXPECT_EQ(d.remaining_ms(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Deadline, AfterMsExpires) {
+  const Deadline d = Deadline::after_ms(5);
+  EXPECT_TRUE(d.set());
+  EXPECT_LE(d.remaining_ms(), 5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);  // clamped, never negative
+}
+
+TEST(CancelToken, DefaultIsInert) {
+  const CancelToken t;
+  EXPECT_FALSE(t.possible());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.throw_if_cancelled());
+  EXPECT_FALSE(t.deadline().set());
+}
+
+TEST(CancelToken, ManualCancelIsSharedAcrossCopies) {
+  const CancelToken t = CancelToken::manual();
+  const CancelToken copy = t;
+  EXPECT_TRUE(t.possible());
+  EXPECT_FALSE(copy.cancelled());
+  t.cancel();
+  EXPECT_TRUE(copy.cancelled());  // copies share one state
+  try {
+    copy.throw_if_cancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(std::string(e.what()), "request cancelled");
+  }
+}
+
+TEST(CancelToken, DeadlineExpiryCancelsAndLatches) {
+  const CancelToken t =
+      CancelToken::with_deadline(Deadline::after_ms(5));
+  EXPECT_TRUE(t.possible());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.cancelled());  // latched: stays cancelled
+  try {
+    t.throw_if_cancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    // The message drivers surface as the timed_out error.
+    EXPECT_EQ(std::string(e.what()), "deadline exceeded");
+  }
+}
+
+TEST(CancelToken, CancelledErrorIsALibraryError) {
+  // Generic Error handlers must still contain a cancellation (a search
+  // worker that only catches Error reports it instead of terminating).
+  const CancelToken t = CancelToken::manual();
+  t.cancel();
+  EXPECT_THROW(t.throw_if_cancelled(), Error);
+}
+
+TEST(CancelToken, UnexpiredDeadlineDoesNotCancel) {
+  const CancelToken t =
+      CancelToken::with_deadline(Deadline::after_ms(60'000));
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.throw_if_cancelled());
+  EXPECT_GT(t.deadline().remaining_ms(), 0);
+}

@@ -1,0 +1,176 @@
+// The failpoint registry: spec parsing, per-point probability/count/
+// seed semantics, trip accounting, and the loud-failure contract for
+// malformed chaos schedules.
+
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
+
+using namespace gpustatic;  // NOLINT
+using failpoint::InjectedFault;
+
+namespace {
+
+/// Failpoint state is process-global; every test starts from a clean
+/// slate and leaves one behind.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::configure(""); }
+  void TearDown() override { failpoint::configure(""); }
+};
+
+}  // namespace
+
+TEST_F(FailpointTest, DisarmedCheckIsANoOp) {
+  EXPECT_NO_THROW(failpoint::check("store.save"));
+  EXPECT_NO_THROW(failpoint::check("codegen.compile"));
+  EXPECT_EQ(failpoint::total_trips(), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsInjectedFaultNamingThePoint) {
+  failpoint::configure("store.save=error");
+  try {
+    failpoint::check("store.save");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("store.save"), std::string::npos);
+  }
+  // Other points stay disarmed.
+  EXPECT_NO_THROW(failpoint::check("sim.measure"));
+  EXPECT_EQ(failpoint::total_trips(), 1u);
+}
+
+TEST_F(FailpointTest, InjectedFaultIsALibraryError) {
+  // `error` must take the same recovery paths real failures take, so it
+  // derives from gpustatic::Error.
+  failpoint::configure("sim.measure=error");
+  EXPECT_THROW(failpoint::check("sim.measure"), Error);
+}
+
+TEST_F(FailpointTest, ThrowActionIsAForeignException) {
+  failpoint::configure("serve.write=throw");
+  try {
+    failpoint::check("serve.write");
+    FAIL() << "expected std::runtime_error";
+  } catch (const Error&) {
+    FAIL() << "`throw` must not be catchable as a library Error";
+  } catch (const std::runtime_error&) {
+    // The foreign-exception path: propagates past Error handlers.
+  }
+}
+
+TEST_F(FailpointTest, CountDisarmsAfterNTrips) {
+  failpoint::configure("store.merge=error(count=2)");
+  EXPECT_THROW(failpoint::check("store.merge"), InjectedFault);
+  EXPECT_THROW(failpoint::check("store.merge"), InjectedFault);
+  // Third and later checks pass: the point spent its budget.
+  EXPECT_NO_THROW(failpoint::check("store.merge"));
+  EXPECT_NO_THROW(failpoint::check("store.merge"));
+  EXPECT_EQ(failpoint::total_trips(), 2u);
+}
+
+TEST_F(FailpointTest, ZeroProbabilityNeverTrips) {
+  failpoint::configure("learn.model_load=error(p=0)");
+  for (int i = 0; i < 200; ++i)
+    EXPECT_NO_THROW(failpoint::check("learn.model_load"));
+  EXPECT_EQ(failpoint::total_trips(), 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  const auto trip_pattern = [](std::uint64_t seed) {
+    failpoint::configure("sim.measure=error(p=0.5,seed=" +
+                         std::to_string(seed) + ")");
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        failpoint::check("sim.measure");
+        pattern += '.';
+      } catch (const InjectedFault&) {
+        pattern += 'x';
+      }
+    }
+    return pattern;
+  };
+  const std::string a = trip_pattern(7);
+  const std::string b = trip_pattern(7);
+  EXPECT_EQ(a, b);  // same seed, same schedule — chaos is replayable
+  // p=0.5 over 64 draws trips some but not all.
+  EXPECT_NE(a.find('x'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+  EXPECT_NE(a, trip_pattern(8));
+}
+
+TEST_F(FailpointTest, DelayActionSleepsWithoutThrowing) {
+  failpoint::configure("codegen.compile=delay(ms=20,count=1)");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(failpoint::check("codegen.compile"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15);
+  EXPECT_EQ(failpoint::total_trips(), 1u);
+}
+
+TEST_F(FailpointTest, OffClauseDisarmsThePoint) {
+  failpoint::configure("store.save=error;store.save=off");
+  EXPECT_NO_THROW(failpoint::check("store.save"));
+}
+
+TEST_F(FailpointTest, MultiplePointsArmIndependently) {
+  failpoint::configure("store.save=error;sim.measure=error");
+  EXPECT_THROW(failpoint::check("store.save"), InjectedFault);
+  EXPECT_THROW(failpoint::check("sim.measure"), InjectedFault);
+  EXPECT_NO_THROW(failpoint::check("codegen.compile"));
+  const auto stats = failpoint::stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "sim.measure");  // sorted by name
+  EXPECT_EQ(stats[0].second, 1u);
+  EXPECT_EQ(stats[1].first, "store.save");
+  EXPECT_EQ(stats[1].second, 1u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsFailLoudly) {
+  // A typo'd chaos schedule must not silently test nothing.
+  EXPECT_THROW(failpoint::configure("no.such.point=error"), Error);
+  EXPECT_THROW(failpoint::configure("store.save"), Error);
+  EXPECT_THROW(failpoint::configure("store.save=explode"), Error);
+  EXPECT_THROW(failpoint::configure("store.save=error(p=banana)"), Error);
+  EXPECT_THROW(failpoint::configure("store.save=error(bogus=1)"), Error);
+  // A failed configure leaves everything disarmed.
+  EXPECT_NO_THROW(failpoint::check("store.save"));
+}
+
+TEST_F(FailpointTest, DisarmKeepsTripStatsUntilNextConfigure) {
+  failpoint::configure("store.save=error");
+  EXPECT_THROW(failpoint::check("store.save"), InjectedFault);
+  failpoint::disarm();
+  EXPECT_NO_THROW(failpoint::check("store.save"));
+  EXPECT_EQ(failpoint::total_trips(), 1u);  // history survives disarm()
+  failpoint::configure("");
+  EXPECT_EQ(failpoint::total_trips(), 0u);  // configure() resets it
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsTheVariable) {
+  ASSERT_EQ(setenv("GPUSTATIC_FAILPOINTS", "store.save=error(count=1)", 1),
+            0);
+  failpoint::configure_from_env();
+  unsetenv("GPUSTATIC_FAILPOINTS");
+  EXPECT_THROW(failpoint::check("store.save"), InjectedFault);
+  EXPECT_NO_THROW(failpoint::check("store.save"));
+}
+
+TEST_F(FailpointTest, KnownPointsAreSortedAndCoverTheInstrumentedSites) {
+  const auto& points = failpoint::known_points();
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  for (const char* p : {"codegen.compile", "sim.measure", "store.save",
+                        "store.merge", "learn.model_load", "serve.write"})
+    EXPECT_NE(std::find(points.begin(), points.end(), p), points.end())
+        << p;
+}

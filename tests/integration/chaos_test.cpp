@@ -1,0 +1,151 @@
+// Chaos gate: with every failpoint armed at low probability, the serve
+// pipeline must degrade — never crash, never hang, never answer out of
+// band. Every response stays one parseable JSON line with status
+// ok|error|shed, the store file stays loadable, and once the faults are
+// disarmed the server recovers completely.
+//
+// The fault schedule comes from GPUSTATIC_FAILPOINTS when set (the CI
+// chaos step pins one), falling back to a fixed seeded schedule so the
+// test is deterministic either way. Only `error` and `delay` actions
+// belong here: `throw` is the foreign-exception case, tested separately.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tuner/store.hpp"
+
+using namespace gpustatic;  // NOLINT
+using serve::JsonObject;
+using serve::ServeOptions;
+using serve::Server;
+
+namespace {
+
+const char* kFixedSchedule =
+    "codegen.compile=error(p=0.10,seed=1);"
+    "sim.measure=error(p=0.05,seed=2);"
+    "store.save=error(p=0.30,seed=3);"
+    "store.merge=error(p=0.20,seed=4);"
+    "learn.model_load=error(seed=5);"
+    "serve.write=error(p=0.15,seed=6)";
+
+void arm_schedule() {
+  if (std::getenv("GPUSTATIC_FAILPOINTS") != nullptr)
+    failpoint::configure_from_env();
+  else
+    failpoint::configure(kFixedSchedule);
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Every status a degraded-but-correct server may answer with.
+void expect_in_band(const std::string& response_line) {
+  const JsonObject response = serve::parse_json_object(response_line);
+  const std::string& status = response.at("status").string;
+  EXPECT_TRUE(status == "ok" || status == "error" || status == "shed")
+      << response_line;
+}
+
+std::vector<std::string> chaos_request_lines() {
+  std::vector<std::string> lines;
+  for (const char* kernel : {"atax", "bicg"})
+    for (const char* method : {"rule", "random"})
+      for (const int n : {16, 32}) {
+        std::ostringstream tune;
+        tune << R"({"op":"tune","kernel":")" << kernel
+             << R"(","n":)" << n << R"(,"method":")" << method
+             << R"(","search_budget":12})";
+        lines.push_back(tune.str());
+        // The same request under a deadline: either it finishes (ok) or
+        // it times out (error + timed_out) — both are in-band.
+        std::ostringstream capped;
+        capped << R"({"op":"tune","kernel":")" << kernel
+               << R"(","n":)" << n << R"(,"method":")" << method
+               << R"(","search_budget":12,"deadline_ms":500})";
+        lines.push_back(capped.str());
+      }
+  lines.push_back(R"({"op":"query","kernel":"atax","n":16})");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"ping","id":9})");
+  lines.push_back(R"({"op":"retrain"})");
+  lines.push_back("definitely not json");
+  lines.push_back(R"({"op":"tune","kernel":"nosuchkernel"})");
+  return lines;
+}
+
+}  // namespace
+
+TEST(Chaos, ServerDegradesInBandUnderTheFaultSchedule) {
+  const std::string store = temp_path("chaos_server.store");
+  std::filesystem::remove(store);
+  arm_schedule();
+  {
+    ServeOptions opts;
+    opts.store_path = store;
+    opts.save_every = 2;  // exercise the periodic-save retry path often
+    Server server(opts);
+    for (const std::string& line : chaos_request_lines())
+      expect_in_band(server.handle_line(line));
+    // The transport write path (serve.write) + shutdown persist. A
+    // persist whose every retry was injected away surfaces as an Error
+    // — the CLI boundary reports it — but never a crash or a torn file.
+    std::istringstream in(
+        R"({"op":"tune","kernel":"atax","n":16})" "\n"
+        R"({"op":"stats"})" "\n");
+    std::ostringstream out;
+    try {
+      EXPECT_EQ(server.run_pipe(in, out), 0);
+    } catch (const Error&) {
+      // Injected persist failure after bounded retries: acceptable
+      // degradation, asserted recoverable below.
+    }
+    std::istringstream responses(out.str());
+    std::string response_line;
+    while (std::getline(responses, response_line))
+      expect_in_band(response_line);
+  }
+  failpoint::disarm();
+
+  // Gate: whatever the injected faults did, the store reloads cleanly…
+  std::vector<std::string> warnings;
+  EXPECT_NO_THROW((void)tuner::TuningStore::load(store, &warnings));
+  // …and a clean server over the same file serves normally again.
+  ServeOptions clean_opts;
+  clean_opts.store_path = store;
+  Server clean(clean_opts);
+  const JsonObject ok = serve::parse_json_object(
+      clean.handle_line(R"({"op":"tune","kernel":"atax","n":16})"));
+  EXPECT_EQ(ok.at("status").string, "ok") << ok.at("error").string;
+  std::filesystem::remove(store);
+}
+
+TEST(Chaos, StatsKeepServingAndCountTripsUnderFaults) {
+  arm_schedule();
+  Server server(ServeOptions{});
+  // Enough tunes that some failpoint almost surely trips.
+  for (int i = 0; i < 6; ++i)
+    expect_in_band(server.handle_line(
+        R"({"op":"tune","kernel":"atax","n":16,"method":"random"})"));
+  const JsonObject stats =
+      serve::parse_json_object(server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("status").string, "ok");
+  // The degradation counters are present and the trip counter reflects
+  // the armed schedule (≥ 0 always; > 0 when anything fired).
+  ASSERT_EQ(stats.count("failpoint_trips"), 1u);
+  ASSERT_EQ(stats.count("timed_out"), 1u);
+  ASSERT_EQ(stats.count("store_save_retries"), 1u);
+  EXPECT_DOUBLE_EQ(stats.at("failpoint_trips").number,
+                   static_cast<double>(failpoint::total_trips()));
+  failpoint::disarm();
+}

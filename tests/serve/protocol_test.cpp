@@ -363,3 +363,65 @@ TEST(WireRequestRoundTrip, AnalyticModeSurvivesRenderAndReparse) {
   EXPECT_EQ(back.tune.run.analytic.mode, sim::AnalyticMode::Wave);
   EXPECT_TRUE(back.has_analytic);
 }
+
+TEST(WireRequestParse, DeadlineMsFieldParsesAndValidates) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","deadline_ms":250})");
+  EXPECT_EQ(req.deadline_ms, 250);
+  // Absent = no deadline.
+  EXPECT_EQ(serve::parse_request(R"({"op":"tune","kernel":"atax"})")
+                .deadline_ms,
+            0);
+  // A non-positive deadline is a client bug, rejected loudly.
+  EXPECT_THROW((void)serve::parse_request(
+                   R"({"op":"tune","kernel":"atax","deadline_ms":0})"),
+               gpustatic::ParseError);
+  EXPECT_THROW((void)serve::parse_request(
+                   R"({"op":"tune","kernel":"atax","deadline_ms":-5})"),
+               gpustatic::ParseError);
+}
+
+TEST(WireRequestRoundTrip, DeadlineSurvivesRenderAndReparse) {
+  WireRequest req =
+      serve::parse_request(R"({"op":"tune","kernel":"atax"})");
+  req.deadline_ms = 750;
+  const WireRequest back =
+      serve::parse_request(serve::render_request(req));
+  EXPECT_EQ(back.deadline_ms, 750);
+}
+
+TEST(WireResponse, TimedOutTuneCarriesPartialAccounting) {
+  const WireRequest req = serve::parse_request(
+      R"({"op":"tune","kernel":"atax","id":4,"deadline_ms":100})");
+  core::TuneResponse response;
+  response.error = "deadline exceeded";
+  response.timed_out = true;
+  response.fresh_evaluations = 7;
+  response.warm_hits = 2;
+  response.outcome.search.distinct_evaluations = 9;
+  response.outcome.search.best_time = 0.5;
+  response.outcome.search.best_params.threads_per_block = 96;
+  const serve::JsonObject obj = serve::parse_json_object(
+      serve::render_tune_response(req, response, false));
+  EXPECT_EQ(obj.at("status").string, "error");
+  EXPECT_DOUBLE_EQ(obj.at("id").number, 4);
+  EXPECT_TRUE(obj.at("timed_out").boolean);
+  EXPECT_DOUBLE_EQ(obj.at("evaluations").number, 9);
+  EXPECT_DOUBLE_EQ(obj.at("fresh").number, 7);
+  EXPECT_DOUBLE_EQ(obj.at("warm").number, 2);
+  // Best-so-far rides along when the cut search had one.
+  EXPECT_DOUBLE_EQ(obj.at("time_ms").number, 0.5);
+  EXPECT_NE(obj.at("best").string.find("96"), std::string::npos);
+}
+
+TEST(WireResponse, PlainFailureCarriesNoTimedOutAccounting) {
+  const WireRequest req =
+      serve::parse_request(R"({"op":"tune","kernel":"atax"})");
+  core::TuneResponse response;
+  response.error = "no such GPU";
+  const serve::JsonObject obj = serve::parse_json_object(
+      serve::render_tune_response(req, response, false));
+  EXPECT_EQ(obj.at("status").string, "error");
+  EXPECT_EQ(obj.count("timed_out"), 0u);
+  EXPECT_EQ(obj.count("evaluations"), 0u);
+}

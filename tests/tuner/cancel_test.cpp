@@ -1,0 +1,174 @@
+// Cooperative cancellation through the search core: the
+// CachingEvaluator's charge-nothing contract, strategy loop-head
+// checks, and the service's in-band timed_out response with partial
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/deadline.hpp"
+#include "core/service.hpp"
+#include "tuner/search.hpp"
+#include "tuner/space.hpp"
+
+using namespace gpustatic;  // NOLINT
+using common::CancelledError;
+using common::CancelToken;
+using common::Deadline;
+using tuner::CachingEvaluator;
+using tuner::ParamSpace;
+using tuner::Point;
+using tuner::SearchOptions;
+
+namespace {
+
+/// Objective that counts how often the backend actually ran.
+struct CountingObjective {
+  std::atomic<std::size_t>* calls;
+  double operator()(const codegen::TuningParams& params) const {
+    ++*calls;
+    return static_cast<double>(params.threads_per_block);
+  }
+};
+
+SearchOptions cancelled_options() {
+  SearchOptions opts;
+  const CancelToken token = CancelToken::manual();
+  token.cancel();
+  opts.cancel = token;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Cancel, CachingEvaluatorChargesNothingForCancelledWork) {
+  const ParamSpace space = tuner::paper_space();
+  std::atomic<std::size_t> backend_calls{0};
+  CachingEvaluator eval(space, tuner::Objective(CountingObjective{
+                                   &backend_calls}));
+  // Some real work first, so there is a partial result to preserve.
+  const Point first = space.point_at(0);
+  EXPECT_NO_THROW(eval(first));
+  ASSERT_EQ(backend_calls.load(), 1u);
+  const std::size_t calls_before = eval.total_calls();
+  const std::size_t fresh_before = eval.fresh_evaluations();
+
+  const CancelToken token = CancelToken::manual();
+  token.cancel();
+  eval.set_cancel(token);
+  EXPECT_THROW(eval(space.point_at(1)), CancelledError);
+  EXPECT_THROW(eval.evaluate_batch({space.point_at(2), space.point_at(3)}),
+               CancelledError);
+  // The backend never ran and nothing was charged: cancelled work is
+  // free, distinct from budget exhaustion.
+  EXPECT_EQ(backend_calls.load(), 1u);
+  EXPECT_EQ(eval.total_calls(), calls_before);
+  EXPECT_EQ(eval.fresh_evaluations(), fresh_before);
+  // The pre-cancellation result stays harvestable.
+  EXPECT_EQ(eval.distinct_evaluations(), 1u);
+  EXPECT_TRUE(eval.cached(first));
+}
+
+TEST(Cancel, ExhaustiveSearchChecksBetweenRounds) {
+  const ParamSpace space = tuner::paper_space();
+  std::atomic<std::size_t> backend_calls{0};
+  CachingEvaluator eval(space, tuner::Objective(CountingObjective{
+                                   &backend_calls}));
+  EXPECT_THROW((void)tuner::exhaustive_search(space, eval,
+                                              cancelled_options()),
+               CancelledError);
+  EXPECT_EQ(backend_calls.load(), 0u);
+}
+
+TEST(Cancel, StochasticStrategiesCheckAtTheLoopHead) {
+  const ParamSpace space = tuner::paper_space();
+  const SearchOptions opts = cancelled_options();
+  std::atomic<std::size_t> backend_calls{0};
+  const tuner::Objective fn = CountingObjective{&backend_calls};
+  {
+    CachingEvaluator eval(space, fn);
+    EXPECT_THROW((void)tuner::random_search(space, eval, opts),
+                 CancelledError);
+  }
+  {
+    CachingEvaluator eval(space, fn);
+    EXPECT_THROW((void)tuner::simulated_annealing(space, eval, opts),
+                 CancelledError);
+  }
+  {
+    CachingEvaluator eval(space, fn);
+    EXPECT_THROW((void)tuner::genetic_search(space, eval, opts),
+                 CancelledError);
+  }
+  {
+    CachingEvaluator eval(space, fn);
+    EXPECT_THROW((void)tuner::nelder_mead_search(space, eval, opts),
+                 CancelledError);
+  }
+  EXPECT_EQ(backend_calls.load(), 0u);
+}
+
+TEST(Cancel, UncancelledTokenChangesNothing) {
+  // A live (but never-firing) token is pure overhead-free plumbing: the
+  // search result is identical to one with the inert default token.
+  const ParamSpace space = tuner::paper_space();
+  std::atomic<std::size_t> calls_a{0};
+  std::atomic<std::size_t> calls_b{0};
+  SearchOptions with_token;
+  with_token.budget = 40;
+  with_token.cancel =
+      CancelToken::with_deadline(Deadline::after_ms(600'000));
+  SearchOptions without = with_token;
+  without.cancel = CancelToken();
+
+  CachingEvaluator a(space, tuner::Objective(CountingObjective{&calls_a}));
+  CachingEvaluator b(space, tuner::Objective(CountingObjective{&calls_b}));
+  const auto ra = tuner::random_search(space, a, with_token);
+  const auto rb = tuner::random_search(space, b, without);
+  EXPECT_EQ(ra.best_params.to_string(), rb.best_params.to_string());
+  EXPECT_DOUBLE_EQ(ra.best_time, rb.best_time);
+  EXPECT_EQ(ra.distinct_evaluations, rb.distinct_evaluations);
+  EXPECT_EQ(calls_a.load(), calls_b.load());
+}
+
+TEST(Cancel, ServiceAnswersTimedOutInBandWithPartialAccounting) {
+  core::TuningService service;
+  core::TuneRequest request;
+  request.kernel = "atax";
+  request.n = 16;
+  request.method = "random";
+  const CancelToken token = CancelToken::manual();
+  token.cancel();  // expired before the search even starts
+  request.cancel = token;
+
+  const core::TuneResponse response = service.tune(request);
+  EXPECT_FALSE(response.ok());  // a timed-out search is not a completed one
+  EXPECT_TRUE(response.timed_out);
+  EXPECT_EQ(response.error, "request cancelled");
+  EXPECT_EQ(response.fresh_evaluations, 0u);
+  EXPECT_FALSE(response.deduplicated);
+  EXPECT_EQ(service.stats().timed_out, 1u);
+
+  // The service keeps serving: the same request without a deadline
+  // completes normally.
+  core::TuneRequest clean = request;
+  clean.cancel = CancelToken();
+  const core::TuneResponse ok = service.tune(clean);
+  EXPECT_TRUE(ok.ok()) << ok.error;
+  EXPECT_FALSE(ok.timed_out);
+}
+
+TEST(Cancel, GenerousDeadlineCompletesWithTimedOutUnset) {
+  core::TuningService service;
+  core::TuneRequest request;
+  request.kernel = "atax";
+  request.n = 16;
+  request.method = "rule";
+  request.cancel =
+      CancelToken::with_deadline(Deadline::after_ms(600'000));
+  const core::TuneResponse response = service.tune(request);
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_FALSE(response.timed_out);
+}

@@ -311,3 +311,22 @@ TEST(TuningStore, LoadOfTruncatedFileWarnsAndKeepsPrefix) {
   EXPECT_EQ(warnings.size(), 1u);
   std::filesystem::remove(path);
 }
+
+TEST(TuningStore, LoadSweepsTmpSiblingsOfDeadWritersOnly) {
+  const std::string path = temp_path("store_sweep.store");
+  sample_store().save(path);
+  // A stale temp from a crashed writer (no such pid) and one from a
+  // live process (pid 1 always exists): load must sweep the first and
+  // leave the second — it may be a concurrent save in flight.
+  const std::string stale = path + ".tmp.4999999";
+  const std::string live = path + ".tmp.1";
+  { std::ofstream f(stale); f << "{torn"; }
+  { std::ofstream f(live); f << "{torn"; }
+
+  const TuningStore loaded = TuningStore::load(path);
+  EXPECT_EQ(loaded.size(), sample_store().size());
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  EXPECT_TRUE(std::filesystem::exists(live));
+  std::filesystem::remove(live);
+  std::filesystem::remove(path);
+}
